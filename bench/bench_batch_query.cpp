@@ -1,0 +1,73 @@
+// P2: sequential vs data-parallel batch queries.
+//
+// The dp batch pipelines run the per-candidate intersection test as one
+// elementwise pass and concentrate results with sort + duplicate deletion
+// (section 4.3's use case).  On one core the win is bounded by memory
+// behaviour; the candidate counts show the real work.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/batch_query.hpp"
+#include "core/pmr_build.hpp"
+#include "core/query.hpp"
+#include "core/rtree_build.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== P2: batch window queries, sequential vs data-parallel ==\n\n");
+  const double world = 4096.0;
+  const std::size_t n = 20000;
+  const auto lines = bench::workload("clustered", n, world, 5);
+  dpv::Context ctx(0);
+
+  core::PmrBuildOptions po;
+  po.world = world;
+  po.max_depth = 14;
+  po.bucket_capacity = 8;
+  const core::QuadTree pmr = core::pmr_build(ctx, lines, po).tree;
+  const core::RTree rtree =
+      core::rtree_build(ctx, lines, core::RtreeBuildOptions{}).tree;
+
+  for (const std::size_t windows_n : {64u, 512u, 4096u}) {
+    std::vector<geom::Rect> windows;
+    for (std::size_t i = 0; i < windows_n; ++i) {
+      const double x = (i * 131) % 3900, y = (i * 733) % 3900;
+      windows.push_back({x, y, x + world / 50.0, y + world / 50.0});
+    }
+    std::size_t hits_seq = 0;
+    const double t_seq_pmr = bench::time_ms([&] {
+      for (const auto& w : windows) {
+        hits_seq += core::window_query(pmr, w).size();
+      }
+    });
+    core::BatchQueryResult bq;
+    const double t_dp_pmr = bench::time_ms(
+        [&] { bq = core::batch_window_query(ctx, pmr, windows); });
+    std::size_t hits_dp = 0;
+    for (const auto& r : bq.results) hits_dp += r.size();
+
+    std::size_t hits_rt = 0;
+    const double t_seq_rt = bench::time_ms([&] {
+      for (const auto& w : windows) {
+        hits_rt += core::window_query(rtree, w).size();
+      }
+    });
+    core::BatchQueryResult rq;
+    const double t_dp_rt = bench::time_ms(
+        [&] { rq = core::batch_window_query(ctx, rtree, windows); });
+
+    std::printf(
+        "%5zu windows: PMR seq %8.2f ms / dp %8.2f ms (%zu cand); "
+        "R-tree seq %8.2f ms / dp %8.2f ms (%zu cand) %s\n",
+        windows_n, t_seq_pmr, t_dp_pmr, bq.candidates, t_seq_rt, t_dp_rt,
+        rq.candidates, hits_dp == hits_seq ? "" : "MISMATCH");
+  }
+  return 0;
+}

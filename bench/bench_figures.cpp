@@ -1,0 +1,342 @@
+// bench_figures: regenerates the paper's worked figures (DESIGN.md F1-F29).
+//
+// Each section prints the same rows the figure shows: the primitive
+// mechanics figures reproduce the paper's exact vectors; the dataset
+// figures print the decompositions our reconstructed canonical coordinates
+// produce (the original coordinates were never published).
+//
+// Run with no arguments to print every figure, or `--fig N` for one.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+#include "dpv/dpv.hpp"
+#include "prim/prim.hpp"
+#include "seq/seq.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+void print_int_row(const char* label, const dpv::Vec<int>& v) {
+  std::printf("  %-26s", label);
+  for (const int x : v) std::printf(" %2d", x);
+  std::printf("\n");
+}
+
+void print_flag_row(const char* label, const dpv::Flags& v) {
+  std::printf("  %-26s", label);
+  for (const auto x : v) std::printf(" %2d", int(x));
+  std::printf("\n");
+}
+
+// ---- Figure 8: segmented scans. --------------------------------------------
+void fig8() {
+  std::printf("Figure 8: segmented scans (exact paper vectors)\n");
+  dpv::Context ctx;
+  const dpv::Vec<int> data{3, 1, 2, 1, 0, 1, 2, 2, 1, 0, 3, 3};
+  const dpv::Flags sf{1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 0};
+  print_int_row("data", data);
+  print_flag_row("sf:segment flag", sf);
+  print_int_row("up-scan(data,sf,+,in)",
+                seg_scan(ctx, dpv::Plus<int>{}, data, sf, dpv::Dir::kUp,
+                         dpv::Incl::kInclusive));
+  print_int_row("up-scan(data,sf,+,ex)",
+                seg_scan(ctx, dpv::Plus<int>{}, data, sf, dpv::Dir::kUp,
+                         dpv::Incl::kExclusive));
+  print_int_row("down-scan(data,sf,+,in)",
+                seg_scan(ctx, dpv::Plus<int>{}, data, sf, dpv::Dir::kDown,
+                         dpv::Incl::kInclusive));
+  print_int_row("down-scan(data,sf,+,ex)",
+                seg_scan(ctx, dpv::Plus<int>{}, data, sf, dpv::Dir::kDown,
+                         dpv::Incl::kExclusive));
+  std::printf("\n");
+}
+
+// ---- Figure 9: elementwise addition. ----------------------------------------
+void fig9() {
+  std::printf("Figure 9: elementwise addition (exact paper vectors)\n");
+  dpv::Context ctx;
+  const dpv::Vec<int> a{0, 1, 2, 1, 4, 3, 6, 2, 9, 5};
+  const dpv::Vec<int> b{4, 7, 2, 0, 3, 6, 1, 5, 0, 4};
+  print_int_row("A", a);
+  print_int_row("B", b);
+  print_int_row("ew(+,A,B)", dpv::ew(ctx, dpv::Plus<int>{}, a, b));
+  std::printf("\n");
+}
+
+// ---- Figure 10: permutation. -------------------------------------------------
+void fig10() {
+  std::printf(
+      "Figure 10: permutation (representative index vector; the paper's\n"
+      "exact values are not in the text)\n");
+  dpv::Context ctx;
+  const dpv::Vec<char> a{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  const dpv::Index idx{2, 5, 4, 3, 1, 6, 0, 7};
+  const dpv::Vec<char> out = dpv::permute(ctx, a, idx);
+  std::printf("  A:                ");
+  for (const char c : a) std::printf(" %c", c);
+  std::printf("\n  index:            ");
+  for (const auto i : idx) std::printf(" %zu", i);
+  std::printf("\n  permute(A,index): ");
+  for (const char c : out) std::printf(" %c", c);
+  std::printf("\n\n");
+}
+
+// ---- Figure 13/14: cloning mechanics. ----------------------------------------
+void fig14() {
+  std::printf("Figure 14: cloning of {a, d, g} in [a..g]\n");
+  dpv::Context ctx;
+  const dpv::Vec<char> x{'a', 'b', 'c', 'd', 'e', 'f', 'g'};
+  const dpv::Flags cf{1, 0, 0, 1, 0, 0, 1};
+  print_flag_row("clone flag", cf);
+  const prim::ClonePlan plan = prim::plan_clone(ctx, cf);
+  std::printf("  %-26s", "F2=ew(+,P,F1)");
+  for (const auto d : plan.dest) std::printf(" %2zu", d);
+  std::printf("\n  %-26s", "result");
+  const dpv::Vec<char> out = prim::apply_clone(ctx, plan, x);
+  for (const char c : out) std::printf("  %c", c);
+  std::printf("\n\n");
+}
+
+// ---- Figure 15/16: unshuffle mechanics. --------------------------------------
+void fig16() {
+  std::printf("Figure 16: unshuffle of interleaved a/b elements\n");
+  dpv::Context ctx;
+  const dpv::Vec<std::string> x{"a1", "b1", "a2", "b2", "b3", "a3"};
+  const dpv::Flags side{0, 1, 0, 1, 1, 0};
+  const prim::UnshufflePlan plan = prim::plan_unshuffle(ctx, side);
+  std::printf("  x:       ");
+  for (const auto& s : x) std::printf(" %s", s.c_str());
+  std::printf("\n  F3:      ");
+  for (const auto d : plan.dest) std::printf("  %zu", d);
+  const dpv::Vec<std::string> out = prim::apply_unshuffle(ctx, plan, x);
+  std::printf("\n  result:  ");
+  for (const auto& s : out) std::printf(" %s", s.c_str());
+  std::printf("\n\n");
+}
+
+// ---- Figure 17/18: duplicate deletion. ---------------------------------------
+void fig18() {
+  std::printf("Figure 18: duplicate deletion in a sorted ordering\n");
+  dpv::Context ctx;
+  const dpv::Vec<int> ids{1, 1, 2, 3, 3, 3, 5, 7, 7};
+  const prim::DupDeletePlan plan = prim::plan_duplicate_deletion(ctx, ids);
+  print_int_row("ids", ids);
+  print_flag_row("duplicate flag", dpv::map(ctx, plan.keep, [](std::uint8_t k) {
+                   return std::uint8_t(k == 0);
+                 }));
+  print_int_row("result", prim::apply_duplicate_deletion(ctx, plan, ids));
+  std::printf("\n");
+}
+
+// ---- Figure 19: node capacity check. -----------------------------------------
+void fig19() {
+  std::printf("Figure 19: node capacity check (capacity 4)\n");
+  dpv::Context ctx;
+  const dpv::Flags seg{1, 0, 0, 1, 0, 0, 0, 0, 1, 0};
+  const prim::CapacityCheck cc = prim::capacity_check(ctx, seg, 4);
+  print_flag_row("segment flag", seg);
+  std::printf("  %-26s", "count (down-scan)");
+  for (const auto c : cc.count_at_elem) std::printf(" %2zu", c);
+  std::printf("\n");
+  print_flag_row("overflow", cc.group_overflow);
+  std::printf("\n");
+}
+
+// ---- Figure 29: R-tree sweep-split scans. ------------------------------------
+void fig29() {
+  std::printf("Figure 29: sweep-split bounding-box scans (boxes A-D)\n");
+  dpv::Context ctx;
+  const dpv::Vec<double> ls{10, 20, 40, 60};
+  const dpv::Vec<double> rs{30, 50, 70, 80};
+  auto row = [](const char* label, const dpv::Vec<double>& v, bool skip_last) {
+    std::printf("  %-22s", label);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (skip_last && i + 1 == v.size()) {
+        std::printf("    -");
+      } else {
+        std::printf(" %4.0f", v[i]);
+      }
+    }
+    std::printf("\n");
+  };
+  row("ls:left side", ls, false);
+  row("rs:right side", rs, false);
+  row("L Bbox left side", dpv::scan(ctx, dpv::Min<double>{}, ls), false);
+  row("L Bbox right side", dpv::scan(ctx, dpv::Max<double>{}, rs), false);
+  row("R Bbox left side",
+      dpv::scan(ctx, dpv::Min<double>{}, ls, dpv::Dir::kDown,
+                dpv::Incl::kExclusive),
+      true);
+  row("R Bbox right side",
+      dpv::scan(ctx, dpv::Max<double>{}, rs, dpv::Dir::kDown,
+                dpv::Incl::kExclusive),
+      true);
+  std::printf("\n");
+}
+
+// ---- Dataset figures. ---------------------------------------------------------
+void print_quadtree(const char* title, const core::QuadTree& t) {
+  std::printf("%s\n%s", title, t.to_ascii().c_str());
+  std::printf("  nodes=%zu height=%d q-edges=%zu\n\n", t.num_nodes(),
+              t.height(), t.num_qedges());
+}
+
+void fig1() {
+  dpv::Context ctx;
+  core::QuadBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = 6;
+  const core::QuadBuildResult r =
+      core::pm1_build(ctx, data::canonical_dataset(), o);
+  print_quadtree(
+      "Figure 1: PM1 quadtree of the canonical 9-segment dataset "
+      "(reconstructed coordinates)",
+      r.tree);
+}
+
+void fig2() {
+  std::printf("Figure 2: PM1 close-vertices pathology\n");
+  dpv::Context ctx;
+  core::QuadBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 14;
+  for (const double eps : {1.0, 0.125, 1.0 / 64, 1.0 / 512}) {
+    const core::QuadBuildResult r =
+        core::pm1_build(ctx, data::close_vertices_pair(8.0, eps), o);
+    std::printf(
+        "  vertex gap %-10.6f -> height %2d, nodes %4zu, q-edges %3zu\n", eps,
+        r.tree.height(), r.tree.num_nodes(), r.tree.num_qedges());
+  }
+  std::printf("\n");
+}
+
+void fig3() {
+  seq::SeqPmr t({data::kCanonicalWorld, data::kCanonicalMaxDepth, 2});
+  for (const auto& s : data::canonical_dataset()) t.insert(s);
+  std::printf(
+      "Figure 3: PMR quadtree (threshold 2, insertion order a..i):\n"
+      "  nodes=%zu height=%d q-edges=%zu max-occupancy=%zu\n\n",
+      t.num_nodes(), t.height(), t.num_qedges(), t.max_leaf_occupancy());
+}
+
+void fig4() {
+  dpv::Context ctx;
+  core::PmrBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = data::kCanonicalMaxDepth;
+  o.bucket_capacity = 2;
+  const core::QuadBuildResult r =
+      core::pmr_build(ctx, data::canonical_dataset(), o);
+  print_quadtree(
+      "Figure 4: bucket PMR quadtree (capacity 2, max height 3)", r.tree);
+}
+
+void fig5() {
+  seq::SeqRTree t({2, 3, seq::SeqRTree::Split::kQuadratic});
+  for (const auto& s : data::canonical_dataset()) t.insert(s);
+  const core::RTree r = t.to_rtree();
+  std::printf(
+      "Figure 5: sequential R-tree (m=2, M=3) of the canonical dataset:\n"
+      "  nodes=%zu leaves=%zu height=%d coverage=%.1f overlap=%.1f\n\n",
+      r.num_nodes(), r.num_leaves(), r.height(), r.total_coverage(),
+      r.sibling_overlap());
+}
+
+void fig6() {
+  std::printf("Figure 6: node-split goals (coverage vs overlap)\n");
+  const geom::Rect a{0, 0, 10, 1}, b{10, 0, 20, 1};
+  const geom::Rect c{0, 0.8, 10, 1.8}, d{10, 0.8, 20, 1.8};
+  const geom::Rect row_lo = a.united(b), row_hi = c.united(d);
+  const geom::Rect col_l = a.united(c), col_r = b.united(d);
+  std::printf("  row split    coverage %5.1f  overlap %4.1f\n",
+              row_lo.area() + row_hi.area(), row_lo.overlap_area(row_hi));
+  std::printf("  column split coverage %5.1f  overlap %4.1f\n\n",
+              col_l.area() + col_r.area(), col_l.overlap_area(col_r));
+}
+
+void fig30() {
+  dpv::Context ctx;
+  core::QuadBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = 6;
+  const core::QuadBuildResult r =
+      core::pm1_build(ctx, data::canonical_dataset(), o);
+  std::printf("Figures 30-33: PM1 build rounds on the canonical dataset\n");
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const core::BuildRound& t = r.trace[i];
+    std::printf(
+        "  round %zu: %3zu line procs in %2zu nodes; %2zu nodes split, "
+        "%2zu clones\n",
+        i + 1, t.line_processors, t.groups, t.nodes_split, t.clones_made);
+  }
+  std::printf("\n");
+}
+
+void fig35() {
+  dpv::Context ctx;
+  core::PmrBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = data::kCanonicalMaxDepth;
+  o.bucket_capacity = 2;
+  const core::QuadBuildResult r =
+      core::pmr_build(ctx, data::canonical_dataset(), o);
+  std::printf(
+      "Figures 35-38: bucket PMR build rounds (capacity 2, height 3)\n");
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const core::BuildRound& t = r.trace[i];
+    std::printf(
+        "  round %zu: %3zu line procs in %2zu nodes; %2zu nodes split, "
+        "%2zu clones\n",
+        i + 1, t.line_processors, t.groups, t.nodes_split, t.clones_made);
+  }
+  std::printf("  depth-limited: %s\n\n", r.depth_limited ? "yes" : "no");
+}
+
+void fig39() {
+  dpv::Context ctx;
+  core::RtreeBuildOptions o;
+  o.m = 1;
+  o.M = 3;
+  const core::RtreeBuildResult r =
+      core::rtree_build(ctx, data::canonical_dataset(), o);
+  std::printf("Figures 39-44: data-parallel R-tree build, order (1,3)\n");
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const core::RtreeBuildRound& t = r.trace[i];
+    std::printf(
+        "  round %zu: %zu leaf splits, %zu internal splits -> %zu leaves, "
+        "%zu levels\n",
+        i + 1, t.leaf_splits, t.internal_splits, t.leaves, t.levels);
+  }
+  std::printf("  final: nodes=%zu height=%d valid=%s\n\n",
+              r.tree.num_nodes(), r.tree.height(),
+              r.tree.validate().empty() ? "yes" : r.tree.validate().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int only = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fig") == 0) only = std::atoi(argv[i + 1]);
+  }
+  struct Entry {
+    int fig;
+    void (*fn)();
+  };
+  const Entry entries[] = {{1, fig1},   {2, fig2},   {3, fig3},  {4, fig4},
+                           {5, fig5},   {6, fig6},   {8, fig8},  {9, fig9},
+                           {10, fig10}, {14, fig14}, {16, fig16},
+                           {18, fig18}, {19, fig19}, {29, fig29},
+                           {30, fig30}, {35, fig35}, {39, fig39}};
+  std::printf("== dpspatial: paper figure reproduction ==\n\n");
+  for (const auto& e : entries) {
+    if (only == 0 || only == e.fig) e.fn();
+  }
+  return 0;
+}

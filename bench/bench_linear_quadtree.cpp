@@ -1,0 +1,58 @@
+// A1 (ablation): pointer quadtree vs linear quadtree (section 3.3's unique
+// linear ordering).  Same decomposition, two physical layouts; reports
+// memory proxy and window-query cost.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/linear_quadtree.hpp"
+#include "core/pmr_build.hpp"
+#include "core/query.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== A1: pointer vs linear quadtree layout ==\n\n");
+  const double world = 4096.0;
+  core::PmrBuildOptions o;
+  o.world = world;
+  o.max_depth = 14;
+  o.bucket_capacity = 8;
+  std::printf("%8s %10s %10s %12s %12s %12s\n", "n", "tree-nodes", "lq-leaves",
+              "ptr-qry(us)", "lin-qry(us)", "agree");
+  for (const std::size_t n : {4000u, 16000u, 64000u}) {
+    const auto lines = bench::workload("uniform", n, world, 71);
+    dpv::Context ctx;
+    const core::QuadTree tree = core::pmr_build(ctx, lines, o).tree;
+    const core::LinearQuadTree lq = core::LinearQuadTree::from(tree);
+
+    const int probes = 256;
+    bool agree = true;
+    std::size_t hits_ptr = 0, hits_lin = 0;
+    auto window_at = [&](int i) {
+      const double x = (i % 16) * world / 16.0 + 1.0;
+      const double y = (i / 16) * world / 16.0 + 1.0;
+      return geom::Rect{x, y, x + world / 64.0, y + world / 64.0};
+    };
+    const double t_ptr = bench::time_ms([&] {
+      for (int i = 0; i < probes; ++i) {
+        hits_ptr += core::window_query(tree, window_at(i)).size();
+      }
+    });
+    const double t_lin = bench::time_ms([&] {
+      for (int i = 0; i < probes; ++i) {
+        hits_lin += lq.window_query(window_at(i)).size();
+      }
+    });
+    agree = hits_ptr == hits_lin;
+    std::printf("%8zu %10zu %10zu %12.2f %12.2f %12s\n", n, tree.num_nodes(),
+                lq.leaves().size(), t_ptr * 1000.0 / probes,
+                t_lin * 1000.0 / probes, agree ? "yes" : "NO");
+  }
+  std::printf("\n");
+  return 0;
+}

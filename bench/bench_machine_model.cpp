@@ -1,0 +1,75 @@
+// M1: replaying the builds' primitive ledgers through the CM-5-style
+// machine model -- predicted build time and speedup vs processor count.
+//
+// The substitution story of DESIGN.md: our substrate is a multicore CPU,
+// the paper's was a 32-PE CM-5.  The ledger of primitive invocations is
+// machine-independent; this bench shows what it implies on P processors:
+// speedup grows while element work dominates and saturates when the
+// O(rounds) launch/combine overhead takes over -- exactly why the paper
+// counts primitives per round.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pm1_build.hpp"
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "dpv/machine_model.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+void sweep(const char* name, const dpv::PrimCounters& c) {
+  std::printf("%-18s", name);
+  for (const std::size_t p : {1u, 4u, 32u, 256u, 4096u}) {
+    dpv::MachineModel mm;
+    mm.processors = p;
+    std::printf(" %9.2f", mm.estimate_ms(c));
+  }
+  dpv::MachineModel cm5;
+  cm5.processors = 32;
+  std::printf(" %9.1fx\n", cm5.speedup(c));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== M1: machine-model replay of the build ledgers ==\n\n");
+  const double world = 4096.0;
+  const std::size_t n = 16000;
+  std::printf("n = %zu; predicted build ms on P processors\n", n);
+  std::printf("%-18s %9s %9s %9s %9s %9s %10s\n", "ledger", "P=1", "P=4",
+              "P=32", "P=256", "P=4096", "CM5-speedup");
+
+  {
+    dpv::Context ctx;
+    core::PmrBuildOptions o;
+    o.world = world;
+    o.max_depth = 16;
+    o.bucket_capacity = 8;
+    const auto r =
+        core::pmr_build(ctx, bench::workload("uniform", n, world, 91), o);
+    sweep("bucket-PMR build", r.prims);
+  }
+  {
+    dpv::Context ctx;
+    core::QuadBuildOptions o;
+    o.world = world;
+    o.max_depth = 20;
+    const auto r =
+        core::pm1_build(ctx, bench::workload("planar", n, world, 92), o);
+    sweep("PM1 build", r.prims);
+  }
+  {
+    dpv::Context ctx;
+    core::RtreeBuildOptions o;
+    const auto r =
+        core::rtree_build(ctx, bench::workload("uniform", n, world, 93), o);
+    sweep("R-tree build", r.prims);
+  }
+  std::printf(
+      "\n(speedup saturates once per-round launch overhead dominates --\n"
+      " the reason the paper's analysis counts primitives per stage)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// C1: data-parallel PM1 build scaling (section 5.1).
+//
+// Prints, per input size and workload: build rounds, primitive invocations
+// per round (the paper's O(1)-per-stage claim), structure statistics, and
+// wall-clock for the serial and parallel backends plus the sequential
+// pointer-based baseline.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/pm1_build.hpp"
+#include "seq/seq_pm1.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+void run(const char* kind) {
+  std::printf(
+      "PM1 build -- workload %s (world 4096, max depth 20)\n"
+      "%8s %7s %12s %8s %8s %10s %10s %10s\n",
+      kind, "n", "rounds", "prims/round", "q-edges", "height", "seq(ms)",
+      "dp-1t(ms)", "dp-Nt(ms)");
+  core::QuadBuildOptions o;
+  o.world = 4096.0;
+  o.max_depth = 20;
+  for (const std::size_t n : {1000u, 4000u, 16000u, 64000u}) {
+    const auto lines = bench::workload(kind, n, o.world, 1234);
+    dpv::Context serial;
+    core::QuadBuildResult result;
+    const double t1 = bench::best_of(2, [&] {
+      serial.reset_counters();
+      result = core::pm1_build(serial, lines, o);
+    });
+    dpv::Context par(0);
+    const double tn =
+        bench::best_of(2, [&] { core::pm1_build(par, lines, o); });
+    const double tseq = bench::best_of(2, [&] {
+      seq::SeqPm1 s({o.world, o.max_depth});
+      for (const auto& seg : lines) s.insert(seg);
+    });
+    const double prims_per_round =
+        static_cast<double>(result.prims.total_invocations()) /
+        static_cast<double>(result.rounds ? result.rounds : 1);
+    std::printf("%8zu %7zu %12.1f %8zu %8d %10.2f %10.2f %10.2f\n", n,
+                result.rounds, prims_per_round, result.tree.num_qedges(),
+                result.tree.height(), tseq, t1, tn);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C1: PM1 quadtree construction scaling ==\n\n");
+  run("planar");
+  run("planar_roads");
+  return 0;
+}

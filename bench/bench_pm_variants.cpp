@@ -1,0 +1,43 @@
+// A2 (ablation): the PM quadtree family (section 2.1).  PM1's strict
+// vertex rule buys precise point location at the price of deeper trees;
+// PM3 only bounds vertices.  Same planar map, three leaf criteria.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pm1_build.hpp"
+#include "core/query.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== A2: PM1 / PM2 / PM3 leaf criteria ==\n\n");
+  const double world = 4096.0;
+  core::QuadBuildOptions o;
+  o.world = world;
+  o.max_depth = 20;
+  std::printf("%8s %8s %10s %10s %8s %8s %12s\n", "n", "variant", "nodes",
+              "q-edges", "height", "rounds", "build(ms)");
+  for (const std::size_t n : {4000u, 16000u}) {
+    const auto lines = bench::workload("planar_roads", n, world, 81);
+    for (const auto [v, name] :
+         {std::pair{prim::PmVariant::kPm1, "PM1"},
+          {prim::PmVariant::kPm2, "PM2"},
+          {prim::PmVariant::kPm3, "PM3"}}) {
+      o.variant = v;
+      dpv::Context ctx;
+      core::QuadBuildResult r;
+      const double ms =
+          bench::time_ms([&] { r = core::pm1_build(ctx, lines, o); });
+      std::printf("%8zu %8s %10zu %10zu %8d %8zu %12.2f\n", lines.size(),
+                  name, r.tree.num_nodes(), r.tree.num_qedges(),
+                  r.tree.height(), r.rounds, ms);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

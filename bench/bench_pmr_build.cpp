@@ -1,0 +1,58 @@
+// C2: data-parallel bucket PMR build scaling (section 5.2).
+//
+// Rounds must grow ~logarithmically in n, with a bounded number of
+// primitives per round; the sequential PMR insertion loop is the baseline.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pmr_build.hpp"
+#include "seq/seq_pmr.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+void run(const char* kind) {
+  std::printf(
+      "bucket PMR build -- workload %s (world 4096, capacity 8, depth 16)\n"
+      "%8s %7s %12s %8s %8s %8s %10s %10s %10s\n",
+      kind, "n", "rounds", "prims/round", "q-edges", "nodes", "height",
+      "seq(ms)", "dp-1t(ms)", "dp-Nt(ms)");
+  core::PmrBuildOptions o;
+  o.world = 4096.0;
+  o.max_depth = 16;
+  o.bucket_capacity = 8;
+  for (const std::size_t n : {1000u, 4000u, 16000u, 64000u}) {
+    const auto lines = bench::workload(kind, n, o.world, 99);
+    dpv::Context serial;
+    core::QuadBuildResult result;
+    const double t1 = bench::best_of(2, [&] {
+      serial.reset_counters();
+      result = core::pmr_build(serial, lines, o);
+    });
+    dpv::Context par(0);
+    const double tn =
+        bench::best_of(2, [&] { core::pmr_build(par, lines, o); });
+    const double tseq = bench::best_of(2, [&] {
+      seq::SeqPmr s({o.world, o.max_depth, o.bucket_capacity});
+      for (const auto& seg : lines) s.insert(seg);
+    });
+    const double prims_per_round =
+        static_cast<double>(result.prims.total_invocations()) /
+        static_cast<double>(result.rounds ? result.rounds : 1);
+    std::printf("%8zu %7zu %12.1f %8zu %8zu %8d %10.2f %10.2f %10.2f\n", n,
+                result.rounds, prims_per_round, result.tree.num_qedges(),
+                result.tree.num_nodes(), result.tree.height(), tseq, t1, tn);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C2: bucket PMR quadtree construction scaling ==\n\n");
+  run("uniform");
+  run("clustered");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// F34: insertion-order nondeterminism of the conventional PMR quadtree vs
+// the order-independence of the bucket PMR quadtree (section 5.2).
+//
+// For each map, insert in many shuffled orders: the PMR quadtree produces
+// several distinct decompositions, the bucket PMR always exactly one.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/pmr_build.hpp"
+#include "seq/seq_pmr.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== F34: PMR order dependence vs bucket PMR determinism ==\n\n");
+  const double world = 1024.0;
+  std::printf("%10s %8s %10s %18s %18s\n", "workload", "n", "orders",
+              "PMR shapes", "bucketPMR shapes");
+  for (const char* kind : {"uniform", "roads", "clustered"}) {
+    const std::size_t n = 300;
+    auto lines = bench::workload(kind, n, world, 21);
+    const int orders = 24;
+    std::set<std::string> pmr_shapes, bucket_shapes;
+    std::mt19937_64 rng(5);
+    dpv::Context ctx;
+    core::PmrBuildOptions o;
+    o.world = world;
+    o.max_depth = 12;
+    o.bucket_capacity = 4;
+    for (int trial = 0; trial < orders; ++trial) {
+      seq::SeqPmr pmr({world, 12, 4});
+      for (const auto& s : lines) pmr.insert(s);
+      pmr_shapes.insert(pmr.fingerprint());
+      bucket_shapes.insert(core::pmr_build(ctx, lines, o).tree.fingerprint());
+      std::shuffle(lines.begin(), lines.end(), rng);
+    }
+    std::printf("%10s %8zu %10d %18zu %18zu\n", kind, n, orders,
+                pmr_shapes.size(), bucket_shapes.size());
+  }
+  std::printf("\n(the bucket PMR column must always read 1)\n");
+  return 0;
+}

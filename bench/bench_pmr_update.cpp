@@ -1,0 +1,67 @@
+// U1: dynamic bucket PMR updates vs from-scratch rebuilds.
+//
+// Since the bucket PMR shape is history-independent, batch insert/delete
+// must produce bit-identical trees to a rebuild -- the question is cost.
+// Sweeps the update-batch fraction and reports update vs rebuild time.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "core/pmr_build.hpp"
+#include "core/pmr_update.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== U1: bucket PMR batch update vs rebuild ==\n\n");
+  const double world = 4096.0;
+  const std::size_t n = 20000;
+  core::PmrBuildOptions o;
+  o.world = world;
+  o.max_depth = 14;
+  o.bucket_capacity = 8;
+  const auto lines = bench::workload("uniform", n, world, 61);
+  dpv::Context ctx;
+  const core::QuadTree base = core::pmr_build(ctx, lines, o).tree;
+
+  std::printf("base: n=%zu nodes=%zu q-edges=%zu\n\n", n, base.num_nodes(),
+              base.num_qedges());
+  std::printf("%10s %12s %12s %12s %12s %8s\n", "batch", "insert(ms)",
+              "delete(ms)", "rebuild(ms)", "merge-rounds", "equal");
+
+  std::mt19937_64 rng(3);
+  for (const double frac : {0.01, 0.05, 0.20, 0.50}) {
+    const auto batch_size = static_cast<std::size_t>(n * frac);
+    // Insert: fresh lines with new ids.
+    auto extra = bench::workload("clustered", batch_size, world, 62);
+    for (auto& s : extra) s.id += 1000000;
+    core::QuadBuildResult ins;
+    const double t_ins = bench::time_ms(
+        [&] { ins = core::pmr_insert(ctx, base, extra, o); });
+    // Delete: a random slice of existing ids.
+    std::vector<geom::LineId> doomed;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      doomed.push_back(static_cast<geom::LineId>(rng() % n));
+    }
+    core::QuadBuildResult del;
+    const double t_del = bench::time_ms(
+        [&] { del = core::pmr_delete(ctx, base, doomed, o); });
+    // Rebuild reference for the insert case.
+    auto combined = lines;
+    combined.insert(combined.end(), extra.begin(), extra.end());
+    core::QuadBuildResult reb;
+    const double t_reb = bench::time_ms(
+        [&] { reb = core::pmr_build(ctx, combined, o); });
+    const bool equal = ins.tree.fingerprint() == reb.tree.fingerprint();
+    std::printf("%9.0f%% %12.2f %12.2f %12.2f %12zu %8s\n", frac * 100.0,
+                t_ins, t_del, t_reb, del.rounds, equal ? "yes" : "NO");
+  }
+  std::printf("\n");
+  return 0;
+}

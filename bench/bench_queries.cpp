@@ -1,0 +1,96 @@
+// C7: query behaviour across the three structures (sections 1-2).
+//
+// The motivating claim: the R-tree's non-disjoint decomposition means a
+// query may have to inspect several subtrees, while the disjoint quadtrees
+// pay instead with duplicated q-edges.  Report nodes visited, candidates
+// tested, and wall-clock per window query, plus the data-parallel batch
+// window query throughput.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/batch_query.hpp"
+#include "core/pm1_build.hpp"
+#include "core/pmr_build.hpp"
+#include "core/query.hpp"
+#include "core/rtree_build.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+std::vector<geom::Rect> probe_windows(double world, double frac, int count) {
+  std::vector<geom::Rect> out;
+  const int side = 16;
+  for (int i = 0; i < count; ++i) {
+    const double x = (i % side) * world / side + 2.0;
+    const double y = (i / side % side) * world / side + 2.0;
+    out.push_back({x, y, x + world * frac, y + world * frac});
+  }
+  return out;
+}
+
+template <typename Tree>
+void report(const char* name, const Tree& tree,
+            const std::vector<geom::Rect>& windows) {
+  std::size_t visited = 0, tested = 0, results = 0;
+  const double ms = bench::time_ms([&] {
+    for (const auto& w : windows) {
+      core::QueryStats st;
+      results += core::window_query(tree, w, &st).size();
+      visited += st.nodes_visited;
+      tested += st.segments_tested;
+    }
+  });
+  std::printf("%-10s %11.1f %11.1f %11.1f %11.2f\n", name,
+              double(visited) / windows.size(),
+              double(tested) / windows.size(),
+              double(results) / windows.size(),
+              ms * 1000.0 / windows.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C7: window queries across structures ==\n\n");
+  const double world = 4096.0;
+  const std::size_t n = 20000;
+  const auto lines = bench::workload("planar_roads", n, world, 77);
+  dpv::Context ctx;
+
+  core::PmrBuildOptions po;
+  po.world = world;
+  po.max_depth = 16;
+  po.bucket_capacity = 8;
+  const core::QuadTree pmr = core::pmr_build(ctx, lines, po).tree;
+
+  core::QuadBuildOptions qo;
+  qo.world = world;
+  qo.max_depth = 20;
+  const core::QuadTree pm1 = core::pm1_build(ctx, lines, qo).tree;
+
+  core::RtreeBuildOptions ro;
+  const core::RTree rtree = core::rtree_build(ctx, lines, ro).tree;
+
+  for (const double frac : {0.01, 0.05, 0.25}) {
+    const auto windows = probe_windows(world, frac, 128);
+    std::printf("window side = %.0f%% of world\n%-10s %11s %11s %11s %11s\n",
+                frac * 100.0, "structure", "visit/qry", "test/qry",
+                "hits/qry", "us/qry");
+    report("bucketPMR", pmr, windows);
+    report("PM1", pm1, windows);
+    report("R-tree", rtree, windows);
+    std::printf("\n");
+  }
+
+  // Data-parallel batch window query (duplicate deletion pipeline).
+  const auto windows = probe_windows(world, 0.05, 256);
+  dpv::Context par(0);
+  const double batch_ms = bench::time_ms(
+      [&] { core::batch_window_query(par, pmr, windows); });
+  std::printf("batch window query (dp pipeline): %zu windows in %.2f ms "
+              "(%.2f us/qry)\n",
+              windows.size(), batch_ms, batch_ms * 1000.0 / windows.size());
+  return 0;
+}

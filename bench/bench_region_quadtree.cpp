@@ -1,0 +1,39 @@
+// R1: data-parallel linear region quadtree construction (the related-work
+// lineage of section 1: [Dehn91], [Ibar93]).  Rasterizes a line map at
+// several resolutions and reports merge rounds, compression, and build
+// time; rounds must equal the raster order when anything merges to the
+// top, and compression tracks map sparsity.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/region_quadtree.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== R1: linear region quadtree from rasterized maps ==\n\n");
+  const double world = 1024.0;
+  const auto lines = bench::workload("planar_roads", 4000, world, 41);
+  std::printf("map: %zu segments rasterized onto 2^k x 2^k grids\n\n",
+              lines.size());
+  std::printf("%6s %10s %10s %10s %12s %10s\n", "order", "pixels", "black",
+              "leaves", "compression", "build(ms)");
+  for (const int order : {6, 8, 10}) {
+    const auto raster = core::rasterize_segments(lines, order, world);
+    std::size_t black = 0;
+    for (const auto c : raster) black += c;
+    dpv::Context ctx;
+    core::RegionBuildResult r;
+    const double ms =
+        bench::best_of(2, [&] { r = core::region_build(ctx, raster, order); });
+    std::printf("%6d %10zu %10zu %10zu %11.1fx %10.2f\n", order,
+                raster.size(), black, r.tree.num_leaves(),
+                double(raster.size()) / double(r.tree.num_leaves()), ms);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// C3: data-parallel R-tree build scaling (section 5.3).
+//
+// The build runs O(log n) rounds of O(log n)-cost stages (two sorts plus a
+// constant number of scans), so primitives per round may grow with the
+// number of levels but rounds stay logarithmic.  Sequential Guttman
+// insertion (quadratic split) is the baseline.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/rtree_build.hpp"
+#include "seq/seq_rtree.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+void run(prim::RtreeSplitAlgo algo, const char* name) {
+  std::printf(
+      "data-parallel R-tree build -- split %s (m=2, M=8)\n"
+      "%8s %7s %8s %8s %10s %12s %10s %10s %10s\n",
+      name, "n", "rounds", "height", "nodes", "overlap", "coverage",
+      "seq(ms)", "dp-1t(ms)", "dp-Nt(ms)");
+  core::RtreeBuildOptions o;
+  o.m = 2;
+  o.M = 8;
+  o.split = algo;
+  for (const std::size_t n : {1000u, 4000u, 16000u}) {
+    const auto lines = bench::workload("uniform", n, 4096.0, 7);
+    dpv::Context serial;
+    core::RtreeBuildResult result;
+    const double t1 = bench::best_of(2, [&] {
+      result = core::rtree_build(serial, lines, o);
+    });
+    dpv::Context par(0);
+    const double tn =
+        bench::best_of(2, [&] { core::rtree_build(par, lines, o); });
+    const double tseq = bench::best_of(1, [&] {
+      seq::SeqRTree s({o.m, o.M, seq::SeqRTree::Split::kQuadratic});
+      for (const auto& seg : lines) s.insert(seg);
+    });
+    std::printf("%8zu %7zu %8d %8zu %10.0f %12.0f %10.2f %10.2f %10.2f\n", n,
+                result.rounds, result.tree.height(), result.tree.num_nodes(),
+                result.tree.sibling_overlap(), result.tree.total_coverage(),
+                tseq, t1, tn);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C3: data-parallel R-tree construction scaling ==\n\n");
+  run(prim::RtreeSplitAlgo::kSweep, "sweep (O(log n))");
+  run(prim::RtreeSplitAlgo::kMean, "mean (O(1))");
+  return 0;
+}

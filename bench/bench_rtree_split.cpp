@@ -1,0 +1,93 @@
+// C6: R-tree node-split algorithm comparison (section 4.7 + Figure 6).
+//
+// Builds the same map with every split strategy (data-parallel mean/sweep,
+// sequential linear/quadratic/sweep) and reports the two split-quality
+// goals of Figure 6 -- total coverage and sibling overlap -- plus query
+// cost on the resulting tree.  Expected shape: sweep < quadratic < linear
+// on overlap; the O(1) mean split trades quality for build speed.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/query.hpp"
+#include "core/rtree_build.hpp"
+#include "seq/hilbert_rtree.hpp"
+#include "seq/seq_rtree.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+struct Row {
+  const char* name;
+  core::RTree tree;
+  double build_ms;
+};
+
+void report(const Row& row, std::size_t n, double world) {
+  // Query cost: mean nodes visited over a grid of small windows.
+  std::size_t visited = 0, tested = 0;
+  const int probes = 64;
+  for (int i = 0; i < probes; ++i) {
+    const double x = (i % 8) * world / 8.0 + 3.0;
+    const double y = (i / 8) * world / 8.0 + 3.0;
+    core::QueryStats st;
+    core::window_query(row.tree, geom::Rect{x, y, x + world / 100.0,
+                                            y + world / 100.0},
+                       &st);
+    visited += st.nodes_visited;
+    tested += st.segments_tested;
+  }
+  std::printf("%-14s %8zu %10.0f %12.0f %10.1f %10.1f %10.2f\n", row.name, n,
+              row.tree.sibling_overlap(), row.tree.total_coverage(),
+              double(visited) / probes, double(tested) / probes,
+              row.build_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C6: R-tree split algorithm quality (m=2, M=8) ==\n\n");
+  const double world = 4096.0;
+  for (const char* kind : {"uniform", "clustered"}) {
+    const std::size_t n = 8000;
+    const auto lines = bench::workload(kind, n, world, 3);
+    std::printf(
+        "workload %s\n%-14s %8s %10s %12s %10s %10s %10s\n", kind, "split",
+        "n", "overlap", "coverage", "visit/qry", "test/qry", "build(ms)");
+
+    dpv::Context ctx;
+    {
+      core::RtreeBuildOptions o;
+      o.split = prim::RtreeSplitAlgo::kMean;
+      core::RtreeBuildResult r;
+      const double ms = bench::time_ms([&] { r = core::rtree_build(ctx, lines, o); });
+      report({"dp-mean", std::move(r.tree), ms}, n, world);
+    }
+    {
+      core::RtreeBuildOptions o;
+      o.split = prim::RtreeSplitAlgo::kSweep;
+      core::RtreeBuildResult r;
+      const double ms = bench::time_ms([&] { r = core::rtree_build(ctx, lines, o); });
+      report({"dp-sweep", std::move(r.tree), ms}, n, world);
+    }
+    {
+      core::RTree packed;
+      const double ms = bench::time_ms(
+          [&] { packed = seq::hilbert_pack_rtree(lines, 8, world); });
+      report({"hilbert-pack", std::move(packed), ms}, n, world);
+    }
+    for (const auto [split, name] :
+         {std::pair{seq::SeqRTree::Split::kLinear, "seq-linear"},
+          {seq::SeqRTree::Split::kQuadratic, "seq-quadratic"},
+          {seq::SeqRTree::Split::kSweep, "seq-sweep"}}) {
+      seq::SeqRTree t({2, 8, split});
+      const double ms = bench::time_ms([&] {
+        for (const auto& s : lines) t.insert(s);
+      });
+      report({name, t.to_rtree(), ms}, n, world);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// P1: throughput of the scan-model primitives (google-benchmark).
+//
+// Sweeps vector length for elementwise / scan / segmented scan / permute /
+// pack / radix sort on both backends.  The interesting series: parallel
+// speedup per primitive and the segmented-scan overhead vs the per-group
+// serial loop (the ablation called out in DESIGN.md section 5).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "dpv/dpv.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+dpv::Vec<int> make_data(std::size_t n) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> d(0, 1000);
+  dpv::Vec<int> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+dpv::Flags make_flags(std::size_t n, std::size_t avg_group) {
+  std::mt19937_64 rng(43);
+  std::uniform_int_distribution<std::size_t> d(0, avg_group - 1);
+  dpv::Flags f(n, 0);
+  if (n) f[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) f[i] = d(rng) == 0;
+  return f;
+}
+
+dpv::Context& context(bool parallel) {
+  static dpv::Context serial;
+  static dpv::Context par(0);  // hardware lanes
+  return parallel ? par : serial;
+}
+
+void BM_Elementwise(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const auto a = make_data(state.range(0));
+  const auto b = make_data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::ew(ctx, dpv::Plus<int>{}, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Elementwise)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_Scan(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const auto a = make_data(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::scan(ctx, dpv::Plus<int>{}, a));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Scan)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_SegScan(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const auto a = make_data(state.range(0));
+  const auto f = make_flags(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::seg_scan(ctx, dpv::Plus<int>{}, a, f));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegScan)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+// Ablation: segmented scan vs an explicit per-group serial loop.
+void BM_SegScanAblation_PerGroupLoop(benchmark::State& state) {
+  const auto a = make_data(state.range(0));
+  const auto f = make_flags(state.range(0), 64);
+  for (auto _ : state) {
+    dpv::Vec<int> out(a.size());
+    int acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (f[i]) acc = 0;
+      acc += a[i];
+      out[i] = acc;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegScanAblation_PerGroupLoop)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Permute(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  const auto a = make_data(n);
+  dpv::Index idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = (i * 769) % n;  // 769 coprime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::permute(ctx, a, idx));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Permute)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_Pack(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  const auto a = make_data(n);
+  dpv::Flags keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = (i % 3) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::pack(ctx, a, keep));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Pack)->Args({1 << 18, 0})->Args({1 << 18, 1});
+
+void BM_RadixSort(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  std::mt19937_64 rng(7);
+  dpv::Vec<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng() & 0xFFFF'FFFFull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpv::sort_keys_indices(ctx, keys, 32));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixSort)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1});
+
+}  // namespace
+
+// Custom main: default to a short per-case budget so the full harness run
+// stays fast; any user-provided --benchmark_* flag still applies.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.05";
+  args.insert(args.begin() + 1, min_time);
+  int c = static_cast<int>(args.size());
+  benchmark::Initialize(&c, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// J1: spatial join (map intersection) -- the downstream operation named in
+// the paper's conclusion.  Joins a road map with a utility map on the
+// matched bucket PMR decompositions and compares against brute force.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pmr_build.hpp"
+#include "core/dp_spatial_join.hpp"
+#include "core/rtree_build.hpp"
+#include "core/rtree_join.hpp"
+#include "core/spatial_join.hpp"
+#include "geom/predicates.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+std::size_t brute_force_count(const std::vector<geom::Segment>& a,
+                              const std::vector<geom::Segment>& b) {
+  std::size_t c = 0;
+  for (const auto& s : a) {
+    for (const auto& t : b) {
+      c += geom::segments_intersect(s, t);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== J1: spatial join (map intersection) ==\n\n");
+  const double world = 4096.0;
+  std::printf("%8s %8s %9s %12s %12s %11s %11s %11s\n", "|A|", "|B|", "pairs",
+              "candidates", "node-pairs", "join(ms)", "dp-join(ms)",
+              "brute(ms)");
+  for (const std::size_t n : {1000u, 4000u, 16000u}) {
+    auto roads = bench::workload("roads", n, world, 11);
+    auto utils = bench::workload("uniform", n, world, 12);
+    dpv::Context ctx;
+    core::PmrBuildOptions o;
+    o.world = world;
+    o.max_depth = 14;
+    o.bucket_capacity = 8;
+    const core::QuadTree ta = core::pmr_build(ctx, roads, o).tree;
+    const core::QuadTree tb = core::pmr_build(ctx, utils, o).tree;
+    core::JoinStats stats;
+    std::vector<std::pair<geom::LineId, geom::LineId>> pairs;
+    const double join_ms = bench::time_ms(
+        [&] { pairs = core::spatial_join(ta, tb, &stats); });
+    std::vector<std::pair<geom::LineId, geom::LineId>> dp_pairs;
+    const double dp_ms = bench::time_ms(
+        [&] { dp_pairs = core::dp_spatial_join(ctx, ta, tb); });
+    if (dp_pairs != pairs) {
+      std::printf("MISMATCH: dp join %zu vs host join %zu\n", dp_pairs.size(),
+                  pairs.size());
+      return 1;
+    }
+    double brute_ms = -1.0;
+    if (n <= 4000) {
+      std::size_t count = 0;
+      brute_ms = bench::time_ms([&] { count = brute_force_count(roads, utils); });
+      if (count != pairs.size()) {
+        std::printf("MISMATCH: join %zu vs brute force %zu\n", pairs.size(),
+                    count);
+        return 1;
+      }
+    }
+    // J2 / section 3.3: the R-tree join on the same maps -- without a
+    // shared disjoint decomposition every overlapping node pair is visited.
+    const core::RTree ra = core::rtree_build(ctx, roads, core::RtreeBuildOptions{}).tree;
+    const core::RTree rb = core::rtree_build(ctx, utils, core::RtreeBuildOptions{}).tree;
+    core::JoinStats rstats;
+    std::vector<std::pair<geom::LineId, geom::LineId>> rpairs;
+    const double rt_ms = bench::time_ms(
+        [&] { rpairs = core::rtree_join(ra, rb, &rstats); });
+    if (rpairs != pairs) {
+      std::printf("MISMATCH: rtree join %zu vs quadtree join %zu\n",
+                  rpairs.size(), pairs.size());
+      return 1;
+    }
+    std::printf("%8zu %8zu %9zu %12zu %12zu %11.2f %11.2f %11.2f\n", n, n,
+                pairs.size(), stats.candidate_pairs, stats.node_pairs_visited,
+                join_ms, dp_ms, brute_ms);
+    std::printf("%17s R-tree join: %9zu candidates, %9zu node-pairs, %8.2f ms\n",
+                "", rstats.candidate_pairs, rstats.node_pairs_visited, rt_ms);
+  }
+  std::printf("\n(brute(ms) = -1.00 means skipped at that size)\n");
+  return 0;
+}

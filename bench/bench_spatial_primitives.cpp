@@ -1,0 +1,128 @@
+// Throughput of the section-4 spatial primitives (google-benchmark):
+// cloning, segmented unshuffle, duplicate deletion, capacity check, and
+// the two R-tree split selections (the O(1) mean vs the O(log n) sweep --
+// the C6 cost side; quality is bench_rtree_split).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "data/mapgen.hpp"
+#include "prim/prim.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+dpv::Context& context(bool parallel) {
+  static dpv::Context serial;
+  static dpv::Context par(0);
+  return parallel ? par : serial;
+}
+
+dpv::Flags random_bits(std::size_t n, double p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution d(p);
+  dpv::Flags f(n);
+  for (auto& x : f) x = d(rng);
+  return f;
+}
+
+dpv::Flags group_flags(std::size_t n, std::size_t avg, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> d(0, avg - 1);
+  dpv::Flags f(n, 0);
+  if (n) f[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) f[i] = d(rng) == 0;
+  return f;
+}
+
+void BM_Clone(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  const dpv::Flags cf = random_bits(n, 0.2, 1);
+  const std::vector<int> payload(n, 7);
+  for (auto _ : state) {
+    const prim::ClonePlan plan = prim::plan_clone(ctx, cf);
+    benchmark::DoNotOptimize(prim::apply_clone(ctx, plan, payload));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Clone)->Args({1 << 16, 0})->Args({1 << 16, 1})->Args({1 << 19, 1});
+
+void BM_SegUnshuffle(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  const dpv::Flags side = random_bits(n, 0.5, 2);
+  const dpv::Flags seg = group_flags(n, 32, 3);
+  const std::vector<int> payload(n, 7);
+  for (auto _ : state) {
+    const prim::UnshufflePlan plan = prim::plan_seg_unshuffle(ctx, side, seg);
+    benchmark::DoNotOptimize(prim::apply_unshuffle(ctx, plan, payload));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SegUnshuffle)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 19, 1});
+
+void BM_DuplicateDeletion(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  std::mt19937_64 rng(4);
+  dpv::Vec<geom::LineId> ids(n);
+  for (auto& id : ids) id = rng() % (n / 4 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::sorted_unique_ids(ctx, ids));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DuplicateDeletion)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_CapacityCheck(benchmark::State& state) {
+  dpv::Context& ctx = context(state.range(1));
+  const std::size_t n = state.range(0);
+  const dpv::Flags seg = group_flags(n, 16, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::capacity_check(ctx, seg, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CapacityCheck)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_RtreeSplitSelection(benchmark::State& state) {
+  dpv::Context& ctx = context(true);
+  const std::size_t n = state.range(0);
+  const auto algo = state.range(1) ? prim::RtreeSplitAlgo::kSweep
+                                   : prim::RtreeSplitAlgo::kMean;
+  const auto lines = data::uniform_segments(n, 1024.0, 10.0, 6);
+  dpv::Vec<geom::Rect> boxes;
+  for (const auto& s : lines) boxes.push_back(s.bbox());
+  const dpv::Flags seg = group_flags(n, 256, 7);
+  const dpv::Flags overflow(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prim::rtree_split(ctx, boxes, seg, overflow, 2, 8, algo));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RtreeSplitSelection)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.05";
+  args.insert(args.begin() + 1, min_time);
+  int c = static_cast<int>(args.size());
+  benchmark::Initialize(&c, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// C4: the splitting-threshold trade-off (section 2.2).
+//
+// "As the splitting threshold is increased, the construction times and
+// storage requirements of the PMR quadtree decrease while the time
+// necessary to perform operations on it will increase."  Sweep the bucket
+// capacity and report build time, storage (nodes and q-edges), and window
+// query cost on the bucket PMR quadtree.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pmr_build.hpp"
+#include "core/query.hpp"
+
+namespace {
+
+using namespace dps;  // NOLINT: bench binary
+
+}  // namespace
+
+int main() {
+  std::printf("== C4: bucket PMR splitting-threshold sweep ==\n\n");
+  const double world = 4096.0;
+  const std::size_t n = 20000;
+  const auto lines = bench::workload("roads", n, world, 55);
+  std::printf(
+      "workload roads, n=%zu\n%9s %10s %8s %9s %10s %11s %11s\n", n,
+      "capacity", "build(ms)", "nodes", "q-edges", "height", "qry(us)",
+      "test/qry");
+  for (const std::size_t cap : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    core::PmrBuildOptions o;
+    o.world = world;
+    o.max_depth = 16;
+    o.bucket_capacity = cap;
+    dpv::Context ctx;
+    core::QuadBuildResult r;
+    const double build_ms =
+        bench::best_of(2, [&] { r = core::pmr_build(ctx, lines, o); });
+    // Window queries over a grid of small windows.
+    const int probes = 256;
+    std::size_t tested = 0;
+    const double qms = bench::time_ms([&] {
+      for (int i = 0; i < probes; ++i) {
+        const double x = (i % 16) * world / 16.0 + 1.0;
+        const double y = (i / 16) * world / 16.0 + 1.0;
+        core::QueryStats st;
+        core::window_query(r.tree,
+                           geom::Rect{x, y, x + world / 64.0,
+                                      y + world / 64.0},
+                           &st);
+        tested += st.segments_tested;
+      }
+    });
+    std::printf("%9zu %10.2f %8zu %9zu %10d %11.1f %11.1f\n", cap, build_ms,
+                r.tree.num_nodes(), r.tree.num_qedges(), r.tree.height(),
+                qms * 1000.0 / probes, double(tested) / probes);
+  }
+  std::printf("\n");
+  return 0;
+}

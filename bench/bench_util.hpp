@@ -1,0 +1,47 @@
+#pragma once
+// Shared helpers for the table-style bench binaries: wall-clock timing and
+// dataset shorthands.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/mapgen.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::bench {
+
+/// Milliseconds elapsed while running `f()`.
+template <typename F>
+double time_ms(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Runs `f` `reps` times, returns the minimum wall-clock milliseconds.
+template <typename F>
+double best_of(int reps, F&& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, time_ms(f));
+  return best;
+}
+
+inline std::vector<geom::Segment> workload(const char* kind, std::size_t n,
+                                           double world, std::uint64_t seed) {
+  const std::string k = kind;
+  if (k == "roads") return data::hierarchical_roads(n, world, seed);
+  if (k == "clustered") {
+    return data::clustered_segments(n, 8, world / 40.0, world, world / 80.0,
+                                    seed);
+  }
+  if (k == "planar") return data::planar_segments(n, world, world / 60.0, seed);
+  if (k == "planar_roads") return data::planar_roads(n, world, seed);
+  return data::uniform_segments(n, world, world / 60.0, seed);
+}
+
+}  // namespace dps::bench

@@ -1,0 +1,87 @@
+// Index tuning: which structure and parameters fit a workload?
+//
+// Builds all three structures over the same map at several parameter
+// settings and prints a comparison a practitioner could act on: build
+// cost, memory proxy (nodes + q-edges), and query cost.  This is the
+// section 2.2 threshold trade-off plus the section 1 disjoint-vs-
+// non-disjoint trade-off in one table.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename Tree>
+double query_cost_us(const Tree& tree, double world) {
+  using namespace dps;
+  const int probes = 128;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < probes; ++i) {
+    const double x = (i % 12) * world / 12.0 + 1.0;
+    const double y = (i / 12) * world / 12.0 + 1.0;
+    core::window_query(tree, geom::Rect{x, y, x + world / 80.0,
+                                        y + world / 80.0});
+  }
+  return ms_since(t0) * 1000.0 / probes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dps;
+  const double world = 2048.0;
+  dpv::Context ctx(0);
+  const auto map = data::planar_roads(15000, world, 31);
+  std::printf("map: %zu road segments\n\n", map.size());
+  std::printf("%-22s %10s %8s %9s %10s\n", "index", "build(ms)", "nodes",
+              "q-edges", "qry(us)");
+
+  for (const std::size_t cap : {4u, 16u}) {
+    core::PmrBuildOptions o;
+    o.world = world;
+    o.max_depth = 15;
+    o.bucket_capacity = cap;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = core::pmr_build(ctx, map, o);
+    const double build = ms_since(t0);
+    char name[32];
+    std::snprintf(name, sizeof(name), "bucket PMR (cap %zu)", cap);
+    std::printf("%-22s %10.1f %8zu %9zu %10.1f\n", name, build,
+                r.tree.num_nodes(), r.tree.num_qedges(),
+                query_cost_us(r.tree, world));
+  }
+  {
+    core::QuadBuildOptions o;
+    o.world = world;
+    o.max_depth = 20;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = core::pm1_build(ctx, map, o);
+    const double build = ms_since(t0);
+    std::printf("%-22s %10.1f %8zu %9zu %10.1f\n", "PM1", build,
+                r.tree.num_nodes(), r.tree.num_qedges(),
+                query_cost_us(r.tree, world));
+  }
+  for (const std::size_t M : {8u, 32u}) {
+    core::RtreeBuildOptions o;
+    o.m = M / 4;
+    o.M = M;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = core::rtree_build(ctx, map, o);
+    const double build = ms_since(t0);
+    char name[32];
+    std::snprintf(name, sizeof(name), "R-tree (M=%zu)", M);
+    std::printf("%-22s %10.1f %8zu %9zu %10.1f\n", name, build,
+                r.tree.num_nodes(), r.tree.entries().size(),
+                query_cost_us(r.tree, world));
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Visualization: export a map and its three decompositions as SVG files --
+// the closest thing to regenerating the paper's Figures 1, 4 and 5 as
+// actual pictures.  Writes four files into the working directory.
+
+#include <cstdio>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+
+int main() {
+  using namespace dps;
+  dpv::Context ctx(0);
+  const double world = 512.0;
+  const auto map = data::planar_roads(600, world, 77);
+  std::printf("map: %zu segments\n", map.size());
+
+  data::SvgOptions opts;
+  opts.pixels = 900.0;
+
+  data::save_svg("map.svg", map, world, opts);
+
+  core::PmrBuildOptions po;
+  po.world = world;
+  po.max_depth = 10;
+  po.bucket_capacity = 6;
+  const core::QuadTree pmr = core::pmr_build(ctx, map, po).tree;
+  data::save_svg("bucket_pmr.svg", pmr, opts);
+
+  core::QuadBuildOptions qo;
+  qo.world = world;
+  qo.max_depth = 14;
+  const core::QuadTree pm1 = core::pm1_build(ctx, map, qo).tree;
+  data::save_svg("pm1.svg", pm1, opts);
+
+  core::RtreeBuildOptions ro;
+  const core::RTree rt = core::rtree_build(ctx, map, ro).tree;
+  data::save_svg("rtree.svg", rt, world, opts);
+
+  std::printf(
+      "wrote map.svg (raw segments), bucket_pmr.svg (%zu nodes),\n"
+      "      pm1.svg (%zu nodes), rtree.svg (%zu MBRs)\n",
+      pmr.num_nodes(), pm1.num_nodes(), rt.num_nodes());
+  return 0;
+}

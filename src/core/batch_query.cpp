@@ -1,0 +1,120 @@
+#include "core/batch_query.hpp"
+
+#include "geom/predicates.hpp"
+#include "prim/duplicate_deletion.hpp"
+
+namespace dps::core {
+
+BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
+                                    const std::vector<geom::Rect>& windows) {
+  BatchQueryResult out;
+  out.results.resize(windows.size());
+  if (tree.num_nodes() == 0 || windows.empty()) return out;
+
+  // Candidate generation: per window, the q-edges of every leaf whose block
+  // meets the window (host traversal; the flat candidate list is the
+  // "virtual processor per (window, q-edge)" assignment).
+  std::vector<std::uint32_t> cand_window;
+  std::vector<std::uint32_t> cand_edge;
+  std::vector<std::int32_t> stack;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const geom::Rect& win = windows[w];
+    stack.assign(1, 0);
+    while (!stack.empty()) {
+      const QuadTree::Node& nd = tree.nodes()[stack.back()];
+      stack.pop_back();
+      if (!nd.block.rect(tree.world()).intersects(win)) continue;
+      if (nd.is_leaf) {
+        for (std::uint32_t e = 0; e < nd.num_edges; ++e) {
+          cand_window.push_back(static_cast<std::uint32_t>(w));
+          cand_edge.push_back(nd.first_edge + e);
+        }
+      } else {
+        for (const std::int32_t c : nd.child) {
+          if (c != QuadTree::kNoChild) stack.push_back(c);
+        }
+      }
+    }
+  }
+  out.candidates = cand_edge.size();
+  const std::size_t n = cand_edge.size();
+  if (n == 0) return out;
+
+  // Elementwise intersection test over all candidates at once.
+  dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::Segment& s = tree.edges()[cand_edge[i]];
+    return static_cast<std::uint8_t>(
+        geom::segment_intersects_rect(s, windows[cand_window[i]]));
+  });
+
+  // Pack survivors, sort by (window, line id), concentrate duplicates.
+  dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::LineId id = tree.edges()[cand_edge[i]].id;
+    return (std::uint64_t{cand_window[i]} << 32) | id;
+  });
+  dpv::Vec<std::uint64_t> hits = dpv::pack(ctx, pair_key, hit);
+  dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
+  dpv::Vec<std::uint64_t> sorted = dpv::gather(ctx, hits, order);
+  dpv::Vec<std::uint64_t> unique = prim::delete_duplicates(ctx, sorted);
+
+  for (const std::uint64_t key : unique) {
+    const auto w = static_cast<std::size_t>(key >> 32);
+    out.results[w].push_back(static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
+  }
+  return out;
+}
+
+BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points) {
+  BatchQueryResult out;
+  out.results.resize(points.size());
+  if (tree.num_nodes() == 0 || points.empty()) return out;
+
+  // Host descent to every leaf whose *closed* cell contains the point (up
+  // to four when the point sits on cell boundaries), so boundary hits on
+  // lines of adjacent cells are not missed.
+  std::vector<std::uint32_t> cand_point;
+  std::vector<std::uint32_t> cand_edge;
+  std::vector<std::int32_t> stack;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    stack.assign(1, 0);
+    while (!stack.empty()) {
+      const QuadTree::Node& nd = tree.nodes()[stack.back()];
+      stack.pop_back();
+      if (!nd.block.rect(tree.world()).contains(points[p])) continue;
+      if (nd.is_leaf) {
+        for (std::uint32_t e = 0; e < nd.num_edges; ++e) {
+          cand_point.push_back(static_cast<std::uint32_t>(p));
+          cand_edge.push_back(nd.first_edge + e);
+        }
+        continue;
+      }
+      for (const std::int32_t c : nd.child) {
+        if (c != QuadTree::kNoChild) stack.push_back(c);
+      }
+    }
+  }
+  out.candidates = cand_edge.size();
+  const std::size_t n = cand_edge.size();
+  if (n == 0) return out;
+
+  dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::Segment& s = tree.edges()[cand_edge[i]];
+    const geom::Point& p = points[cand_point[i]];
+    return static_cast<std::uint8_t>(geom::point_on_segment(p, s.a, s.b));
+  });
+  dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return (std::uint64_t{cand_point[i]} << 32) | tree.edges()[cand_edge[i]].id;
+  });
+  dpv::Vec<std::uint64_t> hits = dpv::pack(ctx, pair_key, hit);
+  dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
+  dpv::Vec<std::uint64_t> unique =
+      prim::delete_duplicates(ctx, dpv::gather(ctx, hits, order));
+  for (const std::uint64_t key : unique) {
+    out.results[key >> 32].push_back(
+        static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
+  }
+  return out;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,45 @@
+#pragma once
+// Data-parallel batch window queries.
+//
+// Executes many window queries against a quadtree at once, scan-model
+// style: candidate (window, q-edge) pairs are generated per window, the
+// intersection test runs elementwise, survivors are packed, radix-sorted by
+// (window, line id), and the duplicate-deletion primitive (section 4.3)
+// collapses the q-edges of a line cloned into several blocks back into one
+// result row -- the use case the paper gives for concentrate.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct BatchQueryResult {
+  /// results[w] = sorted unique line ids intersecting windows[w].
+  std::vector<std::vector<geom::LineId>> results;
+  std::size_t candidates = 0;  // (window, q-edge) pairs tested
+};
+
+BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
+                                    const std::vector<geom::Rect>& windows);
+
+/// Data-parallel batch point queries: each point descends to its (single)
+/// containing leaf, candidates are tested elementwise, and results are
+/// concentrated per point.
+BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points);
+
+/// Data-parallel batch window query over an R-tree (the companion-paper
+/// [Hoel93] style): the (window, node) frontier descends one tree level per
+/// round -- an elementwise MBR test prunes, a pack concentrates survivors,
+/// and a scan-distributed expansion replaces each surviving internal pair
+/// with its children.  Leaf pairs expand to (window, entry) candidates,
+/// tested elementwise and concentrated through sort + duplicate deletion.
+BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
+                                    const std::vector<geom::Rect>& windows);
+
+}  // namespace dps::core

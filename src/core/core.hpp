@@ -1,0 +1,21 @@
+#pragma once
+// Umbrella header for the core library: the paper's section-5 build
+// algorithms, the materialized structures, and the query operations.
+
+#include "core/batch_query.hpp"   // IWYU pragma: export
+#include "core/dp_spatial_join.hpp"  // IWYU pragma: export
+#include "core/kdtree_build.hpp"  // IWYU pragma: export
+#include "core/linear_quadtree.hpp"  // IWYU pragma: export
+#include "core/nearest.hpp"       // IWYU pragma: export
+#include "core/pm1_build.hpp"     // IWYU pragma: export
+#include "core/pmr_build.hpp"     // IWYU pragma: export
+#include "core/pmr_update.hpp"    // IWYU pragma: export
+#include "core/polygonize.hpp"    // IWYU pragma: export
+#include "core/pr_build.hpp"      // IWYU pragma: export
+#include "core/quadtree.hpp"      // IWYU pragma: export
+#include "core/query.hpp"         // IWYU pragma: export
+#include "core/region_quadtree.hpp"  // IWYU pragma: export
+#include "core/rtree.hpp"         // IWYU pragma: export
+#include "core/rtree_build.hpp"   // IWYU pragma: export
+#include "core/rtree_join.hpp"    // IWYU pragma: export
+#include "core/spatial_join.hpp"  // IWYU pragma: export

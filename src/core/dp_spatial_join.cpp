@@ -1,0 +1,178 @@
+#include "core/dp_spatial_join.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/pmr_update.hpp"  // line_set_from
+#include "geom/predicates.hpp"
+#include "prim/duplicate_deletion.hpp"
+#include "prim/quad_split.hpp"
+
+namespace dps::core {
+
+namespace {
+
+// Group-level view of a line set: one row per leaf group, in path order.
+struct Groups {
+  std::vector<geom::Block> blocks;
+  std::vector<std::uint64_t> keys;    // path keys (sorted ascending)
+  std::vector<std::size_t> start;     // first line row of the group
+  std::vector<std::size_t> count;
+};
+
+Groups groups_of(const prim::LineSet& ls) {
+  Groups g;
+  const std::size_t n = ls.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || ls.seg[i]) {
+      g.blocks.push_back(ls.blocks[i]);
+      g.keys.push_back(ls.blocks[i].path_key());
+      g.start.push_back(i);
+      g.count.push_back(0);
+    }
+    g.count.back()++;
+  }
+  assert(std::is_sorted(g.keys.begin(), g.keys.end()) &&
+         "line-set groups must be in canonical path order");
+  return g;
+}
+
+std::uint64_t subtree_span(const geom::Block& b) {
+  return std::uint64_t{1} << (2 * (geom::kMaxBlockDepth - b.depth));
+}
+
+// Marks the lines of every group of `ls` whose block has a strictly deeper
+// `other` group inside it.  Returns the number of groups marked.
+std::size_t mark_refinement(dpv::Context& ctx, const prim::LineSet& ls,
+                            const Groups& mine, const Groups& other,
+                            dpv::Flags& elem_split) {
+  std::vector<std::uint8_t> split_group(mine.blocks.size(), 0);
+  std::size_t marked = 0;
+  for (std::size_t g = 0; g < mine.blocks.size(); ++g) {
+    const std::uint64_t k0 = mine.keys[g];
+    const std::uint64_t k1 = k0 + subtree_span(mine.blocks[g]);
+    const auto lo = std::lower_bound(other.keys.begin(), other.keys.end(), k0);
+    const auto hi = std::lower_bound(lo, other.keys.end(), k1);
+    for (auto it = lo; it != hi; ++it) {
+      const std::size_t og = static_cast<std::size_t>(it - other.keys.begin());
+      if (other.blocks[og].depth > mine.blocks[g].depth) {
+        split_group[g] = 1;
+        ++marked;
+        break;
+      }
+    }
+  }
+  elem_split = dpv::constant<std::uint8_t>(ctx, ls.size(), 0);
+  for (std::size_t g = 0; g < mine.blocks.size(); ++g) {
+    if (!split_group[g]) continue;
+    for (std::size_t i = 0; i < mine.count[g]; ++i) {
+      elem_split[mine.start[g] + i] = 1;
+    }
+  }
+  return marked;
+}
+
+}  // namespace
+
+std::vector<std::pair<geom::LineId, geom::LineId>> dp_spatial_join(
+    dpv::Context& ctx, const QuadTree& a, const QuadTree& b,
+    DpJoinStats* stats) {
+  std::vector<std::pair<geom::LineId, geom::LineId>> out;
+  if (a.num_nodes() == 0 || b.num_nodes() == 0) return out;
+  assert(a.world() == b.world() && "joined maps must share the root square");
+
+  prim::LineSet la = line_set_from(a);
+  prim::LineSet lb = line_set_from(b);
+  if (la.size() == 0 || lb.size() == 0) return out;
+
+  // ---- Refinement to a common decomposition. ----
+  for (;;) {
+    const Groups ga = groups_of(la);
+    const Groups gb = groups_of(lb);
+    dpv::Flags split_a, split_b;
+    const std::size_t ma = mark_refinement(ctx, la, ga, gb, split_a);
+    const std::size_t mb = mark_refinement(ctx, lb, gb, ga, split_b);
+    if (ma == 0 && mb == 0) break;
+    if (stats != nullptr) {
+      ++stats->refine_rounds;
+      stats->splits_a += ma;
+      stats->splits_b += mb;
+    }
+    if (ma > 0) la = prim::quad_split(ctx, la, split_a, nullptr);
+    if (mb > 0) lb = prim::quad_split(ctx, lb, split_b, nullptr);
+  }
+
+  // ---- Candidate expansion over matched (equal) blocks. ----
+  const Groups ga = groups_of(la);
+  const Groups gb = groups_of(lb);
+  struct Match {
+    std::size_t a_start, a_count, b_start, b_count;
+  };
+  std::vector<Match> matches;
+  {
+    std::size_t i = 0, j = 0;
+    while (i < ga.keys.size() && j < gb.keys.size()) {
+      if (ga.keys[i] == gb.keys[j]) {
+        // Equal keys imply equal blocks for an aligned antichain.
+        matches.push_back(
+            {ga.start[i], ga.count[i], gb.start[j], gb.count[j]});
+        ++i;
+        ++j;
+      } else if (ga.keys[i] < gb.keys[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  if (stats != nullptr) stats->node_pairs_visited = matches.size();
+  if (matches.empty()) return out;
+
+  // Pair counts per match, exclusive scan, then slot -> (lineA, lineB).
+  dpv::Vec<std::size_t> counts = dpv::tabulate(
+      ctx, matches.size(), [&](std::size_t p) {
+        return matches[p].a_count * matches[p].b_count;
+      });
+  dpv::Vec<std::size_t> offsets = dpv::scan(
+      ctx, dpv::Plus<std::size_t>{}, counts, dpv::Dir::kUp,
+      dpv::Incl::kExclusive);
+  const std::size_t total =
+      offsets.back() + counts.back();
+  if (stats != nullptr) stats->candidate_pairs = total;
+  // Distribute: head markers + max-scan give each slot its match index.
+  dpv::Vec<std::size_t> heads = dpv::constant<std::size_t>(ctx, total, 0);
+  dpv::Flags nonempty = dpv::map(ctx, counts, [](std::size_t c) {
+    return static_cast<std::uint8_t>(c > 0);
+  });
+  dpv::scatter(ctx, dpv::iota(ctx, matches.size()), offsets, nonempty, heads);
+  dpv::Vec<std::size_t> slot_match = dpv::scan(
+      ctx, dpv::Max<std::size_t>{}, heads, dpv::Dir::kUp, dpv::Incl::kInclusive);
+
+  dpv::Flags hit = dpv::tabulate(ctx, total, [&](std::size_t s) {
+    const Match& mt = matches[slot_match[s]];
+    const std::size_t l = s - offsets[slot_match[s]];
+    const geom::Segment& sa = la.segs[mt.a_start + l / mt.b_count];
+    const geom::Segment& sb = lb.segs[mt.b_start + l % mt.b_count];
+    return static_cast<std::uint8_t>(sa.bbox().intersects(sb.bbox()) &&
+                                     geom::segments_intersect(sa, sb));
+  });
+  dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, total, [&](std::size_t s) {
+    const Match& mt = matches[slot_match[s]];
+    const std::size_t l = s - offsets[slot_match[s]];
+    const geom::LineId ia = la.segs[mt.a_start + l / mt.b_count].id;
+    const geom::LineId ib = lb.segs[mt.b_start + l % mt.b_count].id;
+    return (std::uint64_t{ia} << 32) | ib;
+  });
+  dpv::Vec<std::uint64_t> hits = dpv::pack(ctx, pair_key, hit);
+  dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
+  dpv::Vec<std::uint64_t> sorted = dpv::gather(ctx, hits, order);
+  dpv::Vec<std::uint64_t> unique = prim::delete_duplicates(ctx, sorted);
+  out.reserve(unique.size());
+  for (const std::uint64_t k : unique) {
+    out.emplace_back(static_cast<geom::LineId>(k >> 32),
+                     static_cast<geom::LineId>(k & 0xFFFF'FFFFu));
+  }
+  return out;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,43 @@
+#pragma once
+// Data-parallel spatial join (map intersection), after [Hoel94a].
+//
+// The host lock-step join (core/spatial_join.hpp) walks the two trees; this
+// version stays in the scan model: both maps' line processor sets are
+// *refined to a common decomposition* -- every leaf of one map that has
+// deeper leaves of the other inside it is split with the standard quadtree
+// node split (section 4.6), all such leaves per round simultaneously --
+// after which intersecting content always lives in *equal* blocks.
+// Candidate (lineA, lineB) pairs are then expanded per matched block with
+// scans, tested elementwise, and concentrated through sort + duplicate
+// deletion (a pair can surface in several shared blocks).
+//
+// Caveat: with the library's proper-intersection q-edge semantics, a pair
+// whose ONLY contact is a single point lying exactly on a dyadic block
+// boundary, approached end-on from both sides, shares no block and is not
+// reported (the host lock-step join in core/spatial_join.hpp has no such
+// blind spot).  Any transversal crossing, shared interior vertex, or
+// positive-length overlap is always found.
+
+#include <utility>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "core/spatial_join.hpp"  // JoinStats
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct DpJoinStats : JoinStats {
+  std::size_t refine_rounds = 0;   // alignment rounds over both maps
+  std::size_t splits_a = 0;        // groups split in map A
+  std::size_t splits_b = 0;
+};
+
+/// All (idA, idB) pairs of intersecting lines, sorted, each pair once.
+/// Both trees must share the same world size.
+std::vector<std::pair<geom::LineId, geom::LineId>> dp_spatial_join(
+    dpv::Context& ctx, const QuadTree& a, const QuadTree& b,
+    DpJoinStats* stats = nullptr);
+
+}  // namespace dps::core

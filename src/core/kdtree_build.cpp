@@ -1,0 +1,307 @@
+#include "core/kdtree_build.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace dps::core {
+
+namespace {
+
+// Host-side frontier bookkeeping: group g of the point set corresponds to
+// tree node frontier[g].
+struct FrontierEntry {
+  std::int32_t node;
+  int depth;
+};
+
+std::vector<std::size_t> group_starts(const dpv::Flags& seg) {
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    if (i == 0 || seg[i]) starts.push_back(i);
+  }
+  return starts;
+}
+
+}  // namespace
+
+// Grants kd_build access to the private tree innards during assembly.
+struct KdBuilderAccess {
+  static std::vector<KdTree::Node>& nodes(KdTree& t) { return t.nodes_; }
+  static std::vector<geom::Point>& pts(KdTree& t) { return t.pts_; }
+  static std::vector<prim::PointId>& ids(KdTree& t) { return t.ids_; }
+};
+
+KdBuildResult kd_build(dpv::Context& ctx, std::vector<geom::Point> pts,
+                       std::vector<prim::PointId> ids,
+                       const KdBuildOptions& opts) {
+  assert(pts.size() == ids.size());
+  const dpv::PrimCounters before = ctx.counters();
+  KdBuildResult res;
+  auto& nodes = KdBuilderAccess::nodes(res.tree);
+  const std::size_t n = pts.size();
+  const std::size_t cap = opts.leaf_capacity == 0 ? 1 : opts.leaf_capacity;
+
+  nodes.push_back(KdTree::Node{});
+  if (n == 0) {
+    res.prims = ctx.counters() - before;
+    return res;
+  }
+  dpv::Vec<geom::Point> p = std::move(pts);
+  dpv::Vec<prim::PointId> pid = std::move(ids);
+  dpv::Flags seg = dpv::single_segment(ctx, n);
+  std::vector<FrontierEntry> frontier{{0, 0}};
+
+  for (;;) {
+    const std::vector<std::size_t> starts = group_starts(seg);
+    assert(starts.size() == frontier.size());
+    // Which groups overflow?
+    bool any = false;
+    std::vector<std::uint8_t> split_group(frontier.size(), 0);
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+      const std::size_t end = g + 1 < starts.size() ? starts[g + 1] : n;
+      if (end - starts[g] > cap) {
+        split_group[g] = 1;
+        any = true;
+      }
+    }
+    if (!any) break;
+    ++res.rounds;
+
+    // Sort every splitting group by its round axis (exact 64-bit keys; the
+    // group's axis depends on its depth, broadcast per element).
+    dpv::Vec<std::uint64_t> key(n);
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+      const std::size_t end = g + 1 < starts.size() ? starts[g + 1] : n;
+      const int axis = frontier[g].depth % 2;
+      for (std::size_t i = starts[g]; i < end; ++i) {
+        key[i] = split_group[g]
+                     ? dpv::key_from_double(axis == 0 ? p[i].x : p[i].y)
+                     : 0;  // constant key: stable sort leaves the group alone
+      }
+    }
+    ctx.count(dpv::Prim::kElementwise, n);
+    const dpv::Index order = dpv::seg_sort_indices64(ctx, key, seg);
+    p = dpv::gather(ctx, p, order);
+    pid = dpv::gather(ctx, pid, order);
+
+    // Cut each splitting group at the median rank; the sorted prefix is the
+    // left child, so only the head flags and the host tree change.
+    dpv::Flags new_seg = seg;
+    std::vector<FrontierEntry> next_frontier;
+    next_frontier.reserve(frontier.size() * 2);
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+      if (!split_group[g]) {
+        next_frontier.push_back(frontier[g]);
+        continue;
+      }
+      const std::size_t end = g + 1 < starts.size() ? starts[g + 1] : n;
+      const std::size_t count = end - starts[g];
+      const std::size_t left = (count + 1) / 2;
+      new_seg[starts[g] + left] = 1;
+      const int axis = frontier[g].depth % 2;
+      KdTree::Node& nd = nodes[frontier[g].node];
+      nd.is_leaf = false;
+      nd.axis = static_cast<std::uint8_t>(axis);
+      const geom::Point& boundary = p[starts[g] + left - 1];
+      nd.split = axis == 0 ? boundary.x : boundary.y;
+      nd.left = static_cast<std::int32_t>(nodes.size());
+      nd.right = nd.left + 1;
+      nodes.push_back(KdTree::Node{});
+      nodes.push_back(KdTree::Node{});
+      next_frontier.push_back({nd.left, frontier[g].depth + 1});
+      next_frontier.push_back({nd.right, frontier[g].depth + 1});
+    }
+    seg = std::move(new_seg);
+    frontier = std::move(next_frontier);
+  }
+
+  // Attach leaf ranges.
+  const std::vector<std::size_t> starts = group_starts(seg);
+  for (std::size_t g = 0; g < starts.size(); ++g) {
+    const std::size_t end = g + 1 < starts.size() ? starts[g + 1] : n;
+    KdTree::Node& nd = nodes[frontier[g].node];
+    nd.first_pt = static_cast<std::uint32_t>(starts[g]);
+    nd.num_pts = static_cast<std::uint32_t>(end - starts[g]);
+  }
+  KdBuilderAccess::pts(res.tree) = std::move(p);
+  KdBuilderAccess::ids(res.tree) = std::move(pid);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+int KdTree::height() const {
+  int h = 0;
+  struct Item {
+    std::int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    h = std::max(h, it.depth);
+    const Node& nd = nodes_[it.node];
+    if (!nd.is_leaf) {
+      stack.push_back({nd.left, it.depth + 1});
+      stack.push_back({nd.right, it.depth + 1});
+    }
+  }
+  return h;
+}
+
+std::size_t KdTree::max_leaf_occupancy() const {
+  std::size_t m = 0;
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf) m = std::max<std::size_t>(m, nd.num_pts);
+  }
+  return m;
+}
+
+std::vector<prim::PointId> KdTree::window_query(
+    const geom::Rect& window) const {
+  std::vector<prim::PointId> out;
+  if (pts_.empty()) return out;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& nd = nodes_[stack.back()];
+    stack.pop_back();
+    if (nd.is_leaf) {
+      for (std::uint32_t i = 0; i < nd.num_pts; ++i) {
+        if (window.contains(pts_[nd.first_pt + i])) {
+          out.push_back(ids_[nd.first_pt + i]);
+        }
+      }
+      continue;
+    }
+    const double wmin = nd.axis == 0 ? window.xmin : window.ymin;
+    const double wmax = nd.axis == 0 ? window.xmax : window.ymax;
+    if (wmin <= nd.split) stack.push_back(nd.left);
+    if (wmax >= nd.split) stack.push_back(nd.right);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<prim::PointId> KdTree::k_nearest(const geom::Point& q,
+                                             std::size_t k) const {
+  std::vector<prim::PointId> out;
+  if (pts_.empty() || k == 0) return out;
+  // Max-heap of the best k (distance^2, id) seen so far.
+  using Best = std::pair<double, prim::PointId>;
+  std::vector<Best> heap;
+  auto dist2 = [&](const geom::Point& p) {
+    const double dx = p.x - q.x, dy = p.y - q.y;
+    return dx * dx + dy * dy;
+  };
+  auto worst = [&] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  // Depth-first descent, near side first, pruning on the split plane.
+  struct Frame {
+    std::int32_t node;
+    double plane_d2;  // squared distance from q to this subtree's region
+  };
+  std::vector<Frame> stack{{0, 0.0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.plane_d2 > worst()) continue;
+    const Node& nd = nodes_[f.node];
+    if (nd.is_leaf) {
+      for (std::uint32_t i = 0; i < nd.num_pts; ++i) {
+        const Best cand{dist2(pts_[nd.first_pt + i]), ids_[nd.first_pt + i]};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (cand < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+      continue;
+    }
+    const double qc = nd.axis == 0 ? q.x : q.y;
+    const double gap = qc - nd.split;
+    const double far_d2 = std::max(f.plane_d2, gap * gap);
+    const std::int32_t near = gap <= 0.0 ? nd.left : nd.right;
+    const std::int32_t far = gap <= 0.0 ? nd.right : nd.left;
+    stack.push_back({far, far_d2});   // visited after near (LIFO)
+    stack.push_back({near, f.plane_d2});
+  }
+  std::sort(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& [d, id] : heap) out.push_back(id);
+  return out;
+}
+
+std::string KdTree::fingerprint() const {
+  std::ostringstream os;
+  std::vector<std::int32_t> stack{0};
+  if (pts_.empty()) return "";
+  while (!stack.empty()) {
+    const Node& nd = nodes_[stack.back()];
+    stack.pop_back();
+    if (!nd.is_leaf) {
+      stack.push_back(nd.right);  // left visited first
+      stack.push_back(nd.left);
+      continue;
+    }
+    std::vector<prim::PointId> ids(ids_.begin() + nd.first_pt,
+                                   ids_.begin() + nd.first_pt + nd.num_pts);
+    std::sort(ids.begin(), ids.end());
+    for (const auto id : ids) os << id << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+std::string KdTree::validate() const {
+  if (pts_.empty()) return nodes_.size() == 1 ? "" : "nodes without points";
+  // Every internal node: all left-subtree coords <= split <= right coords.
+  struct Item {
+    std::int32_t node;
+  };
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& nd = nodes_[stack.back()];
+    stack.pop_back();
+    if (nd.is_leaf) continue;
+    // Collect subtree leaf ranges (contiguous by construction).
+    auto span_of = [&](std::int32_t root) {
+      std::uint32_t lo = ~0u, hi = 0;
+      std::vector<std::int32_t> st{root};
+      while (!st.empty()) {
+        const Node& x = nodes_[st.back()];
+        st.pop_back();
+        if (x.is_leaf) {
+          lo = std::min(lo, x.first_pt);
+          hi = std::max(hi, x.first_pt + x.num_pts);
+        } else {
+          st.push_back(x.left);
+          st.push_back(x.right);
+        }
+      }
+      return std::pair{lo, hi};
+    };
+    const auto [llo, lhi] = span_of(nd.left);
+    const auto [rlo, rhi] = span_of(nd.right);
+    for (std::uint32_t i = llo; i < lhi; ++i) {
+      const double v = nd.axis == 0 ? pts_[i].x : pts_[i].y;
+      if (v > nd.split) return "left point above the split";
+    }
+    for (std::uint32_t i = rlo; i < rhi; ++i) {
+      const double v = nd.axis == 0 ? pts_[i].x : pts_[i].y;
+      if (v < nd.split) return "right point below the split";
+    }
+    stack.push_back(nd.left);
+    stack.push_back(nd.right);
+  }
+  return "";
+}
+
+}  // namespace dps::core

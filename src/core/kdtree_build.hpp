@@ -1,0 +1,86 @@
+#pragma once
+// Data-parallel k-d tree construction in the scan model.
+//
+// Section 1 of the paper cites Blelloch's scan-model k-d tree build for
+// point collections [Blel89b] as the prior related to its own algorithms;
+// this module implements it on the dpv runtime.  All overflowing nodes
+// split per round, simultaneously: points are sorted within each node
+// group by the round's axis (exact segmented 64-bit radix sort), the
+// median rank cuts the group in two (no permutation needed -- the sorted
+// prefix IS the left child), and the discriminator value is the largest
+// left coordinate.  O(log n) rounds, one sort plus O(1) scans each.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "prim/point_set.hpp"
+
+namespace dps::core {
+
+struct KdBuildOptions {
+  std::size_t leaf_capacity = 8;
+};
+
+/// Materialized k-d tree.  Left subtree holds coordinates <= split on the
+/// node's axis, right subtree >= split (ties may fall on either side).
+class KdTree {
+ public:
+  struct Node {
+    std::uint8_t axis = 0;   // 0 = x, 1 = y (internal nodes)
+    double split = 0.0;      // discriminator (internal nodes)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    bool is_leaf = true;
+    std::uint32_t first_pt = 0;
+    std::uint32_t num_pts = 0;
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<geom::Point>& points() const { return pts_; }
+  const std::vector<prim::PointId>& ids() const { return ids_; }
+  bool empty() const { return pts_.empty(); }
+
+  int height() const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t max_leaf_occupancy() const;
+
+  /// Ids of the points inside the closed window, sorted.
+  std::vector<prim::PointId> window_query(const geom::Rect& window) const;
+
+  /// The k nearest points to `q` (Euclidean), nearest first; ties broken
+  /// by id.  Returns fewer when the tree holds fewer than k points.
+  std::vector<prim::PointId> k_nearest(const geom::Point& q,
+                                       std::size_t k) const;
+
+  /// Leaf contents in DFS order (sorted ids per leaf) -- the structural
+  /// fingerprint for cross-validation against the sequential build.
+  std::string fingerprint() const;
+
+  /// Checks the k-d invariants (left <= split <= right per node, ranges
+  /// consistent); empty string when valid.
+  std::string validate() const;
+
+ private:
+  friend struct KdBuilderAccess;
+  std::vector<Node> nodes_;
+  std::vector<geom::Point> pts_;
+  std::vector<prim::PointId> ids_;
+};
+
+struct KdBuildResult {
+  KdTree tree;
+  std::size_t rounds = 0;
+  dpv::PrimCounters prims;
+};
+
+/// Builds the k-d tree of `pts` (ids parallel to pts), alternating x/y
+/// discriminators from the root.
+KdBuildResult kd_build(dpv::Context& ctx, std::vector<geom::Point> pts,
+                       std::vector<prim::PointId> ids,
+                       const KdBuildOptions& opts);
+
+}  // namespace dps::core

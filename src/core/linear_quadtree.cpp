@@ -1,0 +1,86 @@
+#include "core/linear_quadtree.hpp"
+
+#include <algorithm>
+
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+
+LinearQuadTree LinearQuadTree::from(const QuadTree& tree) {
+  LinearQuadTree lq;
+  lq.world_ = tree.world();
+  for (const auto& nd : tree.nodes()) {
+    if (!nd.is_leaf || nd.num_edges == 0) continue;
+    Leaf leaf;
+    leaf.key = nd.block.path_key();
+    leaf.block = nd.block;
+    leaf.num_edges = nd.num_edges;
+    leaf.first_edge = static_cast<std::uint32_t>(lq.edges_.size());
+    for (std::uint32_t i = 0; i < nd.num_edges; ++i) {
+      lq.edges_.push_back(tree.edges()[nd.first_edge + i]);
+    }
+    lq.leaves_.push_back(leaf);
+  }
+  std::sort(lq.leaves_.begin(), lq.leaves_.end(),
+            [](const Leaf& a, const Leaf& b) { return a.key < b.key; });
+  return lq;
+}
+
+void LinearQuadTree::collect(const geom::Block& block, std::size_t lo,
+                             std::size_t hi, const geom::Rect& region,
+                             std::vector<geom::LineId>& out,
+                             QueryStats* stats) const {
+  if (lo >= hi) return;
+  if (!block.rect(world_).intersects(region)) return;
+  if (stats != nullptr) ++stats->nodes_visited;
+  // A block is stored iff its key heads the range and matches exactly.
+  if (hi - lo == 1 && leaves_[lo].block == block) {
+    const Leaf& leaf = leaves_[lo];
+    for (std::uint32_t i = 0; i < leaf.num_edges; ++i) {
+      const geom::Segment& s = edges_[leaf.first_edge + i];
+      if (stats != nullptr) ++stats->segments_tested;
+      if (geom::segment_intersects_rect(s, region)) out.push_back(s.id);
+    }
+    return;
+  }
+  // Implicit internal block: partition [lo, hi) by the children's key
+  // ranges (descendants of a block occupy a contiguous key interval).
+  for (int q = 0; q < 4; ++q) {
+    const geom::Block child = block.child(static_cast<geom::Quadrant>(q));
+    const std::uint64_t k0 = child.path_key();
+    // Width of the child's key interval.
+    const std::uint64_t span = std::uint64_t{1}
+                               << (2 * (geom::kMaxBlockDepth - child.depth));
+    const auto first = std::lower_bound(
+        leaves_.begin() + lo, leaves_.begin() + hi, k0,
+        [](const Leaf& l, std::uint64_t k) { return l.key < k; });
+    const auto last = std::lower_bound(
+        first, leaves_.begin() + hi, k0 + span,
+        [](const Leaf& l, std::uint64_t k) { return l.key < k; });
+    collect(child, static_cast<std::size_t>(first - leaves_.begin()),
+            static_cast<std::size_t>(last - leaves_.begin()), region, out,
+            stats);
+  }
+}
+
+std::vector<geom::LineId> LinearQuadTree::window_query(
+    const geom::Rect& window, QueryStats* stats) const {
+  std::vector<geom::LineId> out;
+  collect(geom::Block::root(), 0, leaves_.size(), window, out, stats);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<geom::LineId> LinearQuadTree::point_query(
+    const geom::Point& p, QueryStats* stats) const {
+  std::vector<geom::LineId> hits =
+      window_query(geom::Rect::of_point(p), stats);
+  std::vector<geom::LineId> out;
+  for (const auto id : hits) out.push_back(id);
+  // window_query already tested segment-rect on a degenerate rect, which
+  // equals the point-on-segment predicate; ids are sorted unique.
+  return out;
+}
+
+}  // namespace dps::core

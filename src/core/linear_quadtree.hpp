@@ -1,0 +1,59 @@
+#pragma once
+// Linear quadtree: the pointerless representation section 3.3 alludes to
+// ("because of the bucket PMR quadtree's regular decomposition, a unique
+// linear ordering may readily be obtained").
+//
+// The non-empty leaves are stored as a flat array sorted by their
+// hierarchical path key; there are no internal nodes.  Queries descend the
+// *implicit* tree: the descendants of any block occupy a contiguous key
+// range, located by binary search.  This is the classic DF-expression /
+// linear quadtree trade: ~40 bytes per stored leaf instead of a pointer
+// node per tree node, at the cost of O(log L) searches per descent step
+// (bench_linear_quadtree measures the trade against the pointer tree).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "core/query.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+class LinearQuadTree {
+ public:
+  struct Leaf {
+    std::uint64_t key;  // Block::path_key(), the sort key
+    geom::Block block;
+    std::uint32_t first_edge = 0;
+    std::uint32_t num_edges = 0;
+  };
+
+  LinearQuadTree() = default;
+
+  /// Linearizes a pointer quadtree (only non-empty leaves are kept).
+  static LinearQuadTree from(const QuadTree& tree);
+
+  double world() const { return world_; }
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+  const std::vector<geom::Segment>& edges() const { return edges_; }
+
+  /// Lines intersecting the closed window; ids sorted, each once.
+  std::vector<geom::LineId> window_query(const geom::Rect& window,
+                                         QueryStats* stats = nullptr) const;
+
+  /// Lines passing through the point; ids sorted, each once.
+  std::vector<geom::LineId> point_query(const geom::Point& p,
+                                        QueryStats* stats = nullptr) const;
+
+ private:
+  void collect(const geom::Block& block, std::size_t lo, std::size_t hi,
+               const geom::Rect& region, std::vector<geom::LineId>& out,
+               QueryStats* stats) const;
+
+  double world_ = 1.0;
+  std::vector<Leaf> leaves_;           // sorted by key
+  std::vector<geom::Segment> edges_;   // grouped per leaf
+};
+
+}  // namespace dps::core

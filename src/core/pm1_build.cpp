@@ -1,0 +1,52 @@
+#include "core/pm1_build.hpp"
+
+#include "prim/pm_split_test.hpp"
+#include "prim/quad_split.hpp"
+
+namespace dps::core {
+
+QuadBuildResult pm1_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
+                          const QuadBuildOptions& opts) {
+  const dpv::PrimCounters before = ctx.counters();
+  QuadBuildResult res;
+  prim::LineSet ls =
+      prim::LineSet::initial(ctx, std::move(lines), opts.world);
+
+  for (;;) {
+    const prim::PmSplitDecision d = prim::pm_split_test(ctx, ls, opts.variant);
+    // Depth cap: a node at maximal resolution may not subdivide further.
+    dpv::Flags want = dpv::tabulate(ctx, ls.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(d.elem_split[i] &&
+                                       ls.blocks[i].depth < opts.max_depth);
+    });
+    const std::size_t capped_splitters = dpv::reduce(
+        ctx, dpv::Plus<std::size_t>{},
+        dpv::tabulate(ctx, ls.size(), [&](std::size_t i) {
+          return std::size_t{d.elem_split[i] != 0 &&
+                             ls.blocks[i].depth >= opts.max_depth};
+        }));
+    if (capped_splitters > 0) res.depth_limited = true;
+    const std::size_t splitters =
+        dpv::reduce(ctx, dpv::Plus<std::size_t>{},
+                    dpv::map(ctx, want, [](std::uint8_t f) {
+                      return std::size_t{f != 0};
+                    }));
+    if (splitters == 0) break;
+
+    BuildRound round;
+    round.line_processors = ls.size();
+    round.groups = dpv::num_segments(ls.seg);
+    prim::QuadSplitStats stats;
+    ls = prim::quad_split(ctx, ls, want, &stats);
+    round.nodes_split = stats.nodes_split;
+    round.clones_made = stats.clones_made;
+    res.trace.push_back(round);
+    ++res.rounds;
+  }
+
+  res.tree = QuadTree::from_line_set(ls);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,60 @@
+#pragma once
+// Data-parallel PM1 quadtree construction (section 5.1, Figures 30-33).
+//
+// Iterative rounds: every node runs the PM1 split determination (section
+// 4.5) simultaneously; nodes that must subdivide split via the two-stage
+// quadtree node split (section 4.6); the process repeats until no node
+// needs to subdivide (or the depth cap is reached).  Each round costs a
+// constant number of scan-model primitives, so the build is O(log n)
+// rounds x O(1) primitives for well-separated data -- the counters in the
+// result let callers verify exactly that.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "prim/line_set.hpp"
+#include "prim/pm_split_test.hpp"
+
+namespace dps::core {
+
+struct QuadBuildOptions {
+  double world = 1.0;  // side of the root square; data must lie within
+  int max_depth = 20;  // resolution cap (1x1 cells of a 2^20-side world)
+  // PM-family leaf criterion (sections 2.1 / 4.5): PM1 (the default) and
+  // PM2 require planar input; PM3 tolerates crossing segments.  Ignored by
+  // the bucket PMR build.
+  prim::PmVariant variant = prim::PmVariant::kPm1;
+};
+
+struct BuildRound {
+  std::size_t line_processors = 0;  // q-edges before the round's splits
+  std::size_t groups = 0;           // occupied nodes before the splits
+  std::size_t nodes_split = 0;
+  std::size_t clones_made = 0;
+};
+
+struct QuadBuildResult {
+  QuadTree tree;
+  std::size_t rounds = 0;
+  bool depth_limited = false;  // some node still violates the rule at cap
+  std::vector<BuildRound> trace;
+  dpv::PrimCounters prims;  // primitives consumed by this build
+};
+
+/// Builds the PM quadtree of `lines` under `opts.variant` (ids must be
+/// unique per line).  Named for the paper's primary variant; pass
+/// `opts.variant = prim::PmVariant::kPm2 / kPm3` for the siblings.
+QuadBuildResult pm1_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
+                          const QuadBuildOptions& opts);
+
+/// Alias stressing that all three PM variants are supported.
+inline QuadBuildResult pm_build(dpv::Context& ctx,
+                                std::vector<geom::Segment> lines,
+                                const QuadBuildOptions& opts) {
+  return pm1_build(ctx, std::move(lines), opts);
+}
+
+}  // namespace dps::core

@@ -1,0 +1,19 @@
+#include "core/pmr_build.hpp"
+
+#include "core/pmr_update.hpp"
+
+namespace dps::core {
+
+QuadBuildResult pmr_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
+                          const PmrBuildOptions& opts) {
+  const dpv::PrimCounters before = ctx.counters();
+  QuadBuildResult res;
+  prim::LineSet ls =
+      prim::LineSet::initial(ctx, std::move(lines), opts.world);
+  pmr_split_rounds(ctx, ls, opts, res);
+  res.tree = QuadTree::from_line_set(ls);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+}  // namespace dps::core

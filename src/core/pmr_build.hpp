@@ -1,0 +1,32 @@
+#pragma once
+// Data-parallel bucket PMR quadtree construction (section 5.2, Figures
+// 35-38).
+//
+// The bucket PMR quadtree replaces the insertion-order-dependent PMR
+// splitting rule with repeated subdivision until every bucket holds at most
+// `bucket_capacity` lines or the maximal resolution is reached; its shape
+// is therefore independent of insertion order, which is what makes it
+// suitable for simultaneous (data-parallel) insertion.  Each round is a
+// node capacity check (section 4.4) followed by the quadtree node split
+// (section 4.6) on every overflowing node at once.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pm1_build.hpp"  // QuadBuildOptions / BuildRound / QuadBuildResult
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct PmrBuildOptions : QuadBuildOptions {
+  std::size_t bucket_capacity = 8;
+};
+
+/// Builds the bucket PMR quadtree of `lines`.  Nodes at the depth cap may
+/// legally exceed the bucket capacity (the paper's node 9 in Figure 38);
+/// `depth_limited` reports when that happened.
+QuadBuildResult pmr_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
+                          const PmrBuildOptions& opts);
+
+}  // namespace dps::core

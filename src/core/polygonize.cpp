@@ -1,0 +1,174 @@
+#include "core/polygonize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dps::core {
+
+namespace {
+
+// Lexicographic (x, y) order on exact doubles via two stable radix passes.
+dpv::Index sort_records_by_endpoint(dpv::Context& ctx,
+                                    const dpv::Vec<geom::Point>& pts) {
+  const std::size_t m = pts.size();
+  dpv::Vec<std::uint64_t> ykey = dpv::map(ctx, pts, [](const geom::Point& p) {
+    return dpv::key_from_double(p.y);
+  });
+  dpv::Index by_y = dpv::sort_keys_indices(ctx, ykey, 64);
+  // Stable second pass on x over the y-sorted order.
+  dpv::Vec<std::uint64_t> xkey(m);
+  ctx.for_blocks(m, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      xkey[i] = dpv::key_from_double(pts[by_y[i]].x);
+    }
+  });
+  ctx.count(dpv::Prim::kElementwise, m);
+  dpv::Index by_x = dpv::sort_keys_indices(ctx, xkey, 64);
+  return dpv::gather(ctx, by_y, by_x);
+}
+
+}  // namespace
+
+PolygonizeResult polygonize(dpv::Context& ctx,
+                            const std::vector<geom::Segment>& lines) {
+  PolygonizeResult res;
+  const std::size_t n = lines.size();
+  res.component_of.assign(n, 0);
+  if (n == 0) return res;
+  const std::size_t m = 2 * n;
+
+  // ---- Step 1: vertex groups over the 2n endpoint records. ----
+  dpv::Vec<geom::Point> pts = dpv::tabulate(ctx, m, [&](std::size_t r) {
+    const geom::Segment& s = lines[r / 2];
+    return (r % 2) == 0 ? s.a : s.b;
+  });
+  const dpv::Index order = sort_records_by_endpoint(ctx, pts);
+  dpv::Vec<geom::Point> sorted_pts = dpv::gather(ctx, pts, order);
+  // record_line[j] = line of the j-th sorted record.
+  dpv::Vec<std::uint32_t> record_line = dpv::tabulate(
+      ctx, m, [&](std::size_t j) {
+        return static_cast<std::uint32_t>(order[j] / 2);
+      });
+  dpv::Flags vseg = dpv::tabulate(ctx, m, [&](std::size_t j) {
+    return static_cast<std::uint8_t>(j == 0 ||
+                                     !(sorted_pts[j] == sorted_pts[j - 1]));
+  });
+
+  // ---- Step 2: hooking + pointer jumping to a label fixpoint. ----
+  dpv::Vec<std::uint32_t> label = dpv::tabulate(ctx, n, [](std::size_t i) {
+    return static_cast<std::uint32_t>(i);
+  });
+  for (;;) {
+    ++res.rounds;
+    // Hook: the minimum label among each vertex's incident lines, broadcast
+    // back to every incident line.
+    dpv::Vec<std::uint32_t> rec_label = dpv::tabulate(
+        ctx, m, [&](std::size_t j) { return label[record_line[j]]; });
+    dpv::Vec<std::uint32_t> vmin = dpv::seg_broadcast(
+        ctx,
+        dpv::seg_scan(ctx, dpv::Min<std::uint32_t>{}, rec_label, vseg,
+                      dpv::Dir::kDown, dpv::Incl::kInclusive),
+        vseg);
+    dpv::Vec<std::uint32_t> next = label;
+    // Each line takes the min over itself and its two records' vertices.
+    // Scatter-min: serial per block over records is race-free because we
+    // combine into a fresh copy guarded per index via atomic-free two-pass:
+    // records of one line are at known positions only after inversion, so
+    // do it with a host-style pass (counted as elementwise).
+    ctx.count(dpv::Prim::kElementwise, m);
+    for (std::size_t j = 0; j < m; ++j) {
+      std::uint32_t& slot = next[record_line[j]];
+      slot = std::min(slot, vmin[j]);
+    }
+    // Shortcut: pointer-jump until labels are roots (L == L[L]).
+    for (;;) {
+      dpv::Vec<std::uint32_t> jumped = dpv::map(
+          ctx, next, [&](std::uint32_t l) { return next[l]; });
+      const std::size_t moved = dpv::reduce(
+          ctx, dpv::Plus<std::size_t>{},
+          dpv::zip_with(ctx, jumped, next,
+                        [](std::uint32_t a, std::uint32_t b) {
+                          return std::size_t{a != b};
+                        }));
+      next = std::move(jumped);
+      if (moved == 0) break;
+    }
+    const std::size_t changed = dpv::reduce(
+        ctx, dpv::Plus<std::size_t>{},
+        dpv::zip_with(ctx, label, next,
+                      [](std::uint32_t a, std::uint32_t b) {
+                        return std::size_t{a != b};
+                      }));
+    label = std::move(next);
+    if (changed == 0) break;
+  }
+  for (std::size_t i = 0; i < n; ++i) res.component_of[i] = label[i];
+
+  // ---- Step 3: ring detection and extraction (host assembly). ----
+  // Vertex degree and per-component tallies from the sorted records.
+  struct CompInfo {
+    std::size_t lines = 0;
+    std::size_t vertices = 0;
+    bool all_degree2 = true;
+  };
+  std::map<std::uint32_t, CompInfo> comps;
+  for (std::size_t i = 0; i < n; ++i) comps[label[i]].lines++;
+  std::size_t j = 0;
+  while (j < m) {
+    std::size_t end = j + 1;
+    while (end < m && !vseg[end]) ++end;
+    CompInfo& ci = comps[label[record_line[j]]];
+    ci.vertices++;
+    if (end - j != 2) ci.all_degree2 = false;
+    j = end;
+  }
+  res.num_components = comps.size();
+
+  // Walk each degree-2 component into an ordered loop.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::uint32_t>> adjacency;
+  auto key_of = [](const geom::Point& p) {
+    return std::pair{dpv::key_from_double(p.x), dpv::key_from_double(p.y)};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!comps[label[i]].all_degree2) continue;
+    adjacency[key_of(lines[i].a)].push_back(static_cast<std::uint32_t>(i));
+    adjacency[key_of(lines[i].b)].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint8_t> used(n, 0);
+  for (const auto& [comp, info] : comps) {
+    if (!info.all_degree2 || info.lines < 3 ||
+        info.lines != info.vertices) {
+      continue;
+    }
+    // Start from the component's labeled line and follow shared vertices.
+    std::vector<geom::Point> ring;
+    std::uint32_t cur = comp;
+    geom::Point at = lines[cur].a;
+    for (std::size_t step = 0; step < info.lines; ++step) {
+      used[cur] = 1;
+      ring.push_back(at);
+      const geom::Point to =
+          (at == lines[cur].a) ? lines[cur].b : lines[cur].a;
+      // The other incident line at `to`.
+      const auto& inc = adjacency[key_of(to)];
+      std::uint32_t nxt = cur;
+      for (const auto cand : inc) {
+        if (cand != cur && !used[cand]) {
+          nxt = cand;
+          break;
+        }
+      }
+      at = to;
+      if (nxt == cur) break;  // loop closes
+      cur = nxt;
+    }
+    if (ring.size() == info.lines) {
+      res.ring_component.push_back(comp);
+      res.rings.push_back(std::move(ring));
+    }
+  }
+  return res;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,47 @@
+#pragma once
+// Data-parallel polygonization.
+//
+// The paper's conclusion lists polygonization among the operations the
+// primitives were built for ([Hoel93]).  Given a planar line map, this
+// module assembles its connected components and extracts the closed
+// polygon rings, scan-model style:
+//
+//   1. vertex identification -- the 2n (endpoint, line) records are radix-
+//      sorted by exact endpoint coordinates; equal-coordinate runs are the
+//      map's vertices (computed once);
+//   2. component labeling -- iterated hooking + pointer jumping: each round
+//      takes the minimum label across every vertex's incident lines
+//      (segmented min-scans over the sorted records) and then shortcuts
+//      label chains (L <- L[L]); converges in O(log n) rounds;
+//   3. ring extraction -- a component is a closed simple ring iff each of
+//      its vertices has degree exactly 2; rings are walked into ordered
+//      vertex loops.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct PolygonizeResult {
+  /// Component label per input line (by position): the index of the
+  /// smallest-indexed line in its connected component.
+  std::vector<std::uint32_t> component_of;
+  std::size_t num_components = 0;
+  /// Outer label-propagation rounds until fixpoint.
+  std::size_t rounds = 0;
+  /// Index of the component label of each extracted ring, parallel to
+  /// `rings`.
+  std::vector<std::uint32_t> ring_component;
+  /// Closed rings (every vertex of the component has degree 2), as ordered
+  /// vertex loops; rings[i][0] is repeated implicitly (not duplicated).
+  std::vector<std::vector<geom::Point>> rings;
+};
+
+PolygonizeResult polygonize(dpv::Context& ctx,
+                            const std::vector<geom::Segment>& lines);
+
+}  // namespace dps::core

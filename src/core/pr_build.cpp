@@ -1,0 +1,213 @@
+#include "core/pr_build.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "prim/capacity_check.hpp"
+#include "prim/unshuffle.hpp"
+
+namespace dps::core {
+
+namespace {
+
+// One PR split round: every marked node's points move to their quadrant
+// child group via two segmented unshuffles (no cloning -- a point lives in
+// exactly one half-open cell).
+void pr_split(dpv::Context& ctx, prim::PointSet& ps,
+              const dpv::Flags& elem_split) {
+  const std::size_t n = ps.size();
+  // Stage 1: north (0) before south (1).
+  dpv::Flags side1 = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    if (!elem_split[i]) return std::uint8_t{0};
+    const geom::Point c = ps.blocks[i].center(ps.world);
+    return static_cast<std::uint8_t>(ps.pts[i].y < c.y);  // south moves right
+  });
+  prim::UnshufflePlan up1 = prim::plan_seg_unshuffle(ctx, side1, ps.seg);
+  ps.pts = prim::apply_unshuffle(ctx, up1, ps.pts);
+  ps.ids = prim::apply_unshuffle(ctx, up1, ps.ids);
+  ps.blocks = prim::apply_unshuffle(ctx, up1, ps.blocks);
+  dpv::Flags split = prim::apply_unshuffle(ctx, up1, elem_split);
+  dpv::Flags north = prim::apply_unshuffle(
+      ctx, up1, dpv::map(ctx, side1, [](std::uint8_t s) {
+        return static_cast<std::uint8_t>(s == 0);
+      }));
+  // Stage 2: west (0) before east (1).
+  dpv::Flags side2 = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    if (!split[i]) return std::uint8_t{0};
+    const geom::Point c = ps.blocks[i].center(ps.world);
+    return static_cast<std::uint8_t>(ps.pts[i].x >= c.x);
+  });
+  prim::UnshufflePlan up2 = prim::plan_seg_unshuffle(ctx, side2, up1.new_seg);
+  ps.pts = prim::apply_unshuffle(ctx, up2, ps.pts);
+  ps.ids = prim::apply_unshuffle(ctx, up2, ps.ids);
+  ps.blocks = prim::apply_unshuffle(ctx, up2, ps.blocks);
+  split = prim::apply_unshuffle(ctx, up2, split);
+  north = prim::apply_unshuffle(ctx, up2, north);
+  dpv::Flags west = prim::apply_unshuffle(
+      ctx, up2, dpv::map(ctx, side2, [](std::uint8_t s) {
+        return static_cast<std::uint8_t>(s == 0);
+      }));
+  ps.blocks = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    if (!split[i]) return ps.blocks[i];
+    const geom::Quadrant q =
+        north[i] ? (west[i] ? geom::Quadrant::kNW : geom::Quadrant::kNE)
+                 : (west[i] ? geom::Quadrant::kSW : geom::Quadrant::kSE);
+    return ps.blocks[i].child(q);
+  });
+  ps.seg = up2.new_seg;
+}
+
+geom::Quadrant quadrant_towards(const geom::Block& b,
+                                const geom::Block& target) {
+  const int shift = target.depth - b.depth - 1;
+  const std::uint32_t cx = target.ix >> shift;
+  const std::uint32_t cy = target.iy >> shift;
+  const bool east = (cx & 1) != 0;
+  const bool north = (cy & 1) != 0;
+  return north ? (east ? geom::Quadrant::kNE : geom::Quadrant::kNW)
+               : (east ? geom::Quadrant::kSE : geom::Quadrant::kSW);
+}
+
+}  // namespace
+
+PrQuadTree PrQuadTree::from_point_set(const prim::PointSet& ps) {
+  PrQuadTree t;
+  t.world_ = ps.world;
+  t.nodes_.push_back(Node{geom::Block::root()});
+  const std::size_t n = ps.size();
+  t.pts_.reserve(n);
+  t.ids_.reserve(n);
+  std::size_t start = 0;
+  while (start < n) {
+    std::size_t end = start + 1;
+    while (end < n && !ps.seg[end]) ++end;
+    const geom::Block leaf_block = ps.blocks[start];
+    std::int32_t cur = 0;
+    while (t.nodes_[cur].block.depth < leaf_block.depth) {
+      const auto q = quadrant_towards(t.nodes_[cur].block, leaf_block);
+      const auto qi = static_cast<std::size_t>(q);
+      t.nodes_[cur].is_leaf = false;
+      std::int32_t next = t.nodes_[cur].child[qi];
+      if (next == -1) {
+        next = static_cast<std::int32_t>(t.nodes_.size());
+        t.nodes_[cur].child[qi] = next;
+        t.nodes_.push_back(Node{t.nodes_[cur].block.child(q)});
+      }
+      cur = next;
+    }
+    Node& leaf = t.nodes_[cur];
+    leaf.first_pt = static_cast<std::uint32_t>(t.pts_.size());
+    leaf.num_pts = static_cast<std::uint32_t>(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      t.pts_.push_back(ps.pts[i]);
+      t.ids_.push_back(ps.ids[i]);
+    }
+    start = end;
+  }
+  return t;
+}
+
+int PrQuadTree::height() const {
+  int h = 0;
+  for (const auto& nd : nodes_) h = std::max<int>(h, nd.block.depth);
+  return h;
+}
+
+std::size_t PrQuadTree::max_leaf_occupancy() const {
+  std::size_t m = 0;
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf) m = std::max<std::size_t>(m, nd.num_pts);
+  }
+  return m;
+}
+
+std::vector<prim::PointId> PrQuadTree::window_query(
+    const geom::Rect& window) const {
+  std::vector<prim::PointId> out;
+  if (nodes_.empty()) return out;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& nd = nodes_[stack.back()];
+    stack.pop_back();
+    if (!nd.block.rect(world_).intersects(window)) continue;
+    if (nd.is_leaf) {
+      for (std::uint32_t i = 0; i < nd.num_pts; ++i) {
+        if (window.contains(pts_[nd.first_pt + i])) {
+          out.push_back(ids_[nd.first_pt + i]);
+        }
+      }
+      continue;
+    }
+    for (const std::int32_t c : nd.child) {
+      if (c != -1) stack.push_back(c);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string PrQuadTree::fingerprint() const {
+  struct LeafInfo {
+    std::uint64_t key;
+    std::vector<prim::PointId> ids;
+  };
+  std::vector<LeafInfo> leaves;
+  for (const auto& nd : nodes_) {
+    if (!nd.is_leaf || nd.num_pts == 0) continue;
+    LeafInfo li;
+    li.key = nd.block.morton_key();
+    for (std::uint32_t i = 0; i < nd.num_pts; ++i) {
+      li.ids.push_back(ids_[nd.first_pt + i]);
+    }
+    std::sort(li.ids.begin(), li.ids.end());
+    leaves.push_back(std::move(li));
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafInfo& a, const LeafInfo& b) { return a.key < b.key; });
+  std::ostringstream os;
+  for (const auto& li : leaves) {
+    os << li.key << ":";
+    for (const auto id : li.ids) os << id << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+PrBuildResult pr_build(dpv::Context& ctx, std::vector<geom::Point> pts,
+                       std::vector<prim::PointId> ids,
+                       const PrBuildOptions& opts) {
+  assert(pts.size() == ids.size());
+  const dpv::PrimCounters before = ctx.counters();
+  PrBuildResult res;
+  prim::PointSet ps = prim::PointSet::initial(ctx, std::move(pts),
+                                              std::move(ids), opts.world);
+  for (;;) {
+    const prim::CapacityCheck cc =
+        prim::capacity_check(ctx, ps.seg, opts.bucket_capacity);
+    dpv::Flags want = dpv::tabulate(ctx, ps.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(cc.elem_overflow[i] &&
+                                       ps.blocks[i].depth < opts.max_depth);
+    });
+    const std::size_t capped = dpv::reduce(
+        ctx, dpv::Plus<std::size_t>{},
+        dpv::tabulate(ctx, ps.size(), [&](std::size_t i) {
+          return std::size_t{cc.elem_overflow[i] != 0 &&
+                             ps.blocks[i].depth >= opts.max_depth};
+        }));
+    if (capped > 0) res.depth_limited = true;
+    const std::size_t splitters =
+        dpv::reduce(ctx, dpv::Plus<std::size_t>{},
+                    dpv::map(ctx, want, [](std::uint8_t f) {
+                      return std::size_t{f != 0};
+                    }));
+    if (splitters == 0) break;
+    pr_split(ctx, ps, want);
+    ++res.rounds;
+  }
+  res.tree = PrQuadTree::from_point_set(ps);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+}  // namespace dps::core

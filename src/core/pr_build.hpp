@@ -1,0 +1,77 @@
+#pragma once
+// Data-parallel bucket PR quadtree construction.
+//
+// The PR quadtree [Oren82] decomposes the world until each leaf holds at
+// most `bucket_capacity` points; [Best92] (the SAM-model work the paper
+// extends) built it data-parallel.  With this library's machinery the
+// build is the bucket PMR loop minus cloning: a capacity check marks
+// overflowing nodes, and two segmented unshuffles (by the half-open
+// north/south then west/east tests) redistribute their points into the
+// NW, NE, SW, SE child groups -- every overflowing node per round,
+// simultaneously.  Shape is insertion-order independent by construction.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "prim/point_set.hpp"
+
+namespace dps::core {
+
+struct PrBuildOptions {
+  double world = 1.0;
+  int max_depth = 24;  // duplicate / ultra-close points stop here
+  std::size_t bucket_capacity = 1;  // 1 = the classic PR quadtree
+};
+
+/// Materialized PR quadtree: non-empty leaves with point ranges.
+class PrQuadTree {
+ public:
+  struct Node {
+    geom::Block block;
+    std::int32_t child[4] = {-1, -1, -1, -1};  // Quadrant order
+    bool is_leaf = true;
+    std::uint32_t first_pt = 0;
+    std::uint32_t num_pts = 0;
+  };
+
+  PrQuadTree() = default;
+  static PrQuadTree from_point_set(const prim::PointSet& ps);
+
+  double world() const { return world_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<geom::Point>& points() const { return pts_; }
+  const std::vector<prim::PointId>& ids() const { return ids_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int height() const;
+  std::size_t max_leaf_occupancy() const;
+
+  /// Ids of the points inside the closed window, sorted.
+  std::vector<prim::PointId> window_query(const geom::Rect& window) const;
+
+  /// Canonical decomposition fingerprint (leaf morton keys + sorted ids).
+  std::string fingerprint() const;
+
+ private:
+  double world_ = 1.0;
+  std::vector<Node> nodes_;
+  std::vector<geom::Point> pts_;
+  std::vector<prim::PointId> ids_;
+};
+
+struct PrBuildResult {
+  PrQuadTree tree;
+  std::size_t rounds = 0;
+  bool depth_limited = false;
+  dpv::PrimCounters prims;
+};
+
+/// Builds the bucket PR quadtree of `pts` (ids parallel to pts).
+PrBuildResult pr_build(dpv::Context& ctx, std::vector<geom::Point> pts,
+                       std::vector<prim::PointId> ids,
+                       const PrBuildOptions& opts);
+
+}  // namespace dps::core

@@ -1,0 +1,140 @@
+#include "core/quadtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dps::core {
+
+namespace {
+
+// The quadrant of `b`'s child that contains the depth-`target.depth`
+// block `target` (which must be a strict descendant of `b`).
+geom::Quadrant quadrant_towards(const geom::Block& b,
+                                const geom::Block& target) {
+  const int shift = target.depth - b.depth - 1;
+  const std::uint32_t cx = target.ix >> shift;
+  const std::uint32_t cy = target.iy >> shift;
+  const bool east = (cx & 1) != 0;
+  const bool north = (cy & 1) != 0;
+  return north ? (east ? geom::Quadrant::kNE : geom::Quadrant::kNW)
+               : (east ? geom::Quadrant::kSE : geom::Quadrant::kSW);
+}
+
+}  // namespace
+
+QuadTree QuadTree::from_line_set(const prim::LineSet& ls) {
+  QuadTree t;
+  t.world_ = ls.world;
+  t.nodes_.push_back(Node{geom::Block::root()});
+  const std::size_t n = ls.size();
+  t.edges_.reserve(n);
+
+  std::size_t start = 0;
+  while (start < n) {
+    std::size_t end = start + 1;
+    while (end < n && !ls.seg[end]) ++end;
+    const geom::Block leaf_block = ls.blocks[start];
+
+    // Descend from the root, creating the path to the leaf block.
+    std::int32_t cur = 0;
+    while (t.nodes_[cur].block.depth < leaf_block.depth) {
+      const auto q = quadrant_towards(t.nodes_[cur].block, leaf_block);
+      const auto qi = static_cast<std::size_t>(q);
+      t.nodes_[cur].is_leaf = false;
+      std::int32_t next = t.nodes_[cur].child[qi];
+      if (next == kNoChild) {
+        next = static_cast<std::int32_t>(t.nodes_.size());
+        t.nodes_[cur].child[qi] = next;
+        t.nodes_.push_back(Node{t.nodes_[cur].block.child(q)});
+      }
+      cur = next;
+    }
+    assert(t.nodes_[cur].block == leaf_block &&
+           "line-set groups must form an antichain of blocks");
+
+    Node& leaf = t.nodes_[cur];
+    leaf.is_leaf = true;
+    leaf.first_edge = static_cast<std::uint32_t>(t.edges_.size());
+    leaf.num_edges = static_cast<std::uint32_t>(end - start);
+    for (std::size_t i = start; i < end; ++i) t.edges_.push_back(ls.segs[i]);
+    start = end;
+  }
+  return t;
+}
+
+std::size_t QuadTree::num_leaves() const {
+  std::size_t c = 0;
+  for (const auto& nd : nodes_) c += (nd.is_leaf && nd.num_edges > 0);
+  return c;
+}
+
+int QuadTree::height() const {
+  int h = 0;
+  for (const auto& nd : nodes_) h = std::max<int>(h, nd.block.depth);
+  return h;
+}
+
+std::size_t QuadTree::max_leaf_occupancy() const {
+  std::size_t m = 0;
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf) m = std::max<std::size_t>(m, nd.num_edges);
+  }
+  return m;
+}
+
+std::string QuadTree::fingerprint() const {
+  struct LeafInfo {
+    std::uint64_t key;
+    std::vector<geom::LineId> ids;
+  };
+  std::vector<LeafInfo> leaves;
+  for (const auto& nd : nodes_) {
+    if (!nd.is_leaf || nd.num_edges == 0) continue;
+    LeafInfo li;
+    li.key = nd.block.morton_key();
+    for (std::uint32_t i = 0; i < nd.num_edges; ++i) {
+      li.ids.push_back(edges_[nd.first_edge + i].id);
+    }
+    std::sort(li.ids.begin(), li.ids.end());
+    leaves.push_back(std::move(li));
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafInfo& a, const LeafInfo& b) { return a.key < b.key; });
+  std::ostringstream os;
+  for (const auto& li : leaves) {
+    os << li.key << ":";
+    for (const auto id : li.ids) os << id << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+std::string QuadTree::to_ascii() const {
+  struct LeafInfo {
+    const Node* node;
+    std::uint64_t key;
+  };
+  std::vector<LeafInfo> leaves;
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf) leaves.push_back({&nd, nd.block.morton_key()});
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafInfo& a, const LeafInfo& b) { return a.key < b.key; });
+  std::ostringstream os;
+  for (const auto& li : leaves) {
+    os << "  leaf " << li.node->block.to_string() << " lines[";
+    std::vector<geom::LineId> ids;
+    for (std::uint32_t i = 0; i < li.node->num_edges; ++i) {
+      ids.push_back(edges_[li.node->first_edge + i].id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      os << (i ? "," : "") << ids[i];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace dps::core

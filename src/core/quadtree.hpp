@@ -1,0 +1,77 @@
+#pragma once
+// Pointer-style quadtree assembled from a final line processor set.
+//
+// The data-parallel builds (sections 5.1/5.2) finish with a flat line set
+// whose segment groups are the non-empty leaves of the decomposition.
+// QuadTree materializes the hierarchy those leaf blocks imply -- internal
+// nodes down every path, q-edges attached to leaves -- so the structure can
+// be queried, printed, and compared against the sequential baselines.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "prim/line_set.hpp"
+
+namespace dps::core {
+
+class QuadTree {
+ public:
+  static constexpr std::int32_t kNoChild = -1;
+
+  struct Node {
+    geom::Block block;
+    // Children in Quadrant order (NW, NE, SW, SE); kNoChild = empty leaf.
+    std::int32_t child[4] = {kNoChild, kNoChild, kNoChild, kNoChild};
+    bool is_leaf = true;
+    std::uint32_t first_edge = 0;  // into edges(), leaves only
+    std::uint32_t num_edges = 0;
+
+    bool has_children() const {
+      return child[0] != kNoChild || child[1] != kNoChild ||
+             child[2] != kNoChild || child[3] != kNoChild;
+    }
+  };
+
+  QuadTree() = default;
+
+  /// Assembles the hierarchy from a final line set (groups = leaves).
+  static QuadTree from_line_set(const prim::LineSet& ls);
+
+  double world() const { return world_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& root() const { return nodes_.front(); }
+  const std::vector<geom::Segment>& edges() const { return edges_; }
+
+  /// Q-edges stored in leaf `node` (empty span for internal nodes).
+  std::pair<const geom::Segment*, const geom::Segment*> leaf_edges(
+      const Node& node) const {
+    const geom::Segment* base = edges_.data() + node.first_edge;
+    return {base, base + node.num_edges};
+  }
+
+  // ---- Structure statistics (used by tests, benches, EXPERIMENTS.md). ----
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const;       // non-empty leaves
+  std::size_t num_qedges() const { return edges_.size(); }
+  int height() const;                   // max depth of any node (root = 0)
+  std::size_t max_leaf_occupancy() const;
+
+  /// Canonical, insertion-order-independent fingerprint of the
+  /// decomposition: the sorted morton keys of the non-empty leaves plus
+  /// per-leaf sorted line-id lists.  Equal fingerprints mean equal trees.
+  std::string fingerprint() const;
+
+  /// ASCII rendering of the decomposition for traces (Figures 30-33).
+  std::string to_ascii() const;
+
+ private:
+  double world_ = 1.0;
+  std::vector<Node> nodes_;
+  std::vector<geom::Segment> edges_;
+};
+
+}  // namespace dps::core

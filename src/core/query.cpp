@@ -1,0 +1,122 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+
+namespace {
+
+void dedup(std::vector<geom::LineId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+template <typename Pred>
+void quad_collect(const QuadTree& tree, const QuadTree::Node& nd,
+                  const geom::Rect& region, Pred&& test,
+                  std::vector<geom::LineId>& out, QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (nd.is_leaf) {
+    const auto [first, last] = tree.leaf_edges(nd);
+    for (const geom::Segment* s = first; s != last; ++s) {
+      if (stats != nullptr) ++stats->segments_tested;
+      if (test(*s)) out.push_back(s->id);
+    }
+    return;
+  }
+  for (const std::int32_t c : nd.child) {
+    if (c == QuadTree::kNoChild) continue;
+    const QuadTree::Node& child = tree.nodes()[c];
+    if (child.block.rect(tree.world()).intersects(region)) {
+      quad_collect(tree, child, region, test, out, stats);
+    }
+  }
+}
+
+template <typename Pred>
+void rtree_collect(const RTree& tree, const RTree::Node& nd,
+                   const geom::Rect& region, Pred&& test,
+                   std::vector<geom::LineId>& out, QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (nd.is_leaf) {
+    for (std::uint32_t i = 0; i < nd.num_entries; ++i) {
+      const geom::Segment& s = tree.entries()[nd.first_entry + i];
+      if (stats != nullptr) ++stats->segments_tested;
+      if (s.bbox().intersects(region) && test(s)) out.push_back(s.id);
+    }
+    return;
+  }
+  for (std::int32_t i = 0; i < nd.num_children; ++i) {
+    const RTree::Node& child = tree.nodes()[nd.first_child + i];
+    if (child.mbr.intersects(region)) {
+      rtree_collect(tree, child, region, test, out, stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<geom::LineId> window_query(const QuadTree& tree,
+                                       const geom::Rect& window,
+                                       QueryStats* stats) {
+  std::vector<geom::LineId> out;
+  if (tree.num_nodes() == 0) return out;
+  auto test = [&](const geom::Segment& s) {
+    return geom::segment_intersects_rect(s, window);
+  };
+  if (tree.root().block.rect(tree.world()).intersects(window)) {
+    quad_collect(tree, tree.root(), window, test, out, stats);
+  }
+  dedup(out);
+  return out;
+}
+
+std::vector<geom::LineId> window_query(const RTree& tree,
+                                       const geom::Rect& window,
+                                       QueryStats* stats) {
+  std::vector<geom::LineId> out;
+  if (tree.num_nodes() == 0) return out;
+  auto test = [&](const geom::Segment& s) {
+    return geom::segment_intersects_rect(s, window);
+  };
+  if (tree.root().mbr.intersects(window)) {
+    rtree_collect(tree, tree.root(), window, test, out, stats);
+  }
+  dedup(out);
+  return out;
+}
+
+std::vector<geom::LineId> point_query(const QuadTree& tree,
+                                      const geom::Point& p,
+                                      QueryStats* stats) {
+  std::vector<geom::LineId> out;
+  if (tree.num_nodes() == 0) return out;
+  const geom::Rect window = geom::Rect::of_point(p);
+  auto test = [&](const geom::Segment& s) {
+    return geom::point_on_segment(p, s.a, s.b);
+  };
+  if (tree.root().block.rect(tree.world()).contains(p)) {
+    quad_collect(tree, tree.root(), window, test, out, stats);
+  }
+  dedup(out);
+  return out;
+}
+
+std::vector<geom::LineId> point_query(const RTree& tree, const geom::Point& p,
+                                      QueryStats* stats) {
+  std::vector<geom::LineId> out;
+  if (tree.num_nodes() == 0) return out;
+  const geom::Rect window = geom::Rect::of_point(p);
+  auto test = [&](const geom::Segment& s) {
+    return geom::point_on_segment(p, s.a, s.b);
+  };
+  if (tree.root().mbr.contains(p)) {
+    rtree_collect(tree, tree.root(), window, test, out, stats);
+  }
+  dedup(out);
+  return out;
+}
+
+}  // namespace dps::core

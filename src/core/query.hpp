@@ -1,0 +1,42 @@
+#pragma once
+// Sequential query operations over the built structures.
+//
+// Window (rectangle) and point queries for both the quadtrees and the
+// R-tree.  Results report each original line once even when it was
+// decomposed into several q-edges (the disjoint-decomposition price
+// discussed in section 1).  QueryStats counts the nodes visited so the
+// R-tree-vs-quadtree motivation of sections 1/2 ("non-disjointness means
+// more nodes may need to be checked") can be measured.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct QueryStats {
+  std::size_t nodes_visited = 0;    // tree nodes whose region met the query
+  std::size_t segments_tested = 0;  // candidate q-edges / entries examined
+};
+
+/// Lines intersecting the closed window, each id reported once, sorted.
+std::vector<geom::LineId> window_query(const QuadTree& tree,
+                                       const geom::Rect& window,
+                                       QueryStats* stats = nullptr);
+
+std::vector<geom::LineId> window_query(const RTree& tree,
+                                       const geom::Rect& window,
+                                       QueryStats* stats = nullptr);
+
+/// Lines passing through the query point (closed segments), sorted ids.
+std::vector<geom::LineId> point_query(const QuadTree& tree,
+                                      const geom::Point& p,
+                                      QueryStats* stats = nullptr);
+
+std::vector<geom::LineId> point_query(const RTree& tree, const geom::Point& p,
+                                      QueryStats* stats = nullptr);
+
+}  // namespace dps::core

@@ -1,0 +1,181 @@
+#include "core/region_quadtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dps::core {
+
+namespace {
+
+// The depth-`order` block at position `i` of the canonical path order
+// (base-4 digits, NW=0 NE=1 SW=2 SE=3, most significant first).
+geom::Block block_at_path_index(std::uint64_t i, int order) {
+  std::uint32_t ix = 0, iy = 0;
+  for (int lvl = order - 1; lvl >= 0; --lvl) {
+    const auto digit = static_cast<std::uint32_t>((i >> (2 * lvl)) & 3);
+    const std::uint32_t qx = digit & 1;          // NE, SE are east
+    const std::uint32_t qy = digit < 2 ? 1 : 0;  // NW, NE are north
+    ix = (ix << 1) | qx;
+    iy = (iy << 1) | qy;
+  }
+  return geom::Block{static_cast<std::uint8_t>(order), ix, iy};
+}
+
+}  // namespace
+
+RegionBuildResult region_build(dpv::Context& ctx,
+                               const std::vector<std::uint8_t>& raster,
+                               int order) {
+  const dpv::PrimCounters before = ctx.counters();
+  const std::size_t side = std::size_t{1} << order;
+  assert(raster.size() == side * side && "raster must be 2^order square");
+  RegionBuildResult res;
+
+  // Pixels in canonical path order.
+  dpv::Vec<geom::Block> blocks = dpv::tabulate(
+      ctx, side * side,
+      [&](std::size_t i) { return block_at_path_index(i, order); });
+  dpv::Vec<std::uint8_t> colors = dpv::tabulate(
+      ctx, side * side, [&](std::size_t i) {
+        const geom::Block b = blocks[i];
+        return raster[static_cast<std::size_t>(b.iy) * side + b.ix];
+      });
+
+  for (;;) {
+    const std::size_t n = blocks.size();
+    if (n <= 1) break;
+    // A merge head: an NW child whose three siblings follow it as leaves
+    // with the same color.
+    dpv::Flags head = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      const geom::Block& b = blocks[i];
+      if (b.depth == 0 || i + 3 >= n) return std::uint8_t{0};
+      if (b.quadrant_in_parent() != geom::Quadrant::kNW) return std::uint8_t{0};
+      const geom::Block p = b.parent();
+      if (!(blocks[i + 1] == p.child(geom::Quadrant::kNE)) ||
+          !(blocks[i + 2] == p.child(geom::Quadrant::kSW)) ||
+          !(blocks[i + 3] == p.child(geom::Quadrant::kSE))) {
+        return std::uint8_t{0};
+      }
+      const std::uint8_t c = colors[i];
+      return static_cast<std::uint8_t>(colors[i + 1] == c &&
+                                       colors[i + 2] == c &&
+                                       colors[i + 3] == c);
+    });
+    const std::size_t merges = dpv::reduce(
+        ctx, dpv::Plus<std::size_t>{},
+        dpv::map(ctx, head, [](std::uint8_t h) { return std::size_t{h}; }));
+    if (merges == 0) break;
+    ++res.rounds;
+    dpv::Flags keep = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      for (std::size_t back = 1; back <= 3 && back <= i; ++back) {
+        if (head[i - back]) return std::uint8_t{0};  // absorbed sibling
+      }
+      return std::uint8_t{1};
+    });
+    dpv::Vec<geom::Block> lifted = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      return head[i] ? blocks[i].parent() : blocks[i];
+    });
+    blocks = dpv::pack(ctx, lifted, keep);
+    colors = dpv::pack(ctx, colors, keep);
+  }
+
+  std::vector<RegionQuadTree::Leaf> leaves(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    leaves[i] = {blocks[i], colors[i]};
+  }
+  res.tree = RegionQuadTree(std::move(leaves), order);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+std::uint8_t RegionQuadTree::color_at(std::uint32_t x,
+                                      std::uint32_t y) const {
+  assert(!leaves_.empty());
+  const geom::Block pixel{static_cast<std::uint8_t>(order_), x, y};
+  const std::uint64_t key = pixel.path_key();
+  // The containing leaf is the last one with path key <= the pixel's.
+  auto it = std::upper_bound(
+      leaves_.begin(), leaves_.end(), key,
+      [](std::uint64_t k, const Leaf& l) { return k < l.block.path_key(); });
+  assert(it != leaves_.begin());
+  --it;
+  assert(pixel == it->block || pixel.strict_descendant_of(it->block));
+  return it->color;
+}
+
+std::size_t RegionQuadTree::count_color(std::uint8_t color) const {
+  std::size_t c = 0;
+  for (const auto& l : leaves_) c += (l.color == color);
+  return c;
+}
+
+bool RegionQuadTree::is_minimal() const {
+  for (std::size_t i = 0; i + 3 < leaves_.size(); ++i) {
+    const geom::Block& b = leaves_[i].block;
+    if (b.depth == 0) continue;
+    if (b.quadrant_in_parent() != geom::Quadrant::kNW) continue;
+    const geom::Block p = b.parent();
+    if (leaves_[i + 1].block == p.child(geom::Quadrant::kNE) &&
+        leaves_[i + 2].block == p.child(geom::Quadrant::kSW) &&
+        leaves_[i + 3].block == p.child(geom::Quadrant::kSE) &&
+        leaves_[i].color == leaves_[i + 1].color &&
+        leaves_[i].color == leaves_[i + 2].color &&
+        leaves_[i].color == leaves_[i + 3].color) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> rasterize_segments(
+    const std::vector<geom::Segment>& lines, int order, double world) {
+  const std::size_t side = std::size_t{1} << order;
+  std::vector<std::uint8_t> raster(side * side, 0);
+  const double cell = world / static_cast<double>(side);
+  auto cell_of = [&](double v) {
+    return static_cast<std::int64_t>(
+        std::clamp(std::floor(v / cell), 0.0,
+                   static_cast<double>(side - 1)));
+  };
+  auto mark = [&](std::int64_t x, std::int64_t y) {
+    if (x >= 0 && y >= 0 && x < std::int64_t(side) && y < std::int64_t(side)) {
+      raster[static_cast<std::size_t>(y) * side + x] = 1;
+    }
+  };
+  for (const auto& s : lines) {
+    // Amanatides-Woo grid traversal from a to b.
+    std::int64_t x = cell_of(s.a.x), y = cell_of(s.a.y);
+    const std::int64_t xe = cell_of(s.b.x), ye = cell_of(s.b.y);
+    const double dx = s.b.x - s.a.x, dy = s.b.y - s.a.y;
+    const int sx = dx > 0 ? 1 : -1, sy = dy > 0 ? 1 : -1;
+    double t_max_x = dx != 0.0
+                         ? ((static_cast<double>(x + (sx > 0)) * cell) -
+                            s.a.x) / dx
+                         : std::numeric_limits<double>::infinity();
+    double t_max_y = dy != 0.0
+                         ? ((static_cast<double>(y + (sy > 0)) * cell) -
+                            s.a.y) / dy
+                         : std::numeric_limits<double>::infinity();
+    const double t_dx = dx != 0.0 ? cell / std::abs(dx)
+                                  : std::numeric_limits<double>::infinity();
+    const double t_dy = dy != 0.0 ? cell / std::abs(dy)
+                                  : std::numeric_limits<double>::infinity();
+    mark(x, y);
+    std::size_t guard = 4 * side;
+    while ((x != xe || y != ye) && guard-- > 0) {
+      if (t_max_x < t_max_y) {
+        t_max_x += t_dx;
+        x += sx;
+      } else {
+        t_max_y += t_dy;
+        y += sy;
+      }
+      mark(x, y);
+    }
+  }
+  return raster;
+}
+
+}  // namespace dps::core

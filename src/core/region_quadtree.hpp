@@ -1,0 +1,70 @@
+#pragma once
+// Data-parallel linear region quadtree construction.
+//
+// The paper's related work (section 1) is anchored in region-quadtree
+// construction on rasters [Dehn91, Ibar93]; this module builds the linear
+// region quadtree bottom-up in the scan model: pixels are laid out in the
+// canonical path (NW-first Z) order, and each round an elementwise pass
+// marks every aligned run of four same-colored sibling leaves, which a
+// pack replaces by their parent -- all merges per round simultaneously,
+// O(k) rounds for a 2^k raster.
+//
+// The result is the pointerless linear quadtree: color leaves sorted by
+// path key, partitioning the raster.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+class RegionQuadTree {
+ public:
+  struct Leaf {
+    geom::Block block;
+    std::uint8_t color;
+  };
+
+  RegionQuadTree() = default;
+  RegionQuadTree(std::vector<Leaf> leaves, int order)
+      : leaves_(std::move(leaves)), order_(order) {}
+
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+  int order() const { return order_; }  // raster is 2^order per side
+  std::size_t num_leaves() const { return leaves_.size(); }
+
+  /// Color of the raster cell (x, y).
+  std::uint8_t color_at(std::uint32_t x, std::uint32_t y) const;
+
+  /// Leaves of a given color (e.g. the black regions).
+  std::size_t count_color(std::uint8_t color) const;
+
+  /// True when no four sibling leaves share a color (canonical minimality).
+  bool is_minimal() const;
+
+ private:
+  std::vector<Leaf> leaves_;  // sorted by Block::path_key()
+  int order_ = 0;
+};
+
+struct RegionBuildResult {
+  RegionQuadTree tree;
+  std::size_t rounds = 0;
+  dpv::PrimCounters prims;
+};
+
+/// Builds the region quadtree of a 2^order x 2^order raster given in
+/// row-major order (raster[y * side + x]).
+RegionBuildResult region_build(dpv::Context& ctx,
+                               const std::vector<std::uint8_t>& raster,
+                               int order);
+
+/// Rasterizes a segment map onto a 2^order grid over [0, world)^2:
+/// cells whose closed box a segment passes through become 1 (supercover).
+std::vector<std::uint8_t> rasterize_segments(
+    const std::vector<geom::Segment>& lines, int order, double world);
+
+}  // namespace dps::core

@@ -1,0 +1,102 @@
+#include "core/rtree.hpp"
+
+#include <sstream>
+
+namespace dps::core {
+
+std::size_t RTree::num_leaves() const {
+  std::size_t c = 0;
+  for (const auto& nd : nodes_) c += nd.is_leaf;
+  return c;
+}
+
+double RTree::total_coverage() const {
+  double a = 0.0;
+  for (const auto& nd : nodes_) a += nd.mbr.area();
+  return a;
+}
+
+double RTree::sibling_overlap() const {
+  double total = 0.0;
+  for (const auto& nd : nodes_) {
+    if (nd.is_leaf) continue;
+    for (std::int32_t i = 0; i < nd.num_children; ++i) {
+      for (std::int32_t j = i + 1; j < nd.num_children; ++j) {
+        total += nodes_[nd.first_child + i].mbr.overlap_area(
+            nodes_[nd.first_child + j].mbr);
+      }
+    }
+  }
+  return total;
+}
+
+std::string RTree::validate() const {
+  if (nodes_.empty()) return entries_.empty() ? "" : "entries without nodes";
+  std::ostringstream err;
+  // Depth-first check of MBRs, fanout bounds, and uniform leaf depth.
+  struct Item {
+    std::int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 0}};
+  int leaf_depth = -1;
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[it.node];
+    if (nd.is_leaf) {
+      if (leaf_depth == -1) leaf_depth = it.depth;
+      if (it.depth != leaf_depth) {
+        err << "leaf depth mismatch: node " << it.node << " at depth "
+            << it.depth << " vs " << leaf_depth;
+        return err.str();
+      }
+      if (nd.num_entries == 0 && nodes_.size() > 1) {
+        err << "empty non-root leaf " << it.node;
+        return err.str();
+      }
+      geom::Rect u = geom::Rect::empty();
+      for (std::uint32_t i = 0; i < nd.num_entries; ++i) {
+        u = u.united(entries_[nd.first_entry + i].bbox());
+      }
+      if (!(u == nd.mbr) && nd.num_entries > 0) {
+        err << "leaf " << it.node << " MBR is not the union of its entries";
+        return err.str();
+      }
+      const std::size_t occ = nd.num_entries;
+      if (it.node != 0 && (occ < m_ || occ > M_)) {
+        err << "leaf " << it.node << " occupancy " << occ << " outside ["
+            << m_ << "," << M_ << "]";
+        return err.str();
+      }
+    } else {
+      if (nd.num_children <= 0) {
+        err << "internal node " << it.node << " without children";
+        return err.str();
+      }
+      const std::size_t fan = static_cast<std::size_t>(nd.num_children);
+      if (it.node == 0) {
+        if (fan < 2) {
+          err << "internal root with fanout " << fan;
+          return err.str();
+        }
+      } else if (fan < m_ || fan > M_) {
+        err << "node " << it.node << " fanout " << fan << " outside [" << m_
+            << "," << M_ << "]";
+        return err.str();
+      }
+      geom::Rect u = geom::Rect::empty();
+      for (std::int32_t i = 0; i < nd.num_children; ++i) {
+        u = u.united(nodes_[nd.first_child + i].mbr);
+        stack.push_back({nd.first_child + i, it.depth + 1});
+      }
+      if (!(u == nd.mbr)) {
+        err << "node " << it.node << " MBR is not the union of its children";
+        return err.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace dps::core

@@ -1,0 +1,70 @@
+#pragma once
+// Materialized R-tree (section 2.3): the queryable result of both the
+// data-parallel build (section 5.3) and the sequential Guttman baseline.
+//
+// Nodes are stored level-contiguous with children ranges, leaves own entry
+// ranges into a flat segment array.  Invariants checked by `validate()`:
+// all leaves at the same level, every node's MBR is the union of its
+// children's, and node fanout/occupancy within (m, M) except the root.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+class RTree {
+ public:
+  struct Node {
+    geom::Rect mbr;
+    std::int32_t first_child = -1;  // index into nodes(), internal only
+    std::int32_t num_children = 0;
+    std::uint32_t first_entry = 0;  // index into entries(), leaves only
+    std::uint32_t num_entries = 0;
+    bool is_leaf = true;
+  };
+
+  RTree() = default;
+  RTree(std::vector<Node> nodes, std::vector<geom::Segment> entries,
+        int height, std::size_t min_fanout, std::size_t max_fanout)
+      : nodes_(std::move(nodes)),
+        entries_(std::move(entries)),
+        height_(height),
+        m_(min_fanout),
+        M_(max_fanout) {}
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& root() const { return nodes_.front(); }
+  const std::vector<geom::Segment>& entries() const { return entries_; }
+  bool empty() const { return nodes_.empty() || entries_.empty(); }
+
+  /// Number of levels below the root (a root-only tree has height 0).
+  int height() const { return height_; }
+  std::size_t order_m() const { return m_; }
+  std::size_t order_M() const { return M_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const;
+
+  /// Total MBR area over all nodes (coverage) and total pairwise overlap
+  /// area between sibling nodes -- the two split-quality metrics of
+  /// section 2.3 / Figure 6.
+  double total_coverage() const;
+  double sibling_overlap() const;
+
+  /// Checks the structural invariants; returns an empty string when valid,
+  /// otherwise a description of the first violation.
+  std::string validate() const;
+
+ private:
+  std::vector<Node> nodes_;  // nodes_[0] = root, children contiguous
+  std::vector<geom::Segment> entries_;
+  int height_ = 0;
+  std::size_t m_ = 1;
+  std::size_t M_ = 8;
+};
+
+}  // namespace dps::core

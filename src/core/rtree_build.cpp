@@ -1,0 +1,246 @@
+#include "core/rtree_build.hpp"
+
+#include <cassert>
+
+#include "prim/capacity_check.hpp"
+#include "prim/clone.hpp"
+#include "prim/unshuffle.hpp"
+
+namespace dps::core {
+
+namespace {
+
+// Parent ordinal of each element under the grouping `flags` (0-based, in
+// group order): inclusive +-scan of head flags minus one.
+dpv::Vec<std::size_t> group_ordinals(dpv::Context& ctx,
+                                     const dpv::Flags& flags) {
+  dpv::Vec<std::size_t> heads = dpv::tabulate(
+      ctx, flags.size(), [&](std::size_t i) {
+        return std::size_t{i == 0 || flags[i] != 0};
+      });
+  dpv::Vec<std::size_t> ord = dpv::scan(ctx, dpv::Plus<std::size_t>{}, heads,
+                                        dpv::Dir::kUp, dpv::Incl::kInclusive);
+  return dpv::map(ctx, ord, [](std::size_t o) { return o - 1; });
+}
+
+// Inverse permutation: out[order[r]] = r.
+dpv::Index invert_permutation(dpv::Context& ctx, const dpv::Index& order) {
+  dpv::Index out(order.size());
+  dpv::scatter(ctx, dpv::iota(ctx, order.size()), order, dpv::Flags{}, out);
+  return out;
+}
+
+// Build state: the line processor set plus per-level parent groupings.
+struct BuildState {
+  dpv::Vec<geom::Segment> segs;   // lines, leaf-grouped
+  dpv::Flags line_seg;            // line groups = leaves (level 0 nodes)
+  std::vector<dpv::Flags> levels; // levels[L]: level-L nodes grouped by
+                                  // their level-(L+1) parents; the top
+                                  // level always holds exactly one node
+  std::size_t node_count(std::size_t level) const {
+    return levels[level].size();
+  }
+};
+
+// MBRs of the nodes at `level`, bottom-up from the line geometry.
+dpv::Vec<geom::Rect> level_boxes(dpv::Context& ctx, const BuildState& st,
+                                 std::size_t level) {
+  dpv::Vec<geom::Rect> line_boxes = dpv::map(
+      ctx, st.segs, [](const geom::Segment& s) { return s.bbox(); });
+  dpv::Vec<geom::Rect> boxes =
+      dpv::seg_reduce(ctx, geom::RectUnion{}, line_boxes, st.line_seg);
+  for (std::size_t k = 0; k < level; ++k) {
+    boxes = dpv::seg_reduce(ctx, geom::RectUnion{}, boxes, st.levels[k]);
+  }
+  return boxes;
+}
+
+// After the nodes of `level` were permuted by `dest` (old position -> new
+// position), restore the children-follow-parents layout of every lower
+// level (and the lines) with stable sorts by new parent ordinal.
+void cascade_reorder(dpv::Context& ctx, BuildState& st, std::size_t level,
+                     dpv::Index dest) {
+  dpv::Index perm = std::move(dest);
+  for (std::ptrdiff_t k = static_cast<std::ptrdiff_t>(level) - 1; k >= -1;
+       --k) {
+    dpv::Flags& flags = (k >= 0) ? st.levels[k] : st.line_seg;
+    const std::size_t n = flags.size();
+    dpv::Vec<std::size_t> parent = group_ordinals(ctx, flags);
+    dpv::Vec<std::size_t> new_parent = dpv::gather(ctx, perm, parent);
+    dpv::Vec<std::uint64_t> keys = dpv::map(
+        ctx, new_parent, [](std::size_t p) { return std::uint64_t{p}; });
+    dpv::Index order = dpv::sort_keys_indices(ctx, keys, 40);
+    dpv::Vec<std::size_t> sorted_parent = dpv::gather(ctx, new_parent, order);
+    flags = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      return static_cast<std::uint8_t>(i == 0 ||
+                                       sorted_parent[i] != sorted_parent[i - 1]);
+    });
+    if (k == -1) st.segs = dpv::gather(ctx, st.segs, order);
+    perm = invert_permutation(ctx, order);
+  }
+}
+
+// Appends a fresh root level whenever the current top level holds more
+// than one node (the root-split completion of Figure 42).
+void ensure_single_root(dpv::Context& ctx, BuildState& st) {
+  if (st.levels.back().size() > 1) {
+    st.levels.push_back(dpv::single_segment(ctx, 1));
+  }
+}
+
+RTree assemble(dpv::Context& ctx, const BuildState& st,
+               const RtreeBuildOptions& opts) {
+  const std::size_t num_levels = st.levels.size();
+  // Per-level MBRs, bottom-up.
+  std::vector<dpv::Vec<geom::Rect>> boxes(num_levels);
+  {
+    dpv::Vec<geom::Rect> line_boxes = dpv::map(
+        ctx, st.segs, [](const geom::Segment& s) { return s.bbox(); });
+    boxes[0] = dpv::seg_reduce(ctx, geom::RectUnion{}, line_boxes, st.line_seg);
+    for (std::size_t k = 0; k + 1 < num_levels; ++k) {
+      boxes[k + 1] = dpv::seg_reduce(ctx, geom::RectUnion{}, boxes[k],
+                                     st.levels[k]);
+    }
+  }
+
+  // Node layout: root first, then level top-1, ..., level 0 (leaves).
+  std::vector<std::size_t> level_base(num_levels);
+  std::size_t total = 0;
+  for (std::size_t l = num_levels; l-- > 0;) {
+    level_base[l] = total;
+    total += st.node_count(l);
+  }
+  std::vector<RTree::Node> nodes(total);
+
+  // Group start offsets at each level come from the head flags.
+  auto group_starts = [&](const dpv::Flags& flags) {
+    std::vector<std::size_t> starts;
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      if (i == 0 || flags[i]) starts.push_back(i);
+    }
+    return starts;
+  };
+
+  // Internal levels: children ranges.
+  for (std::size_t l = num_levels; l-- > 1;) {
+    const std::vector<std::size_t> starts = group_starts(st.levels[l - 1]);
+    const std::size_t child_count = st.node_count(l - 1);
+    assert(starts.size() == st.node_count(l) && "level alignment broken");
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+      RTree::Node& nd = nodes[level_base[l] + g];
+      nd.is_leaf = false;
+      nd.mbr = boxes[l][g];
+      nd.first_child = static_cast<std::int32_t>(level_base[l - 1] + starts[g]);
+      const std::size_t end = (g + 1 < starts.size()) ? starts[g + 1]
+                                                      : child_count;
+      nd.num_children = static_cast<std::int32_t>(end - starts[g]);
+    }
+  }
+  // Leaf level: entry ranges (line groups are leaf-aligned).
+  {
+    const std::vector<std::size_t> starts = group_starts(st.line_seg);
+    assert(starts.size() == st.node_count(0) && "leaf alignment broken");
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+      RTree::Node& nd = nodes[level_base[0] + g];
+      nd.is_leaf = true;
+      nd.mbr = boxes[0][g];
+      nd.first_entry = static_cast<std::uint32_t>(starts[g]);
+      const std::size_t end =
+          (g + 1 < starts.size()) ? starts[g + 1] : st.segs.size();
+      nd.num_entries = static_cast<std::uint32_t>(end - starts[g]);
+    }
+  }
+
+  const std::size_t effective_m =
+      opts.split == prim::RtreeSplitAlgo::kMean ? 1 : opts.m;
+  return RTree(std::move(nodes), st.segs,
+               static_cast<int>(num_levels) - 1, effective_m, opts.M);
+}
+
+}  // namespace
+
+RtreeBuildResult rtree_build(dpv::Context& ctx,
+                             std::vector<geom::Segment> lines,
+                             const RtreeBuildOptions& opts) {
+  const dpv::PrimCounters before = ctx.counters();
+  RtreeBuildResult res;
+
+  if (lines.empty()) {
+    std::vector<RTree::Node> nodes(1);
+    nodes[0].mbr = geom::Rect::empty();
+    res.tree = RTree(std::move(nodes), {}, 0, opts.m, opts.M);
+    res.prims = ctx.counters() - before;
+    return res;
+  }
+
+  BuildState st;
+  st.line_seg = dpv::single_segment(ctx, lines.size());
+  st.segs = std::move(lines);
+  st.levels.push_back(dpv::single_segment(ctx, 1));
+
+  for (;;) {
+    RtreeBuildRound round;
+
+    // ---- Pass A: split overflowing leaves (Figures 39-41).
+    {
+      const prim::CapacityCheck cc =
+          prim::capacity_check(ctx, st.line_seg, opts.M);
+      std::size_t overflowing = 0;
+      for (const auto f : cc.group_overflow) overflowing += (f != 0);
+      if (overflowing > 0) {
+        dpv::Vec<geom::Rect> line_boxes = dpv::map(
+            ctx, st.segs, [](const geom::Segment& s) { return s.bbox(); });
+        const prim::RtreeSplitResult split =
+            prim::rtree_split(ctx, line_boxes, st.line_seg, cc.elem_overflow,
+                              opts.m, opts.M, opts.split);
+        const prim::UnshufflePlan plan =
+            prim::plan_seg_unshuffle(ctx, split.side, st.line_seg);
+        st.segs = prim::apply_unshuffle(ctx, plan, st.segs);
+        st.line_seg = plan.new_seg;
+        // The new leaf enters the leaf level right after the one it split
+        // from, staying in the same parent's group.
+        const prim::ClonePlan cp = prim::plan_clone(ctx, cc.group_overflow);
+        st.levels[0] = prim::apply_clone_seg_flags(ctx, cp, st.levels[0]);
+        ensure_single_root(ctx, st);
+        round.leaf_splits = overflowing;
+      }
+    }
+
+    // ---- Pass B: split overflowing internal nodes, bottom-up, cascading
+    // the child reordering down to the lines.
+    for (std::size_t L = 0; L + 1 < st.levels.size(); ++L) {
+      const prim::CapacityCheck cc =
+          prim::capacity_check(ctx, st.levels[L], opts.M);
+      std::size_t overflowing = 0;
+      for (const auto f : cc.group_overflow) overflowing += (f != 0);
+      if (overflowing == 0) continue;
+      dpv::Vec<geom::Rect> boxes = level_boxes(ctx, st, L);
+      const prim::RtreeSplitResult split =
+          prim::rtree_split(ctx, boxes, st.levels[L], cc.elem_overflow,
+                            opts.m, opts.M, opts.split);
+      const prim::UnshufflePlan plan =
+          prim::plan_seg_unshuffle(ctx, split.side, st.levels[L]);
+      st.levels[L] = plan.new_seg;
+      cascade_reorder(ctx, st, L, plan.dest);
+      const prim::ClonePlan cp = prim::plan_clone(ctx, cc.group_overflow);
+      st.levels[L + 1] = prim::apply_clone_seg_flags(ctx, cp, st.levels[L + 1]);
+      ensure_single_root(ctx, st);
+      round.internal_splits += overflowing;
+    }
+
+    assert(dpv::num_segments(st.line_seg) == st.node_count(0) &&
+           "line groups must stay aligned with the leaf level");
+
+    if (round.leaf_splits == 0 && round.internal_splits == 0) break;
+    round.leaves = st.node_count(0);
+    round.levels = st.levels.size();
+    res.trace.push_back(round);
+    ++res.rounds;
+  }
+
+  res.tree = assemble(ctx, st, opts);
+  res.prims = ctx.counters() - before;
+  return res;
+}
+
+}  // namespace dps::core

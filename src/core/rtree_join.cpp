@@ -1,0 +1,57 @@
+#include "core/rtree_join.hpp"
+
+#include <algorithm>
+
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+
+namespace {
+
+using Pair = std::pair<geom::LineId, geom::LineId>;
+
+void join_rec(const RTree& a, std::int32_t na, const RTree& b,
+              std::int32_t nb, std::vector<Pair>& out, JoinStats* stats) {
+  const RTree::Node& x = a.nodes()[na];
+  const RTree::Node& y = b.nodes()[nb];
+  if (!x.mbr.intersects(y.mbr)) return;
+  if (stats != nullptr) ++stats->node_pairs_visited;
+  if (x.is_leaf && y.is_leaf) {
+    for (std::uint32_t i = 0; i < x.num_entries; ++i) {
+      const geom::Segment& s = a.entries()[x.first_entry + i];
+      for (std::uint32_t j = 0; j < y.num_entries; ++j) {
+        const geom::Segment& t = b.entries()[y.first_entry + j];
+        if (stats != nullptr) ++stats->candidate_pairs;
+        if (s.bbox().intersects(t.bbox()) &&
+            geom::segments_intersect(s, t)) {
+          out.emplace_back(s.id, t.id);
+        }
+      }
+    }
+    return;
+  }
+  // Descend the taller/internal side (both when both are internal).
+  if (!x.is_leaf && (y.is_leaf || x.num_children >= y.num_children)) {
+    for (std::int32_t c = 0; c < x.num_children; ++c) {
+      join_rec(a, x.first_child + c, b, nb, out, stats);
+    }
+  } else {
+    for (std::int32_t c = 0; c < y.num_children; ++c) {
+      join_rec(a, na, b, y.first_child + c, out, stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Pair> rtree_join(const RTree& a, const RTree& b,
+                             JoinStats* stats) {
+  std::vector<Pair> out;
+  if (a.empty() || b.empty()) return out;
+  join_rec(a, 0, b, 0, out, stats);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dps::core

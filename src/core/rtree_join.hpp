@@ -1,0 +1,25 @@
+#pragma once
+// R-tree x R-tree spatial join ([Hoel93]'s data-parallel R-tree work is
+// the companion; section 3.3 of the paper argues precisely that joining
+// two R-trees is the operation whose irregular, non-unique linear
+// orderings make the SAM model -- and cheap alignment generally --
+// inapplicable).  This host implementation is the classic synchronized
+// MBR-pruned descent; bench_spatial_join compares its node-pair and
+// candidate counts against the quadtree joins, quantifying the paper's
+// argument: without a shared disjoint decomposition the join must examine
+// every overlapping node pair.
+
+#include <utility>
+#include <vector>
+
+#include "core/rtree.hpp"
+#include "core/spatial_join.hpp"  // JoinStats
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+/// All (idA, idB) pairs of intersecting lines, sorted, each pair once.
+std::vector<std::pair<geom::LineId, geom::LineId>> rtree_join(
+    const RTree& a, const RTree& b, JoinStats* stats = nullptr);
+
+}  // namespace dps::core

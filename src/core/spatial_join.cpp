@@ -1,0 +1,84 @@
+#include "core/spatial_join.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+
+namespace {
+
+using Pair = std::pair<geom::LineId, geom::LineId>;
+
+// Tests every edge of leaf `la` (of tree a) against every edge of leaf
+// `lb` (of tree b), restricted to candidates whose bboxes meet.
+void leaf_vs_leaf(const QuadTree& a, const QuadTree::Node& la,
+                  const QuadTree& b, const QuadTree::Node& lb,
+                  std::vector<Pair>& out, JoinStats* stats) {
+  const auto [af, al] = a.leaf_edges(la);
+  const auto [bf, bl] = b.leaf_edges(lb);
+  for (const geom::Segment* s = af; s != al; ++s) {
+    for (const geom::Segment* t = bf; t != bl; ++t) {
+      if (stats != nullptr) ++stats->candidate_pairs;
+      if (s->bbox().intersects(t->bbox()) && geom::segments_intersect(*s, *t)) {
+        out.emplace_back(s->id, t->id);
+      }
+    }
+  }
+}
+
+// Lock-step descent: na and nb cover regions where one contains the other.
+void join_rec(const QuadTree& a, const QuadTree::Node& na, const QuadTree& b,
+              const QuadTree::Node& nb, std::vector<Pair>& out,
+              JoinStats* stats) {
+  if (stats != nullptr) ++stats->node_pairs_visited;
+  if (na.is_leaf && nb.is_leaf) {
+    leaf_vs_leaf(a, na, b, nb, out, stats);
+    return;
+  }
+  if (na.is_leaf) {
+    // Descend b towards na's region.
+    for (const std::int32_t c : nb.child) {
+      if (c == QuadTree::kNoChild) continue;
+      const QuadTree::Node& child = b.nodes()[c];
+      if (child.block.rect(b.world()).intersects(na.block.rect(a.world()))) {
+        join_rec(a, na, b, child, out, stats);
+      }
+    }
+    return;
+  }
+  if (nb.is_leaf) {
+    for (const std::int32_t c : na.child) {
+      if (c == QuadTree::kNoChild) continue;
+      const QuadTree::Node& child = a.nodes()[c];
+      if (child.block.rect(a.world()).intersects(nb.block.rect(b.world()))) {
+        join_rec(a, child, b, nb, out, stats);
+      }
+    }
+    return;
+  }
+  // Both internal over the same block: matched quadrants only.
+  assert(na.block == nb.block);
+  for (int q = 0; q < 4; ++q) {
+    const std::int32_t ca = na.child[q];
+    const std::int32_t cb = nb.child[q];
+    if (ca == QuadTree::kNoChild || cb == QuadTree::kNoChild) continue;
+    join_rec(a, a.nodes()[ca], b, b.nodes()[cb], out, stats);
+  }
+}
+
+}  // namespace
+
+std::vector<Pair> spatial_join(const QuadTree& a, const QuadTree& b,
+                               JoinStats* stats) {
+  std::vector<Pair> out;
+  if (a.num_nodes() == 0 || b.num_nodes() == 0) return out;
+  assert(a.world() == b.world() && "joined maps must share the root square");
+  join_rec(a, a.root(), b, b.root(), out, stats);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,32 @@
+#pragma once
+// Spatial join (map intersection) over two quadtrees.
+//
+// The paper's conclusion names spatial join as the downstream operation the
+// primitives were built for ([Hoel93]/[Hoel94a/b]).  Because the PM-family
+// quadtrees decompose both maps over the *same* regular grid, the join
+// walks the two trees in lock-step: only block pairs where one block
+// contains the other can hold intersecting lines, so candidate pairs come
+// from matched leaf regions.  Candidate (lineA, lineB) pairs are then
+// tested exactly and deduplicated (a pair can surface in several shared
+// blocks).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct JoinStats {
+  std::size_t node_pairs_visited = 0;
+  std::size_t candidate_pairs = 0;
+};
+
+/// All (idA, idB) pairs where a line of `a` intersects a line of `b`,
+/// sorted, each pair once.  Both trees must share the same world size.
+std::vector<std::pair<geom::LineId, geom::LineId>> spatial_join(
+    const QuadTree& a, const QuadTree& b, JoinStats* stats = nullptr);
+
+}  // namespace dps::core

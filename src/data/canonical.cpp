@@ -1,0 +1,30 @@
+#include "data/canonical.hpp"
+
+namespace dps::data {
+
+std::vector<geom::Segment> canonical_dataset() {
+  // Reconstructed on the 8x8 world:
+  //  * a crosses the NW/NE boundary high in the map;
+  //  * b descends through the NE quadrant across the center horizontal;
+  //  * c, d, i share the junction vertex J = (2.1, 4.9) in the NW quadrant;
+  //  * i runs from J across the center to the SE quadrant;
+  //  * e, f populate the SW quadrant; g, h the SE quadrant.
+  const geom::Point j{2.1, 4.9};
+  return {
+      geom::Segment{{1.2, 7.5}, {4.6, 6.0}, 0},  // a
+      geom::Segment{{5.2, 7.2}, {6.8, 3.4}, 1},  // b
+      geom::Segment{{0.6, 5.4}, j, 2},           // c
+      geom::Segment{j, {3.4, 5.8}, 3},           // d
+      geom::Segment{{0.8, 2.9}, {2.2, 1.5}, 4},  // e
+      geom::Segment{{3.1, 2.4}, {3.9, 0.6}, 5},  // f
+      geom::Segment{{5.1, 2.6}, {6.1, 3.4}, 6},  // g
+      geom::Segment{{6.4, 1.9}, {7.5, 1.1}, 7},  // h
+      geom::Segment{j, {6.9, 0.8}, 8},           // i
+  };
+}
+
+char canonical_label(geom::LineId id) {
+  return id <= 8 ? static_cast<char>('a' + id) : '?';
+}
+
+}  // namespace dps::data

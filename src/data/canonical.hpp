@@ -1,0 +1,27 @@
+#pragma once
+// The canonical 9-segment example dataset.
+//
+// The paper's running example (Figures 1, 3, 4, 5, 30-33, 35-38, 39-44) is
+// a map of nine line segments labeled a-i on an 8x8 world in which segments
+// c, d and i share a common endpoint and segment i spans the map
+// diagonally.  The original coordinates were never published, so this is a
+// faithful reconstruction with the same qualitative features; the
+// experiment index (EXPERIMENTS.md) records the decompositions our
+// coordinates produce.  Ids 0..8 correspond to labels a..i.
+
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::data {
+
+inline constexpr double kCanonicalWorld = 8.0;
+inline constexpr int kCanonicalMaxDepth = 3;  // 8x8 world, 1x1 cells
+
+/// The nine segments a..i (ids 0..8).
+std::vector<geom::Segment> canonical_dataset();
+
+/// Label of a canonical line id: 0 -> 'a', ..., 8 -> 'i'.
+char canonical_label(geom::LineId id);
+
+}  // namespace dps::data

@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the dataset generators and IO.
+
+#include "data/canonical.hpp"  // IWYU pragma: export
+#include "data/mapgen.hpp"     // IWYU pragma: export
+#include "data/segio.hpp"      // IWYU pragma: export
+#include "data/svg.hpp"        // IWYU pragma: export
+#include "data/validate.hpp"   // IWYU pragma: export

@@ -1,0 +1,343 @@
+#include "data/mapgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geom/predicates.hpp"
+
+namespace dps::data {
+
+namespace {
+
+// Clamps a point strictly inside the world square (keeps generators from
+// producing vertices exactly on the outer border).
+geom::Point clamp_in(geom::Point p, double world) {
+  const double margin = world * 1e-6;
+  p.x = std::clamp(p.x, margin, world - margin);
+  p.y = std::clamp(p.y, margin, world - margin);
+  return p;
+}
+
+}  // namespace
+
+std::vector<geom::Segment> planar_segments(std::size_t n, double world,
+                                           double mean_len,
+                                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, world);
+  std::uniform_real_distribution<double> ang(0.0, 2.0 * std::numbers::pi);
+  std::exponential_distribution<double> len(1.0 / mean_len);
+
+  // Uniform-grid index over accepted segments for the crossing test.
+  const double max_len = std::min(mean_len * 6.0, world * 0.25);
+  const std::size_t cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(world / max_len));
+  const double cell = world / static_cast<double>(cells);
+  std::vector<std::vector<std::uint32_t>> grid(cells * cells);
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  auto cell_range = [&](double lo, double hi) {
+    const auto a = static_cast<std::size_t>(
+        std::clamp(lo / cell, 0.0, double(cells - 1)));
+    const auto b = static_cast<std::size_t>(
+        std::clamp(hi / cell, 0.0, double(cells - 1)));
+    return std::pair{a, b};
+  };
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = n * 64 + 1024;
+  while (out.size() < n && attempts++ < max_attempts) {
+    const geom::Point mid{pos(rng), pos(rng)};
+    const double a = ang(rng);
+    const double l = std::min(len(rng), max_len) * 0.5;
+    const geom::Segment cand{
+        clamp_in(mid - geom::Point{std::cos(a) * l, std::sin(a) * l}, world),
+        clamp_in(mid + geom::Point{std::cos(a) * l, std::sin(a) * l}, world),
+        static_cast<geom::LineId>(out.size())};
+    const geom::Rect bb = cand.bbox();
+    const auto [x0, x1] = cell_range(bb.xmin, bb.xmax);
+    const auto [y0, y1] = cell_range(bb.ymin, bb.ymax);
+    bool crosses = false;
+    for (std::size_t cy = y0; cy <= y1 && !crosses; ++cy) {
+      for (std::size_t cx = x0; cx <= x1 && !crosses; ++cx) {
+        for (const auto idx : grid[cy * cells + cx]) {
+          if (geom::segments_intersect(cand, out[idx])) {
+            crosses = true;
+            break;
+          }
+        }
+      }
+    }
+    if (crosses) continue;
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        grid[cy * cells + cx].push_back(
+            static_cast<std::uint32_t>(out.size()));
+      }
+    }
+    out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<geom::Segment> planar_roads(std::size_t n, double world,
+                                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Coarse grid sized so highways take ~25% of the budget.
+  std::size_t coarse = 2;
+  while (2 * (coarse + 1) * (coarse + 1) < n / 4) ++coarse;
+  const double spacing = world / static_cast<double>(coarse + 1);
+  std::vector<geom::Segment> out =
+      road_grid(coarse, coarse, world, spacing * 0.2, seed);
+
+  // Local grids strictly inside random coarse cells (the regions between
+  // adjacent junction rows/columns; the margin keeps them clear of the
+  // jittered coarse streets).  Each cell hosts at most one local grid so
+  // local grids cannot cross each other.
+  std::uniform_int_distribution<std::size_t> pick(0, coarse - 1);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<std::uint8_t> used(coarse * coarse, 0);
+  std::size_t used_count = 0;
+  geom::LineId id = static_cast<geom::LineId>(out.size());
+  while (out.size() < n && used_count < coarse * coarse) {
+    const std::size_t gx = pick(rng);
+    const std::size_t gy = pick(rng);
+    if (used[gy * coarse + gx]) continue;
+    used[gy * coarse + gx] = 1;
+    ++used_count;
+    const double cx = (static_cast<double>(gx) + 1.0) * spacing;
+    const double cy = (static_cast<double>(gy) + 1.0) * spacing;
+    const double margin = spacing * 0.28;
+    const double x0 = cx - spacing * 0.5 + margin;
+    const double y0 = cy - spacing * 0.5 + margin;
+    const double span = spacing - 2.0 * margin;
+    const std::size_t k = 2 + static_cast<std::size_t>(u01(rng) * 3.0);
+    const double step = span / static_cast<double>(k);
+    // A small (k+1)^2 jittered lattice of local streets.
+    std::vector<geom::Point> pts((k + 1) * (k + 1));
+    std::uniform_real_distribution<double> jit(-step * 0.2, step * 0.2);
+    for (std::size_t r = 0; r <= k; ++r) {
+      for (std::size_t c = 0; c <= k; ++c) {
+        pts[r * (k + 1) + c] =
+            geom::Point{x0 + static_cast<double>(c) * step + jit(rng),
+                        y0 + static_cast<double>(r) * step + jit(rng)};
+      }
+    }
+    for (std::size_t r = 0; r <= k; ++r) {
+      for (std::size_t c = 0; c <= k; ++c) {
+        if (c < k) {
+          out.push_back(
+              geom::Segment{pts[r * (k + 1) + c], pts[r * (k + 1) + c + 1],
+                            id++});
+        }
+        if (r < k) {
+          out.push_back(
+              geom::Segment{pts[r * (k + 1) + c], pts[(r + 1) * (k + 1) + c],
+                            id++});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void reassign_ids(std::vector<geom::Segment>& segs) {
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    segs[i].id = static_cast<geom::LineId>(i);
+  }
+}
+
+std::vector<geom::Segment> uniform_segments(std::size_t n, double world,
+                                            double mean_len,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, world);
+  std::uniform_real_distribution<double> ang(0.0, 2.0 * std::numbers::pi);
+  std::exponential_distribution<double> len(1.0 / mean_len);
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point mid{pos(rng), pos(rng)};
+    const double a = ang(rng);
+    const double l = std::min(len(rng), world * 0.5) * 0.5;
+    const geom::Point d{std::cos(a) * l, std::sin(a) * l};
+    out.push_back(geom::Segment{clamp_in(mid - d, world),
+                                clamp_in(mid + d, world),
+                                static_cast<geom::LineId>(i)});
+  }
+  return out;
+}
+
+std::vector<geom::Segment> road_grid(std::size_t rows, std::size_t cols,
+                                     double world, double jitter,
+                                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jit(-jitter, jitter);
+  const double dx = world / static_cast<double>(cols + 1);
+  const double dy = world / static_cast<double>(rows + 1);
+  // Jittered junction lattice.
+  std::vector<geom::Point> junction((rows + 1) * (cols + 1));
+  for (std::size_t r = 0; r <= rows; ++r) {
+    for (std::size_t c = 0; c <= cols; ++c) {
+      junction[r * (cols + 1) + c] = clamp_in(
+          geom::Point{(static_cast<double>(c) + 0.5) * dx + jit(rng),
+                      (static_cast<double>(r) + 0.5) * dy + jit(rng)},
+          world);
+    }
+  }
+  std::vector<geom::Segment> out;
+  geom::LineId id = 0;
+  for (std::size_t r = 0; r <= rows; ++r) {
+    for (std::size_t c = 0; c <= cols; ++c) {
+      const geom::Point& p = junction[r * (cols + 1) + c];
+      if (c < cols) {
+        out.push_back(geom::Segment{p, junction[r * (cols + 1) + c + 1], id++});
+      }
+      if (r < rows) {
+        out.push_back(
+            geom::Segment{p, junction[(r + 1) * (cols + 1) + c], id++});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Segment> hierarchical_roads(std::size_t n, double world,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, world * 0.02);
+  std::vector<geom::Segment> out;
+  geom::LineId id = 0;
+
+  // Highways: polylines crossing the world, ~10% of the segment budget.
+  const std::size_t highway_segments = std::max<std::size_t>(4, n / 10);
+  const std::size_t per_highway = 16;
+  const std::size_t highways =
+      std::max<std::size_t>(1, highway_segments / per_highway);
+  std::vector<geom::Point> junctions;
+  for (std::size_t h = 0; h < highways; ++h) {
+    const bool horizontal = (h % 2) == 0;
+    const double lane = world * u01(rng);
+    geom::Point prev = horizontal ? geom::Point{0.0, lane}
+                                  : geom::Point{lane, 0.0};
+    prev = clamp_in(prev, world);
+    for (std::size_t s = 1; s <= per_highway; ++s) {
+      const double t = static_cast<double>(s) / per_highway * world;
+      geom::Point next = horizontal
+                             ? geom::Point{t, lane + gauss(rng)}
+                             : geom::Point{lane + gauss(rng), t};
+      next = clamp_in(next, world);
+      out.push_back(geom::Segment{prev, next, id++});
+      junctions.push_back(next);
+      prev = next;
+    }
+  }
+
+  // Local streets: short segments clustered around highway junctions, with
+  // ~30% chance of chaining off the previous street's endpoint (shared
+  // vertices, as in real street networks).
+  std::uniform_int_distribution<std::size_t> pick(0, junctions.size() - 1);
+  std::uniform_real_distribution<double> ang(0.0, 2.0 * std::numbers::pi);
+  geom::Point chain{};
+  bool have_chain = false;
+  while (out.size() < n) {
+    geom::Point from;
+    if (have_chain && u01(rng) < 0.3) {
+      from = chain;
+    } else {
+      const geom::Point j = junctions[pick(rng)];
+      from = clamp_in(geom::Point{j.x + gauss(rng) * 4.0,
+                                  j.y + gauss(rng) * 4.0},
+                      world);
+    }
+    const double a = ang(rng);
+    const double len = world * (0.002 + 0.01 * u01(rng));
+    const geom::Point to = clamp_in(
+        geom::Point{from.x + std::cos(a) * len, from.y + std::sin(a) * len},
+        world);
+    out.push_back(geom::Segment{from, to, id++});
+    chain = to;
+    have_chain = true;
+  }
+  return out;
+}
+
+std::vector<geom::Segment> clustered_segments(std::size_t n, std::size_t k,
+                                              double sigma, double world,
+                                              double mean_len,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(world * 0.1, world * 0.9);
+  std::normal_distribution<double> off(0.0, sigma);
+  std::uniform_real_distribution<double> ang(0.0, 2.0 * std::numbers::pi);
+  std::exponential_distribution<double> len(1.0 / mean_len);
+  std::vector<geom::Point> centers(std::max<std::size_t>(k, 1));
+  for (auto& c : centers) c = geom::Point{pos(rng), pos(rng)};
+  std::uniform_int_distribution<std::size_t> pick(0, centers.size() - 1);
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point& c = centers[pick(rng)];
+    const geom::Point mid =
+        clamp_in(geom::Point{c.x + off(rng), c.y + off(rng)}, world);
+    const double a = ang(rng);
+    const double l = std::min(len(rng), world * 0.25) * 0.5;
+    out.push_back(geom::Segment{
+        clamp_in(geom::Point{mid.x - std::cos(a) * l, mid.y - std::sin(a) * l},
+                 world),
+        clamp_in(geom::Point{mid.x + std::cos(a) * l, mid.y + std::sin(a) * l},
+                 world),
+        static_cast<geom::LineId>(i)});
+  }
+  return out;
+}
+
+std::vector<geom::Segment> star_burst(std::size_t k, geom::Point center,
+                                      double radius, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jitter(0.7, 1.0);
+  std::vector<geom::Segment> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double a =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(k);
+    const double r = radius * jitter(rng);
+    out.push_back(geom::Segment{
+        center,
+        geom::Point{center.x + std::cos(a) * r, center.y + std::sin(a) * r},
+        static_cast<geom::LineId>(i)});
+  }
+  return out;
+}
+
+std::vector<geom::Segment> polygon_ring(std::size_t n, geom::Point center,
+                                        double radius) {
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  auto vertex = [&](std::size_t i) {
+    const double a =
+        2.0 * std::numbers::pi * static_cast<double>(i % n) / static_cast<double>(n);
+    return geom::Point{center.x + std::cos(a) * radius,
+                       center.y + std::sin(a) * radius};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        geom::Segment{vertex(i), vertex(i + 1), static_cast<geom::LineId>(i)});
+  }
+  return out;
+}
+
+std::vector<geom::Segment> close_vertices_pair(double world, double eps) {
+  // Line a spans the lower-left region; line b's vertex sits `eps` away
+  // from one of a's vertices (Figure 2b).
+  const geom::Point pa1{world * 0.20, world * 0.30};
+  const geom::Point pa2{world * 0.45, world * 0.55};
+  const geom::Point pb1{pa2.x + eps, pa2.y - eps};
+  const geom::Point pb2{world * 0.80, world * 0.25};
+  return {geom::Segment{pa1, pa2, 0}, geom::Segment{pb1, pb2, 1}};
+}
+
+}  // namespace dps::data

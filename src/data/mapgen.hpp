@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic synthetic map generators.
+//
+// The paper's companion evaluations used GIS line maps (roads, utilities,
+// railways).  Those datasets are not available offline, so these generators
+// synthesize maps with the statistical properties the spatial structures
+// react to: mostly short edges, spatially varying density, and shared
+// endpoints (polylines/junctions) that exercise the PM1 vertex rule.  All
+// generators are pure functions of their seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::data {
+
+/// n independent segments: uniform midpoint, uniform direction, exponential
+/// length around `mean_len`, clipped to lie strictly inside (0, world).
+std::vector<geom::Segment> uniform_segments(std::size_t n, double world,
+                                            double mean_len,
+                                            std::uint64_t seed);
+
+/// A perturbed street grid: (rows+1) x (cols+1) jittered junctions joined by
+/// horizontal and vertical street segments.  Adjacent streets share their
+/// junction vertices -- the common-vertex case of the PM1 rule.
+std::vector<geom::Segment> road_grid(std::size_t rows, std::size_t cols,
+                                     double world, double jitter,
+                                     std::uint64_t seed);
+
+/// TIGER-like hierarchical road map: a few long polyline "highways" spanning
+/// the world plus short local streets clustered around highway vertices.
+/// Produces roughly `n` segments.
+std::vector<geom::Segment> hierarchical_roads(std::size_t n, double world,
+                                              std::uint64_t seed);
+
+/// Segments whose midpoints form `k` Gaussian clusters (sigma in world
+/// units); models the dense-downtown / sparse-rural mix of real maps.
+std::vector<geom::Segment> clustered_segments(std::size_t n, std::size_t k,
+                                              double sigma, double world,
+                                              double mean_len,
+                                              std::uint64_t seed);
+
+/// k segments sharing one common endpoint (a junction star): the
+/// max==min==1, single-vertex case the PM1 rule must NOT split.
+std::vector<geom::Segment> star_burst(std::size_t k, geom::Point center,
+                                      double radius, std::uint64_t seed);
+
+/// A closed ring of `n` connected segments around `center`.
+std::vector<geom::Segment> polygon_ring(std::size_t n, geom::Point center,
+                                        double radius);
+
+/// The Figure 2 pathology: two segments whose endpoints are `eps` apart,
+/// forcing deep PM1 subdivision.
+std::vector<geom::Segment> close_vertices_pair(double world, double eps);
+
+/// n pairwise NON-CROSSING segments (rejection-sampled with a uniform-grid
+/// index).  PM1 quadtrees require planar input: two segments crossing away
+/// from a shared vertex violate the vertex rule at every depth.  May
+/// return fewer than n segments if the density is unsatisfiable; for
+/// mean_len << world / sqrt(n) it always reaches n.
+std::vector<geom::Segment> planar_segments(std::size_t n, double world,
+                                           double mean_len,
+                                           std::uint64_t seed);
+
+/// Planar road network: a jittered coarse street grid plus fine local
+/// street grids nested strictly inside a fraction of the coarse cells.
+/// All contacts are shared junction vertices; no crossings, so the map is
+/// valid PM1 input.  Produces roughly `n` segments.
+std::vector<geom::Segment> planar_roads(std::size_t n, double world,
+                                        std::uint64_t seed);
+
+/// Renumbers ids 0..n-1 (generators compose; call after concatenation).
+void reassign_ids(std::vector<geom::Segment>& segs);
+
+}  // namespace dps::data

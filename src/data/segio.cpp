@@ -1,0 +1,53 @@
+#include "data/segio.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dps::data {
+
+void write_segments(std::ostream& os, const std::vector<geom::Segment>& segs) {
+  os << "# dpspatial segment map: id x1 y1 x2 y2\n";
+  char buf[160];
+  for (const auto& s : segs) {
+    std::snprintf(buf, sizeof(buf), "%u %.17g %.17g %.17g %.17g\n", s.id,
+                  s.a.x, s.a.y, s.b.x, s.b.y);
+    os << buf;
+  }
+  if (!os) throw std::runtime_error("write_segments: stream failure");
+}
+
+std::vector<geom::Segment> read_segments(std::istream& is) {
+  std::vector<geom::Segment> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    geom::Segment s;
+    if (!(ls >> s.id >> s.a.x >> s.a.y >> s.b.x >> s.b.y)) {
+      throw std::runtime_error("read_segments: malformed line " +
+                               std::to_string(lineno));
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+void save_segments(const std::string& path,
+                   const std::vector<geom::Segment>& segs) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_segments: cannot open " + path);
+  write_segments(f, segs);
+}
+
+std::vector<geom::Segment> load_segments(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_segments: cannot open " + path);
+  return read_segments(f);
+}
+
+}  // namespace dps::data

@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text segment map IO.
+//
+// Format: one segment per line, `id x1 y1 x2 y2`, '#' comments and blank
+// lines ignored.  Round-trips through doubles with %.17g precision.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::data {
+
+/// Writes `segs` to `os`; throws std::runtime_error on stream failure.
+void write_segments(std::ostream& os, const std::vector<geom::Segment>& segs);
+
+/// Parses a segment map; throws std::runtime_error with a line number on
+/// malformed input.
+std::vector<geom::Segment> read_segments(std::istream& is);
+
+/// File convenience wrappers.
+void save_segments(const std::string& path,
+                   const std::vector<geom::Segment>& segs);
+std::vector<geom::Segment> load_segments(const std::string& path);
+
+}  // namespace dps::data

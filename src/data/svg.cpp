@@ -1,0 +1,143 @@
+#include "data/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dps::data {
+
+namespace {
+
+class SvgWriter {
+ public:
+  SvgWriter(std::ostream& os, double world, double pixels)
+      : os_(os), scale_(pixels / world), world_(world), pixels_(pixels) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+                  "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+                  pixels_, pixels_, pixels_, pixels_);
+    os_ << buf
+        << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  }
+
+  double x(double v) const { return v * scale_; }
+  double y(double v) const { return pixels_ - v * scale_; }  // y grows up
+
+  void line(const geom::Point& a, const geom::Point& b, const char* stroke,
+            double width) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+                  "stroke=\"%s\" stroke-width=\"%.2f\"/>\n",
+                  x(a.x), y(a.y), x(b.x), y(b.y), stroke, width);
+    os_ << buf;
+  }
+
+  void rect(const geom::Rect& r, const char* stroke, const char* fill,
+            double width, double fill_opacity) {
+    char buf[260];
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+                  "height=\"%.2f\" stroke=\"%s\" fill=\"%s\" "
+                  "stroke-width=\"%.2f\" fill-opacity=\"%.2f\"/>\n",
+                  x(r.xmin), y(r.ymax), (r.xmax - r.xmin) * scale_,
+                  (r.ymax - r.ymin) * scale_, stroke, fill, width,
+                  fill_opacity);
+    os_ << buf;
+  }
+
+  void text(const geom::Point& at, const std::string& s) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "<text x=\"%.2f\" y=\"%.2f\" font-size=\"9\" "
+                  "fill=\"gray\">%s</text>\n",
+                  x(at.x), y(at.y), s.c_str());
+    os_ << buf;
+  }
+
+  void finish() { os_ << "</svg>\n"; }
+
+ private:
+  std::ostream& os_;
+  double scale_;
+  double world_;
+  double pixels_;
+};
+
+void draw_segments(SvgWriter& w, const std::vector<geom::Segment>& lines) {
+  for (const auto& s : lines) w.line(s.a, s.b, "crimson", 1.2);
+}
+
+}  // namespace
+
+void write_svg(std::ostream& os, const std::vector<geom::Segment>& lines,
+               double world, const SvgOptions& opts) {
+  SvgWriter w(os, world, opts.pixels);
+  if (opts.draw_segments) draw_segments(w, lines);
+  w.finish();
+}
+
+void write_svg(std::ostream& os, const core::QuadTree& tree,
+               const SvgOptions& opts) {
+  SvgWriter w(os, tree.world(), opts.pixels);
+  if (opts.draw_blocks) {
+    for (const auto& nd : tree.nodes()) {
+      if (!nd.is_leaf) continue;
+      w.rect(nd.block.rect(tree.world()), "steelblue", "none", 0.6, 0.0);
+      if (opts.label_leaves) {
+        w.text(nd.block.center(tree.world()), nd.block.to_string());
+      }
+    }
+  }
+  if (opts.draw_segments) {
+    for (const auto& s : tree.edges()) w.line(s.a, s.b, "crimson", 1.2);
+  }
+  w.finish();
+}
+
+void write_svg(std::ostream& os, const core::RTree& tree, double world,
+               const SvgOptions& opts) {
+  SvgWriter w(os, world, opts.pixels);
+  if (opts.draw_blocks) {
+    for (const auto& nd : tree.nodes()) {
+      w.rect(nd.mbr, nd.is_leaf ? "seagreen" : "darkorange", "none",
+             nd.is_leaf ? 0.6 : 1.0, 0.0);
+    }
+  }
+  if (opts.draw_segments) {
+    for (const auto& s : tree.entries()) w.line(s.a, s.b, "crimson", 1.0);
+  }
+  w.finish();
+}
+
+namespace {
+
+template <typename F>
+void save_with(const std::string& path, F&& write) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_svg: cannot open " + path);
+  write(f);
+  if (!f) throw std::runtime_error("save_svg: write failure on " + path);
+}
+
+}  // namespace
+
+void save_svg(const std::string& path,
+              const std::vector<geom::Segment>& lines, double world,
+              const SvgOptions& opts) {
+  save_with(path, [&](std::ostream& os) { write_svg(os, lines, world, opts); });
+}
+
+void save_svg(const std::string& path, const core::QuadTree& tree,
+              const SvgOptions& opts) {
+  save_with(path, [&](std::ostream& os) { write_svg(os, tree, opts); });
+}
+
+void save_svg(const std::string& path, const core::RTree& tree, double world,
+              const SvgOptions& opts) {
+  save_with(path, [&](std::ostream& os) { write_svg(os, tree, world, opts); });
+}
+
+}  // namespace dps::data

@@ -1,0 +1,47 @@
+#pragma once
+// SVG export of maps and decompositions.
+//
+// Renders what the paper's figures show: the line map, quadtree block
+// boundaries, and R-tree bounding rectangles (nested, semi-transparent).
+// Output is plain SVG 1.1; world coordinates are flipped so y grows
+// upward, matching the library's convention.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::data {
+
+struct SvgOptions {
+  double pixels = 800.0;        // rendered size of the world square
+  bool draw_blocks = true;      // quadtree leaf boundaries
+  bool draw_segments = true;
+  bool label_leaves = false;    // block depth:(x,y) labels
+};
+
+/// The raw segment map over a world square.
+void write_svg(std::ostream& os, const std::vector<geom::Segment>& lines,
+               double world, const SvgOptions& opts = {});
+
+/// A quadtree decomposition (leaf block outlines) with its q-edges.
+void write_svg(std::ostream& os, const core::QuadTree& tree,
+               const SvgOptions& opts = {});
+
+/// An R-tree: nested node MBRs (opacity by depth) plus the entries.
+void write_svg(std::ostream& os, const core::RTree& tree, double world,
+               const SvgOptions& opts = {});
+
+/// File convenience wrappers (throw std::runtime_error on IO failure).
+void save_svg(const std::string& path,
+              const std::vector<geom::Segment>& lines, double world,
+              const SvgOptions& opts = {});
+void save_svg(const std::string& path, const core::QuadTree& tree,
+              const SvgOptions& opts = {});
+void save_svg(const std::string& path, const core::RTree& tree, double world,
+              const SvgOptions& opts = {});
+
+}  // namespace dps::data

@@ -1,0 +1,97 @@
+#include "data/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geom/predicates.hpp"
+
+namespace dps::data {
+
+std::string MapIssue::describe() const {
+  switch (kind) {
+    case Kind::kNonFinite:
+      return "line " + std::to_string(line) + ": non-finite coordinate";
+    case Kind::kOutOfWorld:
+      return "line " + std::to_string(line) + ": endpoint outside the world";
+    case Kind::kDuplicateId:
+      return "lines share id " + std::to_string(line);
+    case Kind::kZeroLength:
+      return "line " + std::to_string(line) + ": zero-length segment";
+    case Kind::kCrossing:
+      return "lines " + std::to_string(line) + " and " +
+             std::to_string(other) + " cross away from a shared vertex";
+  }
+  return "unknown issue";
+}
+
+std::vector<MapIssue> check_map(const std::vector<geom::Segment>& lines,
+                                double world) {
+  std::vector<MapIssue> issues;
+  std::unordered_map<geom::LineId, std::size_t> seen;
+  for (const auto& s : lines) {
+    const double coords[] = {s.a.x, s.a.y, s.b.x, s.b.y};
+    bool finite = true;
+    for (const double c : coords) finite &= std::isfinite(c);
+    if (!finite) {
+      issues.push_back({MapIssue::Kind::kNonFinite, s.id});
+      continue;
+    }
+    const geom::Rect w{0.0, 0.0, world, world};
+    if (!w.contains(s.a) || !w.contains(s.b)) {
+      issues.push_back({MapIssue::Kind::kOutOfWorld, s.id});
+    }
+    if (s.a == s.b) {
+      issues.push_back({MapIssue::Kind::kZeroLength, s.id});
+    }
+    const auto [it, inserted] = seen.try_emplace(s.id, 0);
+    if (!inserted) {
+      issues.push_back({MapIssue::Kind::kDuplicateId, s.id, s.id});
+    }
+  }
+  return issues;
+}
+
+bool is_planar(const std::vector<geom::Segment>& lines, double world,
+               MapIssue* first_issue) {
+  // Uniform grid over segment bboxes; compare only within shared cells.
+  double max_len = world / 64.0;
+  for (const auto& s : lines) max_len = std::max(max_len, s.length());
+  const std::size_t cells = std::max<std::size_t>(
+      1, static_cast<std::size_t>(world / std::max(max_len, 1e-9)));
+  const double cell = world / static_cast<double>(cells);
+  std::vector<std::vector<std::uint32_t>> grid(cells * cells);
+  auto clamp_cell = [&](double v) {
+    return static_cast<std::size_t>(
+        std::clamp(v / cell, 0.0, static_cast<double>(cells - 1)));
+  };
+  auto shares_vertex = [](const geom::Segment& s, const geom::Segment& t) {
+    return s.a == t.a || s.a == t.b || s.b == t.a || s.b == t.b;
+  };
+  for (std::uint32_t i = 0; i < lines.size(); ++i) {
+    const geom::Rect bb = lines[i].bbox();
+    const std::size_t x0 = clamp_cell(bb.xmin), x1 = clamp_cell(bb.xmax);
+    const std::size_t y0 = clamp_cell(bb.ymin), y1 = clamp_cell(bb.ymax);
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        for (const auto j : grid[cy * cells + cx]) {
+          if (!geom::segments_intersect(lines[i], lines[j])) continue;
+          if (shares_vertex(lines[i], lines[j])) continue;
+          if (first_issue != nullptr) {
+            *first_issue = {MapIssue::Kind::kCrossing, lines[j].id,
+                            lines[i].id};
+          }
+          return false;
+        }
+      }
+    }
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        grid[cy * cells + cx].push_back(i);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dps::data

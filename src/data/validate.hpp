@@ -1,0 +1,44 @@
+#pragma once
+// Input validation for segment maps.
+//
+// The builds assume: finite coordinates inside the world square, unique
+// line ids, and -- for PM1/PM2 -- planarity (no two segments crossing away
+// from a shared vertex).  `check_map` reports violations of the cheap
+// invariants; `is_planar` runs the (grid-accelerated) pairwise crossing
+// check.  Run these before handing untrusted data to the builds; the
+// builds themselves do not re-validate on their hot paths.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::data {
+
+struct MapIssue {
+  enum class Kind {
+    kNonFinite,       // NaN or infinity in a coordinate
+    kOutOfWorld,      // endpoint outside [0, world]^2
+    kDuplicateId,     // two lines share an id
+    kZeroLength,      // degenerate point segment (legal but noteworthy)
+    kCrossing,        // non-planar contact (PM1/PM2 cannot represent it)
+  };
+  Kind kind;
+  geom::LineId line;        // offending line (first of the pair for pairs)
+  geom::LineId other = 0;   // the partner for kDuplicateId / kCrossing
+  std::string describe() const;
+};
+
+/// Checks the cheap per-line invariants (finiteness, bounds, id
+/// uniqueness, degeneracy).  Returns every violation found.
+std::vector<MapIssue> check_map(const std::vector<geom::Segment>& lines,
+                                double world);
+
+/// True when no two segments cross away from a shared endpoint.  On a
+/// violation, `first_issue` (when non-null) receives the offending pair.
+/// Grid-accelerated: ~O(n) for maps with bounded local density.
+bool is_planar(const std::vector<geom::Segment>& lines, double world,
+               MapIssue* first_issue = nullptr);
+
+}  // namespace dps::data

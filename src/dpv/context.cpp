@@ -1,0 +1,64 @@
+#include "dpv/context.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dps::dpv {
+
+std::string_view prim_name(Prim p) noexcept {
+  switch (p) {
+    case Prim::kElementwise: return "elementwise";
+    case Prim::kScan: return "scan";
+    case Prim::kPermute: return "permute";
+    case Prim::kGather: return "gather";
+    case Prim::kScatter: return "scatter";
+    case Prim::kPack: return "pack";
+    case Prim::kSortPass: return "sort-pass";
+    case Prim::kReduce: return "reduce";
+    case Prim::kCount_: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t PrimCounters::total_invocations() const noexcept {
+  return std::accumulate(invocations.begin(), invocations.end(),
+                         std::uint64_t{0});
+}
+
+PrimCounters& PrimCounters::operator+=(const PrimCounters& other) noexcept {
+  for (std::size_t i = 0; i < kNumPrims; ++i) {
+    invocations[i] += other.invocations[i];
+    elements[i] += other.elements[i];
+  }
+  return *this;
+}
+
+PrimCounters operator-(PrimCounters a, const PrimCounters& b) noexcept {
+  for (std::size_t i = 0; i < kNumPrims; ++i) {
+    a.invocations[i] -= b.invocations[i];
+    a.elements[i] -= b.elements[i];
+  }
+  return a;
+}
+
+Context::Context() = default;
+
+Context::Context(std::size_t num_threads)
+    : pool_(std::make_shared<ThreadPool>(num_threads)) {}
+
+std::size_t Context::block_count(std::size_t n) const noexcept {
+  if (!pool_ || n < grain_ * 2) return n == 0 ? 0 : 1;
+  const std::size_t by_grain = (n + grain_ - 1) / grain_;
+  return std::min(pool_->size(), by_grain);
+}
+
+std::pair<std::size_t, std::size_t> Context::block_range(
+    std::size_t n, std::size_t k, std::size_t b) noexcept {
+  const std::size_t base = n / k;
+  const std::size_t rem = n % k;
+  const std::size_t lo = b * base + std::min(b, rem);
+  const std::size_t hi = lo + base + (b < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,112 @@
+#pragma once
+// Execution context for the dpv scan-model runtime.
+//
+// A Context bundles (a) the execution backend -- serial, or parallel over a
+// ThreadPool -- and (b) the primitive-operation counters that reproduce the
+// paper's cost model.  The scan model charges unit cost per primitive
+// invocation (elementwise / scan / permutation); `Context::counters()`
+// exposes exactly those counts so the complexity claims of sections 5.1-5.3
+// (O(log n) rounds x O(1) primitives for the quadtrees, O(log^2 n) for the
+// R-tree) can be measured rather than assumed.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "dpv/thread_pool.hpp"
+
+namespace dps::dpv {
+
+/// Primitive categories of the scan model (section 3.2 of the paper), plus
+/// the derived operations the spatial layer treats as primitives.
+enum class Prim : std::size_t {
+  kElementwise = 0,  // section 3.2.2
+  kScan,             // section 3.2.1 (any direction/segmentation/inclusivity)
+  kPermute,          // section 3.2.3 (one-to-one rearrangement)
+  kGather,           // read-indirection (a[index[i]])
+  kScatter,          // write-indirection, not necessarily one-to-one
+  kPack,             // unshuffle/split lower half (built from scans+permute)
+  kSortPass,         // one counting/split pass of the radix sort
+  kReduce,           // whole-vector reduction
+  kCount_,
+};
+
+constexpr std::size_t kNumPrims = static_cast<std::size_t>(Prim::kCount_);
+
+/// Human-readable name for a primitive category.
+std::string_view prim_name(Prim p) noexcept;
+
+/// Snapshot / accumulator of primitive-invocation counts.
+struct PrimCounters {
+  std::array<std::uint64_t, kNumPrims> invocations{};
+  std::array<std::uint64_t, kNumPrims> elements{};  // total vector elements touched
+
+  std::uint64_t total_invocations() const noexcept;
+  PrimCounters& operator+=(const PrimCounters& other) noexcept;
+  friend PrimCounters operator-(PrimCounters a, const PrimCounters& b) noexcept;
+};
+
+/// Execution + accounting context.  Thread-compatible: a Context may be used
+/// from one algorithm driver thread at a time; the primitives it runs fan
+/// out over the pool internally.
+class Context {
+ public:
+  /// Serial context: primitives execute on the calling thread.
+  Context();
+  /// Parallel context over a pool with `num_threads` lanes (0 = hardware).
+  explicit Context(std::size_t num_threads);
+
+  /// Number of parallel lanes (1 for a serial context).
+  std::size_t lanes() const noexcept { return pool_ ? pool_->size() : 1; }
+  bool parallel() const noexcept { return lanes() > 1; }
+
+  /// Splits [0, n) into per-lane blocks and runs `f(lane, begin, end)` on
+  /// each.  Blocks are contiguous and cover [0, n) exactly; at most
+  /// `lanes()` blocks are created and empty blocks are not invoked.
+  template <typename F>
+  void for_blocks(std::size_t n, F&& f) const {
+    const std::size_t k = block_count(n);
+    if (k <= 1) {
+      if (n > 0) f(std::size_t{0}, std::size_t{0}, n);
+      return;
+    }
+    pool_->run(k, [&](std::size_t lane) {
+      const auto [lo, hi] = block_range(n, k, lane);
+      if (lo < hi) f(lane, lo, hi);
+    });
+  }
+
+  /// Number of blocks `for_blocks` would use for a vector of length n.
+  std::size_t block_count(std::size_t n) const noexcept;
+
+  /// The half-open element range of block `b` out of `k` for length n.
+  static std::pair<std::size_t, std::size_t> block_range(std::size_t n,
+                                                         std::size_t k,
+                                                         std::size_t b) noexcept;
+
+  /// Records one invocation of primitive `p` over `n` elements.
+  void count(Prim p, std::size_t n) noexcept {
+    const auto i = static_cast<std::size_t>(p);
+    counters_.invocations[i] += 1;
+    counters_.elements[i] += n;
+  }
+
+  const PrimCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = PrimCounters{}; }
+
+  /// Minimum elements per lane before a primitive bothers to fork.  Vectors
+  /// shorter than `grain() * 2` run serially inside parallel contexts.
+  std::size_t grain() const noexcept { return grain_; }
+  void set_grain(std::size_t g) noexcept { grain_ = g == 0 ? 1 : g; }
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;  // null => serial
+  PrimCounters counters_;
+  std::size_t grain_ = 4096;
+};
+
+}  // namespace dps::dpv

@@ -1,0 +1,22 @@
+#pragma once
+// Umbrella header for the dpv scan-model runtime.
+//
+// dpv implements the scan model of parallel computation (Blelloch 1989, as
+// summarized in section 3.2 of Hoel & Samet, ICPP'95): arbitrarily long
+// vectors manipulated exclusively through elementwise operations,
+// permutations, and (segmented, directional, in/exclusive) scans, plus the
+// standard derived operations (pack/split, radix sort, reductions).  A
+// `Context` selects the serial or multicore backend and counts primitive
+// invocations, reproducing the CM-5 unit-cost model of the paper.
+
+#include "dpv/context.hpp"      // IWYU pragma: export
+#include "dpv/elementwise.hpp"  // IWYU pragma: export
+#include "dpv/machine_model.hpp"  // IWYU pragma: export
+#include "dpv/ops.hpp"          // IWYU pragma: export
+#include "dpv/pack.hpp"         // IWYU pragma: export
+#include "dpv/permute.hpp"      // IWYU pragma: export
+#include "dpv/reduce.hpp"       // IWYU pragma: export
+#include "dpv/scan.hpp"         // IWYU pragma: export
+#include "dpv/sort.hpp"         // IWYU pragma: export
+#include "dpv/thread_pool.hpp"  // IWYU pragma: export
+#include "dpv/vector.hpp"       // IWYU pragma: export

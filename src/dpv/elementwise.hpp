@@ -1,0 +1,76 @@
+#pragma once
+// Elementwise primitives (section 3.2.2).
+//
+// `ew` applies a binary functor lane-by-lane to two equal-length vectors;
+// `map` is the unary analogue; `zip_with` generalizes to mixed result types.
+// Each call is one scan-model primitive (unit cost per the paper's model)
+// and is counted as such on the Context.
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "dpv/context.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// result[i] = f(a[i], b[i]).  `a` and `b` must have equal length.
+template <typename T, typename U, typename F>
+auto zip_with(Context& ctx, const Vec<T>& a, const Vec<U>& b, F&& f)
+    -> Vec<decltype(f(a[0], b[0]))> {
+  assert(a.size() == b.size() && "elementwise operands must have equal length");
+  using R = decltype(f(a[0], b[0]));
+  Vec<R> out(a.size());
+  ctx.for_blocks(a.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i]);
+  });
+  ctx.count(Prim::kElementwise, a.size());
+  return out;
+}
+
+/// result[i] = op(a[i], b[i]) with a same-type result (the paper's ew).
+template <typename T, typename Op>
+Vec<T> ew(Context& ctx, Op op, const Vec<T>& a, const Vec<T>& b) {
+  return zip_with(ctx, a, b, op);
+}
+
+/// result[i] = f(a[i]).
+template <typename T, typename F>
+auto map(Context& ctx, const Vec<T>& a, F&& f) -> Vec<decltype(f(a[0]))> {
+  using R = decltype(f(a[0]));
+  Vec<R> out(a.size());
+  ctx.for_blocks(a.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = f(a[i]);
+  });
+  ctx.count(Prim::kElementwise, a.size());
+  return out;
+}
+
+/// result[i] = f(i) -- elementwise over the index space.  Used where C*
+/// code would read `pcoord` inside an elementwise statement.
+template <typename F>
+auto tabulate(Context& ctx, std::size_t n, F&& f) -> Vec<decltype(f(std::size_t{0}))> {
+  using R = decltype(f(std::size_t{0}));
+  Vec<R> out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = f(i);
+  });
+  ctx.count(Prim::kElementwise, n);
+  return out;
+}
+
+/// In-place conditional update: where mask[i] != 0, a[i] = f(a[i], i).
+/// Models C* `where` blocks over a parallel variable.
+template <typename T, typename F>
+void update_where(Context& ctx, Vec<T>& a, const Flags& mask, F&& f) {
+  assert(a.size() == mask.size());
+  ctx.for_blocks(a.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (mask[i]) a[i] = f(a[i], i);
+    }
+  });
+  ctx.count(Prim::kElementwise, a.size());
+}
+
+}  // namespace dps::dpv

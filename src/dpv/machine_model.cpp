@@ -1,0 +1,61 @@
+#include "dpv/machine_model.hpp"
+
+#include <cmath>
+
+namespace dps::dpv {
+
+namespace {
+
+// Remote-traffic categories pay the routing multiplier.
+bool routes_data(Prim p) {
+  switch (p) {
+    case Prim::kPermute:
+    case Prim::kGather:
+    case Prim::kScatter:
+    case Prim::kSortPass:
+    case Prim::kPack:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Tree-combine categories pay the log2(P) term per invocation.
+bool combines(Prim p) {
+  switch (p) {
+    case Prim::kScan:
+    case Prim::kReduce:
+    case Prim::kPack:  // built on scans
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+double MachineModel::estimate_ms(const PrimCounters& c) const {
+  const double P = static_cast<double>(processors < 1 ? 1 : processors);
+  const double logp = std::log2(P) + 1.0;
+  double ns = 0.0;
+  for (std::size_t i = 0; i < kNumPrims; ++i) {
+    const auto prim = static_cast<Prim>(i);
+    const double inv = static_cast<double>(c.invocations[i]);
+    const double elems = static_cast<double>(c.elements[i]);
+    double startup = launch_ns;
+    if (combines(prim)) startup += combine_ns * logp;
+    double per_elem = element_ns;
+    if (routes_data(prim)) per_elem *= traffic_factor;
+    ns += inv * startup + elems / P * per_elem;
+  }
+  return ns * 1e-6;
+}
+
+double MachineModel::speedup(const PrimCounters& c) const {
+  MachineModel uni = *this;
+  uni.processors = 1;
+  const double t = estimate_ms(c);
+  return t > 0.0 ? uni.estimate_ms(c) / t : 1.0;
+}
+
+}  // namespace dps::dpv

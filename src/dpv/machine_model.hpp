@@ -1,0 +1,41 @@
+#pragma once
+// Analytic machine-cost model over the primitive counters.
+//
+// The paper's cost analysis charges unit time per primitive on the CM-5's
+// 32 processors; the dpv Context records exactly those invocations.  A
+// MachineModel turns the ledger into an estimated wall-clock on a
+// P-processor machine:
+//
+//   T = sum over categories  invocations * startup(P)
+//                          + elements / P * per_element * traffic_factor
+//
+// where startup(P) models the per-launch combine tree (a + c*log2(P)
+// term, dominant for scans) and traffic_factor penalizes the categories
+// that route data across the machine (permute/gather/scatter/sort) versus
+// the purely local ones (elementwise).  The model is deliberately simple
+// -- it reproduces the *shape* of the paper's scalability story (speedup
+// saturating when per-round startup dominates at O(log n) rounds), not any
+// particular machine's absolute numbers.  bench_machine_model sweeps P.
+
+#include <cstddef>
+
+#include "dpv/context.hpp"
+
+namespace dps::dpv {
+
+struct MachineModel {
+  std::size_t processors = 32;       // the paper's CM-5 configuration
+  double element_ns = 4.0;           // per element of local work
+  double launch_ns = 500.0;          // fixed cost to start any primitive
+  double combine_ns = 300.0;         // per log2(P) level of a scan/reduce
+  double traffic_factor = 4.0;       // remote-routing multiplier
+
+  /// Estimated wall-clock milliseconds to replay `c` on this machine.
+  double estimate_ms(const PrimCounters& c) const;
+
+  /// Estimated speedup of this machine over the single-processor instance
+  /// of the same model for the ledger `c`.
+  double speedup(const PrimCounters& c) const;
+};
+
+}  // namespace dps::dpv

@@ -1,0 +1,68 @@
+#pragma once
+// Associative operators for scan/reduce primitives.
+//
+// Each operator is a stateless functor exposing `operator()(a, b)` plus a
+// typed `identity()`.  Scans are defined for any associative operator
+// (section 3.2 of the paper); the spatial layer uses +, min, max, logical
+// or/and and "copy" (segmented broadcast, section 4.7).
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace dps::dpv {
+
+template <typename T>
+struct Plus {
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <typename T>
+struct Min {
+  static constexpr T identity() { return std::numeric_limits<T>::max(); }
+  constexpr T operator()(const T& a, const T& b) const { return std::min(a, b); }
+};
+
+template <typename T>
+struct Max {
+  static constexpr T identity() { return std::numeric_limits<T>::lowest(); }
+  constexpr T operator()(const T& a, const T& b) const { return std::max(a, b); }
+};
+
+template <typename T>
+struct LogicalOr {
+  static constexpr T identity() { return T{0}; }
+  constexpr T operator()(const T& a, const T& b) const { return a || b; }
+};
+
+template <typename T>
+struct LogicalAnd {
+  static constexpr T identity() { return T{1}; }
+  constexpr T operator()(const T& a, const T& b) const { return a && b; }
+};
+
+/// "copy" scan operator: an inclusive segmented up-scan with Copy broadcasts
+/// the first element of each segment group to the whole group (the broadcast
+/// of [Hung89] used by the R-tree split of section 4.7).  Associativity:
+/// copy(copy(a,b),c) == a == copy(a,copy(b,c)).
+///
+/// The identity is a sentinel: Copy has no true identity, so exclusive copy
+/// scans surface `identity()` in the positions with no predecessor.  Users
+/// of exclusive copy scans must treat those slots as undefined, exactly as
+/// C* programs did.
+template <typename T>
+struct Copy {
+  static constexpr T identity() { return T{}; }
+  constexpr T operator()(const T& a, const T& /*b*/) const { return a; }
+};
+
+/// Trait: true when an exclusive scan's identity-filled slots are genuine
+/// identities (Plus/Min/Max/or/and) rather than sentinels (Copy).
+template <typename Op>
+struct has_true_identity : std::true_type {};
+template <typename T>
+struct has_true_identity<Copy<T>> : std::false_type {};
+
+}  // namespace dps::dpv

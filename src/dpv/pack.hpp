@@ -1,0 +1,98 @@
+#pragma once
+// Pack / split building blocks.
+//
+// `pack` keeps the flagged elements, preserving order (the [Krus85]
+// "packing").  `split_indices` computes the destination index of every
+// element when partitioning a vector into (mask==0 | mask==1) halves --
+// Blelloch's "split" -- and `seg_split_indices` is the segmented variant
+// that partitions *within each segment group*, which is exactly what the
+// paper's unshuffle (section 4.2) does during node splitting.  All are
+// compositions of scans and a permutation, and are additionally counted as
+// one kPack primitive for the cost model.
+
+#include <cassert>
+#include <cstddef>
+
+#include "dpv/context.hpp"
+#include "dpv/elementwise.hpp"
+#include "dpv/permute.hpp"
+#include "dpv/scan.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// Destination indices for a stable whole-vector partition: elements with
+/// mask==0 are packed to the front (in order), elements with mask==1 to the
+/// back (in order).  Composition: one up-scan + elementwise ops.
+inline Index split_indices(Context& ctx, const Flags& mask) {
+  const std::size_t n = mask.size();
+  // ones_before[i] = number of mask==1 elements in [0, i).
+  Vec<std::size_t> ones =
+      map(ctx, mask, [](std::uint8_t m) { return std::size_t{m != 0}; });
+  Vec<std::size_t> ones_before =
+      scan(ctx, Plus<std::size_t>{}, ones, Dir::kUp, Incl::kExclusive);
+  const std::size_t total_ones =
+      n == 0 ? 0 : ones_before[n - 1] + (mask[n - 1] ? 1 : 0);
+  const std::size_t total_zeros = n - total_ones;
+  Index out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = mask[i] ? total_zeros + ones_before[i] : i - ones_before[i];
+    }
+  });
+  ctx.count(Prim::kPack, n);
+  return out;
+}
+
+/// Segmented split: within each segment group, mask==0 elements are packed
+/// to the group's front and mask==1 elements to its back, groups staying in
+/// place.  This is the paper's unshuffle operation (Figures 15/16) applied
+/// per group.  Composition: two segmented scans + elementwise ops, exactly
+/// as described in section 4.2.
+inline Index seg_split_indices(Context& ctx, const Flags& mask,
+                               const Flags& seg) {
+  assert(mask.size() == seg.size());
+  const std::size_t n = mask.size();
+  Vec<std::size_t> ones =
+      map(ctx, mask, [](std::uint8_t m) { return std::size_t{m != 0}; });
+  Vec<std::size_t> zeros =
+      map(ctx, mask, [](std::uint8_t m) { return std::size_t{m == 0}; });
+  // Within the group: number of 1s strictly before i (up exclusive), and
+  // number of 0s at or after i (down inclusive).
+  Vec<std::size_t> ones_before =
+      seg_scan(ctx, Plus<std::size_t>{}, ones, seg, Dir::kUp, Incl::kExclusive);
+  Vec<std::size_t> zeros_from =
+      seg_scan(ctx, Plus<std::size_t>{}, zeros, seg, Dir::kDown, Incl::kInclusive);
+  Index out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A 0-element moves left past the 1s before it; a 1-element moves
+      // right past the 0s from here to the group end.
+      out[i] = mask[i] ? i + zeros_from[i] : i - ones_before[i];
+    }
+  });
+  ctx.count(Prim::kPack, n);
+  return out;
+}
+
+/// Keeps the elements with keep[i] != 0, preserving order.
+template <typename T>
+Vec<T> pack(Context& ctx, const Vec<T>& data, const Flags& keep) {
+  assert(data.size() == keep.size());
+  const std::size_t n = data.size();
+  Vec<std::size_t> kept =
+      map(ctx, keep, [](std::uint8_t k) { return std::size_t{k != 0}; });
+  Vec<std::size_t> pos =
+      scan(ctx, Plus<std::size_t>{}, kept, Dir::kUp, Incl::kExclusive);
+  const std::size_t out_n = n == 0 ? 0 : pos[n - 1] + (keep[n - 1] ? 1 : 0);
+  Vec<T> out(out_n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (keep[i]) out[pos[i]] = data[i];
+    }
+  });
+  ctx.count(Prim::kPack, n);
+  return out;
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,81 @@
+#pragma once
+// Permutation and indirection primitives (section 3.2.3).
+//
+// `permute` rearranges data[i] to position index[i]; the index vector must
+// be a bijection on [0, n) -- two elements may not target the same slot.
+// `gather` and `scatter` are the general read/write indirections; they are
+// not in the paper's minimal primitive set but are standard scan-model
+// extensions (Blelloch's v-RAM) and the spatial layer uses them only where
+// C* used general communication (send/get).
+
+#include <cassert>
+#include <cstddef>
+
+#include "dpv/context.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// out[index[i]] = data[i].  `index` must be one-to-one onto [0, out_size);
+/// violations are caught by assertions in debug builds.
+template <typename T>
+Vec<T> permute(Context& ctx, const Vec<T>& data, const Index& index,
+               std::size_t out_size) {
+  assert(data.size() == index.size());
+  Vec<T> out(out_size);
+#ifndef NDEBUG
+  Vec<std::uint8_t> hit(out_size, 0);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    assert(index[i] < out_size && "permute index out of range");
+    assert(!hit[index[i]] && "permute index vector is not one-to-one");
+    hit[index[i]] = 1;
+  }
+#endif
+  ctx.for_blocks(data.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[index[i]] = data[i];
+  });
+  ctx.count(Prim::kPermute, data.size());
+  return out;
+}
+
+/// Same-length permutation (the common case in the paper's figures).
+template <typename T>
+Vec<T> permute(Context& ctx, const Vec<T>& data, const Index& index) {
+  return permute(ctx, data, index, data.size());
+}
+
+/// out[i] = data[index[i]].  Indices may repeat (concurrent read).
+template <typename T>
+Vec<T> gather(Context& ctx, const Vec<T>& data, const Index& index) {
+  Vec<T> out(index.size());
+  ctx.for_blocks(index.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      assert(index[i] < data.size() && "gather index out of range");
+      out[i] = data[index[i]];
+    }
+  });
+  ctx.count(Prim::kGather, index.size());
+  return out;
+}
+
+/// dest[index[i]] = data[i] for the lanes where mask[i] != 0 (all lanes when
+/// mask is empty).  Duplicate targets are a data race; callers must supply
+/// one-to-one targets among the selected lanes (this is how the paper's
+/// "first line in the segment communicates the count to the node" steps are
+/// expressed).  Executed serially when duplicates cannot be excluded cheaply.
+template <typename T>
+void scatter(Context& ctx, const Vec<T>& data, const Index& index,
+             const Flags& mask, Vec<T>& dest) {
+  assert(data.size() == index.size());
+  assert(mask.empty() || mask.size() == data.size());
+  ctx.for_blocks(data.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!mask.empty() && !mask[i]) continue;
+      assert(index[i] < dest.size() && "scatter index out of range");
+      dest[index[i]] = data[i];
+    }
+  });
+  ctx.count(Prim::kScatter, data.size());
+}
+
+}  // namespace dps::dpv

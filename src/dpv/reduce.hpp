@@ -1,0 +1,82 @@
+#pragma once
+// Reductions and per-group extraction helpers.
+//
+// `reduce` combines a whole vector with an associative operator.
+// `seg_heads` / `seg_last` extract one value per segment group (the "first
+// line in the segment communicates X to the node" pattern of sections 4.4
+// and 5.3).  The group-level extraction is the host-side read of a scan
+// result and is counted as a pack.
+
+#include <cassert>
+#include <cstddef>
+
+#include "dpv/context.hpp"
+#include "dpv/ops.hpp"
+#include "dpv/pack.hpp"
+#include "dpv/scan.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// op-combination of all elements; identity for an empty vector.
+template <typename T, typename Op>
+T reduce(Context& ctx, Op op, const Vec<T>& data) {
+  const std::size_t n = data.size();
+  ctx.count(Prim::kReduce, n);
+  const std::size_t k = ctx.block_count(n);
+  if (k <= 1) {
+    T acc = Op::identity();
+    for (const auto& v : data) acc = op(acc, v);
+    return acc;
+  }
+  Vec<T> partial(k, Op::identity());
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    T acc = data[lo];
+    for (std::size_t i = lo + 1; i < hi; ++i) acc = op(acc, data[i]);
+    partial[b] = acc;
+  });
+  T acc = Op::identity();
+  for (const auto& v : partial) acc = op(acc, v);
+  return acc;
+}
+
+/// One entry per segment group: the value at the group's head element.
+template <typename T>
+Vec<T> seg_heads(Context& ctx, const Vec<T>& data, const Flags& seg) {
+  assert(data.size() == seg.size());
+  Flags head = seg;
+  if (!head.empty()) head[0] = 1;
+  return pack(ctx, data, head);
+}
+
+/// One entry per segment group: the value at the group's last element.
+/// Combined with an inclusive segmented up-scan this yields the per-group
+/// reduction (e.g. group sizes from a +-scan of ones).
+template <typename T>
+Vec<T> seg_last(Context& ctx, const Vec<T>& data, const Flags& seg) {
+  assert(data.size() == seg.size());
+  const std::size_t n = data.size();
+  Flags tail(n, 0);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      tail[i] = (i + 1 == n || seg[i + 1] != 0) ? 1 : 0;
+    }
+  });
+  ctx.count(Prim::kElementwise, n);
+  return pack(ctx, data, tail);
+}
+
+/// Per-group op-reduction, one entry per group in group order.
+template <typename T, typename Op>
+Vec<T> seg_reduce(Context& ctx, Op op, const Vec<T>& data, const Flags& seg) {
+  Vec<T> scanned = seg_scan(ctx, op, data, seg, Dir::kUp, Incl::kInclusive);
+  return seg_last(ctx, scanned, seg);
+}
+
+/// Size of each segment group, one entry per group in group order.
+inline Vec<std::size_t> seg_sizes(Context& ctx, const Flags& seg) {
+  Vec<std::size_t> ones = constant<std::size_t>(ctx, seg.size(), 1);
+  return seg_reduce(ctx, Plus<std::size_t>{}, ones, seg);
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,166 @@
+#pragma once
+// Scan primitives (section 3.2.1): up/down x inclusive/exclusive x
+// (un)segmented, for any associative operator.
+//
+// Parallel execution uses the classic three-phase blocked scan:
+//   1. each lane scans its block and produces a block summary,
+//   2. the block summaries are combined serially (there are at most
+//      `lanes()` of them),
+//   3. each lane rescans its block seeded with its incoming carry.
+// Segmented scans run the same machinery on the operator lifted to
+// (value, crossed-a-segment-head) pairs, which keeps phase 2 correct when a
+// segment group spans block boundaries.
+//
+// Down-scans are suffix scans within each group (see Figure 8 of the paper):
+// they are executed as an up-scan of the reversed vector with the segment
+// heads remapped to the reversed positions of group *tails*.
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "dpv/context.hpp"
+#include "dpv/ops.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+enum class Dir { kUp, kDown };
+enum class Incl { kInclusive, kExclusive };
+
+namespace detail {
+
+// Carry state while scanning left-to-right: the combined value of the
+// current run (elements since the most recent segment head) and whether the
+// run is non-empty.
+template <typename T>
+struct Run {
+  T value;
+  bool nonempty = false;
+};
+
+// Segmented up-scan of data[lo, hi) seeded with `carry` (the run flowing in
+// from the left).  Writes inclusive or exclusive results into out[lo, hi).
+// Returns the run flowing out of the block and whether the block contains a
+// segment head (which cuts any incoming run off from later blocks).
+template <typename T, typename Op>
+std::pair<Run<T>, bool> scan_block(Op op, const Vec<T>& data,
+                                   const Flags* flags, std::size_t lo,
+                                   std::size_t hi, Run<T> carry, Incl incl,
+                                   Vec<T>* out) {
+  bool saw_head = false;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const bool head = (flags != nullptr && (*flags)[i] != 0) || i == 0;
+    if (head) {
+      carry = Run<T>{};
+      saw_head = true;
+    }
+    if (out != nullptr && incl == Incl::kExclusive) {
+      (*out)[i] = carry.nonempty ? carry.value : Op::identity();
+    }
+    carry.value = carry.nonempty ? op(carry.value, data[i]) : data[i];
+    carry.nonempty = true;
+    if (out != nullptr && incl == Incl::kInclusive) (*out)[i] = carry.value;
+  }
+  return {carry, saw_head};
+}
+
+template <typename T, typename Op>
+Vec<T> scan_up(Context& ctx, Op op, const Vec<T>& data, const Flags* flags,
+               Incl incl) {
+  const std::size_t n = data.size();
+  Vec<T> out(n);
+  const std::size_t k = ctx.block_count(n);
+  if (k <= 1) {
+    scan_block(op, data, flags, 0, n, Run<T>{}, incl, &out);
+    return out;
+  }
+  // Phase 1: per-block summaries (no output writes).
+  Vec<Run<T>> run_out(k);
+  Vec<std::uint8_t> has_head(k);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    auto [run, head] = scan_block(op, data, flags, lo, hi, Run<T>{}, incl,
+                                  static_cast<Vec<T>*>(nullptr));
+    run_out[b] = run;
+    has_head[b] = head ? 1 : 0;
+  });
+  // Phase 2: serial exclusive combine of block summaries into carries.
+  Vec<Run<T>> carry_in(k);
+  Run<T> acc{};
+  for (std::size_t b = 0; b < k; ++b) {
+    carry_in[b] = acc;
+    if (has_head[b]) {
+      acc = run_out[b];
+    } else if (run_out[b].nonempty) {
+      acc.value = acc.nonempty ? op(acc.value, run_out[b].value)
+                               : run_out[b].value;
+      acc.nonempty = true;
+    }
+  }
+  // Phase 3: rescan with carries, writing output.
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    scan_block(op, data, flags, lo, hi, carry_in[b], incl, &out);
+  });
+  return out;
+}
+
+// Remaps segment-head flags for the reversed vector: the head of each
+// reversed group sits at the reversed position of the original group tail.
+inline Flags reverse_flags(Context& ctx, const Flags& flags) {
+  const std::size_t n = flags.size();
+  Flags rf(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t j = n - 1 - i;  // original index
+      rf[i] = (j + 1 == n || flags[j + 1] != 0) ? 1 : 0;
+    }
+  });
+  return rf;
+}
+
+template <typename T>
+Vec<T> reversed(Context& ctx, const Vec<T>& v) {
+  const std::size_t n = v.size();
+  Vec<T> out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = v[n - 1 - i];
+  });
+  return out;
+}
+
+}  // namespace detail
+
+/// Unsegmented scan.  Up = prefix, down = suffix.  One scan primitive.
+template <typename T, typename Op>
+Vec<T> scan(Context& ctx, Op op, const Vec<T>& data, Dir dir = Dir::kUp,
+            Incl incl = Incl::kInclusive) {
+  ctx.count(Prim::kScan, data.size());
+  if (dir == Dir::kUp) return detail::scan_up(ctx, op, data, nullptr, incl);
+  Vec<T> rev = detail::reversed(ctx, data);
+  Vec<T> scanned = detail::scan_up(ctx, op, rev, nullptr, incl);
+  return detail::reversed(ctx, scanned);
+}
+
+/// Segmented scan (Figure 8).  `flags` marks the first element of each
+/// segment group; groups are independent.  One scan primitive.
+template <typename T, typename Op>
+Vec<T> seg_scan(Context& ctx, Op op, const Vec<T>& data, const Flags& flags,
+                Dir dir = Dir::kUp, Incl incl = Incl::kInclusive) {
+  assert(data.size() == flags.size() && "segment flags must match data length");
+  ctx.count(Prim::kScan, data.size());
+  if (dir == Dir::kUp) return detail::scan_up(ctx, op, data, &flags, incl);
+  Vec<T> rev = detail::reversed(ctx, data);
+  Flags rflags = detail::reverse_flags(ctx, flags);
+  Vec<T> scanned = detail::scan_up(ctx, op, rev, &rflags, incl);
+  return detail::reversed(ctx, scanned);
+}
+
+/// Broadcast of each group head's value to the whole group: an inclusive
+/// segmented up-scan with the copy operator (the [Hung89] broadcast used in
+/// section 4.7).
+template <typename T>
+Vec<T> seg_broadcast(Context& ctx, const Vec<T>& data, const Flags& flags) {
+  return seg_scan(ctx, Copy<T>{}, data, flags, Dir::kUp, Incl::kInclusive);
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,159 @@
+#pragma once
+// Scan-model sorting: a stable LSD radix sort whose passes are split
+// operations (Blelloch's split-radix sort, the sort the scan model performs
+// in O(log n) primitive steps).
+//
+// Each pass partitions by one 8-bit digit: per-block digit histograms, an
+// exclusive scan over the (block x digit) count matrix, and a permutation.
+// `sort_keys_indices` returns the permutation that sorts `keys`; callers
+// apply it to their payload vectors with `gather`.
+//
+// Segmented sorting (sort within each segment group, groups staying in
+// place) is obtained by prepending the group ordinal to the key -- the
+// composite sort is stable, so groups remain contiguous and internally
+// sorted.  This is how the R-tree sweep split (section 4.7) sorts each
+// overflowing node's entries simultaneously.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "dpv/context.hpp"
+#include "dpv/elementwise.hpp"
+#include "dpv/permute.hpp"
+#include "dpv/scan.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// Order-preserving map from double to uint64: flips the sign bit for
+/// non-negatives and all bits for negatives so that unsigned comparison of
+/// the images matches double comparison (NaNs excluded by precondition).
+inline std::uint64_t key_from_double(double d) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  const std::uint64_t mask =
+      (bits & 0x8000'0000'0000'0000ull) ? ~0ull : 0x8000'0000'0000'0000ull;
+  return bits ^ mask;
+}
+
+namespace detail {
+
+inline constexpr std::size_t kRadixBits = 8;
+inline constexpr std::size_t kBuckets = std::size_t{1} << kRadixBits;
+
+// One stable counting pass on digit `shift`; permutes `order` (the current
+// index permutation) so that keys[order[*]] is sorted by the digit.
+inline void radix_pass(Context& ctx, const Vec<std::uint64_t>& keys,
+                       Index& order, std::size_t shift) {
+  const std::size_t n = order.size();
+  const std::size_t k = ctx.block_count(n) == 0 ? 1 : ctx.block_count(n);
+  // Per-block histograms.
+  Vec<std::size_t> hist(k * kBuckets, 0);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t* h = &hist[b * kBuckets];
+    for (std::size_t i = lo; i < hi; ++i) {
+      h[(keys[order[i]] >> shift) & (kBuckets - 1)]++;
+    }
+  });
+  // Exclusive scan in (digit, block) order: all blocks' digit-d counts
+  // precede any block's digit-(d+1) counts.
+  std::size_t running = 0;
+  for (std::size_t d = 0; d < kBuckets; ++d) {
+    for (std::size_t b = 0; b < k; ++b) {
+      std::size_t& h = hist[b * kBuckets + d];
+      const std::size_t c = h;
+      h = running;
+      running += c;
+    }
+  }
+  // Stable scatter.
+  Index next(n);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t* h = &hist[b * kBuckets];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t d = (keys[order[i]] >> shift) & (kBuckets - 1);
+      next[h[d]++] = order[i];
+    }
+  });
+  order = std::move(next);
+  ctx.count(Prim::kSortPass, n);
+}
+
+}  // namespace detail
+
+/// Returns `order` such that keys[order[0]] <= keys[order[1]] <= ... and the
+/// sort is stable.  `significant_bits` trims passes when high key bits are
+/// known zero (e.g. 32-bit quantized coordinates).
+inline Index sort_keys_indices(Context& ctx, const Vec<std::uint64_t>& keys,
+                               std::size_t significant_bits = 64) {
+  Index order = iota(ctx, keys.size());
+  const std::size_t passes =
+      (significant_bits + detail::kRadixBits - 1) / detail::kRadixBits;
+  for (std::size_t p = 0; p < passes; ++p) {
+    detail::radix_pass(ctx, keys, order, p * detail::kRadixBits);
+  }
+  return order;
+}
+
+/// Stable sort within each segment group (groups defined by `seg`, which
+/// must mark group heads): returns the in-place-by-group permutation order.
+/// `keys` need only be comparable within a group.  The group ordinal is
+/// packed into the key's high bits, so at most 2^32 groups and 32-bit
+/// group-local keys are supported; `key32` provides the group-local key.
+inline Index seg_sort_indices(Context& ctx, const Vec<std::uint32_t>& key32,
+                              const Flags& seg) {
+  assert(key32.size() == seg.size());
+  const std::size_t n = key32.size();
+  // Group ordinal per element: inclusive +-scan of head flags, minus 1.
+  Vec<std::uint64_t> head64 =
+      map(ctx, seg, [](std::uint8_t f) { return std::uint64_t{f != 0}; });
+  if (n > 0) head64[0] = 1;
+  Vec<std::uint64_t> group =
+      scan(ctx, Plus<std::uint64_t>{}, head64, Dir::kUp, Incl::kInclusive);
+  Vec<std::uint64_t> keys(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      keys[i] = ((group[i] - 1) << 32) | key32[i];
+    }
+  });
+  ctx.count(Prim::kElementwise, n);
+  return sort_keys_indices(ctx, keys, 64);
+}
+
+/// Stable sort within each segment group on full 64-bit keys: two chained
+/// 32-bit segmented passes (LSD), so the composite is exact -- used where
+/// quantization collisions would be incorrect (e.g. k-d tree median
+/// splits on raw coordinates).
+inline Index seg_sort_indices64(Context& ctx, const Vec<std::uint64_t>& key64,
+                                const Flags& seg) {
+  const std::size_t n = key64.size();
+  Vec<std::uint32_t> low(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      low[i] = static_cast<std::uint32_t>(key64[i]);
+    }
+  });
+  ctx.count(Prim::kElementwise, n);
+  const Index pass1 = seg_sort_indices(ctx, low, seg);
+  Vec<std::uint32_t> high(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      high[i] = static_cast<std::uint32_t>(key64[pass1[i]] >> 32);
+    }
+  });
+  ctx.count(Prim::kElementwise, n);
+  const Index pass2 = seg_sort_indices(ctx, high, seg);
+  return gather(ctx, pass1, pass2);
+}
+
+/// Monotone quantization of `v` in [lo, hi] to 32 bits for use as a sort key.
+inline std::uint32_t quantize32(double v, double lo, double hi) noexcept {
+  if (hi <= lo) return 0;
+  const double t = (v - lo) / (hi - lo);
+  const double clamped = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return static_cast<std::uint32_t>(clamped * 4294967295.0);
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,69 @@
+#include "dpv/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dps::dpv {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  lanes_ = num_threads;
+  threads_.reserve(lanes_ > 0 ? lanes_ - 1 : 0);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(std::size_t k, const std::function<void(std::size_t)>& f) {
+  k = std::min(k, lanes_);
+  if (k <= 1) {  // no helpers needed; run inline
+    if (k == 1) f(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &f;
+    job_lanes_ = k;
+    outstanding_ = k - 1;  // helper lanes 1..k-1
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  f(0);  // caller is lane 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && job_ != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      if (lane >= job_lanes_) continue;  // not participating in this launch
+      job = job_;
+    }
+    (*job)(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal fork-join thread pool used by the dpv scan-model runtime.
+//
+// The pool supports exactly the execution shape the scan model needs:
+// bulk-synchronous launches of `k` identical tasks (one per worker) with a
+// join barrier.  There is deliberately no task queue or futures machinery --
+// every dpv primitive is a flat data-parallel step, so the only operation we
+// need is "run f(worker_index) on all workers and wait".
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dps::dpv {
+
+/// Fixed-size fork-join worker pool.
+///
+/// Workers are created once and parked on a condition variable between
+/// launches.  `run(k, f)` wakes `k` workers, each executes `f(i)` for its
+/// worker index `i in [0, k)`, and `run` returns when all have finished.
+/// The calling thread participates as worker 0, so a pool constructed with
+/// `n` threads exposes `n` lanes of parallelism using `n - 1` OS threads.
+class ThreadPool {
+ public:
+  /// Creates a pool exposing `num_threads` parallel lanes (>= 1).
+  /// `num_threads == 0` selects `std::thread::hardware_concurrency()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of parallel lanes (including the caller's lane).
+  std::size_t size() const noexcept { return lanes_; }
+
+  /// Runs `f(i)` for each lane index `i in [0, k)` and waits for completion.
+  /// `k` is clamped to `size()`.  `f` must be safe to invoke concurrently.
+  /// Exceptions thrown by `f` terminate (dpv primitives do not throw from
+  /// worker bodies; validation happens before the fork).
+  void run(std::size_t k, const std::function<void(std::size_t)>& f);
+
+ private:
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;                 // total lanes, caller included
+  std::vector<std::thread> threads_;  // lanes_ - 1 helper threads
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_lanes_ = 0;     // lanes participating in current job
+  std::size_t generation_ = 0;    // bumped per launch; wakes sleepers
+  std::size_t outstanding_ = 0;   // helper lanes still running the job
+  bool stop_ = false;
+};
+
+}  // namespace dps::dpv

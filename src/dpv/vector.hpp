@@ -1,0 +1,64 @@
+#pragma once
+// Vector type and small constructors for the dpv runtime.
+//
+// The scan model operates on flat, arbitrarily long vectors (section 3.2).
+// We use `std::vector` as storage and keep all parallelism inside the
+// primitive free functions, so a `Vec<T>` is an ordinary value type.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dpv/context.hpp"
+
+namespace dps::dpv {
+
+template <typename T>
+using Vec = std::vector<T>;
+
+/// Segment flag vector: flags[i] == 1 marks the first element of a segment
+/// group (section 3.2.1).  By convention flags[0] is 1 for any non-empty
+/// vector; all primitives treat a leading 0 as an implicit group start.
+using Flags = Vec<std::uint8_t>;
+
+/// Index vector for permutations / gathers / scatters.
+using Index = Vec<std::size_t>;
+
+/// [0, 1, ..., n-1], filled in parallel.
+inline Index iota(Context& ctx, std::size_t n) {
+  Index out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = i;
+  });
+  ctx.count(Prim::kElementwise, n);
+  return out;
+}
+
+/// n copies of `value`, filled in parallel.
+template <typename T>
+Vec<T> constant(Context& ctx, std::size_t n, const T& value) {
+  Vec<T> out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = value;
+  });
+  ctx.count(Prim::kElementwise, n);
+  return out;
+}
+
+/// Flags for a single segment group covering the whole vector.
+inline Flags single_segment(Context& ctx, std::size_t n) {
+  Flags f = constant<std::uint8_t>(ctx, n, 0);
+  if (n > 0) f[0] = 1;
+  return f;
+}
+
+/// Number of segment groups described by `flags` (treats element 0 as a
+/// group head whether or not its flag is set).
+inline std::size_t num_segments(const Flags& flags) {
+  if (flags.empty()) return 0;
+  std::size_t n = flags[0] ? 0 : 1;
+  for (const auto f : flags) n += (f != 0);
+  return n;
+}
+
+}  // namespace dps::dpv

@@ -1,0 +1,51 @@
+#include "geom/block.hpp"
+
+#include <cstdio>
+
+namespace dps::geom {
+
+bool Block::contains_vertex(const Point& p, double world) const {
+  const Rect r = rect(world);
+  const std::uint32_t last = cells_per_side() - 1;
+  const bool x_ok = p.x >= r.xmin && (p.x < r.xmax || (ix == last && p.x <= r.xmax));
+  const bool y_ok = p.y >= r.ymin && (p.y < r.ymax || (iy == last && p.y <= r.ymax));
+  return x_ok && y_ok;
+}
+
+std::uint64_t interleave2(std::uint32_t x, std::uint32_t y) {
+  // Spread the low 29 bits of each input to even bit positions.
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1FFF'FFFF;  // 29 bits
+    v = (v | (v << 16)) & 0x0000'FFFF'0000'FFFFull;
+    v = (v | (v << 8)) & 0x00FF'00FF'00FF'00FFull;
+    v = (v | (v << 4)) & 0x0F0F'0F0F'0F0F'0F0Full;
+    v = (v | (v << 2)) & 0x3333'3333'3333'3333ull;
+    v = (v | (v << 1)) & 0x5555'5555'5555'5555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::uint64_t Block::morton_key() const {
+  return (interleave2(ix, iy) << 6) | depth;
+}
+
+std::uint64_t Block::path_key() const {
+  std::uint64_t key = 0;
+  for (int lvl = 1; lvl <= depth; ++lvl) {
+    const int shift = depth - lvl;
+    const std::uint32_t qx = (ix >> shift) & 1;
+    const std::uint32_t qy = (iy >> shift) & 1;
+    const std::uint64_t digit = qy ? qx : 2 + qx;  // NW,NE,SW,SE = 0..3
+    key = key * 4 + digit;
+  }
+  return key << (2 * (kMaxBlockDepth - depth));
+}
+
+std::string Block::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%u:(%u,%u)", unsigned(depth), ix, iy);
+  return buf;
+}
+
+}  // namespace dps::geom

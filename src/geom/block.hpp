@@ -1,0 +1,116 @@
+#pragma once
+// Regular quadtree block arithmetic.
+//
+// A Block names one cell of the regular decomposition of the root square
+// [0, size) x [0, size): depth d splits the square into 2^d x 2^d congruent
+// cells, and (ix, iy) indexes the cell column/row with y growing upward.
+// Blocks are value types; the PM1 / bucket PMR builds carry one per q-edge.
+//
+// Two containment semantics, per DESIGN.md:
+//  * q-edge association uses the *closed* cell rectangle (a line on a split
+//    axis is cloned into both halves, section 4.6), via `rect()` +
+//    geom::segment_intersects_rect;
+//  * vertex location uses *half-open* cells [x0,x1) x [y0,y1) -- closed on
+//    the root square's top/right border -- so each vertex lies in exactly
+//    one cell at every depth (`contains_vertex`).  This makes the PM1
+//    split decision (section 4.5) deterministic.
+
+#include <cstdint>
+#include <string>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace dps::geom {
+
+/// Child quadrant ordering used everywhere (linear order of children after
+/// a node split, and the order of `Block::child`).
+enum class Quadrant : std::uint8_t { kNW = 0, kNE = 1, kSW = 2, kSE = 3 };
+
+struct Block {
+  std::uint8_t depth = 0;  // 0 = root
+  std::uint32_t ix = 0;    // column in [0, 2^depth)
+  std::uint32_t iy = 0;    // row in [0, 2^depth), y grows upward
+
+  friend constexpr bool operator==(const Block&, const Block&) = default;
+
+  static constexpr Block root() { return Block{}; }
+
+  /// Number of cells per side at this depth.
+  constexpr std::uint32_t cells_per_side() const {
+    return std::uint32_t{1} << depth;
+  }
+
+  /// Side length of the cell within a root square of side `world`.
+  constexpr double side(double world) const {
+    return world / static_cast<double>(cells_per_side());
+  }
+
+  /// Closed cell rectangle within a root square of side `world`.
+  constexpr Rect rect(double world) const {
+    const double s = side(world);
+    const double x0 = static_cast<double>(ix) * s;
+    const double y0 = static_cast<double>(iy) * s;
+    return Rect{x0, y0, x0 + s, y0 + s};
+  }
+
+  constexpr Point center(double world) const {
+    const Rect r = rect(world);
+    return r.center();
+  }
+
+  /// The child cell in quadrant `q`.
+  constexpr Block child(Quadrant q) const {
+    const auto qi = static_cast<std::uint8_t>(q);
+    const std::uint32_t cx = ix * 2 + (qi & 1);          // NE/SE are east
+    const std::uint32_t cy = iy * 2 + ((qi < 2) ? 1 : 0);  // NW/NE are north
+    return Block{static_cast<std::uint8_t>(depth + 1), cx, cy};
+  }
+
+  constexpr Block parent() const {
+    return Block{static_cast<std::uint8_t>(depth - 1), ix / 2, iy / 2};
+  }
+
+  /// Which quadrant of its parent this block is.
+  constexpr Quadrant quadrant_in_parent() const {
+    const bool east = (ix & 1) != 0;
+    const bool north = (iy & 1) != 0;
+    return north ? (east ? Quadrant::kNE : Quadrant::kNW)
+                 : (east ? Quadrant::kSE : Quadrant::kSW);
+  }
+
+  /// Half-open vertex containment (closed on the root square's outer
+  /// top/right border so no vertex falls off the world).
+  bool contains_vertex(const Point& p, double world) const;
+
+  /// Morton (Z-order / Peano-like) locational key: depth in the low 6 bits,
+  /// the bit-interleaved (ix, iy) above.  Keys sort blocks of equal depth in
+  /// Z order; across depths, parent-relative order is preserved by the
+  /// interleave.  Used for linear-quadtree assembly and deduplication.
+  std::uint64_t morton_key() const;
+
+  /// "d:(ix,iy)" -- for traces and test failure messages.
+  std::string to_string() const;
+
+  /// Left-aligned base-4 path of the block from the root (digits in the
+  /// NW, NE, SW, SE child order).  Within any *antichain* of blocks (no
+  /// block an ancestor of another), sorting by path key reproduces the
+  /// canonical DFS order of the decomposition -- the order quad_split
+  /// emits groups in.  58 significant bits.
+  std::uint64_t path_key() const;
+
+  /// True when this block lies strictly inside `p`'s region.
+  bool strict_descendant_of(const Block& p) const {
+    if (depth <= p.depth) return false;
+    const int shift = depth - p.depth;
+    return (ix >> shift) == p.ix && (iy >> shift) == p.iy;
+  }
+};
+
+/// Interleaves the low 29 bits of x (even positions) and y (odd positions).
+std::uint64_t interleave2(std::uint32_t x, std::uint32_t y);
+
+/// Depth limit implied by the 64-bit morton key layout.
+inline constexpr int kMaxBlockDepth = 29;
+
+}  // namespace dps::geom

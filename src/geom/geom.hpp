@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for the geometry substrate.
+
+#include "geom/block.hpp"       // IWYU pragma: export
+#include "geom/hilbert.hpp"     // IWYU pragma: export
+#include "geom/point.hpp"      // IWYU pragma: export
+#include "geom/predicates.hpp" // IWYU pragma: export
+#include "geom/rect.hpp"       // IWYU pragma: export
+#include "geom/segment.hpp"    // IWYU pragma: export

@@ -1,0 +1,47 @@
+#include "geom/hilbert.hpp"
+
+namespace dps::geom {
+
+namespace {
+
+// One quadrant-rotation/reflection step of the classic iterative mapping.
+void rotate(std::uint32_t n, std::uint32_t& x, std::uint32_t& y,
+            std::uint32_t rx, std::uint32_t ry) {
+  if (ry != 0) return;
+  if (rx != 0) {
+    x = n - 1 - x;
+    y = n - 1 - y;
+  }
+  const std::uint32_t t = x;
+  x = y;
+  y = t;
+}
+
+}  // namespace
+
+std::uint64_t hilbert_d(std::uint32_t x, std::uint32_t y, int order) {
+  std::uint64_t d = 0;
+  for (std::uint32_t s = std::uint32_t{1} << (order - 1); s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) ? 1 : 0;
+    const std::uint32_t ry = (y & s) ? 1 : 0;
+    d += std::uint64_t{s} * s * ((3 * rx) ^ ry);
+    rotate(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+void hilbert_xy(std::uint64_t d, int order, std::uint32_t& x,
+                std::uint32_t& y) {
+  x = 0;
+  y = 0;
+  for (std::uint32_t s = 1; s < (std::uint32_t{1} << order); s <<= 1) {
+    const std::uint32_t rx = 1 & static_cast<std::uint32_t>(d / 2);
+    const std::uint32_t ry = 1 & static_cast<std::uint32_t>(d ^ rx);
+    rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    d /= 4;
+  }
+}
+
+}  // namespace dps::geom

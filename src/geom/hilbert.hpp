@@ -1,0 +1,25 @@
+#pragma once
+// Hilbert curve index.
+//
+// Section 3.3 of the paper points out that a regular disjoint decomposition
+// admits a unique linear ordering "given a particular linear ordering
+// methodology such as a Peano curve".  The Hilbert curve is the locality-
+// preserving instance used by packed R-trees [Kame92]; `hilbert_d` maps a
+// cell of the 2^order x 2^order grid to its distance along the curve.
+
+#include <cstdint>
+
+namespace dps::geom {
+
+/// Curve orders up to 31 fit the 62-bit distance in a uint64.
+inline constexpr int kMaxHilbertOrder = 31;
+
+/// Distance along the order-`order` Hilbert curve of cell (x, y);
+/// x, y in [0, 2^order).
+std::uint64_t hilbert_d(std::uint32_t x, std::uint32_t y, int order);
+
+/// Inverse: the cell at distance `d` along the order-`order` curve.
+void hilbert_xy(std::uint64_t d, int order, std::uint32_t& x,
+                std::uint32_t& y);
+
+}  // namespace dps::geom

@@ -1,0 +1,41 @@
+#pragma once
+// Planar point type used throughout the library.
+
+#include <cmath>
+#include <compare>
+
+namespace dps::geom {
+
+/// A point in the plane.  Coordinates are doubles; the spatial structures
+/// operate inside a caller-chosen root square (see geom::Block), typically
+/// [0, 2^h) x [0, 2^h) for a quadtree of maximal height h.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+};
+
+/// 2D cross product of (b - a) and (c - a); the signed doubled area of the
+/// triangle abc.  Positive when c lies to the left of the directed line ab.
+constexpr double cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+constexpr double dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+constexpr Point midpoint(const Point& a, const Point& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+}  // namespace dps::geom

@@ -1,0 +1,101 @@
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+
+namespace dps::geom {
+
+namespace {
+
+// Sign of the orientation of (a, b, c): +1 left turn, -1 right turn, 0
+// collinear.  Doubles are exact for the modest coordinates the library's
+// root squares use; a robust-arithmetic swap-in would go here.
+int orient(const Point& a, const Point& b, const Point& c) {
+  const double v = cross(a, b, c);
+  return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0);
+}
+
+}  // namespace
+
+bool point_on_segment(const Point& p, const Point& a, const Point& b) {
+  if (orient(a, b, p) != 0) return false;
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orient(s.a, s.b, t.a);
+  const int o2 = orient(s.a, s.b, t.b);
+  const int o3 = orient(t.a, t.b, s.a);
+  const int o4 = orient(t.a, t.b, s.b);
+  if (o1 != o2 && o3 != o4) return true;  // proper crossing
+  // Collinear / endpoint-touching cases.
+  if (o1 == 0 && point_on_segment(t.a, s.a, s.b)) return true;
+  if (o2 == 0 && point_on_segment(t.b, s.a, s.b)) return true;
+  if (o3 == 0 && point_on_segment(s.a, t.a, t.b)) return true;
+  if (o4 == 0 && point_on_segment(s.b, t.a, t.b)) return true;
+  return false;
+}
+
+bool clip_segment_to_rect(const Point& p, const Point& q, const Rect& r,
+                          double& t0, double& t1) {
+  if (r.is_empty()) return false;
+  const double dx = q.x - p.x;
+  const double dy = q.y - p.y;
+  t0 = 0.0;
+  t1 = 1.0;
+  // Each closed half-plane constraint: denom * t <= num.
+  const double denom[4] = {-dx, dx, -dy, dy};
+  const double num[4] = {p.x - r.xmin, r.xmax - p.x, p.y - r.ymin,
+                         r.ymax - p.y};
+  for (int i = 0; i < 4; ++i) {
+    if (denom[i] == 0.0) {
+      if (num[i] < 0.0) return false;  // parallel and outside
+      continue;
+    }
+    const double t = num[i] / denom[i];
+    if (denom[i] < 0.0) {
+      if (t > t0) t0 = t;
+    } else {
+      if (t < t1) t1 = t;
+    }
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+bool segment_intersects_rect(const Point& p, const Point& q, const Rect& r) {
+  double t0, t1;
+  return clip_segment_to_rect(p, q, r, t0, t1);
+}
+
+bool segment_properly_intersects_rect(const Point& p, const Point& q,
+                                      const Rect& r) {
+  double t0, t1;
+  if (!clip_segment_to_rect(p, q, r, t0, t1)) return false;
+  if (p.x == q.x && p.y == q.y) return true;  // degenerate point inside
+  return t1 > t0;
+}
+
+bool segment_meets_vertical(const Point& p, const Point& q, double x0) {
+  return std::min(p.x, q.x) <= x0 && x0 <= std::max(p.x, q.x);
+}
+
+bool segment_meets_horizontal(const Point& p, const Point& q, double y0) {
+  return std::min(p.y, q.y) <= y0 && y0 <= std::max(p.y, q.y);
+}
+
+double distance2_point_segment(const Point& p, const Point& a,
+                               const Point& b) {
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  double u = 0.0;
+  if (len2 > 0.0) {
+    u = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+    u = u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
+  }
+  const double px = a.x + u * dx - p.x;
+  const double py = a.y + u * dy - p.y;
+  return px * px + py * py;
+}
+
+}  // namespace dps::geom

@@ -1,0 +1,60 @@
+#pragma once
+// Geometric predicates used by the quadtree and R-tree layers.
+//
+// All predicates use closed-region semantics: a segment that merely touches
+// a rectangle's boundary intersects it.  This matches the paper's cloning
+// rule ("each line segment is inserted into all of the blocks that it
+// intersects") where a line lying on a split axis belongs to both halves.
+// Vertex-in-block tests, by contrast, use half-open blocks so every vertex
+// belongs to exactly one block (see geom::Block).
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace dps::geom {
+
+/// Liang-Barsky parametric clip of segment p + t(q - p), t in [0,1], against
+/// the closed rectangle.  Returns true when the intersection is non-empty
+/// and stores its parameter interval in [t0, t1] (t0 <= t1).
+bool clip_segment_to_rect(const Point& p, const Point& q, const Rect& r,
+                          double& t0, double& t1);
+
+/// True when the closed segment pq intersects the closed rectangle `r`
+/// (shares at least one point).
+bool segment_intersects_rect(const Point& p, const Point& q, const Rect& r);
+
+inline bool segment_intersects_rect(const Segment& s, const Rect& r) {
+  return segment_intersects_rect(s.a, s.b, r);
+}
+
+/// True when the segment's intersection with the closed rectangle has
+/// positive length (or the segment is a single point inside the rectangle).
+/// This is the q-edge membership test: a corner- or endpoint-touch does not
+/// create a q-edge, but a line lying along a block border belongs to both
+/// adjacent blocks.
+bool segment_properly_intersects_rect(const Point& p, const Point& q,
+                                      const Rect& r);
+
+inline bool segment_properly_intersects_rect(const Segment& s, const Rect& r) {
+  return segment_properly_intersects_rect(s.a, s.b, r);
+}
+
+/// True when the closed segments intersect (share at least one point).
+bool segments_intersect(const Segment& s, const Segment& t);
+
+/// True when point `p` lies on the closed segment ab.
+bool point_on_segment(const Point& p, const Point& a, const Point& b);
+
+/// True when the open segment pq crosses the vertical line x = x0 strictly,
+/// or touches it (closed semantics): min(p.x,q.x) <= x0 <= max(p.x,q.x).
+bool segment_meets_vertical(const Point& p, const Point& q, double x0);
+
+/// Closed test against the horizontal line y = y0.
+bool segment_meets_horizontal(const Point& p, const Point& q, double y0);
+
+/// Squared Euclidean distance from point `p` to the closed segment ab.
+double distance2_point_segment(const Point& p, const Point& a,
+                               const Point& b);
+
+}  // namespace dps::geom

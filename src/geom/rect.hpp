@@ -1,0 +1,108 @@
+#pragma once
+// Axis-aligned rectangle with the interval algebra the R-tree needs:
+// intersection/containment tests, union and intersection, area, perimeter,
+// and enlargement (Guttman's insertion metric).
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace dps::geom {
+
+/// Closed axis-aligned rectangle [xmin, xmax] x [ymin, ymax].
+/// The default-constructed Rect is the *empty* rectangle (inverted bounds),
+/// which is the identity for `united` -- convenient for MBR scans.
+struct Rect {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  static constexpr Rect empty() { return Rect{}; }
+
+  static constexpr Rect of_point(const Point& p) {
+    return Rect{p.x, p.y, p.x, p.y};
+  }
+
+  static constexpr Rect of_segment(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y)};
+  }
+
+  constexpr bool is_empty() const { return xmin > xmax || ymin > ymax; }
+
+  constexpr double width() const { return is_empty() ? 0.0 : xmax - xmin; }
+  constexpr double height() const { return is_empty() ? 0.0 : ymax - ymin; }
+  constexpr double area() const { return width() * height(); }
+  constexpr double perimeter() const { return 2.0 * (width() + height()); }
+  constexpr Point center() const {
+    return {(xmin + xmax) * 0.5, (ymin + ymax) * 0.5};
+  }
+
+  /// True when the closed rectangles share at least a point.
+  constexpr bool intersects(const Rect& o) const {
+    if (is_empty() || o.is_empty()) return false;
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax && o.ymin <= ymax;
+  }
+
+  /// True when `p` lies in the closed rectangle.
+  constexpr bool contains(const Point& p) const {
+    return !is_empty() && xmin <= p.x && p.x <= xmax && ymin <= p.y &&
+           p.y <= ymax;
+  }
+
+  /// True when `o` lies entirely within this (closed) rectangle.
+  constexpr bool contains(const Rect& o) const {
+    if (o.is_empty()) return true;
+    return !is_empty() && xmin <= o.xmin && o.xmax <= xmax && ymin <= o.ymin &&
+           o.ymax <= ymax;
+  }
+
+  /// Smallest rectangle containing both operands (MBR union).  The empty
+  /// rectangle is the identity, making this a scan-able associative op.
+  constexpr Rect united(const Rect& o) const {
+    return Rect{std::min(xmin, o.xmin), std::min(ymin, o.ymin),
+                std::max(xmax, o.xmax), std::max(ymax, o.ymax)};
+  }
+
+  /// Geometric intersection; empty when the operands do not meet.
+  constexpr Rect intersected(const Rect& o) const {
+    Rect r{std::max(xmin, o.xmin), std::max(ymin, o.ymin),
+           std::min(xmax, o.xmax), std::min(ymax, o.ymax)};
+    return r.is_empty() ? Rect::empty() : r;
+  }
+
+  /// Area the MBR grows by when enlarged to cover `o` (Guttman's ChooseLeaf
+  /// metric).
+  constexpr double enlargement(const Rect& o) const {
+    return united(o).area() - area();
+  }
+
+  /// Area of overlap between the two rectangles (the R*-style split metric
+  /// of section 4.7 / Figure 6c).
+  constexpr double overlap_area(const Rect& o) const {
+    return intersected(o).area();
+  }
+
+  /// Squared Euclidean distance from `p` to the closest point of the
+  /// rectangle (0 when `p` is inside) -- the MINDIST of best-first
+  /// nearest-neighbor search.
+  constexpr double distance2(const Point& p) const {
+    const double dx = p.x < xmin ? xmin - p.x : (p.x > xmax ? p.x - xmax : 0.0);
+    const double dy = p.y < ymin ? ymin - p.y : (p.y > ymax ? p.y - ymax : 0.0);
+    return dx * dx + dy * dy;
+  }
+};
+
+/// Associative MBR-union functor for dpv scans over rectangles.
+struct RectUnion {
+  static constexpr Rect identity() { return Rect::empty(); }
+  constexpr Rect operator()(const Rect& a, const Rect& b) const {
+    return a.united(b);
+  }
+};
+
+}  // namespace dps::geom

@@ -1,0 +1,29 @@
+#pragma once
+// Line segment type.  The paper's datasets are collections of line segments
+// (road/utility/railway maps); each segment carries the stable id of the
+// original map line so q-edges (per-block fragments) can be deduplicated.
+
+#include <cstdint>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace dps::geom {
+
+/// Stable identifier of a map line.  q-edges created by cloning during node
+/// splits share the id of the original line.
+using LineId = std::uint32_t;
+
+struct Segment {
+  Point a;
+  Point b;
+  LineId id = 0;
+
+  friend constexpr bool operator==(const Segment&, const Segment&) = default;
+
+  constexpr Rect bbox() const { return Rect::of_segment(a, b); }
+  constexpr Point mid() const { return midpoint(a, b); }
+  double length() const { return distance(a, b); }
+};
+
+}  // namespace dps::geom

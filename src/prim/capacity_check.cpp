@@ -1,0 +1,28 @@
+#include "prim/capacity_check.hpp"
+
+namespace dps::prim {
+
+CapacityCheck capacity_check(dpv::Context& ctx, const dpv::Flags& seg,
+                             std::size_t capacity) {
+  const std::size_t n = seg.size();
+  CapacityCheck out;
+  dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, n, 1);
+  // Figure 19: the downward inclusive segmented scan leaves the group total
+  // at the group head.
+  out.count_at_elem = dpv::seg_scan(ctx, dpv::Plus<std::size_t>{}, ones, seg,
+                                    dpv::Dir::kDown, dpv::Incl::kInclusive);
+  out.group_counts = dpv::seg_heads(ctx, out.count_at_elem, seg);
+  out.group_overflow =
+      dpv::map(ctx, out.group_counts, [capacity](std::size_t c) {
+        return static_cast<std::uint8_t>(c > capacity);
+      });
+  // Broadcast the verdict back to every line in the group.
+  dpv::Vec<std::size_t> total_bcast =
+      dpv::seg_broadcast(ctx, out.count_at_elem, seg);
+  out.elem_overflow = dpv::map(ctx, total_bcast, [capacity](std::size_t c) {
+    return static_cast<std::uint8_t>(c > capacity);
+  });
+  return out;
+}
+
+}  // namespace dps::prim

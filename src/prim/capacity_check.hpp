@@ -1,0 +1,27 @@
+#pragma once
+// Node capacity check (section 4.4, Figure 19).
+//
+// For bucket-splitting rules that depend only on occupancy (bucket PMR
+// quadtree, R-tree), a downward inclusive segmented +-scan of ones leaves
+// each segment group's line count at its head element; the head then
+// "communicates" the count to the node (here: the per-group extraction),
+// and nodes exceeding their capacity are marked for subdivision.
+
+#include <cstddef>
+
+#include "dpv/dpv.hpp"
+
+namespace dps::prim {
+
+struct CapacityCheck {
+  dpv::Vec<std::size_t> count_at_elem;  // Figure 19's "count" row (down-scan)
+  dpv::Vec<std::size_t> group_counts;   // one count per group, group order
+  dpv::Flags group_overflow;            // 1 per group with count > capacity
+  dpv::Flags elem_overflow;             // the group verdict broadcast to lines
+};
+
+/// Runs the capacity check over the groups delimited by `seg`.
+CapacityCheck capacity_check(dpv::Context& ctx, const dpv::Flags& seg,
+                             std::size_t capacity);
+
+}  // namespace dps::prim

@@ -1,0 +1,38 @@
+#include "prim/clone.hpp"
+
+namespace dps::prim {
+
+ClonePlan plan_clone(dpv::Context& ctx, const dpv::Flags& clone_flags) {
+  const std::size_t n = clone_flags.size();
+  // F1 = up-scan(CF, +, ex): how far each element shifts right.
+  dpv::Vec<std::size_t> cf = dpv::map(
+      ctx, clone_flags, [](std::uint8_t f) { return std::size_t{f != 0}; });
+  dpv::Vec<std::size_t> offset =
+      dpv::scan(ctx, dpv::Plus<std::size_t>{}, cf, dpv::Dir::kUp,
+                dpv::Incl::kExclusive);
+  // F2 = ew(+, P, F1).
+  dpv::Index dest = dpv::zip_with(
+      ctx, offset, dpv::iota(ctx, n),
+      [](std::size_t off, std::size_t i) { return i + off; });
+  const std::size_t clones =
+      n == 0 ? 0 : offset[n - 1] + (clone_flags[n - 1] ? 1 : 0);
+  return ClonePlan{std::move(dest), clone_flags, n + clones};
+}
+
+dpv::Flags apply_clone_seg_flags(dpv::Context& ctx, const ClonePlan& plan,
+                                 const dpv::Flags& seg) {
+  dpv::Flags out = dpv::constant<std::uint8_t>(ctx, plan.out_size, 0);
+  dpv::scatter(ctx, seg, plan.dest, /*mask=*/dpv::Flags{}, out);
+  return out;
+}
+
+dpv::Flags clone_markers(dpv::Context& ctx, const ClonePlan& plan) {
+  dpv::Flags out = dpv::constant<std::uint8_t>(ctx, plan.out_size, 0);
+  dpv::Flags ones = dpv::constant<std::uint8_t>(ctx, plan.dest.size(), 1);
+  dpv::scatter(ctx, ones,
+               dpv::map(ctx, plan.dest, [](std::size_t d) { return d + 1; }),
+               plan.cloned, out);
+  return out;
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,52 @@
+#pragma once
+// Cloning (section 4.1, Figures 13/14), a.k.a. generalize [Nass81].
+//
+// Cloning replicates a flagged subset of elements in place in the linear
+// ordering: each flagged element is followed by a fresh copy of itself.
+// Mechanics, exactly as Figure 14: an exclusive upward +-scan of the clone
+// flags yields the right-shift each element needs, an elementwise add with
+// the position index yields destinations, and a permutation repositions the
+// elements; each cloning element then copies itself one slot right.
+//
+// The plan/apply split lets one scan-phase be shared by several payload
+// vectors (a line's geometry, block, flags, ... all move identically).
+
+#include <cstddef>
+
+#include "dpv/dpv.hpp"
+
+namespace dps::prim {
+
+/// The result of planning a clone: `dest[i]` is the new position of input
+/// element i; the clone of a flagged element lands at `dest[i] + 1`.
+struct ClonePlan {
+  dpv::Index dest;       // destination of each original element
+  dpv::Flags cloned;     // copy of the input clone flags
+  std::size_t out_size;  // n + number of clones
+};
+
+/// Plans a cloning operation (2 scans-worth of primitives, per Figure 14).
+ClonePlan plan_clone(dpv::Context& ctx, const dpv::Flags& clone_flags);
+
+/// Applies a clone plan to one payload vector: out[dest[i]] = data[i], and
+/// out[dest[i] + 1] = data[i] for flagged elements.
+template <typename T>
+dpv::Vec<T> apply_clone(dpv::Context& ctx, const ClonePlan& plan,
+                        const dpv::Vec<T>& data) {
+  dpv::Vec<T> out = dpv::permute(ctx, data, plan.dest, plan.out_size);
+  // The self-copy into the next slot (the curved arrows of Figure 14).
+  dpv::scatter(ctx, data,
+               dpv::map(ctx, plan.dest, [](std::size_t d) { return d + 1; }),
+               plan.cloned, out);
+  return out;
+}
+
+/// Applies a clone plan to per-element segment-group head flags: clones are
+/// members of their original's group, so they carry a 0 head flag.
+dpv::Flags apply_clone_seg_flags(dpv::Context& ctx, const ClonePlan& plan,
+                                 const dpv::Flags& seg);
+
+/// Marker vector: 1 on every element that is a clone (not an original).
+dpv::Flags clone_markers(dpv::Context& ctx, const ClonePlan& plan);
+
+}  // namespace dps::prim

@@ -1,0 +1,18 @@
+#include "prim/duplicate_deletion.hpp"
+
+#include "geom/segment.hpp"
+
+namespace dps::prim {
+
+// Convenience used by the batch-query layer: sort line ids with the
+// scan-model radix sort, then concentrate the unique ones.
+dpv::Vec<geom::LineId> sorted_unique_ids(dpv::Context& ctx,
+                                         const dpv::Vec<geom::LineId>& ids) {
+  dpv::Vec<std::uint64_t> keys =
+      dpv::map(ctx, ids, [](geom::LineId id) { return std::uint64_t{id}; });
+  dpv::Index order = dpv::sort_keys_indices(ctx, keys, 32);
+  dpv::Vec<geom::LineId> sorted = dpv::gather(ctx, ids, order);
+  return delete_duplicates(ctx, sorted);
+}
+
+}  // namespace dps::prim

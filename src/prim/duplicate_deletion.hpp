@@ -1,0 +1,75 @@
+#pragma once
+// Duplicate deletion (section 4.3, Figures 17/18), a.k.a. concentrate
+// [Nass81].
+//
+// Given a linear ordering sorted by identifier, removes all but the first
+// occurrence of each identifier.  Mechanics per Figure 18: mark duplicates
+// by comparing with the left neighbor, sum the marks with an exclusive
+// upward +-scan, subtract from the position index elementwise, and permute
+// the survivors left by that amount.
+//
+// Quadtree window queries use this to collapse the q-edges of a line that
+// was cloned into several blocks back into one result row (section 1).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dpv/dpv.hpp"
+#include "geom/segment.hpp"
+
+namespace dps::prim {
+
+/// Radix-sorts `ids` and removes duplicates: the full concentrate pipeline
+/// used by batch queries to report each line once.
+dpv::Vec<geom::LineId> sorted_unique_ids(dpv::Context& ctx,
+                                         const dpv::Vec<geom::LineId>& ids);
+
+struct DupDeletePlan {
+  dpv::Flags keep;       // 1 on first occurrences
+  dpv::Index dest;       // destination of kept elements (meaningful where keep)
+  std::size_t out_size;  // number of survivors
+};
+
+/// Plans duplicate deletion over ids that are already sorted (equal ids
+/// adjacent).  Ids need only be equality-comparable; the neighbor compare is
+/// one elementwise step (a shift is a unit permute in the scan model).
+template <typename T>
+DupDeletePlan plan_duplicate_deletion(dpv::Context& ctx,
+                                      const dpv::Vec<T>& sorted_ids) {
+  const std::size_t n = sorted_ids.size();
+  DupDeletePlan plan;
+  plan.keep = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i == 0 || !(sorted_ids[i] == sorted_ids[i - 1]));
+  });
+  // F1 = up-scan(DF, +, ex); new position = P - F1.
+  dpv::Vec<std::size_t> dup = dpv::map(
+      ctx, plan.keep, [](std::uint8_t k) { return std::size_t{k == 0}; });
+  dpv::Vec<std::size_t> removed_before = dpv::scan(
+      ctx, dpv::Plus<std::size_t>{}, dup, dpv::Dir::kUp, dpv::Incl::kExclusive);
+  plan.dest = dpv::zip_with(
+      ctx, removed_before, dpv::iota(ctx, n),
+      [](std::size_t r, std::size_t i) { return i - r; });
+  plan.out_size =
+      n == 0 ? 0
+             : n - removed_before[n - 1] - (plan.keep[n - 1] ? 0 : 1);
+  return plan;
+}
+
+/// Applies a plan to a payload vector, keeping first occurrences in order.
+template <typename T>
+dpv::Vec<T> apply_duplicate_deletion(dpv::Context& ctx,
+                                     const DupDeletePlan& plan,
+                                     const dpv::Vec<T>& data) {
+  dpv::Vec<T> out(plan.out_size);
+  dpv::scatter(ctx, data, plan.dest, plan.keep, out);
+  return out;
+}
+
+/// Convenience: sorted ids with duplicates removed.
+template <typename T>
+dpv::Vec<T> delete_duplicates(dpv::Context& ctx, const dpv::Vec<T>& sorted_ids) {
+  return apply_duplicate_deletion(ctx, plan_duplicate_deletion(ctx, sorted_ids),
+                                  sorted_ids);
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,42 @@
+#pragma once
+// The "line processor set" shared by the quadtree build algorithms.
+//
+// Sections 5.1/5.2 of the paper assign one (virtual) processor per q-edge;
+// the processors of lines residing in the same quadtree node form a
+// contiguous segment group.  We carry that state as parallel vectors plus a
+// segment-flag vector, exactly the C* layout.  Lines cloned during node
+// splits duplicate their row; the group a row belongs to is identified by
+// its `blocks` entry (all rows of a group share it).
+
+#include <cstddef>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::prim {
+
+struct LineSet {
+  dpv::Vec<geom::Segment> segs;  // q-edge geometry (id = original line)
+  dpv::Vec<geom::Block> blocks;  // quadtree node each q-edge resides in
+  dpv::Flags seg;                // segment-group head flags (one group/node)
+  double world = 1.0;            // side of the root square
+
+  std::size_t size() const { return segs.size(); }
+
+  /// Initial configuration (Figures 30/35): every line in the root node,
+  /// one segment group.
+  static LineSet initial(dpv::Context& ctx, dpv::Vec<geom::Segment> lines,
+                         double world);
+};
+
+inline LineSet LineSet::initial(dpv::Context& ctx,
+                                dpv::Vec<geom::Segment> lines, double world) {
+  LineSet ls;
+  ls.world = world;
+  ls.blocks = dpv::constant<geom::Block>(ctx, lines.size(), geom::Block::root());
+  ls.seg = dpv::single_segment(ctx, lines.size());
+  ls.segs = std::move(lines);
+  return ls;
+}
+
+}  // namespace dps::prim

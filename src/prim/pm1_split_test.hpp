@@ -1,0 +1,15 @@
+#pragma once
+// PM1 split determination (section 4.5, Figures 20-22): the PM1 instance
+// of the generalized PM-family split test in prim/pm_split_test.hpp.
+
+#include "prim/pm_split_test.hpp"
+
+namespace dps::prim {
+
+using Pm1SplitDecision = PmSplitDecision;
+
+inline Pm1SplitDecision pm1_split_test(dpv::Context& ctx, const LineSet& ls) {
+  return pm_split_test(ctx, ls, PmVariant::kPm1);
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,148 @@
+#include "prim/pm_split_test.hpp"
+
+namespace dps::prim {
+
+namespace {
+
+bool point_eq(const geom::Point& a, const geom::Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+}  // namespace
+
+PmSplitDecision pm_split_test(dpv::Context& ctx, const LineSet& ls,
+                              PmVariant variant) {
+  const std::size_t n = ls.size();
+  PmSplitDecision d;
+
+  // Endpoint count per line within its node (Figure 20).
+  d.eps = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::Block& b = ls.blocks[i];
+    int c = 0;
+    if (b.contains_vertex(ls.segs[i].a, ls.world)) ++c;
+    if (b.contains_vertex(ls.segs[i].b, ls.world)) ++c;
+    return c;
+  });
+  d.min_eps = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, dpv::Min<int>{}, d.eps, ls.seg, dpv::Dir::kDown,
+                    dpv::Incl::kInclusive),
+      ls.seg);
+  d.max_eps = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, dpv::Max<int>{}, d.eps, ls.seg, dpv::Dir::kDown,
+                    dpv::Incl::kInclusive),
+      ls.seg);
+
+  // Minimum bounding box of in-node endpoints (Figure 21): empty = no
+  // vertex in the node, a point = exactly one, otherwise >= 2 vertices.
+  dpv::Vec<geom::Rect> ep_box = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::Block& b = ls.blocks[i];
+    geom::Rect r = geom::Rect::empty();
+    if (b.contains_vertex(ls.segs[i].a, ls.world)) {
+      r = r.united(geom::Rect::of_point(ls.segs[i].a));
+    }
+    if (b.contains_vertex(ls.segs[i].b, ls.world)) {
+      r = r.united(geom::Rect::of_point(ls.segs[i].b));
+    }
+    return r;
+  });
+  dpv::Vec<geom::Rect> group_box = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, geom::RectUnion{}, ep_box, ls.seg, dpv::Dir::kDown,
+                    dpv::Incl::kInclusive),
+      ls.seg);
+
+  // Per-node line count (Figure 22).
+  dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, n, 1);
+  dpv::Vec<std::size_t> count = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, dpv::Plus<std::size_t>{}, ones, ls.seg,
+                    dpv::Dir::kDown, dpv::Incl::kInclusive),
+      ls.seg);
+
+  // PM2 extras: (a) is every line incident on the node's single vertex v
+  // (the trivial MBB corner); (b) do all lines of the group share one of
+  // the group head's endpoints.
+  dpv::Vec<std::uint8_t> all_incident_v, share_common;
+  if (variant == PmVariant::kPm2) {
+    dpv::Vec<std::uint8_t> inc_v = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      if (d.eps[i] > 0) return std::uint8_t{1};  // endpoint in node = at v
+      const geom::Point v{group_box[i].xmin, group_box[i].ymin};
+      return static_cast<std::uint8_t>(point_eq(ls.segs[i].a, v) ||
+                                       point_eq(ls.segs[i].b, v));
+    });
+    all_incident_v = dpv::seg_broadcast(
+        ctx,
+        dpv::seg_scan(ctx, dpv::LogicalAnd<std::uint8_t>{}, inc_v, ls.seg,
+                      dpv::Dir::kDown, dpv::Incl::kInclusive),
+        ls.seg);
+    // Any vertex common to all lines is an endpoint of the group head.
+    dpv::Vec<geom::Point> head_a = dpv::seg_broadcast(
+        ctx, dpv::map(ctx, ls.segs, [](const geom::Segment& s) { return s.a; }),
+        ls.seg);
+    dpv::Vec<geom::Point> head_b = dpv::seg_broadcast(
+        ctx, dpv::map(ctx, ls.segs, [](const geom::Segment& s) { return s.b; }),
+        ls.seg);
+    dpv::Vec<std::uint8_t> inc_p = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      return static_cast<std::uint8_t>(point_eq(ls.segs[i].a, head_a[i]) ||
+                                       point_eq(ls.segs[i].b, head_a[i]));
+    });
+    dpv::Vec<std::uint8_t> inc_q = dpv::tabulate(ctx, n, [&](std::size_t i) {
+      return static_cast<std::uint8_t>(point_eq(ls.segs[i].a, head_b[i]) ||
+                                       point_eq(ls.segs[i].b, head_b[i]));
+    });
+    dpv::Vec<std::uint8_t> all_p = dpv::seg_broadcast(
+        ctx,
+        dpv::seg_scan(ctx, dpv::LogicalAnd<std::uint8_t>{}, inc_p, ls.seg,
+                      dpv::Dir::kDown, dpv::Incl::kInclusive),
+        ls.seg);
+    dpv::Vec<std::uint8_t> all_q = dpv::seg_broadcast(
+        ctx,
+        dpv::seg_scan(ctx, dpv::LogicalAnd<std::uint8_t>{}, inc_q, ls.seg,
+                      dpv::Dir::kDown, dpv::Incl::kInclusive),
+        ls.seg);
+    share_common = dpv::zip_with(ctx, all_p, all_q,
+                                 [](std::uint8_t p, std::uint8_t q) {
+                                   return static_cast<std::uint8_t>(p || q);
+                                 });
+  }
+
+  d.elem_split = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    const geom::Rect& box = group_box[i];
+    const bool no_vertex = box.is_empty();
+    const bool one_vertex =
+        !no_vertex && box.width() == 0.0 && box.height() == 0.0;
+    bool split = false;
+    switch (variant) {
+      case PmVariant::kPm1:
+        // One vertex: every line must own it (min EPs >= 1); no vertex:
+        // at most one passing line.
+        if (!no_vertex && !one_vertex) {
+          split = true;
+        } else if (one_vertex) {
+          split = d.min_eps[i] == 0;
+        } else {
+          split = count[i] > 1;
+        }
+        break;
+      case PmVariant::kPm2:
+        if (!no_vertex && !one_vertex) {
+          split = true;
+        } else if (one_vertex) {
+          split = !all_incident_v[i];
+        } else {
+          split = count[i] > 1 && !share_common[i];
+        }
+        break;
+      case PmVariant::kPm3:
+        split = !no_vertex && !one_vertex;
+        break;
+    }
+    return static_cast<std::uint8_t>(split);
+  });
+  d.group_split = dpv::seg_heads(ctx, d.elem_split, ls.seg);
+  return d;
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,47 @@
+#pragma once
+// Split determination for the PM quadtree family (sections 2.1 and 4.5).
+//
+// The three vertex-based PM variants [Same85] differ only in the leaf
+// criterion; everything else (q-edge insertion, the two-stage node split)
+// is shared:
+//
+//   PM1 -- a region holds at most one vertex; if it holds a vertex every
+//          q-edge in it must be incident on that vertex; if it holds no
+//          vertex it may contain at most one q-edge.
+//   PM2 -- like PM1, but a vertex-free region may hold several q-edges as
+//          long as they are all incident on one common vertex (which lies
+//          outside the region).
+//   PM3 -- only the vertex bound: at most one vertex per region; vertex-
+//          free q-edges are unconstrained.
+//
+// Each criterion is evaluated for all nodes simultaneously with segmented
+// scans: endpoint counts (min/max), the minimum bounding box of the
+// in-node endpoints (a trivial box <=> at most one vertex), and, for PM2,
+// common-incidence tests against the group head's two endpoints (any
+// vertex shared by all lines of a group is in particular an endpoint of
+// the group's first line).
+//
+// PM1 and PM2 require planar input: two segments crossing away from a
+// shared vertex violate the criterion at every depth.  PM3 tolerates
+// crossings.
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "prim/line_set.hpp"
+
+namespace dps::prim {
+
+enum class PmVariant : std::uint8_t { kPm1 = 1, kPm2 = 2, kPm3 = 3 };
+
+struct PmSplitDecision {
+  dpv::Vec<int> eps;       // endpoints of this line inside its node (0..2)
+  dpv::Vec<int> min_eps;   // group minimum, broadcast to every line
+  dpv::Vec<int> max_eps;   // group maximum, broadcast to every line
+  dpv::Flags elem_split;   // per line: this line's node must subdivide
+  dpv::Flags group_split;  // per group, in group order
+};
+
+PmSplitDecision pm_split_test(dpv::Context& ctx, const LineSet& ls,
+                              PmVariant variant);
+
+}  // namespace dps::prim

@@ -1,0 +1,48 @@
+#pragma once
+// The point processor set used by the PR quadtree and k-d tree builds.
+//
+// Section 1 of the paper situates its contribution next to the scan-model
+// k-d tree build [Blel89b] and Bestul's data-parallel PR quadtrees
+// [Best92]; both operate on points, one (virtual) processor per point,
+// grouped per node exactly like the line processor set.  Points are never
+// cloned -- every point lies in exactly one node -- so splits are pure
+// segmented unshuffles.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::prim {
+
+/// Stable identifier of a point (mirrors geom::LineId for lines).
+using PointId = std::uint32_t;
+
+struct PointSet {
+  dpv::Vec<geom::Point> pts;
+  dpv::Vec<PointId> ids;
+  dpv::Vec<geom::Block> blocks;  // node of each point (PR quadtree only)
+  dpv::Flags seg;      // group head flags (one group per tree node)
+  double world = 1.0;  // root square side (PR quadtree only)
+
+  std::size_t size() const { return pts.size(); }
+
+  static PointSet initial(dpv::Context& ctx, dpv::Vec<geom::Point> pts,
+                          dpv::Vec<PointId> ids, double world);
+};
+
+inline PointSet PointSet::initial(dpv::Context& ctx,
+                                  dpv::Vec<geom::Point> points,
+                                  dpv::Vec<PointId> point_ids, double world) {
+  PointSet ps;
+  ps.world = world;
+  ps.seg = dpv::single_segment(ctx, points.size());
+  ps.blocks =
+      dpv::constant<geom::Block>(ctx, points.size(), geom::Block::root());
+  ps.pts = std::move(points);
+  ps.ids = std::move(point_ids);
+  return ps;
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,12 @@
+#pragma once
+// Umbrella header for the paper's section-4 spatial primitives.
+
+#include "prim/capacity_check.hpp"      // IWYU pragma: export
+#include "prim/clone.hpp"               // IWYU pragma: export
+#include "prim/duplicate_deletion.hpp"  // IWYU pragma: export
+#include "prim/line_set.hpp"            // IWYU pragma: export
+#include "prim/pm1_split_test.hpp"      // IWYU pragma: export
+#include "prim/pm_split_test.hpp"       // IWYU pragma: export
+#include "prim/quad_split.hpp"          // IWYU pragma: export
+#include "prim/rtree_split.hpp"         // IWYU pragma: export
+#include "prim/unshuffle.hpp"           // IWYU pragma: export

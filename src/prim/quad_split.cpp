@@ -1,0 +1,151 @@
+#include "prim/quad_split.hpp"
+
+#include "geom/predicates.hpp"
+#include "prim/clone.hpp"
+#include "prim/unshuffle.hpp"
+
+namespace dps::prim {
+
+namespace {
+
+// Top/bottom halves of a block's closed rectangle.
+geom::Rect top_half(const geom::Rect& r) {
+  return geom::Rect{r.xmin, (r.ymin + r.ymax) * 0.5, r.xmax, r.ymax};
+}
+geom::Rect bottom_half(const geom::Rect& r) {
+  return geom::Rect{r.xmin, r.ymin, r.xmax, (r.ymin + r.ymax) * 0.5};
+}
+geom::Rect west_half(const geom::Rect& r) {
+  return geom::Rect{r.xmin, r.ymin, (r.xmin + r.xmax) * 0.5, r.ymax};
+}
+geom::Rect east_half(const geom::Rect& r) {
+  return geom::Rect{(r.xmin + r.xmax) * 0.5, r.ymin, r.xmax, r.ymax};
+}
+
+}  // namespace
+
+LineSet quad_split(dpv::Context& ctx, const LineSet& ls,
+                   const dpv::Flags& elem_split, QuadSplitStats* stats) {
+  const std::size_t n0 = ls.size();
+  if (stats != nullptr) {
+    *stats = QuadSplitStats{};
+    dpv::Flags heads = ls.seg;
+    if (!heads.empty()) heads[0] = 1;
+    for (std::size_t i = 0; i < n0; ++i) {
+      if (heads[i] && elem_split[i]) ++stats->nodes_split;
+    }
+  }
+
+  // ---- Stage 1: horizontal center line; sides are top (0) / bottom (1).
+  dpv::Flags in_top = dpv::tabulate(ctx, n0, [&](std::size_t i) {
+    if (!elem_split[i]) return std::uint8_t{0};
+    const geom::Rect r = ls.blocks[i].rect(ls.world);
+    return static_cast<std::uint8_t>(
+        geom::segment_properly_intersects_rect(ls.segs[i], top_half(r)));
+  });
+  dpv::Flags in_bottom = dpv::tabulate(ctx, n0, [&](std::size_t i) {
+    if (!elem_split[i]) return std::uint8_t{0};
+    const geom::Rect r = ls.blocks[i].rect(ls.world);
+    return static_cast<std::uint8_t>(
+        geom::segment_properly_intersects_rect(ls.segs[i], bottom_half(r)));
+  });
+  dpv::Flags clone1 = dpv::zip_with(
+      ctx, in_top, in_bottom, [](std::uint8_t t, std::uint8_t b) {
+        return static_cast<std::uint8_t>(t && b);
+      });
+
+  ClonePlan cp1 = plan_clone(ctx, clone1);
+  dpv::Vec<geom::Segment> segs = apply_clone(ctx, cp1, ls.segs);
+  dpv::Vec<geom::Block> blocks = apply_clone(ctx, cp1, ls.blocks);
+  dpv::Flags seg = apply_clone_seg_flags(ctx, cp1, ls.seg);
+  dpv::Flags split = apply_clone(ctx, cp1, elem_split);
+  dpv::Flags top = apply_clone(ctx, cp1, in_top);
+  dpv::Flags bottom = apply_clone(ctx, cp1, in_bottom);
+  dpv::Flags is_clone = clone_markers(ctx, cp1);
+
+  // Side after cloning: a cloned pair's original goes top, the clone goes
+  // bottom; an uncloned split line goes wherever it intersects.
+  const std::size_t n1 = segs.size();
+  dpv::Flags side1 = dpv::tabulate(ctx, n1, [&](std::size_t i) {
+    if (!split[i]) return std::uint8_t{0};
+    if (top[i] && bottom[i]) return static_cast<std::uint8_t>(is_clone[i]);
+    return static_cast<std::uint8_t>(bottom[i] ? 1 : 0);
+  });
+
+  UnshufflePlan up1 = plan_seg_unshuffle(ctx, side1, seg);
+  segs = apply_unshuffle(ctx, up1, segs);
+  blocks = apply_unshuffle(ctx, up1, blocks);
+  split = apply_unshuffle(ctx, up1, split);
+  dpv::Flags north = apply_unshuffle(
+      ctx, up1, dpv::map(ctx, side1, [](std::uint8_t s) {
+        return static_cast<std::uint8_t>(s == 0);
+      }));
+  seg = up1.new_seg;
+
+  // ---- Stage 2: vertical center line inside each half; west (0) / east (1).
+  dpv::Flags in_west = dpv::tabulate(ctx, n1, [&](std::size_t i) {
+    if (!split[i]) return std::uint8_t{0};
+    const geom::Rect r = blocks[i].rect(ls.world);
+    const geom::Rect half = north[i] ? top_half(r) : bottom_half(r);
+    return static_cast<std::uint8_t>(
+        geom::segment_properly_intersects_rect(segs[i], west_half(half)));
+  });
+  dpv::Flags in_east = dpv::tabulate(ctx, n1, [&](std::size_t i) {
+    if (!split[i]) return std::uint8_t{0};
+    const geom::Rect r = blocks[i].rect(ls.world);
+    const geom::Rect half = north[i] ? top_half(r) : bottom_half(r);
+    return static_cast<std::uint8_t>(
+        geom::segment_properly_intersects_rect(segs[i], east_half(half)));
+  });
+  dpv::Flags clone2 = dpv::zip_with(
+      ctx, in_west, in_east, [](std::uint8_t w, std::uint8_t e) {
+        return static_cast<std::uint8_t>(w && e);
+      });
+
+  ClonePlan cp2 = plan_clone(ctx, clone2);
+  segs = apply_clone(ctx, cp2, segs);
+  blocks = apply_clone(ctx, cp2, blocks);
+  seg = apply_clone_seg_flags(ctx, cp2, seg);
+  split = apply_clone(ctx, cp2, split);
+  north = apply_clone(ctx, cp2, north);
+  dpv::Flags west2 = apply_clone(ctx, cp2, in_west);
+  dpv::Flags east2 = apply_clone(ctx, cp2, in_east);
+  dpv::Flags is_clone2 = clone_markers(ctx, cp2);
+
+  const std::size_t n2 = segs.size();
+  dpv::Flags side2 = dpv::tabulate(ctx, n2, [&](std::size_t i) {
+    if (!split[i]) return std::uint8_t{0};
+    if (west2[i] && east2[i]) return static_cast<std::uint8_t>(is_clone2[i]);
+    return static_cast<std::uint8_t>(east2[i] ? 1 : 0);
+  });
+
+  UnshufflePlan up2 = plan_seg_unshuffle(ctx, side2, seg);
+  segs = apply_unshuffle(ctx, up2, segs);
+  blocks = apply_unshuffle(ctx, up2, blocks);
+  split = apply_unshuffle(ctx, up2, split);
+  north = apply_unshuffle(ctx, up2, north);
+  dpv::Flags west = apply_unshuffle(
+      ctx, up2, dpv::map(ctx, side2, [](std::uint8_t s) {
+        return static_cast<std::uint8_t>(s == 0);
+      }));
+
+  // Descend each split line into its quadrant child block.
+  dpv::Vec<geom::Block> new_blocks = dpv::tabulate(ctx, n2, [&](std::size_t i) {
+    if (!split[i]) return blocks[i];
+    const geom::Quadrant q =
+        north[i] ? (west[i] ? geom::Quadrant::kNW : geom::Quadrant::kNE)
+                 : (west[i] ? geom::Quadrant::kSW : geom::Quadrant::kSE);
+    return blocks[i].child(q);
+  });
+
+  if (stats != nullptr) stats->clones_made = n2 - n0;
+
+  LineSet out;
+  out.world = ls.world;
+  out.segs = std::move(segs);
+  out.blocks = std::move(new_blocks);
+  out.seg = up2.new_seg;
+  return out;
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,39 @@
+#pragma once
+// Quadtree node splitting (section 4.6, Figures 23-28).
+//
+// Splits every marked node of a line set into four equal quadrants in two
+// data-parallel stages, all marked nodes simultaneously:
+//
+//   stage 1 -- split each marked node by its horizontal center line: lines
+//   with parts in both the top and bottom halves are cloned (section 4.1),
+//   then a segmented unshuffle (section 4.2) concentrates the top-half
+//   lines before the bottom-half lines and cuts each mixed group in two;
+//
+//   stage 2 -- the same against the vertical center line inside each half,
+//   producing the quadrant order NW, NE, SW, SE per original node.
+//
+// Membership tests use closed child rectangles (a line on a split axis
+// belongs to both sides and is cloned), and a clone is only created when
+// the line genuinely intersects both sides *within the node being split*,
+// so no spurious q-edges arise for lines whose axis crossing lies outside
+// the node.
+
+#include "dpv/dpv.hpp"
+#include "prim/line_set.hpp"
+
+namespace dps::prim {
+
+struct QuadSplitStats {
+  std::size_t nodes_split = 0;   // marked groups actually processed
+  std::size_t clones_made = 0;   // new q-edges created by the two stages
+};
+
+/// Splits the nodes whose lines are flagged in `elem_split` (the flag must
+/// be constant within each group, as produced by the split-decision
+/// primitives).  Returns the new line set; `stats`, when non-null, receives
+/// counters for traces and benches.
+LineSet quad_split(dpv::Context& ctx, const LineSet& ls,
+                   const dpv::Flags& elem_split,
+                   QuadSplitStats* stats = nullptr);
+
+}  // namespace dps::prim

@@ -1,0 +1,65 @@
+#include "prim/unshuffle.hpp"
+
+namespace dps::prim {
+
+UnshufflePlan plan_unshuffle(dpv::Context& ctx, const dpv::Flags& side) {
+  const std::size_t n = side.size();
+  UnshufflePlan plan;
+  plan.dest = dpv::split_indices(ctx, side);
+  plan.new_seg = dpv::constant<std::uint8_t>(ctx, n, 0);
+  if (n > 0) {
+    plan.new_seg[0] = 1;
+    std::size_t zeros = 0;
+    for (const auto s : side) zeros += (s == 0);  // host-side scalar
+    if (zeros > 0 && zeros < n) plan.new_seg[zeros] = 1;
+  }
+  return plan;
+}
+
+UnshufflePlan plan_seg_unshuffle(dpv::Context& ctx, const dpv::Flags& side,
+                                 const dpv::Flags& seg) {
+  const std::size_t n = side.size();
+  UnshufflePlan plan;
+  plan.dest = dpv::seg_split_indices(ctx, side, seg);
+
+  // Per-element group statistics, all via segmented scans (section 4.2).
+  dpv::Vec<std::size_t> zeros = dpv::map(
+      ctx, side, [](std::uint8_t s) { return std::size_t{s == 0}; });
+  dpv::Vec<std::size_t> ones = dpv::map(
+      ctx, side, [](std::uint8_t s) { return std::size_t{s != 0}; });
+  // Down-inclusive scans put the group totals at the head element;
+  // broadcasting with the copy operator spreads them group-wide.
+  dpv::Vec<std::size_t> zeros_total = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, dpv::Plus<std::size_t>{}, zeros, seg, dpv::Dir::kDown,
+                    dpv::Incl::kInclusive),
+      seg);
+  dpv::Vec<std::size_t> ones_total = dpv::seg_broadcast(
+      ctx,
+      dpv::seg_scan(ctx, dpv::Plus<std::size_t>{}, ones, seg, dpv::Dir::kDown,
+                    dpv::Incl::kInclusive),
+      seg);
+  dpv::Vec<std::size_t> group_start =
+      dpv::seg_broadcast(ctx, dpv::iota(ctx, n), seg);
+
+  // New heads: every original head, plus the 0|1 boundary of each group
+  // containing both sides.  Each group's head scatters the boundary flag --
+  // targets are distinct across groups, so the scatter is one-to-one.
+  plan.new_seg = seg;  // originals stay heads (head positions do not move)
+  if (n > 0) plan.new_seg[0] = 1;
+  dpv::Flags is_head = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i == 0 || seg[i] != 0);
+  });
+  dpv::Flags boundary_writer = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(is_head[i] && zeros_total[i] > 0 &&
+                                     ones_total[i] > 0);
+  });
+  dpv::Flags one_flags = dpv::constant<std::uint8_t>(ctx, n, 1);
+  dpv::Index boundary = dpv::zip_with(
+      ctx, group_start, zeros_total,
+      [](std::size_t gs, std::size_t z) { return gs + z; });
+  dpv::scatter(ctx, one_flags, boundary, boundary_writer, plan.new_seg);
+  return plan;
+}
+
+}  // namespace dps::prim

@@ -1,0 +1,51 @@
+#pragma once
+// Unshuffling (section 4.2, Figures 15/16), a.k.a. packing [Krus85] /
+// splitting [Blel89].
+//
+// Unshuffling stably separates two mutually exclusive, collectively
+// exhaustive subsets of a linear ordering: side-0 elements concentrate to
+// the left, side-1 elements to the right.  Mechanics per Figure 16: an
+// upward inclusive scan counts interposed side-1 elements below each
+// side-0 element, a downward inclusive scan counts interposed side-0
+// elements above each side-1 element, two elementwise ops produce the new
+// position indices, and a permutation repositions everything.
+//
+// The segmented form unshuffles *within each segment group* simultaneously
+// -- the workhorse of quadtree node splitting (section 4.6) and R-tree node
+// splitting (section 5.3), where every overflowing node partitions its
+// lines in one data-parallel step.  `UnshufflePlan` additionally reports
+// the new segment-group head flags when each group that actually splits
+// (contains both sides) becomes two groups.
+
+#include <cstddef>
+
+#include "dpv/dpv.hpp"
+
+namespace dps::prim {
+
+struct UnshufflePlan {
+  dpv::Index dest;     // new position of each element
+  dpv::Flags new_seg;  // head flags after splitting each mixed group in two
+};
+
+/// Whole-vector unshuffle (one implicit group), as in Figures 15/16.
+UnshufflePlan plan_unshuffle(dpv::Context& ctx, const dpv::Flags& side);
+
+/// Segmented unshuffle: partitions within each group delimited by `seg`.
+/// `split_group` selects which groups gain a new head flag at their 0|1
+/// boundary (normally "groups being split"); pass the side vector's own
+/// groups via `seg`.  Groups where all elements share a side keep a single
+/// head even when selected (an empty subgroup is not materialized, matching
+/// the paper's treatment -- an empty quadrant still becomes a node in the
+/// *node* processor set, but owns no line processors).
+UnshufflePlan plan_seg_unshuffle(dpv::Context& ctx, const dpv::Flags& side,
+                                 const dpv::Flags& seg);
+
+/// Applies the computed permutation to a payload vector.
+template <typename T>
+dpv::Vec<T> apply_unshuffle(dpv::Context& ctx, const UnshufflePlan& plan,
+                            const dpv::Vec<T>& data) {
+  return dpv::permute(ctx, data, plan.dest);
+}
+
+}  // namespace dps::prim

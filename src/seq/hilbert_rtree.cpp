@@ -1,0 +1,100 @@
+#include "seq/hilbert_rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/hilbert.hpp"
+
+namespace dps::seq {
+
+namespace {
+
+constexpr int kOrder = 16;  // 2^16 x 2^16 Hilbert grid
+
+std::uint32_t quantize(double v, double world) {
+  const double t = v / world * static_cast<double>(std::uint32_t{1} << kOrder);
+  const double hi = static_cast<double>((std::uint32_t{1} << kOrder) - 1);
+  return static_cast<std::uint32_t>(std::clamp(t, 0.0, hi));
+}
+
+}  // namespace
+
+core::RTree hilbert_pack_rtree(std::vector<geom::Segment> lines,
+                               std::size_t M, double world) {
+  if (lines.empty()) {
+    std::vector<core::RTree::Node> nodes(1);
+    return core::RTree(std::move(nodes), {}, 0, 1, M);
+  }
+  std::sort(lines.begin(), lines.end(),
+            [&](const geom::Segment& a, const geom::Segment& b) {
+              const geom::Point ca = a.mid(), cb = b.mid();
+              return geom::hilbert_d(quantize(ca.x, world),
+                                     quantize(ca.y, world), kOrder) <
+                     geom::hilbert_d(quantize(cb.x, world),
+                                     quantize(cb.y, world), kOrder);
+            });
+
+  // Pack bottom-up: level 0 = leaves over entry chunks, then chunk each
+  // level until a single root remains.
+  struct Level {
+    std::vector<geom::Rect> mbr;        // one per node of this level
+    std::vector<std::size_t> first;     // first child / entry index
+    std::vector<std::size_t> count;
+  };
+  std::vector<Level> levels;
+  {
+    Level leaves;
+    for (std::size_t i = 0; i < lines.size(); i += M) {
+      const std::size_t end = std::min(i + M, lines.size());
+      geom::Rect u = geom::Rect::empty();
+      for (std::size_t j = i; j < end; ++j) u = u.united(lines[j].bbox());
+      leaves.mbr.push_back(u);
+      leaves.first.push_back(i);
+      leaves.count.push_back(end - i);
+    }
+    levels.push_back(std::move(leaves));
+  }
+  while (levels.back().mbr.size() > 1) {
+    const Level& below = levels.back();
+    Level up;
+    for (std::size_t i = 0; i < below.mbr.size(); i += M) {
+      const std::size_t end = std::min(i + M, below.mbr.size());
+      geom::Rect u = geom::Rect::empty();
+      for (std::size_t j = i; j < end; ++j) u = u.united(below.mbr[j]);
+      up.mbr.push_back(u);
+      up.first.push_back(i);
+      up.count.push_back(end - i);
+    }
+    levels.push_back(std::move(up));
+  }
+
+  // Lay out root-first, children contiguous per parent (core::RTree form).
+  std::vector<std::size_t> base(levels.size());
+  std::size_t total = 0;
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    base[l] = total;
+    total += levels[l].mbr.size();
+  }
+  std::vector<core::RTree::Node> nodes(total);
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    const Level& lv = levels[l];
+    for (std::size_t g = 0; g < lv.mbr.size(); ++g) {
+      core::RTree::Node& nd = nodes[base[l] + g];
+      nd.mbr = lv.mbr[g];
+      if (l == 0) {
+        nd.is_leaf = true;
+        nd.first_entry = static_cast<std::uint32_t>(lv.first[g]);
+        nd.num_entries = static_cast<std::uint32_t>(lv.count[g]);
+      } else {
+        nd.is_leaf = false;
+        nd.first_child = static_cast<std::int32_t>(base[l - 1] + lv.first[g]);
+        nd.num_children = static_cast<std::int32_t>(lv.count[g]);
+      }
+    }
+  }
+  // Packing cannot promise a minimum fill in the final chunk of each level.
+  return core::RTree(std::move(nodes), std::move(lines),
+                     static_cast<int>(levels.size()) - 1, 1, M);
+}
+
+}  // namespace dps::seq

@@ -1,0 +1,7 @@
+#pragma once
+// Umbrella header for the sequential baselines.
+
+#include "seq/hilbert_rtree.hpp"  // IWYU pragma: export
+#include "seq/seq_pm1.hpp"    // IWYU pragma: export
+#include "seq/seq_pmr.hpp"    // IWYU pragma: export
+#include "seq/seq_rtree.hpp"  // IWYU pragma: export

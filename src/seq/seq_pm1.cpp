@@ -1,0 +1,175 @@
+#include "seq/seq_pm1.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geom/predicates.hpp"
+
+namespace dps::seq {
+
+bool SeqPm1::violates_rule(const geom::Block& block,
+                           const std::vector<geom::Segment>& edges,
+                           double world, prim::PmVariant variant) {
+  if (edges.empty()) return false;
+  int min_eps = 2;
+  geom::Rect ep_box = geom::Rect::empty();
+  for (const auto& s : edges) {
+    int eps = 0;
+    if (block.contains_vertex(s.a, world)) {
+      ++eps;
+      ep_box = ep_box.united(geom::Rect::of_point(s.a));
+    }
+    if (block.contains_vertex(s.b, world)) {
+      ++eps;
+      ep_box = ep_box.united(geom::Rect::of_point(s.b));
+    }
+    min_eps = std::min(min_eps, eps);
+  }
+  const bool no_vertex = ep_box.is_empty();
+  const bool one_vertex =
+      !no_vertex && ep_box.width() == 0.0 && ep_box.height() == 0.0;
+  if (!no_vertex && !one_vertex) return true;  // >= 2 vertices: all variants
+
+  auto incident = [](const geom::Segment& s, const geom::Point& v) {
+    return (s.a.x == v.x && s.a.y == v.y) || (s.b.x == v.x && s.b.y == v.y);
+  };
+  switch (variant) {
+    case prim::PmVariant::kPm1:
+      if (one_vertex) return min_eps == 0;
+      return edges.size() > 1;  // vertex-free: at most one passing q-edge
+    case prim::PmVariant::kPm2: {
+      if (one_vertex) {
+        const geom::Point v{ep_box.xmin, ep_box.ymin};
+        for (const auto& s : edges) {
+          if (!incident(s, v)) return true;
+        }
+        return false;
+      }
+      if (edges.size() <= 1) return false;
+      // Vertex-free: all q-edges must share a vertex, which is then in
+      // particular an endpoint of the first edge.
+      for (const geom::Point cand : {edges[0].a, edges[0].b}) {
+        bool all = true;
+        for (const auto& s : edges) {
+          if (!incident(s, cand)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return false;
+      }
+      return true;
+    }
+    case prim::PmVariant::kPm3:
+      return false;  // at most one vertex is all PM3 asks
+  }
+  return false;
+}
+
+void SeqPm1::insert(const geom::Segment& s) { insert_into(0, s); }
+
+void SeqPm1::insert_into(std::int32_t node, const geom::Segment& s) {
+  // Descend into every region of the node the segment properly intersects.
+  if (!geom::segment_properly_intersects_rect(
+          s, nodes_[node].block.rect(opts_.world))) {
+    return;
+  }
+  if (!nodes_[node].is_leaf) {
+    for (int q = 0; q < 4; ++q) {
+      std::int32_t c = nodes_[node].child[q];
+      if (c == -1) {
+        // Materialize the empty quadrant lazily if the segment enters it.
+        const geom::Block cb =
+            nodes_[node].block.child(static_cast<geom::Quadrant>(q));
+        if (!geom::segment_properly_intersects_rect(s,
+                                                    cb.rect(opts_.world))) {
+          continue;
+        }
+        c = static_cast<std::int32_t>(nodes_.size());
+        nodes_[node].child[q] = c;
+        Node child;
+        child.block = cb;
+        nodes_.push_back(std::move(child));
+      }
+      insert_into(c, s);
+    }
+    return;
+  }
+  nodes_[node].edges.push_back(s);
+  // Split while the PM1 rule is violated (split() recursively re-checks).
+  if (violates_rule(nodes_[node].block, nodes_[node].edges, opts_.world, opts_.variant)) {
+    if (nodes_[node].block.depth >= opts_.max_depth) {
+      depth_limited_ = true;
+    } else {
+      split(node);
+    }
+  }
+}
+
+void SeqPm1::split(std::int32_t node) {
+  std::vector<geom::Segment> edges = std::move(nodes_[node].edges);
+  nodes_[node].edges.clear();
+  nodes_[node].is_leaf = false;
+  const geom::Block block = nodes_[node].block;
+  for (int q = 0; q < 4; ++q) {
+    const geom::Block cb = block.child(static_cast<geom::Quadrant>(q));
+    const geom::Rect cr = cb.rect(opts_.world);
+    std::vector<geom::Segment> sub;
+    for (const auto& s : edges) {
+      if (geom::segment_properly_intersects_rect(s, cr)) sub.push_back(s);
+    }
+    if (sub.empty()) continue;
+    const auto c = static_cast<std::int32_t>(nodes_.size());
+    nodes_[node].child[q] = c;
+    Node child;
+    child.block = cb;
+    nodes_.push_back(std::move(child));
+    nodes_[c].edges = std::move(sub);
+    if (violates_rule(cb, nodes_[c].edges, opts_.world, opts_.variant)) {
+      if (cb.depth >= opts_.max_depth) {
+        depth_limited_ = true;
+      } else {
+        split(c);
+      }
+    }
+  }
+}
+
+std::size_t SeqPm1::num_qedges() const {
+  std::size_t n = 0;
+  for (const auto& nd : nodes_) n += nd.edges.size();
+  return n;
+}
+
+int SeqPm1::height() const {
+  int h = 0;
+  for (const auto& nd : nodes_) h = std::max<int>(h, nd.block.depth);
+  return h;
+}
+
+std::string SeqPm1::fingerprint() const {
+  struct LeafInfo {
+    std::uint64_t key;
+    std::vector<geom::LineId> ids;
+  };
+  std::vector<LeafInfo> leaves;
+  for (const auto& nd : nodes_) {
+    if (!nd.is_leaf || nd.edges.empty()) continue;
+    LeafInfo li;
+    li.key = nd.block.morton_key();
+    for (const auto& s : nd.edges) li.ids.push_back(s.id);
+    std::sort(li.ids.begin(), li.ids.end());
+    leaves.push_back(std::move(li));
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafInfo& a, const LeafInfo& b) { return a.key < b.key; });
+  std::ostringstream os;
+  for (const auto& li : leaves) {
+    os << li.key << ":";
+    for (const auto id : li.ids) os << id << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+}  // namespace dps::seq

@@ -1,0 +1,72 @@
+#pragma once
+// Sequential PM1 quadtree baseline (section 2.1).
+//
+// Classic pointer-based PM1 quadtree with one-at-a-time insertion.  The PM1
+// splitting rule is monotone in the line set (a node violating it keeps
+// violating it as lines are added), so the final decomposition is unique
+// and insertion-order independent -- which makes this baseline an exact
+// cross-check for the data-parallel build of section 5.1: both must produce
+// identical leaf decompositions (compared via fingerprints).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "prim/pm_split_test.hpp"  // PmVariant
+
+namespace dps::seq {
+
+class SeqPm1 {
+ public:
+  struct Options {
+    double world = 1.0;
+    int max_depth = 20;
+    prim::PmVariant variant = prim::PmVariant::kPm1;
+  };
+
+  explicit SeqPm1(const Options& opts) : opts_(opts) {
+    Node root;
+    root.block = geom::Block::root();
+    nodes_.push_back(std::move(root));
+  }
+
+  /// Inserts one line; splits every violated leaf it lands in.
+  void insert(const geom::Segment& s);
+
+  /// True when some node at the depth cap still violates the PM1 rule.
+  bool depth_limited() const { return depth_limited_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_qedges() const;
+  int height() const;
+
+  /// Same format as core::QuadTree::fingerprint() -- non-empty leaves as
+  /// sorted morton keys with sorted line-id lists.
+  std::string fingerprint() const;
+
+  /// The PM-family split decision shared with the tests: should a node
+  /// holding `edges` over `block` subdivide under `variant`?
+  static bool violates_rule(const geom::Block& block,
+                            const std::vector<geom::Segment>& edges,
+                            double world,
+                            prim::PmVariant variant = prim::PmVariant::kPm1);
+
+ private:
+  struct Node {
+    geom::Block block;
+    std::int32_t child[4] = {-1, -1, -1, -1};
+    bool is_leaf = true;
+    std::vector<geom::Segment> edges;  // leaves only
+  };
+
+  void insert_into(std::int32_t node, const geom::Segment& s);
+  void split(std::int32_t node);
+
+  Options opts_;
+  std::vector<Node> nodes_;
+  bool depth_limited_ = false;
+};
+
+}  // namespace dps::seq

@@ -1,0 +1,201 @@
+#include "seq/seq_pmr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geom/predicates.hpp"
+
+namespace dps::seq {
+
+void SeqPmr::insert(const geom::Segment& s) { insert_into(0, s); }
+
+void SeqPmr::insert_into(std::int32_t node, const geom::Segment& s) {
+  if (!geom::segment_properly_intersects_rect(
+          s, nodes_[node].block.rect(opts_.world))) {
+    return;
+  }
+  if (!nodes_[node].is_leaf) {
+    for (int q = 0; q < 4; ++q) {
+      std::int32_t c = nodes_[node].child[q];
+      if (c == -1) {
+        const geom::Block cb =
+            nodes_[node].block.child(static_cast<geom::Quadrant>(q));
+        if (!geom::segment_properly_intersects_rect(s,
+                                                    cb.rect(opts_.world))) {
+          continue;
+        }
+        c = static_cast<std::int32_t>(nodes_.size());
+        Node child;
+        child.block = cb;
+        child.parent = node;
+        nodes_.push_back(std::move(child));
+        nodes_[node].child[q] = c;
+      }
+      insert_into(c, s);
+    }
+    return;
+  }
+  nodes_[node].edges.push_back(s);
+  // The PMR rule: split once -- and only once -- when the insertion pushes
+  // the block past the threshold (children are not re-checked).
+  if (nodes_[node].edges.size() > opts_.threshold &&
+      nodes_[node].block.depth < opts_.max_depth) {
+    split_once(node);
+  }
+}
+
+void SeqPmr::split_once(std::int32_t node) {
+  std::vector<geom::Segment> edges = std::move(nodes_[node].edges);
+  nodes_[node].edges.clear();
+  nodes_[node].is_leaf = false;
+  const geom::Block block = nodes_[node].block;
+  for (int q = 0; q < 4; ++q) {
+    const geom::Block cb = block.child(static_cast<geom::Quadrant>(q));
+    const geom::Rect cr = cb.rect(opts_.world);
+    std::vector<geom::Segment> sub;
+    for (const auto& s : edges) {
+      if (geom::segment_properly_intersects_rect(s, cr)) sub.push_back(s);
+    }
+    if (sub.empty()) continue;
+    const auto c = static_cast<std::int32_t>(nodes_.size());
+    Node child;
+    child.block = cb;
+    child.parent = node;
+    nodes_.push_back(std::move(child));
+    nodes_[node].child[q] = c;
+    nodes_[c].edges = std::move(sub);
+  }
+}
+
+void SeqPmr::erase(geom::LineId id) {
+  // Remove the id's q-edges everywhere, collecting affected parents.
+  std::vector<std::int32_t> affected_parents;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& nd = nodes_[i];
+    if (nd.dead || !nd.is_leaf || nd.edges.empty()) continue;
+    const auto old = nd.edges.size();
+    nd.edges.erase(std::remove_if(nd.edges.begin(), nd.edges.end(),
+                                  [id](const geom::Segment& s) {
+                                    return s.id == id;
+                                  }),
+                   nd.edges.end());
+    if (nd.edges.size() != old && nd.parent != -1) {
+      affected_parents.push_back(nd.parent);
+    }
+  }
+  std::sort(affected_parents.begin(), affected_parents.end());
+  affected_parents.erase(
+      std::unique(affected_parents.begin(), affected_parents.end()),
+      affected_parents.end());
+  for (const auto p : affected_parents) try_merge(p);
+}
+
+void SeqPmr::try_merge(std::int32_t parent) {
+  for (;;) {
+    Node& p = nodes_[parent];
+    if (p.dead || p.is_leaf) return;
+    // All children must be live leaves; count distinct lines across them.
+    std::vector<geom::Segment> merged;
+    for (int q = 0; q < 4; ++q) {
+      const std::int32_t c = p.child[q];
+      if (c == -1) continue;
+      const Node& ch = nodes_[c];
+      if (!ch.is_leaf || ch.dead) return;
+      merged.insert(merged.end(), ch.edges.begin(), ch.edges.end());
+    }
+    // A line may appear in several children; merging keeps it once.
+    std::sort(merged.begin(), merged.end(),
+              [](const geom::Segment& a, const geom::Segment& b) {
+                return a.id < b.id;
+              });
+    merged.erase(std::unique(merged.begin(), merged.end(),
+                             [](const geom::Segment& a,
+                                const geom::Segment& b) {
+                               return a.id == b.id;
+                             }),
+                 merged.end());
+    // Merge when the threshold exceeds the combined occupancy (sec. 2.2).
+    if (merged.size() >= opts_.threshold) return;
+    for (int q = 0; q < 4; ++q) {
+      const std::int32_t c = p.child[q];
+      if (c != -1) nodes_[c].dead = true;
+      p.child[q] = -1;
+    }
+    p.is_leaf = true;
+    p.edges = std::move(merged);
+    if (p.parent == -1) return;
+    parent = p.parent;  // the paper: reapply merging recursively upward
+  }
+}
+
+void SeqPmr::for_each_live_leaf(
+    const std::function<void(const Node&)>& f) const {
+  for (const auto& nd : nodes_) {
+    if (!nd.dead && nd.is_leaf) f(nd);
+  }
+}
+
+std::size_t SeqPmr::num_nodes() const {
+  std::size_t c = 0;
+  for (const auto& nd : nodes_) c += !nd.dead;
+  return c;
+}
+
+std::size_t SeqPmr::num_qedges() const {
+  std::size_t c = 0;
+  for_each_live_leaf([&](const Node& nd) { c += nd.edges.size(); });
+  return c;
+}
+
+int SeqPmr::height() const {
+  int h = 0;
+  for (const auto& nd : nodes_) {
+    if (!nd.dead) h = std::max<int>(h, nd.block.depth);
+  }
+  return h;
+}
+
+std::size_t SeqPmr::max_leaf_occupancy() const {
+  std::size_t m = 0;
+  for_each_live_leaf(
+      [&](const Node& nd) { m = std::max(m, nd.edges.size()); });
+  return m;
+}
+
+std::size_t SeqPmr::max_occupancy_minus_depth() const {
+  std::size_t m = 0;
+  for_each_live_leaf([&](const Node& nd) {
+    if (nd.block.depth >= opts_.max_depth) return;  // cap excluded
+    const std::size_t occ = nd.edges.size();
+    const std::size_t depth = nd.block.depth;
+    m = std::max(m, occ > depth ? occ - depth : 0);
+  });
+  return m;
+}
+
+std::string SeqPmr::fingerprint() const {
+  struct LeafInfo {
+    std::uint64_t key;
+    std::vector<geom::LineId> ids;
+  };
+  std::vector<LeafInfo> leaves;
+  for_each_live_leaf([&](const Node& nd) {
+    if (nd.edges.empty()) return;
+    LeafInfo li;
+    li.key = nd.block.morton_key();
+    for (const auto& s : nd.edges) li.ids.push_back(s.id);
+    std::sort(li.ids.begin(), li.ids.end());
+    leaves.push_back(std::move(li));
+  });
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafInfo& a, const LeafInfo& b) { return a.key < b.key; });
+  std::ostringstream os;
+  for (const auto& li : leaves) {
+    os << li.key << ":";
+    for (const auto id : li.ids) os << id << ",";
+    os << ";";
+  }
+  return os.str();
+}
+
+}  // namespace dps::seq

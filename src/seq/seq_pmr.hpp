@@ -1,0 +1,76 @@
+#pragma once
+// Sequential PMR quadtree baseline (section 2.2).
+//
+// The conventional PMR quadtree with the probabilistic splitting rule: a
+// line is inserted into every block it intersects; a block whose occupancy
+// then exceeds the splitting threshold is split once -- and only once --
+// even if children still exceed the threshold.  Deletion removes a line
+// from every block and merges sibling leaves whose combined occupancy drops
+// below the threshold (note the asymmetry the paper points out).
+//
+// This baseline exists to demonstrate the insertion-order dependence
+// (Figure 34) that motivates the bucket PMR quadtree, and to check the
+// occupancy bound of section 2.2: occupancy <= threshold + depth for
+// blocks above the depth cap.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::seq {
+
+class SeqPmr {
+ public:
+  struct Options {
+    double world = 1.0;
+    int max_depth = 20;
+    std::size_t threshold = 8;  // the splitting threshold
+  };
+
+  explicit SeqPmr(const Options& opts) : opts_(opts) {
+    Node root;
+    root.block = geom::Block::root();
+    nodes_.push_back(std::move(root));
+  }
+
+  void insert(const geom::Segment& s);
+
+  /// Removes every q-edge with this id; merges underflowing sibling sets.
+  void erase(geom::LineId id);
+
+  std::size_t num_nodes() const;  // live nodes (erase may orphan records)
+  std::size_t num_qedges() const;
+  int height() const;
+  std::size_t max_leaf_occupancy() const;
+
+  /// Max over leaves of (occupancy - depth); the section 2.2 bound says
+  /// this never exceeds the threshold for leaves above the depth cap.
+  std::size_t max_occupancy_minus_depth() const;
+
+  /// Same leaf-decomposition format as core::QuadTree::fingerprint().
+  std::string fingerprint() const;
+
+ private:
+  struct Node {
+    geom::Block block;
+    std::int32_t parent = -1;
+    std::int32_t child[4] = {-1, -1, -1, -1};
+    bool is_leaf = true;
+    bool dead = false;  // removed by a merge
+    std::vector<geom::Segment> edges;
+  };
+
+  void insert_into(std::int32_t node, const geom::Segment& s);
+  void split_once(std::int32_t node);
+  void try_merge(std::int32_t parent);
+  void for_each_live_leaf(const std::function<void(const Node&)>& f) const;
+
+  Options opts_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dps::seq

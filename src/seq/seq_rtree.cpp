@@ -1,0 +1,455 @@
+#include "seq/seq_rtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dps::seq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Guttman's quadratic split.
+std::vector<std::uint8_t> quadratic_split(const std::vector<geom::Rect>& boxes,
+                                          std::size_t m) {
+  const std::size_t n = boxes.size();
+  std::vector<std::uint8_t> side(n, 2);  // 2 = unassigned
+  // PickSeeds: the pair wasting the most area if grouped together.
+  std::size_t s0 = 0, s1 = 1;
+  double worst = -kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          boxes[i].united(boxes[j]).area() - boxes[i].area() - boxes[j].area();
+      if (d > worst) {
+        worst = d;
+        s0 = i;
+        s1 = j;
+      }
+    }
+  }
+  side[s0] = 0;
+  side[s1] = 1;
+  geom::Rect g0 = boxes[s0], g1 = boxes[s1];
+  std::size_t c0 = 1, c1 = 1, assigned = 2;
+  while (assigned < n) {
+    // Force-assign when one group needs all remaining to reach m.
+    const std::size_t remaining = n - assigned;
+    if (c0 + remaining == m) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (side[i] == 2) {
+          side[i] = 0;
+          g0 = g0.united(boxes[i]);
+          ++c0;
+          ++assigned;
+        }
+      }
+      break;
+    }
+    if (c1 + remaining == m) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (side[i] == 2) {
+          side[i] = 1;
+          g1 = g1.united(boxes[i]);
+          ++c1;
+          ++assigned;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the greatest preference for one group.
+    std::size_t pick = n;
+    double best_diff = -kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (side[i] != 2) continue;
+      const double d0 = g0.enlargement(boxes[i]);
+      const double d1 = g1.enlargement(boxes[i]);
+      const double diff = std::abs(d0 - d1);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    assert(pick < n);
+    const double d0 = g0.enlargement(boxes[pick]);
+    const double d1 = g1.enlargement(boxes[pick]);
+    bool to0;
+    if (d0 != d1) {
+      to0 = d0 < d1;
+    } else if (g0.area() != g1.area()) {
+      to0 = g0.area() < g1.area();
+    } else {
+      to0 = c0 <= c1;
+    }
+    if (to0) {
+      side[pick] = 0;
+      g0 = g0.united(boxes[pick]);
+      ++c0;
+    } else {
+      side[pick] = 1;
+      g1 = g1.united(boxes[pick]);
+      ++c1;
+    }
+    ++assigned;
+  }
+  return side;
+}
+
+// Guttman's linear split.
+std::vector<std::uint8_t> linear_split(const std::vector<geom::Rect>& boxes,
+                                       std::size_t m) {
+  const std::size_t n = boxes.size();
+  // LinearPickSeeds: per dimension, the highest low side and the lowest
+  // high side; separation normalized by the spread of the dimension.
+  auto pick_dim = [&](int axis, std::size_t& a, std::size_t& b) {
+    double lo_all = kInf, hi_all = -kInf;
+    double best_lo = -kInf, best_hi = kInf;
+    a = 0;
+    b = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = axis == 0 ? boxes[i].xmin : boxes[i].ymin;
+      const double hi = axis == 0 ? boxes[i].xmax : boxes[i].ymax;
+      lo_all = std::min(lo_all, lo);
+      hi_all = std::max(hi_all, hi);
+      if (lo > best_lo) {
+        best_lo = lo;
+        a = i;
+      }
+      if (hi < best_hi) {
+        best_hi = hi;
+        b = i;
+      }
+    }
+    const double width = hi_all - lo_all;
+    const double sep = best_lo - best_hi;
+    return width > 0.0 ? sep / width : -kInf;
+  };
+  std::size_t xa, xb, ya, yb;
+  const double nx = pick_dim(0, xa, xb);
+  const double ny = pick_dim(1, ya, yb);
+  std::size_t s0 = nx >= ny ? xb : yb;
+  std::size_t s1 = nx >= ny ? xa : ya;
+  if (s0 == s1) s1 = (s0 + 1) % n;  // degenerate data: any distinct pair
+
+  std::vector<std::uint8_t> side(n, 2);
+  side[s0] = 0;
+  side[s1] = 1;
+  geom::Rect g0 = boxes[s0], g1 = boxes[s1];
+  std::size_t c0 = 1, c1 = 1, assigned = 2;
+  for (std::size_t i = 0; i < n && assigned < n; ++i) {
+    if (side[i] != 2) continue;
+    const std::size_t remaining = n - assigned;
+    bool to0;
+    if (c0 + remaining == m) {
+      to0 = true;
+    } else if (c1 + remaining == m) {
+      to0 = false;
+    } else {
+      const double d0 = g0.enlargement(boxes[i]);
+      const double d1 = g1.enlargement(boxes[i]);
+      to0 = d0 != d1 ? d0 < d1 : c0 <= c1;
+    }
+    if (to0) {
+      side[i] = 0;
+      g0 = g0.united(boxes[i]);
+      ++c0;
+    } else {
+      side[i] = 1;
+      g1 = g1.united(boxes[i]);
+      ++c1;
+    }
+    ++assigned;
+  }
+  return side;
+}
+
+// Sweep split: same selection rule as the data-parallel section 4.7 sweep.
+std::vector<std::uint8_t> sweep_split(const std::vector<geom::Rect>& boxes,
+                                      std::size_t m) {
+  const std::size_t n = boxes.size();
+  std::vector<std::uint8_t> best_side(n, 0);
+  double best_overlap = kInf, best_perim = kInf;
+  bool found = false;
+  for (int axis = 0; axis < 2; ++axis) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double ka = axis == 0 ? boxes[a].xmin
+                                                   : boxes[a].ymin;
+                       const double kb = axis == 0 ? boxes[b].xmin
+                                                   : boxes[b].ymin;
+                       return ka < kb;
+                     });
+    std::vector<geom::Rect> prefix(n), suffix(n);
+    geom::Rect acc = geom::Rect::empty();
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = acc.united(boxes[order[i]]);
+      prefix[i] = acc;
+    }
+    acc = geom::Rect::empty();
+    for (std::size_t i = n; i-- > 0;) {
+      suffix[i] = acc;  // exclusive: boxes strictly after i
+      acc = acc.united(boxes[order[i]]);
+    }
+    for (std::size_t k = 0; k + 1 < n; ++k) {  // left = order[0..k]
+      const std::size_t left = k + 1;
+      if (left < m || n - left < m) continue;
+      const double ov = prefix[k].overlap_area(suffix[k]);
+      const double pe = prefix[k].perimeter() + suffix[k].perimeter();
+      if (!found || ov < best_overlap ||
+          (ov == best_overlap && pe < best_perim)) {
+        found = true;
+        best_overlap = ov;
+        best_perim = pe;
+        for (std::size_t i = 0; i < n; ++i) {
+          best_side[order[i]] = static_cast<std::uint8_t>(i > k);
+        }
+      }
+    }
+  }
+  if (!found) {  // n < 2m: balanced fallback
+    for (std::size_t i = 0; i < n; ++i) {
+      best_side[i] = static_cast<std::uint8_t>(i >= (n + 1) / 2);
+    }
+  }
+  return best_side;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SeqRTree::split_boxes(
+    const std::vector<geom::Rect>& boxes, std::size_t m, Split split) {
+  assert(boxes.size() >= 2);
+  switch (split) {
+    case Split::kLinear: return linear_split(boxes, m);
+    case Split::kQuadratic: return quadratic_split(boxes, m);
+    case Split::kSweep: return sweep_split(boxes, m);
+  }
+  return {};
+}
+
+SeqRTree::SeqRTree(const Options& opts) : opts_(opts) {
+  Node root;
+  root.mbr = geom::Rect::empty();
+  nodes_.push_back(std::move(root));
+}
+
+std::int32_t SeqRTree::choose_leaf(const geom::Rect& box) const {
+  std::int32_t cur = root_;
+  while (!nodes_[cur].is_leaf) {
+    const Node& nd = nodes_[cur];
+    std::int32_t best = nd.children.front();
+    double best_enl = kInf, best_area = kInf;
+    for (const auto c : nd.children) {
+      const double enl = nodes_[c].mbr.enlargement(box);
+      const double area = nodes_[c].mbr.area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = c;
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    cur = best;
+  }
+  return cur;
+}
+
+void SeqRTree::insert(const geom::Segment& s) {
+  const std::int32_t leaf = choose_leaf(s.bbox());
+  nodes_[leaf].entries.push_back(s);
+  ++count_;
+  if (nodes_[leaf].fanout() > opts_.M) {
+    split_node(leaf);
+  } else {
+    adjust_upward(leaf);
+  }
+}
+
+void SeqRTree::recompute_mbr(std::int32_t node) {
+  Node& nd = nodes_[node];
+  geom::Rect u = geom::Rect::empty();
+  if (nd.is_leaf) {
+    for (const auto& e : nd.entries) u = u.united(e.bbox());
+  } else {
+    for (const auto c : nd.children) u = u.united(nodes_[c].mbr);
+  }
+  nd.mbr = u;
+}
+
+void SeqRTree::adjust_upward(std::int32_t node) {
+  for (std::int32_t cur = node; cur != -1; cur = nodes_[cur].parent) {
+    recompute_mbr(cur);
+  }
+}
+
+void SeqRTree::split_node(std::int32_t node) {
+  // Collect member boxes and split them.
+  std::vector<geom::Rect> boxes;
+  if (nodes_[node].is_leaf) {
+    for (const auto& e : nodes_[node].entries) boxes.push_back(e.bbox());
+  } else {
+    for (const auto c : nodes_[node].children) boxes.push_back(nodes_[c].mbr);
+  }
+  const std::vector<std::uint8_t> side =
+      split_boxes(boxes, opts_.m, opts_.split);
+
+  const auto sibling = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[sibling].is_leaf = nodes_[node].is_leaf;
+
+  if (nodes_[node].is_leaf) {
+    std::vector<geom::Segment> keep, move;
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      (side[i] ? move : keep).push_back(nodes_[node].entries[i]);
+    }
+    nodes_[node].entries = std::move(keep);
+    nodes_[sibling].entries = std::move(move);
+  } else {
+    std::vector<std::int32_t> keep, move;
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      (side[i] ? move : keep).push_back(nodes_[node].children[i]);
+    }
+    nodes_[node].children = std::move(keep);
+    nodes_[sibling].children = std::move(move);
+    for (const auto c : nodes_[sibling].children) nodes_[c].parent = sibling;
+  }
+  recompute_mbr(node);
+  recompute_mbr(sibling);
+
+  const std::int32_t parent = nodes_[node].parent;
+  if (parent == -1) {
+    // Root split: grow the tree (Figure 42's analogue).
+    const auto new_root = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[new_root].is_leaf = false;
+    nodes_[new_root].children = {node, sibling};
+    nodes_[node].parent = new_root;
+    nodes_[sibling].parent = new_root;
+    recompute_mbr(new_root);
+    root_ = new_root;
+    return;
+  }
+  nodes_[sibling].parent = parent;
+  nodes_[parent].children.push_back(sibling);
+  if (nodes_[parent].fanout() > opts_.M) {
+    split_node(parent);
+  } else {
+    adjust_upward(parent);
+  }
+}
+
+std::int32_t SeqRTree::find_leaf(std::int32_t node, geom::LineId id) const {
+  const Node& nd = nodes_[node];
+  if (nd.is_leaf) {
+    for (const auto& e : nd.entries) {
+      if (e.id == id) return node;
+    }
+    return -1;
+  }
+  for (const auto c : nd.children) {
+    const std::int32_t hit = find_leaf(c, id);
+    if (hit != -1) return hit;
+  }
+  return -1;
+}
+
+void SeqRTree::collect_entries(std::int32_t node,
+                               std::vector<geom::Segment>& out) {
+  Node& nd = nodes_[node];
+  if (nd.is_leaf) {
+    out.insert(out.end(), nd.entries.begin(), nd.entries.end());
+    nd.entries.clear();
+    return;
+  }
+  for (const auto c : nd.children) collect_entries(c, out);
+  nd.children.clear();
+}
+
+void SeqRTree::condense(std::int32_t node) {
+  // Walk up from `node`, dissolving underfull non-root nodes; reinsert the
+  // surviving entries afterwards, then shorten a chain root.
+  std::vector<geom::Segment> orphans;
+  std::int32_t cur = node;
+  while (cur != root_) {
+    const std::int32_t parent = nodes_[cur].parent;
+    if (nodes_[cur].fanout() < opts_.m) {
+      auto& siblings = nodes_[parent].children;
+      siblings.erase(std::find(siblings.begin(), siblings.end(), cur));
+      collect_entries(cur, orphans);
+    } else {
+      recompute_mbr(cur);
+    }
+    cur = parent;
+  }
+  recompute_mbr(root_);
+  while (!nodes_[root_].is_leaf && nodes_[root_].children.size() == 1) {
+    root_ = nodes_[root_].children.front();
+    nodes_[root_].parent = -1;
+  }
+  count_ -= orphans.size();  // insert() re-adds them
+  for (const auto& e : orphans) insert(e);
+}
+
+bool SeqRTree::erase(geom::LineId id) {
+  const std::int32_t leaf = find_leaf(root_, id);
+  if (leaf == -1) return false;
+  auto& entries = nodes_[leaf].entries;
+  entries.erase(std::find_if(entries.begin(), entries.end(),
+                             [id](const geom::Segment& e) {
+                               return e.id == id;
+                             }));
+  --count_;
+  condense(leaf);
+  return true;
+}
+
+int SeqRTree::height() const {
+  int h = 0;
+  std::int32_t cur = root_;
+  while (!nodes_[cur].is_leaf) {
+    cur = nodes_[cur].children.front();
+    ++h;
+  }
+  return h;
+}
+
+core::RTree SeqRTree::to_rtree() const {
+  // Breadth-first layout with children contiguous per parent.
+  std::vector<core::RTree::Node> out;
+  std::vector<geom::Segment> entries;
+  std::vector<std::int32_t> frontier{root_};
+  std::vector<std::size_t> frontier_out{0};
+  out.emplace_back();
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const std::int32_t src = frontier[head];
+    const std::size_t dst = frontier_out[head];
+    ++head;
+    const Node& nd = nodes_[src];
+    core::RTree::Node rec;
+    rec.mbr = nd.mbr;
+    rec.is_leaf = nd.is_leaf;
+    if (nd.is_leaf) {
+      rec.first_entry = static_cast<std::uint32_t>(entries.size());
+      rec.num_entries = static_cast<std::uint32_t>(nd.entries.size());
+      entries.insert(entries.end(), nd.entries.begin(), nd.entries.end());
+    } else {
+      rec.first_child = static_cast<std::int32_t>(out.size());
+      rec.num_children = static_cast<std::int32_t>(nd.children.size());
+      for (const auto c : nd.children) {
+        frontier.push_back(c);
+        frontier_out.push_back(out.size());
+        out.emplace_back();
+      }
+    }
+    out[dst] = rec;
+  }
+  return core::RTree(std::move(out), std::move(entries), height(), opts_.m,
+                     opts_.M);
+}
+
+}  // namespace dps::seq

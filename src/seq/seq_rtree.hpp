@@ -1,0 +1,79 @@
+#pragma once
+// Sequential R-tree baseline: Guttman's dynamic R-tree [Gutt84] with
+// one-at-a-time insertion (section 2.3), plus an R*-style sweep split for
+// comparability with the data-parallel build's section 4.7 algorithm.
+//
+// Node split strategies:
+//   kLinear    -- Guttman's linear-cost PickSeeds + arbitrary assignment;
+//   kQuadratic -- Guttman's quadratic PickSeeds/PickNext (the classic);
+//   kSweep     -- sort by bbox minimum per axis, take the legal cut with
+//                 minimal overlap (min perimeter tiebreak), better axis
+//                 wins: the same selection rule as the data-parallel sweep.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rtree.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::seq {
+
+class SeqRTree {
+ public:
+  enum class Split : std::uint8_t { kLinear, kQuadratic, kSweep };
+
+  struct Options {
+    std::size_t m = 2;  // minimum fill
+    std::size_t M = 8;  // maximum fanout / leaf capacity
+    Split split = Split::kQuadratic;
+  };
+
+  explicit SeqRTree(const Options& opts);
+
+  void insert(const geom::Segment& s);
+
+  /// Guttman deletion: FindLeaf + CondenseTree.  Removes the (single)
+  /// entry carrying `id`; underfull nodes are dissolved and their surviving
+  /// entries reinserted; a root left with one child is shortened.  Returns
+  /// false when no entry carries `id`.
+  bool erase(geom::LineId id);
+
+  std::size_t size() const { return count_; }
+  int height() const;
+
+  /// Materializes the tree in core::RTree layout (validate()/query reuse).
+  core::RTree to_rtree() const;
+
+  /// Splits `boxes` (all |boxes| = overflowing count) into two groups with
+  /// strategy `split`; out[i] = 0 or 1.  Exposed for the Figure 6 tests.
+  static std::vector<std::uint8_t> split_boxes(
+      const std::vector<geom::Rect>& boxes, std::size_t m, Split split);
+
+ private:
+  struct Node {
+    geom::Rect mbr;
+    std::int32_t parent = -1;
+    bool is_leaf = true;
+    std::vector<std::int32_t> children;   // internal nodes
+    std::vector<geom::Segment> entries;   // leaves
+    std::size_t fanout() const {
+      return is_leaf ? entries.size() : children.size();
+    }
+  };
+
+  std::int32_t choose_leaf(const geom::Rect& box) const;
+  void adjust_upward(std::int32_t node);
+  void split_node(std::int32_t node);
+  void recompute_mbr(std::int32_t node);
+  std::int32_t find_leaf(std::int32_t node, geom::LineId id) const;
+  void collect_entries(std::int32_t node, std::vector<geom::Segment>& out);
+  void condense(std::int32_t node);
+
+  Options opts_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dps::seq

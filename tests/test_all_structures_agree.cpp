@@ -1,0 +1,84 @@
+// The capstone integration property: every index structure in the library
+// answers the same window queries with the same results -- the five
+// line-segment indexes (bucket PMR, PM1, linear quadtree, data-parallel
+// R-tree, Hilbert-packed R-tree, sequential Guttman R-tree) against brute
+// force, across workloads and backends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+#include "geom/predicates.hpp"
+#include "seq/seq.hpp"
+#include "test_util.hpp"
+
+namespace dps {
+namespace {
+
+struct AgreeCase {
+  const char* generator;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class AllStructuresAgree : public ::testing::TestWithParam<AgreeCase> {};
+
+TEST_P(AllStructuresAgree, WindowQueries) {
+  const AgreeCase& c = GetParam();
+  const double world = 1024.0;
+  std::vector<geom::Segment> lines;
+  if (std::string(c.generator) == "roads") {
+    lines = data::planar_roads(c.n, world, c.seed);
+  } else if (std::string(c.generator) == "clustered") {
+    lines = data::clustered_segments(c.n, 4, 30.0, world, 12.0, c.seed);
+  } else {
+    lines = data::uniform_segments(c.n, world, 18.0, c.seed);
+  }
+
+  dpv::Context ctx = test::make_parallel_context();
+  core::PmrBuildOptions po;
+  po.world = world;
+  po.max_depth = 12;
+  po.bucket_capacity = 6;
+  const core::QuadTree pmr = core::pmr_build(ctx, lines, po).tree;
+  const core::LinearQuadTree lq = core::LinearQuadTree::from(pmr);
+  const core::RTree dp_rt =
+      core::rtree_build(ctx, lines, core::RtreeBuildOptions{}).tree;
+  const core::RTree packed = seq::hilbert_pack_rtree(lines, 8, world);
+  seq::SeqRTree gutt({2, 8, seq::SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) gutt.insert(s);
+  const core::RTree gutt_rt = gutt.to_rtree();
+
+  for (int i = 0; i < 8; ++i) {
+    const double x = (i * 113) % 880, y = (i * 241) % 880;
+    const geom::Rect w{x, y, x + 140.0, y + 95.0};
+    std::vector<geom::LineId> expect;
+    for (const auto& s : lines) {
+      if (geom::segment_intersects_rect(s, w)) expect.push_back(s.id);
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+
+    EXPECT_EQ(core::window_query(pmr, w), expect) << "pmr w" << i;
+    EXPECT_EQ(lq.window_query(w), expect) << "linear w" << i;
+    EXPECT_EQ(core::window_query(dp_rt, w), expect) << "dp rtree w" << i;
+    EXPECT_EQ(core::window_query(packed, w), expect) << "packed w" << i;
+    EXPECT_EQ(core::window_query(gutt_rt, w), expect) << "guttman w" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, AllStructuresAgree,
+    ::testing::Values(AgreeCase{"uniform", 200, 21},
+                      AgreeCase{"uniform", 600, 22},
+                      AgreeCase{"roads", 400, 23},
+                      AgreeCase{"clustered", 500, 24}),
+    [](const ::testing::TestParamInfo<AgreeCase>& info) {
+      return std::string(info.param.generator) +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace dps

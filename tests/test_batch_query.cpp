@@ -1,0 +1,126 @@
+// Data-parallel batch window query tests.
+
+#include "core/batch_query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pmr_build.hpp"
+#include "core/query.hpp"
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+TEST(BatchQuery, MatchesSequentialWindowQueries) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(300, 1024.0, 25.0, 101);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 4;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 24; ++i) {
+    const double x = (i * 37) % 900, y = (i * 53) % 900;
+    windows.push_back({x, y, x + 60.0, y + 45.0});
+  }
+  const BatchQueryResult batch = batch_window_query(ctx, tree, windows);
+  ASSERT_EQ(batch.results.size(), windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(batch.results[w], window_query(tree, windows[w]))
+        << "window " << w;
+  }
+}
+
+TEST(BatchQuery, EmptyWindowListAndEmptyTree) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(50, 1024.0, 25.0, 7);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  EXPECT_TRUE(batch_window_query(ctx, tree, {}).results.empty());
+  const QuadTree empty_tree = pmr_build(ctx, {}, o).tree;
+  const auto r = batch_window_query(ctx, empty_tree,
+                                    {geom::Rect{0, 0, 10, 10}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_TRUE(r.results[0].empty());
+}
+
+TEST(BatchQuery, DuplicateDeletionCollapsesClonedQEdges) {
+  dpv::Context ctx;
+  // One long line cloned into many blocks; a window covering several of
+  // those blocks must still report the line once.
+  std::vector<geom::Segment> lines{{{1.0, 500.0}, {1023.0, 510.0}, 0}};
+  for (int i = 1; i < 40; ++i) {
+    lines.push_back({{i * 25.0, 100.0}, {i * 25.0 + 10.0, 110.0},
+                     static_cast<geom::LineId>(i)});
+  }
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 2;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  const auto r =
+      batch_window_query(ctx, tree, {geom::Rect{0, 490, 1024, 520}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0], (std::vector<geom::LineId>{0}));
+}
+
+TEST(BatchPointQuery, MatchesSequentialPointQueries) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(250, 1024.0, 30.0, 19);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 4;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  std::vector<geom::Point> probes;
+  for (std::size_t i = 0; i < lines.size(); i += 11) {
+    probes.push_back(lines[i].mid());
+    probes.push_back(lines[i].a);
+  }
+  probes.push_back({1023.99, 0.01});  // a miss
+  const BatchQueryResult batch = batch_point_query(ctx, tree, probes);
+  ASSERT_EQ(batch.results.size(), probes.size());
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    EXPECT_EQ(batch.results[p], point_query(tree, probes[p])) << "probe " << p;
+  }
+}
+
+TEST(BatchPointQuery, EmptyTreeAndNoPoints) {
+  dpv::Context ctx;
+  const QuadTree empty = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  const auto r = batch_point_query(ctx, empty, {geom::Point{0.5, 0.5}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_TRUE(r.results[0].empty());
+  const auto lines = data::uniform_segments(20, 1024.0, 30.0, 20);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  EXPECT_TRUE(batch_point_query(ctx, tree, {}).results.empty());
+}
+
+TEST(BatchQuery, ParallelBackendMatchesSerial) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  const auto lines = data::clustered_segments(400, 4, 40.0, 1024.0, 15.0, 17);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  const QuadTree tree = pmr_build(serial, lines, o).tree;
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 16; ++i) {
+    windows.push_back({i * 60.0, i * 60.0, i * 60.0 + 100.0,
+                       i * 60.0 + 100.0});
+  }
+  const auto a = batch_window_query(serial, tree, windows);
+  const auto b = batch_window_query(par, tree, windows);
+  EXPECT_EQ(a.results, b.results);
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,146 @@
+// Dataset generator and IO tests.
+
+#include "data/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "geom/predicates.hpp"
+
+namespace dps::data {
+namespace {
+
+void expect_in_world(const std::vector<geom::Segment>& segs, double world) {
+  const geom::Rect w{0, 0, world, world};
+  for (const auto& s : segs) {
+    EXPECT_TRUE(w.contains(s.a)) << s.id;
+    EXPECT_TRUE(w.contains(s.b)) << s.id;
+  }
+}
+
+TEST(MapGen, UniformSegmentsDeterministicAndBounded) {
+  const auto a = uniform_segments(200, 1024.0, 15.0, 5);
+  const auto b = uniform_segments(200, 1024.0, 15.0, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 200u);
+  expect_in_world(a, 1024.0);
+  EXPECT_NE(a, uniform_segments(200, 1024.0, 15.0, 6));
+}
+
+TEST(MapGen, RoadGridSharesJunctionVertices) {
+  const auto grid = road_grid(3, 3, 256.0, 2.0, 9);
+  expect_in_world(grid, 256.0);
+  // 4x4 junctions: 4 rows x 3 horizontal + 3 vertical x 4 = 24 streets.
+  EXPECT_EQ(grid.size(), 24u);
+  // Count endpoint multiplicity: interior junctions join 4 streets.
+  std::map<std::pair<double, double>, int> degree;
+  for (const auto& s : grid) {
+    degree[{s.a.x, s.a.y}]++;
+    degree[{s.b.x, s.b.y}]++;
+  }
+  int max_degree = 0;
+  for (const auto& [p, d] : degree) max_degree = std::max(max_degree, d);
+  EXPECT_EQ(max_degree, 4);
+}
+
+TEST(MapGen, HierarchicalRoadsMixesLongAndShort) {
+  const auto roads = hierarchical_roads(500, 1024.0, 13);
+  EXPECT_GE(roads.size(), 500u);
+  expect_in_world(roads, 1024.0);
+  std::size_t longer = 0;
+  for (const auto& s : roads) longer += (s.length() > 20.0);
+  EXPECT_GT(longer, 10u);   // highways exist
+  EXPECT_LT(longer, roads.size() / 2);  // but most streets are short
+}
+
+TEST(MapGen, StarBurstSharesCenter) {
+  const auto star = star_burst(8, {4, 4}, 2.0, 1);
+  ASSERT_EQ(star.size(), 8u);
+  for (const auto& s : star) EXPECT_EQ(s.a, (geom::Point{4, 4}));
+}
+
+TEST(MapGen, PolygonRingIsClosedChain) {
+  const auto ring = polygon_ring(6, {10, 10}, 3.0);
+  ASSERT_EQ(ring.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ring[i].b, ring[(i + 1) % 6].a);
+  }
+}
+
+TEST(MapGen, ReassignIdsMakesThemSequential) {
+  auto a = star_burst(3, {1, 1}, 0.5, 2);
+  auto b = polygon_ring(3, {5, 5}, 1.0);
+  a.insert(a.end(), b.begin(), b.end());
+  reassign_ids(a);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, i);
+}
+
+TEST(MapGen, PlanarSegmentsNeverCross) {
+  const auto segs = planar_segments(150, 512.0, 10.0, 3);
+  EXPECT_EQ(segs.size(), 150u);
+  expect_in_world(segs, 512.0);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      EXPECT_FALSE(geom::segments_intersect(segs[i], segs[j]))
+          << "segments " << i << " and " << j << " cross";
+    }
+  }
+}
+
+TEST(MapGen, PlanarRoadsOnlyTouchAtSharedVertices) {
+  const auto segs = planar_roads(400, 1024.0, 4);
+  EXPECT_GE(segs.size(), 400u);
+  expect_in_world(segs, 1024.0);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      if (!geom::segments_intersect(segs[i], segs[j])) continue;
+      // Any contact must be a shared endpoint.
+      const bool shared = segs[i].a == segs[j].a || segs[i].a == segs[j].b ||
+                          segs[i].b == segs[j].a || segs[i].b == segs[j].b;
+      EXPECT_TRUE(shared) << "segments " << i << " and " << j
+                          << " cross away from a shared vertex";
+    }
+  }
+}
+
+TEST(Canonical, NineLabeledSegments) {
+  const auto c = canonical_dataset();
+  ASSERT_EQ(c.size(), 9u);
+  expect_in_world(c, kCanonicalWorld);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(c[i].id, i);
+  EXPECT_EQ(canonical_label(0), 'a');
+  EXPECT_EQ(canonical_label(8), 'i');
+  // c, d, i share their junction vertex.
+  EXPECT_EQ(c[2].b, c[3].a);
+  EXPECT_EQ(c[2].b, c[8].a);
+}
+
+TEST(SegIO, RoundTripsExactly) {
+  const auto segs = uniform_segments(50, 1024.0, 20.0, 77);
+  std::stringstream ss;
+  write_segments(ss, segs);
+  EXPECT_EQ(read_segments(ss), segs);
+}
+
+TEST(SegIO, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss("# hello\n\n 1 0 0 2 2\n#end\n");
+  const auto segs = read_segments(ss);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].id, 1u);
+  EXPECT_EQ(segs[0].b, (geom::Point{2, 2}));
+}
+
+TEST(SegIO, MalformedLineThrowsWithLineNumber) {
+  std::stringstream ss("1 0 0 2 2\nnot a segment\n");
+  try {
+    read_segments(ss);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dps::data

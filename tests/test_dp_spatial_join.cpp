@@ -1,0 +1,91 @@
+// Data-parallel spatial join tests: equivalence with the host lock-step
+// join and with brute force, plus refinement behaviour.
+
+#include "core/dp_spatial_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+QuadTree build(const std::vector<geom::Segment>& lines, double world,
+               std::size_t cap = 4) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = world;
+  o.max_depth = 10;
+  o.bucket_capacity = cap;
+  return pmr_build(ctx, lines, o).tree;
+}
+
+TEST(DpSpatialJoin, MatchesHostJoinOnRandomMaps) {
+  dpv::Context ctx;
+  const auto roads = data::road_grid(8, 8, 512.0, 6.0, 701);
+  const auto utils = data::uniform_segments(150, 512.0, 50.0, 702);
+  const QuadTree ta = build(roads, 512.0);
+  const QuadTree tb = build(utils, 512.0);
+  DpJoinStats stats;
+  EXPECT_EQ(dp_spatial_join(ctx, ta, tb, &stats), spatial_join(ta, tb));
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+TEST(DpSpatialJoin, RefinesMismatchedDecompositions) {
+  dpv::Context ctx;
+  // Map A is sparse (coarse leaves); map B is dense in one corner (deep
+  // leaves): alignment must split A's coarse leaves down to B's depth.
+  std::vector<geom::Segment> sparse{{{10, 10}, {500, 480}, 0}};
+  const auto dense = data::clustered_segments(200, 1, 12.0, 512.0, 8.0, 703);
+  const QuadTree ta = build(sparse, 512.0, 2);
+  const QuadTree tb = build(dense, 512.0, 2);
+  DpJoinStats stats;
+  const auto pairs = dp_spatial_join(ctx, ta, tb, &stats);
+  EXPECT_GT(stats.refine_rounds, 0u);
+  EXPECT_GT(stats.splits_a, 0u);
+  EXPECT_EQ(pairs, spatial_join(ta, tb));
+}
+
+TEST(DpSpatialJoin, SelfJoinAndEmpty) {
+  dpv::Context ctx;
+  const auto map = data::road_grid(4, 4, 512.0, 4.0, 704);
+  const QuadTree t = build(map, 512.0);
+  EXPECT_EQ(dp_spatial_join(ctx, t, t), spatial_join(t, t));
+  const QuadTree empty = build({}, 512.0);
+  EXPECT_TRUE(dp_spatial_join(ctx, t, empty).empty());
+  EXPECT_TRUE(dp_spatial_join(ctx, empty, t).empty());
+}
+
+TEST(DpSpatialJoin, BruteForceAgreement) {
+  dpv::Context ctx = test::make_parallel_context();
+  const auto a = data::clustered_segments(150, 3, 20.0, 512.0, 10.0, 705);
+  const auto b = data::hierarchical_roads(150, 512.0, 706);
+  const auto pairs =
+      dp_spatial_join(ctx, build(a, 512.0), build(b, 512.0));
+  std::vector<std::pair<geom::LineId, geom::LineId>> expect;
+  for (const auto& s : a) {
+    for (const auto& t : b) {
+      if (geom::segments_intersect(s, t)) expect.emplace_back(s.id, t.id);
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  EXPECT_EQ(pairs, expect);
+}
+
+TEST(DpSpatialJoin, PrunesCandidates) {
+  dpv::Context ctx;
+  const auto a = data::clustered_segments(300, 2, 10.0, 512.0, 6.0, 707);
+  const auto b = data::clustered_segments(300, 2, 10.0, 512.0, 6.0, 708);
+  DpJoinStats stats;
+  dp_spatial_join(ctx, build(a, 512.0), build(b, 512.0), &stats);
+  EXPECT_LT(stats.candidate_pairs, 300u * 300u);
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,73 @@
+// Elementwise primitive tests, including the Figure 9 golden vectors.
+
+#include "dpv/dpv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dps::dpv {
+namespace {
+
+TEST(ElementwiseFigure9, Addition) {
+  Context ctx;
+  const Vec<int> a{0, 1, 2, 1, 4, 3, 6, 2, 9, 5};
+  const Vec<int> b{4, 7, 2, 0, 3, 6, 1, 5, 0, 4};
+  const Vec<int> expect{4, 8, 4, 1, 7, 9, 7, 7, 9, 9};
+  EXPECT_EQ(ew(ctx, Plus<int>{}, a, b), expect);
+}
+
+TEST(Elementwise, EmptyVectors) {
+  Context ctx;
+  EXPECT_TRUE(ew(ctx, Plus<int>{}, Vec<int>{}, Vec<int>{}).empty());
+}
+
+TEST(Elementwise, MapUnary) {
+  Context ctx;
+  const Vec<int> a{1, 2, 3};
+  EXPECT_EQ(map(ctx, a, [](int x) { return x * x; }), (Vec<int>{1, 4, 9}));
+}
+
+TEST(Elementwise, ZipWithMixedTypes) {
+  Context ctx;
+  const Vec<int> a{1, 2, 3};
+  const Vec<double> b{0.5, 0.25, 0.125};
+  const Vec<double> r = zip_with(ctx, a, b, [](int x, double y) {
+    return x * y;
+  });
+  EXPECT_EQ(r, (Vec<double>{0.5, 0.5, 0.375}));
+}
+
+TEST(Elementwise, TabulateUsesIndex) {
+  Context ctx;
+  EXPECT_EQ(tabulate(ctx, 4, [](std::size_t i) { return int(i) * 2; }),
+            (Vec<int>{0, 2, 4, 6}));
+}
+
+TEST(Elementwise, UpdateWhereMasksLanes) {
+  Context ctx;
+  Vec<int> a{1, 2, 3, 4};
+  const Flags mask{0, 1, 0, 1};
+  update_where(ctx, a, mask, [](int v, std::size_t) { return v + 10; });
+  EXPECT_EQ(a, (Vec<int>{1, 12, 3, 14}));
+}
+
+TEST(Elementwise, ParallelMatchesSerialOnLargeVector) {
+  Context serial;
+  Context par = test::make_parallel_context();
+  const std::vector<int> a = test::random_ints(10000, 1000, 42);
+  const std::vector<int> b = test::random_ints(10000, 1000, 43);
+  EXPECT_EQ(ew(serial, Plus<int>{}, a, b), ew(par, Plus<int>{}, a, b));
+}
+
+TEST(Elementwise, IotaAndConstant) {
+  Context ctx;
+  EXPECT_EQ(iota(ctx, 4), (Index{0, 1, 2, 3}));
+  EXPECT_EQ(constant<int>(ctx, 3, 9), (Vec<int>{9, 9, 9}));
+  EXPECT_EQ(single_segment(ctx, 3), (Flags{1, 0, 0}));
+  EXPECT_EQ(num_segments(Flags{1, 0, 0, 1, 1}), 3u);
+  EXPECT_EQ(num_segments(Flags{0, 0, 1}), 2u);  // implicit head at 0
+}
+
+}  // namespace
+}  // namespace dps::dpv

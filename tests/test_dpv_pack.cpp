@@ -1,0 +1,105 @@
+// Pack / split building-block tests.
+
+#include "dpv/dpv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dps::dpv {
+namespace {
+
+TEST(Pack, KeepsFlaggedElementsInOrder) {
+  Context ctx;
+  const Vec<int> a{10, 11, 12, 13, 14};
+  EXPECT_EQ(pack(ctx, a, Flags{1, 0, 1, 1, 0}), (Vec<int>{10, 12, 13}));
+}
+
+TEST(Pack, AllAndNone) {
+  Context ctx;
+  const Vec<int> a{1, 2, 3};
+  EXPECT_EQ(pack(ctx, a, Flags{1, 1, 1}), a);
+  EXPECT_TRUE(pack(ctx, a, Flags{0, 0, 0}).empty());
+  EXPECT_TRUE(pack(ctx, Vec<int>{}, Flags{}).empty());
+}
+
+TEST(SplitIndices, StablePartition) {
+  Context ctx;
+  // mask:      0  1  0  1  1  0  0  -> zeros to front, ones to back
+  const Flags mask{0, 1, 0, 1, 1, 0, 0};
+  const Index dest = split_indices(ctx, mask);
+  EXPECT_EQ(dest, (Index{0, 4, 1, 5, 6, 2, 3}));
+}
+
+TEST(SegSplitIndices, PartitionsWithinEachGroup) {
+  Context ctx;
+  // Two groups: [a1 b1 a2 b2 | b3 a3]; zeros (a) concentrate left per group.
+  const Flags mask{0, 1, 0, 1, 1, 0};
+  const Flags seg{1, 0, 0, 0, 1, 0};
+  const Index dest = seg_split_indices(ctx, mask, seg);
+  // Group 1 (positions 0..3): a1->0, b1->2, a2->1, b2->3.
+  // Group 2 (positions 4..5): b3->5, a3->4.
+  EXPECT_EQ(dest, (Index{0, 2, 1, 3, 5, 4}));
+}
+
+TEST(SegSplitIndices, UniformGroupIsIdentity) {
+  Context ctx;
+  const Flags mask{0, 0, 0};
+  const Flags seg{1, 0, 0};
+  EXPECT_EQ(seg_split_indices(ctx, mask, seg), (Index{0, 1, 2}));
+}
+
+struct PackCase {
+  std::size_t n;
+  std::size_t avg_group;
+  bool parallel;
+};
+
+class SegSplitSweep : public ::testing::TestWithParam<PackCase> {};
+
+TEST_P(SegSplitSweep, DestinationIsAGroupPreservingBijection) {
+  const PackCase& c = GetParam();
+  Context ctx = c.parallel ? test::make_parallel_context() : Context{};
+  const Flags seg = test::random_flags(c.n, c.avg_group, c.n * 31 + 1);
+  std::vector<int> bits = test::random_ints(c.n, 2, c.n * 37 + 3);
+  Flags mask(c.n);
+  for (std::size_t i = 0; i < c.n; ++i) mask[i] = std::uint8_t(bits[i]);
+  const Index dest = seg_split_indices(ctx, mask, seg);
+
+  // Bijection.
+  std::vector<std::uint8_t> hit(c.n, 0);
+  for (const auto d : dest) {
+    ASSERT_LT(d, c.n);
+    ASSERT_FALSE(hit[d]);
+    hit[d] = 1;
+  }
+  // Group-local: each element stays within its group span, zeros precede
+  // ones within the group, and relative order is stable.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    if (i == 0 || seg[i]) starts.push_back(i);
+  }
+  starts.push_back(c.n);
+  for (std::size_t g = 0; g + 1 < starts.size(); ++g) {
+    const std::size_t lo = starts[g], hi = starts[g + 1];
+    std::vector<int> arranged(hi - lo, -1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ASSERT_GE(dest[i], lo);
+      ASSERT_LT(dest[i], hi);
+      arranged[dest[i] - lo] = mask[i];
+    }
+    for (std::size_t i = 1; i < arranged.size(); ++i) {
+      EXPECT_LE(arranged[i - 1], arranged[i]) << "zeros must precede ones";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SegSplitSweep,
+    ::testing::Values(PackCase{1, 1, false}, PackCase{5, 2, false},
+                      PackCase{64, 8, false}, PackCase{64, 8, true},
+                      PackCase{1000, 50, false}, PackCase{1000, 50, true},
+                      PackCase{4096, 1, true}, PackCase{4096, 4096, true}));
+
+}  // namespace
+}  // namespace dps::dpv

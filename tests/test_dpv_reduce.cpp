@@ -1,0 +1,64 @@
+// Reduction and per-group extraction tests.
+
+#include "dpv/dpv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "geom/rect.hpp"
+#include "test_util.hpp"
+
+namespace dps::dpv {
+namespace {
+
+TEST(Reduce, SumMinMax) {
+  Context ctx;
+  const Vec<int> a{4, 1, 7, 2};
+  EXPECT_EQ(reduce(ctx, Plus<int>{}, a), 14);
+  EXPECT_EQ(reduce(ctx, Min<int>{}, a), 1);
+  EXPECT_EQ(reduce(ctx, Max<int>{}, a), 7);
+}
+
+TEST(Reduce, EmptyGivesIdentity) {
+  Context ctx;
+  EXPECT_EQ(reduce(ctx, Plus<int>{}, Vec<int>{}), 0);
+  EXPECT_EQ(reduce(ctx, Min<int>{}, Vec<int>{}),
+            std::numeric_limits<int>::max());
+}
+
+TEST(Reduce, ParallelMatchesSerial) {
+  Context serial;
+  Context par = test::make_parallel_context();
+  const std::vector<int> a = test::random_ints(10000, 100, 3);
+  EXPECT_EQ(reduce(serial, Plus<int>{}, a), reduce(par, Plus<int>{}, a));
+}
+
+TEST(SegHeadsAndLast, ExtractGroupEndpoints) {
+  Context ctx;
+  const Vec<int> a{10, 11, 12, 20, 21, 30};
+  const Flags seg{1, 0, 0, 1, 0, 1};
+  EXPECT_EQ(seg_heads(ctx, a, seg), (Vec<int>{10, 20, 30}));
+  EXPECT_EQ(seg_last(ctx, a, seg), (Vec<int>{12, 21, 30}));
+}
+
+TEST(SegReduce, PerGroupSums) {
+  Context ctx;
+  const Vec<int> a{1, 2, 3, 4, 5, 6};
+  const Flags seg{1, 0, 0, 1, 0, 1};
+  EXPECT_EQ(seg_reduce(ctx, Plus<int>{}, a, seg), (Vec<int>{6, 9, 6}));
+  EXPECT_EQ(seg_sizes(ctx, seg), (Vec<std::size_t>{3, 2, 1}));
+}
+
+TEST(SegReduce, RectUnionPerGroup) {
+  Context ctx;
+  const Vec<geom::Rect> boxes{{0, 0, 1, 1}, {2, 2, 3, 3}, {5, 5, 6, 6}};
+  const Flags seg{1, 0, 1};
+  const Vec<geom::Rect> mbrs = seg_reduce(ctx, geom::RectUnion{}, boxes, seg);
+  ASSERT_EQ(mbrs.size(), 2u);
+  EXPECT_EQ(mbrs[0], (geom::Rect{0, 0, 3, 3}));
+  EXPECT_EQ(mbrs[1], (geom::Rect{5, 5, 6, 6}));
+}
+
+}  // namespace
+}  // namespace dps::dpv

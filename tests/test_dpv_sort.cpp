@@ -1,0 +1,139 @@
+// Scan-model radix sort tests: stability, key widths, segmented sorting.
+
+#include "dpv/dpv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace dps::dpv {
+namespace {
+
+TEST(Sort, SortsSmallVector) {
+  Context ctx;
+  const Vec<std::uint64_t> keys{5, 3, 9, 1, 3, 7, 0};
+  const Index order = sort_keys_indices(ctx, keys, 8);
+  EXPECT_EQ(order, (Index{6, 3, 1, 4, 0, 5, 2}));
+}
+
+TEST(Sort, StableForEqualKeys) {
+  Context ctx;
+  const Vec<std::uint64_t> keys{2, 1, 2, 1, 2};
+  const Index order = sort_keys_indices(ctx, keys, 8);
+  EXPECT_EQ(order, (Index{1, 3, 0, 2, 4}));
+}
+
+TEST(Sort, EmptyAndSingle) {
+  Context ctx;
+  EXPECT_TRUE(sort_keys_indices(ctx, {}, 64).empty());
+  EXPECT_EQ(sort_keys_indices(ctx, {42}, 64), (Index{0}));
+}
+
+TEST(Sort, FullWidthKeys) {
+  Context ctx;
+  const Vec<std::uint64_t> keys{~0ull, 0ull, 1ull << 63, 1ull};
+  const Index order = sort_keys_indices(ctx, keys, 64);
+  EXPECT_EQ(order, (Index{1, 3, 2, 0}));
+}
+
+TEST(Sort, DoubleKeyMappingIsMonotone) {
+  const double vals[] = {-1e30, -2.5, -0.0, 0.0, 1e-300, 2.5, 1e30};
+  for (std::size_t i = 1; i < std::size(vals); ++i) {
+    EXPECT_LE(key_from_double(vals[i - 1]), key_from_double(vals[i]))
+        << vals[i - 1] << " vs " << vals[i];
+  }
+}
+
+TEST(Sort, Quantize32IsMonotoneAndClamped) {
+  EXPECT_EQ(quantize32(-1.0, 0.0, 10.0), 0u);
+  EXPECT_EQ(quantize32(11.0, 0.0, 10.0), 4294967295u);
+  EXPECT_LT(quantize32(2.0, 0.0, 10.0), quantize32(3.0, 0.0, 10.0));
+  EXPECT_EQ(quantize32(5.0, 3.0, 3.0), 0u);  // degenerate range
+}
+
+TEST(SegSort, SortsWithinGroupsKeepingGroupsInPlace) {
+  Context ctx;
+  const Vec<std::uint32_t> key{5, 1, 3, 9, 2, 7, 4};
+  const Flags seg{1, 0, 0, 1, 0, 1, 0};
+  const Index order = seg_sort_indices(ctx, key, seg);
+  // Group 1 = positions 0..2, group 2 = 3..4, group 3 = 5..6.
+  EXPECT_EQ(order, (Index{1, 2, 0, 4, 3, 6, 5}));
+}
+
+TEST(SegSort64, ExactOnFullWidthKeys) {
+  Context ctx;
+  // Keys differing only in the high 32 bits, interleaved across groups.
+  const Vec<std::uint64_t> keys{(5ull << 32) | 1, (3ull << 32) | 9,
+                                (5ull << 32) | 0, (1ull << 40),
+                                (1ull << 33),     7ull};
+  const Flags seg{1, 0, 0, 1, 0, 0};
+  const Index order = seg_sort_indices64(ctx, keys, seg);
+  // Group 1 (0..2): sorted = idx1 (3<<32|9), idx2 (5<<32|0), idx0 (5<<32|1).
+  // Group 2 (3..5): sorted = idx5 (7), idx4 (1<<33), idx3 (1<<40).
+  EXPECT_EQ(order, (Index{1, 2, 0, 5, 4, 3}));
+}
+
+TEST(SegSort64, MatchesStableSortOnRandomDoubles) {
+  Context ctx;
+  const std::vector<int> raw = test::random_ints(500, 1 << 20, 77);
+  Vec<std::uint64_t> keys(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    keys[i] = key_from_double(static_cast<double>(raw[i]) * 1.37e-3);
+  }
+  const Flags seg = test::random_flags(raw.size(), 25, 78);
+  const Index order = seg_sort_indices64(ctx, keys, seg);
+  // Reference: stable sort of each group by the 64-bit key.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    if (i == 0 || seg[i]) starts.push_back(i);
+  }
+  starts.push_back(seg.size());
+  Index expect(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) expect[i] = i;
+  for (std::size_t g = 0; g + 1 < starts.size(); ++g) {
+    std::stable_sort(expect.begin() + starts[g], expect.begin() + starts[g + 1],
+                     [&](std::size_t a, std::size_t b) {
+                       return keys[a] < keys[b];
+                     });
+  }
+  EXPECT_EQ(order, expect);
+}
+
+struct SortCase {
+  std::size_t n;
+  bool parallel;
+  std::size_t bits;
+};
+
+class SortSweep : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortSweep, MatchesStdStableSort) {
+  const SortCase& c = GetParam();
+  Context ctx = c.parallel ? test::make_parallel_context() : Context{};
+  const std::vector<int> raw =
+      test::random_ints(c.n, 1 << std::min<std::size_t>(c.bits, 20), c.n + 7);
+  Vec<std::uint64_t> keys(c.n);
+  for (std::size_t i = 0; i < c.n; ++i) {
+    keys[i] = static_cast<std::uint64_t>(raw[i]);
+  }
+  const Index order = sort_keys_indices(ctx, keys, c.bits);
+  Index expect(c.n);
+  for (std::size_t i = 0; i < c.n; ++i) expect[i] = i;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] < keys[b];
+                   });
+  EXPECT_EQ(order, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortSweep,
+    ::testing::Values(SortCase{2, false, 8}, SortCase{100, false, 16},
+                      SortCase{100, true, 16}, SortCase{1000, false, 64},
+                      SortCase{1000, true, 64}, SortCase{8192, true, 32},
+                      SortCase{8192, false, 32}));
+
+}  // namespace
+}  // namespace dps::dpv

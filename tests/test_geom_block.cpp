@@ -1,0 +1,132 @@
+// Quadtree block arithmetic tests.
+
+#include "geom/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dps::geom {
+namespace {
+
+TEST(Block, RootCoversWorld) {
+  const Block r = Block::root();
+  EXPECT_EQ(r.rect(8.0), (Rect{0, 0, 8, 8}));
+  EXPECT_EQ(r.cells_per_side(), 1u);
+}
+
+TEST(Block, ChildRectsTileParent) {
+  const Block r = Block::root();
+  const double w = 8.0;
+  EXPECT_EQ(r.child(Quadrant::kSW).rect(w), (Rect{0, 0, 4, 4}));
+  EXPECT_EQ(r.child(Quadrant::kSE).rect(w), (Rect{4, 0, 8, 4}));
+  EXPECT_EQ(r.child(Quadrant::kNW).rect(w), (Rect{0, 4, 4, 8}));
+  EXPECT_EQ(r.child(Quadrant::kNE).rect(w), (Rect{4, 4, 8, 8}));
+}
+
+TEST(Block, ParentChildRoundTrip) {
+  const Block b{3, 5, 6};
+  for (const auto q : {Quadrant::kNW, Quadrant::kNE, Quadrant::kSW,
+                       Quadrant::kSE}) {
+    const Block c = b.child(q);
+    EXPECT_EQ(c.parent(), b);
+    EXPECT_EQ(c.quadrant_in_parent(), q);
+    EXPECT_EQ(c.depth, 4);
+  }
+}
+
+TEST(Block, VertexContainmentIsHalfOpenPartition) {
+  // Every probe point must be contained in exactly one depth-2 cell.
+  const double w = 8.0;
+  const Point probes[] = {{0, 0},   {2, 2},   {4, 4},   {3.999, 4},
+                          {4, 3.999}, {7.5, 7.5}, {8, 8},  {8, 0},
+                          {0, 8},   {6, 2},   {2, 6}};
+  for (const Point& p : probes) {
+    int owners = 0;
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      for (std::uint32_t y = 0; y < 4; ++y) {
+        const Block b{2, x, y};
+        owners += b.contains_vertex(p, w);
+      }
+    }
+    EXPECT_EQ(owners, 1) << "point (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(Block, MortonKeysAreUniquePerDepth) {
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      keys.insert(Block{3, x, y}.morton_key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 64u);
+  // Different depths of the same region differ too.
+  EXPECT_NE((Block{1, 0, 0}).morton_key(), (Block{2, 0, 0}).morton_key());
+}
+
+TEST(Block, Interleave2SpreadsBits) {
+  EXPECT_EQ(interleave2(0, 0), 0ull);
+  EXPECT_EQ(interleave2(1, 0), 1ull);
+  EXPECT_EQ(interleave2(0, 1), 2ull);
+  EXPECT_EQ(interleave2(3, 3), 15ull);
+  // 29 ones spread to even bit positions: (2^58 - 1) / 3.
+  EXPECT_EQ(interleave2(0x1FFFFFFF, 0), 0x0155555555555555ull);
+}
+
+TEST(Block, ToStringFormat) {
+  EXPECT_EQ((Block{2, 1, 3}.to_string()), "2:(1,3)");
+}
+
+TEST(Block, PathKeyOrdersChildrenNwNeSwSe) {
+  const Block r = Block::root();
+  const std::uint64_t knw = r.child(Quadrant::kNW).path_key();
+  const std::uint64_t kne = r.child(Quadrant::kNE).path_key();
+  const std::uint64_t ksw = r.child(Quadrant::kSW).path_key();
+  const std::uint64_t kse = r.child(Quadrant::kSE).path_key();
+  EXPECT_LT(knw, kne);
+  EXPECT_LT(kne, ksw);
+  EXPECT_LT(ksw, kse);
+}
+
+TEST(Block, PathKeyRangesNestByAncestry) {
+  // A descendant's key lies in [key(P), key(P) + 4^(K - depth(P))).
+  const Block p = Block::root().child(Quadrant::kSE).child(Quadrant::kNW);
+  const std::uint64_t span = std::uint64_t{1}
+                             << (2 * (kMaxBlockDepth - p.depth));
+  for (const auto q :
+       {Quadrant::kNW, Quadrant::kNE, Quadrant::kSW, Quadrant::kSE}) {
+    const Block c = p.child(q).child(Quadrant::kSE);
+    EXPECT_GE(c.path_key(), p.path_key());
+    EXPECT_LT(c.path_key(), p.path_key() + span);
+  }
+  // A non-descendant's key lies outside.
+  const Block other = Block::root().child(Quadrant::kNW);
+  EXPECT_LT(other.path_key(), p.path_key());
+}
+
+TEST(Block, StrictDescendant) {
+  const Block p{2, 3, 1};
+  EXPECT_TRUE(p.child(Quadrant::kNE).strict_descendant_of(p));
+  EXPECT_TRUE(
+      p.child(Quadrant::kSW).child(Quadrant::kNW).strict_descendant_of(p));
+  EXPECT_FALSE(p.strict_descendant_of(p));
+  EXPECT_FALSE(p.strict_descendant_of(p.child(Quadrant::kNE)));
+  EXPECT_FALSE((Block{2, 2, 1}).strict_descendant_of(p));
+  EXPECT_TRUE(p.strict_descendant_of(Block::root()));
+}
+
+TEST(Block, PathKeysUniquePerAntichain) {
+  // All 64 depth-3 blocks have distinct keys, and keys reproduce the DFS
+  // order used by the builds.
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      keys.insert(Block{3, x, y}.path_key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 64u);
+}
+
+}  // namespace
+}  // namespace dps::geom

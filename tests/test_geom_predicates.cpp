@@ -1,0 +1,102 @@
+// Predicate tests: clipping, intersection semantics, q-edge membership.
+
+#include "geom/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dps::geom {
+namespace {
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}, 0}, {{0, 2}, {2, 0}, 1}));
+}
+
+TEST(SegmentsIntersect, SharedEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}, 0}, {{1, 1}, {2, 0}, 1}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}, 0}, {{1, 0}, {3, 0}, 1}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}, 0}, {{2, 0}, {3, 0}, 1}));
+}
+
+TEST(SegmentsIntersect, ParallelDisjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {2, 0}, 0}, {{0, 1}, {2, 1}, 1}));
+}
+
+TEST(PointOnSegment, EndpointsAndInterior) {
+  EXPECT_TRUE(point_on_segment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(point_on_segment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(point_on_segment({1, 1.0001}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(point_on_segment({3, 3}, {0, 0}, {2, 2}));  // beyond the end
+}
+
+TEST(ClipSegment, InteriorCrossing) {
+  double t0, t1;
+  ASSERT_TRUE(clip_segment_to_rect({-1, 1}, {3, 1}, {0, 0, 2, 2}, t0, t1));
+  EXPECT_DOUBLE_EQ(t0, 0.25);
+  EXPECT_DOUBLE_EQ(t1, 0.75);
+}
+
+TEST(ClipSegment, FullyInside) {
+  double t0, t1;
+  ASSERT_TRUE(clip_segment_to_rect({0.5, 0.5}, {1.5, 1.5}, {0, 0, 2, 2}, t0,
+                                   t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+}
+
+TEST(ClipSegment, MissesRect) {
+  double t0, t1;
+  EXPECT_FALSE(clip_segment_to_rect({3, 3}, {5, 5}, {0, 0, 2, 2}, t0, t1));
+  EXPECT_FALSE(clip_segment_to_rect({0, 3}, {2, 3}, {0, 0, 2, 2}, t0, t1));
+}
+
+TEST(SegmentIntersectsRect, ClosedSemantics) {
+  const Rect r{0, 0, 2, 2};
+  // Touches the corner only: closed intersection says yes.
+  EXPECT_TRUE(segment_intersects_rect({{2, 2}, {3, 3}, 0}, r));
+  // Runs along an edge: yes.
+  EXPECT_TRUE(segment_intersects_rect({{0, 2}, {2, 2}, 0}, r));
+  // Strictly outside: no.
+  EXPECT_FALSE(segment_intersects_rect({{2.1, 2.1}, {3, 3}, 0}, r));
+}
+
+TEST(SegmentProperlyIntersectsRect, CornerTouchIsNotAQEdge) {
+  const Rect r{0, 0, 2, 2};
+  // Diagonal through the corner point only.
+  EXPECT_FALSE(
+      segment_properly_intersects_rect(Point{2, 2}, Point{3, 1.99}, r));
+  EXPECT_FALSE(segment_properly_intersects_rect(Point{1, 3}, Point{3, 1}, r));
+}
+
+TEST(SegmentProperlyIntersectsRect, EdgeRunIsAQEdge) {
+  const Rect r{0, 0, 2, 2};
+  // Along the top border: positive-length intersection.
+  EXPECT_TRUE(segment_properly_intersects_rect(Point{0.5, 2}, Point{1.5, 2},
+                                               r));
+}
+
+TEST(SegmentProperlyIntersectsRect, DegeneratePointSegment) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_TRUE(segment_properly_intersects_rect(Point{1, 1}, Point{1, 1}, r));
+  EXPECT_FALSE(segment_properly_intersects_rect(Point{3, 3}, Point{3, 3}, r));
+}
+
+TEST(SegmentProperlyIntersectsRect, EndpointTouchOnly) {
+  const Rect r{0, 0, 2, 2};
+  // Endpoint on the border, rest outside: zero-length presence.
+  EXPECT_FALSE(segment_properly_intersects_rect(Point{2, 1}, Point{3, 1}, r));
+  EXPECT_TRUE(segment_intersects_rect(Point{2, 1}, Point{3, 1}, r));
+}
+
+TEST(SegmentMeetsAxis, ClosedLineTests) {
+  EXPECT_TRUE(segment_meets_vertical({0, 0}, {2, 2}, 1.0));
+  EXPECT_TRUE(segment_meets_vertical({1, 0}, {1, 2}, 1.0));
+  EXPECT_FALSE(segment_meets_vertical({0, 0}, {0.9, 2}, 1.0));
+  EXPECT_TRUE(segment_meets_horizontal({0, 0}, {2, 2}, 1.0));
+  EXPECT_FALSE(segment_meets_horizontal({0, 1.2}, {2, 2}, 1.0));
+}
+
+}  // namespace
+}  // namespace dps::geom

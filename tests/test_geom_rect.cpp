@@ -1,0 +1,71 @@
+// Rectangle algebra tests.
+
+#include "geom/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dps::geom {
+namespace {
+
+TEST(Rect, EmptyIsUnionIdentity) {
+  const Rect e = Rect::empty();
+  const Rect r{1, 2, 3, 4};
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.united(r), r);
+  EXPECT_EQ(r.united(e), r);
+  EXPECT_EQ(e.area(), 0.0);
+  EXPECT_EQ(e.perimeter(), 0.0);
+}
+
+TEST(Rect, AreaPerimeterCenter) {
+  const Rect r{1, 2, 4, 6};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.perimeter(), 14.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Rect, IntersectionClosedSemantics) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{2, 2, 4, 4};  // touches at one corner
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(a.intersected(b).is_empty() ||
+              a.intersected(b).area() == 0.0);
+  const Rect c{2.1, 0, 4, 2};
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Rect, IntersectedGeometry) {
+  const Rect a{0, 0, 3, 3};
+  const Rect b{1, 1, 5, 2};
+  EXPECT_EQ(a.intersected(b), (Rect{1, 1, 3, 2}));
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 2.0);
+}
+
+TEST(Rect, Containment) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.contains(Point{0, 0}));
+  EXPECT_TRUE(a.contains(Point{4, 4}));
+  EXPECT_FALSE(a.contains(Point{4.0001, 4}));
+  EXPECT_TRUE(a.contains(Rect(1, 1, 2, 2)));
+  EXPECT_FALSE(a.contains(Rect(1, 1, 5, 2)));
+  EXPECT_TRUE(a.contains(Rect::empty()));
+}
+
+TEST(Rect, Enlargement) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(a.enlargement(Rect(1, 1, 2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(a.enlargement(Rect(0, 0, 4, 2)), 4.0);
+}
+
+TEST(Rect, OfSegmentNormalizesCorners) {
+  const Rect r = Rect::of_segment(Point{3, 1}, Point{1, 4});
+  EXPECT_EQ(r, (Rect{1, 1, 3, 4}));
+}
+
+TEST(Rect, EmptyDoesNotIntersectAnything) {
+  EXPECT_FALSE(Rect::empty().intersects(Rect(0, 0, 10, 10)));
+  EXPECT_FALSE(Rect(0, 0, 10, 10).intersects(Rect::empty()));
+}
+
+}  // namespace
+}  // namespace dps::geom

@@ -1,0 +1,64 @@
+// Hilbert curve tests: bijectivity, unit-step continuity, locality.
+
+#include "geom/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace dps::geom {
+namespace {
+
+TEST(Hilbert, Order1IsTheBasicU) {
+  // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+  EXPECT_EQ(hilbert_d(0, 0, 1), 0u);
+  EXPECT_EQ(hilbert_d(0, 1, 1), 1u);
+  EXPECT_EQ(hilbert_d(1, 1, 1), 2u);
+  EXPECT_EQ(hilbert_d(1, 0, 1), 3u);
+}
+
+TEST(Hilbert, BijectiveAtOrder4) {
+  const int order = 4;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      const std::uint64_t d = hilbert_d(x, y, order);
+      EXPECT_LT(d, 256u);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate distance " << d;
+      std::uint32_t rx, ry;
+      hilbert_xy(d, order, rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(Hilbert, ConsecutiveDistancesAreGridNeighbors) {
+  const int order = 5;
+  std::uint32_t px, py;
+  hilbert_xy(0, order, px, py);
+  for (std::uint64_t d = 1; d < (1u << (2 * order)); ++d) {
+    std::uint32_t x, y;
+    hilbert_xy(d, order, x, y);
+    const int step = std::abs(int(x) - int(px)) + std::abs(int(y) - int(py));
+    EXPECT_EQ(step, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, HighOrderRoundTrip) {
+  const int order = 16;
+  const std::uint32_t probes[][2] = {
+      {0, 0}, {65535, 65535}, {12345, 54321}, {1, 65534}, {40000, 7}};
+  for (const auto& p : probes) {
+    std::uint32_t x, y;
+    hilbert_xy(hilbert_d(p[0], p[1], order), order, x, y);
+    EXPECT_EQ(x, p[0]);
+    EXPECT_EQ(y, p[1]);
+  }
+}
+
+}  // namespace
+}  // namespace dps::geom

@@ -1,0 +1,69 @@
+// Hilbert-packed R-tree tests: validity, full occupancy, query equivalence
+// and split quality relative to the dynamic trees.
+
+#include "seq/hilbert_rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/query.hpp"
+#include "core/rtree_build.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+#include "seq/seq_rtree.hpp"
+
+namespace dps::seq {
+namespace {
+
+TEST(HilbertRtree, ValidStructure) {
+  const auto lines = data::uniform_segments(500, 1024.0, 15.0, 401);
+  const core::RTree t = hilbert_pack_rtree(lines, 8, 1024.0);
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_EQ(t.entries().size(), 500u);
+}
+
+TEST(HilbertRtree, NearFullOccupancy) {
+  const auto lines = data::uniform_segments(640, 1024.0, 15.0, 402);
+  const core::RTree t = hilbert_pack_rtree(lines, 8, 1024.0);
+  // 640 entries at M=8: exactly 80 leaves, all full.
+  EXPECT_EQ(t.num_leaves(), 80u);
+  for (const auto& nd : t.nodes()) {
+    if (nd.is_leaf) EXPECT_EQ(nd.num_entries, 8u);
+  }
+}
+
+TEST(HilbertRtree, EmptyAndTiny) {
+  EXPECT_TRUE(hilbert_pack_rtree({}, 8, 1024.0).empty());
+  const core::RTree one =
+      hilbert_pack_rtree({{{1, 1}, {2, 2}, 0}}, 8, 1024.0);
+  EXPECT_EQ(one.validate(), "");
+  EXPECT_EQ(one.height(), 0);
+}
+
+TEST(HilbertRtree, WindowQueriesMatchBruteForce) {
+  const auto lines = data::clustered_segments(400, 5, 40.0, 1024.0, 12.0, 403);
+  const core::RTree t = hilbert_pack_rtree(lines, 8, 1024.0);
+  for (int i = 0; i < 10; ++i) {
+    const double x = (i * 101) % 900, y = (i * 67) % 900;
+    const geom::Rect w{x, y, x + 90.0, y + 70.0};
+    std::vector<geom::LineId> expect;
+    for (const auto& s : lines) {
+      if (geom::segment_intersects_rect(s, w)) expect.push_back(s.id);
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(core::window_query(t, w), expect) << "window " << i;
+  }
+}
+
+TEST(HilbertRtree, PackingBeatsDynamicInsertionOnCoverage) {
+  const auto lines = data::uniform_segments(1000, 1024.0, 10.0, 404);
+  const core::RTree packed = hilbert_pack_rtree(lines, 8, 1024.0);
+  SeqRTree dynamic({2, 8, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) dynamic.insert(s);
+  // Fewer nodes (full occupancy) and competitive overlap.
+  EXPECT_LT(packed.num_nodes(), dynamic.to_rtree().num_nodes());
+}
+
+}  // namespace
+}  // namespace dps::seq

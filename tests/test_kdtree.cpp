@@ -1,0 +1,176 @@
+// Data-parallel k-d tree tests: invariants, sequential cross-validation,
+// query correctness.
+
+#include "core/kdtree_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, double world,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(0.0, world);
+  std::vector<geom::Point> out(n);
+  for (auto& p : out) p = {d(rng), d(rng)};
+  return out;
+}
+
+std::vector<prim::PointId> iota_ids(std::size_t n) {
+  std::vector<prim::PointId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<prim::PointId>(i);
+  return ids;
+}
+
+// Sequential reference: recursive median build with the same split rule
+// (left gets ceil(count/2), discriminator = max left coordinate).
+void seq_kd(std::vector<std::pair<geom::Point, prim::PointId>>& items,
+            std::size_t lo, std::size_t hi, int depth, std::size_t cap,
+            std::ostringstream& fp) {
+  const std::size_t count = hi - lo;
+  if (count <= cap) {
+    std::vector<prim::PointId> ids;
+    for (std::size_t i = lo; i < hi; ++i) ids.push_back(items[i].second);
+    std::sort(ids.begin(), ids.end());
+    for (const auto id : ids) fp << id << ",";
+    fp << ";";
+    return;
+  }
+  const int axis = depth % 2;
+  std::sort(items.begin() + lo, items.begin() + hi,
+            [axis](const auto& a, const auto& b) {
+              return (axis == 0 ? a.first.x : a.first.y) <
+                     (axis == 0 ? b.first.x : b.first.y);
+            });
+  const std::size_t left = (count + 1) / 2;
+  seq_kd(items, lo, lo + left, depth + 1, cap, fp);
+  seq_kd(items, lo + left, hi, depth + 1, cap, fp);
+}
+
+TEST(KdBuild, EmptyAndTiny) {
+  dpv::Context ctx;
+  const KdBuildResult empty = kd_build(ctx, {}, {}, {});
+  EXPECT_TRUE(empty.tree.empty());
+  EXPECT_EQ(empty.tree.validate(), "");
+  const KdBuildResult one = kd_build(ctx, {{1, 2}}, {0}, {});
+  EXPECT_EQ(one.tree.height(), 0);
+  EXPECT_EQ(one.tree.validate(), "");
+}
+
+TEST(KdBuild, InvariantsHoldOnRandomPoints) {
+  dpv::Context ctx;
+  KdBuildOptions o;
+  o.leaf_capacity = 4;
+  const auto pts = random_points(700, 1024.0, 911);
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(700), o);
+  EXPECT_EQ(r.tree.validate(), "");
+  EXPECT_LE(r.tree.max_leaf_occupancy(), 4u);
+  // Median splits keep the tree balanced: height ~ log2(700/4) + 1.
+  EXPECT_LE(r.tree.height(), 9);
+  EXPECT_GE(r.tree.height(), 7);
+  EXPECT_EQ(r.rounds, static_cast<std::size_t>(r.tree.height()));
+}
+
+TEST(KdBuild, MatchesSequentialMedianBuild) {
+  dpv::Context ctx;
+  KdBuildOptions o;
+  o.leaf_capacity = 3;
+  const auto pts = random_points(300, 1024.0, 912);
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(300), o);
+  std::vector<std::pair<geom::Point, prim::PointId>> items;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    items.emplace_back(pts[i], static_cast<prim::PointId>(i));
+  }
+  std::ostringstream fp;
+  seq_kd(items, 0, items.size(), 0, o.leaf_capacity, fp);
+  EXPECT_EQ(r.tree.fingerprint(), fp.str());
+}
+
+TEST(KdBuild, WindowQueryMatchesBruteForce) {
+  dpv::Context ctx = test::make_parallel_context();
+  KdBuildOptions o;
+  o.leaf_capacity = 8;
+  const auto pts = random_points(500, 1024.0, 913);
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(500), o);
+  for (int i = 0; i < 12; ++i) {
+    const double x = (i * 89) % 880, y = (i * 53) % 880;
+    const geom::Rect w{x, y, x + 130.0, y + 90.0};
+    std::vector<prim::PointId> expect;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      if (w.contains(pts[k])) expect.push_back(static_cast<prim::PointId>(k));
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(r.tree.window_query(w), expect) << "window " << i;
+  }
+  // Degenerate and miss windows.
+  EXPECT_TRUE(r.tree.window_query({-5, -5, -1, -1}).empty());
+  EXPECT_EQ(r.tree.window_query({0, 0, 1024, 1024}).size(), 500u);
+}
+
+TEST(KdBuild, DuplicatePointsTerminate) {
+  dpv::Context ctx;
+  KdBuildOptions o;
+  o.leaf_capacity = 1;
+  std::vector<geom::Point> pts(16, geom::Point{3.5, 3.5});
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(16), o);
+  EXPECT_EQ(r.tree.validate(), "");
+  // Rank splits keep halving even with equal keys.
+  EXPECT_LE(r.tree.max_leaf_occupancy(), 1u);
+  EXPECT_EQ(r.tree.window_query({3.5, 3.5, 3.5, 3.5}).size(), 16u);
+}
+
+TEST(KdKnn, MatchesBruteForce) {
+  dpv::Context ctx;
+  KdBuildOptions o;
+  o.leaf_capacity = 4;
+  const auto pts = random_points(400, 1024.0, 914);
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(400), o);
+  for (int i = 0; i < 10; ++i) {
+    const geom::Point q{(i * 131.0) + 7.0, 1000.0 - i * 97.0};
+    for (const std::size_t k : {1u, 5u, 17u}) {
+      // Brute force: sort by (dist2, id).
+      std::vector<std::pair<double, prim::PointId>> all;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        const double dx = pts[j].x - q.x, dy = pts[j].y - q.y;
+        all.emplace_back(dx * dx + dy * dy,
+                         static_cast<prim::PointId>(j));
+      }
+      std::sort(all.begin(), all.end());
+      std::vector<prim::PointId> expect;
+      for (std::size_t j = 0; j < k; ++j) expect.push_back(all[j].second);
+      EXPECT_EQ(r.tree.k_nearest(q, k), expect) << "probe " << i << " k=" << k;
+    }
+  }
+}
+
+TEST(KdKnn, EdgeCases) {
+  dpv::Context ctx;
+  const auto pts = random_points(10, 100.0, 915);
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(10), {});
+  EXPECT_TRUE(r.tree.k_nearest({5, 5}, 0).empty());
+  EXPECT_EQ(r.tree.k_nearest({5, 5}, 100).size(), 10u);  // k > n
+  const KdBuildResult empty = kd_build(ctx, {}, {}, {});
+  EXPECT_TRUE(empty.tree.k_nearest({5, 5}, 3).empty());
+}
+
+TEST(KdBuild, TieOnSplitValueIsFoundOnBothSides) {
+  dpv::Context ctx;
+  KdBuildOptions o;
+  o.leaf_capacity = 1;
+  // Three points sharing x = 5: the x-split lands on the tie.
+  std::vector<geom::Point> pts{{5, 1}, {5, 2}, {5, 3}, {1, 1}, {9, 9}};
+  const KdBuildResult r = kd_build(ctx, pts, iota_ids(5), o);
+  EXPECT_EQ(r.tree.validate(), "");
+  const auto hits = r.tree.window_query({5, 0, 5, 10});
+  EXPECT_EQ(hits, (std::vector<prim::PointId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,72 @@
+// Linear quadtree tests: equivalence with the pointer tree's queries.
+
+#include "core/linear_quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::core {
+namespace {
+
+QuadTree build(std::size_t n, std::uint64_t seed) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = 4;
+  return pmr_build(ctx, data::uniform_segments(n, o.world, 20.0, seed), o)
+      .tree;
+}
+
+TEST(LinearQuadTree, PreservesLeavesAndEdges) {
+  const QuadTree tree = build(200, 301);
+  const LinearQuadTree lq = LinearQuadTree::from(tree);
+  EXPECT_EQ(lq.leaves().size(), tree.num_leaves());
+  EXPECT_EQ(lq.edges().size(), tree.num_qedges());
+  // Keys strictly increase (distinct leaves, canonical order).
+  for (std::size_t i = 1; i < lq.leaves().size(); ++i) {
+    EXPECT_LT(lq.leaves()[i - 1].key, lq.leaves()[i].key);
+  }
+}
+
+TEST(LinearQuadTree, WindowQueriesMatchPointerTree) {
+  const QuadTree tree = build(300, 302);
+  const LinearQuadTree lq = LinearQuadTree::from(tree);
+  for (int i = 0; i < 20; ++i) {
+    const double x = (i * 47) % 900, y = (i * 91) % 900;
+    const geom::Rect w{x, y, x + 80.0, y + 60.0};
+    EXPECT_EQ(lq.window_query(w), window_query(tree, w)) << "window " << i;
+  }
+  // Whole world and empty region.
+  EXPECT_EQ(lq.window_query({0, 0, 1024, 1024}),
+            window_query(tree, {0, 0, 1024, 1024}));
+  EXPECT_TRUE(lq.window_query({-10, -10, -1, -1}).empty());
+}
+
+TEST(LinearQuadTree, PointQueriesMatchPointerTree) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(150, 1024.0, 30.0, 303);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = 4;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  const LinearQuadTree lq = LinearQuadTree::from(tree);
+  for (std::size_t i = 0; i < lines.size(); i += 13) {
+    const geom::Point p = lines[i].mid();
+    EXPECT_EQ(lq.point_query(p), point_query(tree, p));
+  }
+}
+
+TEST(LinearQuadTree, EmptyTree) {
+  dpv::Context ctx;
+  const QuadTree tree = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  const LinearQuadTree lq = LinearQuadTree::from(tree);
+  EXPECT_TRUE(lq.leaves().empty());
+  EXPECT_TRUE(lq.window_query({0, 0, 1, 1}).empty());
+}
+
+}  // namespace
+}  // namespace dps::core

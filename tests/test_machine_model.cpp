@@ -1,0 +1,67 @@
+// Machine-model tests: monotonicity and limiting behaviour.
+
+#include "dpv/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::dpv {
+namespace {
+
+PrimCounters build_ledger() {
+  Context ctx;
+  core::PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = 8;
+  return core::pmr_build(ctx, data::uniform_segments(2000, 1024.0, 15.0, 91),
+                         o)
+      .prims;
+}
+
+TEST(MachineModel, EmptyLedgerCostsNothing) {
+  MachineModel mm;
+  EXPECT_EQ(mm.estimate_ms(PrimCounters{}), 0.0);
+  EXPECT_EQ(mm.speedup(PrimCounters{}), 1.0);
+}
+
+TEST(MachineModel, MoreProcessorsNeverSlower) {
+  const PrimCounters c = build_ledger();
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t p : {1u, 2u, 8u, 64u, 512u, 8192u}) {
+    MachineModel mm;
+    mm.processors = p;
+    const double t = mm.estimate_ms(c);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, prev * 1.2)
+        << "P=" << p << " (combine overhead may grow slightly, not blow up)";
+    prev = t;
+  }
+}
+
+TEST(MachineModel, SpeedupSaturates) {
+  const PrimCounters c = build_ledger();
+  MachineModel small, big, huge;
+  small.processors = 4;
+  big.processors = 1024;
+  huge.processors = 1 << 20;
+  EXPECT_GT(big.speedup(c), small.speedup(c));
+  // Startup costs bound the speedup far below the processor count.
+  EXPECT_LT(huge.speedup(c), 1 << 14);
+}
+
+TEST(MachineModel, TrafficFactorPenalizesRouting) {
+  PrimCounters c{};
+  c.invocations[static_cast<std::size_t>(Prim::kPermute)] = 10;
+  c.elements[static_cast<std::size_t>(Prim::kPermute)] = 1000000;
+  PrimCounters e{};
+  e.invocations[static_cast<std::size_t>(Prim::kElementwise)] = 10;
+  e.elements[static_cast<std::size_t>(Prim::kElementwise)] = 1000000;
+  MachineModel mm;
+  EXPECT_GT(mm.estimate_ms(c), mm.estimate_ms(e));
+}
+
+}  // namespace
+}  // namespace dps::dpv

@@ -1,0 +1,131 @@
+// Coverage for corners the focused suites do not reach: logical/copy scan
+// operators, geometric distance helpers, RTree::validate's rejection
+// paths, and the Context block partitioner.
+
+#include <gtest/gtest.h>
+
+#include "core/rtree.hpp"
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+#include "test_util.hpp"
+
+namespace dps {
+namespace {
+
+TEST(MiscScanOps, LogicalAndOrScans) {
+  dpv::Context ctx;
+  const dpv::Vec<std::uint8_t> bits{1, 1, 0, 1, 1, 1};
+  const dpv::Flags seg{1, 0, 0, 1, 0, 0};
+  EXPECT_EQ(dpv::seg_scan(ctx, dpv::LogicalAnd<std::uint8_t>{}, bits, seg),
+            (dpv::Vec<std::uint8_t>{1, 1, 0, 1, 1, 1}));
+  const dpv::Vec<std::uint8_t> any{0, 0, 1, 0, 0, 0};
+  EXPECT_EQ(dpv::seg_scan(ctx, dpv::LogicalOr<std::uint8_t>{}, any, seg),
+            (dpv::Vec<std::uint8_t>{0, 0, 1, 0, 0, 0}));
+  // Down-inclusive OR leaves "does any element from here on" per position.
+  EXPECT_EQ(dpv::seg_scan(ctx, dpv::LogicalOr<std::uint8_t>{}, any, seg,
+                          dpv::Dir::kDown),
+            (dpv::Vec<std::uint8_t>{1, 1, 1, 0, 0, 0}));
+}
+
+TEST(MiscScanOps, CopyExclusiveMarksHeadsWithIdentity) {
+  dpv::Context ctx;
+  const dpv::Vec<int> data{7, 1, 2, 9, 3};
+  const dpv::Flags seg{1, 0, 0, 1, 0};
+  const dpv::Vec<int> ex = dpv::seg_scan(ctx, dpv::Copy<int>{}, data, seg,
+                                         dpv::Dir::kUp, dpv::Incl::kExclusive);
+  // Heads carry the sentinel identity (0), the rest the group head's value.
+  EXPECT_EQ(ex, (dpv::Vec<int>{0, 7, 7, 0, 9}));
+  EXPECT_FALSE(dpv::has_true_identity<dpv::Copy<int>>::value);
+  EXPECT_TRUE(dpv::has_true_identity<dpv::Plus<int>>::value);
+}
+
+TEST(MiscGeom, PointSegmentDistance) {
+  using geom::distance2_point_segment;
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(distance2_point_segment({5, 3}, {0, 0}, {10, 0}), 9.0);
+  // Beyond the ends: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(distance2_point_segment({-3, 4}, {0, 0}, {10, 0}), 25.0);
+  EXPECT_DOUBLE_EQ(distance2_point_segment({13, 4}, {0, 0}, {10, 0}), 25.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(distance2_point_segment({3, 4}, {0, 0}, {0, 0}), 25.0);
+  // On the segment.
+  EXPECT_DOUBLE_EQ(distance2_point_segment({5, 0}, {0, 0}, {10, 0}), 0.0);
+}
+
+TEST(MiscGeom, RectPointDistance2) {
+  const geom::Rect r{2, 3, 6, 8};
+  EXPECT_DOUBLE_EQ(r.distance2({4, 5}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.distance2({0, 5}), 4.0);   // left
+  EXPECT_DOUBLE_EQ(r.distance2({4, 10}), 4.0);  // above
+  EXPECT_DOUBLE_EQ(r.distance2({0, 0}), 13.0);  // corner: 2^2 + 3^2
+}
+
+TEST(MiscRtree, ValidateRejectsCorruption) {
+  using Node = core::RTree::Node;
+  // A root leaf whose MBR does not cover its entry.
+  std::vector<Node> nodes(1);
+  nodes[0].is_leaf = true;
+  nodes[0].first_entry = 0;
+  nodes[0].num_entries = 1;
+  nodes[0].mbr = geom::Rect{0, 0, 1, 1};
+  std::vector<geom::Segment> entries{{{5, 5}, {6, 6}, 0}};
+  const core::RTree bad(std::move(nodes), std::move(entries), 0, 1, 4);
+  EXPECT_NE(bad.validate(), "");
+
+  // An internal root with a single child (must have >= 2).
+  std::vector<Node> nodes2(2);
+  nodes2[0].is_leaf = false;
+  nodes2[0].first_child = 1;
+  nodes2[0].num_children = 1;
+  nodes2[0].mbr = geom::Rect{0, 0, 1, 1};
+  nodes2[1].is_leaf = true;
+  nodes2[1].num_entries = 1;
+  nodes2[1].mbr = geom::Rect{0, 0, 1, 1};
+  std::vector<geom::Segment> entries2{{{0, 0}, {1, 1}, 0}};
+  const core::RTree bad2(std::move(nodes2), std::move(entries2), 1, 1, 4);
+  EXPECT_NE(bad2.validate(), "");
+}
+
+TEST(MiscContext, BlockRangesPartitionExactly) {
+  for (const std::size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (const std::size_t k : {1u, 2u, 3u, 7u}) {
+      std::size_t covered = 0, prev_hi = 0;
+      for (std::size_t b = 0; b < k; ++b) {
+        const auto [lo, hi] = dpv::Context::block_range(n, k, b);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_LE(hi - lo, n / k + 1);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(MiscContext, GrainControlsForking) {
+  dpv::Context ctx(4);
+  ctx.set_grain(100);
+  EXPECT_EQ(ctx.block_count(50), 1u);    // below 2x grain: serial
+  EXPECT_GE(ctx.block_count(400), 2u);   // forks
+  EXPECT_LE(ctx.block_count(400), 4u);
+  ctx.set_grain(0);                      // clamps to 1
+  EXPECT_EQ(ctx.grain(), 1u);
+}
+
+TEST(MiscCounters, ArithmeticAndNames) {
+  dpv::PrimCounters a{}, b{};
+  a.invocations[0] = 5;
+  a.elements[0] = 100;
+  b.invocations[0] = 2;
+  b.elements[0] = 30;
+  dpv::PrimCounters c = a;
+  c += b;
+  EXPECT_EQ(c.invocations[0], 7u);
+  EXPECT_EQ((c - b).invocations[0], 5u);
+  EXPECT_EQ(c.total_invocations(), 7u);
+  EXPECT_EQ(dpv::prim_name(dpv::Prim::kScan), "scan");
+  EXPECT_EQ(dpv::prim_name(dpv::Prim::kSortPass), "sort-pass");
+}
+
+}  // namespace
+}  // namespace dps

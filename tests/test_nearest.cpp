@@ -1,0 +1,107 @@
+// Best-first nearest-neighbor tests against brute force, on both the
+// disjoint quadtree (with q-edge duplicates) and the R-tree.
+
+#include "core/nearest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+namespace {
+
+std::vector<Neighbor> brute_knn(const std::vector<geom::Segment>& lines,
+                                const geom::Point& q, std::size_t k) {
+  std::vector<Neighbor> all;
+  for (const auto& s : lines) {
+    all.push_back({s.id, geom::distance2_point_segment(q, s.a, s.b)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance2 != b.distance2 ? a.distance2 < b.distance2
+                                      : a.id < b.id;
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+void expect_equal(const std::vector<Neighbor>& got,
+                  const std::vector<Neighbor>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].distance2, want[i].distance2) << what;
+  }
+}
+
+TEST(Nearest, MatchesBruteForceOnBothStructures) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(300, 1024.0, 18.0, 771);
+  PmrBuildOptions po;
+  po.world = 1024.0;
+  po.max_depth = 12;
+  po.bucket_capacity = 4;
+  const QuadTree qt = pmr_build(ctx, lines, po).tree;
+  const RTree rt = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  for (int i = 0; i < 10; ++i) {
+    const geom::Point q{37.0 + i * 101.0, 990.0 - i * 93.0};
+    for (const std::size_t k : {1u, 3u, 12u}) {
+      const auto expect = brute_knn(lines, q, k);
+      expect_equal(k_nearest(qt, q, k), expect, "quadtree");
+      expect_equal(k_nearest(rt, q, k), expect, "rtree");
+    }
+  }
+}
+
+TEST(Nearest, DuplicateQEdgesReportedOnce) {
+  dpv::Context ctx;
+  // One long line cloned into many blocks plus a few distant short ones.
+  std::vector<geom::Segment> lines{{{1, 500}, {1023, 505}, 0}};
+  for (int i = 1; i < 8; ++i) {
+    lines.push_back({{i * 100.0, 900.0}, {i * 100.0 + 5, 905.0},
+                     static_cast<geom::LineId>(i)});
+  }
+  PmrBuildOptions po;
+  po.world = 1024.0;
+  po.max_depth = 8;
+  po.bucket_capacity = 1;
+  const QuadTree qt = pmr_build(ctx, lines, po).tree;
+  const auto nn = k_nearest(qt, geom::Point{512, 490}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 0u);
+  // No duplicate ids.
+  EXPECT_NE(nn[1].id, nn[0].id);
+  EXPECT_NE(nn[2].id, nn[1].id);
+}
+
+TEST(Nearest, EdgeCases) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(20, 1024.0, 20.0, 772);
+  PmrBuildOptions po;
+  po.world = 1024.0;
+  const QuadTree qt = pmr_build(ctx, lines, po).tree;
+  EXPECT_TRUE(k_nearest(qt, {5, 5}, 0).empty());
+  EXPECT_EQ(k_nearest(qt, {5, 5}, 100).size(), 20u);  // k > n
+  const QuadTree empty = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  EXPECT_TRUE(k_nearest(empty, {5, 5}, 3).empty());
+}
+
+TEST(Nearest, PointOnSegmentGivesZeroDistance) {
+  dpv::Context ctx;
+  std::vector<geom::Segment> lines{{{10, 10}, {20, 20}, 0},
+                                   {{50, 50}, {60, 50}, 1}};
+  PmrBuildOptions po;
+  po.world = 128.0;
+  const QuadTree qt = pmr_build(ctx, lines, po).tree;
+  const auto nn = k_nearest(qt, geom::Point{15, 15}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 0u);
+  EXPECT_DOUBLE_EQ(nn[0].distance2, 0.0);
+}
+
+}  // namespace
+}  // namespace dps::core

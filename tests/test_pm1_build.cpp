@@ -1,0 +1,162 @@
+// Data-parallel PM1 build tests (section 5.1, Figures 30-33).
+
+#include "core/pm1_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+#include "seq/seq_pm1.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+QuadBuildOptions canonical_opts() {
+  QuadBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = 6;
+  return o;
+}
+
+TEST(Pm1Build, EmptyInputGivesRootLeaf) {
+  dpv::Context ctx;
+  const QuadBuildResult r = pm1_build(ctx, {}, canonical_opts());
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.tree.num_nodes(), 1u);
+  EXPECT_TRUE(r.tree.root().is_leaf);
+}
+
+TEST(Pm1Build, SingleLineStaysAtRoot) {
+  dpv::Context ctx;
+  // One line: its two endpoints violate the vertex rule at the root, so a
+  // few subdivisions happen, then each endpoint has its own region.
+  std::vector<geom::Segment> lines{{{1.0, 1.0}, {6.5, 6.5}, 0}};
+  const QuadBuildResult r = pm1_build(ctx, std::move(lines), canonical_opts());
+  EXPECT_GE(r.rounds, 1u);
+  EXPECT_FALSE(r.depth_limited);
+  // Every leaf holds at most one vertex of the line.
+  for (const auto& nd : r.tree.nodes()) {
+    if (!nd.is_leaf || nd.num_edges == 0) continue;
+    EXPECT_FALSE(seq::SeqPm1::violates_rule(
+        nd.block,
+        {r.tree.edges().begin() + nd.first_edge,
+         r.tree.edges().begin() + nd.first_edge + nd.num_edges},
+        data::kCanonicalWorld));
+  }
+}
+
+TEST(Pm1Build, CanonicalDatasetSatisfiesRuleEverywhere) {
+  dpv::Context ctx;
+  const QuadBuildResult r =
+      pm1_build(ctx, data::canonical_dataset(), canonical_opts());
+  EXPECT_FALSE(r.depth_limited);
+  EXPECT_GE(r.rounds, 2u);
+  for (const auto& nd : r.tree.nodes()) {
+    if (!nd.is_leaf || nd.num_edges == 0) continue;
+    const std::vector<geom::Segment> edges(
+        r.tree.edges().begin() + nd.first_edge,
+        r.tree.edges().begin() + nd.first_edge + nd.num_edges);
+    EXPECT_FALSE(
+        seq::SeqPm1::violates_rule(nd.block, edges, data::kCanonicalWorld))
+        << "leaf " << nd.block.to_string();
+  }
+}
+
+TEST(Pm1Build, MatchesSequentialBaselineOnCanonicalDataset) {
+  dpv::Context ctx;
+  const QuadBuildResult r =
+      pm1_build(ctx, data::canonical_dataset(), canonical_opts());
+  seq::SeqPm1 s({data::kCanonicalWorld, 6});
+  for (const auto& seg : data::canonical_dataset()) s.insert(seg);
+  EXPECT_EQ(r.tree.fingerprint(), s.fingerprint());
+}
+
+TEST(Pm1Build, RoundTraceShrinksAndCounts) {
+  dpv::Context ctx;
+  const QuadBuildResult r =
+      pm1_build(ctx, data::canonical_dataset(), canonical_opts());
+  ASSERT_EQ(r.trace.size(), r.rounds);
+  // The first round splits exactly the root.
+  EXPECT_EQ(r.trace[0].nodes_split, 1u);
+  EXPECT_EQ(r.trace[0].groups, 1u);
+  EXPECT_EQ(r.trace[0].line_processors, 9u);
+  // Line processors only grow (clones), never shrink.
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace[i].line_processors, r.trace[i - 1].line_processors);
+  }
+}
+
+TEST(Pm1Build, Figure2PathologyForcesDeepSubdivision) {
+  dpv::Context ctx;
+  QuadBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 12;
+  const double eps = 8.0 / (1 << 9);  // vertices ~2 cells apart at depth 9
+  const QuadBuildResult r =
+      pm1_build(ctx, data::close_vertices_pair(8.0, eps), o);
+  // Separating the close vertices needs depth around 9-ish; far deeper
+  // than the 2 lines alone would suggest.
+  EXPECT_GE(r.tree.height(), 8);
+  EXPECT_FALSE(r.depth_limited);
+}
+
+TEST(Pm1Build, DepthCapReportsLimited) {
+  dpv::Context ctx;
+  QuadBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 3;
+  const QuadBuildResult r =
+      pm1_build(ctx, data::close_vertices_pair(8.0, 1e-5), o);
+  EXPECT_TRUE(r.depth_limited);
+  EXPECT_LE(r.tree.height(), 3);
+}
+
+TEST(Pm1Build, SharedVertexStarNeedsNoDeepSplit) {
+  dpv::Context ctx;
+  QuadBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 16;
+  // 12 lines all sharing one vertex: PM1 keeps them together wherever the
+  // vertex's region is; depth stays small.
+  const QuadBuildResult r = pm1_build(
+      ctx, data::star_burst(12, {3.3, 3.3}, 2.0, /*seed=*/5), o);
+  EXPECT_FALSE(r.depth_limited);
+  EXPECT_LE(r.tree.height(), 6);
+}
+
+TEST(Pm1Build, ParallelBackendProducesIdenticalTree) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  QuadBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 20;
+  const auto lines = data::planar_segments(400, o.world, 10.0, 77);
+  const QuadBuildResult a = pm1_build(serial, lines, o);
+  const QuadBuildResult b = pm1_build(par, lines, o);
+  EXPECT_EQ(a.tree.fingerprint(), b.tree.fingerprint());
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Pm1Build, PrimitiveCountPerRoundIsBoundedConstant) {
+  // Section 5.1: each subdivision stage costs O(1) primitives.  Measure
+  // invocations per round at two sizes and check they are equal.
+  QuadBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 20;
+  auto per_round = [&](std::size_t n) {
+    dpv::Context ctx;
+    const auto lines = data::planar_segments(n, o.world, 8.0, 9);
+    const QuadBuildResult r = pm1_build(ctx, lines, o);
+    return static_cast<double>(r.prims.total_invocations()) /
+           static_cast<double>(r.rounds + 1);
+  };
+  const double small = per_round(100);
+  const double large = per_round(2000);
+  EXPECT_LT(large, small * 1.5)
+      << "per-round primitive count must not grow with n";
+}
+
+}  // namespace
+}  // namespace dps::core

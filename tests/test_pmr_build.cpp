@@ -1,0 +1,147 @@
+// Data-parallel bucket PMR build tests (section 5.2, Figures 35-38).
+
+#include "core/pmr_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+PmrBuildOptions canonical_opts() {
+  PmrBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = data::kCanonicalMaxDepth;
+  o.bucket_capacity = 2;
+  return o;
+}
+
+TEST(PmrBuild, EmptyAndTiny) {
+  dpv::Context ctx;
+  EXPECT_EQ(pmr_build(ctx, {}, canonical_opts()).tree.num_nodes(), 1u);
+  std::vector<geom::Segment> one{{{1, 1}, {2, 2}, 0}};
+  const QuadBuildResult r = pmr_build(ctx, std::move(one), canonical_opts());
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_TRUE(r.tree.root().is_leaf);
+  EXPECT_EQ(r.tree.num_qedges(), 1u);
+}
+
+TEST(PmrBuild, CanonicalDatasetFigure4) {
+  dpv::Context ctx;
+  const QuadBuildResult r =
+      pmr_build(ctx, data::canonical_dataset(), canonical_opts());
+  // Capacity 2, nine lines: the root and several children must subdivide;
+  // the tree reaches the maximal height 3 around line i's vertices.
+  EXPECT_GE(r.rounds, 2u);
+  EXPECT_LE(r.tree.height(), data::kCanonicalMaxDepth);
+  // Every leaf above the depth cap respects the bucket capacity.
+  for (const auto& nd : r.tree.nodes()) {
+    if (!nd.is_leaf || nd.block.depth >= data::kCanonicalMaxDepth) continue;
+    EXPECT_LE(nd.num_edges, 2u) << "leaf " << nd.block.to_string();
+  }
+}
+
+TEST(PmrBuild, LeavesAtDepthCapMayOverflow) {
+  dpv::Context ctx;
+  // Many lines through one tiny region force cap-depth leaves above
+  // capacity (the paper's node 9 in Figure 38).
+  const auto lines = data::star_burst(9, {1.02, 1.02}, 4.0, 3);
+  PmrBuildOptions o = canonical_opts();
+  const QuadBuildResult r = pmr_build(ctx, lines, o);
+  EXPECT_TRUE(r.depth_limited);
+  EXPECT_GT(r.tree.max_leaf_occupancy(), o.bucket_capacity);
+  EXPECT_LE(r.tree.height(), o.max_depth);
+}
+
+TEST(PmrBuild, QEdgeMembershipInvariant) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = 4;
+  const auto lines = data::uniform_segments(300, o.world, 20.0, 11);
+  const QuadBuildResult r = pmr_build(ctx, lines, o);
+  std::size_t edges = 0;
+  for (const auto& nd : r.tree.nodes()) {
+    if (!nd.is_leaf) continue;
+    for (std::uint32_t i = 0; i < nd.num_edges; ++i) {
+      const geom::Segment& s = r.tree.edges()[nd.first_edge + i];
+      EXPECT_TRUE(geom::segment_properly_intersects_rect(
+          s, nd.block.rect(o.world)));
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, r.tree.num_qedges());
+  EXPECT_GE(edges, 300u);  // every input line appears at least once
+}
+
+TEST(PmrBuild, ShapeIsInsertionOrderIndependent) {
+  // The defining property of the bucket PMR quadtree (section 2.2.1): the
+  // input order cannot change the result.  (In the data-parallel build the
+  // initial vector order is the "insertion order".)
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 4;
+  auto lines = data::clustered_segments(200, 5, 30.0, o.world, 15.0, 21);
+  dpv::Context ctx;
+  const std::string fp1 = pmr_build(ctx, lines, o).tree.fingerprint();
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::shuffle(lines.begin(), lines.end(), rng);
+    EXPECT_EQ(pmr_build(ctx, lines, o).tree.fingerprint(), fp1)
+        << "shuffle " << trial;
+  }
+}
+
+TEST(PmrBuild, HigherCapacityGivesSmallerTree) {
+  // Section 2.2: increasing the threshold decreases storage (fewer nodes).
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  const auto lines = data::uniform_segments(500, o.world, 15.0, 31);
+  std::size_t prev_nodes = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t cap : {2u, 8u, 32u}) {
+    o.bucket_capacity = cap;
+    const QuadBuildResult r = pmr_build(ctx, lines, o);
+    EXPECT_LT(r.tree.num_nodes(), prev_nodes) << "capacity " << cap;
+    prev_nodes = r.tree.num_nodes();
+  }
+}
+
+TEST(PmrBuild, ParallelBackendProducesIdenticalTree) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = 8;
+  const auto lines = data::hierarchical_roads(600, o.world, 41);
+  EXPECT_EQ(pmr_build(serial, lines, o).tree.fingerprint(),
+            pmr_build(par, lines, o).tree.fingerprint());
+}
+
+TEST(PmrBuild, RoundsGrowLogarithmically) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 4096.0;
+  o.max_depth = 16;
+  o.bucket_capacity = 8;
+  const auto small = data::uniform_segments(100, o.world, 30.0, 51);
+  const auto large = data::uniform_segments(3200, o.world, 30.0, 51);
+  const std::size_t r_small = pmr_build(ctx, small, o).rounds;
+  const std::size_t r_large = pmr_build(ctx, large, o).rounds;
+  // 32x the data should cost only ~log2(32) = 5 extra rounds (plus slack).
+  EXPECT_LE(r_large, r_small + 8);
+}
+
+}  // namespace
+}  // namespace dps::core

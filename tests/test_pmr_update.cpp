@@ -1,0 +1,148 @@
+// Bucket PMR dynamic update tests: batch insert and delete must restore
+// exactly the tree a from-scratch rebuild of the surviving lines produces
+// (the shape of a bucket PMR quadtree is history-independent).
+
+#include "core/pmr_update.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/query.hpp"
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+PmrBuildOptions opts(std::size_t cap = 4) {
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 12;
+  o.bucket_capacity = cap;
+  return o;
+}
+
+TEST(PmrUpdate, LineSetRoundTrip) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(200, 1024.0, 20.0, 31);
+  const QuadTree tree = pmr_build(ctx, lines, opts()).tree;
+  const prim::LineSet ls = line_set_from(tree);
+  EXPECT_EQ(ls.size(), tree.num_qedges());
+  EXPECT_EQ(QuadTree::from_line_set(ls).fingerprint(), tree.fingerprint());
+}
+
+TEST(PmrUpdate, InsertEqualsRebuild) {
+  dpv::Context ctx;
+  auto lines = data::uniform_segments(300, 1024.0, 20.0, 33);
+  const std::vector<geom::Segment> first(lines.begin(), lines.begin() + 200);
+  const std::vector<geom::Segment> extra(lines.begin() + 200, lines.end());
+  const QuadTree base = pmr_build(ctx, first, opts()).tree;
+  const QuadBuildResult updated = pmr_insert(ctx, base, extra, opts());
+  const QuadBuildResult rebuilt = pmr_build(ctx, lines, opts());
+  EXPECT_EQ(updated.tree.fingerprint(), rebuilt.tree.fingerprint());
+}
+
+TEST(PmrUpdate, InsertIntoEmptyQuadrantMaterializesLeaf) {
+  dpv::Context ctx;
+  // All initial lines live in the SW corner; the insert lands far NE.
+  std::vector<geom::Segment> lines;
+  for (int i = 0; i < 12; ++i) {
+    lines.push_back({{5.0 + i, 5.0}, {20.0 + i, 30.0},
+                     static_cast<geom::LineId>(i)});
+  }
+  const QuadTree base = pmr_build(ctx, lines, opts()).tree;
+  const std::vector<geom::Segment> extra{{{900, 900}, {950, 960}, 100}};
+  const QuadBuildResult updated = pmr_insert(ctx, base, extra, opts());
+  lines.push_back(extra[0]);
+  EXPECT_EQ(updated.tree.fingerprint(),
+            pmr_build(ctx, lines, opts()).tree.fingerprint());
+  EXPECT_EQ(window_query(updated.tree, geom::Rect{880, 880, 1000, 1000}),
+            (std::vector<geom::LineId>{100}));
+}
+
+TEST(PmrUpdate, DeleteEqualsRebuild) {
+  dpv::Context ctx;
+  const auto lines = data::clustered_segments(400, 5, 30.0, 1024.0, 15.0, 35);
+  const QuadTree base = pmr_build(ctx, lines, opts()).tree;
+  // Delete every third line.
+  std::vector<geom::LineId> doomed;
+  std::vector<geom::Segment> survivors;
+  for (const auto& s : lines) {
+    if (s.id % 3 == 0) {
+      doomed.push_back(s.id);
+    } else {
+      survivors.push_back(s);
+    }
+  }
+  const QuadBuildResult updated = pmr_delete(ctx, base, doomed, opts());
+  EXPECT_EQ(updated.tree.fingerprint(),
+            pmr_build(ctx, survivors, opts()).tree.fingerprint());
+  EXPECT_GT(updated.rounds, 0u);  // something merged
+}
+
+TEST(PmrUpdate, DeleteEverythingCollapsesToRoot) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(100, 1024.0, 20.0, 37);
+  const QuadTree base = pmr_build(ctx, lines, opts()).tree;
+  std::vector<geom::LineId> all;
+  for (const auto& s : lines) all.push_back(s.id);
+  const QuadBuildResult updated = pmr_delete(ctx, base, all, opts());
+  EXPECT_EQ(updated.tree.num_qedges(), 0u);
+  EXPECT_LE(updated.tree.num_nodes(), 1u);
+}
+
+TEST(PmrUpdate, DeleteOfUnknownIdsIsIdentity) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(80, 1024.0, 20.0, 39);
+  const QuadTree base = pmr_build(ctx, lines, opts()).tree;
+  const QuadBuildResult updated = pmr_delete(ctx, base, {9999, 10000}, opts());
+  EXPECT_EQ(updated.tree.fingerprint(), base.fingerprint());
+  EXPECT_EQ(updated.rounds, 0u);
+}
+
+TEST(PmrUpdate, InterleavedInsertDeleteConvergesToRebuild) {
+  dpv::Context ctx = test::make_parallel_context();
+  auto lines = data::hierarchical_roads(350, 1024.0, 41);
+  const PmrBuildOptions o = opts(6);
+  QuadTree tree = pmr_build(ctx, {}, o).tree;
+  // Insert in three waves, deleting a slice between waves.
+  std::vector<geom::Segment> live;
+  std::size_t next = 0;
+  std::mt19937_64 rng(7);
+  for (int wave = 0; wave < 3; ++wave) {
+    const std::size_t take = lines.size() / 3;
+    std::vector<geom::Segment> batch(
+        lines.begin() + next,
+        lines.begin() + std::min(next + take, lines.size()));
+    next += batch.size();
+    tree = pmr_insert(ctx, tree, batch, o).tree;
+    live.insert(live.end(), batch.begin(), batch.end());
+    // Delete a random 20% of the live lines.
+    std::shuffle(live.begin(), live.end(), rng);
+    const std::size_t cut = live.size() / 5;
+    std::vector<geom::LineId> doomed;
+    for (std::size_t i = 0; i < cut; ++i) doomed.push_back(live[i].id);
+    live.erase(live.begin(), live.begin() + cut);
+    tree = pmr_delete(ctx, tree, doomed, o).tree;
+  }
+  EXPECT_EQ(tree.fingerprint(), pmr_build(ctx, live, o).tree.fingerprint());
+}
+
+TEST(PmrUpdate, DeleteKeepsDepthLimitedBucketsIntact) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 3;
+  o.bucket_capacity = 2;
+  const auto star = data::star_burst(9, {1.02, 1.02}, 4.0, 3);
+  const QuadTree base = pmr_build(ctx, star, o).tree;
+  const QuadBuildResult updated = pmr_delete(ctx, base, {0}, o);
+  std::vector<geom::Segment> survivors(star.begin() + 1, star.end());
+  EXPECT_EQ(updated.tree.fingerprint(),
+            pmr_build(ctx, survivors, o).tree.fingerprint());
+}
+
+}  // namespace
+}  // namespace dps::core

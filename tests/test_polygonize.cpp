@@ -1,0 +1,116 @@
+// Polygonization tests: connected-component labeling and ring extraction.
+
+#include "core/polygonize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+TEST(Polygonize, EmptyAndSingle) {
+  dpv::Context ctx;
+  EXPECT_EQ(polygonize(ctx, {}).num_components, 0u);
+  const PolygonizeResult r = polygonize(ctx, {{{1, 1}, {2, 2}, 0}});
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.rings.empty());
+}
+
+TEST(Polygonize, DisjointSegmentsAreSingletons) {
+  dpv::Context ctx;
+  const auto lines = data::planar_segments(100, 512.0, 5.0, 601);
+  const PolygonizeResult r = polygonize(ctx, lines);
+  EXPECT_EQ(r.num_components, lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(r.component_of[i], i);
+  }
+}
+
+TEST(Polygonize, SingleRingIsExtractedInOrder) {
+  dpv::Context ctx;
+  const auto ring = data::polygon_ring(8, {100, 100}, 30.0);
+  const PolygonizeResult r = polygonize(ctx, ring);
+  EXPECT_EQ(r.num_components, 1u);
+  ASSERT_EQ(r.rings.size(), 1u);
+  EXPECT_EQ(r.rings[0].size(), 8u);
+  // Consecutive ring vertices must be endpoints of one input segment.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const geom::Point a = r.rings[0][i];
+    const geom::Point b = r.rings[0][(i + 1) % 8];
+    bool found = false;
+    for (const auto& s : ring) {
+      found |= (s.a == a && s.b == b) || (s.a == b && s.b == a);
+    }
+    EXPECT_TRUE(found) << "ring edge " << i << " is not an input segment";
+  }
+}
+
+TEST(Polygonize, MixedSceneSeparatesComponents) {
+  dpv::Context ctx;
+  // Two rings, one open chain, one isolated segment.
+  auto lines = data::polygon_ring(6, {50, 50}, 10.0);
+  auto ring2 = data::polygon_ring(4, {200, 200}, 15.0);
+  lines.insert(lines.end(), ring2.begin(), ring2.end());
+  lines.push_back({{300, 300}, {310, 310}, 0});
+  lines.push_back({{310, 310}, {320, 305}, 0});  // chains with previous
+  lines.push_back({{400, 50}, {410, 60}, 0});    // isolated
+  data::reassign_ids(lines);
+  const PolygonizeResult r = polygonize(ctx, lines);
+  EXPECT_EQ(r.num_components, 4u);
+  EXPECT_EQ(r.rings.size(), 2u);
+  std::multiset<std::size_t> sizes;
+  for (const auto& ring : r.rings) sizes.insert(ring.size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{4, 6}));
+  // The open chain and the isolated segment are components, not rings.
+  EXPECT_EQ(r.component_of[10], r.component_of[11]);  // chain
+  EXPECT_NE(r.component_of[10], r.component_of[12]);
+}
+
+TEST(Polygonize, LongChainConvergesQuickly) {
+  dpv::Context ctx;
+  // A single 512-segment polyline: hooking alone would need ~512 rounds,
+  // pointer jumping keeps it logarithmic.
+  std::vector<geom::Segment> chain;
+  for (int i = 0; i < 512; ++i) {
+    chain.push_back({{double(i), 0.0}, {double(i + 1), 0.0},
+                     static_cast<geom::LineId>(i)});
+  }
+  const PolygonizeResult r = polygonize(ctx, chain);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_LE(r.rounds, 16u);
+  for (const auto c : r.component_of) EXPECT_EQ(c, 0u);
+}
+
+TEST(Polygonize, GridIsOneComponentNoRingsReported) {
+  dpv::Context ctx;
+  // A street grid is connected but has degree-3/4 junctions, so it is not
+  // a simple ring.
+  const auto grid = data::road_grid(4, 4, 256.0, 2.0, 603);
+  const PolygonizeResult r = polygonize(ctx, grid);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_TRUE(r.rings.empty());
+}
+
+TEST(Polygonize, ParallelBackendMatchesSerial) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  auto lines = data::polygon_ring(32, {100, 100}, 40.0);
+  auto extra = data::planar_segments(200, 512.0, 6.0, 605);
+  for (auto& s : extra) {
+    s.a.x += 0;  // keep geometry; ids disambiguated below
+  }
+  lines.insert(lines.end(), extra.begin(), extra.end());
+  data::reassign_ids(lines);
+  const PolygonizeResult a = polygonize(serial, lines);
+  const PolygonizeResult b = polygonize(par, lines);
+  EXPECT_EQ(a.component_of, b.component_of);
+  EXPECT_EQ(a.rings.size(), b.rings.size());
+}
+
+}  // namespace
+}  // namespace dps::core

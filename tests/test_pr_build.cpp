@@ -1,0 +1,137 @@
+// Data-parallel bucket PR quadtree tests.
+
+#include "core/pr_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, double world,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(world * 0.001, world * 0.999);
+  std::vector<geom::Point> out(n);
+  for (auto& p : out) p = {d(rng), d(rng)};
+  return out;
+}
+
+std::vector<prim::PointId> iota_ids(std::size_t n) {
+  std::vector<prim::PointId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<prim::PointId>(i);
+  return ids;
+}
+
+TEST(PrBuild, EmptyAndSingle) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 1024.0;
+  EXPECT_EQ(pr_build(ctx, {}, {}, o).tree.num_nodes(), 1u);
+  const PrBuildResult r = pr_build(ctx, {{5, 5}}, {0}, o);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.tree.height(), 0);
+}
+
+TEST(PrBuild, CapacityRespectedAboveDepthCap) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 16;
+  o.bucket_capacity = 4;
+  const auto pts = random_points(500, o.world, 901);
+  const PrBuildResult r = pr_build(ctx, pts, iota_ids(500), o);
+  EXPECT_FALSE(r.depth_limited);
+  EXPECT_LE(r.tree.max_leaf_occupancy(), 4u);
+  // Every point is stored exactly once.
+  std::vector<prim::PointId> ids = r.tree.ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, iota_ids(500));
+}
+
+TEST(PrBuild, ClassicCapacityOneSeparatesAllPoints) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 24;
+  o.bucket_capacity = 1;
+  const auto pts = random_points(100, o.world, 902);
+  const PrBuildResult r = pr_build(ctx, pts, iota_ids(100), o);
+  EXPECT_LE(r.tree.max_leaf_occupancy(), 1u);
+}
+
+TEST(PrBuild, DuplicatePointsStopAtDepthCap) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 8.0;
+  o.max_depth = 4;
+  o.bucket_capacity = 1;
+  std::vector<geom::Point> pts(3, geom::Point{1.3, 2.7});
+  const PrBuildResult r = pr_build(ctx, pts, iota_ids(3), o);
+  EXPECT_TRUE(r.depth_limited);
+  EXPECT_LE(r.tree.height(), 4);
+  EXPECT_EQ(r.tree.max_leaf_occupancy(), 3u);
+}
+
+TEST(PrBuild, ShapeIsOrderIndependent) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 1024.0;
+  o.bucket_capacity = 2;
+  auto pts = random_points(200, o.world, 903);
+  auto ids = iota_ids(200);
+  const std::string fp = pr_build(ctx, pts, ids, o).tree.fingerprint();
+  std::mt19937_64 rng(904);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::size_t> perm(pts.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<geom::Point> sp;
+    std::vector<prim::PointId> si;
+    for (const auto i : perm) {
+      sp.push_back(pts[i]);
+      si.push_back(ids[i]);
+    }
+    EXPECT_EQ(pr_build(ctx, sp, si, o).tree.fingerprint(), fp);
+  }
+}
+
+TEST(PrBuild, WindowQueryMatchesBruteForce) {
+  dpv::Context ctx = test::make_parallel_context();
+  PrBuildOptions o;
+  o.world = 1024.0;
+  o.bucket_capacity = 4;
+  const auto pts = random_points(400, o.world, 905);
+  const PrBuildResult r = pr_build(ctx, pts, iota_ids(400), o);
+  for (int i = 0; i < 10; ++i) {
+    const double x = (i * 97) % 900, y = (i * 71) % 900;
+    const geom::Rect w{x, y, x + 120.0, y + 100.0};
+    std::vector<prim::PointId> expect;
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      if (w.contains(pts[k])) expect.push_back(static_cast<prim::PointId>(k));
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(r.tree.window_query(w), expect) << "window " << i;
+  }
+}
+
+TEST(PrBuild, RoundsGrowLogarithmically) {
+  dpv::Context ctx;
+  PrBuildOptions o;
+  o.world = 4096.0;
+  o.bucket_capacity = 8;
+  const std::size_t small =
+      pr_build(ctx, random_points(200, o.world, 906), iota_ids(200), o)
+          .rounds;
+  const std::size_t large =
+      pr_build(ctx, random_points(6400, o.world, 906), iota_ids(6400), o)
+          .rounds;
+  EXPECT_LE(large, small + 8);
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,45 @@
+// Node capacity check tests (section 4.4, Figure 19).
+
+#include "prim/capacity_check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dps::prim {
+namespace {
+
+TEST(CapacityFigure19, DownScanLeavesCountAtGroupHead) {
+  dpv::Context ctx;
+  // Three nodes with 3, 5 and 2 lines.
+  const dpv::Flags seg{1, 0, 0, 1, 0, 0, 0, 0, 1, 0};
+  const CapacityCheck cc = capacity_check(ctx, seg, /*capacity=*/4);
+  EXPECT_EQ(cc.count_at_elem,
+            (dpv::Vec<std::size_t>{3, 2, 1, 5, 4, 3, 2, 1, 2, 1}));
+  EXPECT_EQ(cc.group_counts, (dpv::Vec<std::size_t>{3, 5, 2}));
+  EXPECT_EQ(cc.group_overflow, (dpv::Flags{0, 1, 0}));
+  EXPECT_EQ(cc.elem_overflow, (dpv::Flags{0, 0, 0, 1, 1, 1, 1, 1, 0, 0}));
+}
+
+TEST(Capacity, ExactCapacityDoesNotOverflow) {
+  dpv::Context ctx;
+  const dpv::Flags seg{1, 0, 0};
+  const CapacityCheck cc = capacity_check(ctx, seg, 3);
+  EXPECT_EQ(cc.group_overflow, (dpv::Flags{0}));
+}
+
+TEST(Capacity, SingleElementGroups) {
+  dpv::Context ctx;
+  const dpv::Flags seg{1, 1, 1};
+  const CapacityCheck cc = capacity_check(ctx, seg, 0);
+  EXPECT_EQ(cc.group_overflow, (dpv::Flags{1, 1, 1}));
+  EXPECT_EQ(cc.group_counts, (dpv::Vec<std::size_t>{1, 1, 1}));
+}
+
+TEST(Capacity, EmptyVector) {
+  dpv::Context ctx;
+  const CapacityCheck cc = capacity_check(ctx, dpv::Flags{}, 4);
+  EXPECT_TRUE(cc.group_counts.empty());
+  EXPECT_TRUE(cc.group_overflow.empty());
+}
+
+}  // namespace
+}  // namespace dps::prim

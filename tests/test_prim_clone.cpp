@@ -1,0 +1,81 @@
+// Cloning primitive tests (section 4.1, Figure 14 mechanics).
+
+#include "prim/clone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// Figure 14: x = [a b c d e f g], clone flags on a, d, g.
+TEST(CloneFigure14, ReplicatesFlaggedElementsInPlace) {
+  dpv::Context ctx;
+  const dpv::Vec<char> x{'a', 'b', 'c', 'd', 'e', 'f', 'g'};
+  const dpv::Flags cf{1, 0, 0, 1, 0, 0, 1};
+  const ClonePlan plan = plan_clone(ctx, cf);
+  EXPECT_EQ(plan.out_size, 10u);
+  // F1 = up-scan(CF,+,ex) = [0 1 1 1 2 2 2]; F2 = P + F1.
+  EXPECT_EQ(plan.dest, (dpv::Index{0, 2, 3, 4, 6, 7, 8}));
+  const dpv::Vec<char> out = apply_clone(ctx, plan, x);
+  EXPECT_EQ(out,
+            (dpv::Vec<char>{'a', 'a', 'b', 'c', 'd', 'd', 'e', 'f', 'g', 'g'}));
+}
+
+TEST(Clone, NoFlagsIsIdentity) {
+  dpv::Context ctx;
+  const dpv::Vec<int> x{1, 2, 3};
+  const ClonePlan plan = plan_clone(ctx, dpv::Flags{0, 0, 0});
+  EXPECT_EQ(plan.out_size, 3u);
+  EXPECT_EQ(apply_clone(ctx, plan, x), x);
+}
+
+TEST(Clone, AllFlaggedDoublesEverything) {
+  dpv::Context ctx;
+  const dpv::Vec<int> x{1, 2};
+  const ClonePlan plan = plan_clone(ctx, dpv::Flags{1, 1});
+  EXPECT_EQ(apply_clone(ctx, plan, x), (dpv::Vec<int>{1, 1, 2, 2}));
+}
+
+TEST(Clone, EmptyVector) {
+  dpv::Context ctx;
+  const ClonePlan plan = plan_clone(ctx, dpv::Flags{});
+  EXPECT_EQ(plan.out_size, 0u);
+  EXPECT_TRUE(apply_clone(ctx, plan, dpv::Vec<int>{}).empty());
+}
+
+TEST(Clone, SegFlagsKeepClonesInTheirGroup) {
+  dpv::Context ctx;
+  // Two groups [a b | c d]; clone b and c.
+  const dpv::Flags cf{0, 1, 1, 0};
+  const dpv::Flags seg{1, 0, 1, 0};
+  const ClonePlan plan = plan_clone(ctx, cf);
+  const dpv::Flags out_seg = apply_clone_seg_flags(ctx, plan, seg);
+  // Layout: a b b' | c c' d -- group head lands on c, clones carry 0.
+  EXPECT_EQ(out_seg, (dpv::Flags{1, 0, 0, 1, 0, 0}));
+}
+
+TEST(Clone, MarkersIdentifyClones) {
+  dpv::Context ctx;
+  const dpv::Flags cf{1, 0, 1};
+  const ClonePlan plan = plan_clone(ctx, cf);
+  EXPECT_EQ(clone_markers(ctx, plan), (dpv::Flags{0, 1, 0, 0, 1}));
+}
+
+TEST(Clone, ParallelBackendMatchesSerial) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  const std::size_t n = 3000;
+  const std::vector<int> bits = test::random_ints(n, 2, 99);
+  dpv::Flags cf(n);
+  for (std::size_t i = 0; i < n; ++i) cf[i] = std::uint8_t(bits[i]);
+  const std::vector<int> payload = test::random_ints(n, 1 << 30, 100);
+  const ClonePlan p1 = plan_clone(serial, cf);
+  const ClonePlan p2 = plan_clone(par, cf);
+  EXPECT_EQ(p1.dest, p2.dest);
+  EXPECT_EQ(apply_clone(serial, p1, payload), apply_clone(par, p2, payload));
+}
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,67 @@
+// Duplicate deletion tests (section 4.3, Figure 18 mechanics).
+
+#include "prim/duplicate_deletion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+TEST(DupDeleteFigure18, RemovesMarkedDuplicatesFromSortedOrder) {
+  dpv::Context ctx;
+  const dpv::Vec<int> ids{1, 1, 2, 3, 3, 3, 5, 7, 7};
+  const DupDeletePlan plan = plan_duplicate_deletion(ctx, ids);
+  EXPECT_EQ(plan.keep, (dpv::Flags{1, 0, 1, 1, 0, 0, 1, 1, 0}));
+  EXPECT_EQ(plan.out_size, 5u);
+  EXPECT_EQ(apply_duplicate_deletion(ctx, plan, ids),
+            (dpv::Vec<int>{1, 2, 3, 5, 7}));
+}
+
+TEST(DupDelete, NoDuplicatesIsIdentity) {
+  dpv::Context ctx;
+  const dpv::Vec<int> ids{1, 2, 3};
+  EXPECT_EQ(delete_duplicates(ctx, ids), ids);
+}
+
+TEST(DupDelete, AllEqualCollapsesToOne) {
+  dpv::Context ctx;
+  EXPECT_EQ(delete_duplicates(ctx, dpv::Vec<int>{4, 4, 4, 4}),
+            (dpv::Vec<int>{4}));
+}
+
+TEST(DupDelete, EmptyAndSingle) {
+  dpv::Context ctx;
+  EXPECT_TRUE(delete_duplicates(ctx, dpv::Vec<int>{}).empty());
+  EXPECT_EQ(delete_duplicates(ctx, dpv::Vec<int>{9}), (dpv::Vec<int>{9}));
+}
+
+TEST(DupDelete, PayloadFollowsPlan) {
+  dpv::Context ctx;
+  const dpv::Vec<int> ids{1, 1, 2, 2, 3};
+  const dpv::Vec<char> payload{'a', 'b', 'c', 'd', 'e'};
+  const DupDeletePlan plan = plan_duplicate_deletion(ctx, ids);
+  // First occurrence's payload survives.
+  EXPECT_EQ(apply_duplicate_deletion(ctx, plan, payload),
+            (dpv::Vec<char>{'a', 'c', 'e'}));
+}
+
+TEST(DupDelete, SortedUniqueIdsPipeline) {
+  dpv::Context ctx;
+  const dpv::Vec<geom::LineId> ids{7, 3, 7, 1, 3, 3, 9, 1};
+  EXPECT_EQ(sorted_unique_ids(ctx, ids), (dpv::Vec<geom::LineId>{1, 3, 7, 9}));
+}
+
+TEST(DupDelete, ParallelMatchesSerialOnLargeInput) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  std::vector<int> ids = test::random_ints(5000, 200, 21);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(delete_duplicates(serial, ids), delete_duplicates(par, ids));
+}
+
+}  // namespace
+}  // namespace dps::prim

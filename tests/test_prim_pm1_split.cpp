@@ -1,0 +1,133 @@
+// PM1 split-determination tests (section 4.5, Figures 20-22).
+
+#include "prim/pm1_split_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// Builds a line set over the four depth-1 quadrants of an 8x8 world,
+// reproducing the four cases of Figures 20-22:
+//   node NW -- every line has exactly one endpoint inside, endpoints
+//              distinct (endpoint MBB is not a point)       -> split;
+//   node NE -- a line with both endpoints inside (max EPs 2) -> split;
+//   node SW -- a single passing line, no endpoints inside    -> no split;
+//   node SE -- three lines sharing the single vertex Z       -> no split.
+LineSet figure20_dataset(dpv::Context& ctx) {
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block nw{1, 0, 1}, ne{1, 1, 1}, sw{1, 0, 0}, se{1, 1, 0};
+  const geom::Point z{6.0, 2.0};  // the shared vertex in SE
+  ls.segs = {
+      // NW group: endpoints W=(1,5) and X=(2,6) inside, partners outside.
+      {{1.0, 5.0}, {5.0, 5.0}, 0},
+      {{2.0, 6.0}, {6.0, 6.5}, 1},
+      // NE group: both endpoints inside.
+      {{5.2, 5.2}, {6.0, 6.8}, 2},
+      // SW group: one line passing through, endpoints in NW and SE.
+      {{1.0, 4.5}, {4.5, 1.0}, 3},
+      // SE group: three lines from Z into other quadrants.
+      {z, {5.0, 6.0}, 4},
+      {z, {2.0, 3.5}, 5},
+      {z, {7.5, 5.0}, 6},
+  };
+  ls.blocks = {nw, nw, ne, sw, se, se, se};
+  ls.seg = {1, 0, 1, 1, 1, 0, 0};
+  (void)ctx;
+  return ls;
+}
+
+TEST(Pm1SplitFigures20to22, FourCasesDecideCorrectly) {
+  dpv::Context ctx;
+  const LineSet ls = figure20_dataset(ctx);
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  // Endpoint counts per line (Figure 20's EPs row).
+  EXPECT_EQ(d.eps, (dpv::Vec<int>{1, 1, 2, 0, 1, 1, 1}));
+  // Group verdicts: NW split, NE split, SW keep, SE keep.
+  EXPECT_EQ(d.group_split, (dpv::Flags{1, 1, 0, 0}));
+  // Broadcast per line.
+  EXPECT_EQ(d.elem_split, (dpv::Flags{1, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(Pm1Split, MaxMinBroadcasts) {
+  dpv::Context ctx;
+  const LineSet ls = figure20_dataset(ctx);
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  EXPECT_EQ(d.max_eps, (dpv::Vec<int>{1, 1, 2, 0, 1, 1, 1}));
+  EXPECT_EQ(d.min_eps, (dpv::Vec<int>{1, 1, 2, 0, 1, 1, 1}));
+}
+
+TEST(Pm1Split, TwoPassingLinesMustSplit) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block sw{1, 0, 0};
+  // Two q-edges passing through SW with no endpoints inside it.
+  ls.segs = {{{1.0, 4.5}, {4.5, 1.0}, 0}, {{0.5, 4.2}, {4.2, 0.5}, 1}};
+  ls.blocks = {sw, sw};
+  ls.seg = {1, 0};
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  EXPECT_EQ(d.group_split, (dpv::Flags{1}));
+}
+
+TEST(Pm1Split, VertexPlusPassingLineMustSplit) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block sw{1, 0, 0};
+  ls.segs = {{{2.0, 2.0}, {6.0, 2.0}, 0},   // endpoint (2,2) inside SW
+             {{0.5, 4.2}, {4.2, 0.5}, 1}};  // passes through
+  ls.blocks = {sw, sw};
+  ls.seg = {1, 0};
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  EXPECT_EQ(d.max_eps[0], 1);
+  EXPECT_EQ(d.min_eps[0], 0);
+  EXPECT_EQ(d.group_split, (dpv::Flags{1}));
+}
+
+TEST(Pm1Split, SharedVertexStarDoesNotSplit) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block root = geom::Block::root();
+  const geom::Point c{3.0, 3.0};
+  ls.segs = {{c, {7.0, 3.0}, 0}, {c, {3.0, 7.0}, 1}, {c, {6.5, 6.5}, 2}};
+  ls.blocks = {root, root, root};
+  ls.seg = {1, 0, 0};
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  // All lines have exactly one endpoint in the node... except both of each
+  // line's endpoints are in the root.  eps = 2 -> must split.
+  EXPECT_EQ(d.group_split, (dpv::Flags{1}));
+}
+
+TEST(Pm1Split, SharedVertexStarAtDepthDoesNotSplit) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block sw{1, 0, 0};  // [0,4) x [0,4)
+  const geom::Point c{3.0, 3.0};
+  // Far endpoints outside SW; shared vertex inside.
+  ls.segs = {{c, {7.0, 3.0}, 0}, {c, {3.0, 7.0}, 1}, {c, {6.5, 6.5}, 2}};
+  ls.blocks = {sw, sw, sw};
+  ls.seg = {1, 0, 0};
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  EXPECT_EQ(d.group_split, (dpv::Flags{0}));
+}
+
+TEST(Pm1Split, SingleLineWithOneEndpointDoesNotSplit) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block sw{1, 0, 0};
+  ls.segs = {{{2.0, 2.0}, {6.0, 6.0}, 0}};
+  ls.blocks = {sw};
+  ls.seg = {1};
+  const Pm1SplitDecision d = pm1_split_test(ctx, ls);
+  EXPECT_EQ(d.group_split, (dpv::Flags{0}));
+}
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,153 @@
+// PM-family variant tests (sections 2.1/4.5): PM1 vs PM2 vs PM3 split
+// criteria, data-parallel vs sequential rule agreement, and the
+// permissiveness hierarchy PM3 <= PM2 <= PM1 (in node counts).
+
+#include "prim/pm_split_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pm1_build.hpp"
+#include "data/mapgen.hpp"
+#include "seq/seq_pm1.hpp"
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// One node holding a configurable line set over an 8x8 world.  The default
+// block is the depth-2 cell [2,3) x [2,3), small enough that lines can pass
+// through it with both endpoints outside.
+LineSet one_node(std::vector<geom::Segment> segs,
+                 geom::Block block = geom::Block{2, 1, 1}) {
+  LineSet ls;
+  ls.world = 8.0;
+  ls.seg = dpv::Flags(segs.size(), 0);
+  if (!segs.empty()) ls.seg[0] = 1;
+  ls.blocks.assign(segs.size(), block);
+  ls.segs = std::move(segs);
+  return ls;
+}
+
+std::uint8_t decide(const LineSet& ls, PmVariant v) {
+  dpv::Context ctx;
+  const PmSplitDecision d = pm_split_test(ctx, ls, v);
+  return d.group_split.at(0);
+}
+
+TEST(PmVariants, TwoPassingLinesSharingAnOutsideVertex) {
+  // Both lines cross the cell [2,3)x[2,3) with endpoints outside it; they
+  // share the vertex w = (5,5) beyond the cell.
+  const geom::Point w{5.0, 5.0};
+  const LineSet ls =
+      one_node({{w, {0.5, 0.5}, 0}, {w, {1.4, 0.2}, 1}});
+  EXPECT_EQ(decide(ls, PmVariant::kPm1), 1);  // PM1: >1 passing line
+  EXPECT_EQ(decide(ls, PmVariant::kPm2), 0);  // PM2: common outside vertex
+  EXPECT_EQ(decide(ls, PmVariant::kPm3), 0);  // PM3: no vertex at all
+}
+
+TEST(PmVariants, TwoUnrelatedPassingLines) {
+  const LineSet ls = one_node(
+      {{{5.0, 5.0}, {0.5, 0.5}, 0}, {{0.2, 4.8}, {4.8, 0.2}, 1}});
+  EXPECT_EQ(decide(ls, PmVariant::kPm1), 1);
+  EXPECT_EQ(decide(ls, PmVariant::kPm2), 1);  // no common vertex
+  EXPECT_EQ(decide(ls, PmVariant::kPm3), 0);  // still no vertex inside
+}
+
+TEST(PmVariants, VertexPlusUnrelatedPassingLine) {
+  const LineSet ls = one_node(
+      {{{2.2, 2.2}, {6.0, 2.2}, 0},    // vertex (2.2, 2.2) inside the cell
+       {{0.2, 4.8}, {4.8, 0.2}, 1}});  // passes, not incident on it
+  EXPECT_EQ(decide(ls, PmVariant::kPm1), 1);
+  EXPECT_EQ(decide(ls, PmVariant::kPm2), 1);
+  EXPECT_EQ(decide(ls, PmVariant::kPm3), 0);  // only one vertex
+}
+
+TEST(PmVariants, VertexWithAllLinesIncident) {
+  const geom::Point v{2.2, 2.2};
+  const LineSet ls = one_node(
+      {{v, {6.0, 2.2}, 0}, {v, {2.2, 6.0}, 1}, {v, {5.5, 5.5}, 2}});
+  EXPECT_EQ(decide(ls, PmVariant::kPm1), 0);
+  EXPECT_EQ(decide(ls, PmVariant::kPm2), 0);
+  EXPECT_EQ(decide(ls, PmVariant::kPm3), 0);
+}
+
+TEST(PmVariants, TwoVerticesSplitEverywhere) {
+  const LineSet ls = one_node(
+      {{{2.1, 2.1}, {6.0, 2.0}, 0}, {{2.8, 2.5}, {2.5, 6.0}, 1}});
+  EXPECT_EQ(decide(ls, PmVariant::kPm1), 1);
+  EXPECT_EQ(decide(ls, PmVariant::kPm2), 1);
+  EXPECT_EQ(decide(ls, PmVariant::kPm3), 1);
+}
+
+TEST(PmVariants, SequentialRuleAgreesWithDataParallel) {
+  // Sweep all the node configurations above through both rule engines.
+  const std::vector<std::vector<geom::Segment>> cases = {
+      {{{5.0, 5.0}, {0.5, 0.5}, 0}, {{5.0, 5.0}, {1.4, 0.2}, 1}},
+      {{{5.0, 5.0}, {0.5, 0.5}, 0}, {{0.2, 4.8}, {4.8, 0.2}, 1}},
+      {{{2.2, 2.2}, {6.0, 2.2}, 0}, {{0.2, 4.8}, {4.8, 0.2}, 1}},
+      {{{2.2, 2.2}, {6.0, 2.2}, 0}, {{2.2, 2.2}, {2.2, 6.0}, 1}},
+      {{{2.1, 2.1}, {6.0, 2.0}, 0}, {{2.8, 2.5}, {2.5, 6.0}, 1}},
+      {{{2.1, 2.1}, {2.5, 6.0}, 0}},
+      {{{0.5, 0.5}, {5.0, 5.0}, 0}},
+  };
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const LineSet ls = one_node(cases[c]);
+    for (const auto v :
+         {PmVariant::kPm1, PmVariant::kPm2, PmVariant::kPm3}) {
+      EXPECT_EQ(decide(ls, v) != 0,
+                seq::SeqPm1::violates_rule(geom::Block{2, 1, 1}, cases[c],
+                                           8.0, v))
+          << "case " << c << " variant " << int(v);
+    }
+  }
+}
+
+TEST(PmVariants, HierarchyOfNodeCounts) {
+  // PM3 is the most permissive rule, PM1 the strictest: node counts obey
+  // PM3 <= PM2 <= PM1 on the same (planar) map.
+  dpv::Context ctx;
+  const auto lines = data::planar_roads(500, 1024.0, 17);
+  core::QuadBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 20;
+  std::size_t nodes[4] = {};
+  for (const auto v : {PmVariant::kPm1, PmVariant::kPm2, PmVariant::kPm3}) {
+    o.variant = v;
+    nodes[int(v)] = core::pm1_build(ctx, lines, o).tree.num_nodes();
+  }
+  EXPECT_LE(nodes[3], nodes[2]);
+  EXPECT_LE(nodes[2], nodes[1]);
+  EXPECT_LT(nodes[3], nodes[1]);  // strict somewhere on a road map
+}
+
+TEST(PmVariants, Pm3ToleratesCrossingSegments) {
+  dpv::Context ctx;
+  core::QuadBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 16;
+  o.variant = PmVariant::kPm3;
+  const auto lines = data::uniform_segments(300, 1024.0, 25.0, 12);
+  const core::QuadBuildResult r = core::pm1_build(ctx, lines, o);
+  EXPECT_FALSE(r.depth_limited);
+  // And it matches the sequential PM3 build exactly.
+  seq::SeqPm1 s({1024.0, 16, PmVariant::kPm3});
+  for (const auto& seg : lines) s.insert(seg);
+  EXPECT_EQ(r.tree.fingerprint(), s.fingerprint());
+}
+
+TEST(PmVariants, Pm2MatchesSequentialOnPlanarRoads) {
+  dpv::Context ctx = test::make_parallel_context();
+  core::QuadBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 20;
+  o.variant = PmVariant::kPm2;
+  const auto lines = data::planar_roads(400, 1024.0, 23);
+  const core::QuadBuildResult r = core::pm1_build(ctx, lines, o);
+  seq::SeqPm1 s({1024.0, 20, PmVariant::kPm2});
+  for (const auto& seg : lines) s.insert(seg);
+  EXPECT_EQ(r.tree.fingerprint(), s.fingerprint());
+  EXPECT_EQ(r.depth_limited, s.depth_limited());
+}
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,227 @@
+// Quadtree node-split tests (section 4.6, Figures 23-28).
+
+#include "prim/quad_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "geom/predicates.hpp"
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// Checks the structural invariants every quad_split result must satisfy:
+// groups are contiguous runs of a single block, every q-edge properly
+// intersects its block, and every (line, child-block) incidence of the
+// input is present exactly once.
+void check_split_invariants(const LineSet& before, const LineSet& after,
+                            const dpv::Flags& split) {
+  // 1. Within each group all blocks are equal; group head flags are sane.
+  ASSERT_EQ(after.segs.size(), after.blocks.size());
+  ASSERT_EQ(after.segs.size(), after.seg.size());
+  for (std::size_t i = 1; i < after.size(); ++i) {
+    if (!after.seg[i]) {
+      EXPECT_EQ(after.blocks[i], after.blocks[i - 1]) << "at " << i;
+    }
+  }
+  // 2. Membership: every q-edge properly intersects its block.
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_TRUE(geom::segment_properly_intersects_rect(
+        after.segs[i], after.blocks[i].rect(after.world)))
+        << "q-edge " << i << " not in block " << after.blocks[i].to_string();
+  }
+  // 3. Exactness: for each split input line, its q-edges afterwards are
+  // exactly the child quadrants it properly intersects.
+  std::map<std::pair<geom::LineId, std::uint64_t>, int> got;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    got[{after.segs[i].id, after.blocks[i].morton_key()}]++;
+  }
+  std::map<std::pair<geom::LineId, std::uint64_t>, int> want;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!split[i]) {
+      want[{before.segs[i].id, before.blocks[i].morton_key()}]++;
+      continue;
+    }
+    for (int q = 0; q < 4; ++q) {
+      const geom::Block cb =
+          before.blocks[i].child(static_cast<geom::Quadrant>(q));
+      if (geom::segment_properly_intersects_rect(before.segs[i],
+                                                 cb.rect(before.world))) {
+        want[{before.segs[i].id, cb.morton_key()}]++;
+      }
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+// The Figures 23-28 scenario: one node with five lines, capacity exceeded.
+TEST(QuadSplitFigures23to28, SplitsRootIntoQuadrantOrderedGroups) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  ls.segs = {
+      {{1.0, 6.5}, {3.0, 2.5}, 0},  // a: crosses the horizontal axis (W half)
+      {{3.0, 5.5}, {5.5, 3.0}, 1},  // b: crosses both axes near center
+      {{5.0, 6.0}, {7.0, 6.5}, 2},  // c: NE only
+      {{1.0, 1.0}, {3.0, 1.5}, 3},  // d: SW only
+      {{5.0, 1.5}, {7.0, 2.5}, 4},  // e: SE only
+  };
+  ls.blocks.assign(5, geom::Block::root());
+  ls.seg = {1, 0, 0, 0, 0};
+  const dpv::Flags split{1, 1, 1, 1, 1};
+
+  QuadSplitStats stats;
+  const LineSet out = quad_split(ctx, ls, split, &stats);
+  EXPECT_EQ(stats.nodes_split, 1u);
+  check_split_invariants(ls, out, split);
+
+  // a appears in NW and SW; b in NW, NE, SW and SE (through the center);
+  // c, d, e in single quadrants: 5 lines -> 9 q-edges, 4 clones.
+  EXPECT_EQ(stats.clones_made, out.size() - 5);
+  // Quadrant order NW, NE, SW, SE along the linear ordering.
+  std::vector<std::uint64_t> group_keys;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i == 0 || out.seg[i]) group_keys.push_back(out.blocks[i].morton_key());
+  }
+  const geom::Block root = geom::Block::root();
+  const std::vector<std::uint64_t> expect{
+      root.child(geom::Quadrant::kNW).morton_key(),
+      root.child(geom::Quadrant::kNE).morton_key(),
+      root.child(geom::Quadrant::kSW).morton_key(),
+      root.child(geom::Quadrant::kSE).morton_key()};
+  EXPECT_EQ(group_keys, expect);
+}
+
+TEST(QuadSplit, NonSplitGroupsPassThroughUntouched) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  const geom::Block nw{1, 0, 1}, se{1, 1, 0};
+  ls.segs = {{{1.0, 6.0}, {3.0, 7.0}, 0},   // NW, stays
+             {{5.0, 1.0}, {7.0, 3.0}, 1},   // SE, splits
+             {{4.5, 0.5}, {5.5, 1.5}, 2}};  // SE, splits
+  ls.blocks = {nw, se, se};
+  ls.seg = {1, 1, 0};
+  const dpv::Flags split{0, 1, 1};
+  QuadSplitStats stats;
+  const LineSet out = quad_split(ctx, ls, split, &stats);
+  EXPECT_EQ(stats.nodes_split, 1u);
+  check_split_invariants(ls, out, split);
+  // The NW line is still first and still at depth 1.
+  EXPECT_EQ(out.segs[0].id, 0u);
+  EXPECT_EQ(out.blocks[0], nw);
+}
+
+TEST(QuadSplit, LineOnSplitAxisGoesToBothSides) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  // Lies exactly on the horizontal center line of the root.
+  ls.segs = {{{1.0, 4.0}, {3.0, 4.0}, 0}};
+  ls.blocks = {geom::Block::root()};
+  ls.seg = {1};
+  const dpv::Flags split{1};
+  const LineSet out = quad_split(ctx, ls, split, nullptr);
+  // Present in NW and SW (closed-halves), i.e. two q-edges.
+  EXPECT_EQ(out.size(), 2u);
+  check_split_invariants(ls, out, split);
+}
+
+TEST(QuadSplit, EmptyQuadrantsProduceNoGroups) {
+  dpv::Context ctx;
+  LineSet ls;
+  ls.world = 8.0;
+  ls.segs = {{{1.0, 6.0}, {2.0, 7.0}, 0}};  // strictly inside NW
+  ls.blocks = {geom::Block::root()};
+  ls.seg = {1};
+  const dpv::Flags split{1};
+  const LineSet out = quad_split(ctx, ls, split, nullptr);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(dpv::num_segments(out.seg), 1u);
+  EXPECT_EQ(out.blocks[0], geom::Block::root().child(geom::Quadrant::kNW));
+}
+
+TEST(QuadSplit, ManyNodesSplitSimultaneously) {
+  dpv::Context ctx = test::make_parallel_context();
+  LineSet ls;
+  ls.world = 16.0;
+  // Two depth-1 nodes each with lines crossing their own centers.
+  const geom::Block sw{1, 0, 0}, ne{1, 1, 1};
+  ls.segs = {{{2.0, 2.0}, {6.0, 6.0}, 0},    // SW, through its center (4,4)
+             {{1.0, 3.0}, {3.0, 3.0}, 1},    // SW, lower-left region
+             {{10.0, 10.0}, {14.0, 14.0}, 2},  // NE, through its center
+             {{13.0, 9.0}, {15.0, 11.0}, 3}};  // NE, east half
+  ls.blocks = {sw, sw, ne, ne};
+  ls.seg = {1, 0, 1, 0};
+  const dpv::Flags split{1, 1, 1, 1};
+  QuadSplitStats stats;
+  const LineSet out = quad_split(ctx, ls, split, &stats);
+  EXPECT_EQ(stats.nodes_split, 2u);
+  check_split_invariants(ls, out, split);
+}
+
+// Randomized sweep: the split invariants must hold for arbitrary line sets
+// at arbitrary depths, serial and parallel.
+struct SplitSweepCase {
+  std::size_t n;
+  std::uint64_t seed;
+  bool parallel;
+  bool split_all;
+};
+
+class QuadSplitSweep : public ::testing::TestWithParam<SplitSweepCase> {};
+
+TEST_P(QuadSplitSweep, InvariantsHold) {
+  const SplitSweepCase& c = GetParam();
+  dpv::Context ctx = c.parallel ? test::make_parallel_context()
+                                : dpv::Context{};
+  // Build a line set over the four depth-1 quadrants of a 64-world: each
+  // segment is assigned to every quadrant it properly intersects.
+  const double world = 64.0;
+  std::mt19937_64 rng(c.seed);
+  std::uniform_real_distribution<double> pos(0.5, 63.5);
+  LineSet ls;
+  ls.world = world;
+  for (std::uint32_t qx = 0; qx < 2; ++qx) {
+    for (std::uint32_t qy = 0; qy < 2; ++qy) {
+      const geom::Block b{1, qx, qy};
+      const geom::Rect r = b.rect(world);
+      bool head = true;
+      for (std::size_t i = 0; i < c.n; ++i) {
+        const geom::Segment s{{pos(rng), pos(rng)},
+                              {pos(rng), pos(rng)},
+                              static_cast<geom::LineId>(i)};
+        if (!geom::segment_properly_intersects_rect(s, r)) continue;
+        ls.segs.push_back(s);
+        ls.blocks.push_back(b);
+        ls.seg.push_back(head ? 1 : 0);
+        head = false;
+      }
+    }
+  }
+  if (ls.size() == 0) return;
+  dpv::Flags split(ls.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    // Split either everything or only the groups in the west quadrants;
+    // the flag must be group-constant.
+    split[i] = c.split_all || ls.blocks[i].ix == 0;
+  }
+  QuadSplitStats stats;
+  const LineSet out = quad_split(ctx, ls, split, &stats);
+  check_split_invariants(ls, out, split);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, QuadSplitSweep,
+    ::testing::Values(SplitSweepCase{10, 1, false, true},
+                      SplitSweepCase{10, 2, true, true},
+                      SplitSweepCase{60, 3, false, false},
+                      SplitSweepCase{60, 4, true, false},
+                      SplitSweepCase{250, 5, false, true},
+                      SplitSweepCase{250, 6, true, false}));
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,176 @@
+// R-tree split-selection tests (section 4.7, Figures 6 and 29).
+
+#include "prim/rtree_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dpv/dpv.hpp"
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// Figure 29's four boxes A-D, sorted by left edge: x extents
+// A=[10,30] B=[20,50] C=[40,70] D=[60,80].  The y extents separate the
+// pairs so the minimal-overlap cut falls between B and C.
+dpv::Vec<geom::Rect> figure29_boxes() {
+  return {{10, 0, 30, 4}, {20, 0, 50, 4}, {40, 6, 70, 10}, {60, 6, 80, 10}};
+}
+
+TEST(RtreeSplitFigure29, PrefixSuffixScansProduceTheFigureRows) {
+  dpv::Context ctx;
+  const dpv::Vec<geom::Rect> boxes = figure29_boxes();
+  dpv::Vec<double> ls = dpv::map(ctx, boxes, [](const geom::Rect& b) {
+    return b.xmin;
+  });
+  dpv::Vec<double> rs = dpv::map(ctx, boxes, [](const geom::Rect& b) {
+    return b.xmax;
+  });
+  // L Bbox left side: upward min inclusive scan of ls = [10 10 10 10].
+  EXPECT_EQ(dpv::scan(ctx, dpv::Min<double>{}, ls),
+            (dpv::Vec<double>{10, 10, 10, 10}));
+  // L Bbox right side: upward max inclusive scan of rs = [30 50 70 80].
+  EXPECT_EQ(dpv::scan(ctx, dpv::Max<double>{}, rs),
+            (dpv::Vec<double>{30, 50, 70, 80}));
+  // R Bbox left side: downward min exclusive scan of ls = [20 40 60 inf].
+  const dpv::Vec<double> rleft =
+      dpv::scan(ctx, dpv::Min<double>{}, ls, dpv::Dir::kDown,
+                dpv::Incl::kExclusive);
+  EXPECT_EQ(rleft[0], 20);
+  EXPECT_EQ(rleft[1], 40);
+  EXPECT_EQ(rleft[2], 60);
+  // R Bbox right side: downward max exclusive scan of rs = [80 80 80 -inf].
+  const dpv::Vec<double> rright =
+      dpv::scan(ctx, dpv::Max<double>{}, rs, dpv::Dir::kDown,
+                dpv::Incl::kExclusive);
+  EXPECT_EQ(rright[0], 80);
+  EXPECT_EQ(rright[1], 80);
+  EXPECT_EQ(rright[2], 80);
+  // Figure 29's example row for node B: L Bbox = [10, 50], R Bbox = [40, 80].
+}
+
+TEST(RtreeSplitSweep, PicksMinimalOverlapCut) {
+  dpv::Context ctx;
+  const dpv::Vec<geom::Rect> boxes = figure29_boxes();
+  const dpv::Flags seg{1, 0, 0, 0};
+  const dpv::Flags overflow{1, 1, 1, 1};
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, /*m=*/1,
+                                         /*M=*/3, RtreeSplitAlgo::kSweep);
+  // {A,B} vs {C,D}: the y-separation makes that cut's overlap zero.
+  EXPECT_EQ(r.side, (dpv::Flags{0, 0, 1, 1}));
+  ASSERT_EQ(r.group_overlap.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.group_overlap[0], 0.0);
+}
+
+TEST(RtreeSplitMean, SplitsAtTheMidpointMean) {
+  dpv::Context ctx;
+  const dpv::Vec<geom::Rect> boxes = figure29_boxes();
+  const dpv::Flags seg{1, 0, 0, 0};
+  const dpv::Flags overflow{1, 1, 1, 1};
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 1, 3,
+                                         RtreeSplitAlgo::kMean);
+  // Midpoints 20,35,55,70; mean 45: A,B left, C,D right (x axis); the
+  // y axis gives the same partition; either way the sides match.
+  EXPECT_EQ(r.side, (dpv::Flags{0, 0, 1, 1}));
+}
+
+TEST(RtreeSplitMean, DegenerateGeometryFallsBackToRankSplit) {
+  dpv::Context ctx;
+  // All boxes identical: means equal midpoints, both axes invalid.
+  const dpv::Vec<geom::Rect> boxes(4, geom::Rect{1, 1, 2, 2});
+  const dpv::Flags seg{1, 0, 0, 0};
+  const dpv::Flags overflow{1, 1, 1, 1};
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 1, 3,
+                                         RtreeSplitAlgo::kMean);
+  // Balanced rank split: both sides non-empty.
+  int left = 0, right = 0;
+  for (const auto s : r.side) (s ? right : left)++;
+  EXPECT_EQ(left, 2);
+  EXPECT_EQ(right, 2);
+}
+
+TEST(RtreeSplit, OnlyOverflowingGroupsAreTouched) {
+  dpv::Context ctx;
+  dpv::Vec<geom::Rect> boxes = figure29_boxes();
+  boxes.push_back({0, 0, 1, 1});
+  boxes.push_back({2, 2, 3, 3});
+  const dpv::Flags seg{1, 0, 0, 0, 1, 0};
+  const dpv::Flags overflow{1, 1, 1, 1, 0, 0};
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 1, 3,
+                                         RtreeSplitAlgo::kSweep);
+  EXPECT_EQ(r.side[4], 0);
+  EXPECT_EQ(r.side[5], 0);
+}
+
+TEST(RtreeSplitSweep, RespectsMinimumSideFraction) {
+  dpv::Context ctx;
+  // Nine collinear boxes; with m=2, M=4 each side must get >= 9*2/4 = 4.
+  dpv::Vec<geom::Rect> boxes;
+  for (int i = 0; i < 9; ++i) {
+    boxes.push_back({i * 10.0, 0, i * 10.0 + 5, 5});
+  }
+  const dpv::Flags seg = dpv::Flags{1, 0, 0, 0, 0, 0, 0, 0, 0};
+  const dpv::Flags overflow(9, 1);
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 2, 4,
+                                         RtreeSplitAlgo::kSweep);
+  int left = 0, right = 0;
+  for (const auto s : r.side) (s ? right : left)++;
+  EXPECT_GE(left, 4);
+  EXPECT_GE(right, 4);
+}
+
+TEST(RtreeSplit, MultipleGroupsSplitSimultaneously) {
+  dpv::Context ctx = test::make_parallel_context();
+  // Group 1: Figure 29's boxes (x-separable).  Group 2: boxes whose x-order
+  // interleaves the two y-clusters, so only the y-axis sweep finds the
+  // zero-overlap cut {b0, b2} | {b1, b3}.
+  dpv::Vec<geom::Rect> boxes = figure29_boxes();
+  boxes.push_back({0, 0, 100, 4});
+  boxes.push_back({1, 10, 101, 14});
+  boxes.push_back({2, 2, 102, 6});
+  boxes.push_back({3, 12, 103, 16});
+  dpv::Flags seg(8, 0);
+  seg[0] = seg[4] = 1;
+  const dpv::Flags overflow(8, 1);
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 1, 3,
+                                         RtreeSplitAlgo::kSweep);
+  EXPECT_EQ(r.side, (dpv::Flags{0, 0, 1, 1, 0, 1, 0, 1}));
+  ASSERT_EQ(r.group_axis.size(), 2u);
+  EXPECT_EQ(r.group_axis[0], 0);  // x split for Figure 29's boxes
+  EXPECT_EQ(r.group_axis[1], 1);  // y split for the interleaved group
+  ASSERT_EQ(r.group_overlap.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.group_overlap[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.group_overlap[1], 0.0);
+}
+
+// Figure 6: splits are judged by two different goals -- total covering
+// area (coverage) and area common to both nodes (overlap).  We verify both
+// metrics are computed as the figure defines them on a concrete partition,
+// and that they genuinely measure different things (equal coverage,
+// different overlap).
+TEST(RtreeSplitFigure6, CoverageAndOverlapMeasureDifferentGoals) {
+  // Two long bars stacked with a 0.2 vertical overlap, split either by row
+  // or by column.
+  const geom::Rect a{0, 0, 10, 1}, b{10, 0, 20, 1};
+  const geom::Rect c{0, 0.8, 10, 1.8}, d{10, 0.8, 20, 1.8};
+  // Row split {a,b} | {c,d}: coverage 2 x 20, overlap 20 x 0.2.
+  const geom::Rect row_lo = a.united(b), row_hi = c.united(d);
+  EXPECT_DOUBLE_EQ(row_lo.area() + row_hi.area(), 40.0);
+  EXPECT_DOUBLE_EQ(row_lo.overlap_area(row_hi), 4.0);
+  // Column split {a,c} | {b,d}: coverage 2 x 18, zero overlap.
+  const geom::Rect col_l = a.united(c), col_r = b.united(d);
+  EXPECT_DOUBLE_EQ(col_l.area() + col_r.area(), 36.0);
+  EXPECT_DOUBLE_EQ(col_l.overlap_area(col_r), 0.0);
+  // The section 4.7 sweep chooses by overlap: it must take the column cut.
+  dpv::Context ctx;
+  const dpv::Vec<geom::Rect> boxes{a, b, c, d};
+  const dpv::Flags seg{1, 0, 0, 0};
+  const dpv::Flags overflow{1, 1, 1, 1};
+  const RtreeSplitResult r = rtree_split(ctx, boxes, seg, overflow, 1, 3,
+                                         RtreeSplitAlgo::kSweep);
+  EXPECT_EQ(r.side, (dpv::Flags{0, 1, 0, 1}));
+  EXPECT_DOUBLE_EQ(r.group_overlap[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,79 @@
+// Unshuffle primitive tests (section 4.2, Figures 15/16 mechanics).
+
+#include "prim/unshuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dps::prim {
+namespace {
+
+// Figure 15/16: interleaved a/b types separate stably.
+TEST(UnshuffleFigure16, SeparatesTwoTypesStably) {
+  dpv::Context ctx;
+  // x:    a1 b1 a2 b2 b3 a3  (side 1 = 'b' moves right)
+  const dpv::Vec<int> x{101, 201, 102, 202, 203, 103};
+  const dpv::Flags side{0, 1, 0, 1, 1, 0};
+  const UnshufflePlan plan = plan_unshuffle(ctx, side);
+  EXPECT_EQ(apply_unshuffle(ctx, plan, x),
+            (dpv::Vec<int>{101, 102, 103, 201, 202, 203}));
+  EXPECT_EQ(plan.new_seg, (dpv::Flags{1, 0, 0, 1, 0, 0}));
+}
+
+TEST(Unshuffle, UniformSideKeepsSingleGroup) {
+  dpv::Context ctx;
+  const dpv::Flags side{0, 0, 0};
+  const UnshufflePlan plan = plan_unshuffle(ctx, side);
+  EXPECT_EQ(plan.dest, (dpv::Index{0, 1, 2}));
+  EXPECT_EQ(plan.new_seg, (dpv::Flags{1, 0, 0}));
+}
+
+TEST(SegUnshuffle, PartitionsEachGroupAndAddsBoundaryHeads) {
+  dpv::Context ctx;
+  // Groups: [x1 y1 x2 | y2 y3 | x3]   (y = side 1)
+  const dpv::Flags side{0, 1, 0, 1, 1, 0};
+  const dpv::Flags seg{1, 0, 0, 1, 0, 1};
+  const UnshufflePlan plan = plan_seg_unshuffle(ctx, side, seg);
+  const dpv::Vec<int> x{1, -1, 2, -2, -3, 3};
+  EXPECT_EQ(apply_unshuffle(ctx, plan, x),
+            (dpv::Vec<int>{1, 2, -1, -2, -3, 3}));
+  // Group 1 splits at its 0|1 boundary (position 2); groups 2 and 3 are
+  // uniform and keep single heads.
+  EXPECT_EQ(plan.new_seg, (dpv::Flags{1, 0, 1, 1, 0, 1}));
+}
+
+TEST(SegUnshuffle, AllOnesGroupGetsNoBoundary) {
+  dpv::Context ctx;
+  const dpv::Flags side{1, 1, 1};
+  const dpv::Flags seg{1, 0, 0};
+  const UnshufflePlan plan = plan_seg_unshuffle(ctx, side, seg);
+  EXPECT_EQ(plan.dest, (dpv::Index{0, 1, 2}));
+  EXPECT_EQ(plan.new_seg, (dpv::Flags{1, 0, 0}));
+}
+
+TEST(SegUnshuffle, SingleElementGroups) {
+  dpv::Context ctx;
+  const dpv::Flags side{1, 0, 1};
+  const dpv::Flags seg{1, 1, 1};
+  const UnshufflePlan plan = plan_seg_unshuffle(ctx, side, seg);
+  EXPECT_EQ(plan.dest, (dpv::Index{0, 1, 2}));
+  EXPECT_EQ(plan.new_seg, (dpv::Flags{1, 1, 1}));
+}
+
+TEST(SegUnshuffle, ParallelBackendMatchesSerial) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  const std::size_t n = 2000;
+  const std::vector<int> bits = test::random_ints(n, 2, 5);
+  dpv::Flags side(n);
+  for (std::size_t i = 0; i < n; ++i) side[i] = std::uint8_t(bits[i]);
+  const dpv::Flags seg = test::random_flags(n, 16, 6);
+  const UnshufflePlan p1 = plan_seg_unshuffle(serial, side, seg);
+  const UnshufflePlan p2 = plan_seg_unshuffle(par, side, seg);
+  EXPECT_EQ(p1.dest, p2.dest);
+  EXPECT_EQ(p1.new_seg, p2.new_seg);
+}
+
+}  // namespace
+}  // namespace dps::prim

@@ -1,0 +1,125 @@
+// Property-based cross-validation sweeps: the data-parallel builds against
+// the sequential baselines and against brute-force queries, across
+// generators, sizes, seeds and backends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/core.hpp"
+#include "data/data.hpp"
+#include "geom/predicates.hpp"
+#include "seq/seq.hpp"
+#include "test_util.hpp"
+
+namespace dps {
+namespace {
+
+struct MapCase {
+  const char* generator;
+  std::size_t n;
+  std::uint64_t seed;
+  bool parallel;
+};
+
+std::vector<geom::Segment> make_map(const MapCase& c, double world) {
+  const std::string g = c.generator;
+  if (g == "uniform") return data::uniform_segments(c.n, world, 15.0, c.seed);
+  if (g == "roads") return data::hierarchical_roads(c.n, world, c.seed);
+  if (g == "clustered") {
+    return data::clustered_segments(c.n, 5, world / 30.0, world, 10.0, c.seed);
+  }
+  std::size_t side = 1;
+  while ((side + 1) * (side + 1) * 2 < c.n) ++side;
+  return data::road_grid(side, side, world, world / 200.0, c.seed);
+}
+
+class CrossValidate : public ::testing::TestWithParam<MapCase> {
+ protected:
+  static constexpr double kWorld = 1024.0;
+  dpv::Context ctx() const {
+    return GetParam().parallel ? test::make_parallel_context()
+                               : dpv::Context{};
+  }
+};
+
+// The PM1 decomposition is unique: the data-parallel build must equal the
+// sequential one-at-a-time build exactly.
+TEST_P(CrossValidate, Pm1MatchesSequential) {
+  auto lines = make_map(GetParam(), kWorld);
+  core::QuadBuildOptions o;
+  o.world = kWorld;
+  o.max_depth = 16;
+  dpv::Context c = ctx();
+  const core::QuadBuildResult par = core::pm1_build(c, lines, o);
+  seq::SeqPm1 s({kWorld, 16});
+  for (const auto& seg : lines) s.insert(seg);
+  EXPECT_EQ(par.tree.fingerprint(), s.fingerprint());
+  EXPECT_EQ(par.depth_limited, s.depth_limited());
+}
+
+// Bucket PMR invariants: capacity respected above the cap, q-edges cover
+// every line, and window queries equal brute force.
+TEST_P(CrossValidate, PmrInvariantsAndQueries) {
+  const auto lines = make_map(GetParam(), kWorld);
+  core::PmrBuildOptions o;
+  o.world = kWorld;
+  o.max_depth = 14;
+  o.bucket_capacity = 6;
+  dpv::Context c = ctx();
+  const core::QuadBuildResult r = core::pmr_build(c, lines, o);
+  for (const auto& nd : r.tree.nodes()) {
+    if (nd.is_leaf && nd.block.depth < o.max_depth) {
+      EXPECT_LE(nd.num_edges, o.bucket_capacity);
+    }
+  }
+  // Spot-check three windows against brute force.
+  for (int i = 0; i < 3; ++i) {
+    const double x = 100.0 + 250.0 * i, y = 700.0 - 200.0 * i;
+    const geom::Rect w{x, y, x + 120.0, y + 90.0};
+    std::vector<geom::LineId> expect;
+    for (const auto& s : lines) {
+      if (geom::segment_intersects_rect(s, w)) expect.push_back(s.id);
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(core::window_query(r.tree, w), expect) << "window " << i;
+  }
+}
+
+// R-tree structural invariants hold for both split algorithms.
+TEST_P(CrossValidate, RtreeValidates) {
+  const auto lines = make_map(GetParam(), kWorld);
+  dpv::Context c = ctx();
+  for (const auto algo :
+       {prim::RtreeSplitAlgo::kSweep, prim::RtreeSplitAlgo::kMean}) {
+    core::RtreeBuildOptions o;
+    o.m = 2;
+    o.M = 8;
+    o.split = algo;
+    const core::RtreeBuildResult r = core::rtree_build(c, lines, o);
+    ASSERT_EQ(r.tree.validate(), "") << "algo " << int(algo);
+    EXPECT_EQ(r.tree.entries().size(), lines.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Maps, CrossValidate,
+    ::testing::Values(MapCase{"uniform", 60, 1, false},
+                      MapCase{"uniform", 300, 2, false},
+                      MapCase{"uniform", 300, 3, true},
+                      MapCase{"roads", 250, 4, false},
+                      MapCase{"roads", 250, 5, true},
+                      MapCase{"clustered", 200, 6, false},
+                      MapCase{"clustered", 400, 7, true},
+                      MapCase{"grid", 200, 8, false},
+                      MapCase{"grid", 450, 9, true}),
+    [](const ::testing::TestParamInfo<MapCase>& info) {
+      return std::string(info.param.generator) +
+             std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed) +
+             (info.param.parallel ? "_par" : "_ser");
+    });
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,100 @@
+// QuadTree assembly and accessor tests (the structure shared by the PM and
+// bucket PMR builds).
+
+#include "core/quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/pmr_build.hpp"
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::core {
+namespace {
+
+QuadTree canonical_tree() {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = data::kCanonicalWorld;
+  o.max_depth = data::kCanonicalMaxDepth;
+  o.bucket_capacity = 2;
+  return pmr_build(ctx, data::canonical_dataset(), o).tree;
+}
+
+TEST(QuadTreeStructure, RootAndChildLinksAreConsistent) {
+  const QuadTree t = canonical_tree();
+  EXPECT_EQ(t.root().block, geom::Block::root());
+  std::set<std::int32_t> seen{0};
+  for (std::size_t i = 0; i < t.num_nodes(); ++i) {
+    const QuadTree::Node& nd = t.nodes()[i];
+    for (int q = 0; q < 4; ++q) {
+      const std::int32_t c = nd.child[q];
+      if (c == QuadTree::kNoChild) continue;
+      EXPECT_FALSE(nd.is_leaf) << "leaf with children at " << i;
+      EXPECT_TRUE(seen.insert(c).second) << "node " << c << " linked twice";
+      // The child covers the right quadrant.
+      EXPECT_EQ(t.nodes()[c].block,
+                nd.block.child(static_cast<geom::Quadrant>(q)));
+    }
+  }
+  EXPECT_EQ(seen.size(), t.num_nodes()) << "orphan nodes exist";
+}
+
+TEST(QuadTreeStructure, LeafEdgeRangesPartitionTheEdgeArray) {
+  const QuadTree t = canonical_tree();
+  std::size_t covered = 0;
+  for (const auto& nd : t.nodes()) {
+    if (!nd.is_leaf) {
+      EXPECT_EQ(nd.num_edges, 0u);
+      continue;
+    }
+    covered += nd.num_edges;
+    EXPECT_LE(nd.first_edge + nd.num_edges, t.edges().size());
+    const auto [first, last] = t.leaf_edges(nd);
+    EXPECT_EQ(static_cast<std::size_t>(last - first), nd.num_edges);
+  }
+  EXPECT_EQ(covered, t.edges().size());
+  EXPECT_EQ(covered, t.num_qedges());
+}
+
+TEST(QuadTreeStructure, StatsAndAscii) {
+  const QuadTree t = canonical_tree();
+  EXPECT_EQ(t.height(), data::kCanonicalMaxDepth);
+  EXPECT_GT(t.num_leaves(), 4u);
+  EXPECT_GE(t.max_leaf_occupancy(), 2u);
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("leaf"), std::string::npos);
+  // Every non-empty leaf appears in the rendering.
+  EXPECT_GE(std::count(ascii.begin(), ascii.end(), '\n'),
+            static_cast<std::ptrdiff_t>(t.num_leaves()));
+}
+
+TEST(QuadTreeStructure, FingerprintDistinguishesTrees) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 4;
+  const auto a = data::uniform_segments(100, o.world, 20.0, 1);
+  const auto b = data::uniform_segments(100, o.world, 20.0, 2);
+  const std::string fa = pmr_build(ctx, a, o).tree.fingerprint();
+  const std::string fb = pmr_build(ctx, b, o).tree.fingerprint();
+  EXPECT_NE(fa, fb);
+  EXPECT_EQ(fa, pmr_build(ctx, a, o).tree.fingerprint());
+}
+
+TEST(QuadTreeStructure, EmptyTreeHasSingleRootLeaf) {
+  dpv::Context ctx;
+  const QuadTree t = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.root().is_leaf);
+  EXPECT_EQ(t.num_qedges(), 0u);
+  EXPECT_EQ(t.num_leaves(), 0u);  // counts non-empty leaves
+  EXPECT_EQ(t.height(), 0);
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,131 @@
+// Window / point query tests over all three structures, cross-checked
+// against brute force.
+
+#include "core/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pm1_build.hpp"
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+namespace {
+
+std::vector<geom::LineId> brute_force_window(
+    const std::vector<geom::Segment>& lines, const geom::Rect& w) {
+  std::vector<geom::LineId> out;
+  for (const auto& s : lines) {
+    if (geom::segment_intersects_rect(s, w)) out.push_back(s.id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+struct Built {
+  std::vector<geom::Segment> lines;
+  QuadTree pmr;
+  QuadTree pm1;
+  RTree rtree;
+};
+
+Built build_all(std::size_t n, std::uint64_t seed) {
+  dpv::Context ctx;
+  Built b;
+  b.lines = data::uniform_segments(n, 1024.0, 20.0, seed);
+  PmrBuildOptions po;
+  po.world = 1024.0;
+  po.max_depth = 12;
+  po.bucket_capacity = 6;
+  b.pmr = pmr_build(ctx, b.lines, po).tree;
+  QuadBuildOptions qo;
+  qo.world = 1024.0;
+  qo.max_depth = 14;
+  b.pm1 = pm1_build(ctx, b.lines, qo).tree;
+  RtreeBuildOptions ro;
+  b.rtree = rtree_build(ctx, b.lines, ro).tree;
+  return b;
+}
+
+TEST(WindowQuery, MatchesBruteForceOnAllStructures) {
+  const Built b = build_all(250, 71);
+  const geom::Rect windows[] = {{0, 0, 1024, 1024},
+                                {100, 100, 300, 250},
+                                {512, 512, 513, 513},
+                                {900, 0, 1024, 80},
+                                {-50, -50, -1, -1}};
+  for (const auto& w : windows) {
+    const auto expect = brute_force_window(b.lines, w);
+    EXPECT_EQ(window_query(b.pmr, w), expect) << "pmr window";
+    EXPECT_EQ(window_query(b.pm1, w), expect) << "pm1 window";
+    EXPECT_EQ(window_query(b.rtree, w), expect) << "rtree window";
+  }
+}
+
+TEST(WindowQuery, EmptyTree) {
+  dpv::Context ctx;
+  const QuadTree t = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  EXPECT_TRUE(window_query(t, geom::Rect{0, 0, 1, 1}).empty());
+}
+
+TEST(PointQuery, FindsLinesThroughPoint) {
+  const Built b = build_all(150, 73);
+  // Probe actual segment endpoints and midpoints.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const geom::Segment& s = b.lines[i * 7];
+    for (const geom::Point p : {s.a, s.mid()}) {
+      const auto pm1_hits = point_query(b.pm1, p);
+      const auto pmr_hits = point_query(b.pmr, p);
+      const auto rt_hits = point_query(b.rtree, p);
+      EXPECT_TRUE(std::binary_search(pm1_hits.begin(), pm1_hits.end(), s.id));
+      EXPECT_TRUE(std::binary_search(pmr_hits.begin(), pmr_hits.end(), s.id));
+      EXPECT_TRUE(std::binary_search(rt_hits.begin(), rt_hits.end(), s.id));
+      EXPECT_EQ(pm1_hits, pmr_hits);
+      EXPECT_EQ(pm1_hits, rt_hits);
+    }
+  }
+}
+
+TEST(PointQuery, MissReturnsEmpty) {
+  const Built b = build_all(50, 79);
+  // A point far from everything (generators keep a margin).
+  EXPECT_TRUE(point_query(b.pmr, geom::Point{1023.9999, 0.00001}).empty());
+}
+
+TEST(QueryStats, DisjointQuadtreeVisitsFewerDeadNodesThanRtree) {
+  // The section 1 motivation: R-tree nodes overlap, so point queries may
+  // probe several subtrees; the disjoint quadtree descends one path per
+  // covered region.  Compare candidate segments tested for tiny windows.
+  const Built b = build_all(600, 83);
+  std::size_t rtree_tested = 0, pmr_tested = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 20.0 + i * 19.0, y = 1000.0 - i * 19.0;
+    const geom::Rect w{x, y, x + 2.0, y + 2.0};
+    QueryStats rs, qs;
+    window_query(b.rtree, w, &rs);
+    window_query(b.pmr, w, &qs);
+    rtree_tested += rs.segments_tested;
+    pmr_tested += qs.segments_tested;
+  }
+  EXPECT_GT(rtree_tested, 0u);
+  EXPECT_GT(pmr_tested, 0u);
+}
+
+TEST(QueryStats, CountsNodesVisited) {
+  const Built b = build_all(200, 89);
+  QueryStats st;
+  window_query(b.pmr, geom::Rect{0, 0, 10, 10}, &st);
+  EXPECT_GE(st.nodes_visited, 1u);
+  QueryStats all;
+  window_query(b.pmr, geom::Rect{0, 0, 1024, 1024}, &all);
+  EXPECT_GT(all.nodes_visited, st.nodes_visited);
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,137 @@
+// Linear region quadtree tests: canonical minimal decompositions,
+// color lookup round-trips, rasterization.
+
+#include "core/region_quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+TEST(RegionQuadTree, UniformRasterCollapsesToOneLeaf) {
+  dpv::Context ctx;
+  for (const std::uint8_t color : {0, 1}) {
+    const std::vector<std::uint8_t> raster(16 * 16, color);
+    const RegionBuildResult r = region_build(ctx, raster, 4);
+    EXPECT_EQ(r.tree.num_leaves(), 1u);
+    EXPECT_EQ(r.tree.leaves()[0].block, geom::Block::root());
+    EXPECT_EQ(r.tree.leaves()[0].color, color);
+    EXPECT_EQ(r.rounds, 4u);
+  }
+}
+
+TEST(RegionQuadTree, CheckerboardNeverMerges) {
+  dpv::Context ctx;
+  const std::size_t side = 8;
+  std::vector<std::uint8_t> raster(side * side);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      raster[y * side + x] = static_cast<std::uint8_t>((x + y) % 2);
+    }
+  }
+  const RegionBuildResult r = region_build(ctx, raster, 3);
+  EXPECT_EQ(r.tree.num_leaves(), side * side);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(RegionQuadTree, QuadrantPatternMergesPerQuadrant) {
+  dpv::Context ctx;
+  // NW quadrant black, everything else white: 1 + 3 leaves... the three
+  // white quadrants cannot merge without the black one, so 4 leaves.
+  const std::size_t side = 16;
+  std::vector<std::uint8_t> raster(side * side, 0);
+  for (std::size_t y = side / 2; y < side; ++y) {
+    for (std::size_t x = 0; x < side / 2; ++x) raster[y * side + x] = 1;
+  }
+  const RegionBuildResult r = region_build(ctx, raster, 4);
+  EXPECT_EQ(r.tree.num_leaves(), 4u);
+  EXPECT_TRUE(r.tree.is_minimal());
+  EXPECT_EQ(r.tree.count_color(1), 1u);
+}
+
+TEST(RegionQuadTree, ColorLookupRoundTripsOnRandomRasters) {
+  dpv::Context ctx;
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int order = 5;
+    const std::size_t side = 1u << order;
+    std::vector<std::uint8_t> raster(side * side);
+    // Blocky random data so merging actually happens.
+    for (std::size_t y = 0; y < side; ++y) {
+      for (std::size_t x = 0; x < side; ++x) {
+        raster[y * side + x] =
+            static_cast<std::uint8_t>(((x / 8) ^ (y / 8) ^ trial) & 1);
+      }
+    }
+    // Sprinkle noise.
+    for (int i = 0; i < 20; ++i) {
+      raster[rng() % raster.size()] ^= 1;
+    }
+    const RegionBuildResult r = region_build(ctx, raster, order);
+    EXPECT_TRUE(r.tree.is_minimal());
+    EXPECT_LT(r.tree.num_leaves(), raster.size());
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        ASSERT_EQ(r.tree.color_at(x, y), raster[y * side + x])
+            << "(" << x << "," << y << ") trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(RegionQuadTree, ParallelBackendMatchesSerial) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  const int order = 6;
+  const std::size_t side = 1u << order;
+  std::vector<std::uint8_t> raster(side * side);
+  for (std::size_t i = 0; i < raster.size(); ++i) {
+    raster[i] = static_cast<std::uint8_t>((i * 2654435761u >> 13) & 1);
+  }
+  const RegionBuildResult a = region_build(serial, raster, order);
+  const RegionBuildResult b = region_build(par, raster, order);
+  ASSERT_EQ(a.tree.num_leaves(), b.tree.num_leaves());
+  for (std::size_t i = 0; i < a.tree.num_leaves(); ++i) {
+    EXPECT_EQ(a.tree.leaves()[i].block, b.tree.leaves()[i].block);
+    EXPECT_EQ(a.tree.leaves()[i].color, b.tree.leaves()[i].color);
+  }
+}
+
+TEST(Rasterize, MarksEveryCellALinePassesThrough) {
+  const int order = 4;  // 16 x 16 over world 16: unit cells
+  const double world = 16.0;
+  const std::vector<geom::Segment> lines{{{0.5, 0.5}, {15.5, 0.5}, 0},
+                                         {{3.5, 1.2}, {3.5, 14.8}, 1},
+                                         {{1.2, 2.1}, {14.3, 13.2}, 2}};
+  const auto raster = rasterize_segments(lines, order, world);
+  // Horizontal line: the entire bottom row.
+  for (std::size_t x = 0; x < 16; ++x) EXPECT_EQ(raster[0 * 16 + x], 1u);
+  // Vertical line: column 3 from row 1 to 14.
+  for (std::size_t y = 1; y <= 14; ++y) EXPECT_EQ(raster[y * 16 + 3], 1u);
+  // Diagonal: start and end cells marked, path connected (8-ish cells).
+  EXPECT_EQ(raster[2 * 16 + 1], 1u);
+  EXPECT_EQ(raster[13 * 16 + 14], 1u);
+}
+
+TEST(Rasterize, RegionTreeOfAMapCompresses) {
+  dpv::Context ctx;
+  const auto lines = data::planar_roads(300, 1024.0, 71);
+  const int order = 7;  // 128 x 128
+  const auto raster = rasterize_segments(lines, order, 1024.0);
+  const RegionBuildResult r = region_build(ctx, raster, order);
+  EXPECT_TRUE(r.tree.is_minimal());
+  // Sparse line art compresses well below the pixel count.
+  EXPECT_LT(r.tree.num_leaves(), raster.size() / 2);
+  // Spot-check a handful of pixels.
+  for (std::uint32_t p = 0; p < 128; p += 17) {
+    EXPECT_EQ(r.tree.color_at(p, 127 - p), raster[(127 - p) * 128 + p]);
+  }
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,69 @@
+// Data-parallel R-tree batch window query tests.
+
+#include <gtest/gtest.h>
+
+#include "core/batch_query.hpp"
+#include "core/query.hpp"
+#include "core/rtree_build.hpp"
+#include "data/mapgen.hpp"
+#include "seq/hilbert_rtree.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+TEST(RtreeBatchQuery, MatchesSequentialQueries) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(400, 1024.0, 20.0, 501);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 20; ++i) {
+    const double x = (i * 83) % 900, y = (i * 59) % 900;
+    windows.push_back({x, y, x + 70.0, y + 55.0});
+  }
+  const BatchQueryResult batch = batch_window_query(ctx, tree, windows);
+  ASSERT_EQ(batch.results.size(), windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(batch.results[w], window_query(tree, windows[w]))
+        << "window " << w;
+  }
+}
+
+TEST(RtreeBatchQuery, WorksOnPackedTree) {
+  dpv::Context ctx = test::make_parallel_context();
+  const auto lines = data::hierarchical_roads(600, 1024.0, 502);
+  const RTree tree = seq::hilbert_pack_rtree(lines, 16, 1024.0);
+  std::vector<geom::Rect> windows{{0, 0, 1024, 1024},
+                                  {100, 100, 150, 150},
+                                  {-10, -10, -1, -1},
+                                  {512, 0, 1024, 512}};
+  const BatchQueryResult batch = batch_window_query(ctx, tree, windows);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(batch.results[w], window_query(tree, windows[w]))
+        << "window " << w;
+  }
+}
+
+TEST(RtreeBatchQuery, EmptyCases) {
+  dpv::Context ctx;
+  const RTree empty = rtree_build(ctx, {}, RtreeBuildOptions{}).tree;
+  const auto r = batch_window_query(ctx, empty, {geom::Rect{0, 0, 5, 5}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_TRUE(r.results[0].empty());
+  const auto lines = data::uniform_segments(50, 1024.0, 20.0, 503);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  EXPECT_TRUE(batch_window_query(ctx, tree, {}).results.empty());
+}
+
+TEST(RtreeBatchQuery, AllWindowsMissEveryNode) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(60, 1024.0, 20.0, 504);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  std::vector<geom::Rect> windows(5, geom::Rect{-100, -100, -50, -50});
+  const BatchQueryResult batch = batch_window_query(ctx, tree, windows);
+  for (const auto& r : batch.results) EXPECT_TRUE(r.empty());
+  EXPECT_EQ(batch.candidates, 0u);
+}
+
+}  // namespace
+}  // namespace dps::core

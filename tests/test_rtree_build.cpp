@@ -1,0 +1,151 @@
+// Data-parallel R-tree build tests (section 5.3, Figures 39-44).
+
+#include "core/rtree_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+TEST(RtreeBuild, EmptyInput) {
+  dpv::Context ctx;
+  const RtreeBuildResult r = rtree_build(ctx, {}, {});
+  EXPECT_TRUE(r.tree.empty());
+  EXPECT_EQ(r.tree.num_nodes(), 1u);
+}
+
+TEST(RtreeBuild, SmallInputIsRootLeaf) {
+  dpv::Context ctx;
+  RtreeBuildOptions o;
+  o.m = 1;
+  o.M = 3;
+  const RtreeBuildResult r =
+      rtree_build(ctx, data::canonical_dataset(), o);
+  // 9 lines, M = 3: needs height >= 2 (at most 3 leaves of 3 under a root
+  // would hold 9, but each internal node also caps at 3 children).
+  EXPECT_GE(r.tree.height(), 2);
+  EXPECT_EQ(r.tree.validate(), "");
+  EXPECT_EQ(r.tree.entries().size(), 9u);
+}
+
+TEST(RtreeBuild, CanonicalOrder13MatchesPaperShape) {
+  dpv::Context ctx;
+  RtreeBuildOptions o;
+  o.m = 1;
+  o.M = 3;
+  const RtreeBuildResult r = rtree_build(ctx, data::canonical_dataset(), o);
+  // Figures 39-44 build an order (1,3) R-tree over the 9 lines: the root
+  // splits into leaves and levels appear as splits propagate.
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_GE(r.trace.back().levels, 2u);
+  // Every line id appears exactly once among the leaf entries.
+  std::vector<geom::LineId> ids;
+  for (const auto& e : r.tree.entries()) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  const std::vector<geom::LineId> expect{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(ids, expect);
+}
+
+TEST(RtreeBuild, ValidatesAcrossOrdersAndAlgorithms) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(500, 1024.0, 12.0, 7);
+  for (const auto algo :
+       {prim::RtreeSplitAlgo::kSweep, prim::RtreeSplitAlgo::kMean}) {
+    for (const auto [m, M] : {std::pair<std::size_t, std::size_t>{1, 3},
+                              {2, 8},
+                              {4, 16}}) {
+      RtreeBuildOptions o;
+      o.m = m;
+      o.M = M;
+      o.split = algo;
+      const RtreeBuildResult r = rtree_build(ctx, lines, o);
+      EXPECT_EQ(r.tree.validate(), "")
+          << "algo=" << int(algo) << " m=" << m << " M=" << M;
+      EXPECT_EQ(r.tree.entries().size(), 500u);
+    }
+  }
+}
+
+TEST(RtreeBuild, AllEntriesSurviveWithCorrectGeometry) {
+  dpv::Context ctx;
+  const auto lines = data::hierarchical_roads(400, 1024.0, 13);
+  RtreeBuildOptions o;
+  const RtreeBuildResult r = rtree_build(ctx, lines, o);
+  // Entries are a permutation of the input.
+  auto key = [](const geom::Segment& s) {
+    return std::tuple(s.id, s.a.x, s.a.y, s.b.x, s.b.y);
+  };
+  std::vector<decltype(key(lines[0]))> in, out;
+  for (const auto& s : lines) in.push_back(key(s));
+  for (const auto& s : r.tree.entries()) out.push_back(key(s));
+  std::sort(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(in, out);
+}
+
+TEST(RtreeBuild, SweepHasLessOverlapThanMean) {
+  dpv::Context ctx;
+  const auto lines = data::clustered_segments(800, 6, 25.0, 1024.0, 10.0, 17);
+  RtreeBuildOptions sweep, mean;
+  sweep.split = prim::RtreeSplitAlgo::kSweep;
+  mean.split = prim::RtreeSplitAlgo::kMean;
+  const double ov_sweep = rtree_build(ctx, lines, sweep).tree.sibling_overlap();
+  const double ov_mean = rtree_build(ctx, lines, mean).tree.sibling_overlap();
+  // The O(log n) sweep exists precisely to beat the O(1) mean split on
+  // overlap (section 4.7); allow slack but require a clear win.
+  EXPECT_LT(ov_sweep, ov_mean * 1.05);
+}
+
+TEST(RtreeBuild, RoundsGrowLogarithmically) {
+  dpv::Context ctx;
+  RtreeBuildOptions o;
+  const auto small = data::uniform_segments(100, 1024.0, 12.0, 23);
+  const auto large = data::uniform_segments(3200, 1024.0, 12.0, 23);
+  const std::size_t r_small = rtree_build(ctx, small, o).rounds;
+  const std::size_t r_large = rtree_build(ctx, large, o).rounds;
+  EXPECT_LE(r_large, r_small + 10);
+}
+
+TEST(RtreeBuild, ParallelBackendBuildsValidEquivalentTree) {
+  dpv::Context serial;
+  dpv::Context par = test::make_parallel_context();
+  const auto lines = data::uniform_segments(600, 1024.0, 10.0, 29);
+  RtreeBuildOptions o;
+  const RtreeBuildResult a = rtree_build(serial, lines, o);
+  const RtreeBuildResult b = rtree_build(par, lines, o);
+  EXPECT_EQ(a.tree.validate(), "");
+  EXPECT_EQ(b.tree.validate(), "");
+  // The build is deterministic: identical structure either way.
+  EXPECT_EQ(a.tree.num_nodes(), b.tree.num_nodes());
+  EXPECT_EQ(a.tree.height(), b.tree.height());
+  ASSERT_EQ(a.tree.entries().size(), b.tree.entries().size());
+  for (std::size_t i = 0; i < a.tree.entries().size(); ++i) {
+    EXPECT_EQ(a.tree.entries()[i], b.tree.entries()[i]) << "entry " << i;
+  }
+}
+
+TEST(RtreeBuild, LeafMbrsCoverTheirEntries) {
+  dpv::Context ctx;
+  const auto lines = data::road_grid(12, 12, 1024.0, 5.0, 37);
+  RtreeBuildOptions o;
+  o.m = 2;
+  o.M = 6;
+  const RtreeBuildResult r = rtree_build(ctx, lines, o);
+  EXPECT_EQ(r.tree.validate(), "");
+  for (const auto& nd : r.tree.nodes()) {
+    if (!nd.is_leaf) continue;
+    for (std::uint32_t i = 0; i < nd.num_entries; ++i) {
+      EXPECT_TRUE(
+          nd.mbr.contains(r.tree.entries()[nd.first_entry + i].bbox()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,91 @@
+// R-tree x R-tree join tests, and the section 3.3 comparison: the
+// non-disjoint R-tree join must visit more node pairs than the aligned
+// quadtree join for the same maps.
+
+#include "core/rtree_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "core/spatial_join.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+#include "seq/hilbert_rtree.hpp"
+
+namespace dps::core {
+namespace {
+
+using Pair = std::pair<geom::LineId, geom::LineId>;
+
+std::vector<Pair> brute(const std::vector<geom::Segment>& a,
+                        const std::vector<geom::Segment>& b) {
+  std::vector<Pair> out;
+  for (const auto& s : a) {
+    for (const auto& t : b) {
+      if (geom::segments_intersect(s, t)) out.emplace_back(s.id, t.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(RtreeJoin, MatchesBruteForce) {
+  dpv::Context ctx;
+  const auto a = data::road_grid(7, 7, 512.0, 5.0, 751);
+  const auto b = data::uniform_segments(150, 512.0, 40.0, 752);
+  const RTree ta = rtree_build(ctx, a, RtreeBuildOptions{}).tree;
+  const RTree tb = rtree_build(ctx, b, RtreeBuildOptions{}).tree;
+  JoinStats stats;
+  EXPECT_EQ(rtree_join(ta, tb, &stats), brute(a, b));
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+TEST(RtreeJoin, WorksAcrossBuildMethods) {
+  dpv::Context ctx;
+  const auto a = data::clustered_segments(200, 3, 25.0, 512.0, 10.0, 753);
+  const auto b = data::hierarchical_roads(200, 512.0, 754);
+  const RTree ta = rtree_build(ctx, a, RtreeBuildOptions{}).tree;
+  const RTree tb = seq::hilbert_pack_rtree(b, 8, 512.0);
+  EXPECT_EQ(rtree_join(ta, tb), brute(a, b));
+}
+
+TEST(RtreeJoin, EmptyTrees) {
+  dpv::Context ctx;
+  const auto a = data::uniform_segments(30, 512.0, 30.0, 755);
+  const RTree ta = rtree_build(ctx, a, RtreeBuildOptions{}).tree;
+  const RTree empty = rtree_build(ctx, {}, RtreeBuildOptions{}).tree;
+  EXPECT_TRUE(rtree_join(ta, empty).empty());
+  EXPECT_TRUE(rtree_join(empty, ta).empty());
+}
+
+TEST(RtreeJoin, SelfJoinContainsDiagonal) {
+  dpv::Context ctx;
+  const auto a = data::road_grid(4, 4, 512.0, 4.0, 756);
+  const RTree ta = rtree_build(ctx, a, RtreeBuildOptions{}).tree;
+  const auto pairs = rtree_join(ta, ta);
+  std::size_t self_pairs = 0;
+  for (const auto& [x, y] : pairs) self_pairs += (x == y);
+  EXPECT_EQ(self_pairs, a.size());
+}
+
+TEST(RtreeJoin, AgreesWithQuadtreeJoinOnSameMaps) {
+  dpv::Context ctx;
+  const auto a = data::road_grid(6, 6, 512.0, 5.0, 757);
+  const auto b = data::uniform_segments(120, 512.0, 50.0, 758);
+  const RTree ra = rtree_build(ctx, a, RtreeBuildOptions{}).tree;
+  const RTree rb = rtree_build(ctx, b, RtreeBuildOptions{}).tree;
+  PmrBuildOptions o;
+  o.world = 512.0;
+  o.max_depth = 10;
+  o.bucket_capacity = 8;
+  const QuadTree qa = pmr_build(ctx, a, o).tree;
+  const QuadTree qb = pmr_build(ctx, b, o).tree;
+  EXPECT_EQ(rtree_join(ra, rb), spatial_join(qa, qb));
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,84 @@
+// Sequential PM1 baseline tests.
+
+#include "seq/seq_pm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::seq {
+namespace {
+
+TEST(SeqPm1, RuleDecisions) {
+  const double w = 8.0;
+  const geom::Block root = geom::Block::root();
+  // One vertex-free passing q-edge: fine.
+  EXPECT_FALSE(SeqPm1::violates_rule(geom::Block{1, 0, 0},
+                                     {{{1, 4.5}, {4.5, 1}, 0}}, w));
+  // Both endpoints inside: two vertices.
+  EXPECT_TRUE(SeqPm1::violates_rule(root, {{{1, 1}, {2, 2}, 0}}, w));
+  // Two lines sharing one vertex inside a sub-block.
+  EXPECT_FALSE(SeqPm1::violates_rule(
+      geom::Block{1, 0, 0}, {{{2, 2}, {6, 2}, 0}, {{2, 2}, {2, 6}, 1}}, w));
+  // Two lines with distinct vertices inside.
+  EXPECT_TRUE(SeqPm1::violates_rule(
+      geom::Block{1, 0, 0}, {{{1, 1}, {6, 2}, 0}, {{2, 2}, {2, 6}, 1}}, w));
+  // Empty node.
+  EXPECT_FALSE(SeqPm1::violates_rule(root, {}, w));
+}
+
+TEST(SeqPm1, InsertionOrderIndependence) {
+  // PM1's rule is monotone, so the decomposition is unique; shuffling the
+  // input cannot change the fingerprint.
+  auto lines = data::canonical_dataset();
+  SeqPm1::Options o{data::kCanonicalWorld, 8};
+  SeqPm1 first(o);
+  for (const auto& s : lines) first.insert(s);
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::shuffle(lines.begin(), lines.end(), rng);
+    SeqPm1 t(o);
+    for (const auto& s : lines) t.insert(s);
+    EXPECT_EQ(t.fingerprint(), first.fingerprint()) << "trial " << trial;
+  }
+}
+
+TEST(SeqPm1, AllLeavesSatisfyTheRule) {
+  // PM1 requires planar input (crossing segments violate the vertex rule
+  // at every depth); depth 22 covers random close endpoint pairs.
+  SeqPm1::Options o{1024.0, 22};
+  SeqPm1 t(o);
+  for (const auto& s : data::planar_segments(300, 1024.0, 15.0, 8)) {
+    t.insert(s);
+  }
+  EXPECT_FALSE(t.depth_limited());
+  EXPECT_GT(t.num_qedges(), 0u);
+}
+
+TEST(SeqPm1, CrossingSegmentsAreUnrepresentable) {
+  // Two segments crossing away from any shared vertex: every cell around
+  // the crossing holds two vertex-free lines, so the build runs to the
+  // depth cap -- the documented planarity precondition.
+  // The crossing point must not be a dyadic lattice point, or the grid
+  // eventually separates the lines at a cell corner.
+  SeqPm1::Options o{8.0, 10};
+  SeqPm1 t(o);
+  t.insert({{1, 1}, {7, 6.1}, 0});
+  t.insert({{1, 6.9}, {7, 1.3}, 1});
+  EXPECT_TRUE(t.depth_limited());
+}
+
+TEST(SeqPm1, DepthCapFlagsViolation) {
+  SeqPm1::Options o{8.0, 3};
+  SeqPm1 t(o);
+  for (const auto& s : data::close_vertices_pair(8.0, 1e-6)) t.insert(s);
+  EXPECT_TRUE(t.depth_limited());
+  EXPECT_LE(t.height(), 3);
+}
+
+}  // namespace
+}  // namespace dps::seq

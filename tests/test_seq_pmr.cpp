@@ -1,0 +1,98 @@
+// Sequential PMR baseline tests: order dependence (Figure 34), the
+// occupancy bound (section 2.2), and deletion/merging.
+
+#include "seq/seq_pmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::seq {
+namespace {
+
+TEST(SeqPmr, ThresholdSplitOnceSemantics) {
+  // Threshold 2: the third line in a block splits it once, even if a child
+  // still holds three lines afterwards.
+  SeqPmr t({8.0, 4, 2});
+  // Three nearly-parallel lines confined to the SW quadrant.
+  t.insert({{0.4, 1.0}, {3.0, 1.2}, 0});
+  t.insert({{0.4, 1.4}, {3.0, 1.6}, 1});
+  EXPECT_EQ(t.height(), 0);
+  t.insert({{0.4, 1.8}, {3.0, 2.0}, 2});
+  EXPECT_EQ(t.height(), 1);  // split exactly once
+}
+
+TEST(SeqPmr, Figure34OrderDependence) {
+  // The PMR quadtree's shape depends on insertion order: find a permutation
+  // of a small map that changes the decomposition.
+  auto lines = data::canonical_dataset();
+  SeqPmr::Options o{data::kCanonicalWorld, 3, 2};
+  auto fingerprint_for = [&](const std::vector<geom::Segment>& order) {
+    SeqPmr t(o);
+    for (const auto& s : order) t.insert(s);
+    return t.fingerprint();
+  };
+  std::set<std::string> shapes;
+  shapes.insert(fingerprint_for(lines));
+  std::mt19937_64 rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::shuffle(lines.begin(), lines.end(), rng);
+    shapes.insert(fingerprint_for(lines));
+  }
+  EXPECT_GT(shapes.size(), 1u)
+      << "PMR decomposition should depend on insertion order";
+}
+
+TEST(SeqPmr, OccupancyBoundThresholdPlusDepth) {
+  // Section 2.2: occupancy of a non-cap-depth bucket never exceeds the
+  // splitting threshold plus its depth.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SeqPmr t({1024.0, 20, 4});
+    for (const auto& s : data::clustered_segments(400, 4, 20.0, 1024.0,
+                                                  12.0, seed)) {
+      t.insert(s);
+    }
+    EXPECT_LE(t.max_occupancy_minus_depth(), 4u) << "seed " << seed;
+  }
+}
+
+TEST(SeqPmr, EraseRemovesAndMerges) {
+  SeqPmr t({1024.0, 12, 4});
+  const auto lines = data::uniform_segments(120, 1024.0, 25.0, 44);
+  for (const auto& s : lines) t.insert(s);
+  const std::size_t nodes_full = t.num_nodes();
+  ASSERT_GT(nodes_full, 1u);
+  for (const auto& s : lines) t.erase(s.id);
+  EXPECT_EQ(t.num_qedges(), 0u);
+  // Everything merged back into the root.
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(SeqPmr, EraseOfMissingIdIsNoop) {
+  SeqPmr t({8.0, 3, 2});
+  t.insert({{1, 1}, {2, 2}, 0});
+  t.erase(99);
+  EXPECT_EQ(t.num_qedges(), 1u);
+}
+
+TEST(SeqPmr, MergeKeepsLineOnce) {
+  SeqPmr t({8.0, 3, 2});
+  // A line crossing the center gets cloned by a split; after deleting the
+  // other lines, merging must keep it exactly once.
+  t.insert({{1.0, 4.0}, {7.0, 4.2}, 0});  // crosses the vertical center
+  t.insert({{1.0, 6.0}, {2.0, 7.0}, 1});
+  t.insert({{5.0, 6.0}, {6.0, 7.0}, 2});  // third line triggers a split
+  ASSERT_GE(t.height(), 1);
+  t.erase(1);
+  t.erase(2);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_EQ(t.num_qedges(), 1u);
+}
+
+}  // namespace
+}  // namespace dps::seq

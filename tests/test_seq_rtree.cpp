@@ -1,0 +1,149 @@
+// Sequential Guttman R-tree baseline tests.
+
+#include "seq/seq_rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/canonical.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::seq {
+namespace {
+
+TEST(SeqRTree, CanonicalOrder23GrowsToHeightOne) {
+  // Figure 5's setting: M = 3, m = 2 over the nine canonical lines.
+  SeqRTree t({2, 3, SeqRTree::Split::kQuadratic});
+  for (const auto& s : data::canonical_dataset()) t.insert(s);
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_GE(t.height(), 2);
+  const core::RTree r = t.to_rtree();
+  EXPECT_EQ(r.validate(), "");
+  EXPECT_EQ(r.entries().size(), 9u);
+}
+
+TEST(SeqRTree, AllSplitStrategiesProduceValidTrees) {
+  const auto lines = data::uniform_segments(400, 1024.0, 12.0, 3);
+  for (const auto split : {SeqRTree::Split::kLinear,
+                           SeqRTree::Split::kQuadratic,
+                           SeqRTree::Split::kSweep}) {
+    SeqRTree t({2, 8, split});
+    for (const auto& s : lines) t.insert(s);
+    const core::RTree r = t.to_rtree();
+    EXPECT_EQ(r.validate(), "") << "split " << int(split);
+    EXPECT_EQ(r.entries().size(), 400u);
+  }
+}
+
+TEST(SeqRTree, SplitBoxesRespectsMinimumFill) {
+  std::vector<geom::Rect> boxes;
+  for (int i = 0; i < 9; ++i) {
+    boxes.push_back({i * 10.0, 0.0, i * 10.0 + 5.0, 5.0});
+  }
+  for (const auto split : {SeqRTree::Split::kLinear,
+                           SeqRTree::Split::kQuadratic,
+                           SeqRTree::Split::kSweep}) {
+    const auto side = SeqRTree::split_boxes(boxes, 3, split);
+    int left = 0, right = 0;
+    for (const auto s : side) (s ? right : left)++;
+    EXPECT_GE(left, 3) << "split " << int(split);
+    EXPECT_GE(right, 3) << "split " << int(split);
+  }
+}
+
+TEST(SeqRTree, SweepSplitMinimizesOverlapOnSeparatedClusters) {
+  // Two clearly separated clusters: the sweep must cut between them.
+  std::vector<geom::Rect> boxes{{0, 0, 1, 1},     {1, 1, 2, 2},
+                                {0.5, 0.5, 1.5, 1.5}, {10, 10, 11, 11},
+                                {11, 11, 12, 12}};
+  const auto side = SeqRTree::split_boxes(boxes, 2, SeqRTree::Split::kSweep);
+  EXPECT_EQ(side[0], side[1]);
+  EXPECT_EQ(side[0], side[2]);
+  EXPECT_EQ(side[3], side[4]);
+  EXPECT_NE(side[0], side[3]);
+}
+
+TEST(SeqRTree, InsertionOrderChangesStructureButNotContents) {
+  auto lines = data::uniform_segments(200, 1024.0, 15.0, 55);
+  SeqRTree a({2, 4, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) a.insert(s);
+  std::reverse(lines.begin(), lines.end());
+  SeqRTree b({2, 4, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) b.insert(s);
+  // Section 2.3: "the R-tree is not unique ... depends heavily on order".
+  // Contents are identical either way.
+  auto ids = [](const core::RTree& t) {
+    std::vector<geom::LineId> v;
+    for (const auto& e : t.entries()) v.push_back(e.id);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(ids(a.to_rtree()), ids(b.to_rtree()));
+}
+
+TEST(SeqRTree, EraseRemovesAndCondenses) {
+  const auto lines = data::uniform_segments(300, 1024.0, 15.0, 57);
+  SeqRTree t({2, 6, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) t.insert(s);
+  // Delete two thirds; validate after every 50 deletions.
+  std::size_t deleted = 0;
+  for (const auto& s : lines) {
+    if (s.id % 3 == 2) continue;
+    ASSERT_TRUE(t.erase(s.id)) << s.id;
+    ++deleted;
+    if (deleted % 50 == 0) {
+      EXPECT_EQ(t.to_rtree().validate(), "") << "after " << deleted;
+    }
+  }
+  EXPECT_EQ(t.size(), lines.size() - deleted);
+  EXPECT_EQ(t.to_rtree().validate(), "");
+  // Remaining ids are exactly those congruent to 2 mod 3.
+  std::vector<geom::LineId> ids;
+  for (const auto& e : t.to_rtree().entries()) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), lines.size() - deleted);
+  for (const auto id : ids) EXPECT_EQ(id % 3, 2u);
+}
+
+TEST(SeqRTree, EraseToEmptyAndMissingId) {
+  SeqRTree t({1, 3, SeqRTree::Split::kQuadratic});
+  t.insert({{1, 1}, {2, 2}, 0});
+  t.insert({{3, 3}, {4, 4}, 1});
+  EXPECT_FALSE(t.erase(99));
+  EXPECT_TRUE(t.erase(0));
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.erase(0));
+  t.insert({{5, 5}, {6, 6}, 2});  // still usable after emptying
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SeqRTree, EraseShortensTallTree) {
+  const auto lines = data::uniform_segments(200, 1024.0, 10.0, 58);
+  SeqRTree t({1, 3, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) t.insert(s);
+  const int tall = t.height();
+  ASSERT_GE(tall, 3);
+  for (std::size_t i = 0; i < lines.size() - 2; ++i) t.erase(lines[i].id);
+  EXPECT_LT(t.height(), tall);
+  EXPECT_EQ(t.to_rtree().validate(), "");
+}
+
+TEST(SeqRTree, QuadraticVsLinearQuality) {
+  // Guttman reports quadratic >= linear in split quality; check coverage is
+  // not wildly worse (sanity of both implementations).
+  const auto lines = data::clustered_segments(500, 5, 30.0, 1024.0, 10.0, 61);
+  SeqRTree lin({2, 8, SeqRTree::Split::kLinear});
+  SeqRTree quad({2, 8, SeqRTree::Split::kQuadratic});
+  for (const auto& s : lines) {
+    lin.insert(s);
+    quad.insert(s);
+  }
+  const double cov_lin = lin.to_rtree().total_coverage();
+  const double cov_quad = quad.to_rtree().total_coverage();
+  EXPECT_LT(cov_quad, cov_lin * 1.5);
+}
+
+}  // namespace
+}  // namespace dps::seq

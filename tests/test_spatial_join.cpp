@@ -1,0 +1,87 @@
+// Spatial join tests, cross-checked against the quadratic brute force.
+
+#include "core/spatial_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+#include "geom/predicates.hpp"
+
+namespace dps::core {
+namespace {
+
+using Pair = std::pair<geom::LineId, geom::LineId>;
+
+std::vector<Pair> brute_force_join(const std::vector<geom::Segment>& a,
+                                   const std::vector<geom::Segment>& b) {
+  std::vector<Pair> out;
+  for (const auto& s : a) {
+    for (const auto& t : b) {
+      if (geom::segments_intersect(s, t)) out.emplace_back(s.id, t.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+QuadTree build(const std::vector<geom::Segment>& lines, double world) {
+  dpv::Context ctx;
+  PmrBuildOptions o;
+  o.world = world;
+  o.max_depth = 10;
+  o.bucket_capacity = 4;
+  return pmr_build(ctx, lines, o).tree;
+}
+
+TEST(SpatialJoin, MatchesBruteForceOnRandomMaps) {
+  const auto roads = data::road_grid(8, 8, 512.0, 6.0, 201);
+  const auto utils = data::uniform_segments(120, 512.0, 60.0, 202);
+  const QuadTree ta = build(roads, 512.0);
+  const QuadTree tb = build(utils, 512.0);
+  JoinStats stats;
+  EXPECT_EQ(spatial_join(ta, tb, &stats), brute_force_join(roads, utils));
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+TEST(SpatialJoin, DisjointMapsGiveEmptyResult) {
+  std::vector<geom::Segment> left{{{10, 10}, {100, 100}, 0}};
+  std::vector<geom::Segment> right{{{300, 300}, {400, 410}, 0}};
+  EXPECT_TRUE(spatial_join(build(left, 512.0), build(right, 512.0)).empty());
+}
+
+TEST(SpatialJoin, SelfJoinFindsSharedVertices) {
+  // A road grid joined with itself: every pair of streets sharing a
+  // junction intersects.
+  const auto roads = data::road_grid(4, 4, 512.0, 4.0, 203);
+  const QuadTree t = build(roads, 512.0);
+  const auto pairs = spatial_join(t, t);
+  EXPECT_EQ(pairs, brute_force_join(roads, roads));
+  // At minimum, every line intersects itself.
+  std::size_t self_pairs = 0;
+  for (const auto& [a, b] : pairs) self_pairs += (a == b);
+  EXPECT_EQ(self_pairs, roads.size());
+}
+
+TEST(SpatialJoin, CandidatePruningBeatsBruteForce) {
+  const auto a = data::clustered_segments(200, 3, 15.0, 512.0, 8.0, 204);
+  const auto b = data::clustered_segments(200, 3, 15.0, 512.0, 8.0, 205);
+  JoinStats stats;
+  spatial_join(build(a, 512.0), build(b, 512.0), &stats);
+  EXPECT_LT(stats.candidate_pairs, 200u * 200u)
+      << "the lock-step descent must prune most candidate pairs";
+}
+
+TEST(SpatialJoin, EmptyTreeJoins) {
+  const auto a = data::uniform_segments(20, 512.0, 30.0, 206);
+  const QuadTree ta = build(a, 512.0);
+  const QuadTree empty = build({}, 512.0);
+  EXPECT_TRUE(spatial_join(ta, empty).empty());
+  EXPECT_TRUE(spatial_join(empty, ta).empty());
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,75 @@
+// SVG export tests: well-formedness markers and element counts.
+
+#include "data/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "data/mapgen.hpp"
+
+namespace dps::data {
+namespace {
+
+std::size_t count_of(const std::string& s, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = s.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(Svg, SegmentMapHasOneLinePerSegment) {
+  const auto lines = uniform_segments(25, 256.0, 20.0, 881);
+  std::ostringstream os;
+  write_svg(os, lines, 256.0);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_of(svg, "<line "), 25u);
+}
+
+TEST(Svg, QuadTreeDrawsLeafBlocksAndQEdges) {
+  dpv::Context ctx;
+  core::PmrBuildOptions o;
+  o.world = 256.0;
+  o.max_depth = 8;
+  o.bucket_capacity = 2;
+  const auto lines = uniform_segments(40, 256.0, 25.0, 882);
+  const core::QuadTree t = core::pmr_build(ctx, lines, o).tree;
+  std::ostringstream os;
+  SvgOptions opts;
+  opts.label_leaves = true;
+  write_svg(os, t, opts);
+  const std::string svg = os.str();
+  std::size_t leaves = 0;
+  for (const auto& nd : t.nodes()) leaves += nd.is_leaf;
+  // One rect per leaf plus the background rect.
+  EXPECT_EQ(count_of(svg, "<rect "), leaves + 1);
+  EXPECT_EQ(count_of(svg, "<line "), t.num_qedges());
+  EXPECT_GT(count_of(svg, "<text "), 0u);
+}
+
+TEST(Svg, RtreeDrawsEveryMbr) {
+  dpv::Context ctx;
+  const auto lines = uniform_segments(60, 256.0, 20.0, 883);
+  const core::RTree t =
+      core::rtree_build(ctx, lines, core::RtreeBuildOptions{}).tree;
+  std::ostringstream os;
+  write_svg(os, t, 256.0);
+  const std::string svg = os.str();
+  EXPECT_EQ(count_of(svg, "<rect "), t.num_nodes() + 1);
+  EXPECT_EQ(count_of(svg, "<line "), 60u);
+}
+
+TEST(Svg, SaveToInvalidPathThrows) {
+  EXPECT_THROW(save_svg("/nonexistent-dir/x.svg",
+                        std::vector<geom::Segment>{}, 1.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dps::data

@@ -1,0 +1,72 @@
+#include "dpv/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dps::dpv {
+namespace {
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int hits = 0;
+  pool.run(1, [&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadPool, AllLanesParticipate) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run(4, [&](std::size_t lane) { hits[lane]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, LaneCountClampedToPoolSize) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.run(100, [&](std::size_t lane) {
+    EXPECT_LT(lane, 3u);
+    total++;
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, PartialLaunchLeavesOtherLanesIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.run(2, [&](std::size_t lane) {
+    EXPECT_LT(lane, 2u);
+    total++;
+  });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPool, ManySequentialLaunches) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run(4, [&](std::size_t lane) { sum += static_cast<int>(lane) + 1; });
+  }
+  EXPECT_EQ(sum.load(), 200 * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, ZeroLaneRunIsNoop) {
+  ThreadPool pool(2);
+  pool.run(0, [&](std::size_t) { FAIL() << "no lane should run"; });
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;  // smoke: constructs, runs, destructs
+  std::atomic<int> total{0};
+  pool.run(pool.size(), [&](std::size_t) { total++; });
+  EXPECT_EQ(static_cast<std::size_t>(total.load()), pool.size());
+}
+
+}  // namespace
+}  // namespace dps::dpv

@@ -1,0 +1,83 @@
+// Input-validation tests: malformed-map detection (failure injection).
+
+#include "data/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "data/mapgen.hpp"
+
+namespace dps::data {
+namespace {
+
+bool has_kind(const std::vector<MapIssue>& issues, MapIssue::Kind k) {
+  for (const auto& i : issues) {
+    if (i.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Validate, CleanMapHasNoIssues) {
+  const auto lines = planar_segments(100, 512.0, 10.0, 801);
+  EXPECT_TRUE(check_map(lines, 512.0).empty());
+  EXPECT_TRUE(is_planar(lines, 512.0));
+}
+
+TEST(Validate, DetectsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<geom::Segment> bad{{{nan, 1}, {2, 2}, 0},
+                                 {{1, 1}, {inf, 2}, 1}};
+  const auto issues = check_map(bad, 512.0);
+  EXPECT_EQ(issues.size(), 2u);
+  EXPECT_TRUE(has_kind(issues, MapIssue::Kind::kNonFinite));
+  EXPECT_NE(issues[0].describe().find("non-finite"), std::string::npos);
+}
+
+TEST(Validate, DetectsOutOfWorld) {
+  std::vector<geom::Segment> bad{{{-1, 5}, {2, 2}, 0},
+                                 {{1, 1}, {600, 2}, 1}};
+  const auto issues = check_map(bad, 512.0);
+  EXPECT_EQ(issues.size(), 2u);
+  EXPECT_TRUE(has_kind(issues, MapIssue::Kind::kOutOfWorld));
+}
+
+TEST(Validate, DetectsDuplicateIdsAndZeroLength) {
+  std::vector<geom::Segment> bad{{{1, 1}, {2, 2}, 7},
+                                 {{3, 3}, {4, 4}, 7},
+                                 {{5, 5}, {5, 5}, 8}};
+  const auto issues = check_map(bad, 512.0);
+  EXPECT_TRUE(has_kind(issues, MapIssue::Kind::kDuplicateId));
+  EXPECT_TRUE(has_kind(issues, MapIssue::Kind::kZeroLength));
+}
+
+TEST(Validate, PlanarityAcceptsSharedVertices) {
+  // A star and a grid touch only at shared endpoints.
+  auto lines = star_burst(8, {100, 100}, 30.0, 802);
+  auto grid = road_grid(3, 3, 512.0, 2.0, 803);
+  lines.insert(lines.end(), grid.begin(), grid.end());
+  reassign_ids(lines);
+  EXPECT_TRUE(is_planar(lines, 512.0));
+}
+
+TEST(Validate, PlanarityRejectsCrossing) {
+  std::vector<geom::Segment> lines{{{10, 10}, {100, 100}, 0},
+                                   {{10, 100}, {100, 10}, 1},
+                                   {{200, 200}, {210, 210}, 2}};
+  MapIssue issue{};
+  EXPECT_FALSE(is_planar(lines, 512.0, &issue));
+  EXPECT_EQ(issue.kind, MapIssue::Kind::kCrossing);
+  const auto pair = std::minmax(issue.line, issue.other);
+  EXPECT_EQ(pair.first, 0u);
+  EXPECT_EQ(pair.second, 1u);
+}
+
+TEST(Validate, PlanarityOnGeneratedCrossingMap) {
+  // uniform_segments at this density virtually always crosses somewhere.
+  const auto lines = uniform_segments(500, 512.0, 40.0, 804);
+  EXPECT_FALSE(is_planar(lines, 512.0));
+}
+
+}  // namespace
+}  // namespace dps::data
