@@ -1,0 +1,173 @@
+// S1: concurrent batch-query serving throughput.
+//
+// Serves one 10k-request mixed workload (window / point / k-nearest over
+// the quadtree and the R-tree) through the QueryEngine at increasing shard
+// counts, against the per-request sequential baseline.  Answers are
+// checksummed: every configuration must produce byte-identical results.
+// Also reports the merged scan-model ledger and its MachineModel replay --
+// the serving layer charges the same unit-cost model as the builds.
+
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/core.hpp"
+#include "data/mapgen.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace dps;
+
+constexpr double kWorld = 4096.0;
+constexpr std::size_t kLines = 20000;
+constexpr std::size_t kRequests = 10000;
+
+std::vector<serve::Request> make_workload(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::uniform_real_distribution<double> extent(4.0, kWorld / 16.0);
+  std::uniform_int_distribution<std::size_t> kdist(1, 8);
+  std::uniform_int_distribution<int> roll(0, 9);
+  std::uniform_int_distribution<int> which(0, 1);
+  std::vector<serve::Request> batch;
+  batch.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto idx = which(rng) == 0 ? serve::IndexKind::kQuadTree
+                                     : serve::IndexKind::kRTree;
+    const int r = roll(rng);
+    if (r < 6) {
+      const double x = pos(rng), y = pos(rng);
+      batch.push_back(serve::Request::window_query(
+          idx, {x, y, std::min(kWorld, x + extent(rng)),
+                std::min(kWorld, y + extent(rng))}));
+    } else if (r < 9) {
+      batch.push_back(serve::Request::point_query(idx, {pos(rng), pos(rng)}));
+    } else {
+      batch.push_back(
+          serve::Request::nearest_query(idx, {pos(rng), pos(rng)}, kdist(rng)));
+    }
+  }
+  return batch;
+}
+
+std::uint64_t checksum(const std::vector<serve::Response>& responses) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const serve::Response& r : responses) {
+    mix(static_cast<std::uint64_t>(r.status));
+    for (const geom::LineId id : r.ids) mix(id);
+    for (const core::Neighbor& nb : r.neighbors) mix(nb.id);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  dpv::Context build_ctx;
+  const auto lines = data::uniform_segments(kLines, kWorld, kWorld / 200.0, 42);
+
+  core::PmrBuildOptions po;
+  po.world = kWorld;
+  po.max_depth = 14;
+  po.bucket_capacity = 8;
+  const core::QuadTree quad = core::pmr_build(build_ctx, lines, po).tree;
+  core::RtreeBuildOptions ro;
+  ro.m = 2;
+  ro.M = 8;
+  const core::RTree rtree = core::rtree_build(build_ctx, lines, ro).tree;
+
+  const auto batch = make_workload(7);
+
+  // Sequential baseline: one request at a time, host traversal only.
+  std::vector<serve::Response> seq(batch.size());
+  const double seq_ms = bench::best_of(2, [&] {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      serve::Response& rsp = seq[i];
+      rsp.ids.clear();
+      rsp.neighbors.clear();
+      switch (batch[i].kind) {
+        case serve::RequestKind::kWindow:
+          rsp.ids = batch[i].index == serve::IndexKind::kQuadTree
+                        ? core::window_query(quad, batch[i].window)
+                        : core::window_query(rtree, batch[i].window);
+          break;
+        case serve::RequestKind::kPoint:
+          rsp.ids = batch[i].index == serve::IndexKind::kQuadTree
+                        ? core::point_query(quad, batch[i].point)
+                        : core::point_query(rtree, batch[i].point);
+          break;
+        case serve::RequestKind::kNearest:
+          rsp.neighbors =
+              batch[i].index == serve::IndexKind::kQuadTree
+                  ? core::k_nearest(quad, batch[i].point, batch[i].k)
+                  : core::k_nearest(rtree, batch[i].point, batch[i].k);
+          break;
+      }
+    }
+  });
+  const std::uint64_t want = checksum(seq);
+
+  std::printf("S1: QueryEngine serving, %zu mixed requests, %zu lines "
+              "(hardware lanes: %u)\n",
+              batch.size(), lines.size(),
+              std::thread::hardware_concurrency());
+  std::printf("%-22s %10s %12s %9s %10s %10s  %s\n", "config", "ms", "req/s",
+              "speedup", "p50(us)", "p99(us)", "results");
+  std::printf("%-22s %10.2f %12.0f %9s %10s %10s  %s\n", "sequential-loop",
+              seq_ms, 1000.0 * static_cast<double>(batch.size()) / seq_ms,
+              "1.00", "-", "-", "baseline");
+
+  double single_shard_ms = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    serve::EngineOptions opts;
+    opts.shards = shards;
+    opts.threads = shards;
+    opts.min_dp_batch = 8;
+    serve::QueryEngine engine(opts);
+    engine.mount(&quad);
+    engine.mount(&rtree);
+
+    std::vector<serve::Response> responses;
+    const double ms = bench::best_of(2, [&] { responses = engine.serve(batch); });
+    if (shards == 1) single_shard_ms = ms;
+    const serve::ServeMetrics m = engine.metrics();
+    char config[64];
+    std::snprintf(config, sizeof config, "engine/%zu-shard", shards);
+    std::printf("%-22s %10.2f %12.0f %9.2f %10.0f %10.0f  %s\n", config, ms,
+                1000.0 * static_cast<double>(batch.size()) / ms,
+                single_shard_ms / ms, m.latency.quantile_upper_us(0.50),
+                m.latency.quantile_upper_us(0.99),
+                checksum(responses) == want ? "identical" : "MISMATCH");
+  }
+
+  // The serving ledger replays through the paper's cost model like any
+  // build ledger (one more serve to have a single batch's counters).
+  serve::EngineOptions opts;
+  opts.shards = 4;
+  opts.min_dp_batch = 8;
+  serve::QueryEngine engine(opts);
+  engine.mount(&quad);
+  engine.mount(&rtree);
+  engine.serve(batch);
+  const serve::ServeMetrics m = engine.metrics();
+  std::printf("\nmerged shard ledger (one 4-shard batch): %llu primitive "
+              "invocations, dp groups %llu, sequential groups %llu\n",
+              static_cast<unsigned long long>(m.prims.total_invocations()),
+              static_cast<unsigned long long>(m.dp_groups),
+              static_cast<unsigned long long>(m.seq_groups));
+  std::printf("stage wall-clock ms: shard %.2f window %.2f point %.2f "
+              "nearest %.2f merge %.2f\n",
+              m.stages.shard_ms, m.stages.window_ms, m.stages.point_ms,
+              m.stages.nearest_ms, m.stages.merge_ms);
+  dpv::MachineModel cm5;
+  std::printf("MachineModel(32p) replay of the serving ledger: %.2f ms\n",
+              cm5.estimate_ms(m.prims));
+  return 0;
+}

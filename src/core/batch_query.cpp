@@ -5,8 +5,17 @@
 
 namespace dps::core {
 
+namespace {
+
+// Control poll cadence during host-side candidate generation; deadline
+// checks read the clock, so per-candidate polling would dominate.
+constexpr std::size_t kControlStride = 64;
+
+}  // namespace
+
 BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
-                                    const std::vector<geom::Rect>& windows) {
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control) {
   BatchQueryResult out;
   out.results.resize(windows.size());
   if (tree.num_nodes() == 0 || windows.empty()) return out;
@@ -18,6 +27,10 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   std::vector<std::uint32_t> cand_edge;
   std::vector<std::int32_t> stack;
   for (std::size_t w = 0; w < windows.size(); ++w) {
+    if (w % kControlStride == 0 && control.fired()) {
+      out.aborted = true;
+      return out;
+    }
     const geom::Rect& win = windows[w];
     stack.assign(1, 0);
     while (!stack.empty()) {
@@ -39,6 +52,10 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   out.candidates = cand_edge.size();
   const std::size_t n = cand_edge.size();
   if (n == 0) return out;
+  if (control.fired()) {
+    out.aborted = true;
+    return out;
+  }
 
   // Elementwise intersection test over all candidates at once.
   dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
@@ -48,6 +65,10 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   });
 
   // Pack survivors, sort by (window, line id), concentrate duplicates.
+  if (control.fired()) {
+    out.aborted = true;
+    return out;
+  }
   dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, n, [&](std::size_t i) {
     const geom::LineId id = tree.edges()[cand_edge[i]].id;
     return (std::uint64_t{cand_window[i]} << 32) | id;
@@ -65,7 +86,8 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
 }
 
 BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
-                                   const std::vector<geom::Point>& points) {
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control) {
   BatchQueryResult out;
   out.results.resize(points.size());
   if (tree.num_nodes() == 0 || points.empty()) return out;
@@ -77,6 +99,10 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   std::vector<std::uint32_t> cand_edge;
   std::vector<std::int32_t> stack;
   for (std::size_t p = 0; p < points.size(); ++p) {
+    if (p % kControlStride == 0 && control.fired()) {
+      out.aborted = true;
+      return out;
+    }
     stack.assign(1, 0);
     while (!stack.empty()) {
       const QuadTree::Node& nd = tree.nodes()[stack.back()];
@@ -97,6 +123,10 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   out.candidates = cand_edge.size();
   const std::size_t n = cand_edge.size();
   if (n == 0) return out;
+  if (control.fired()) {
+    out.aborted = true;
+    return out;
+  }
 
   dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
     const geom::Segment& s = tree.edges()[cand_edge[i]];

@@ -8,6 +8,8 @@
 // collapses the q-edges of a line cloned into several blocks back into one
 // result row -- the use case the paper gives for concentrate.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -18,20 +20,47 @@
 
 namespace dps::core {
 
+/// Cooperative cancellation / deadline control for the batch entry points.
+/// The batch pipelines poll it between scan-model rounds -- never inside a
+/// primitive -- so an abort costs at most one round of extra work.  A
+/// default-constructed control never fires.
+struct BatchControl {
+  /// External kill switch; null means "cannot be cancelled".
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline; the epoch (default) means "no deadline".
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const noexcept {
+    return deadline.time_since_epoch().count() != 0;
+  }
+  /// True once the control has fired (checked at round granularity).
+  bool fired() const noexcept {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
 struct BatchQueryResult {
   /// results[w] = sorted unique line ids intersecting windows[w].
   std::vector<std::vector<geom::LineId>> results;
   std::size_t candidates = 0;  // (window, q-edge) pairs tested
+  /// True when the control fired mid-pipeline; `results` is then
+  /// incomplete (some rows may be missing ids) and must not be trusted.
+  bool aborted = false;
 };
 
 BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
-                                    const std::vector<geom::Rect>& windows);
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control = {});
 
 /// Data-parallel batch point queries: each point descends to its (single)
 /// containing leaf, candidates are tested elementwise, and results are
 /// concentrated per point.
 BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
-                                   const std::vector<geom::Point>& points);
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control = {});
 
 /// Data-parallel batch window query over an R-tree (the companion-paper
 /// [Hoel93] style): the (window, node) frontier descends one tree level per
@@ -40,6 +69,7 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
 /// with its children.  Leaf pairs expand to (window, entry) candidates,
 /// tested elementwise and concentrated through sort + duplicate deletion.
 BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
-                                    const std::vector<geom::Rect>& windows);
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control = {});
 
 }  // namespace dps::core

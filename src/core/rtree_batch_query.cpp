@@ -29,7 +29,8 @@ dpv::Index distribute(dpv::Context& ctx, const dpv::Vec<std::size_t>& counts) {
 }  // namespace
 
 BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
-                                    const std::vector<geom::Rect>& windows) {
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control) {
   BatchQueryResult out;
   out.results.resize(windows.size());
   if (tree.num_nodes() == 0 || tree.empty() || windows.empty()) return out;
@@ -47,6 +48,11 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
   dpv::Vec<std::int32_t> lnode;
 
   while (!fwin.empty()) {
+    // One control poll per descent round (a round is one tree level).
+    if (control.fired()) {
+      out.aborted = true;
+      return out;
+    }
     // Prune by MBR intersection.
     dpv::Flags live = dpv::tabulate(ctx, fwin.size(), [&](std::size_t i) {
       return static_cast<std::uint8_t>(
@@ -93,6 +99,10 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
   }
 
   // Expand leaf pairs to (window, entry) candidates and test elementwise.
+  if (control.fired()) {
+    out.aborted = true;
+    return out;
+  }
   dpv::Vec<std::size_t> ecounts = dpv::map(ctx, lnode, [&](std::int32_t nd) {
     return static_cast<std::size_t>(tree.nodes()[nd].num_entries);
   });

@@ -98,6 +98,27 @@ class Context {
   const PrimCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = PrimCounters{}; }
 
+  /// Point-in-time copy of the ledger (use `after - before` to charge a
+  /// region of work).
+  PrimCounters snapshot() const noexcept { return counters_; }
+
+  /// Serial child context for a worker shard: it shares this context's
+  /// grain but starts a fresh, private ledger, so several shards can count
+  /// primitives concurrently without racing on one accumulator.  Fold the
+  /// shard's ledger back with `merge_counters` when the shard joins.
+  Context fork_serial() const noexcept {
+    Context child;
+    child.grain_ = grain_;
+    return child;
+  }
+
+  /// Adds a shard ledger (e.g. from a `fork_serial` context) into this
+  /// context's counters.  Call from one thread at a time, after the shard
+  /// has joined.
+  void merge_counters(const PrimCounters& shard) noexcept {
+    counters_ += shard;
+  }
+
   /// Minimum elements per lane before a primitive bothers to fork.  Vectors
   /// shorter than `grain() * 2` run serially inside parallel contexts.
   std::size_t grain() const noexcept { return grain_; }

@@ -30,6 +30,10 @@ void ThreadPool::run(std::size_t k, const std::function<void(std::size_t)>& f) {
     if (k == 1) f(0);
     return;
   }
+  // One launch at a time: concurrent callers queue here, so the
+  // job_/generation_/outstanding_ handshake below always describes exactly
+  // one job.
+  std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &f;

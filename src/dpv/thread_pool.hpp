@@ -40,6 +40,11 @@ class ThreadPool {
   /// `k` is clamped to `size()`.  `f` must be safe to invoke concurrently.
   /// Exceptions thrown by `f` terminate (dpv primitives do not throw from
   /// worker bodies; validation happens before the fork).
+  ///
+  /// `run` may be called from several threads at once (the serving engine
+  /// does); concurrent launches serialize, each seeing the full pool.  A
+  /// worker body must not call `run` on its own pool -- the nested launch
+  /// would wait on the serialization lock its caller holds.
   void run(std::size_t k, const std::function<void(std::size_t)>& f);
 
  private:
@@ -48,6 +53,7 @@ class ThreadPool {
   std::size_t lanes_;                 // total lanes, caller included
   std::vector<std::thread> threads_;  // lanes_ - 1 helper threads
 
+  std::mutex submit_mutex_;  // serializes whole launches across callers
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

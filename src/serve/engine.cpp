@@ -1,0 +1,281 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+
+#include "core/nearest.hpp"
+#include "core/query.hpp"
+
+namespace dps::serve {
+
+namespace {
+
+double ms_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+double us_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t).count();
+}
+
+constexpr std::size_t kNumKinds = 3;
+constexpr std::size_t kNumIndexes = 3;
+
+std::size_t group_id(RequestKind kind, IndexKind index) noexcept {
+  return static_cast<std::size_t>(kind) * kNumIndexes +
+         static_cast<std::size_t>(index);
+}
+
+}  // namespace
+
+std::string_view status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kDeadlineExpired: return "deadline-expired";
+    case Status::kCancelled: return "cancelled";
+    case Status::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(EngineOptions opts)
+    : opts_(opts), pool_(std::make_shared<dpv::ThreadPool>(opts.threads)) {
+  shards_ = opts_.shards == 0 ? pool_->size() : opts_.shards;
+  if (shards_ == 0) shards_ = 1;
+  shard_template_.set_grain(opts_.grain);
+}
+
+Status QueryEngine::pre_status(const Request& rq) const noexcept {
+  if (cancel_.load(std::memory_order_relaxed)) return Status::kCancelled;
+  if (rq.has_deadline() && Clock::now() >= rq.deadline) {
+    return Status::kDeadlineExpired;
+  }
+  return Status::kOk;
+}
+
+Status QueryEngine::run_sequential(const Request& rq, Response& rsp) const {
+  switch (rq.kind) {
+    case RequestKind::kWindow:
+      switch (rq.index) {
+        case IndexKind::kQuadTree:
+          rsp.ids = core::window_query(*quad_, rq.window);
+          break;
+        case IndexKind::kRTree:
+          rsp.ids = core::window_query(*rtree_, rq.window);
+          break;
+        case IndexKind::kLinearQuadTree:
+          rsp.ids = linear_->window_query(rq.window);
+          break;
+      }
+      return Status::kOk;
+    case RequestKind::kPoint:
+      switch (rq.index) {
+        case IndexKind::kQuadTree:
+          rsp.ids = core::point_query(*quad_, rq.point);
+          break;
+        case IndexKind::kRTree:
+          rsp.ids = core::point_query(*rtree_, rq.point);
+          break;
+        case IndexKind::kLinearQuadTree:
+          rsp.ids = linear_->point_query(rq.point);
+          break;
+      }
+      return Status::kOk;
+    case RequestKind::kNearest:
+      rsp.neighbors = rq.index == IndexKind::kQuadTree
+                          ? core::k_nearest(*quad_, rq.point, rq.k)
+                          : core::k_nearest(*rtree_, rq.point, rq.k);
+      return Status::kOk;
+  }
+  return Status::kRejected;
+}
+
+void QueryEngine::execute_shard(const std::vector<Request>& batch,
+                                std::vector<Response>& responses,
+                                Clock::time_point t0, std::size_t lo,
+                                std::size_t hi, ShardScratch& scratch) {
+  dpv::Context ctx = shard_template_.fork_serial();
+
+  // Regroup this shard's slice by (kind, index): each group is one batch
+  // pipeline invocation (or one sequential sweep).
+  const auto tshard = Clock::now();
+  std::array<std::vector<std::size_t>, kNumKinds * kNumIndexes> groups;
+  for (std::size_t i = lo; i < hi; ++i) {
+    groups[group_id(batch[i].kind, batch[i].index)].push_back(i);
+  }
+  scratch.stages.shard_ms += ms_since(tshard);
+
+  auto run_seq = [&](const std::vector<std::size_t>& live) {
+    ++scratch.seq_groups;
+    for (const std::size_t i : live) {
+      const Status s = pre_status(batch[i]);
+      responses[i].status =
+          s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
+    }
+  };
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].empty()) continue;
+    const auto kind = static_cast<RequestKind>(g / kNumIndexes);
+    const auto index = static_cast<IndexKind>(g % kNumIndexes);
+    const auto tgroup = Clock::now();
+
+    const bool mounted = (index == IndexKind::kQuadTree && quad_ != nullptr) ||
+                         (index == IndexKind::kRTree && rtree_ != nullptr) ||
+                         (index == IndexKind::kLinearQuadTree &&
+                          linear_ != nullptr);
+    const bool supported =
+        mounted && !(kind == RequestKind::kNearest &&
+                     index == IndexKind::kLinearQuadTree);
+
+    // Settle structurally rejected and already-dead requests up front.
+    std::vector<std::size_t> live;
+    live.reserve(groups[g].size());
+    for (const std::size_t i : groups[g]) {
+      if (!supported) {
+        responses[i].status = Status::kRejected;
+        continue;
+      }
+      const Status s = pre_status(batch[i]);
+      if (s == Status::kOk) {
+        live.push_back(i);
+      } else {
+        responses[i].status = s;
+      }
+    }
+
+    if (!live.empty()) {
+      // The batch pipelines that exist: window queries on the quadtree and
+      // the R-tree, point queries on the quadtree.  Everything else -- and
+      // any group under the degradation threshold -- walks sequentially.
+      const bool has_pipeline =
+          (kind == RequestKind::kWindow && index != IndexKind::kLinearQuadTree) ||
+          (kind == RequestKind::kPoint && index == IndexKind::kQuadTree);
+      if (has_pipeline && live.size() >= opts_.min_dp_batch) {
+        // Earliest deadline in the group arms the pipeline's control; the
+        // engine kill switch is polled through the same hook.
+        core::BatchControl control;
+        control.cancel = &cancel_;
+        for (const std::size_t i : live) {
+          if (batch[i].has_deadline() &&
+              (!control.has_deadline() ||
+               batch[i].deadline < control.deadline)) {
+            control.deadline = batch[i].deadline;
+          }
+        }
+        core::BatchQueryResult result;
+        if (kind == RequestKind::kWindow) {
+          std::vector<geom::Rect> windows(live.size());
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            windows[j] = batch[live[j]].window;
+          }
+          result = index == IndexKind::kQuadTree
+                       ? core::batch_window_query(ctx, *quad_, windows, control)
+                       : core::batch_window_query(ctx, *rtree_, windows,
+                                                  control);
+        } else {
+          std::vector<geom::Point> points(live.size());
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            points[j] = batch[live[j]].point;
+          }
+          result = core::batch_point_query(ctx, *quad_, points, control);
+        }
+        if (result.aborted) {
+          // One fired deadline must not void its group-mates: requests
+          // still inside their own deadline re-run sequentially.
+          run_seq(live);
+        } else {
+          ++scratch.dp_groups;
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            responses[live[j]].ids = std::move(result.results[j]);
+            responses[live[j]].status = Status::kOk;
+          }
+        }
+      } else {
+        run_seq(live);
+      }
+    }
+
+    const double group_ms = ms_since(tgroup);
+    switch (kind) {
+      case RequestKind::kWindow: scratch.stages.window_ms += group_ms; break;
+      case RequestKind::kPoint: scratch.stages.point_ms += group_ms; break;
+      case RequestKind::kNearest: scratch.stages.nearest_ms += group_ms; break;
+    }
+    for (const std::size_t i : groups[g]) {
+      responses[i].latency_us = us_since(t0);
+    }
+  }
+
+  scratch.prims = ctx.counters();
+}
+
+std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
+  const auto t0 = Clock::now();
+  const std::size_t n = batch.size();
+  std::vector<Response> responses(n);
+
+  ServeMetrics delta;
+  delta.batches = 1;
+  delta.requests = n;
+
+  std::vector<ShardScratch> scratch;
+  if (n > 0) {
+    const std::size_t k = std::min(shards_, n);
+    scratch.resize(k);
+    // Lanes are the physical limit; when the engine is configured with
+    // more shards than lanes, each lane drains several shards in turn.
+    const std::size_t lanes = std::min(k, pool_->size());
+    pool_->run(lanes, [&](std::size_t lane) {
+      for (std::size_t s = lane; s < k; s += lanes) {
+        const auto [lo, hi] = dpv::Context::block_range(n, k, s);
+        if (lo < hi) execute_shard(batch, responses, t0, lo, hi, scratch[s]);
+      }
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (batch[i].kind) {
+        case RequestKind::kWindow: ++delta.window_requests; break;
+        case RequestKind::kPoint: ++delta.point_requests; break;
+        case RequestKind::kNearest: ++delta.nearest_requests; break;
+      }
+      switch (responses[i].status) {
+        case Status::kOk: ++delta.ok; break;
+        case Status::kDeadlineExpired: ++delta.expired; break;
+        case Status::kCancelled: ++delta.cancelled; break;
+        case Status::kRejected: ++delta.rejected; break;
+      }
+      delta.latency.record(responses[i].latency_us);
+    }
+    for (const ShardScratch& sc : scratch) {
+      delta.stages += sc.stages;
+      delta.dp_groups += sc.dp_groups;
+      delta.seq_groups += sc.seq_groups;
+    }
+  }
+
+  {
+    const auto tmerge = Clock::now();
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const ShardScratch& sc : scratch) session_.merge_counters(sc.prims);
+    delta.stages.merge_ms = ms_since(tmerge);
+    metrics_ += delta;
+  }
+  return responses;
+}
+
+ServeMetrics QueryEngine::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ServeMetrics out = metrics_;
+  out.prims = session_.snapshot();
+  return out;
+}
+
+void QueryEngine::reset_metrics() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_ = ServeMetrics{};
+  session_.reset_counters();
+}
+
+}  // namespace dps::serve

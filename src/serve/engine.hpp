@@ -1,0 +1,132 @@
+#pragma once
+// QueryEngine: a concurrent batch-query serving layer over the immutable
+// built indexes (pointer quadtree, R-tree, linear quadtree).
+//
+// The engine models the traffic shape the ROADMAP aims at -- many
+// independent query batches in flight at once -- on top of the paper's
+// single-batch data-parallel pipelines:
+//
+//   * Sharding.  A served batch is split into up to `shards` contiguous
+//     slices.  Each shard is one *worker session*: it runs on its own lane
+//     of the engine's ThreadPool with its own serial `dpv::Context`
+//     (forked via `Context::fork_serial`), so concurrent shards never race
+//     on a primitive ledger.  Within a shard, requests regroup by
+//     (kind, index) and each group runs the corresponding batch pipeline
+//     (`batch_window_query`, `batch_point_query`) in one data-parallel
+//     shot.
+//   * Graceful degradation.  Groups smaller than `min_dp_batch` -- and
+//     kinds/indexes with no batch pipeline (k-nearest, the linear
+//     quadtree, R-tree point queries) -- fall back to per-request
+//     sequential traversal; the fixed cost of the scan-model pipeline is
+//     not worth paying for a handful of queries.
+//   * Deadlines / cancellation.  Every request may carry an absolute
+//     deadline, and the engine has a batch-wide kill switch
+//     (`cancel_all`).  Both feed the `core::BatchControl` hook polled by
+//     the batch pipelines between scan-model rounds.  When a group's
+//     pipeline aborts, still-live requests of the group are re-run
+//     sequentially so one expired request cannot void its neighbors.
+//   * Metrics.  Per-shard ledgers (`PrimCounters`), stage wall-clocks, the
+//     dp-vs-sequential path split, and a per-request latency histogram all
+//     merge into one session ledger after each batch; `metrics()`
+//     snapshots it.  The merged PrimCounters replay through
+//     `dpv::MachineModel` like any other ledger.
+//
+// Thread-safety: `serve` may be called from any number of threads
+// concurrently (launches serialize on the pool); mounted indexes must stay
+// alive and unmodified while the engine exists.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/batch_query.hpp"
+#include "core/linear_quadtree.hpp"
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "dpv/dpv.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace dps::serve {
+
+struct EngineOptions {
+  /// Worker sessions a batch is split across (0 = one per pool lane).
+  std::size_t shards = 0;
+  /// OS-thread lanes of the engine's pool (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Smallest group that still runs the data-parallel batch pipeline;
+  /// smaller groups degrade to per-request sequential traversal.
+  std::size_t min_dp_batch = 8;
+  /// dpv grain for the per-shard contexts.
+  std::size_t grain = 4096;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions opts = {});
+
+  // Mounts an index.  Borrowed, immutable, must outlive the engine;
+  // remounting replaces the previous index of that type.  Not
+  // thread-safe against concurrent serve() calls -- mount before serving.
+  void mount(const core::QuadTree* tree) noexcept { quad_ = tree; }
+  void mount(const core::RTree* tree) noexcept { rtree_ = tree; }
+  void mount(const core::LinearQuadTree* tree) noexcept { linear_ = tree; }
+
+  std::size_t shards() const noexcept { return shards_; }
+  const EngineOptions& options() const noexcept { return opts_; }
+
+  /// Serves one batch; responses[i] answers batch[i].  Thread-safe.
+  std::vector<Response> serve(const std::vector<Request>& batch);
+
+  /// Fires the engine-wide kill switch: in-flight batch pipelines abort at
+  /// their next control poll and subsequent requests answer kCancelled,
+  /// until `reset_cancel`.
+  void cancel_all() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+  void reset_cancel() noexcept {
+    cancel_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the session metrics (ledger merged up to the last
+  /// completed serve() call).
+  ServeMetrics metrics() const;
+  void reset_metrics();
+
+ private:
+  // Per-shard scratch the worker session fills; folded into the session
+  // ledger after the fork joins.
+  struct ShardScratch {
+    dpv::PrimCounters prims;
+    StageTimes stages;
+    std::uint64_t dp_groups = 0;
+    std::uint64_t seq_groups = 0;
+  };
+
+  void execute_shard(const std::vector<Request>& batch,
+                     std::vector<Response>& responses, Clock::time_point t0,
+                     std::size_t lo, std::size_t hi, ShardScratch& scratch);
+
+  /// kCancelled / kDeadlineExpired / kOk ("runnable") for a request now.
+  Status pre_status(const Request& rq) const noexcept;
+
+  /// Runs one request sequentially (host traversal); returns its status.
+  Status run_sequential(const Request& rq, Response& rsp) const;
+
+  EngineOptions opts_;
+  std::size_t shards_ = 1;
+  std::shared_ptr<dpv::ThreadPool> pool_;
+  dpv::Context shard_template_;  // serial; forked per worker session
+
+  const core::QuadTree* quad_ = nullptr;
+  const core::RTree* rtree_ = nullptr;
+  const core::LinearQuadTree* linear_ = nullptr;
+
+  std::atomic<bool> cancel_{false};
+
+  mutable std::mutex metrics_mutex_;
+  dpv::Context session_;  // serial; its counters are the session ledger
+  ServeMetrics metrics_;
+};
+
+}  // namespace dps::serve

@@ -1,0 +1,71 @@
+#include "serve/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace dps::serve {
+
+void LatencyHistogram::record(double us) noexcept {
+  std::size_t b = 0;
+  if (us >= 1.0) {
+    const auto v = static_cast<std::uint64_t>(us);
+    b = static_cast<std::size_t>(std::bit_width(v)) - 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  ++buckets_[b];
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets_) total += c;
+  return total;
+}
+
+double LatencyHistogram::quantile_upper_us(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank && buckets_[b] > 0) {
+      return std::ldexp(1.0, static_cast<int>(b) + 1);
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(
+    const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  return *this;
+}
+
+StageTimes& StageTimes::operator+=(const StageTimes& other) noexcept {
+  shard_ms += other.shard_ms;
+  window_ms += other.window_ms;
+  point_ms += other.point_ms;
+  nearest_ms += other.nearest_ms;
+  merge_ms += other.merge_ms;
+  return *this;
+}
+
+ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) noexcept {
+  batches += other.batches;
+  requests += other.requests;
+  ok += other.ok;
+  expired += other.expired;
+  cancelled += other.cancelled;
+  rejected += other.rejected;
+  window_requests += other.window_requests;
+  point_requests += other.point_requests;
+  nearest_requests += other.nearest_requests;
+  dp_groups += other.dp_groups;
+  seq_groups += other.seq_groups;
+  prims += other.prims;
+  stages += other.stages;
+  latency += other.latency;
+  return *this;
+}
+
+}  // namespace dps::serve

@@ -1,0 +1,83 @@
+#pragma once
+// Serving-engine metrics: request accounting, per-stage wall clock, a
+// power-of-two latency histogram, and the merged scan-model ledger.
+//
+// Every shard counts into private copies of these structures while it
+// runs; the engine folds them into its session-wide ServeMetrics after the
+// fork joins (the same snapshot/merge discipline `dpv::Context` uses for
+// its PrimCounters).  The merged ledger is an ordinary PrimCounters, so it
+// replays through `dpv::MachineModel` like any build or batch-query
+// ledger.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "dpv/context.hpp"
+
+namespace dps::serve {
+
+/// Histogram over microsecond latencies with power-of-two buckets:
+/// bucket b counts samples in [2^b, 2^(b+1)) us (bucket 0 also takes
+/// sub-microsecond samples).  Fixed size, mergeable, no allocation.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double us) noexcept;
+  std::uint64_t count() const noexcept;
+
+  /// Upper bound (us) of the bucket holding the q-quantile sample
+  /// (0 < q <= 1); 0 when empty.  Coarse by design -- buckets are octaves.
+  double quantile_upper_us(double q) const noexcept;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& other) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Wall-clock milliseconds per engine stage, summed over serve() calls.
+struct StageTimes {
+  double shard_ms = 0.0;    // partition requests into per-shard groups
+  double window_ms = 0.0;   // window groups (batch pipeline or sequential)
+  double point_ms = 0.0;    // point groups
+  double nearest_ms = 0.0;  // k-nearest groups (always sequential)
+  double merge_ms = 0.0;    // fold shard ledgers/metrics into the session
+
+  StageTimes& operator+=(const StageTimes& other) noexcept;
+};
+
+struct ServeMetrics {
+  std::uint64_t batches = 0;   // serve() calls
+  std::uint64_t requests = 0;  // individual requests seen
+
+  // Terminal statuses.
+  std::uint64_t ok = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+
+  // Request mix.
+  std::uint64_t window_requests = 0;
+  std::uint64_t point_requests = 0;
+  std::uint64_t nearest_requests = 0;
+
+  // Execution-path split: groups that ran the data-parallel pipeline vs
+  // groups degraded to per-request sequential traversal (tiny batches,
+  // indexes without a batch pipeline, or deadline fallback).
+  std::uint64_t dp_groups = 0;
+  std::uint64_t seq_groups = 0;
+
+  dpv::PrimCounters prims;  // merged per-shard scan-model ledger
+  StageTimes stages;
+  LatencyHistogram latency;
+
+  ServeMetrics& operator+=(const ServeMetrics& other) noexcept;
+};
+
+}  // namespace dps::serve

@@ -1,0 +1,79 @@
+#pragma once
+// Request / response vocabulary for the batch-query serving engine.
+//
+// A Request names a query kind (window / point / k-nearest), the immutable
+// index it should run against, and an optional absolute deadline.  The
+// engine answers every request with a Response carrying a terminal Status;
+// result payloads are only meaningful for kOk.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/nearest.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::serve {
+
+using Clock = std::chrono::steady_clock;
+
+enum class RequestKind : std::uint8_t { kWindow, kPoint, kNearest };
+
+enum class IndexKind : std::uint8_t { kQuadTree, kRTree, kLinearQuadTree };
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kDeadlineExpired,  // request deadline passed before its answer was final
+  kCancelled,        // engine-wide cancel fired while the request was live
+  kRejected,         // unsupported (kind, index) combo or index not mounted
+};
+
+std::string_view status_name(Status s) noexcept;
+
+struct Request {
+  RequestKind kind = RequestKind::kWindow;
+  IndexKind index = IndexKind::kQuadTree;
+  geom::Rect window{};            // kWindow payload
+  geom::Point point{};            // kPoint / kNearest payload
+  std::size_t k = 1;              // kNearest answer count
+  Clock::time_point deadline{};   // the epoch (default) = no deadline
+
+  bool has_deadline() const noexcept {
+    return deadline.time_since_epoch().count() != 0;
+  }
+
+  static Request window_query(IndexKind idx, const geom::Rect& w) {
+    Request r;
+    r.kind = RequestKind::kWindow;
+    r.index = idx;
+    r.window = w;
+    return r;
+  }
+  static Request point_query(IndexKind idx, const geom::Point& p) {
+    Request r;
+    r.kind = RequestKind::kPoint;
+    r.index = idx;
+    r.point = p;
+    return r;
+  }
+  static Request nearest_query(IndexKind idx, const geom::Point& p,
+                               std::size_t k) {
+    Request r;
+    r.kind = RequestKind::kNearest;
+    r.index = idx;
+    r.point = p;
+    r.k = k;
+    return r;
+  }
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::vector<geom::LineId> ids;          // kWindow / kPoint answer
+  std::vector<core::Neighbor> neighbors;  // kNearest answer
+  double latency_us = 0.0;  // serve() entry -> this request's answer final
+};
+
+}  // namespace dps::serve

@@ -104,6 +104,86 @@ TEST(BatchPointQuery, EmptyTreeAndNoPoints) {
   EXPECT_TRUE(batch_point_query(ctx, tree, {}).results.empty());
 }
 
+TEST(BatchPointQuery, AllPointsOutsideTree) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(60, 1024.0, 25.0, 33);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  // Outside the world square entirely: every descent dies at the root.
+  const std::vector<geom::Point> points{
+      {-5.0, 10.0}, {2000.0, 2000.0}, {512.0, -1.0}, {1024.5, 512.0}};
+  const BatchQueryResult r = batch_point_query(ctx, tree, points);
+  ASSERT_EQ(r.results.size(), points.size());
+  EXPECT_EQ(r.candidates, 0u);
+  for (const auto& ids : r.results) EXPECT_TRUE(ids.empty());
+}
+
+TEST(BatchQuery, AllWindowsOutsideTree) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(60, 1024.0, 25.0, 34);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  const std::vector<geom::Rect> windows{{-200.0, -200.0, -10.0, -10.0},
+                                        {1500.0, 1500.0, 1600.0, 1600.0}};
+  const BatchQueryResult r = batch_window_query(ctx, tree, windows);
+  ASSERT_EQ(r.results.size(), windows.size());
+  for (const auto& ids : r.results) EXPECT_TRUE(ids.empty());
+}
+
+TEST(BatchQuery, SingleWindowSingleLine) {
+  dpv::Context ctx;
+  const std::vector<geom::Segment> lines{{{10.0, 10.0}, {50.0, 40.0}, 0}};
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  const auto hit = batch_window_query(ctx, tree, {geom::Rect{0, 0, 64, 64}});
+  ASSERT_EQ(hit.results.size(), 1u);
+  EXPECT_EQ(hit.results[0], (std::vector<geom::LineId>{0}));
+  const auto miss =
+      batch_window_query(ctx, tree, {geom::Rect{500, 500, 600, 600}});
+  EXPECT_TRUE(miss.results[0].empty());
+}
+
+TEST(BatchControl, DefaultNeverFires) {
+  const BatchControl control;
+  EXPECT_FALSE(control.has_deadline());
+  EXPECT_FALSE(control.fired());
+}
+
+TEST(BatchControl, CancelFlagAndDeadlineFire) {
+  std::atomic<bool> cancel{false};
+  BatchControl control;
+  control.cancel = &cancel;
+  EXPECT_FALSE(control.fired());
+  cancel.store(true);
+  EXPECT_TRUE(control.fired());
+
+  BatchControl expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_TRUE(expired.has_deadline());
+  EXPECT_TRUE(expired.fired());
+}
+
+TEST(BatchControl, FiredControlAbortsPipelines) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(200, 1024.0, 25.0, 35);
+  PmrBuildOptions o;
+  o.world = 1024.0;
+  const QuadTree tree = pmr_build(ctx, lines, o).tree;
+  std::atomic<bool> cancel{true};  // already fired on entry
+  BatchControl control;
+  control.cancel = &cancel;
+  const auto w = batch_window_query(ctx, tree, {geom::Rect{0, 0, 512, 512}},
+                                    control);
+  EXPECT_TRUE(w.aborted);
+  const auto p =
+      batch_point_query(ctx, tree, {lines[0].mid()}, control);
+  EXPECT_TRUE(p.aborted);
+}
+
 TEST(BatchQuery, ParallelBackendMatchesSerial) {
   dpv::Context serial;
   dpv::Context par = test::make_parallel_context();

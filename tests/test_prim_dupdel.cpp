@@ -55,6 +55,33 @@ TEST(DupDelete, SortedUniqueIdsPipeline) {
   EXPECT_EQ(sorted_unique_ids(ctx, ids), (dpv::Vec<geom::LineId>{1, 3, 7, 9}));
 }
 
+TEST(DupDelete, PlanOnEmptyInput) {
+  dpv::Context ctx;
+  const DupDeletePlan plan = plan_duplicate_deletion(ctx, dpv::Vec<int>{});
+  EXPECT_EQ(plan.out_size, 0u);
+  EXPECT_TRUE(plan.keep.empty());
+  EXPECT_TRUE(apply_duplicate_deletion(ctx, plan, dpv::Vec<int>{}).empty());
+}
+
+TEST(DupDelete, AllDuplicateKeysWithPayload) {
+  dpv::Context ctx;
+  const dpv::Vec<int> ids{6, 6, 6, 6, 6, 6};
+  const dpv::Vec<char> payload{'x', 'y', 'z', 'p', 'q', 'r'};
+  const DupDeletePlan plan = plan_duplicate_deletion(ctx, ids);
+  EXPECT_EQ(plan.out_size, 1u);
+  EXPECT_EQ(apply_duplicate_deletion(ctx, plan, payload),
+            (dpv::Vec<char>{'x'}));
+}
+
+TEST(DupDelete, SortedUniqueIdsEdgeCases) {
+  dpv::Context ctx;
+  EXPECT_TRUE(sorted_unique_ids(ctx, {}).empty());
+  EXPECT_EQ(sorted_unique_ids(ctx, dpv::Vec<geom::LineId>{5}),
+            (dpv::Vec<geom::LineId>{5}));
+  EXPECT_EQ(sorted_unique_ids(ctx, dpv::Vec<geom::LineId>{9, 9, 9, 9}),
+            (dpv::Vec<geom::LineId>{9}));
+}
+
 TEST(DupDelete, ParallelMatchesSerialOnLargeInput) {
   dpv::Context serial;
   dpv::Context par = test::make_parallel_context();

@@ -55,6 +55,18 @@ TEST(RtreeBatchQuery, EmptyCases) {
   EXPECT_TRUE(batch_window_query(ctx, tree, {}).results.empty());
 }
 
+TEST(RtreeBatchQuery, FiredControlAbortsDescent) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(120, 1024.0, 20.0, 505);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  std::atomic<bool> cancel{true};
+  BatchControl control;
+  control.cancel = &cancel;
+  const auto r = batch_window_query(ctx, tree, {geom::Rect{0, 0, 900, 900}},
+                                    control);
+  EXPECT_TRUE(r.aborted);
+}
+
 TEST(RtreeBatchQuery, AllWindowsMissEveryNode) {
   dpv::Context ctx;
   const auto lines = data::uniform_segments(60, 1024.0, 20.0, 504);

@@ -1,0 +1,310 @@
+// QueryEngine unit tests: status handling, graceful degradation, metrics
+// and ledger merging, cancellation/deadlines, and concurrent serving.
+
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "core/core.hpp"
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::serve {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_ = data::uniform_segments(400, kWorld, 25.0, 77);
+    dpv::Context ctx;
+    core::PmrBuildOptions po;
+    po.world = kWorld;
+    po.max_depth = 10;
+    po.bucket_capacity = 4;
+    quad_ = core::pmr_build(ctx, lines_, po).tree;
+    core::RtreeBuildOptions ro;
+    ro.m = 2;
+    ro.M = 8;
+    rtree_ = core::rtree_build(ctx, lines_, ro).tree;
+    linear_ = core::LinearQuadTree::from(quad_);
+  }
+
+  // QueryEngine owns a mutex/atomic, so it is neither movable nor
+  // copyable; hand out a heap instance.
+  std::unique_ptr<QueryEngine> make_engine(EngineOptions opts = {}) {
+    auto e = std::make_unique<QueryEngine>(opts);
+    e->mount(&quad_);
+    e->mount(&rtree_);
+    e->mount(&linear_);
+    return e;
+  }
+
+  std::vector<Request> mixed_requests(std::size_t n) const {
+    std::vector<Request> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>((i * 131) % 900);
+      const double y = static_cast<double>((i * 79) % 900);
+      const auto idx = static_cast<IndexKind>(i % 3);
+      switch (i % 5) {
+        case 0:
+        case 1:
+          batch.push_back(Request::window_query(
+              idx, {x, y, x + 80.0, y + 60.0}));
+          break;
+        case 2:
+          batch.push_back(
+              Request::point_query(idx, lines_[i % lines_.size()].mid()));
+          break;
+        case 3:
+          batch.push_back(Request::point_query(idx, {x + 0.5, y + 0.5}));
+          break;
+        default:
+          // Nearest is unsupported on the linear quadtree; keep it on the
+          // tree indexes here (the rejection path has its own test).
+          batch.push_back(Request::nearest_query(
+              idx == IndexKind::kLinearQuadTree ? IndexKind::kQuadTree : idx,
+              {x, y}, 1 + i % 4));
+          break;
+      }
+    }
+    return batch;
+  }
+
+  // Sequential ground truth for one request (mirrors the engine's
+  // supported-combination table).
+  Response expect_for(const Request& rq) const {
+    Response rsp;
+    switch (rq.kind) {
+      case RequestKind::kWindow:
+        rsp.ids = rq.index == IndexKind::kQuadTree
+                      ? core::window_query(quad_, rq.window)
+                      : rq.index == IndexKind::kRTree
+                            ? core::window_query(rtree_, rq.window)
+                            : linear_.window_query(rq.window);
+        break;
+      case RequestKind::kPoint:
+        rsp.ids = rq.index == IndexKind::kQuadTree
+                      ? core::point_query(quad_, rq.point)
+                      : rq.index == IndexKind::kRTree
+                            ? core::point_query(rtree_, rq.point)
+                            : linear_.point_query(rq.point);
+        break;
+      case RequestKind::kNearest:
+        rsp.neighbors = rq.index == IndexKind::kQuadTree
+                            ? core::k_nearest(quad_, rq.point, rq.k)
+                            : core::k_nearest(rtree_, rq.point, rq.k);
+        break;
+    }
+    return rsp;
+  }
+
+  void expect_matches_sequential(const std::vector<Request>& batch,
+                                 const std::vector<Response>& responses) {
+    ASSERT_EQ(responses.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(responses[i].status, Status::kOk) << "request " << i;
+      const Response want = expect_for(batch[i]);
+      EXPECT_EQ(responses[i].ids, want.ids) << "request " << i;
+      ASSERT_EQ(responses[i].neighbors.size(), want.neighbors.size())
+          << "request " << i;
+      for (std::size_t j = 0; j < want.neighbors.size(); ++j) {
+        EXPECT_EQ(responses[i].neighbors[j].id, want.neighbors[j].id);
+        EXPECT_DOUBLE_EQ(responses[i].neighbors[j].distance2,
+                         want.neighbors[j].distance2);
+      }
+    }
+  }
+
+  static constexpr double kWorld = 1024.0;
+  std::vector<geom::Segment> lines_;
+  core::QuadTree quad_;
+  core::RTree rtree_;
+  core::LinearQuadTree linear_;
+};
+
+TEST_F(QueryEngineTest, EmptyBatch) {
+  auto engine = make_engine();
+  EXPECT_TRUE(engine->serve({}).empty());
+  const ServeMetrics m = engine->metrics();
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.requests, 0u);
+}
+
+TEST_F(QueryEngineTest, MixedBatchMatchesSequential) {
+  EngineOptions opts;
+  opts.shards = 4;
+  opts.threads = 4;
+  opts.min_dp_batch = 4;
+  auto engine = make_engine(opts);
+  const auto batch = mixed_requests(240);
+  expect_matches_sequential(batch, engine->serve(batch));
+  const ServeMetrics m = engine->metrics();
+  EXPECT_EQ(m.requests, 240u);
+  EXPECT_EQ(m.ok, 240u);
+  EXPECT_GT(m.dp_groups, 0u);
+  EXPECT_GT(m.nearest_requests, 0u);
+  EXPECT_EQ(m.latency.count(), 240u);
+}
+
+TEST_F(QueryEngineTest, MoreShardsThanLanesStillCoversEveryRequest) {
+  EngineOptions opts;
+  opts.shards = 8;
+  opts.threads = 2;
+  opts.min_dp_batch = 2;
+  auto engine = make_engine(opts);
+  EXPECT_EQ(engine->shards(), 8u);
+  const auto batch = mixed_requests(150);
+  expect_matches_sequential(batch, engine->serve(batch));
+}
+
+TEST_F(QueryEngineTest, UnmountedIndexIsRejected) {
+  EngineOptions opts;
+  opts.shards = 2;
+  QueryEngine engine(opts);
+  engine.mount(&quad_);  // no R-tree, no linear quadtree
+  std::vector<Request> batch{
+      Request::window_query(IndexKind::kQuadTree, {0, 0, 100, 100}),
+      Request::window_query(IndexKind::kRTree, {0, 0, 100, 100}),
+      Request::point_query(IndexKind::kLinearQuadTree, {1, 1}),
+  };
+  const auto rsp = engine.serve(batch);
+  EXPECT_EQ(rsp[0].status, Status::kOk);
+  EXPECT_EQ(rsp[1].status, Status::kRejected);
+  EXPECT_EQ(rsp[2].status, Status::kRejected);
+  EXPECT_EQ(engine.metrics().rejected, 2u);
+}
+
+TEST_F(QueryEngineTest, NearestOnLinearQuadtreeIsRejected) {
+  auto engine = make_engine();
+  const auto rsp = engine->serve(
+      {Request::nearest_query(IndexKind::kLinearQuadTree, {10, 10}, 3)});
+  ASSERT_EQ(rsp.size(), 1u);
+  EXPECT_EQ(rsp[0].status, Status::kRejected);
+}
+
+TEST_F(QueryEngineTest, ExpiredDeadlineShortCircuits) {
+  auto engine = make_engine();
+  auto batch = mixed_requests(20);
+  batch[3].deadline = Clock::now() - std::chrono::milliseconds(1);
+  batch[11].deadline = Clock::now() - std::chrono::milliseconds(1);
+  batch[7].deadline = Clock::now() + std::chrono::hours(1);  // generous
+  const auto rsp = engine->serve(batch);
+  EXPECT_EQ(rsp[3].status, Status::kDeadlineExpired);
+  EXPECT_TRUE(rsp[3].ids.empty());
+  EXPECT_EQ(rsp[11].status, Status::kDeadlineExpired);
+  // A fired deadline must not void its group-mates.
+  for (std::size_t i = 0; i < rsp.size(); ++i) {
+    if (i == 3 || i == 11) continue;
+    EXPECT_EQ(rsp[i].status, Status::kOk) << "request " << i;
+  }
+  EXPECT_EQ(engine->metrics().expired, 2u);
+}
+
+TEST_F(QueryEngineTest, CancelAllThenReset) {
+  auto engine = make_engine();
+  const auto batch = mixed_requests(30);
+  engine->cancel_all();
+  for (const Response& r : engine->serve(batch)) {
+    EXPECT_EQ(r.status, Status::kCancelled);
+  }
+  EXPECT_EQ(engine->metrics().cancelled, 30u);
+  engine->reset_cancel();
+  expect_matches_sequential(batch, engine->serve(batch));
+}
+
+TEST_F(QueryEngineTest, TinyBatchDegradesToSequential) {
+  EngineOptions opts;
+  opts.shards = 1;
+  opts.min_dp_batch = 1000;  // force sequential traversal
+  auto engine = make_engine(opts);
+  const auto batch = mixed_requests(40);
+  expect_matches_sequential(batch, engine->serve(batch));
+  const ServeMetrics m = engine->metrics();
+  EXPECT_EQ(m.dp_groups, 0u);
+  EXPECT_GT(m.seq_groups, 0u);
+  // Sequential traversal never touches the scan-model runtime.
+  EXPECT_EQ(m.prims.total_invocations(), 0u);
+}
+
+TEST_F(QueryEngineTest, DataParallelPathChargesTheSessionLedger) {
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.min_dp_batch = 1;
+  auto engine = make_engine(opts);
+  engine->serve(mixed_requests(120));
+  const ServeMetrics m = engine->metrics();
+  EXPECT_GT(m.dp_groups, 0u);
+  EXPECT_GT(m.prims.total_invocations(), 0u);
+  engine->reset_metrics();
+  EXPECT_EQ(engine->metrics().prims.total_invocations(), 0u);
+  EXPECT_EQ(engine->metrics().requests, 0u);
+}
+
+TEST_F(QueryEngineTest, ConcurrentServeCallersMatchSequential) {
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.threads = 2;
+  opts.min_dp_batch = 4;
+  auto engine = make_engine(opts);
+  constexpr int kCallers = 4;
+  std::vector<std::vector<Request>> batches;
+  std::vector<std::vector<Response>> answers(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    batches.push_back(mixed_requests(60 + 7 * c));
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back(
+        [&, c] { answers[c] = engine->serve(batches[c]); });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    expect_matches_sequential(batches[c], answers[c]);
+  }
+  std::uint64_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  const ServeMetrics m = engine->metrics();
+  EXPECT_EQ(m.requests, total);
+  EXPECT_EQ(m.ok, total);
+  EXPECT_EQ(m.batches, static_cast<std::uint64_t>(kCallers));
+}
+
+TEST(LatencyHistogram, RecordsIntoOctaveBuckets) {
+  LatencyHistogram h;
+  h.record(0.5);   // bucket 0
+  h.record(1.0);   // bucket 0: [1, 2)
+  h.record(3.0);   // bucket 1: [2, 4)
+  h.record(100.0); // bucket 6: [64, 128)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[6], 1u);
+}
+
+TEST(LatencyHistogram, QuantileUpperBoundsAndMerge) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_upper_us(0.5), 0.0);
+  for (int i = 0; i < 90; ++i) h.record(1.5);   // bucket 0, upper 2us
+  for (int i = 0; i < 10; ++i) h.record(500.0); // bucket 8, upper 512us
+  EXPECT_EQ(h.quantile_upper_us(0.5), 2.0);
+  EXPECT_EQ(h.quantile_upper_us(0.99), 512.0);
+  LatencyHistogram other;
+  other.record(500.0);
+  h += other;
+  EXPECT_EQ(h.count(), 101u);
+}
+
+TEST(ServeStatus, Names) {
+  EXPECT_EQ(status_name(Status::kOk), "ok");
+  EXPECT_EQ(status_name(Status::kDeadlineExpired), "deadline-expired");
+  EXPECT_EQ(status_name(Status::kCancelled), "cancelled");
+  EXPECT_EQ(status_name(Status::kRejected), "rejected");
+}
+
+}  // namespace
+}  // namespace dps::serve

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace dps::dpv {
@@ -66,6 +68,98 @@ TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
   std::atomic<int> total{0};
   pool.run(pool.size(), [&](std::size_t) { total++; });
   EXPECT_EQ(static_cast<std::size_t>(total.load()), pool.size());
+}
+
+TEST(ThreadPool, SingleLanePoolClampsOversizedLaunch) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.run(64, [&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    total++;
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+// The serving engine issues launches from several driver threads at once;
+// concurrent run() callers must serialize, each seeing a complete launch.
+TEST(ThreadPool, ConcurrentRunCallersSerializeCorrectly) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 100;
+  std::atomic<std::int64_t> sum{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        pool.run(4, [&](std::size_t lane) {
+          sum += static_cast<std::int64_t>(lane) + 1;
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(sum.load(), std::int64_t{kCallers} * kRounds * (1 + 2 + 3 + 4));
+}
+
+// Concurrent callers with *different* lane counts: each launch must see
+// exactly its own k, never a neighbor's.
+TEST(ThreadPool, ConcurrentMixedWidthLaunches) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> narrow{0}, wide{0};
+  std::thread a([&] {
+    for (int r = 0; r < 150; ++r) {
+      pool.run(2, [&](std::size_t lane) {
+        EXPECT_LT(lane, 2u);
+        narrow++;
+      });
+    }
+  });
+  std::thread b([&] {
+    for (int r = 0; r < 150; ++r) {
+      pool.run(4, [&](std::size_t lane) {
+        EXPECT_LT(lane, 4u);
+        wide++;
+      });
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(narrow.load(), 150 * 2);
+  EXPECT_EQ(wide.load(), 150 * 4);
+}
+
+TEST(ThreadPool, DestructionWhileWorkersParked) {
+  // Workers that have never run, and workers parked after a launch, must
+  // both shut down cleanly.
+  { ThreadPool pool(4); }  // never launched
+  {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.run(4, [&](std::size_t) { total++; });
+    EXPECT_EQ(total.load(), 4);
+    // Give a worker a chance to be mid-repark when the destructor fires.
+    std::this_thread::yield();
+  }
+  // Rapid create/launch/destroy churn.
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.run(3, [&](std::size_t) { total++; });
+    EXPECT_EQ(total.load(), 3);
+  }
+}
+
+TEST(ThreadPool, UnevenLaneDurationsStillJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.run(4, [&](std::size_t lane) {
+    if (lane == 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    done++;
+  });
+  // run() returning proves the join barrier held for the slow lane.
+  EXPECT_EQ(done.load(), 4);
 }
 
 }  // namespace
