@@ -7,6 +7,8 @@
 // Also reports the merged scan-model ledger and its MachineModel replay --
 // the serving layer charges the same unit-cost model as the builds.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <random>
 #include <thread>
@@ -145,6 +147,86 @@ int main() {
                 single_shard_ms / ms, m.latency.quantile_upper_us(0.50),
                 m.latency.quantile_upper_us(0.99),
                 checksum(responses) == want ? "identical" : "MISMATCH");
+  }
+
+  // S2: overload.  Offered load deliberately exceeds capacity: many client
+  // threads hammer a small engine.  Without admission everything is
+  // admitted and queues on the pool, so tail latency grows with the
+  // backlog; with admission the engine sheds the excess (kShedded, never a
+  // wrong answer) and keeps the tail of the work it does serve bounded.
+  {
+    constexpr int kClients = 16;
+    constexpr int kBatchesPerClient = 4;
+    constexpr std::size_t kOverloadBatch = 500;
+    std::vector<std::vector<serve::Request>> chunks;
+    for (std::size_t lo = 0; lo + kOverloadBatch <= batch.size();
+         lo += kOverloadBatch) {
+      chunks.emplace_back(batch.begin() + static_cast<std::ptrdiff_t>(lo),
+                          batch.begin() +
+                              static_cast<std::ptrdiff_t>(lo + kOverloadBatch));
+    }
+
+    std::printf("\nS2: overload, %d clients x %d batches of %zu requests "
+                "(engine: 2 lanes; admission: 2 running / 2 queued)\n",
+                kClients, kBatchesPerClient, kOverloadBatch);
+    std::printf("%-22s %10s %14s %7s %11s %11s\n", "config", "wall_ms",
+                "goodput(req/s)", "shed%", "ok_p50(us)", "ok_p99(us)");
+
+    for (const bool admission : {false, true}) {
+      serve::EngineOptions eo;
+      eo.shards = 2;
+      eo.threads = 2;
+      eo.min_dp_batch = 8;
+      eo.admission.enabled = admission;
+      eo.admission.max_concurrent_batches = 2;
+      eo.admission.max_queued_batches = 2;
+      eo.admission.max_inflight_requests = 4 * kOverloadBatch;
+      serve::QueryEngine engine(eo);
+      engine.mount(&quad);
+      engine.mount(&rtree);
+
+      std::vector<std::vector<double>> ok_lat(kClients);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          for (int b = 0; b < kBatchesPerClient; ++b) {
+            const auto& chunk =
+                chunks[static_cast<std::size_t>(c * kBatchesPerClient + b) %
+                       chunks.size()];
+            for (const serve::Response& r : engine.serve(chunk)) {
+              if (r.status == serve::Status::kOk) {
+                ok_lat[static_cast<std::size_t>(c)].push_back(r.latency_us);
+              }
+            }
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+
+      std::vector<double> lat;
+      for (const auto& v : ok_lat) lat.insert(lat.end(), v.begin(), v.end());
+      std::sort(lat.begin(), lat.end());
+      auto quantile = [&lat](double q) {
+        if (lat.empty()) return 0.0;
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(lat.size() - 1));
+        return lat[idx];
+      };
+      const serve::ServeMetrics m = engine.metrics();
+      const double offered = static_cast<double>(m.requests);
+      const double shed_pct =
+          offered == 0.0 ? 0.0
+                         : 100.0 * static_cast<double>(m.shedded) / offered;
+      std::printf("%-22s %10.2f %14.0f %6.1f%% %11.0f %11.0f\n",
+                  admission ? "admission" : "no-admission", wall_ms,
+                  1000.0 * static_cast<double>(m.ok) / wall_ms, shed_pct,
+                  quantile(0.50), quantile(0.99));
+    }
   }
 
   // The serving ledger replays through the paper's cost model like any

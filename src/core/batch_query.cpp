@@ -27,7 +27,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   std::vector<std::uint32_t> cand_edge;
   std::vector<std::int32_t> stack;
   for (std::size_t w = 0; w < windows.size(); ++w) {
-    if (w % kControlStride == 0 && control.fired()) {
+    if (w % kControlStride == 0 && batch_aborting(ctx, control)) {
       out.aborted = true;
       return out;
     }
@@ -52,7 +52,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   out.candidates = cand_edge.size();
   const std::size_t n = cand_edge.size();
   if (n == 0) return out;
-  if (control.fired()) {
+  if (batch_aborting(ctx, control)) {
     out.aborted = true;
     return out;
   }
@@ -65,7 +65,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   });
 
   // Pack survivors, sort by (window, line id), concentrate duplicates.
-  if (control.fired()) {
+  if (batch_aborting(ctx, control)) {
     out.aborted = true;
     return out;
   }
@@ -78,6 +78,12 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   dpv::Vec<std::uint64_t> sorted = dpv::gather(ctx, hits, order);
   dpv::Vec<std::uint64_t> unique = prim::delete_duplicates(ctx, sorted);
 
+  // Final poll: a fault injected into the concentration primitives above
+  // must still mark the whole batch untrusted.
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
   for (const std::uint64_t key : unique) {
     const auto w = static_cast<std::size_t>(key >> 32);
     out.results[w].push_back(static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
@@ -99,7 +105,7 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   std::vector<std::uint32_t> cand_edge;
   std::vector<std::int32_t> stack;
   for (std::size_t p = 0; p < points.size(); ++p) {
-    if (p % kControlStride == 0 && control.fired()) {
+    if (p % kControlStride == 0 && batch_aborting(ctx, control)) {
       out.aborted = true;
       return out;
     }
@@ -123,7 +129,7 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   out.candidates = cand_edge.size();
   const std::size_t n = cand_edge.size();
   if (n == 0) return out;
-  if (control.fired()) {
+  if (batch_aborting(ctx, control)) {
     out.aborted = true;
     return out;
   }
@@ -140,6 +146,10 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
   dpv::Vec<std::uint64_t> unique =
       prim::delete_duplicates(ctx, dpv::gather(ctx, hits, order));
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
   for (const std::uint64_t key : unique) {
     out.results[key >> 32].push_back(
         static_cast<geom::LineId>(key & 0xFFFF'FFFFu));

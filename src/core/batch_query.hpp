@@ -42,12 +42,22 @@ struct BatchControl {
   }
 };
 
+/// The abort poll the batch pipelines run between scan-model rounds: the
+/// cooperative control (cancel / deadline) plus the context's injected
+/// fault latch (`Context::arm_fault_injection`), so a chaos schedule
+/// aborts a pipeline exactly where a deadline would.
+inline bool batch_aborting(const dpv::Context& ctx,
+                           const BatchControl& control) noexcept {
+  return ctx.fault_pending() || control.fired();
+}
+
 struct BatchQueryResult {
   /// results[w] = sorted unique line ids intersecting windows[w].
   std::vector<std::vector<geom::LineId>> results;
   std::size_t candidates = 0;  // (window, q-edge) pairs tested
-  /// True when the control fired mid-pipeline; `results` is then
-  /// incomplete (some rows may be missing ids) and must not be trusted.
+  /// True when the control fired (or an injected fault latched)
+  /// mid-pipeline; `results` is then incomplete (some rows may be missing
+  /// ids) and must not be trusted.
   bool aborted = false;
 };
 

@@ -19,3 +19,4 @@
 #include "core/rtree_build.hpp"   // IWYU pragma: export
 #include "core/rtree_join.hpp"    // IWYU pragma: export
 #include "core/spatial_join.hpp"  // IWYU pragma: export
+#include "core/validate.hpp"      // IWYU pragma: export

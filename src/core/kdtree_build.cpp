@@ -102,17 +102,21 @@ KdBuildResult kd_build(dpv::Context& ctx, std::vector<geom::Point> pts,
       const std::size_t left = (count + 1) / 2;
       new_seg[starts[g] + left] = 1;
       const int axis = frontier[g].depth % 2;
-      KdTree::Node& nd = nodes[frontier[g].node];
-      nd.is_leaf = false;
-      nd.axis = static_cast<std::uint8_t>(axis);
-      const geom::Point& boundary = p[starts[g] + left - 1];
-      nd.split = axis == 0 ? boundary.x : boundary.y;
-      nd.left = static_cast<std::int32_t>(nodes.size());
-      nd.right = nd.left + 1;
+      const auto left_child = static_cast<std::int32_t>(nodes.size());
+      {
+        // Scoped: push_back below may reallocate and invalidate this ref.
+        KdTree::Node& nd = nodes[frontier[g].node];
+        nd.is_leaf = false;
+        nd.axis = static_cast<std::uint8_t>(axis);
+        const geom::Point& boundary = p[starts[g] + left - 1];
+        nd.split = axis == 0 ? boundary.x : boundary.y;
+        nd.left = left_child;
+        nd.right = left_child + 1;
+      }
       nodes.push_back(KdTree::Node{});
       nodes.push_back(KdTree::Node{});
-      next_frontier.push_back({nd.left, frontier[g].depth + 1});
-      next_frontier.push_back({nd.right, frontier[g].depth + 1});
+      next_frontier.push_back({left_child, frontier[g].depth + 1});
+      next_frontier.push_back({left_child + 1, frontier[g].depth + 1});
     }
     seg = std::move(new_seg);
     frontier = std::move(next_frontier);

@@ -1,5 +1,6 @@
 #include "core/pm1_build.hpp"
 
+#include "core/validate.hpp"
 #include "prim/pm_split_test.hpp"
 #include "prim/quad_split.hpp"
 
@@ -7,6 +8,7 @@ namespace dps::core {
 
 QuadBuildResult pm1_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
                           const QuadBuildOptions& opts) {
+  validate_segments_or_throw(lines);  // finite-only; builds clip to world
   const dpv::PrimCounters before = ctx.counters();
   QuadBuildResult res;
   prim::LineSet ls =

@@ -1,11 +1,16 @@
 #include "core/pmr_build.hpp"
 
 #include "core/pmr_update.hpp"
+#include "core/validate.hpp"
 
 namespace dps::core {
 
 QuadBuildResult pmr_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
                           const PmrBuildOptions& opts) {
+  // Finite-only: the quad builds clip lines to the root square, so
+  // out-of-world endpoints are legal here (Figure 38's star bursts rely on
+  // it); NaN/inf would still poison every comparison.
+  validate_segments_or_throw(lines);
   const dpv::PrimCounters before = ctx.counters();
   QuadBuildResult res;
   prim::LineSet ls =

@@ -49,7 +49,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
 
   while (!fwin.empty()) {
     // One control poll per descent round (a round is one tree level).
-    if (control.fired()) {
+    if (batch_aborting(ctx, control)) {
       out.aborted = true;
       return out;
     }
@@ -99,7 +99,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
   }
 
   // Expand leaf pairs to (window, entry) candidates and test elementwise.
-  if (control.fired()) {
+  if (batch_aborting(ctx, control)) {
     out.aborted = true;
     return out;
   }
@@ -132,6 +132,10 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
   dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
   dpv::Vec<std::uint64_t> sorted = dpv::gather(ctx, hits, order);
   dpv::Vec<std::uint64_t> unique = prim::delete_duplicates(ctx, sorted);
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
   for (const std::uint64_t key : unique) {
     out.results[key >> 32].push_back(
         static_cast<geom::LineId>(key & 0xFFFF'FFFFu));

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/validate.hpp"
 #include "prim/capacity_check.hpp"
 #include "prim/clone.hpp"
 #include "prim/unshuffle.hpp"
@@ -162,6 +163,8 @@ RTree assemble(dpv::Context& ctx, const BuildState& st,
 RtreeBuildResult rtree_build(dpv::Context& ctx,
                              std::vector<geom::Segment> lines,
                              const RtreeBuildOptions& opts) {
+  // The R-tree has no fixed world square; only finiteness is checkable.
+  validate_segments_or_throw(lines);
   const dpv::PrimCounters before = ctx.counters();
   RtreeBuildResult res;
 

@@ -1,0 +1,90 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+
+namespace dps::core {
+
+namespace {
+
+bool finite_point(const geom::Point& p) noexcept {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+}  // namespace
+
+std::string_view geometry_error_name(GeometryErrorCode code) noexcept {
+  switch (code) {
+    case GeometryErrorCode::kNonFiniteCoordinate: return "non-finite-coordinate";
+    case GeometryErrorCode::kInvertedWindow: return "inverted-window";
+    case GeometryErrorCode::kZeroAreaWindow: return "zero-area-window";
+    case GeometryErrorCode::kOutOfWorldPoint: return "out-of-world-point";
+    case GeometryErrorCode::kZeroNearestCount: return "zero-nearest-count";
+  }
+  return "unknown";
+}
+
+std::string GeometryIssue::describe() const {
+  std::string out{geometry_error_name(code)};
+  out += " at element ";
+  out += std::to_string(index);
+  return out;
+}
+
+GeometryError::GeometryError(const GeometryIssue& issue)
+    : std::invalid_argument(issue.describe()), issue_(issue) {}
+
+std::optional<GeometryIssue> validate_window(const geom::Rect& w) noexcept {
+  if (!std::isfinite(w.xmin) || !std::isfinite(w.ymin) ||
+      !std::isfinite(w.xmax) || !std::isfinite(w.ymax)) {
+    return GeometryIssue{GeometryErrorCode::kNonFiniteCoordinate};
+  }
+  if (w.xmin > w.xmax || w.ymin > w.ymax) {
+    return GeometryIssue{GeometryErrorCode::kInvertedWindow};
+  }
+  if (w.xmin == w.xmax || w.ymin == w.ymax) {
+    return GeometryIssue{GeometryErrorCode::kZeroAreaWindow};
+  }
+  return std::nullopt;
+}
+
+std::optional<GeometryIssue> validate_point(const geom::Point& p) noexcept {
+  if (!finite_point(p)) {
+    return GeometryIssue{GeometryErrorCode::kNonFiniteCoordinate};
+  }
+  return std::nullopt;
+}
+
+std::optional<GeometryIssue> validate_nearest(const geom::Point& p,
+                                              std::size_t k) noexcept {
+  if (auto issue = validate_point(p)) return issue;
+  if (k == 0) return GeometryIssue{GeometryErrorCode::kZeroNearestCount};
+  return std::nullopt;
+}
+
+std::optional<GeometryIssue> validate_segments(
+    const std::vector<geom::Segment>& lines, double world) noexcept {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const geom::Segment& s = lines[i];
+    if (!finite_point(s.a) || !finite_point(s.b)) {
+      return GeometryIssue{GeometryErrorCode::kNonFiniteCoordinate, i};
+    }
+    if (world > 0.0) {
+      const bool inside = s.a.x >= 0.0 && s.a.x <= world && s.a.y >= 0.0 &&
+                          s.a.y <= world && s.b.x >= 0.0 && s.b.x <= world &&
+                          s.b.y >= 0.0 && s.b.y <= world;
+      if (!inside) {
+        return GeometryIssue{GeometryErrorCode::kOutOfWorldPoint, i};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void validate_segments_or_throw(const std::vector<geom::Segment>& lines,
+                                double world) {
+  if (auto issue = validate_segments(lines, world)) {
+    throw GeometryError(*issue);
+  }
+}
+
+}  // namespace dps::core

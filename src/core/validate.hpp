@@ -1,0 +1,80 @@
+#pragma once
+// Typed input validation at the build / query boundary.
+//
+// The builds and query pipelines assume finite, in-world geometry; feeding
+// them NaN/inf coordinates or inverted windows yields silent garbage (NaN
+// compares false everywhere, so a NaN window "intersects" nothing and a
+// NaN segment vanishes from every structure).  These checks reject such
+// inputs with *typed* errors instead:
+//
+//   * `validate_window` / `validate_point` / `validate_nearest` are the
+//     per-request query checks (the serving engine runs them on every
+//     request and answers Status::kInvalidArgument);
+//   * `validate_segments` is the build-boundary sweep (non-finite
+//     coordinates, endpoints outside [0, world]^2 when a world is given);
+//     the quadtree and R-tree builds call the throwing form up front, so a
+//     malformed map fails fast with a GeometryError rather than building a
+//     structure that quietly misanswers.
+//
+// `data::check_map` remains the richer offline linter (duplicate ids,
+// planarity); this layer is the cheap always-on gate.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+enum class GeometryErrorCode : std::uint8_t {
+  kNonFiniteCoordinate,  // NaN or infinity in a coordinate
+  kInvertedWindow,       // xmin > xmax or ymin > ymax
+  kZeroAreaWindow,       // degenerate window (use a point query instead)
+  kOutOfWorldPoint,      // endpoint outside [0, world]^2
+  kZeroNearestCount,     // k-nearest with k == 0
+};
+
+std::string_view geometry_error_name(GeometryErrorCode code) noexcept;
+
+struct GeometryIssue {
+  GeometryErrorCode code;
+  std::size_t index = 0;  // offending element for the vector checks
+  std::string describe() const;
+};
+
+/// Typed exception thrown by the build-boundary checks.
+class GeometryError : public std::invalid_argument {
+ public:
+  explicit GeometryError(const GeometryIssue& issue);
+  const GeometryIssue& issue() const noexcept { return issue_; }
+
+ private:
+  GeometryIssue issue_;
+};
+
+/// Query-window check: finite, not inverted, not zero-area.
+std::optional<GeometryIssue> validate_window(const geom::Rect& w) noexcept;
+
+/// Query-point check: finite coordinates.
+std::optional<GeometryIssue> validate_point(const geom::Point& p) noexcept;
+
+/// k-nearest check: finite query point and k >= 1.
+std::optional<GeometryIssue> validate_nearest(const geom::Point& p,
+                                              std::size_t k) noexcept;
+
+/// Build-boundary sweep over a segment map: every coordinate finite and,
+/// when `world > 0`, every endpoint inside [0, world]^2.  Returns the
+/// first violation (with its segment index), or nullopt.
+std::optional<GeometryIssue> validate_segments(
+    const std::vector<geom::Segment>& lines, double world = 0.0) noexcept;
+
+/// Throwing form of `validate_segments` for the build entry points.
+void validate_segments_or_throw(const std::vector<geom::Segment>& lines,
+                                double world = 0.0);
+
+}  // namespace dps::core

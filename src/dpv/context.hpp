@@ -17,6 +17,7 @@
 #include <string_view>
 #include <utility>
 
+#include "dpv/fault.hpp"
 #include "dpv/thread_pool.hpp"
 
 namespace dps::dpv {
@@ -88,12 +89,40 @@ class Context {
                                                          std::size_t k,
                                                          std::size_t b) noexcept;
 
-  /// Records one invocation of primitive `p` over `n` elements.
+  /// Records one invocation of primitive `p` over `n` elements.  When the
+  /// context is armed for fault injection, the invocation also asks the
+  /// injector whether it should fail; a yes latches `fault_pending` (the
+  /// primitive's output is still fully written -- a fault marks the
+  /// pipeline's work untrusted, it does not corrupt memory).
   void count(Prim p, std::size_t n) noexcept {
     const auto i = static_cast<std::size_t>(p);
     counters_.invocations[i] += 1;
     counters_.elements[i] += n;
+    if (fault_ != nullptr) {
+      ++fault_seq_;
+      if (!fault_pending_ && fault_->primitive_faults(fault_scope_, fault_seq_)) {
+        fault_pending_ = true;
+        fault_->note_primitive_fault();
+      }
+    }
   }
+
+  /// Arms deterministic fault injection: from now on every counted
+  /// primitive invocation (1-based, per context) asks `inj` whether to
+  /// fail under `scope`.  Decisions depend only on (schedule seed, scope,
+  /// invocation index), so a serial context replays bit-identically.
+  /// Pass nullptr to disarm.  Not inherited by `fork_serial` children --
+  /// the caller arms each fork with its own scope.
+  void arm_fault_injection(FaultInjector* inj, std::uint64_t scope) noexcept {
+    fault_ = inj;
+    fault_scope_ = scope;
+    fault_seq_ = 0;
+    fault_pending_ = false;
+  }
+
+  /// True once an armed primitive invocation faulted.  Pipelines poll this
+  /// next to their cancellation control and abort at round granularity.
+  bool fault_pending() const noexcept { return fault_pending_; }
 
   const PrimCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = PrimCounters{}; }
@@ -128,6 +157,11 @@ class Context {
   std::shared_ptr<ThreadPool> pool_;  // null => serial
   PrimCounters counters_;
   std::size_t grain_ = 4096;
+
+  FaultInjector* fault_ = nullptr;  // borrowed; null = no injection
+  std::uint64_t fault_scope_ = 0;
+  std::uint64_t fault_seq_ = 0;
+  bool fault_pending_ = false;
 };
 
 }  // namespace dps::dpv

@@ -11,6 +11,7 @@
 
 #include "dpv/context.hpp"      // IWYU pragma: export
 #include "dpv/elementwise.hpp"  // IWYU pragma: export
+#include "dpv/fault.hpp"        // IWYU pragma: export
 #include "dpv/machine_model.hpp"  // IWYU pragma: export
 #include "dpv/ops.hpp"          // IWYU pragma: export
 #include "dpv/pack.hpp"         // IWYU pragma: export

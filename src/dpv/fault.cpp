@@ -1,0 +1,51 @@
+#include "dpv/fault.hpp"
+
+namespace dps::dpv {
+
+namespace {
+
+// Bernoulli(rate) from a hashed coordinate tuple: uniform in [0, 1) via the
+// top 53 bits, compared against the rate.
+bool roll(double rate, std::uint64_t u) noexcept {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const double unit = static_cast<double>(u >> 11) * 0x1.0p-53;
+  return unit < rate;
+}
+
+}  // namespace
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t FaultInjector::scope(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) noexcept {
+  return mix64(mix64(mix64(a) ^ b) ^ c);
+}
+
+bool FaultInjector::primitive_faults(std::uint64_t scope,
+                                     std::uint64_t seq) const noexcept {
+  if (schedule_.fail_nth != 0 && seq == schedule_.fail_nth) return true;
+  return roll(schedule_.primitive_fail_rate,
+              mix64(schedule_.seed ^ mix64(scope ^ 0x70726D00ull) ^ seq));
+}
+
+bool FaultInjector::shard_poisoned(std::uint64_t scope) const noexcept {
+  return roll(schedule_.shard_poison_rate,
+              mix64(schedule_.seed ^ mix64(scope ^ 0x73686400ull)));
+}
+
+std::chrono::microseconds FaultInjector::lane_stall(
+    std::size_t lane, std::uint64_t launch) const noexcept {
+  const bool stall =
+      roll(schedule_.lane_stall_rate,
+           mix64(schedule_.seed ^ mix64(std::uint64_t{lane} ^ 0x6C616E00ull) ^
+                 launch));
+  return stall ? schedule_.lane_stall_us : std::chrono::microseconds{0};
+}
+
+}  // namespace dps::dpv

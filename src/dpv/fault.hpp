@@ -1,0 +1,107 @@
+#pragma once
+// Deterministic fault injection for the dpv runtime and the serving layer.
+//
+// A FaultInjector evaluates a seeded FaultSchedule and answers three
+// questions at well-defined hook points:
+//
+//   * does primitive invocation #seq of scope S fail?
+//     (`Context::count` asks when the context is armed via
+//     `Context::arm_fault_injection`; a yes latches the context's
+//     fault-pending flag, which the batch pipelines poll between
+//     scan-model rounds exactly like a cancellation control)
+//   * is shard-attempt scope S poisoned outright?
+//     (the serving engine asks before launching a shard's data-parallel
+//     attempt; a poisoned attempt fails before any primitive runs)
+//   * should lane L stall at pool launch G, and for how long?
+//     (`ThreadPool::run` asks when the pool is armed via
+//     `ThreadPool::set_fault_injector`; a stall only delays a lane, it
+//     never changes results)
+//
+// Every answer is a pure function of (seed, coordinates) through
+// splitmix64, never of wall clock or call interleaving, so a schedule
+// replays bit-identically: chaos tests can assert identical responses and
+// identical retry metrics across runs and across serial / thread-pool
+// backends.  The atomic tallies exist for observability only and take no
+// part in any decision.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace dps::dpv {
+
+/// Stateless 64-bit mixer (splitmix64 finalizer); the uniformity source
+/// for every injection decision and for the engine's backoff jitter.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// What to inject.  Rates are probabilities in [0, 1] evaluated
+/// independently per decision point; `fail_nth` is the paper-over-chaos
+/// deterministic mode ("fail the Nth primitive call of every scope").
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+
+  // Primitive failures (per armed-context invocation).
+  double primitive_fail_rate = 0.0;
+  std::uint64_t fail_nth = 0;  // 0 = off; 1-based invocation index per scope
+
+  // Lane stalls (per (lane, pool launch)).
+  double lane_stall_rate = 0.0;
+  std::chrono::microseconds lane_stall_us{200};
+
+  // Shard poisoning (per shard-attempt scope).
+  double shard_poison_rate = 0.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultSchedule& schedule)
+      : schedule_(schedule) {}
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Combines logical coordinates (shard id, attempt number, ...) into one
+  /// scope id.  Pure; the same coordinates always name the same scope.
+  static std::uint64_t scope(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c = 0) noexcept;
+
+  /// True when primitive invocation `seq` (1-based) under `scope` must
+  /// fail.  Pure decision; the caller records the tally.
+  bool primitive_faults(std::uint64_t scope, std::uint64_t seq) const noexcept;
+
+  /// True when the shard attempt named by `scope` is poisoned.
+  bool shard_poisoned(std::uint64_t scope) const noexcept;
+
+  /// Stall duration for `lane` at pool launch `launch` (zero = no stall).
+  std::chrono::microseconds lane_stall(std::size_t lane,
+                                       std::uint64_t launch) const noexcept;
+
+  // Observability tallies (no decision reads them).
+  void note_primitive_fault() noexcept {
+    primitive_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_shard_poisoned() noexcept {
+    shards_poisoned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_lane_stall() noexcept {
+    lane_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t primitive_fault_count() const noexcept {
+    return primitive_faults_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shard_poison_count() const noexcept {
+    return shards_poisoned_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lane_stall_count() const noexcept {
+    return lane_stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultSchedule schedule_;
+  std::atomic<std::uint64_t> primitive_faults_{0};
+  std::atomic<std::uint64_t> shards_poisoned_{0};
+  std::atomic<std::uint64_t> lane_stalls_{0};
+};
+
+}  // namespace dps::dpv

@@ -26,8 +26,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(std::size_t k, const std::function<void(std::size_t)>& f) {
   k = std::min(k, lanes_);
+  // Chaos hook: when armed, each lane of this launch asks the injector for
+  // a (deterministic) stall before running its task slice.
+  FaultInjector* const inj = fault_.load(std::memory_order_acquire);
+  const std::uint64_t launch =
+      inj != nullptr ? launches_.fetch_add(1, std::memory_order_relaxed) : 0;
+  const std::function<void(std::size_t)>* body = &f;
+  std::function<void(std::size_t)> stalled;
+  if (inj != nullptr) {
+    stalled = [inj, launch, &f](std::size_t lane) {
+      const auto stall = inj->lane_stall(lane, launch);
+      if (stall.count() > 0) {
+        inj->note_lane_stall();
+        std::this_thread::sleep_for(stall);
+      }
+      f(lane);
+    };
+    body = &stalled;
+  }
   if (k <= 1) {  // no helpers needed; run inline
-    if (k == 1) f(0);
+    if (k == 1) (*body)(0);
     return;
   }
   // One launch at a time: concurrent callers queue here, so the
@@ -36,13 +54,13 @@ void ThreadPool::run(std::size_t k, const std::function<void(std::size_t)>& f) {
   std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &f;
+    job_ = body;
     job_lanes_ = k;
     outstanding_ = k - 1;  // helper lanes 1..k-1
     ++generation_;
   }
   start_cv_.notify_all();
-  f(0);  // caller is lane 0
+  (*body)(0);  // caller is lane 0
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return outstanding_ == 0; });
   job_ = nullptr;

@@ -9,10 +9,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "dpv/fault.hpp"
 
 namespace dps::dpv {
 
@@ -47,11 +50,23 @@ class ThreadPool {
   /// would wait on the serialization lock its caller holds.
   void run(std::size_t k, const std::function<void(std::size_t)>& f);
 
+  /// Arms deterministic lane-stall injection: each lane of every launch
+  /// asks `inj` whether to sleep before running its task.  Stalls delay
+  /// lanes (to chaos-test slow-worker schedules); they never change what a
+  /// task computes.  Pass nullptr to disarm.  Arm while the pool is idle --
+  /// the pointer is read by concurrent launches.
+  void set_fault_injector(FaultInjector* inj) noexcept {
+    fault_.store(inj, std::memory_order_release);
+  }
+
  private:
   void worker_loop(std::size_t lane);
 
   std::size_t lanes_;                 // total lanes, caller included
   std::vector<std::thread> threads_;  // lanes_ - 1 helper threads
+
+  std::atomic<FaultInjector*> fault_{nullptr};  // borrowed; null = no chaos
+  std::atomic<std::uint64_t> launches_{0};      // stall-decision coordinate
 
   std::mutex submit_mutex_;  // serializes whole launches across callers
   std::mutex mutex_;

@@ -1,0 +1,119 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+
+namespace dps::serve {
+
+std::string_view priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+struct AdmissionController::Waiter {
+  Priority priority;
+  std::uint64_t seq;
+  std::size_t requests;
+  bool shed = false;
+  bool granted = false;
+  std::condition_variable cv;
+};
+
+bool AdmissionController::can_start(std::size_t requests) const noexcept {
+  if (running_batches_ >= opts_.max_concurrent_batches) return false;
+  // An oversized batch may run alone; otherwise it must fit the budget.
+  return inflight_requests_ == 0 ||
+         inflight_requests_ + requests <= opts_.max_inflight_requests;
+}
+
+void AdmissionController::grant_waiters() noexcept {
+  // Grant in (priority desc, arrival asc) order until the best waiter no
+  // longer fits; a big batch at the head deliberately holds later arrivals
+  // back instead of being starved by smaller ones slipping past it.
+  for (;;) {
+    Waiter* best = nullptr;
+    for (Waiter* w : queue_) {
+      if (best == nullptr || w->priority > best->priority ||
+          (w->priority == best->priority && w->seq < best->seq)) {
+        best = w;
+      }
+    }
+    if (best == nullptr || !can_start(best->requests)) return;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), best));
+    ++running_batches_;
+    inflight_requests_ += best->requests;
+    best->granted = true;
+    best->cv.notify_one();
+  }
+}
+
+AdmissionController::Outcome AdmissionController::admit(std::size_t requests,
+                                                        Priority priority) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.offered_batches;
+  if (!opts_.enabled) {
+    ++stats_.admitted_batches;
+    ++running_batches_;
+    inflight_requests_ += requests;
+    return Outcome::kAdmitted;
+  }
+  if (queue_.empty() && can_start(requests)) {
+    ++stats_.admitted_batches;
+    ++running_batches_;
+    inflight_requests_ += requests;
+    return Outcome::kAdmitted;
+  }
+  if (queue_.size() >= opts_.max_queued_batches) {
+    // Waiting room full: shed the lowest-priority entrant.  Victim is the
+    // lowest-priority waiter, youngest among ties; the arrival is shed
+    // instead unless it strictly outranks that victim.
+    Waiter* victim = nullptr;
+    for (Waiter* w : queue_) {
+      if (victim == nullptr || w->priority < victim->priority ||
+          (w->priority == victim->priority && w->seq > victim->seq)) {
+        victim = w;
+      }
+    }
+    if (victim == nullptr || victim->priority >= priority) {
+      ++stats_.shed_batches;
+      stats_.shed_requests += requests;
+      return Outcome::kShedded;
+    }
+    queue_.erase(std::find(queue_.begin(), queue_.end(), victim));
+    victim->shed = true;
+    ++stats_.shed_batches;
+    stats_.shed_requests += victim->requests;
+    victim->cv.notify_one();
+  }
+  Waiter self;
+  self.priority = priority;
+  self.seq = next_seq_++;
+  self.requests = requests;
+  queue_.push_back(&self);
+  stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+  // The arrival may itself be the best (and fitting) waiter -- e.g. a
+  // high-priority batch arriving while a too-large head batch is parked.
+  grant_waiters();
+  self.cv.wait(lock, [&] { return self.shed || self.granted; });
+  if (self.shed) return Outcome::kShedded;
+  ++stats_.admitted_batches;
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::finish(std::size_t requests) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_batches_;
+  inflight_requests_ -= requests;
+  grant_waiters();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dps::serve

@@ -1,0 +1,83 @@
+#pragma once
+// Admission control for the serving engine: a bounded in-flight budget
+// with a priority-aware bounded waiting room.
+//
+// Every serve() call offers one batch.  The controller admits it when a
+// batch concurrency token is free and the in-flight request budget has
+// room; otherwise the batch waits in a bounded queue ordered by
+// (priority, arrival).  When the queue is full, the lowest-priority
+// entrant is shed -- either the arriving batch, or the lowest-priority
+// (youngest among ties) waiter when the arrival outranks it.  Shed batches
+// answer every request with Status::kShedded and consume no execution
+// resources, so under overload the engine keeps bounded latency for the
+// work it does admit instead of degrading everyone.
+//
+// The controller is a pure gate: it never touches responses.  Waiters
+// block on their own condition variable; `finish` releases an admitted
+// batch's resources and hands freed capacity to the best waiting batch
+// (highest priority, earliest arrival -- a large batch at the head blocks
+// later arrivals rather than being starved by them).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace dps::serve {
+
+struct AdmissionOptions {
+  /// Master switch; disabled (the default) admits everything immediately,
+  /// reproducing the pre-admission engine.
+  bool enabled = false;
+  /// Batches executing at once (concurrency tokens).
+  std::size_t max_concurrent_batches = 4;
+  /// Admitted-but-unfinished request budget across running batches.  A
+  /// batch larger than the whole budget is still admitted when it would
+  /// run alone (progress is never wedged on an oversized batch).
+  std::size_t max_inflight_requests = 8192;
+  /// Waiting-room capacity (batches).  Beyond it, load shedding starts.
+  std::size_t max_queued_batches = 8;
+};
+
+struct AdmissionStats {
+  std::uint64_t offered_batches = 0;
+  std::uint64_t admitted_batches = 0;
+  std::uint64_t shed_batches = 0;
+  std::uint64_t shed_requests = 0;
+  std::size_t peak_queue = 0;
+};
+
+class AdmissionController {
+ public:
+  enum class Outcome : std::uint8_t { kAdmitted, kShedded };
+
+  explicit AdmissionController(const AdmissionOptions& opts) : opts_(opts) {}
+
+  /// Offers a batch of `requests` requests at `priority`.  Blocks while
+  /// queued; returns kAdmitted once capacity is granted (the caller must
+  /// later call `finish`) or kShedded when load shedding dropped it.
+  Outcome admit(std::size_t requests, Priority priority);
+
+  /// Releases an admitted batch's token and request budget.
+  void finish(std::size_t requests) noexcept;
+
+  AdmissionStats stats() const;
+
+ private:
+  struct Waiter;
+
+  bool can_start(std::size_t requests) const noexcept;  // under mutex_
+  void grant_waiters() noexcept;                        // under mutex_
+
+  AdmissionOptions opts_;
+  mutable std::mutex mutex_;
+  std::vector<Waiter*> queue_;  // arrival order; scanned (bounded, small)
+  std::uint64_t next_seq_ = 0;
+  std::size_t running_batches_ = 0;
+  std::size_t inflight_requests_ = 0;
+  AdmissionStats stats_;
+};
+
+}  // namespace dps::serve

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <thread>
 
 #include "core/nearest.hpp"
 #include "core/query.hpp"
+#include "core/validate.hpp"
 
 namespace dps::serve {
 
@@ -27,6 +29,22 @@ std::size_t group_id(RequestKind kind, IndexKind index) noexcept {
          static_cast<std::size_t>(index);
 }
 
+/// Per-request geometry gate (Status::kOk = well-formed).
+Status validate_request(const Request& rq) noexcept {
+  switch (rq.kind) {
+    case RequestKind::kWindow:
+      return core::validate_window(rq.window) ? Status::kInvalidArgument
+                                              : Status::kOk;
+    case RequestKind::kPoint:
+      return core::validate_point(rq.point) ? Status::kInvalidArgument
+                                            : Status::kOk;
+    case RequestKind::kNearest:
+      return core::validate_nearest(rq.point, rq.k) ? Status::kInvalidArgument
+                                                    : Status::kOk;
+  }
+  return Status::kInvalidArgument;
+}
+
 }  // namespace
 
 std::string_view status_name(Status s) noexcept {
@@ -35,20 +53,42 @@ std::string_view status_name(Status s) noexcept {
     case Status::kDeadlineExpired: return "deadline-expired";
     case Status::kCancelled: return "cancelled";
     case Status::kRejected: return "rejected";
+    case Status::kShedded: return "shedded";
+    case Status::kInvalidArgument: return "invalid-argument";
   }
   return "unknown";
 }
 
 QueryEngine::QueryEngine(EngineOptions opts)
-    : opts_(opts), pool_(std::make_shared<dpv::ThreadPool>(opts.threads)) {
+    : opts_(opts),
+      pool_(std::make_shared<dpv::ThreadPool>(opts.threads)),
+      admission_(opts.admission) {
   shards_ = opts_.shards == 0 ? pool_->size() : opts_.shards;
   if (shards_ == 0) shards_ = 1;
   shard_template_.set_grain(opts_.grain);
+  if (opts_.fault_injector != nullptr) {
+    pool_->set_fault_injector(opts_.fault_injector);
+  }
+}
+
+void QueryEngine::mount(const core::QuadTree* tree) {
+  std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  quad_ = tree;
+}
+
+void QueryEngine::mount(const core::RTree* tree) {
+  std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  rtree_ = tree;
+}
+
+void QueryEngine::mount(const core::LinearQuadTree* tree) {
+  std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  linear_ = tree;
 }
 
 Status QueryEngine::pre_status(const Request& rq) const noexcept {
   if (cancel_.load(std::memory_order_relaxed)) return Status::kCancelled;
-  if (rq.has_deadline() && Clock::now() >= rq.deadline) {
+  if (rq.has_deadline() && Clock::now() >= *rq.deadline) {
     return Status::kDeadlineExpired;
   }
   return Status::kOk;
@@ -91,17 +131,136 @@ Status QueryEngine::run_sequential(const Request& rq, Response& rsp) const {
   return Status::kRejected;
 }
 
-void QueryEngine::execute_shard(const std::vector<Request>& batch,
-                                std::vector<Response>& responses,
-                                Clock::time_point t0, std::size_t lo,
-                                std::size_t hi, ShardScratch& scratch) {
-  dpv::Context ctx = shard_template_.fork_serial();
+void QueryEngine::backoff(std::size_t shard, std::size_t attempt) const {
+  if (opts_.backoff_base.count() <= 0 || attempt == 0) return;
+  const double steps = static_cast<double>(std::uint64_t{1} << (attempt - 1));
+  // Deterministic jitter in [1 - j, 1 + j): replays identically for a
+  // given (retry_seed, shard, attempt), like every other chaos decision.
+  const std::uint64_t u = dpv::mix64(
+      opts_.retry_seed ^ dpv::FaultInjector::scope(shard, attempt, 0xB0FFull));
+  const double unit = static_cast<double>(u >> 11) * 0x1.0p-53;
+  const double jitter = 1.0 + opts_.backoff_jitter * (2.0 * unit - 1.0);
+  const double us =
+      static_cast<double>(opts_.backoff_base.count()) * steps * jitter;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
 
+void QueryEngine::run_group(const std::vector<Request>& batch,
+                            std::vector<Response>& responses, RequestKind kind,
+                            IndexKind index,
+                            const std::vector<std::size_t>& live_in,
+                            std::size_t shard, ShardScratch& scratch) {
+  dpv::FaultInjector* const inj = opts_.fault_injector;
+  std::vector<std::size_t> live = live_in;
+  const std::size_t g = group_id(kind, index);
+
+  bool control_abort = false;  // cancel / deadline fired mid-pipeline
+  for (std::size_t attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      backoff(shard, attempt);
+      // Deadlines may have fired during the backoff; settle the dead so
+      // one slow retry cannot void its group-mates.
+      std::vector<std::size_t> still;
+      still.reserve(live.size());
+      for (const std::size_t i : live) {
+        const Status s = pre_status(batch[i]);
+        if (s == Status::kOk) {
+          still.push_back(i);
+        } else {
+          responses[i].status = s;
+        }
+      }
+      live.swap(still);
+      if (live.empty()) return;
+    }
+
+    const std::uint64_t scope = dpv::FaultInjector::scope(shard, attempt, g);
+    if (inj != nullptr && inj->shard_poisoned(scope)) {
+      // A poisoned shard attempt fails before any primitive runs.
+      inj->note_shard_poisoned();
+      ++scratch.retries;
+      continue;
+    }
+
+    dpv::Context ctx = shard_template_.fork_serial();
+    if (inj != nullptr) ctx.arm_fault_injection(inj, scope);
+
+    // Earliest deadline in the group arms the pipeline's control; the
+    // engine kill switch is polled through the same hook.
+    core::BatchControl control;
+    control.cancel = &cancel_;
+    for (const std::size_t i : live) {
+      if (batch[i].has_deadline() &&
+          (!control.has_deadline() || *batch[i].deadline < control.deadline)) {
+        control.deadline = *batch[i].deadline;
+      }
+    }
+
+    core::BatchQueryResult result;
+    if (kind == RequestKind::kWindow) {
+      std::vector<geom::Rect> windows(live.size());
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        windows[j] = batch[live[j]].window;
+      }
+      result = index == IndexKind::kQuadTree
+                   ? core::batch_window_query(ctx, *quad_, windows, control)
+                   : core::batch_window_query(ctx, *rtree_, windows, control);
+    } else {
+      std::vector<geom::Point> points(live.size());
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        points[j] = batch[live[j]].point;
+      }
+      result = core::batch_point_query(ctx, *quad_, points, control);
+    }
+    // Failed attempts did real primitive work; the ledger records it.
+    scratch.prims += ctx.counters();
+
+    if (!result.aborted) {
+      ++scratch.dp_groups;
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        responses[live[j]].ids = std::move(result.results[j]);
+        responses[live[j]].status = Status::kOk;
+      }
+      return;
+    }
+    if (!ctx.fault_pending()) {
+      // Cancel / deadline abort: no amount of retrying helps, settle
+      // sequentially now (still-live requests keep their answers).
+      control_abort = true;
+      break;
+    }
+    ++scratch.retries;  // fault-aborted attempt; backoff then try again
+  }
+
+  // Data-parallel attempts exhausted (or a control abort): the sequential
+  // path is fault-free by construction, so answers stay correct under any
+  // fault schedule.
+  if (!control_abort) ++scratch.seq_fallbacks;
+  ++scratch.seq_groups;
+  for (const std::size_t i : live) {
+    const Status s = pre_status(batch[i]);
+    responses[i].status =
+        s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
+  }
+}
+
+void QueryEngine::execute_shard(const std::vector<Request>& batch,
+                                const std::vector<Status>& admitted,
+                                std::vector<Response>& responses,
+                                Clock::time_point t0, std::size_t shard,
+                                std::size_t lo, std::size_t hi,
+                                ShardScratch& scratch) {
   // Regroup this shard's slice by (kind, index): each group is one batch
-  // pipeline invocation (or one sequential sweep).
+  // pipeline invocation (or one sequential sweep).  Requests the gate
+  // already settled (validation) pass through with their gate status.
   const auto tshard = Clock::now();
   std::array<std::vector<std::size_t>, kNumKinds * kNumIndexes> groups;
   for (std::size_t i = lo; i < hi; ++i) {
+    if (admitted[i] != Status::kOk) {
+      responses[i].status = admitted[i];
+      responses[i].latency_us = us_since(t0);
+      continue;
+    }
     groups[group_id(batch[i].kind, batch[i].index)].push_back(i);
   }
   scratch.stages.shard_ms += ms_since(tshard);
@@ -153,45 +312,7 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
           (kind == RequestKind::kWindow && index != IndexKind::kLinearQuadTree) ||
           (kind == RequestKind::kPoint && index == IndexKind::kQuadTree);
       if (has_pipeline && live.size() >= opts_.min_dp_batch) {
-        // Earliest deadline in the group arms the pipeline's control; the
-        // engine kill switch is polled through the same hook.
-        core::BatchControl control;
-        control.cancel = &cancel_;
-        for (const std::size_t i : live) {
-          if (batch[i].has_deadline() &&
-              (!control.has_deadline() ||
-               batch[i].deadline < control.deadline)) {
-            control.deadline = batch[i].deadline;
-          }
-        }
-        core::BatchQueryResult result;
-        if (kind == RequestKind::kWindow) {
-          std::vector<geom::Rect> windows(live.size());
-          for (std::size_t j = 0; j < live.size(); ++j) {
-            windows[j] = batch[live[j]].window;
-          }
-          result = index == IndexKind::kQuadTree
-                       ? core::batch_window_query(ctx, *quad_, windows, control)
-                       : core::batch_window_query(ctx, *rtree_, windows,
-                                                  control);
-        } else {
-          std::vector<geom::Point> points(live.size());
-          for (std::size_t j = 0; j < live.size(); ++j) {
-            points[j] = batch[live[j]].point;
-          }
-          result = core::batch_point_query(ctx, *quad_, points, control);
-        }
-        if (result.aborted) {
-          // One fired deadline must not void its group-mates: requests
-          // still inside their own deadline re-run sequentially.
-          run_seq(live);
-        } else {
-          ++scratch.dp_groups;
-          for (std::size_t j = 0; j < live.size(); ++j) {
-            responses[live[j]].ids = std::move(result.results[j]);
-            responses[live[j]].status = Status::kOk;
-          }
-        }
+        run_group(batch, responses, kind, index, live, shard, scratch);
       } else {
         run_seq(live);
       }
@@ -207,8 +328,6 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
       responses[i].latency_us = us_since(t0);
     }
   }
-
-  scratch.prims = ctx.counters();
 }
 
 std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
@@ -220,39 +339,77 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
   delta.batches = 1;
   delta.requests = n;
 
-  std::vector<ShardScratch> scratch;
-  if (n > 0) {
-    const std::size_t k = std::min(shards_, n);
-    scratch.resize(k);
-    // Lanes are the physical limit; when the engine is configured with
-    // more shards than lanes, each lane drains several shards in turn.
-    const std::size_t lanes = std::min(k, pool_->size());
-    pool_->run(lanes, [&](std::size_t lane) {
-      for (std::size_t s = lane; s < k; s += lanes) {
-        const auto [lo, hi] = dpv::Context::block_range(n, k, s);
-        if (lo < hi) execute_shard(batch, responses, t0, lo, hi, scratch[s]);
-      }
-    });
+  // Geometry gate: malformed requests settle with kInvalidArgument before
+  // they can consume admission budget or reach a pipeline.
+  std::vector<Status> gate(n, Status::kOk);
+  std::size_t admitted_requests = 0;
+  Priority priority = Priority::kLow;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (opts_.validate_requests) gate[i] = validate_request(batch[i]);
+    if (gate[i] == Status::kOk) {
+      ++admitted_requests;
+      priority = std::max(priority, batch[i].priority);
+    }
+  }
 
+  bool executed = false;
+  std::vector<ShardScratch> scratch;
+  if (admitted_requests > 0) {
+    const auto outcome = admission_.admit(admitted_requests, priority);
+    if (outcome == AdmissionController::Outcome::kShedded) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gate[i] == Status::kOk) gate[i] = Status::kShedded;
+      }
+    } else {
+      executed = true;
+      // Shared mount lock: a concurrent mount() waits for this batch.
+      std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+      const std::size_t k = std::min(shards_, n);
+      scratch.resize(k);
+      // Lanes are the physical limit; when the engine is configured with
+      // more shards than lanes, each lane drains several shards in turn.
+      const std::size_t lanes = std::min(k, pool_->size());
+      pool_->run(lanes, [&](std::size_t lane) {
+        for (std::size_t s = lane; s < k; s += lanes) {
+          const auto [lo, hi] = dpv::Context::block_range(n, k, s);
+          if (lo < hi) {
+            execute_shard(batch, gate, responses, t0, s, lo, hi, scratch[s]);
+          }
+        }
+      });
+      admission_.finish(admitted_requests);
+    }
+  }
+  if (!executed) {
+    // Nothing ran: every request settles with its gate status.
     for (std::size_t i = 0; i < n; ++i) {
-      switch (batch[i].kind) {
-        case RequestKind::kWindow: ++delta.window_requests; break;
-        case RequestKind::kPoint: ++delta.point_requests; break;
-        case RequestKind::kNearest: ++delta.nearest_requests; break;
-      }
-      switch (responses[i].status) {
-        case Status::kOk: ++delta.ok; break;
-        case Status::kDeadlineExpired: ++delta.expired; break;
-        case Status::kCancelled: ++delta.cancelled; break;
-        case Status::kRejected: ++delta.rejected; break;
-      }
-      delta.latency.record(responses[i].latency_us);
+      responses[i].status = gate[i];
+      responses[i].latency_us = us_since(t0);
     }
-    for (const ShardScratch& sc : scratch) {
-      delta.stages += sc.stages;
-      delta.dp_groups += sc.dp_groups;
-      delta.seq_groups += sc.seq_groups;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (batch[i].kind) {
+      case RequestKind::kWindow: ++delta.window_requests; break;
+      case RequestKind::kPoint: ++delta.point_requests; break;
+      case RequestKind::kNearest: ++delta.nearest_requests; break;
     }
+    switch (responses[i].status) {
+      case Status::kOk: ++delta.ok; break;
+      case Status::kDeadlineExpired: ++delta.expired; break;
+      case Status::kCancelled: ++delta.cancelled; break;
+      case Status::kRejected: ++delta.rejected; break;
+      case Status::kShedded: ++delta.shedded; break;
+      case Status::kInvalidArgument: ++delta.invalid; break;
+    }
+    delta.latency.record(responses[i].latency_us);
+  }
+  for (const ShardScratch& sc : scratch) {
+    delta.stages += sc.stages;
+    delta.dp_groups += sc.dp_groups;
+    delta.seq_groups += sc.seq_groups;
+    delta.retries += sc.retries;
+    delta.seq_fallbacks += sc.seq_fallbacks;
   }
 
   {

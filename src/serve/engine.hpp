@@ -1,11 +1,21 @@
 #pragma once
-// QueryEngine: a concurrent batch-query serving layer over the immutable
-// built indexes (pointer quadtree, R-tree, linear quadtree).
+// QueryEngine: a concurrent, overload-safe batch-query serving layer over
+// the immutable built indexes (pointer quadtree, R-tree, linear quadtree).
 //
 // The engine models the traffic shape the ROADMAP aims at -- many
 // independent query batches in flight at once -- on top of the paper's
 // single-batch data-parallel pipelines:
 //
+//   * Admission control.  Every serve() call passes an AdmissionController
+//     first: a bounded batch-concurrency budget, a bounded in-flight
+//     request budget, and a priority-aware bounded waiting room.  Under
+//     overload the lowest-priority entrant is load-shed with
+//     Status::kShedded (never a wrong answer); admitted work keeps
+//     bounded latency.  Disabled by default for drop-in compatibility.
+//   * Validation.  Malformed geometry (NaN/inf coordinates, inverted or
+//     zero-area windows, k-nearest with k = 0) is rejected per request
+//     with Status::kInvalidArgument before admission, via the typed
+//     `core::validate_*` boundary checks.
 //   * Sharding.  A served batch is split into up to `shards` contiguous
 //     slices.  Each shard is one *worker session*: it runs on its own lane
 //     of the engine's ThreadPool with its own serial `dpv::Context`
@@ -14,6 +24,19 @@
 //     (kind, index) and each group runs the corresponding batch pipeline
 //     (`batch_window_query`, `batch_point_query`) in one data-parallel
 //     shot.
+//   * Retry with backoff.  When a group's data-parallel attempt aborts on
+//     an injected fault (or a poisoned shard attempt), surviving requests
+//     retry up to `max_retries` more times behind exponential backoff with
+//     deterministic jitter; a group that exhausts its attempts degrades to
+//     the per-request sequential path, which is fault-free by
+//     construction -- answers stay correct under any fault schedule.
+//     Deadline / cancellation aborts skip straight to the sequential
+//     settle, as before.
+//   * Fault injection.  An optional borrowed `dpv::FaultInjector` is
+//     threaded into every shard attempt's context (primitive failures,
+//     scope = (shard, attempt)) and into the engine pool (lane stalls),
+//     so chaos schedules replay bit-identically: same seed, same
+//     responses, same retry metrics, on serial and thread-pool backends.
 //   * Graceful degradation.  Groups smaller than `min_dp_batch` -- and
 //     kinds/indexes with no batch pipeline (k-nearest, the linear
 //     quadtree, R-tree point queries) -- fall back to per-request
@@ -22,23 +45,24 @@
 //   * Deadlines / cancellation.  Every request may carry an absolute
 //     deadline, and the engine has a batch-wide kill switch
 //     (`cancel_all`).  Both feed the `core::BatchControl` hook polled by
-//     the batch pipelines between scan-model rounds.  When a group's
-//     pipeline aborts, still-live requests of the group are re-run
-//     sequentially so one expired request cannot void its neighbors.
+//     the batch pipelines between scan-model rounds.
 //   * Metrics.  Per-shard ledgers (`PrimCounters`), stage wall-clocks, the
-//     dp-vs-sequential path split, and a per-request latency histogram all
-//     merge into one session ledger after each batch; `metrics()`
-//     snapshots it.  The merged PrimCounters replay through
-//     `dpv::MachineModel` like any other ledger.
+//     dp-vs-sequential path split, retry/fallback counts, and a
+//     per-request latency histogram all merge into one session ledger
+//     after each batch; `metrics()` snapshots it.
 //
 // Thread-safety: `serve` may be called from any number of threads
-// concurrently (launches serialize on the pool); mounted indexes must stay
-// alive and unmodified while the engine exists.
+// concurrently (launches serialize on the pool).  `mount` takes the mount
+// lock exclusively, so it blocks until in-flight serve() calls drain and
+// is safe to call concurrently with serving; mounted indexes must stay
+// alive and unmodified while mounted.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/batch_query.hpp"
@@ -46,6 +70,7 @@
 #include "core/quadtree.hpp"
 #include "core/rtree.hpp"
 #include "dpv/dpv.hpp"
+#include "serve/admission.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 
@@ -61,6 +86,26 @@ struct EngineOptions {
   std::size_t min_dp_batch = 8;
   /// dpv grain for the per-shard contexts.
   std::size_t grain = 4096;
+
+  /// Overload protection (disabled by default).
+  AdmissionOptions admission;
+
+  /// Extra data-parallel attempts after a fault-aborted one, before a
+  /// group degrades to the sequential path.
+  std::size_t max_retries = 2;
+  /// Backoff before retry r sleeps `backoff_base * 2^r`, scaled by a
+  /// deterministic jitter in [1 - backoff_jitter, 1 + backoff_jitter)
+  /// derived from (retry_seed, shard, attempt).
+  std::chrono::microseconds backoff_base{50};
+  double backoff_jitter = 0.5;
+  std::uint64_t retry_seed = 0;
+
+  /// Reject malformed request geometry with kInvalidArgument (on by
+  /// default; turning it off trades safety for a few ns per request).
+  bool validate_requests = true;
+
+  /// Borrowed chaos hook; null = no injection.  Must outlive the engine.
+  dpv::FaultInjector* fault_injector = nullptr;
 };
 
 class QueryEngine {
@@ -68,11 +113,12 @@ class QueryEngine {
   explicit QueryEngine(EngineOptions opts = {});
 
   // Mounts an index.  Borrowed, immutable, must outlive the engine;
-  // remounting replaces the previous index of that type.  Not
-  // thread-safe against concurrent serve() calls -- mount before serving.
-  void mount(const core::QuadTree* tree) noexcept { quad_ = tree; }
-  void mount(const core::RTree* tree) noexcept { rtree_ = tree; }
-  void mount(const core::LinearQuadTree* tree) noexcept { linear_ = tree; }
+  // remounting replaces the previous index of that type.  Takes the mount
+  // lock exclusively: blocks until in-flight serve() calls finish, so a
+  // batch never sees a half-swapped index set.
+  void mount(const core::QuadTree* tree);
+  void mount(const core::RTree* tree);
+  void mount(const core::LinearQuadTree* tree);
 
   std::size_t shards() const noexcept { return shards_; }
   const EngineOptions& options() const noexcept { return opts_; }
@@ -93,6 +139,9 @@ class QueryEngine {
   ServeMetrics metrics() const;
   void reset_metrics();
 
+  /// Admission-gate counters (offered / admitted / shed batches).
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+
  private:
   // Per-shard scratch the worker session fills; folded into the session
   // ledger after the fork joins.
@@ -101,17 +150,32 @@ class QueryEngine {
     StageTimes stages;
     std::uint64_t dp_groups = 0;
     std::uint64_t seq_groups = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t seq_fallbacks = 0;
   };
 
   void execute_shard(const std::vector<Request>& batch,
+                     const std::vector<Status>& admitted,
                      std::vector<Response>& responses, Clock::time_point t0,
-                     std::size_t lo, std::size_t hi, ShardScratch& scratch);
+                     std::size_t shard, std::size_t lo, std::size_t hi,
+                     ShardScratch& scratch);
+
+  /// One (kind, index) group: data-parallel attempts with retry/backoff,
+  /// then the sequential settle.  `live` holds batch indexes still
+  /// runnable.  Returns counters via `scratch`.
+  void run_group(const std::vector<Request>& batch,
+                 std::vector<Response>& responses, RequestKind kind,
+                 IndexKind index, const std::vector<std::size_t>& live,
+                 std::size_t shard, ShardScratch& scratch);
 
   /// kCancelled / kDeadlineExpired / kOk ("runnable") for a request now.
   Status pre_status(const Request& rq) const noexcept;
 
   /// Runs one request sequentially (host traversal); returns its status.
   Status run_sequential(const Request& rq, Response& rsp) const;
+
+  /// Deterministic backoff sleep before dp attempt `attempt` of `shard`.
+  void backoff(std::size_t shard, std::size_t attempt) const;
 
   EngineOptions opts_;
   std::size_t shards_ = 1;
@@ -123,6 +187,11 @@ class QueryEngine {
   const core::LinearQuadTree* linear_ = nullptr;
 
   std::atomic<bool> cancel_{false};
+
+  AdmissionController admission_;
+  // serve() holds this shared for a batch's execution; mount() holds it
+  // exclusive, so index swaps serialize against in-flight batches.
+  mutable std::shared_mutex mount_mutex_;
 
   mutable std::mutex metrics_mutex_;
   dpv::Context session_;  // serial; its counters are the session ledger

@@ -57,11 +57,15 @@ ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) noexcept {
   expired += other.expired;
   cancelled += other.cancelled;
   rejected += other.rejected;
+  shedded += other.shedded;
+  invalid += other.invalid;
   window_requests += other.window_requests;
   point_requests += other.point_requests;
   nearest_requests += other.nearest_requests;
   dp_groups += other.dp_groups;
   seq_groups += other.seq_groups;
+  retries += other.retries;
+  seq_fallbacks += other.seq_fallbacks;
   prims += other.prims;
   stages += other.stages;
   latency += other.latency;

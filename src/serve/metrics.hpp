@@ -61,6 +61,8 @@ struct ServeMetrics {
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shedded = 0;  // load-shed by admission control
+  std::uint64_t invalid = 0;  // malformed geometry rejected at the boundary
 
   // Request mix.
   std::uint64_t window_requests = 0;
@@ -72,6 +74,14 @@ struct ServeMetrics {
   // indexes without a batch pipeline, or deadline fallback).
   std::uint64_t dp_groups = 0;
   std::uint64_t seq_groups = 0;
+
+  // Fault-tolerance accounting.  `retries` counts data-parallel attempts
+  // that aborted (injected fault or poisoned shard attempt) and were
+  // re-tried after backoff; `seq_fallbacks` counts groups that exhausted
+  // their dp attempts and completed on the always-correct sequential
+  // path.  Both are deterministic for a seeded fault schedule.
+  std::uint64_t retries = 0;
+  std::uint64_t seq_fallbacks = 0;
 
   dpv::PrimCounters prims;  // merged per-shard scan-model ledger
   StageTimes stages;

@@ -2,13 +2,14 @@
 // Request / response vocabulary for the batch-query serving engine.
 //
 // A Request names a query kind (window / point / k-nearest), the immutable
-// index it should run against, and an optional absolute deadline.  The
-// engine answers every request with a Response carrying a terminal Status;
-// result payloads are only meaningful for kOk.
+// index it should run against, an admission priority, and an optional
+// absolute deadline.  The engine answers every request with a Response
+// carrying a terminal Status; result payloads are only meaningful for kOk.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -23,11 +24,20 @@ enum class RequestKind : std::uint8_t { kWindow, kPoint, kNearest };
 
 enum class IndexKind : std::uint8_t { kQuadTree, kRTree, kLinearQuadTree };
 
+/// Admission priority.  Under overload the engine sheds the
+/// lowest-priority waiting work first; a batch's priority is the highest
+/// priority of any request in it.
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+std::string_view priority_name(Priority p) noexcept;
+
 enum class Status : std::uint8_t {
   kOk = 0,
-  kDeadlineExpired,  // request deadline passed before its answer was final
-  kCancelled,        // engine-wide cancel fired while the request was live
-  kRejected,         // unsupported (kind, index) combo or index not mounted
+  kDeadlineExpired,   // request deadline passed before its answer was final
+  kCancelled,         // engine-wide cancel fired while the request was live
+  kRejected,          // unsupported (kind, index) combo or index not mounted
+  kShedded,           // load-shed by admission control; never executed
+  kInvalidArgument,   // malformed geometry (NaN/inf, inverted window, k = 0)
 };
 
 std::string_view status_name(Status s) noexcept;
@@ -35,14 +45,15 @@ std::string_view status_name(Status s) noexcept;
 struct Request {
   RequestKind kind = RequestKind::kWindow;
   IndexKind index = IndexKind::kQuadTree;
-  geom::Rect window{};            // kWindow payload
-  geom::Point point{};            // kPoint / kNearest payload
-  std::size_t k = 1;              // kNearest answer count
-  Clock::time_point deadline{};   // the epoch (default) = no deadline
+  geom::Rect window{};  // kWindow payload
+  geom::Point point{};  // kPoint / kNearest payload
+  std::size_t k = 1;    // kNearest answer count
+  Priority priority = Priority::kNormal;
+  /// Absolute deadline; nullopt = none.  Any concrete time point --
+  /// including the epoch -- is a real (expired) deadline.
+  std::optional<Clock::time_point> deadline;
 
-  bool has_deadline() const noexcept {
-    return deadline.time_since_epoch().count() != 0;
-  }
+  bool has_deadline() const noexcept { return deadline.has_value(); }
 
   static Request window_query(IndexKind idx, const geom::Rect& w) {
     Request r;
@@ -66,6 +77,15 @@ struct Request {
     r.point = p;
     r.k = k;
     return r;
+  }
+
+  Request& with_priority(Priority p) {
+    priority = p;
+    return *this;
+  }
+  Request& with_deadline(Clock::time_point d) {
+    deadline = d;
+    return *this;
   }
 };
 

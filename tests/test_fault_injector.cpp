@@ -1,0 +1,154 @@
+// dpv::FaultInjector: decision determinism, the Context primitive-fault
+// latch, the ThreadPool lane-stall hook, and fault-aborted batch pipelines.
+
+#include "dpv/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_query.hpp"
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+#include "dpv/dpv.hpp"
+
+namespace dps::dpv {
+namespace {
+
+TEST(FaultInjector, DecisionsArePureFunctionsOfSeedAndCoordinates) {
+  FaultSchedule s;
+  s.seed = 42;
+  s.primitive_fail_rate = 0.25;
+  s.shard_poison_rate = 0.25;
+  s.lane_stall_rate = 0.25;
+  const FaultInjector a(s), b(s);
+  for (std::uint64_t scope = 0; scope < 64; ++scope) {
+    for (std::uint64_t seq = 1; seq <= 16; ++seq) {
+      EXPECT_EQ(a.primitive_faults(scope, seq), b.primitive_faults(scope, seq));
+    }
+    EXPECT_EQ(a.shard_poisoned(scope), b.shard_poisoned(scope));
+    EXPECT_EQ(a.lane_stall(scope % 8, scope), b.lane_stall(scope % 8, scope));
+  }
+}
+
+TEST(FaultInjector, SeedChangesTheSchedule) {
+  FaultSchedule s;
+  s.primitive_fail_rate = 0.5;
+  s.seed = 1;
+  const FaultInjector a(s);
+  s.seed = 2;
+  const FaultInjector b(s);
+  int differ = 0;
+  for (std::uint64_t seq = 1; seq <= 200; ++seq) {
+    differ += a.primitive_faults(7, seq) != b.primitive_faults(7, seq);
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, RatesHitTheirExpectedFrequency) {
+  FaultSchedule s;
+  s.seed = 9;
+  s.primitive_fail_rate = 0.3;
+  const FaultInjector inj(s);
+  int hits = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += inj.primitive_faults(static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.05);
+}
+
+TEST(FaultInjector, ZeroAndOneRatesAreDegenerate) {
+  FaultSchedule off;
+  const FaultInjector none(off);
+  FaultSchedule all;
+  all.primitive_fail_rate = 1.0;
+  all.shard_poison_rate = 1.0;
+  const FaultInjector sure(all);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(none.primitive_faults(i, i + 1));
+    EXPECT_FALSE(none.shard_poisoned(i));
+    EXPECT_EQ(none.lane_stall(i, i).count(), 0);
+    EXPECT_TRUE(sure.primitive_faults(i, i + 1));
+    EXPECT_TRUE(sure.shard_poisoned(i));
+  }
+}
+
+TEST(FaultInjector, FailNthFiresExactlyOnTheNthCall) {
+  FaultSchedule s;
+  s.fail_nth = 5;
+  const FaultInjector inj(s);
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    EXPECT_EQ(inj.primitive_faults(0, seq), seq == 5) << "seq " << seq;
+  }
+}
+
+TEST(FaultInjector, ContextLatchesTheNthPrimitive) {
+  FaultSchedule s;
+  s.fail_nth = 3;
+  FaultInjector inj(s);
+  Context ctx;
+  ctx.arm_fault_injection(&inj, FaultInjector::scope(0, 0));
+  auto v = dpv::iota(ctx, 64);                      // primitive 1
+  EXPECT_FALSE(ctx.fault_pending());
+  v = dpv::map(ctx, v, [](std::size_t x) { return x + 1; });  // primitive 2
+  EXPECT_FALSE(ctx.fault_pending());
+  v = dpv::map(ctx, v, [](std::size_t x) { return x * 2; });  // primitive 3
+  EXPECT_TRUE(ctx.fault_pending());
+  EXPECT_EQ(inj.primitive_fault_count(), 1u);
+  // The faulting primitive still produced a complete (usable) output.
+  EXPECT_EQ(v[5], 12u);
+  // Disarmed fork starts clean.
+  Context child = ctx.fork_serial();
+  EXPECT_FALSE(child.fault_pending());
+}
+
+TEST(FaultInjector, ThreadPoolStallsDelayButDoNotChangeResults) {
+  FaultSchedule s;
+  s.lane_stall_rate = 1.0;
+  s.lane_stall_us = std::chrono::microseconds(100);
+  FaultInjector inj(s);
+  ThreadPool pool(4);
+  pool.set_fault_injector(&inj);
+  std::vector<int> out(pool.size(), 0);
+  pool.run(pool.size(), [&](std::size_t lane) {
+    out[lane] = static_cast<int>(lane) + 1;
+  });
+  for (std::size_t lane = 0; lane < pool.size(); ++lane) {
+    EXPECT_EQ(out[lane], static_cast<int>(lane) + 1);
+  }
+  EXPECT_GE(inj.lane_stall_count(), pool.size());
+  pool.set_fault_injector(nullptr);
+}
+
+TEST(FaultInjector, BatchPipelineAbortsOnInjectedFault) {
+  Context build;
+  const auto lines = data::uniform_segments(500, 1024.0, 25.0, 3);
+  core::PmrBuildOptions po;
+  po.world = 1024.0;
+  po.max_depth = 10;
+  po.bucket_capacity = 4;
+  const core::QuadTree tree = core::pmr_build(build, lines, po).tree;
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 32; ++i) {
+    const double x = 30.0 * i;
+    windows.push_back({x, x, x + 90.0, x + 70.0});
+  }
+
+  FaultSchedule s;
+  s.fail_nth = 1;  // first primitive of the pipeline fails
+  FaultInjector inj(s);
+  Context ctx;
+  ctx.arm_fault_injection(&inj, 0);
+  const auto res = core::batch_window_query(ctx, tree, windows);
+  EXPECT_TRUE(res.aborted);
+
+  // Same pipeline, no injector: completes and matches per-window truth.
+  Context clean;
+  const auto ok = core::batch_window_query(clean, tree, windows);
+  EXPECT_FALSE(ok.aborted);
+  EXPECT_EQ(ok.results.size(), windows.size());
+}
+
+}  // namespace
+}  // namespace dps::dpv

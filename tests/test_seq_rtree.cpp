@@ -100,7 +100,8 @@ TEST(SeqRTree, EraseRemovesAndCondenses) {
   EXPECT_EQ(t.to_rtree().validate(), "");
   // Remaining ids are exactly those congruent to 2 mod 3.
   std::vector<geom::LineId> ids;
-  for (const auto& e : t.to_rtree().entries()) ids.push_back(e.id);
+  const core::RTree remaining = t.to_rtree();  // keep the temporary alive
+  for (const auto& e : remaining.entries()) ids.push_back(e.id);
   std::sort(ids.begin(), ids.end());
   ASSERT_EQ(ids.size(), lines.size() - deleted);
   for (const auto id : ids) EXPECT_EQ(id % 3, 2u);

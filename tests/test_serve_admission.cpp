@@ -1,0 +1,385 @@
+// Admission control: the AdmissionController gate (tokens, in-flight
+// budget, priority-aware bounded queue, load shedding) and the engine-level
+// overload behaviour -- shed batches answer kShedded and nothing else,
+// admitted batches always match the sequential oracle.
+
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/core.hpp"
+#include "data/mapgen.hpp"
+#include "serve/engine.hpp"
+
+namespace dps::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spin until `pred` holds (bounded); returns whether it did.
+template <class Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 2000ms) {
+  const auto until = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > until) return false;
+    std::this_thread::sleep_for(100us);
+  }
+  return true;
+}
+
+TEST(AdmissionController, DisabledAdmitsEverythingImmediately) {
+  AdmissionOptions opts;  // enabled = false
+  opts.max_concurrent_batches = 1;
+  AdmissionController gate(opts);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(gate.admit(100, Priority::kLow),
+              AdmissionController::Outcome::kAdmitted);
+  }
+  const AdmissionStats st = gate.stats();
+  EXPECT_EQ(st.offered_batches, 8u);
+  EXPECT_EQ(st.admitted_batches, 8u);
+  EXPECT_EQ(st.shed_batches, 0u);
+  for (int i = 0; i < 8; ++i) gate.finish(100);
+}
+
+TEST(AdmissionController, SecondBatchWaitsForTheToken) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 1;
+  opts.max_queued_batches = 4;
+  AdmissionController gate(opts);
+
+  ASSERT_EQ(gate.admit(10, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  std::atomic<int> outcome{-1};
+  std::thread waiter([&] {
+    outcome.store(static_cast<int>(gate.admit(10, Priority::kNormal)));
+  });
+  ASSERT_TRUE(eventually([&] { return gate.stats().peak_queue >= 1; }));
+  EXPECT_EQ(outcome.load(), -1);  // still parked
+  gate.finish(10);
+  waiter.join();
+  EXPECT_EQ(outcome.load(),
+            static_cast<int>(AdmissionController::Outcome::kAdmitted));
+  gate.finish(10);
+  EXPECT_EQ(gate.stats().admitted_batches, 2u);
+}
+
+TEST(AdmissionController, InflightBudgetGatesButNeverWedgesOversized) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 4;
+  opts.max_inflight_requests = 10;
+  opts.max_queued_batches = 4;
+  AdmissionController gate(opts);
+
+  // An oversized batch is admitted when it would run alone.
+  ASSERT_EQ(gate.admit(100, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  gate.finish(100);
+
+  ASSERT_EQ(gate.admit(8, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  std::atomic<int> outcome{-1};
+  std::thread waiter([&] {
+    outcome.store(static_cast<int>(gate.admit(8, Priority::kNormal)));
+  });
+  ASSERT_TRUE(eventually([&] { return gate.stats().peak_queue >= 1; }));
+  EXPECT_EQ(outcome.load(), -1);  // 8 + 8 > 10: parked despite a free token
+  gate.finish(8);
+  waiter.join();
+  EXPECT_EQ(outcome.load(),
+            static_cast<int>(AdmissionController::Outcome::kAdmitted));
+  gate.finish(8);
+}
+
+TEST(AdmissionController, FullQueueShedsArrivalThatDoesNotOutrank) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 1;
+  opts.max_queued_batches = 1;
+  AdmissionController gate(opts);
+
+  ASSERT_EQ(gate.admit(1, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  std::atomic<int> outcome{-1};
+  std::thread waiter([&] {
+    outcome.store(static_cast<int>(gate.admit(1, Priority::kNormal)));
+  });
+  ASSERT_TRUE(eventually([&] { return gate.stats().peak_queue >= 1; }));
+
+  // Equal and lower priorities do not outrank the waiter: arrival is shed.
+  EXPECT_EQ(gate.admit(1, Priority::kNormal),
+            AdmissionController::Outcome::kShedded);
+  EXPECT_EQ(gate.admit(1, Priority::kLow),
+            AdmissionController::Outcome::kShedded);
+  EXPECT_EQ(outcome.load(), -1);  // the waiter was untouched
+
+  gate.finish(1);
+  waiter.join();
+  EXPECT_EQ(outcome.load(),
+            static_cast<int>(AdmissionController::Outcome::kAdmitted));
+  gate.finish(1);
+  const AdmissionStats st = gate.stats();
+  EXPECT_EQ(st.shed_batches, 2u);
+  EXPECT_EQ(st.shed_requests, 2u);
+}
+
+TEST(AdmissionController, HigherPriorityArrivalEvictsTheLowestWaiter) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 1;
+  opts.max_queued_batches = 1;
+  AdmissionController gate(opts);
+
+  ASSERT_EQ(gate.admit(1, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  std::atomic<int> low_outcome{-1};
+  std::thread low([&] {
+    low_outcome.store(static_cast<int>(gate.admit(1, Priority::kLow)));
+  });
+  ASSERT_TRUE(eventually([&] { return gate.stats().peak_queue >= 1; }));
+
+  std::atomic<int> high_outcome{-1};
+  std::thread high([&] {
+    high_outcome.store(static_cast<int>(gate.admit(1, Priority::kHigh)));
+  });
+  // The high-priority arrival evicts the low-priority waiter and takes its
+  // seat; the evicted waiter unblocks with kShedded.
+  low.join();
+  EXPECT_EQ(low_outcome.load(),
+            static_cast<int>(AdmissionController::Outcome::kShedded));
+  EXPECT_EQ(high_outcome.load(), -1);  // queued, not shed
+
+  gate.finish(1);
+  high.join();
+  EXPECT_EQ(high_outcome.load(),
+            static_cast<int>(AdmissionController::Outcome::kAdmitted));
+  gate.finish(1);
+}
+
+TEST(AdmissionController, GrantsByPriorityThenArrival) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 1;
+  opts.max_queued_batches = 4;
+  AdmissionController gate(opts);
+
+  ASSERT_EQ(gate.admit(1, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::vector<std::thread> waiters;
+  const Priority prio[3] = {Priority::kNormal, Priority::kHigh,
+                            Priority::kNormal};
+  for (int id = 0; id < 3; ++id) {
+    waiters.emplace_back([&, id] {
+      const auto got = gate.admit(1, prio[id]);
+      ASSERT_EQ(got, AdmissionController::Outcome::kAdmitted);
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(id);
+    });
+    // Enqueue strictly in id order so arrival ranks are deterministic.
+    ASSERT_TRUE(eventually(
+        [&] { return gate.stats().peak_queue >= static_cast<std::size_t>(id) + 1; }));
+  }
+  for (int round = 0; round < 3; ++round) {
+    gate.finish(1);
+    ASSERT_TRUE(eventually([&] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      return order.size() == static_cast<std::size_t>(round) + 1;
+    }));
+  }
+  for (auto& t : waiters) t.join();
+  gate.finish(1);
+  // High first, then the two normals in arrival order.
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level overload behaviour.
+
+class EngineAdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_ = data::uniform_segments(800, 1024.0, 25.0, 77);
+    dpv::Context ctx;
+    core::PmrBuildOptions po;
+    po.world = 1024.0;
+    po.max_depth = 10;
+    po.bucket_capacity = 4;
+    quad_ = core::pmr_build(ctx, lines_, po).tree;
+    core::RtreeBuildOptions ro;
+    rtree_ = core::rtree_build(ctx, lines_, ro).tree;
+  }
+
+  std::vector<Request> small_batch(std::size_t n, Priority p) const {
+    std::vector<Request> batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>((i * 131) % 900);
+      batch.push_back(Request::window_query(IndexKind::kQuadTree,
+                                            {x, x, x + 60.0, x + 60.0})
+                          .with_priority(p));
+    }
+    return batch;
+  }
+
+  // A batch heavy enough to keep the engine busy for many milliseconds:
+  // k-nearest has no dp pipeline, so every request walks sequentially.
+  std::vector<Request> heavy_batch(std::size_t n) const {
+    std::vector<Request> batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>((i * 37) % 1000);
+      const double y = static_cast<double>((i * 53) % 1000);
+      batch.push_back(Request::nearest_query(IndexKind::kRTree, {x, y}, 4));
+    }
+    return batch;
+  }
+
+  void expect_ok_matches_oracle(const std::vector<Request>& batch,
+                                const std::vector<Response>& rsp) const {
+    ASSERT_EQ(rsp.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (rsp[i].status != Status::kOk) continue;
+      if (batch[i].kind == RequestKind::kWindow) {
+        EXPECT_EQ(rsp[i].ids, core::window_query(quad_, batch[i].window))
+            << "request " << i;
+      }
+    }
+  }
+
+  std::vector<geom::Segment> lines_;
+  core::QuadTree quad_;
+  core::RTree rtree_;
+};
+
+TEST_F(EngineAdmissionTest, OverloadedEngineShedsWholeBatchesWithKShedded) {
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.shards = 1;
+  opts.admission.enabled = true;
+  opts.admission.max_concurrent_batches = 1;
+  opts.admission.max_queued_batches = 0;  // no waiting room: shed on overlap
+  QueryEngine engine(opts);
+  engine.mount(&quad_);
+  engine.mount(&rtree_);
+
+  const auto heavy = heavy_batch(30000);
+  std::atomic<bool> done{false};
+  std::thread server([&] {
+    const auto rsp = engine.serve(heavy);
+    done.store(true);
+    EXPECT_EQ(rsp.size(), heavy.size());
+  });
+  // Wait until the heavy batch holds the concurrency token, then offer a
+  // small batch: with zero waiting room it must be shed, not blocked.
+  ASSERT_TRUE(eventually(
+      [&] { return engine.admission_stats().admitted_batches >= 1; }));
+  const auto small = small_batch(16, Priority::kNormal);
+  const auto rsp = engine.serve(small);
+  const bool raced_past = done.load();  // heavy batch finished already?
+  server.join();
+
+  ASSERT_EQ(rsp.size(), small.size());
+  if (!raced_past) {
+    for (std::size_t i = 0; i < rsp.size(); ++i) {
+      EXPECT_EQ(rsp[i].status, Status::kShedded) << "request " << i;
+      EXPECT_TRUE(rsp[i].ids.empty());  // shed means shed: no partial answer
+      EXPECT_TRUE(rsp[i].neighbors.empty());
+    }
+    EXPECT_EQ(engine.admission_stats().shed_batches, 1u);
+    EXPECT_EQ(engine.admission_stats().shed_requests, small.size());
+    EXPECT_EQ(engine.metrics().shedded, small.size());
+  }
+  expect_ok_matches_oracle(small, rsp);
+}
+
+TEST_F(EngineAdmissionTest, QueuedBatchRunsAfterTheHeavyOneAndIsCorrect) {
+  EngineOptions opts;
+  opts.threads = 1;
+  opts.shards = 1;
+  opts.admission.enabled = true;
+  opts.admission.max_concurrent_batches = 1;
+  opts.admission.max_queued_batches = 1;  // room to wait instead of shedding
+  QueryEngine engine(opts);
+  engine.mount(&quad_);
+  engine.mount(&rtree_);
+
+  const auto heavy = heavy_batch(20000);
+  std::thread server([&] { engine.serve(heavy); });
+  ASSERT_TRUE(eventually(
+      [&] { return engine.admission_stats().admitted_batches >= 1; }));
+  const auto small = small_batch(16, Priority::kHigh);
+  const auto rsp = engine.serve(small);  // waits for the token, then runs
+  server.join();
+
+  ASSERT_EQ(rsp.size(), small.size());
+  for (std::size_t i = 0; i < rsp.size(); ++i) {
+    ASSERT_EQ(rsp[i].status, Status::kOk) << "request " << i;
+    EXPECT_EQ(rsp[i].ids, core::window_query(quad_, small[i].window));
+  }
+  EXPECT_EQ(engine.admission_stats().shed_batches, 0u);
+}
+
+TEST_F(EngineAdmissionTest, ConcurrentHammerNeverProducesAWrongAnswer) {
+  EngineOptions opts;
+  opts.threads = 2;
+  opts.shards = 2;
+  opts.admission.enabled = true;
+  opts.admission.max_concurrent_batches = 2;
+  opts.admission.max_inflight_requests = 64;
+  opts.admission.max_queued_batches = 1;
+  QueryEngine engine(opts);
+  engine.mount(&quad_);
+  engine.mount(&rtree_);
+
+  constexpr int kThreads = 8;
+  constexpr int kBatchesPerThread = 10;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const Priority p = t % 3 == 0   ? Priority::kHigh
+                         : t % 3 == 1 ? Priority::kNormal
+                                      : Priority::kLow;
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        const auto batch = small_batch(24, p);
+        const auto rsp = engine.serve(batch);
+        ASSERT_EQ(rsp.size(), batch.size());
+        // Shedding is per batch: responses are status-uniform.
+        for (std::size_t i = 0; i < rsp.size(); ++i) {
+          EXPECT_EQ(rsp[i].status, rsp[0].status);
+          if (rsp[i].status == Status::kOk) {
+            EXPECT_EQ(rsp[i].ids,
+                      core::window_query(quad_, batch[i].window));
+            ++ok;
+          } else {
+            ASSERT_EQ(rsp[i].status, Status::kShedded);
+            EXPECT_TRUE(rsp[i].ids.empty());
+            ++shed;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(other.load(), 0u);
+
+  const AdmissionStats st = engine.admission_stats();
+  EXPECT_EQ(st.offered_batches,
+            static_cast<std::uint64_t>(kThreads * kBatchesPerThread));
+  EXPECT_EQ(st.admitted_batches + st.shed_batches, st.offered_batches);
+  EXPECT_EQ(st.shed_requests, shed.load());
+  const ServeMetrics m = engine.metrics();
+  EXPECT_EQ(m.ok, ok.load());
+  EXPECT_EQ(m.shedded, shed.load());
+  EXPECT_EQ(m.requests, ok.load() + shed.load());
+}
+
+}  // namespace
+}  // namespace dps::serve

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -205,6 +206,83 @@ TEST_F(QueryEngineTest, ExpiredDeadlineShortCircuits) {
   EXPECT_EQ(engine->metrics().expired, 2u);
 }
 
+TEST_F(QueryEngineTest, EpochDeadlineIsARealExpiredDeadline) {
+  // Regression: the epoch used to be the "no deadline" sentinel, so a
+  // request deadlined at Clock::time_point{} silently ran forever.  With
+  // the optional, every concrete time point is a real deadline.
+  auto engine = make_engine();
+  auto batch = mixed_requests(8);
+  EXPECT_FALSE(batch[0].has_deadline());
+  batch[0].deadline = Clock::time_point{};  // the epoch: long expired
+  EXPECT_TRUE(batch[0].has_deadline());
+  const auto rsp = engine->serve(batch);
+  EXPECT_EQ(rsp[0].status, Status::kDeadlineExpired);
+  for (std::size_t i = 1; i < rsp.size(); ++i) {
+    EXPECT_EQ(rsp[i].status, Status::kOk) << "request " << i;
+  }
+}
+
+TEST_F(QueryEngineTest, MountDuringConcurrentServeIsAtomicPerBatch) {
+  // Remount while another thread serves: each batch must be answered
+  // entirely by one index generation (the mount lock excludes in-flight
+  // batches), never by a half-swapped view.  Run under TSan in CI.
+  auto lines_b = data::uniform_segments(400, kWorld, 25.0, 991);
+  dpv::Context ctx;
+  core::PmrBuildOptions po;
+  po.world = kWorld;
+  po.max_depth = 10;
+  po.bucket_capacity = 4;
+  const core::QuadTree quad_b = core::pmr_build(ctx, lines_b, po).tree;
+
+  std::vector<Request> batch;
+  for (int i = 0; i < 60; ++i) {
+    const double x = static_cast<double>((i * 83) % 900);
+    batch.push_back(
+        Request::window_query(IndexKind::kQuadTree, {x, x, x + 70.0, x + 70.0}));
+  }
+  std::vector<std::vector<geom::LineId>> want_a, want_b;
+  for (const Request& rq : batch) {
+    want_a.push_back(core::window_query(quad_, rq.window));
+    want_b.push_back(core::window_query(quad_b, rq.window));
+  }
+  // A window whose answer differs between the trees classifies which
+  // generation served a batch.
+  std::size_t probe = batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (want_a[i] != want_b[i]) {
+      probe = i;
+      break;
+    }
+  }
+  ASSERT_LT(probe, batch.size()) << "datasets too similar to discriminate";
+
+  EngineOptions opts;
+  opts.shards = 2;
+  opts.threads = 2;
+  opts.min_dp_batch = 4;
+  auto engine = make_engine(opts);
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    while (!stop.load()) {
+      const auto rsp = engine->serve(batch);
+      // Decide which tree answered request 0, then demand the whole batch
+      // came from that same tree.
+      ASSERT_EQ(rsp.size(), batch.size());
+      const bool from_a = rsp[probe].ids == want_a[probe];
+      for (std::size_t i = 0; i < rsp.size(); ++i) {
+        ASSERT_EQ(rsp[i].status, Status::kOk);
+        EXPECT_EQ(rsp[i].ids, from_a ? want_a[i] : want_b[i])
+            << "request " << i << " answered by a half-swapped index set";
+      }
+    }
+  });
+  for (int flip = 0; flip < 200; ++flip) {
+    engine->mount(flip % 2 == 0 ? &quad_b : &quad_);
+  }
+  stop.store(true);
+  server.join();
+}
+
 TEST_F(QueryEngineTest, CancelAllThenReset) {
   auto engine = make_engine();
   const auto batch = mixed_requests(30);
@@ -304,6 +382,14 @@ TEST(ServeStatus, Names) {
   EXPECT_EQ(status_name(Status::kDeadlineExpired), "deadline-expired");
   EXPECT_EQ(status_name(Status::kCancelled), "cancelled");
   EXPECT_EQ(status_name(Status::kRejected), "rejected");
+  EXPECT_EQ(status_name(Status::kShedded), "shedded");
+  EXPECT_EQ(status_name(Status::kInvalidArgument), "invalid-argument");
+}
+
+TEST(ServePriority, Names) {
+  EXPECT_EQ(priority_name(Priority::kLow), "low");
+  EXPECT_EQ(priority_name(Priority::kNormal), "normal");
+  EXPECT_EQ(priority_name(Priority::kHigh), "high");
 }
 
 }  // namespace
