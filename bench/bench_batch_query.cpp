@@ -1,15 +1,27 @@
-// P2: sequential vs data-parallel batch queries.
+// P2: sequential vs data-parallel batch queries, and what the scratch
+// arena buys per round.
 //
 // The dp batch pipelines run the per-candidate intersection test as one
 // elementwise pass and concentrate results with sort + duplicate deletion
 // (section 4.3's use case).  On one core the win is bounded by memory
-// behaviour; the candidate counts show the real work.
+// behaviour; the candidate counts show the real work.  Every scan-model
+// round also used to pay one heap allocation per primitive result; with
+// `Context::enable_arena()` a warm round reuses its buffers instead, so
+// the A/B sweep below isolates that allocator cost.
+//
+// `--json` additionally writes BENCH_batch.json -- ns/query percentiles
+// and the steady-state mallocs-per-round counter for every (pipeline,
+// arena) series -- the artifact CI uploads to track the perf trajectory.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/batch_query.hpp"
+#include "core/linear_quadtree.hpp"
 #include "core/pmr_build.hpp"
 #include "core/query.hpp"
 #include "core/rtree_build.hpp"
@@ -18,9 +30,102 @@ namespace {
 
 using namespace dps;  // NOLINT: bench binary
 
+struct Series {
+  std::string pipeline;  // e.g. "window_pmr"
+  bool arena = false;
+  std::size_t queries = 0;
+  double p50_ns = 0.0;  // ns per query, median over reps
+  double p99_ns = 0.0;
+  double best_ns = 0.0;
+  std::size_t mallocs_per_round = 0;  // arena misses in the final warm round
+  std::size_t candidates = 0;
+};
+
+double percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Runs `run(ctx)` warm-up + timed reps in a fresh serial context and
+/// reports per-query latency percentiles.  With `arena` set the context
+/// owns a scratch arena, so every rep after the first recycles its round
+/// buffers; `mallocs_per_round` is the arena's miss counter for the final
+/// rep (steady state -- the acceptance target is zero).
+template <typename RunFn>
+Series measure(const char* pipeline, bool arena, std::size_t queries,
+               RunFn&& run) {
+  constexpr int kWarmup = 2;
+  constexpr int kReps = 24;
+  dpv::Context ctx(0);
+  if (arena) ctx.enable_arena();
+  core::BatchQueryResult last;
+  for (int i = 0; i < kWarmup; ++i) last = run(ctx);
+  std::vector<double> ns;
+  ns.reserve(kReps);
+  for (int i = 0; i < kReps; ++i) {
+    const double ms = bench::time_ms([&] { last = run(ctx); });
+    ns.push_back(ms * 1e6 / static_cast<double>(queries));
+  }
+  Series s;
+  s.pipeline = pipeline;
+  s.arena = arena;
+  s.queries = queries;
+  s.p50_ns = percentile(ns, 0.50);
+  s.p99_ns = percentile(ns, 0.99);
+  s.best_ns = *std::min_element(ns.begin(), ns.end());
+  s.mallocs_per_round = arena ? ctx.arena()->stats().round_mallocs : 0;
+  s.candidates = last.candidates;
+  return s;
+}
+
+void write_json(const char* path, const std::vector<Series>& series,
+                std::size_t lines_n) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"batch_query\",\n  \"lines\": %zu,\n",
+               lines_n);
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Series& s = series[i];
+    std::fprintf(f,
+                 "    {\"pipeline\": \"%s\", \"arena\": %s, "
+                 "\"queries\": %zu, \"ns_per_query_p50\": %.1f, "
+                 "\"ns_per_query_p99\": %.1f, \"ns_per_query_best\": %.1f, "
+                 "\"mallocs_per_round\": %zu, \"candidates\": %zu}%s\n",
+                 s.pipeline.c_str(), s.arena ? "true" : "false", s.queries,
+                 s.p50_ns, s.p99_ns, s.best_ns, s.mallocs_per_round,
+                 s.candidates, i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"window_arena_speedup\": {");
+  bool first = true;
+  for (const char* base : {"window_pmr", "window_rtree", "window_lqt"}) {
+    double off = 0.0, on = 0.0;
+    for (const Series& s : series) {
+      if (s.pipeline != base) continue;
+      (s.arena ? on : off) = s.p50_ns;
+    }
+    if (on <= 0.0 || off <= 0.0) continue;
+    std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", base, off / on);
+    first = false;
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
   std::printf("== P2: batch window queries, sequential vs data-parallel ==\n\n");
   const double world = 4096.0;
   const std::size_t n = 20000;
@@ -34,6 +139,7 @@ int main() {
   const core::QuadTree pmr = core::pmr_build(ctx, lines, po).tree;
   const core::RTree rtree =
       core::rtree_build(ctx, lines, core::RtreeBuildOptions{}).tree;
+  const core::LinearQuadTree lqt = core::LinearQuadTree::from(pmr);
 
   for (const std::size_t windows_n : {64u, 512u, 4096u}) {
     std::vector<geom::Rect> windows;
@@ -63,11 +169,71 @@ int main() {
     const double t_dp_rt = bench::time_ms(
         [&] { rq = core::batch_window_query(ctx, rtree, windows); });
 
+    core::BatchQueryResult lq;
+    const double t_dp_lqt = bench::time_ms(
+        [&] { lq = core::batch_window_query(ctx, lqt, windows); });
+    std::size_t hits_lqt = 0;
+    for (const auto& r : lq.results) hits_lqt += r.size();
+
     std::printf(
         "%5zu windows: PMR seq %8.2f ms / dp %8.2f ms (%zu cand); "
-        "R-tree seq %8.2f ms / dp %8.2f ms (%zu cand) %s\n",
+        "R-tree seq %8.2f ms / dp %8.2f ms (%zu cand); "
+        "LQT dp %8.2f ms %s\n",
         windows_n, t_seq_pmr, t_dp_pmr, bq.candidates, t_seq_rt, t_dp_rt,
-        rq.candidates, hits_dp == hits_seq ? "" : "MISMATCH");
+        rq.candidates, t_dp_lqt,
+        hits_dp == hits_seq && hits_lqt == hits_dp ? "" : "MISMATCH");
   }
+
+  // Arena A/B: same batch, scratch arena on vs off, every pipeline.  One
+  // call is one round; steady-state rounds must be malloc-free.
+  const std::size_t q = 512;
+  std::vector<geom::Rect> windows;
+  std::vector<geom::Point> points;
+  for (std::size_t i = 0; i < q; ++i) {
+    const double x = (i * 131) % 3900, y = (i * 733) % 3900;
+    windows.push_back({x, y, x + world / 50.0, y + world / 50.0});
+    points.push_back(i % 2 == 0 ? lines[(i * 17) % lines.size()].mid()
+                                : geom::Point{x + 0.25, y + 0.75});
+  }
+
+  std::vector<Series> series;
+  for (const bool arena : {false, true}) {
+    series.push_back(measure("window_pmr", arena, q, [&](dpv::Context& c) {
+      return core::batch_window_query(c, pmr, windows);
+    }));
+    series.push_back(measure("window_rtree", arena, q, [&](dpv::Context& c) {
+      return core::batch_window_query(c, rtree, windows);
+    }));
+    series.push_back(measure("window_lqt", arena, q, [&](dpv::Context& c) {
+      return core::batch_window_query(c, lqt, windows);
+    }));
+    series.push_back(measure("point_pmr", arena, q, [&](dpv::Context& c) {
+      return core::batch_point_query(c, pmr, points);
+    }));
+    series.push_back(measure("point_rtree", arena, q, [&](dpv::Context& c) {
+      return core::batch_point_query(c, rtree, points);
+    }));
+    series.push_back(measure("point_lqt", arena, q, [&](dpv::Context& c) {
+      return core::batch_point_query(c, lqt, points);
+    }));
+  }
+
+  std::printf("\n== arena A/B, %zu queries per batch ==\n", q);
+  std::printf("%-14s %8s %12s %12s %14s\n", "pipeline", "arena", "p50(ns/q)",
+              "p99(ns/q)", "mallocs/round");
+  for (const Series& s : series) {
+    std::printf("%-14s %8s %12.0f %12.0f %14zu\n", s.pipeline.c_str(),
+                s.arena ? "on" : "off", s.p50_ns, s.p99_ns,
+                s.mallocs_per_round);
+  }
+  for (const char* base : {"window_pmr", "window_rtree", "window_lqt"}) {
+    double off = 0.0, on = 0.0;
+    for (const Series& s : series) {
+      if (s.pipeline == base) (s.arena ? on : off) = s.p50_ns;
+    }
+    std::printf("arena speedup %-14s %.2fx\n", base, off / on);
+  }
+
+  if (json) write_json("BENCH_batch.json", series, lines.size());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <random>
 #include <thread>
 #include <vector>
@@ -69,9 +70,56 @@ std::uint64_t checksum(const std::vector<serve::Response>& responses) {
   return h;
 }
 
+struct EngineRow {
+  std::size_t shards = 0;
+  double ms = 0.0;
+  double req_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  bool identical = false;
+  dpv::ArenaStats arena;
+};
+
+// BENCH_serve.json: the S1 sweep plus the per-shard arena counters -- the
+// machine-readable record CI uploads to track the serving trajectory.
+void write_json(const char* path, const std::vector<EngineRow>& rows,
+                double seq_ms) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve\",\n  \"requests\": %zu,\n"
+               "  \"lines\": %zu,\n  \"sequential_ms\": %.2f,\n"
+               "  \"series\": [\n",
+               kRequests, kLines, seq_ms);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"ms\": %.2f, \"req_per_s\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"identical\": %s, "
+                 "\"arena_rounds\": %llu, \"arena_mallocs_per_round\": %llu, "
+                 "\"arena_live_blocks\": %llu}%s\n",
+                 r.shards, r.ms, r.req_per_s, r.p50_us, r.p99_us,
+                 r.identical ? "true" : "false",
+                 static_cast<unsigned long long>(r.arena.rounds),
+                 static_cast<unsigned long long>(r.arena.round_mallocs),
+                 static_cast<unsigned long long>(r.arena.live_blocks),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
   dpv::Context build_ctx;
   const auto lines = data::uniform_segments(kLines, kWorld, kWorld / 200.0, 42);
 
@@ -127,6 +175,7 @@ int main() {
               "1.00", "-", "-", "baseline");
 
   double single_shard_ms = 0.0;
+  std::vector<EngineRow> rows;
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     serve::EngineOptions opts;
     opts.shards = shards;
@@ -147,7 +196,17 @@ int main() {
                 single_shard_ms / ms, m.latency.quantile_upper_us(0.50),
                 m.latency.quantile_upper_us(0.99),
                 checksum(responses) == want ? "identical" : "MISMATCH");
+    EngineRow row;
+    row.shards = shards;
+    row.ms = ms;
+    row.req_per_s = 1000.0 * static_cast<double>(batch.size()) / ms;
+    row.p50_us = m.latency.quantile_upper_us(0.50);
+    row.p99_us = m.latency.quantile_upper_us(0.99);
+    row.identical = checksum(responses) == want;
+    row.arena = engine.arena_stats();
+    rows.push_back(row);
   }
+  if (json) write_json("BENCH_serve.json", rows, seq_ms);
 
   // S2: overload.  Offered load deliberately exceeds capacity: many client
   // threads hammer a small engine.  Without admission everything is

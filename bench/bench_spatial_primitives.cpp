@@ -42,7 +42,7 @@ void BM_Clone(benchmark::State& state) {
   dpv::Context& ctx = context(state.range(1));
   const std::size_t n = state.range(0);
   const dpv::Flags cf = random_bits(n, 0.2, 1);
-  const std::vector<int> payload(n, 7);
+  const dpv::Vec<int> payload(n, 7);
   for (auto _ : state) {
     const prim::ClonePlan plan = prim::plan_clone(ctx, cf);
     benchmark::DoNotOptimize(prim::apply_clone(ctx, plan, payload));
@@ -56,7 +56,7 @@ void BM_SegUnshuffle(benchmark::State& state) {
   const std::size_t n = state.range(0);
   const dpv::Flags side = random_bits(n, 0.5, 2);
   const dpv::Flags seg = group_flags(n, 32, 3);
-  const std::vector<int> payload(n, 7);
+  const dpv::Vec<int> payload(n, 7);
   for (auto _ : state) {
     const prim::UnshufflePlan plan = prim::plan_seg_unshuffle(ctx, side, seg);
     benchmark::DoNotOptimize(prim::apply_unshuffle(ctx, plan, payload));

@@ -1,0 +1,33 @@
+#pragma once
+// Emit step shared by the batch-query pipelines: the concentrated
+// (query, line) keys come out of duplicate deletion sorted by query row,
+// so each row's ids form one contiguous run.  Reserving each row from its
+// run length makes the emit a single allocation per row instead of
+// push_back doubling growth.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dpv/vector.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+inline void emit_concentrated(const dpv::Vec<std::uint64_t>& unique,
+                              std::vector<std::vector<geom::LineId>>& results) {
+  const std::size_t n = unique.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const auto row = static_cast<std::size_t>(unique[i] >> 32);
+    std::size_t j = i;
+    while (j < n && (unique[j] >> 32) == row) ++j;
+    std::vector<geom::LineId>& out = results[row];
+    out.reserve(out.size() + (j - i));
+    for (; i < j; ++i) {
+      out.push_back(static_cast<geom::LineId>(unique[i] & 0xFFFF'FFFFu));
+    }
+  }
+}
+
+}  // namespace dps::core

@@ -1,5 +1,6 @@
 #include "core/batch_query.hpp"
 
+#include "core/batch_emit.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -19,6 +20,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
   BatchQueryResult out;
   out.results.resize(windows.size());
   if (tree.num_nodes() == 0 || windows.empty()) return out;
+  auto round = ctx.scoped_round();
 
   // Candidate generation: per window, the q-edges of every leaf whose block
   // meets the window (host traversal; the flat candidate list is the
@@ -84,10 +86,7 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
     out.aborted = true;
     return out;
   }
-  for (const std::uint64_t key : unique) {
-    const auto w = static_cast<std::size_t>(key >> 32);
-    out.results[w].push_back(static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
-  }
+  emit_concentrated(unique, out.results);
   return out;
 }
 
@@ -97,6 +96,7 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
   BatchQueryResult out;
   out.results.resize(points.size());
   if (tree.num_nodes() == 0 || points.empty()) return out;
+  auto round = ctx.scoped_round();
 
   // Host descent to every leaf whose *closed* cell contains the point (up
   // to four when the point sits on cell boundaries), so boundary hits on
@@ -150,10 +150,7 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
     out.aborted = true;
     return out;
   }
-  for (const std::uint64_t key : unique) {
-    out.results[key >> 32].push_back(
-        static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
-  }
+  emit_concentrated(unique, out.results);
   return out;
 }
 

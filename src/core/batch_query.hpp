@@ -82,4 +82,30 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
                                     const std::vector<geom::Rect>& windows,
                                     const BatchControl& control = {});
 
+/// Data-parallel batch point queries over an R-tree: the same frontier
+/// descent as the window pipeline with MBR containment as the prune and
+/// point-on-segment as the leaf test.
+BatchQueryResult batch_point_query(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control = {});
+
+class LinearQuadTree;
+
+/// Data-parallel batch window query over a linear quadtree: the (window,
+/// block, key-interval) frontier descends the *implicit* tree one level per
+/// round, locating each child's contiguous key sub-interval with
+/// elementwise binary-search ranks; stored-leaf pairs expand to candidates
+/// tested elementwise and concentrated through sort + duplicate deletion.
+BatchQueryResult batch_window_query(dpv::Context& ctx,
+                                    const LinearQuadTree& tree,
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control = {});
+
+/// Data-parallel batch point queries over a linear quadtree (window queries
+/// on the points' degenerate rects, like the sequential oracle).
+BatchQueryResult batch_point_query(dpv::Context& ctx,
+                                   const LinearQuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control = {});
+
 }  // namespace dps::core

@@ -49,8 +49,8 @@ KdBuildResult kd_build(dpv::Context& ctx, std::vector<geom::Point> pts,
     res.prims = ctx.counters() - before;
     return res;
   }
-  dpv::Vec<geom::Point> p = std::move(pts);
-  dpv::Vec<prim::PointId> pid = std::move(ids);
+  dpv::Vec<geom::Point> p = dpv::to_vec(pts);
+  dpv::Vec<prim::PointId> pid = dpv::to_vec(ids);
   dpv::Flags seg = dpv::single_segment(ctx, n);
   std::vector<FrontierEntry> frontier{{0, 0}};
 
@@ -130,8 +130,8 @@ KdBuildResult kd_build(dpv::Context& ctx, std::vector<geom::Point> pts,
     nd.first_pt = static_cast<std::uint32_t>(starts[g]);
     nd.num_pts = static_cast<std::uint32_t>(end - starts[g]);
   }
-  KdBuilderAccess::pts(res.tree) = std::move(p);
-  KdBuilderAccess::ids(res.tree) = std::move(pid);
+  KdBuilderAccess::pts(res.tree) = dpv::to_std(p);
+  KdBuilderAccess::ids(res.tree) = dpv::to_std(pid);
   res.prims = ctx.counters() - before;
   return res;
 }

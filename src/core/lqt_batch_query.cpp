@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <cstdint>
+
+#include "core/batch_emit.hpp"
+#include "core/batch_query.hpp"
+#include "core/linear_quadtree.hpp"
+#include "dpv/distribute.hpp"
+#include "geom/predicates.hpp"
+#include "prim/duplicate_deletion.hpp"
+
+namespace dps::core {
+
+namespace {
+
+// Batch descent of the *implicit* tree over the sorted leaf array.  The
+// frontier holds (window, block, lo, hi) tuples: block is a cell of the
+// regular decomposition and [lo, hi) is the key interval of its stored
+// descendants.  Each round prunes by window intersection, peels tuples
+// whose interval is exactly their own stored leaf, and expands the rest
+// into four children whose sub-intervals come from elementwise binary
+// searches on the path keys (descendants of a block occupy a contiguous
+// key interval, and the four child intervals tile the parent's, so one
+// rank per child suffices: child q's upper bound is child q+1's lower).
+BatchQueryResult lqt_batch_window_impl(dpv::Context& ctx,
+                                       const LinearQuadTree& tree,
+                                       const std::vector<geom::Rect>& windows,
+                                       const BatchControl& control) {
+  BatchQueryResult out;
+  out.results.resize(windows.size());
+  const std::vector<LinearQuadTree::Leaf>& leaves = tree.leaves();
+  if (leaves.empty() || windows.empty()) return out;
+  auto round = ctx.scoped_round();
+
+  const auto rank_of = [&](std::uint64_t key, std::size_t lo,
+                           std::size_t hi) {
+    const auto it = std::lower_bound(
+        leaves.begin() + static_cast<std::ptrdiff_t>(lo),
+        leaves.begin() + static_cast<std::ptrdiff_t>(hi), key,
+        [](const LinearQuadTree::Leaf& l, std::uint64_t k) {
+          return l.key < k;
+        });
+    return static_cast<std::size_t>(it - leaves.begin());
+  };
+
+  dpv::Vec<std::uint32_t> fwin = dpv::tabulate(
+      ctx, windows.size(), [](std::size_t i) {
+        return static_cast<std::uint32_t>(i);
+      });
+  dpv::Vec<geom::Block> fblock =
+      dpv::constant<geom::Block>(ctx, windows.size(), geom::Block::root());
+  dpv::Vec<std::size_t> flo =
+      dpv::constant<std::size_t>(ctx, windows.size(), 0);
+  dpv::Vec<std::size_t> fhi =
+      dpv::constant<std::size_t>(ctx, windows.size(), leaves.size());
+
+  // (window, stored-leaf) pairs accumulate here.
+  dpv::Vec<std::uint32_t> lwin;
+  dpv::Vec<std::size_t> lleaf;  // index into leaves
+
+  while (!fwin.empty()) {
+    // One control poll per descent round (a round is one implicit level).
+    if (batch_aborting(ctx, control)) {
+      out.aborted = true;
+      return out;
+    }
+    // Prune: empty key interval, or cell misses the window.
+    dpv::Flags live = dpv::tabulate(ctx, fwin.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(
+          flo[i] < fhi[i] &&
+          fblock[i].rect(tree.world()).intersects(windows[fwin[i]]));
+    });
+    fwin = dpv::pack(ctx, fwin, live);
+    fblock = dpv::pack(ctx, fblock, live);
+    flo = dpv::pack(ctx, flo, live);
+    fhi = dpv::pack(ctx, fhi, live);
+    if (fwin.empty()) break;
+
+    // Peel tuples whose interval is exactly their own stored leaf.  (Path
+    // keys collide across depths -- a NW child shares its parent's key --
+    // so the block must match exactly, as in the sequential descent.)
+    dpv::Flags stored = dpv::tabulate(ctx, fwin.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(fhi[i] - flo[i] == 1 &&
+                                       leaves[flo[i]].block == fblock[i]);
+    });
+    dpv::Flags internal = dpv::map(ctx, stored, [](std::uint8_t s) {
+      return static_cast<std::uint8_t>(!s);
+    });
+    dpv::Vec<std::uint32_t> leaf_w = dpv::pack(ctx, fwin, stored);
+    dpv::Vec<std::size_t> leaf_i = dpv::pack(ctx, flo, stored);
+    lwin.insert(lwin.end(), leaf_w.begin(), leaf_w.end());
+    lleaf.insert(lleaf.end(), leaf_i.begin(), leaf_i.end());
+    fwin = dpv::pack(ctx, fwin, internal);
+    fblock = dpv::pack(ctx, fblock, internal);
+    flo = dpv::pack(ctx, flo, internal);
+    fhi = dpv::pack(ctx, fhi, internal);
+    if (fwin.empty()) break;
+
+    // Expand into the four children.  ranks[4i + q] = lower bound of child
+    // q's key interval within the parent's [lo, hi).
+    const std::size_t k = fwin.size();
+    dpv::Vec<std::size_t> ranks = dpv::tabulate(
+        ctx, 4 * k, [&](std::size_t j) {
+          const std::size_t i = j >> 2;
+          const geom::Block child =
+              fblock[i].child(static_cast<geom::Quadrant>(j & 3));
+          return rank_of(child.path_key(), flo[i], fhi[i]);
+        });
+    dpv::Vec<std::uint32_t> nwin = dpv::tabulate(
+        ctx, 4 * k, [&](std::size_t j) { return fwin[j >> 2]; });
+    dpv::Vec<geom::Block> nblock = dpv::tabulate(
+        ctx, 4 * k, [&](std::size_t j) {
+          return fblock[j >> 2].child(static_cast<geom::Quadrant>(j & 3));
+        });
+    dpv::Vec<std::size_t> nhi = dpv::tabulate(
+        ctx, 4 * k, [&](std::size_t j) {
+          return (j & 3) == 3 ? fhi[j >> 2] : ranks[j + 1];
+        });
+    fwin = std::move(nwin);
+    fblock = std::move(nblock);
+    flo = std::move(ranks);
+    fhi = std::move(nhi);
+  }
+
+  // Expand stored-leaf pairs to (window, edge) candidates, test, and
+  // concentrate through sort + duplicate deletion.
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
+  dpv::Vec<std::size_t> ecounts = dpv::map(ctx, lleaf, [&](std::size_t l) {
+    return static_cast<std::size_t>(leaves[l].num_edges);
+  });
+  const dpv::Expansion e = dpv::distribute(ctx, ecounts);
+  out.candidates = e.total;
+  if (e.total == 0) return out;
+  dpv::Flags hit = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
+    const std::size_t i = e.src[j];
+    const LinearQuadTree::Leaf& leaf = leaves[lleaf[i]];
+    const geom::Segment& s =
+        tree.edges()[leaf.first_edge + (j - e.offsets[i])];
+    return static_cast<std::uint8_t>(
+        geom::segment_intersects_rect(s, windows[lwin[i]]));
+  });
+  dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(
+      ctx, e.total, [&](std::size_t j) {
+        const std::size_t i = e.src[j];
+        const LinearQuadTree::Leaf& leaf = leaves[lleaf[i]];
+        const geom::LineId id =
+            tree.edges()[leaf.first_edge + (j - e.offsets[i])].id;
+        return (std::uint64_t{lwin[i]} << 32) | id;
+      });
+  dpv::Vec<std::uint64_t> hits = dpv::pack(ctx, pair_key, hit);
+  dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
+  dpv::Vec<std::uint64_t> sorted = dpv::gather(ctx, hits, order);
+  dpv::Vec<std::uint64_t> unique = prim::delete_duplicates(ctx, sorted);
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
+  emit_concentrated(unique, out.results);
+  return out;
+}
+
+}  // namespace
+
+BatchQueryResult batch_window_query(dpv::Context& ctx,
+                                    const LinearQuadTree& tree,
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control) {
+  return lqt_batch_window_impl(ctx, tree, windows, control);
+}
+
+BatchQueryResult batch_point_query(dpv::Context& ctx,
+                                   const LinearQuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control) {
+  // Exactly the sequential semantics: a point query is a window query on
+  // the degenerate rect of the point (segment-rect intersection against a
+  // degenerate rect *is* the point-on-segment predicate).
+  std::vector<geom::Rect> rects;
+  rects.reserve(points.size());
+  for (const geom::Point& p : points) rects.push_back(geom::Rect::of_point(p));
+  return lqt_batch_window_impl(ctx, tree, rects, control);
+}
+
+}  // namespace dps::core

@@ -12,7 +12,7 @@ QuadBuildResult pm1_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
   const dpv::PrimCounters before = ctx.counters();
   QuadBuildResult res;
   prim::LineSet ls =
-      prim::LineSet::initial(ctx, std::move(lines), opts.world);
+      prim::LineSet::initial(ctx, dpv::to_vec(lines), opts.world);
 
   for (;;) {
     const prim::PmSplitDecision d = prim::pm_split_test(ctx, ls, opts.variant);

@@ -14,7 +14,7 @@ QuadBuildResult pmr_build(dpv::Context& ctx, std::vector<geom::Segment> lines,
   const dpv::PrimCounters before = ctx.counters();
   QuadBuildResult res;
   prim::LineSet ls =
-      prim::LineSet::initial(ctx, std::move(lines), opts.world);
+      prim::LineSet::initial(ctx, dpv::to_vec(lines), opts.world);
   pmr_split_rounds(ctx, ls, opts, res);
   res.tree = QuadTree::from_line_set(ls);
   res.prims = ctx.counters() - before;

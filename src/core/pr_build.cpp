@@ -180,8 +180,8 @@ PrBuildResult pr_build(dpv::Context& ctx, std::vector<geom::Point> pts,
   assert(pts.size() == ids.size());
   const dpv::PrimCounters before = ctx.counters();
   PrBuildResult res;
-  prim::PointSet ps = prim::PointSet::initial(ctx, std::move(pts),
-                                              std::move(ids), opts.world);
+  prim::PointSet ps = prim::PointSet::initial(ctx, dpv::to_vec(pts),
+                                              dpv::to_vec(ids), opts.world);
   for (;;) {
     const prim::CapacityCheck cc =
         prim::capacity_check(ctx, ps.seg, opts.bucket_capacity);

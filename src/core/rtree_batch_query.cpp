@@ -1,5 +1,7 @@
 #include "core/batch_query.hpp"
 
+#include "core/batch_emit.hpp"
+#include "dpv/distribute.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -7,60 +9,45 @@ namespace dps::core {
 
 namespace {
 
-// Distributes k sources over sum(counts) slots: out[j] = i for
-// offsets[i] <= j < offsets[i] + counts[i].  A scatter of run heads
-// followed by an inclusive max-scan -- the standard scan-model expansion.
-dpv::Index distribute(dpv::Context& ctx, const dpv::Vec<std::size_t>& counts) {
-  const std::size_t k = counts.size();
-  dpv::Vec<std::size_t> offsets = dpv::scan(
-      ctx, dpv::Plus<std::size_t>{}, counts, dpv::Dir::kUp, dpv::Incl::kExclusive);
-  const std::size_t total =
-      k == 0 ? 0 : offsets[k - 1] + counts[k - 1];
-  if (total == 0) return {};
-  dpv::Vec<std::size_t> heads = dpv::constant<std::size_t>(ctx, total, 0);
-  dpv::Flags nonempty = dpv::map(ctx, counts, [](std::size_t c) {
-    return static_cast<std::uint8_t>(c > 0);
-  });
-  dpv::scatter(ctx, dpv::iota(ctx, k), offsets, nonempty, heads);
-  return dpv::scan(ctx, dpv::Max<std::size_t>{}, heads, dpv::Dir::kUp,
-                   dpv::Incl::kInclusive);
-}
-
-}  // namespace
-
-BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
-                                    const std::vector<geom::Rect>& windows,
-                                    const BatchControl& control) {
+// Shared frontier descent for the R-tree batch pipelines.  `prune(q, node)`
+// keeps a (query, node) pair alive; `test(q, entry)` is the elementwise leaf
+// test.  Both query kinds descend the same way: one tree level per round,
+// prune / pack / peel leaves / scan-distributed child expansion.
+template <typename Prune, typename Test>
+BatchQueryResult rtree_batch_descend(dpv::Context& ctx, const RTree& tree,
+                                     std::size_t num_queries, Prune&& prune,
+                                     Test&& test,
+                                     const BatchControl& control) {
   BatchQueryResult out;
-  out.results.resize(windows.size());
-  if (tree.num_nodes() == 0 || tree.empty() || windows.empty()) return out;
+  out.results.resize(num_queries);
+  if (tree.num_nodes() == 0 || tree.empty() || num_queries == 0) return out;
+  auto round = ctx.scoped_round();
 
-  // Frontier of (window, node) pairs, all at the same tree level.
-  dpv::Vec<std::uint32_t> fwin = dpv::tabulate(
-      ctx, windows.size(), [](std::size_t i) {
+  // Frontier of (query, node) pairs, all at the same tree level.
+  dpv::Vec<std::uint32_t> fq = dpv::tabulate(
+      ctx, num_queries, [](std::size_t i) {
         return static_cast<std::uint32_t>(i);
       });
   dpv::Vec<std::int32_t> fnode =
-      dpv::constant<std::int32_t>(ctx, windows.size(), 0);  // root
+      dpv::constant<std::int32_t>(ctx, num_queries, 0);  // root
 
   // Pairs that reached leaves accumulate here.
-  dpv::Vec<std::uint32_t> lwin;
+  dpv::Vec<std::uint32_t> lq;
   dpv::Vec<std::int32_t> lnode;
 
-  while (!fwin.empty()) {
+  while (!fq.empty()) {
     // One control poll per descent round (a round is one tree level).
     if (batch_aborting(ctx, control)) {
       out.aborted = true;
       return out;
     }
-    // Prune by MBR intersection.
-    dpv::Flags live = dpv::tabulate(ctx, fwin.size(), [&](std::size_t i) {
-      return static_cast<std::uint8_t>(
-          tree.nodes()[fnode[i]].mbr.intersects(windows[fwin[i]]));
+    // Prune by MBR.
+    dpv::Flags live = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(prune(fq[i], tree.nodes()[fnode[i]]));
     });
-    fwin = dpv::pack(ctx, fwin, live);
+    fq = dpv::pack(ctx, fq, live);
     fnode = dpv::pack(ctx, fnode, live);
-    if (fwin.empty()) break;
+    if (fq.empty()) break;
 
     // Peel off leaf pairs.
     dpv::Flags is_leaf = dpv::map(ctx, fnode, [&](std::int32_t nd) {
@@ -69,36 +56,33 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
     dpv::Flags is_internal = dpv::map(ctx, is_leaf, [](std::uint8_t l) {
       return static_cast<std::uint8_t>(!l);
     });
-    dpv::Vec<std::uint32_t> leaf_w = dpv::pack(ctx, fwin, is_leaf);
+    dpv::Vec<std::uint32_t> leaf_q = dpv::pack(ctx, fq, is_leaf);
     dpv::Vec<std::int32_t> leaf_n = dpv::pack(ctx, fnode, is_leaf);
-    lwin.insert(lwin.end(), leaf_w.begin(), leaf_w.end());
+    lq.insert(lq.end(), leaf_q.begin(), leaf_q.end());
     lnode.insert(lnode.end(), leaf_n.begin(), leaf_n.end());
-    fwin = dpv::pack(ctx, fwin, is_internal);
+    fq = dpv::pack(ctx, fq, is_internal);
     fnode = dpv::pack(ctx, fnode, is_internal);
-    if (fwin.empty()) break;
+    if (fq.empty()) break;
 
     // Expand each surviving internal pair into its children.
     dpv::Vec<std::size_t> counts = dpv::map(ctx, fnode, [&](std::int32_t nd) {
       return static_cast<std::size_t>(tree.nodes()[nd].num_children);
     });
-    const dpv::Index src = distribute(ctx, counts);
-    dpv::Vec<std::size_t> offsets = dpv::scan(ctx, dpv::Plus<std::size_t>{},
-                                              counts, dpv::Dir::kUp,
-                                              dpv::Incl::kExclusive);
-    dpv::Vec<std::uint32_t> nwin = dpv::tabulate(
-        ctx, src.size(), [&](std::size_t j) { return fwin[src[j]]; });
+    const dpv::Expansion e = dpv::distribute(ctx, counts);
+    dpv::Vec<std::uint32_t> nq = dpv::tabulate(
+        ctx, e.total, [&](std::size_t j) { return fq[e.src[j]]; });
     dpv::Vec<std::int32_t> nnode = dpv::tabulate(
-        ctx, src.size(), [&](std::size_t j) {
-          const std::size_t i = src[j];
+        ctx, e.total, [&](std::size_t j) {
+          const std::size_t i = e.src[j];
           const RTree::Node& parent = tree.nodes()[fnode[i]];
           return parent.first_child +
-                 static_cast<std::int32_t>(j - offsets[i]);
+                 static_cast<std::int32_t>(j - e.offsets[i]);
         });
-    fwin = std::move(nwin);
+    fq = std::move(nq);
     fnode = std::move(nnode);
   }
 
-  // Expand leaf pairs to (window, entry) candidates and test elementwise.
+  // Expand leaf pairs to (query, entry) candidates and test elementwise.
   if (batch_aborting(ctx, control)) {
     out.aborted = true;
     return out;
@@ -106,27 +90,23 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
   dpv::Vec<std::size_t> ecounts = dpv::map(ctx, lnode, [&](std::int32_t nd) {
     return static_cast<std::size_t>(tree.nodes()[nd].num_entries);
   });
-  const dpv::Index esrc = distribute(ctx, ecounts);
-  dpv::Vec<std::size_t> eoffsets = dpv::scan(ctx, dpv::Plus<std::size_t>{},
-                                             ecounts, dpv::Dir::kUp,
-                                             dpv::Incl::kExclusive);
-  out.candidates = esrc.size();
-  if (esrc.empty()) return out;
-  dpv::Flags hit = dpv::tabulate(ctx, esrc.size(), [&](std::size_t j) {
-    const std::size_t i = esrc[j];
+  const dpv::Expansion e = dpv::distribute(ctx, ecounts);
+  out.candidates = e.total;
+  if (e.total == 0) return out;
+  dpv::Flags hit = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
+    const std::size_t i = e.src[j];
     const RTree::Node& leaf = tree.nodes()[lnode[i]];
     const geom::Segment& s =
-        tree.entries()[leaf.first_entry + (j - eoffsets[i])];
-    return static_cast<std::uint8_t>(
-        geom::segment_intersects_rect(s, windows[lwin[i]]));
+        tree.entries()[leaf.first_entry + (j - e.offsets[i])];
+    return static_cast<std::uint8_t>(test(lq[i], s));
   });
   dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(
-      ctx, esrc.size(), [&](std::size_t j) {
-        const std::size_t i = esrc[j];
+      ctx, e.total, [&](std::size_t j) {
+        const std::size_t i = e.src[j];
         const RTree::Node& leaf = tree.nodes()[lnode[i]];
         const geom::LineId id =
-            tree.entries()[leaf.first_entry + (j - eoffsets[i])].id;
-        return (std::uint64_t{lwin[i]} << 32) | id;
+            tree.entries()[leaf.first_entry + (j - e.offsets[i])].id;
+        return (std::uint64_t{lq[i]} << 32) | id;
       });
   dpv::Vec<std::uint64_t> hits = dpv::pack(ctx, pair_key, hit);
   dpv::Index order = dpv::sort_keys_indices(ctx, hits, 64);
@@ -136,11 +116,38 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
     out.aborted = true;
     return out;
   }
-  for (const std::uint64_t key : unique) {
-    out.results[key >> 32].push_back(
-        static_cast<geom::LineId>(key & 0xFFFF'FFFFu));
-  }
+  emit_concentrated(unique, out.results);
   return out;
+}
+
+}  // namespace
+
+BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
+                                    const std::vector<geom::Rect>& windows,
+                                    const BatchControl& control) {
+  return rtree_batch_descend(
+      ctx, tree, windows.size(),
+      [&](std::uint32_t w, const RTree::Node& nd) {
+        return nd.mbr.intersects(windows[w]);
+      },
+      [&](std::uint32_t w, const geom::Segment& s) {
+        return geom::segment_intersects_rect(s, windows[w]);
+      },
+      control);
+}
+
+BatchQueryResult batch_point_query(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const BatchControl& control) {
+  return rtree_batch_descend(
+      ctx, tree, points.size(),
+      [&](std::uint32_t p, const RTree::Node& nd) {
+        return nd.mbr.contains(points[p]);
+      },
+      [&](std::uint32_t p, const geom::Segment& s) {
+        return geom::point_on_segment(points[p], s.a, s.b);
+      },
+      control);
 }
 
 }  // namespace dps::core

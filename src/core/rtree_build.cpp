@@ -154,7 +154,7 @@ RTree assemble(dpv::Context& ctx, const BuildState& st,
 
   const std::size_t effective_m =
       opts.split == prim::RtreeSplitAlgo::kMean ? 1 : opts.m;
-  return RTree(std::move(nodes), st.segs,
+  return RTree(std::move(nodes), dpv::to_std(st.segs),
                static_cast<int>(num_levels) - 1, effective_m, opts.M);
 }
 
@@ -178,7 +178,7 @@ RtreeBuildResult rtree_build(dpv::Context& ctx,
 
   BuildState st;
   st.line_seg = dpv::single_segment(ctx, lines.size());
-  st.segs = std::move(lines);
+  st.segs = dpv::to_vec(lines);
   st.levels.push_back(dpv::single_segment(ctx, 1));
 
   for (;;) {

@@ -1,0 +1,60 @@
+#include "dpv/arena.hpp"
+
+namespace dps::dpv {
+
+Arena::~Arena() { release(); }
+
+void* Arena::allocate(std::size_t bytes) {
+  std::size_t need = bytes + sizeof(Header);
+  if (need < kMinBlock) need = kMinBlock;
+  const auto log2 = static_cast<std::size_t>(std::bit_width(need - 1));
+  const std::size_t bucket = log2 - kMinBucket;
+  Header* h;
+  if (bucket < kNumBuckets && !free_[bucket].empty()) {
+    h = static_cast<Header*>(free_[bucket].back());
+    free_[bucket].pop_back();
+    ++stats_.hits;
+  } else {
+    h = static_cast<Header*>(::operator new(std::size_t{1} << log2));
+    ++stats_.mallocs;
+    ++stats_.round_mallocs;
+    stats_.bytes_reserved += std::size_t{1} << log2;
+  }
+  h->owner = this;
+  h->bucket = bucket;
+  ++stats_.live_blocks;
+  return h + 1;
+}
+
+void Arena::deallocate(void* payload) noexcept {
+  if (payload == nullptr) return;
+  auto* h = static_cast<Header*>(payload) - 1;
+  if (h->owner == nullptr) {
+    ::operator delete(h);
+    return;
+  }
+  h->owner->recycle(h);
+}
+
+void Arena::recycle(Header* h) noexcept {
+  --stats_.live_blocks;
+  if (h->bucket < kNumBuckets) {
+    free_[h->bucket].push_back(h);
+  } else {
+    stats_.bytes_reserved -=
+        std::size_t{1} << (h->bucket + kMinBucket);
+    ::operator delete(h);
+  }
+}
+
+void Arena::release() noexcept {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    for (void* p : free_[b]) {
+      stats_.bytes_reserved -= std::size_t{1} << (b + kMinBucket);
+      ::operator delete(p);
+    }
+    free_[b].clear();
+  }
+}
+
+}  // namespace dps::dpv

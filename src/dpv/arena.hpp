@@ -1,0 +1,174 @@
+#pragma once
+// Scratch arena for the dpv runtime.
+//
+// Every `dpv::Vec` result of a primitive is a fresh heap allocation, so a
+// steady-state batch round over a warm index is malloc-bound before it is
+// compute-bound.  `Arena` is an opt-in, size-bucketed free-list allocator:
+// buffers released by dying `Vec`s are cached in power-of-two buckets and
+// recycled on the next round, so after one warm-up round a batch pipeline
+// of stable shape performs zero system allocations.
+//
+// Mechanics.  `ScratchAllocator<T>` (the allocator of every `Vec`) is
+// stateless: it allocates from the calling thread's *active* arena, set for
+// the current scope by `ScopedRound` (see `Context::scoped_round()`), and
+// falls back to the system heap when no round is active.  Each block -- the
+// heap fallback included -- carries a 16-byte header naming its owning
+// arena, so deallocation routes correctly no matter when or under which
+// (or no) active arena the `Vec` dies.
+//
+// Invariants:
+//  * An arena is *thread-compatible*, not thread-safe: all allocation and
+//    deallocation against it must be sequenced (the dpv primitives already
+//    guarantee this -- vectors are allocated and destroyed on the algorithm
+//    driver thread only, never inside `for_blocks` worker lambdas).  Two
+//    driver threads may use two different arenas concurrently; the active
+//    arena is thread-local.
+//  * No live `Vec` may outlast its arena: blocks are returned through the
+//    header's owner pointer, so a `Vec` dying after its arena is destroyed
+//    is use-after-free.  Keep scratch vectors inside the round scope and
+//    copy anything that escapes into plain (non-`Vec`) storage, as the
+//    batch pipelines do.
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace dps::dpv {
+
+struct ArenaStats {
+  std::uint64_t mallocs = 0;        // blocks obtained from the system, ever
+  std::uint64_t hits = 0;           // allocations served from a free list
+  std::uint64_t round_mallocs = 0;  // system blocks since the last round mark
+  std::uint64_t rounds = 0;         // round marks seen
+  std::uint64_t live_blocks = 0;    // blocks currently owned by live Vecs
+  std::uint64_t bytes_reserved = 0; // total bytes held (free lists + live)
+};
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Smallest block handed out (bytes, header included).
+  static constexpr std::size_t kMinBlock = 64;
+
+  /// Allocates `bytes` of payload from this arena's free lists (or the
+  /// system on a miss).  Must be sequenced with all other calls.
+  void* allocate(std::size_t bytes);
+
+  /// Returns a payload pointer from *any* allocation made through
+  /// `ScratchAllocator` -- arena-owned blocks go back to their owner's
+  /// free list, heap-fallback blocks to the system.
+  static void deallocate(void* payload) noexcept;
+
+  /// Marks a round boundary: zeroes `round_mallocs` so a steady-state
+  /// round can be asserted malloc-free.
+  void begin_round() noexcept {
+    stats_.round_mallocs = 0;
+    ++stats_.rounds;
+  }
+
+  /// Frees every cached (free-listed) block.  Live blocks are unaffected.
+  void release() noexcept;
+
+  const ArenaStats& stats() const noexcept { return stats_; }
+
+  /// The calling thread's active arena (null outside any round scope).
+  static Arena* active() noexcept { return active_slot(); }
+
+ private:
+  friend class ScopedRound;
+
+  struct Header {
+    Arena* owner;        // null => heap fallback block
+    std::size_t bucket;  // log2 of the block size (owner != null only)
+  };
+  static_assert(sizeof(Header) == 16);
+  static_assert(alignof(std::max_align_t) >= 16,
+                "payload after a 16-byte header must stay max-aligned");
+
+  // log2 buckets 6..47 cover 64 B .. 128 TiB.
+  static constexpr std::size_t kMinBucket = 6;
+  static constexpr std::size_t kNumBuckets = 42;
+
+  void recycle(Header* h) noexcept;
+
+  std::array<std::vector<void*>, kNumBuckets> free_;
+  ArenaStats stats_;
+
+  // Function-local TLS (not a static member): the constant-initialized
+  // definition is visible in every TU, so access compiles to a direct
+  // TLS load with no cross-TU wrapper indirection.
+  static Arena*& active_slot() noexcept {
+    static thread_local Arena* slot = nullptr;
+    return slot;
+  }
+};
+
+/// RAII round scope: installs an arena as the calling thread's active
+/// scratch arena and marks a round.  A null arena makes it a no-op (the
+/// heap fallback stays in effect), so call sites need no branching.
+class ScopedRound {
+ public:
+  explicit ScopedRound(Arena* arena) noexcept
+      : arena_(arena), prev_(Arena::active_slot()) {
+    if (arena_ != nullptr) {
+      Arena::active_slot() = arena_;
+      arena_->begin_round();
+    }
+  }
+  ~ScopedRound() {
+    if (arena_ != nullptr) Arena::active_slot() = prev_;
+  }
+
+  ScopedRound(const ScopedRound&) = delete;
+  ScopedRound& operator=(const ScopedRound&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena* prev_;
+};
+
+/// Stateless allocator routing through the thread's active arena (system
+/// heap when none).  All specializations compare equal, so containers move
+/// and swap freely.
+template <typename T>
+struct ScratchAllocator {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ScratchAllocator() = default;
+  template <typename U>
+  ScratchAllocator(const ScratchAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    static_assert(alignof(T) <= 16,
+                  "over-aligned element types need a dedicated allocator");
+    const std::size_t bytes = n * sizeof(T);
+    if (Arena* a = Arena::active(); a != nullptr) {
+      return static_cast<T*>(a->allocate(bytes));
+    }
+    void* raw = ::operator new(bytes + 16);
+    auto* owner = static_cast<Arena**>(raw);
+    *owner = nullptr;
+    return reinterpret_cast<T*>(static_cast<std::byte*>(raw) + 16);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { Arena::deallocate(p); }
+
+  template <typename U>
+  friend bool operator==(const ScratchAllocator&,
+                         const ScratchAllocator<U>&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace dps::dpv

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <utility>
 
+#include "dpv/arena.hpp"
 #include "dpv/fault.hpp"
 #include "dpv/thread_pool.hpp"
 
@@ -153,10 +154,41 @@ class Context {
   std::size_t grain() const noexcept { return grain_; }
   void set_grain(std::size_t g) noexcept { grain_ = g == 0 ? 1 : g; }
 
+  /// Opt-in scratch arena mode: gives this context an owned `Arena` that
+  /// `scoped_round()` installs for the duration of a pipeline, so scratch
+  /// `Vec`s recycle their buffers round over round (zero system
+  /// allocations in steady state).  Off by default -- without it
+  /// `scoped_round()` is a no-op and every `Vec` uses the system heap.
+  void enable_arena() {
+    if (owned_arena_ == nullptr) owned_arena_ = std::make_shared<Arena>();
+  }
+
+  /// Borrows an external arena (e.g. a serving engine's per-shard arena
+  /// that must outlive this context's forks).  Overrides the owned arena;
+  /// pass nullptr to fall back to it.  The arena must outlive every `Vec`
+  /// allocated under it.
+  void set_arena(Arena* arena) noexcept { borrowed_arena_ = arena; }
+
+  /// The arena `scoped_round()` installs; null when arena mode is off.
+  Arena* arena() const noexcept {
+    return borrowed_arena_ != nullptr ? borrowed_arena_ : owned_arena_.get();
+  }
+
+  /// Opens one pipeline round scope: installs `arena()` (if any) as the
+  /// calling thread's active scratch arena and marks a round boundary for
+  /// its malloc-per-round statistic.  A no-op without an arena.  Not
+  /// inherited by `fork_serial` children -- the caller routes each fork's
+  /// scratch explicitly via `set_arena`.
+  [[nodiscard]] ScopedRound scoped_round() const noexcept {
+    return ScopedRound(arena());
+  }
+
  private:
   std::shared_ptr<ThreadPool> pool_;  // null => serial
   PrimCounters counters_;
   std::size_t grain_ = 4096;
+  std::shared_ptr<Arena> owned_arena_;   // null => arena mode off
+  Arena* borrowed_arena_ = nullptr;      // borrowed; overrides owned
 
   FaultInjector* fault_ = nullptr;  // borrowed; null = no injection
   std::uint64_t fault_scope_ = 0;

@@ -1,0 +1,51 @@
+#pragma once
+// Scan-distributed expansion: the standard scan-model idiom for replacing
+// each of k sources with counts[i] consecutive copies of its index.
+//
+// Mechanics: an exclusive +-scan of the counts yields each source's output
+// offset, the indices of the non-empty sources scatter to their run heads,
+// and an inclusive max-scan smears each head over its run.  Both batch-query
+// translation units use this to expand a frontier of (query, node) pairs
+// into per-child / per-entry candidates; dp_spatial_join uses the same
+// shape for candidate pair expansion.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dpv/context.hpp"
+#include "dpv/elementwise.hpp"
+#include "dpv/ops.hpp"
+#include "dpv/permute.hpp"
+#include "dpv/scan.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// Result of a distribute: src[j] = i for offsets[i] <= j < offsets[i] +
+/// counts[i].  `offsets` is the exclusive prefix sum of the counts (the
+/// same scan the expansion itself needs, returned so callers translating
+/// j -> (source, rank-within-source) do not pay for it twice).
+struct Expansion {
+  Index src;                 // length total; source index per output slot
+  Vec<std::size_t> offsets;  // length k; exclusive +-scan of counts
+  std::size_t total = 0;     // sum of counts
+};
+
+/// Distributes k sources over sum(counts) slots.
+inline Expansion distribute(Context& ctx, const Vec<std::size_t>& counts) {
+  const std::size_t k = counts.size();
+  Expansion e;
+  e.offsets = scan(ctx, Plus<std::size_t>{}, counts, Dir::kUp,
+                   Incl::kExclusive);
+  e.total = k == 0 ? 0 : e.offsets[k - 1] + counts[k - 1];
+  if (e.total == 0) return e;
+  Vec<std::size_t> heads = constant<std::size_t>(ctx, e.total, 0);
+  Flags nonempty = map(ctx, counts, [](std::size_t c) {
+    return static_cast<std::uint8_t>(c > 0);
+  });
+  scatter(ctx, iota(ctx, k), e.offsets, nonempty, heads);
+  e.src = scan(ctx, Max<std::size_t>{}, heads, Dir::kUp, Incl::kInclusive);
+  return e;
+}
+
+}  // namespace dps::dpv

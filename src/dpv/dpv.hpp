@@ -9,7 +9,9 @@
 // `Context` selects the serial or multicore backend and counts primitive
 // invocations, reproducing the CM-5 unit-cost model of the paper.
 
+#include "dpv/arena.hpp"        // IWYU pragma: export
 #include "dpv/context.hpp"      // IWYU pragma: export
+#include "dpv/distribute.hpp"   // IWYU pragma: export
 #include "dpv/elementwise.hpp"  // IWYU pragma: export
 #include "dpv/fault.hpp"        // IWYU pragma: export
 #include "dpv/machine_model.hpp"  // IWYU pragma: export

@@ -32,6 +32,12 @@ struct Max {
 };
 
 template <typename T>
+struct BitOr {
+  static constexpr T identity() { return T{0}; }
+  constexpr T operator()(const T& a, const T& b) const { return a | b; }
+};
+
+template <typename T>
 struct LogicalOr {
   static constexpr T identity() { return T{0}; }
   constexpr T operator()(const T& a, const T& b) const { return a || b; }

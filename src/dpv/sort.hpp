@@ -22,6 +22,7 @@
 #include "dpv/context.hpp"
 #include "dpv/elementwise.hpp"
 #include "dpv/permute.hpp"
+#include "dpv/reduce.hpp"
 #include "dpv/scan.hpp"
 #include "dpv/vector.hpp"
 
@@ -86,13 +87,23 @@ inline void radix_pass(Context& ctx, const Vec<std::uint64_t>& keys,
 /// Returns `order` such that keys[order[0]] <= keys[order[1]] <= ... and the
 /// sort is stable.  `significant_bits` trims passes when high key bits are
 /// known zero (e.g. 32-bit quantized coordinates).
+///
+/// Passes whose digit is zero across every key are elided outright: a pass
+/// over an all-zero digit puts every element in bucket 0, and the stable
+/// scatter of a single bucket is the identity permutation.  One OR-reduce
+/// exposes the populated digits, so sparse composite keys -- e.g. the batch
+/// pipelines' (query-row << 32) | line-id pairs, which populate only a few
+/// low bytes of each half -- pay ~3 passes instead of 8.
 inline Index sort_keys_indices(Context& ctx, const Vec<std::uint64_t>& keys,
                                std::size_t significant_bits = 64) {
   Index order = iota(ctx, keys.size());
   const std::size_t passes =
       (significant_bits + detail::kRadixBits - 1) / detail::kRadixBits;
+  const std::uint64_t mask = reduce(ctx, BitOr<std::uint64_t>{}, keys);
   for (std::size_t p = 0; p < passes; ++p) {
-    detail::radix_pass(ctx, keys, order, p * detail::kRadixBits);
+    const std::size_t shift = p * detail::kRadixBits;
+    if (((mask >> shift) & (detail::kBuckets - 1)) == 0) continue;
+    detail::radix_pass(ctx, keys, order, shift);
   }
   return order;
 }

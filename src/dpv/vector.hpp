@@ -3,18 +3,34 @@
 //
 // The scan model operates on flat, arbitrarily long vectors (section 3.2).
 // We use `std::vector` as storage and keep all parallelism inside the
-// primitive free functions, so a `Vec<T>` is an ordinary value type.
+// primitive free functions, so a `Vec<T>` is an ordinary value type.  Its
+// allocator routes through the calling thread's active scratch `Arena`
+// when a pipeline has opened a round scope (`Context::scoped_round()`),
+// and through the system heap otherwise -- see dpv/arena.hpp.
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "dpv/arena.hpp"
 #include "dpv/context.hpp"
 
 namespace dps::dpv {
 
 template <typename T>
-using Vec = std::vector<T>;
+using Vec = std::vector<T, ScratchAllocator<T>>;
+
+/// Allocator-converting copies for the dpv boundary: public APIs traffic
+/// in plain `std::vector`, the scratch pipelines in `Vec`.
+template <typename T, typename A>
+Vec<T> to_vec(const std::vector<T, A>& v) {
+  return Vec<T>(v.begin(), v.end());
+}
+
+template <typename T>
+std::vector<T> to_std(const Vec<T>& v) {
+  return std::vector<T>(v.begin(), v.end());
+}
 
 /// Segment flag vector: flags[i] == 1 marks the first element of a segment
 /// group (section 3.2.1).  By convention flags[0] is 1 for any non-empty

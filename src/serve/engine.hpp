@@ -37,11 +37,16 @@
 //     scope = (shard, attempt)) and into the engine pool (lane stalls),
 //     so chaos schedules replay bit-identically: same seed, same
 //     responses, same retry metrics, on serial and thread-pool backends.
-//   * Graceful degradation.  Groups smaller than `min_dp_batch` -- and
-//     kinds/indexes with no batch pipeline (k-nearest, the linear
-//     quadtree, R-tree point queries) -- fall back to per-request
-//     sequential traversal; the fixed cost of the scan-model pipeline is
-//     not worth paying for a handful of queries.
+//   * Graceful degradation.  Every (window/point) x (quadtree /
+//     linear-quadtree / R-tree) combination runs its data-parallel batch
+//     pipeline; only k-nearest groups and groups smaller than
+//     `min_dp_batch` fall back to per-request sequential traversal (the
+//     fixed cost of the scan-model pipeline is not worth paying for a
+//     handful of queries).
+//   * Scratch arenas.  Each shard owns a persistent `dpv::Arena`; the
+//     batch pipelines open a round scope on it, so a steady-state shard
+//     recycles the previous batch's scratch buffers and allocates nothing
+//     (`EngineOptions::scratch_arena`, on by default).
 //   * Deadlines / cancellation.  Every request may carry an absolute
 //     deadline, and the engine has a batch-wide kill switch
 //     (`cancel_all`).  Both feed the `core::BatchControl` hook polled by
@@ -104,6 +109,10 @@ struct EngineOptions {
   /// default; turning it off trades safety for a few ns per request).
   bool validate_requests = true;
 
+  /// Persistent per-shard scratch arenas for the batch pipelines (zero
+  /// steady-state allocations; off only for A/B measurement).
+  bool scratch_arena = true;
+
   /// Borrowed chaos hook; null = no injection.  Must outlive the engine.
   dpv::FaultInjector* fault_injector = nullptr;
 };
@@ -141,6 +150,23 @@ class QueryEngine {
 
   /// Admission-gate counters (offered / admitted / shed batches).
   AdmissionStats admission_stats() const { return admission_.stats(); }
+
+  /// Sum of the per-shard scratch-arena statistics (all zero when
+  /// `scratch_arena` is off).  Call between batches: the arenas belong to
+  /// in-flight shards while a serve() executes.
+  dpv::ArenaStats arena_stats() const noexcept {
+    dpv::ArenaStats sum;
+    for (const auto& a : arenas_) {
+      const dpv::ArenaStats& s = a->stats();
+      sum.mallocs += s.mallocs;
+      sum.hits += s.hits;
+      sum.round_mallocs += s.round_mallocs;
+      sum.rounds += s.rounds;
+      sum.live_blocks += s.live_blocks;
+      sum.bytes_reserved += s.bytes_reserved;
+    }
+    return sum;
+  }
 
  private:
   // Per-shard scratch the worker session fills; folded into the session
@@ -181,6 +207,10 @@ class QueryEngine {
   std::size_t shards_ = 1;
   std::shared_ptr<dpv::ThreadPool> pool_;
   dpv::Context shard_template_;  // serial; forked per worker session
+  // Persistent per-shard scratch arenas (empty when scratch_arena is off).
+  // unique_ptr: blocks reference their arena by address, so an arena must
+  // never move.
+  std::vector<std::unique_ptr<dpv::Arena>> arenas_;
 
   const core::QuadTree* quad_ = nullptr;
   const core::RTree* rtree_ = nullptr;

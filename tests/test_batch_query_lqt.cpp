@@ -1,0 +1,171 @@
+// Data-parallel linear-quadtree batch pipelines vs the sequential descent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+
+#include "core/batch_query.hpp"
+#include "core/linear_quadtree.hpp"
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+constexpr double kWorld = 1024.0;
+
+struct LqtCase {
+  const char* generator;
+  std::size_t n_lines;
+  std::size_t n_queries;
+  std::uint64_t seed;
+  bool parallel;
+};
+
+std::vector<geom::Segment> make_map(const LqtCase& c) {
+  const std::string g = c.generator;
+  if (g == "roads") return data::hierarchical_roads(c.n_lines, kWorld, c.seed);
+  if (g == "clustered") {
+    return data::clustered_segments(c.n_lines, 5, kWorld / 30.0, kWorld, 12.0,
+                                    c.seed);
+  }
+  return data::uniform_segments(c.n_lines, kWorld, 18.0, c.seed);
+}
+
+class LqtBatchQuery : public ::testing::TestWithParam<LqtCase> {
+ protected:
+  void SetUp() override {
+    const LqtCase& c = GetParam();
+    lines_ = make_map(c);
+    dpv::Context ctx;
+    PmrBuildOptions po;
+    po.world = kWorld;
+    po.max_depth = 12;
+    po.bucket_capacity = 6;
+    tree_ = LinearQuadTree::from(pmr_build(ctx, lines_, po).tree);
+  }
+
+  std::vector<geom::Segment> lines_;
+  LinearQuadTree tree_;
+};
+
+TEST_P(LqtBatchQuery, WindowsMatchSequentialDescent) {
+  const LqtCase& c = GetParam();
+  std::mt19937_64 rng(c.seed * 31 + 5);
+  std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::uniform_real_distribution<double> extent(2.0, kWorld / 5.0);
+  std::vector<geom::Rect> windows;
+  for (std::size_t i = 0; i < c.n_queries; ++i) {
+    const double x = pos(rng), y = pos(rng);
+    windows.push_back({x, y, std::min(kWorld, x + extent(rng)),
+                       std::min(kWorld, y + extent(rng))});
+  }
+  windows.push_back({0, 0, kWorld, kWorld});      // everything
+  windows.push_back({-50, -50, -1, -1});          // nothing
+  dpv::Context ctx =
+      c.parallel ? test::make_parallel_context() : dpv::Context{};
+  ctx.enable_arena();
+  const BatchQueryResult batch = batch_window_query(ctx, tree_, windows);
+  ASSERT_EQ(batch.results.size(), windows.size());
+  EXPECT_FALSE(batch.aborted);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(batch.results[w], tree_.window_query(windows[w]))
+        << "window " << w;
+  }
+}
+
+TEST_P(LqtBatchQuery, PointsMatchSequentialDescent) {
+  const LqtCase& c = GetParam();
+  std::mt19937_64 rng(c.seed * 53 + 11);
+  std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::vector<geom::Point> points;
+  for (std::size_t i = 0; i < c.n_queries; ++i) {
+    // Half on segments (guaranteed hits), half free (mostly misses).
+    points.push_back(i % 2 == 0 && !lines_.empty()
+                         ? lines_[i % lines_.size()].mid()
+                         : geom::Point{pos(rng), pos(rng)});
+  }
+  dpv::Context ctx =
+      c.parallel ? test::make_parallel_context() : dpv::Context{};
+  const BatchQueryResult batch = batch_point_query(ctx, tree_, points);
+  ASSERT_EQ(batch.results.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(batch.results[p], tree_.point_query(points[p]))
+        << "point " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LqtBatchQuery,
+    ::testing::Values(LqtCase{"uniform", 300, 60, 1, false},
+                      LqtCase{"uniform", 500, 80, 2, true},
+                      LqtCase{"clustered", 400, 60, 3, false},
+                      LqtCase{"clustered", 400, 60, 4, true},
+                      LqtCase{"roads", 450, 60, 5, false},
+                      LqtCase{"roads", 450, 60, 6, true}),
+    [](const ::testing::TestParamInfo<LqtCase>& info) {
+      const LqtCase& c = info.param;
+      return std::string(c.generator) + std::to_string(c.n_lines) + "_s" +
+             std::to_string(c.seed) + (c.parallel ? "_pool" : "_serial");
+    });
+
+TEST(LqtBatchQueryEdge, EmptyTreeAndEmptyBatch) {
+  dpv::Context ctx;
+  const LinearQuadTree empty;
+  const auto r = batch_window_query(ctx, empty, {geom::Rect{0, 0, 5, 5}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_TRUE(r.results[0].empty());
+  EXPECT_EQ(r.candidates, 0u);
+
+  const auto lines = data::uniform_segments(50, kWorld, 20.0, 71);
+  PmrBuildOptions po;
+  po.world = kWorld;
+  const LinearQuadTree tree =
+      LinearQuadTree::from(pmr_build(ctx, lines, po).tree);
+  EXPECT_TRUE(batch_window_query(ctx, tree, {}).results.empty());
+  EXPECT_TRUE(batch_point_query(ctx, tree, {}).results.empty());
+}
+
+TEST(LqtBatchQueryEdge, FiredControlAbortsDescent) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(120, kWorld, 20.0, 72);
+  PmrBuildOptions po;
+  po.world = kWorld;
+  const LinearQuadTree tree =
+      LinearQuadTree::from(pmr_build(ctx, lines, po).tree);
+  std::atomic<bool> cancel{true};
+  BatchControl control;
+  control.cancel = &cancel;
+  const auto r =
+      batch_window_query(ctx, tree, {geom::Rect{0, 0, 900, 900}}, control);
+  EXPECT_TRUE(r.aborted);
+}
+
+TEST(LqtBatchQueryEdge, BoundaryPointsSeeNeighborCells) {
+  // A point on a cell border must report lines of every touching cell,
+  // exactly like the sequential degenerate-window descent.
+  dpv::Context ctx;
+  const auto lines = data::hierarchical_roads(300, kWorld, 73);
+  PmrBuildOptions po;
+  po.world = kWorld;
+  po.max_depth = 10;
+  po.bucket_capacity = 4;
+  const LinearQuadTree tree =
+      LinearQuadTree::from(pmr_build(ctx, lines, po).tree);
+  std::vector<geom::Point> points;
+  for (int i = 1; i < 8; ++i) {
+    const double cell = kWorld / 8.0 * i;  // depth-3 grid lines
+    points.push_back({cell, cell});
+    points.push_back({cell, kWorld / 2.0});
+  }
+  const auto batch = batch_point_query(ctx, tree, points);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(batch.results[p], tree.point_query(points[p])) << "point " << p;
+  }
+}
+
+}  // namespace
+}  // namespace dps::core

@@ -1,0 +1,151 @@
+// dpv::Arena -- the opt-in scratch allocator behind dpv::Vec.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+
+#include "core/batch_query.hpp"
+#include "core/pmr_build.hpp"
+#include "data/mapgen.hpp"
+#include "dpv/dpv.hpp"
+#include "test_util.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Arena, HeapFallbackWithoutActiveArena) {
+  ASSERT_EQ(dpv::Arena::active(), nullptr);
+  dpv::Vec<int> v(1000, 7);  // allocates through the heap fallback path
+  v.push_back(8);
+  EXPECT_EQ(v.size(), 1001u);
+}
+
+TEST(Arena, RecyclesBlocksAcrossRounds) {
+  dpv::Arena arena;
+  for (int round = 0; round < 3; ++round) {
+    dpv::ScopedRound scope(&arena);
+    dpv::Vec<double> a(500);
+    dpv::Vec<std::uint64_t> b(200);
+    dpv::Vec<std::uint8_t> c(900);
+    a[0] = 1.0;
+    b[0] = 2;
+    c[0] = 3;
+  }
+  const dpv::ArenaStats& s = arena.stats();
+  EXPECT_EQ(s.rounds, 3u);
+  EXPECT_EQ(s.round_mallocs, 0u) << "steady-state round still allocated";
+  EXPECT_GE(s.hits, 6u);  // rounds 2 and 3 served entirely from free lists
+  EXPECT_EQ(s.live_blocks, 0u);
+}
+
+TEST(Arena, ScopesNestAndRestoreThePreviousArena) {
+  dpv::Arena outer_arena;
+  dpv::Arena inner_arena;
+  {
+    dpv::ScopedRound outer(&outer_arena);
+    EXPECT_EQ(dpv::Arena::active(), &outer_arena);
+    {
+      dpv::ScopedRound inner(&inner_arena);
+      EXPECT_EQ(dpv::Arena::active(), &inner_arena);
+    }
+    EXPECT_EQ(dpv::Arena::active(), &outer_arena);
+    dpv::ScopedRound noop(nullptr);  // no arena: fallback stays in effect
+    EXPECT_EQ(dpv::Arena::active(), &outer_arena);
+  }
+  EXPECT_EQ(dpv::Arena::active(), nullptr);
+}
+
+TEST(Arena, VecMayOutliveItsRoundScope) {
+  dpv::Arena arena;
+  dpv::Vec<int> survivor;
+  {
+    dpv::ScopedRound scope(&arena);
+    survivor.assign(100, 5);
+  }
+  // Growth after the scope allocates from the heap; the arena block routes
+  // home through its header when the old buffer is released.
+  for (int i = 0; i < 1000; ++i) survivor.push_back(i);
+  EXPECT_EQ(survivor.size(), 1100u);
+  survivor = dpv::Vec<int>{};
+  EXPECT_EQ(arena.stats().live_blocks, 0u);
+}
+
+TEST(Arena, ReleaseFreesCachedBlocks) {
+  dpv::Arena arena;
+  {
+    dpv::ScopedRound scope(&arena);
+    dpv::Vec<int> v(4096);
+    v[0] = 1;
+  }
+  EXPECT_GT(arena.stats().bytes_reserved, 0u);
+  arena.release();
+  EXPECT_EQ(arena.stats().bytes_reserved, 0u);
+}
+
+TEST(Arena, ContextOwnedArenaAndBorrowOverride) {
+  dpv::Context ctx;
+  EXPECT_EQ(ctx.arena(), nullptr);
+  {
+    auto round = ctx.scoped_round();  // no arena: a no-op
+    EXPECT_EQ(dpv::Arena::active(), nullptr);
+  }
+  ctx.enable_arena();
+  ASSERT_NE(ctx.arena(), nullptr);
+  dpv::Arena borrowed;
+  ctx.set_arena(&borrowed);
+  EXPECT_EQ(ctx.arena(), &borrowed);
+  {
+    auto round = ctx.scoped_round();
+    EXPECT_EQ(dpv::Arena::active(), &borrowed);
+  }
+  ctx.set_arena(nullptr);
+  EXPECT_NE(ctx.arena(), nullptr);  // owned arena is back in effect
+  // fork_serial children do not inherit the arena.
+  EXPECT_EQ(ctx.fork_serial().arena(), nullptr);
+}
+
+// The acceptance property: a batch pipeline of stable shape performs zero
+// system allocations for its dpv scratch once warm, on both backends.
+class ArenaSteadyState : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ArenaSteadyState, WarmBatchRoundsAreMallocFree) {
+  const bool parallel = GetParam();
+  dpv::Context build_ctx;
+  const auto lines = data::uniform_segments(400, 1024.0, 18.0, 611);
+  core::PmrBuildOptions po;
+  po.world = 1024.0;
+  po.max_depth = 12;
+  po.bucket_capacity = 6;
+  const core::QuadTree tree = core::pmr_build(build_ctx, lines, po).tree;
+
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 64; ++i) {
+    const double x = (i * 131) % 900, y = (i * 71) % 900;
+    windows.push_back({x, y, x + 90.0, y + 60.0});
+  }
+
+  dpv::Context ctx = parallel ? test::make_parallel_context()
+                              : dpv::Context{};
+  ctx.enable_arena();
+  const auto warm = core::batch_window_query(ctx, tree, windows);
+  const auto again = core::batch_window_query(ctx, tree, windows);
+  ASSERT_EQ(warm.results.size(), again.results.size());
+  for (std::size_t w = 0; w < warm.results.size(); ++w) {
+    EXPECT_EQ(warm.results[w], again.results[w]);
+  }
+  const dpv::ArenaStats& s = ctx.arena()->stats();
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_EQ(s.round_mallocs, 0u)
+      << "second identical batch still hit the system allocator";
+  EXPECT_EQ(s.live_blocks, 0u) << "scratch leaked out of the round scope";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArenaSteadyState, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("pool")
+                                             : std::string("serial");
+                         });
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,85 @@
+// dpv::distribute -- the shared scan-distributed expansion.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+#include "test_util.hpp"
+
+namespace dps::dpv {
+namespace {
+
+// Obviously-correct reference: repeat index i counts[i] times.
+std::vector<std::size_t> ref_expand(const Vec<std::size_t>& counts) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    for (std::size_t c = 0; c < counts[i]; ++c) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(Distribute, ExpandsCountsIntoSourceRuns) {
+  Context ctx;
+  const Vec<std::size_t> counts{2, 0, 3, 1};
+  const Expansion e = distribute(ctx, counts);
+  EXPECT_EQ(e.total, 6u);
+  EXPECT_EQ(e.src, (Index{0, 0, 2, 2, 2, 3}));
+  EXPECT_EQ(e.offsets, (Vec<std::size_t>{0, 2, 2, 5}));
+}
+
+TEST(Distribute, EmptyAndAllZeroCounts) {
+  Context ctx;
+  const Expansion none = distribute(ctx, {});
+  EXPECT_EQ(none.total, 0u);
+  EXPECT_TRUE(none.src.empty());
+  EXPECT_TRUE(none.offsets.empty());
+
+  const Expansion zeros = distribute(ctx, Vec<std::size_t>{0, 0, 0});
+  EXPECT_EQ(zeros.total, 0u);
+  EXPECT_TRUE(zeros.src.empty());
+  EXPECT_EQ(zeros.offsets.size(), 3u);
+}
+
+TEST(Distribute, LeadingAndTrailingZeros) {
+  Context ctx;
+  const Vec<std::size_t> counts{0, 0, 2, 0, 1, 0};
+  const Expansion e = distribute(ctx, counts);
+  EXPECT_EQ(e.total, 3u);
+  EXPECT_EQ(e.src, (Index{2, 2, 4}));
+}
+
+TEST(Distribute, OffsetsLocateEachRunsRank) {
+  Context ctx;
+  const Vec<std::size_t> counts{3, 1, 0, 4};
+  const Expansion e = distribute(ctx, counts);
+  for (std::size_t j = 0; j < e.total; ++j) {
+    const std::size_t i = e.src[j];
+    const std::size_t rank = j - e.offsets[i];
+    EXPECT_LT(rank, counts[i]) << "slot " << j;
+  }
+}
+
+TEST(Distribute, ParallelMatchesSerialOnRandomCounts) {
+  Context serial;
+  Context par = test::make_parallel_context();
+  const auto raw = test::random_ints(5000, 5, 91);
+  Vec<std::size_t> counts(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    counts[i] = static_cast<std::size_t>(raw[i]);
+  }
+  const Expansion a = distribute(serial, counts);
+  const Expansion b = distribute(par, counts);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.offsets, b.offsets);
+  const std::vector<std::size_t> want = ref_expand(counts);
+  ASSERT_EQ(a.src.size(), want.size());
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    EXPECT_EQ(a.src[j], want[j]) << "slot " << j;
+  }
+}
+
+}  // namespace
+}  // namespace dps::dpv

@@ -55,8 +55,8 @@ TEST(Elementwise, UpdateWhereMasksLanes) {
 TEST(Elementwise, ParallelMatchesSerialOnLargeVector) {
   Context serial;
   Context par = test::make_parallel_context();
-  const std::vector<int> a = test::random_ints(10000, 1000, 42);
-  const std::vector<int> b = test::random_ints(10000, 1000, 43);
+  const auto a = test::random_ints(10000, 1000, 42);
+  const auto b = test::random_ints(10000, 1000, 43);
   EXPECT_EQ(ew(serial, Plus<int>{}, a, b), ew(par, Plus<int>{}, a, b));
 }
 

@@ -61,7 +61,7 @@ TEST_P(SegSplitSweep, DestinationIsAGroupPreservingBijection) {
   const PackCase& c = GetParam();
   Context ctx = c.parallel ? test::make_parallel_context() : Context{};
   const Flags seg = test::random_flags(c.n, c.avg_group, c.n * 31 + 1);
-  std::vector<int> bits = test::random_ints(c.n, 2, c.n * 37 + 3);
+  auto bits = test::random_ints(c.n, 2, c.n * 37 + 3);
   Flags mask(c.n);
   for (std::size_t i = 0; i < c.n; ++i) mask[i] = std::uint8_t(bits[i]);
   const Index dest = seg_split_indices(ctx, mask, seg);

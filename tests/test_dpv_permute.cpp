@@ -55,7 +55,7 @@ TEST(Permute, ParallelMatchesSerialOnRandomPermutation) {
   Context serial;
   Context par = test::make_parallel_context();
   const std::size_t n = 5000;
-  std::vector<int> a = test::random_ints(n, 1 << 20, 11);
+  auto a = test::random_ints(n, 1 << 20, 11);
   // Build a deterministic permutation by sorting random keys.
   Vec<std::uint64_t> keys(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -30,7 +30,7 @@ TEST(Reduce, EmptyGivesIdentity) {
 TEST(Reduce, ParallelMatchesSerial) {
   Context serial;
   Context par = test::make_parallel_context();
-  const std::vector<int> a = test::random_ints(10000, 100, 3);
+  const auto a = test::random_ints(10000, 100, 3);
   EXPECT_EQ(reduce(serial, Plus<int>{}, a), reduce(par, Plus<int>{}, a));
 }
 

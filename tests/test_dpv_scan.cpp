@@ -134,7 +134,7 @@ class ScanSweep : public ::testing::TestWithParam<ScanCase> {};
 TEST_P(ScanSweep, MatchesReferencePlus) {
   const ScanCase& c = GetParam();
   Context ctx = c.parallel ? make_parallel_context() : Context{};
-  const std::vector<int> data = random_ints(c.n, 100, /*seed=*/c.n * 7 + 1);
+  const auto data = random_ints(c.n, 100, /*seed=*/c.n * 7 + 1);
   const Flags flags = random_flags(c.n, c.avg_group, /*seed=*/c.n * 13 + 5);
   EXPECT_EQ(seg_scan(ctx, Plus<int>{}, data, flags, c.dir, c.incl),
             ref_seg_scan(Plus<int>{}, data, flags, c.dir, c.incl));
@@ -143,7 +143,7 @@ TEST_P(ScanSweep, MatchesReferencePlus) {
 TEST_P(ScanSweep, MatchesReferenceMin) {
   const ScanCase& c = GetParam();
   Context ctx = c.parallel ? make_parallel_context() : Context{};
-  const std::vector<int> data = random_ints(c.n, 1000, /*seed=*/c.n * 3 + 2);
+  const auto data = random_ints(c.n, 1000, /*seed=*/c.n * 3 + 2);
   const Flags flags = random_flags(c.n, c.avg_group, /*seed=*/c.n * 17 + 7);
   EXPECT_EQ(seg_scan(ctx, Min<int>{}, data, flags, c.dir, c.incl),
             ref_seg_scan(Min<int>{}, data, flags, c.dir, c.incl));

@@ -38,6 +38,26 @@ TEST(Sort, FullWidthKeys) {
   EXPECT_EQ(order, (Index{1, 3, 2, 0}));
 }
 
+TEST(Sort, ElidesPassesOverAllZeroDigits) {
+  Context ctx;
+  // Composite (row << 32) | id keys populate only bytes 0 and 4; the other
+  // six digit passes are identity permutations and must be skipped.
+  Vec<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 257; ++i) {
+    keys.push_back((((i * 37) % 101) << 32) | ((i * 53) % 251));
+  }
+  const auto passes_before =
+      ctx.counters().invocations[static_cast<std::size_t>(Prim::kSortPass)];
+  const Index order = sort_keys_indices(ctx, keys, 64);
+  const auto passes =
+      ctx.counters().invocations[static_cast<std::size_t>(Prim::kSortPass)] -
+      passes_before;
+  EXPECT_EQ(passes, 2u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(keys[order[i - 1]], keys[order[i]]) << "position " << i;
+  }
+}
+
 TEST(Sort, DoubleKeyMappingIsMonotone) {
   const double vals[] = {-1e30, -2.5, -0.0, 0.0, 1e-300, 2.5, 1e30};
   for (std::size_t i = 1; i < std::size(vals); ++i) {
@@ -77,7 +97,7 @@ TEST(SegSort64, ExactOnFullWidthKeys) {
 
 TEST(SegSort64, MatchesStableSortOnRandomDoubles) {
   Context ctx;
-  const std::vector<int> raw = test::random_ints(500, 1 << 20, 77);
+  const auto raw = test::random_ints(500, 1 << 20, 77);
   Vec<std::uint64_t> keys(raw.size());
   for (std::size_t i = 0; i < raw.size(); ++i) {
     keys[i] = key_from_double(static_cast<double>(raw[i]) * 1.37e-3);
@@ -112,7 +132,7 @@ class SortSweep : public ::testing::TestWithParam<SortCase> {};
 TEST_P(SortSweep, MatchesStdStableSort) {
   const SortCase& c = GetParam();
   Context ctx = c.parallel ? test::make_parallel_context() : Context{};
-  const std::vector<int> raw =
+  const auto raw =
       test::random_ints(c.n, 1 << std::min<std::size_t>(c.bits, 20), c.n + 7);
   Vec<std::uint64_t> keys(c.n);
   for (std::size_t i = 0; i < c.n; ++i) {

@@ -67,10 +67,10 @@ TEST(Clone, ParallelBackendMatchesSerial) {
   dpv::Context serial;
   dpv::Context par = test::make_parallel_context();
   const std::size_t n = 3000;
-  const std::vector<int> bits = test::random_ints(n, 2, 99);
+  const auto bits = test::random_ints(n, 2, 99);
   dpv::Flags cf(n);
   for (std::size_t i = 0; i < n; ++i) cf[i] = std::uint8_t(bits[i]);
-  const std::vector<int> payload = test::random_ints(n, 1 << 30, 100);
+  const auto payload = test::random_ints(n, 1 << 30, 100);
   const ClonePlan p1 = plan_clone(serial, cf);
   const ClonePlan p2 = plan_clone(par, cf);
   EXPECT_EQ(p1.dest, p2.dest);

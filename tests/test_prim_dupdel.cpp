@@ -85,7 +85,7 @@ TEST(DupDelete, SortedUniqueIdsEdgeCases) {
 TEST(DupDelete, ParallelMatchesSerialOnLargeInput) {
   dpv::Context serial;
   dpv::Context par = test::make_parallel_context();
-  std::vector<int> ids = test::random_ints(5000, 200, 21);
+  auto ids = test::random_ints(5000, 200, 21);
   std::sort(ids.begin(), ids.end());
   EXPECT_EQ(delete_duplicates(serial, ids), delete_duplicates(par, ids));
 }

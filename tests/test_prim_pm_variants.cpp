@@ -24,7 +24,7 @@ LineSet one_node(std::vector<geom::Segment> segs,
   ls.seg = dpv::Flags(segs.size(), 0);
   if (!segs.empty()) ls.seg[0] = 1;
   ls.blocks.assign(segs.size(), block);
-  ls.segs = std::move(segs);
+  ls.segs = dpv::to_vec(segs);
   return ls;
 }
 

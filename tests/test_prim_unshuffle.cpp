@@ -65,7 +65,7 @@ TEST(SegUnshuffle, ParallelBackendMatchesSerial) {
   dpv::Context serial;
   dpv::Context par = test::make_parallel_context();
   const std::size_t n = 2000;
-  const std::vector<int> bits = test::random_ints(n, 2, 5);
+  const auto bits = test::random_ints(n, 2, 5);
   dpv::Flags side(n);
   for (std::size_t i = 0; i < n; ++i) side[i] = std::uint8_t(bits[i]);
   const dpv::Flags seg = test::random_flags(n, 16, 6);

@@ -67,6 +67,59 @@ TEST(RtreeBatchQuery, FiredControlAbortsDescent) {
   EXPECT_TRUE(r.aborted);
 }
 
+TEST(RtreeBatchPointQuery, MatchesSequentialQueries) {
+  dpv::Context ctx;
+  const auto lines = data::uniform_segments(400, 1024.0, 20.0, 507);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  std::vector<geom::Point> points;
+  for (std::size_t i = 0; i < 60; ++i) {
+    // Half on segments (hits), half arbitrary (mostly misses).
+    points.push_back(i % 2 == 0 ? lines[i % lines.size()].mid()
+                                : geom::Point{(i * 97.0) + 0.5,
+                                              1024.0 - i * 13.0});
+  }
+  const BatchQueryResult batch = batch_point_query(ctx, tree, points);
+  ASSERT_EQ(batch.results.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(batch.results[p], point_query(tree, points[p])) << "point " << p;
+  }
+}
+
+TEST(RtreeBatchPointQuery, ParallelBackendAndPackedTree) {
+  dpv::Context ctx = test::make_parallel_context();
+  ctx.enable_arena();
+  const auto lines = data::hierarchical_roads(600, 1024.0, 508);
+  const RTree tree = seq::hilbert_pack_rtree(lines, 16, 1024.0);
+  std::vector<geom::Point> points;
+  for (std::size_t i = 0; i < 80; ++i) {
+    points.push_back(i % 2 == 0 ? lines[i % lines.size()].a
+                                : geom::Point{(i * 61.0) * 0.7, i * 11.0});
+  }
+  const BatchQueryResult batch = batch_point_query(ctx, tree, points);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    EXPECT_EQ(batch.results[p], point_query(tree, points[p])) << "point " << p;
+  }
+}
+
+TEST(RtreeBatchPointQuery, EmptyAndAbortCases) {
+  dpv::Context ctx;
+  const RTree empty = rtree_build(ctx, {}, RtreeBuildOptions{}).tree;
+  const auto r = batch_point_query(ctx, empty, {geom::Point{1, 1}});
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_TRUE(r.results[0].empty());
+
+  const auto lines = data::uniform_segments(120, 1024.0, 20.0, 509);
+  const RTree tree = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  EXPECT_TRUE(batch_point_query(ctx, tree, {}).results.empty());
+
+  std::atomic<bool> cancel{true};
+  BatchControl control;
+  control.cancel = &cancel;
+  const auto aborted =
+      batch_point_query(ctx, tree, {lines[0].mid()}, control);
+  EXPECT_TRUE(aborted.aborted);
+}
+
 TEST(RtreeBatchQuery, AllWindowsMissEveryNode) {
   dpv::Context ctx;
   const auto lines = data::uniform_segments(60, 1024.0, 20.0, 504);

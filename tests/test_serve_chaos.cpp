@@ -60,7 +60,7 @@ class ServeChaosTest : public ::testing::Test {
     for (std::size_t i = 0; i < n; ++i) {
       const double x = static_cast<double>((i * 97) % 900);
       const double y = static_cast<double>((i * 61) % 900);
-      switch (i % 6) {
+      switch (i % 7) {
         case 0:
           batch.push_back(Request::window_query(IndexKind::kQuadTree,
                                                 {x, y, x + 70.0, y + 50.0}));
@@ -80,6 +80,11 @@ class ServeChaosTest : public ::testing::Test {
         case 4:
           batch.push_back(
               Request::point_query(IndexKind::kRTree, {x + 0.5, y + 0.5}));
+          break;
+        case 5:
+          batch.push_back(Request::point_query(
+              IndexKind::kLinearQuadTree,
+              lines_[(i * 11) % lines_.size()].mid()));
           break;
         default:
           batch.push_back(Request::nearest_query(IndexKind::kRTree,

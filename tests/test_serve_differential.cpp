@@ -195,13 +195,72 @@ TEST_P(ServeDifferential, BatchPipelinesMatchSequential) {
                 core::window_query(rtree_, windows[w]))
           << "window " << w;
     }
+    const auto linear_batch = core::batch_window_query(*ctx, linear_, windows);
+    ASSERT_EQ(linear_batch.results.size(), windows.size());
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      EXPECT_EQ(linear_batch.results[w], linear_.window_query(windows[w]))
+          << "window " << w;
+    }
     const auto point_batch = core::batch_point_query(*ctx, quad_, points);
+    const auto rtree_points = core::batch_point_query(*ctx, rtree_, points);
+    const auto linear_points = core::batch_point_query(*ctx, linear_, points);
     ASSERT_EQ(point_batch.results.size(), points.size());
+    ASSERT_EQ(rtree_points.results.size(), points.size());
+    ASSERT_EQ(linear_points.results.size(), points.size());
     for (std::size_t p = 0; p < points.size(); ++p) {
       EXPECT_EQ(point_batch.results[p], core::point_query(quad_, points[p]))
           << "point " << p;
+      EXPECT_EQ(rtree_points.results[p], core::point_query(rtree_, points[p]))
+          << "point " << p;
+      EXPECT_EQ(linear_points.results[p], linear_.point_query(points[p]))
+          << "point " << p;
     }
   }
+}
+
+// With the threshold at 1, every window/point group -- all six
+// (kind, index) combinations -- must take the data-parallel path: the
+// engine may not silently fall back to sequential traversal.
+TEST_P(ServeDifferential, AllSixCombosExecuteDataParallel) {
+  const ServeCase& c = GetParam();
+  serve::EngineOptions opts;
+  opts.shards = c.shards;
+  opts.threads = c.threads;
+  opts.min_dp_batch = 1;
+  serve::QueryEngine engine(opts);
+  engine.mount(&quad_);
+  engine.mount(&rtree_);
+  engine.mount(&linear_);
+
+  // One window and one point request per index kind, many times over.
+  std::mt19937_64 rng(c.seed * 6151 + 3);
+  std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::vector<serve::Request> batch;
+  for (std::size_t i = 0; i < std::min<std::size_t>(c.n_requests, 300); ++i) {
+    const auto idx = static_cast<serve::IndexKind>(i % 3);
+    const double x = pos(rng), y = pos(rng);
+    if (i % 2 == 0) {
+      batch.push_back(serve::Request::window_query(
+          idx, {x, y, std::min(kWorld, x + 40.0), std::min(kWorld, y + 30.0)}));
+    } else {
+      batch.push_back(serve::Request::point_query(
+          idx, !lines_.empty() ? lines_[i % lines_.size()].mid()
+                               : geom::Point{x, y}));
+    }
+  }
+  const auto responses = engine.serve(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(responses[i].status, serve::Status::kOk) << "request " << i;
+    EXPECT_EQ(responses[i].ids, sequential_ids(batch[i])) << "request " << i;
+  }
+  const serve::ServeMetrics m = engine.metrics();
+  EXPECT_EQ(m.seq_groups, 0u)
+      << "a window/point group silently degraded to sequential traversal";
+  EXPECT_GT(m.dp_groups, 0u);
+  // The shard arenas did real work and nothing leaked past a round scope.
+  const dpv::ArenaStats arena = engine.arena_stats();
+  EXPECT_GT(arena.rounds, 0u);
+  EXPECT_EQ(arena.live_blocks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

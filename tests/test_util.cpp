@@ -10,19 +10,19 @@ dpv::Context make_parallel_context() {
   return ctx;
 }
 
-std::vector<int> random_ints(std::size_t n, int range, std::uint64_t seed) {
+dpv::Vec<int> random_ints(std::size_t n, int range, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<int> d(0, range - 1);
-  std::vector<int> out(n);
+  dpv::Vec<int> out(n);
   for (auto& v : out) v = d(rng);
   return out;
 }
 
-std::vector<std::uint8_t> random_flags(std::size_t n, std::size_t avg_group,
+dpv::Flags random_flags(std::size_t n, std::size_t avg_group,
                                        std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<std::size_t> d(0, avg_group - 1);
-  std::vector<std::uint8_t> out(n, 0);
+  dpv::Flags out(n, 0);
   if (n > 0) out[0] = 1;
   for (std::size_t i = 1; i < n; ++i) out[i] = d(rng) == 0 ? 1 : 0;
   return out;

@@ -17,11 +17,11 @@ dpv::Context make_parallel_context();
 
 /// Reference segmented scan: straightforward per-group loop.
 template <typename T, typename Op>
-std::vector<T> ref_seg_scan(Op op, const std::vector<T>& data,
-                            const std::vector<std::uint8_t>& flags,
+dpv::Vec<T> ref_seg_scan(Op op, const dpv::Vec<T>& data,
+                            const dpv::Flags& flags,
                             dpv::Dir dir, dpv::Incl incl) {
   const std::size_t n = data.size();
-  std::vector<T> out(n);
+  dpv::Vec<T> out(n);
   // Group boundaries.
   std::vector<std::size_t> starts;
   for (std::size_t i = 0; i < n; ++i) {
@@ -54,10 +54,10 @@ std::vector<T> ref_seg_scan(Op op, const std::vector<T>& data,
 }
 
 /// Deterministic pseudo-random vector of ints in [0, range).
-std::vector<int> random_ints(std::size_t n, int range, std::uint64_t seed);
+dpv::Vec<int> random_ints(std::size_t n, int range, std::uint64_t seed);
 
 /// Deterministic random segment flags with roughly n/avg_group groups.
-std::vector<std::uint8_t> random_flags(std::size_t n, std::size_t avg_group,
+dpv::Flags random_flags(std::size_t n, std::size_t avg_group,
                                        std::uint64_t seed);
 
 }  // namespace dps::test
