@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch_nearest.hpp"
 #include "core/batch_query.hpp"
 #include "core/linear_quadtree.hpp"
+#include "core/nearest.hpp"
 #include "core/pmr_build.hpp"
 #include "core/query.hpp"
 #include "core/rtree_build.hpp"
@@ -60,8 +62,8 @@ Series measure(const char* pipeline, bool arena, std::size_t queries,
   constexpr int kReps = 24;
   dpv::Context ctx(0);
   if (arena) ctx.enable_arena();
-  core::BatchQueryResult last;
-  for (int i = 0; i < kWarmup; ++i) last = run(ctx);
+  auto last = run(ctx);  // works for window/point and k-nearest results
+  for (int i = 1; i < kWarmup; ++i) last = run(ctx);
   std::vector<double> ns;
   ns.reserve(kReps);
   for (int i = 0; i < kReps; ++i) {
@@ -101,9 +103,10 @@ void write_json(const char* path, const std::vector<Series>& series,
                  s.p50_ns, s.p99_ns, s.best_ns, s.mallocs_per_round,
                  s.candidates, i + 1 < series.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"window_arena_speedup\": {");
+  std::fprintf(f, "  ],\n  \"arena_speedup\": {");
   bool first = true;
-  for (const char* base : {"window_pmr", "window_rtree", "window_lqt"}) {
+  for (const char* base :
+       {"window_pmr", "window_rtree", "window_lqt", "knn_pmr", "knn_rtree"}) {
     double off = 0.0, on = 0.0;
     for (const Series& s : series) {
       if (s.pipeline != base) continue;
@@ -184,6 +187,48 @@ int main(int argc, char** argv) {
         hits_dp == hits_seq && hits_lqt == hits_dp ? "" : "MISMATCH");
   }
 
+  // k-nearest: the frontier-with-kth-best-bound pipeline vs the per-query
+  // best-first priority queue (k = 8).
+  std::printf("\n== batch k-nearest, sequential vs data-parallel (k=8) ==\n");
+  const std::size_t knn_k = 8;
+  for (const std::size_t knn_n : {64u, 512u, 4096u}) {
+    std::vector<geom::Point> pts;
+    for (std::size_t i = 0; i < knn_n; ++i) {
+      pts.push_back(i % 3 == 0
+                        ? lines[(i * 29) % lines.size()].mid()
+                        : geom::Point{static_cast<double>((i * 131) % 3900),
+                                      static_cast<double>((i * 733) % 3900)});
+    }
+    std::size_t seq_rows = 0;
+    const double t_seq_pmr = bench::time_ms([&] {
+      for (const auto& p : pts) seq_rows += core::k_nearest(pmr, p, knn_k).size();
+    });
+    core::BatchNearestResult nq;
+    const double t_dp_pmr = bench::time_ms(
+        [&] { nq = core::batch_k_nearest(ctx, pmr, pts, knn_k); });
+    std::size_t dp_rows = 0;
+    for (const auto& r : nq.results) dp_rows += r.size();
+
+    std::size_t seq_rt_rows = 0;
+    const double t_seq_rt = bench::time_ms([&] {
+      for (const auto& p : pts) {
+        seq_rt_rows += core::k_nearest(rtree, p, knn_k).size();
+      }
+    });
+    core::BatchNearestResult nr;
+    const double t_dp_rt = bench::time_ms(
+        [&] { nr = core::batch_k_nearest(ctx, rtree, pts, knn_k); });
+    std::size_t dp_rt_rows = 0;
+    for (const auto& r : nr.results) dp_rt_rows += r.size();
+
+    std::printf(
+        "%5zu queries: PMR seq %8.2f ms / dp %8.2f ms (%zu cand, %zu rounds); "
+        "R-tree seq %8.2f ms / dp %8.2f ms (%zu cand, %zu rounds) %s\n",
+        knn_n, t_seq_pmr, t_dp_pmr, nq.candidates, nq.rounds, t_seq_rt,
+        t_dp_rt, nr.candidates, nr.rounds,
+        dp_rows == seq_rows && dp_rt_rows == seq_rt_rows ? "" : "MISMATCH");
+  }
+
   // Arena A/B: same batch, scratch arena on vs off, every pipeline.  One
   // call is one round; steady-state rounds must be malloc-free.
   const std::size_t q = 512;
@@ -216,6 +261,12 @@ int main(int argc, char** argv) {
     series.push_back(measure("point_lqt", arena, q, [&](dpv::Context& c) {
       return core::batch_point_query(c, lqt, points);
     }));
+    series.push_back(measure("knn_pmr", arena, q, [&](dpv::Context& c) {
+      return core::batch_k_nearest(c, pmr, points, knn_k);
+    }));
+    series.push_back(measure("knn_rtree", arena, q, [&](dpv::Context& c) {
+      return core::batch_k_nearest(c, rtree, points, knn_k);
+    }));
   }
 
   std::printf("\n== arena A/B, %zu queries per batch ==\n", q);
@@ -226,7 +277,8 @@ int main(int argc, char** argv) {
                 s.arena ? "on" : "off", s.p50_ns, s.p99_ns,
                 s.mallocs_per_round);
   }
-  for (const char* base : {"window_pmr", "window_rtree", "window_lqt"}) {
+  for (const char* base :
+       {"window_pmr", "window_rtree", "window_lqt", "knn_pmr", "knn_rtree"}) {
     double off = 0.0, on = 0.0;
     for (const Series& s : series) {
       if (s.pipeline == base) (s.arena ? on : off) = s.p50_ns;

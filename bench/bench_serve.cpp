@@ -56,6 +56,34 @@ std::vector<serve::Request> make_workload(std::uint64_t seed) {
   return batch;
 }
 
+// S3 workload: k-nearest-heavy traffic (the request kind that had no batch
+// pipeline before) with a thin window/point background.
+std::vector<serve::Request> make_knn_workload(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::uniform_int_distribution<std::size_t> kdist(1, 16);
+  std::uniform_int_distribution<int> roll(0, 9);
+  std::uniform_int_distribution<int> which(0, 1);
+  std::vector<serve::Request> batch;
+  batch.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto idx = which(rng) == 0 ? serve::IndexKind::kQuadTree
+                                     : serve::IndexKind::kRTree;
+    const int r = roll(rng);
+    if (r < 8) {
+      batch.push_back(
+          serve::Request::nearest_query(idx, {pos(rng), pos(rng)}, kdist(rng)));
+    } else if (r == 8) {
+      const double x = pos(rng), y = pos(rng);
+      batch.push_back(serve::Request::window_query(
+          idx, {x, y, std::min(kWorld, x + 40.0), std::min(kWorld, y + 30.0)}));
+    } else {
+      batch.push_back(serve::Request::point_query(idx, {pos(rng), pos(rng)}));
+    }
+  }
+  return batch;
+}
+
 std::uint64_t checksum(const std::vector<serve::Response>& responses) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a
   auto mix = [&h](std::uint64_t v) {
@@ -80,10 +108,30 @@ struct EngineRow {
   dpv::ArenaStats arena;
 };
 
-// BENCH_serve.json: the S1 sweep plus the per-shard arena counters -- the
-// machine-readable record CI uploads to track the serving trajectory.
+void write_rows(std::FILE* f, const char* indent,
+                const std::vector<EngineRow>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineRow& r = rows[i];
+    std::fprintf(f,
+                 "%s{\"shards\": %zu, \"ms\": %.2f, \"req_per_s\": %.0f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"identical\": %s, "
+                 "\"arena_rounds\": %llu, \"arena_mallocs_per_round\": %llu, "
+                 "\"arena_live_blocks\": %llu}%s\n",
+                 indent, r.shards, r.ms, r.req_per_s, r.p50_us, r.p99_us,
+                 r.identical ? "true" : "false",
+                 static_cast<unsigned long long>(r.arena.rounds),
+                 static_cast<unsigned long long>(r.arena.round_mallocs),
+                 static_cast<unsigned long long>(r.arena.live_blocks),
+                 i + 1 < rows.size() ? "," : "");
+  }
+}
+
+// BENCH_serve.json: the S1 sweep, the S3 knn-mix sweep, and the per-shard
+// arena counters -- the machine-readable record CI uploads to track the
+// serving trajectory.
 void write_json(const char* path, const std::vector<EngineRow>& rows,
-                double seq_ms) {
+                double seq_ms, const std::vector<EngineRow>& knn_rows,
+                double knn_seq_ms) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -94,21 +142,13 @@ void write_json(const char* path, const std::vector<EngineRow>& rows,
                "  \"lines\": %zu,\n  \"sequential_ms\": %.2f,\n"
                "  \"series\": [\n",
                kRequests, kLines, seq_ms);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const EngineRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"shards\": %zu, \"ms\": %.2f, \"req_per_s\": %.0f, "
-                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"identical\": %s, "
-                 "\"arena_rounds\": %llu, \"arena_mallocs_per_round\": %llu, "
-                 "\"arena_live_blocks\": %llu}%s\n",
-                 r.shards, r.ms, r.req_per_s, r.p50_us, r.p99_us,
-                 r.identical ? "true" : "false",
-                 static_cast<unsigned long long>(r.arena.rounds),
-                 static_cast<unsigned long long>(r.arena.round_mallocs),
-                 static_cast<unsigned long long>(r.arena.live_blocks),
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  write_rows(f, "    ", rows);
+  std::fprintf(f,
+               "  ],\n  \"knn_mix\": {\n    \"sequential_ms\": %.2f,\n"
+               "    \"series\": [\n",
+               knn_seq_ms);
+  write_rows(f, "      ", knn_rows);
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -136,32 +176,74 @@ int main(int argc, char** argv) {
   const auto batch = make_workload(7);
 
   // Sequential baseline: one request at a time, host traversal only.
-  std::vector<serve::Response> seq(batch.size());
-  const double seq_ms = bench::best_of(2, [&] {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      serve::Response& rsp = seq[i];
-      rsp.ids.clear();
-      rsp.neighbors.clear();
-      switch (batch[i].kind) {
-        case serve::RequestKind::kWindow:
-          rsp.ids = batch[i].index == serve::IndexKind::kQuadTree
-                        ? core::window_query(quad, batch[i].window)
-                        : core::window_query(rtree, batch[i].window);
-          break;
-        case serve::RequestKind::kPoint:
-          rsp.ids = batch[i].index == serve::IndexKind::kQuadTree
-                        ? core::point_query(quad, batch[i].point)
-                        : core::point_query(rtree, batch[i].point);
-          break;
-        case serve::RequestKind::kNearest:
-          rsp.neighbors =
-              batch[i].index == serve::IndexKind::kQuadTree
-                  ? core::k_nearest(quad, batch[i].point, batch[i].k)
-                  : core::k_nearest(rtree, batch[i].point, batch[i].k);
-          break;
+  auto sequential_baseline = [&](const std::vector<serve::Request>& b,
+                                 std::vector<serve::Response>& out) {
+    return bench::best_of(2, [&] {
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        serve::Response& rsp = out[i];
+        rsp.ids.clear();
+        rsp.neighbors.clear();
+        switch (b[i].kind) {
+          case serve::RequestKind::kWindow:
+            rsp.ids = b[i].index == serve::IndexKind::kQuadTree
+                          ? core::window_query(quad, b[i].window)
+                          : core::window_query(rtree, b[i].window);
+            break;
+          case serve::RequestKind::kPoint:
+            rsp.ids = b[i].index == serve::IndexKind::kQuadTree
+                          ? core::point_query(quad, b[i].point)
+                          : core::point_query(rtree, b[i].point);
+            break;
+          case serve::RequestKind::kNearest:
+            rsp.neighbors = b[i].index == serve::IndexKind::kQuadTree
+                                ? core::k_nearest(quad, b[i].point, b[i].k)
+                                : core::k_nearest(rtree, b[i].point, b[i].k);
+            break;
+        }
       }
+    });
+  };
+
+  // Engine shard sweep against a checksum; prints one row per shard count.
+  auto sweep = [&](const std::vector<serve::Request>& b, std::uint64_t want) {
+    double single_shard_ms = 0.0;
+    std::vector<EngineRow> rows;
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      serve::EngineOptions opts;
+      opts.shards = shards;
+      opts.threads = shards;
+      opts.min_dp_batch = 8;
+      serve::QueryEngine engine(opts);
+      engine.mount(&quad);
+      engine.mount(&rtree);
+
+      std::vector<serve::Response> responses;
+      const double ms =
+          bench::best_of(2, [&] { responses = engine.serve(b); });
+      if (shards == 1) single_shard_ms = ms;
+      const serve::ServeMetrics m = engine.metrics();
+      char config[64];
+      std::snprintf(config, sizeof config, "engine/%zu-shard", shards);
+      std::printf("%-22s %10.2f %12.0f %9.2f %10.0f %10.0f  %s\n", config, ms,
+                  1000.0 * static_cast<double>(b.size()) / ms,
+                  single_shard_ms / ms, m.latency.quantile_upper_us(0.50),
+                  m.latency.quantile_upper_us(0.99),
+                  checksum(responses) == want ? "identical" : "MISMATCH");
+      EngineRow row;
+      row.shards = shards;
+      row.ms = ms;
+      row.req_per_s = 1000.0 * static_cast<double>(b.size()) / ms;
+      row.p50_us = m.latency.quantile_upper_us(0.50);
+      row.p99_us = m.latency.quantile_upper_us(0.99);
+      row.identical = checksum(responses) == want;
+      row.arena = engine.arena_stats();
+      rows.push_back(row);
     }
-  });
+    return rows;
+  };
+
+  std::vector<serve::Response> seq(batch.size());
+  const double seq_ms = sequential_baseline(batch, seq);
   const std::uint64_t want = checksum(seq);
 
   std::printf("S1: QueryEngine serving, %zu mixed requests, %zu lines "
@@ -173,40 +255,23 @@ int main(int argc, char** argv) {
   std::printf("%-22s %10.2f %12.0f %9s %10s %10s  %s\n", "sequential-loop",
               seq_ms, 1000.0 * static_cast<double>(batch.size()) / seq_ms,
               "1.00", "-", "-", "baseline");
+  const std::vector<EngineRow> rows = sweep(batch, want);
 
-  double single_shard_ms = 0.0;
-  std::vector<EngineRow> rows;
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
-    serve::EngineOptions opts;
-    opts.shards = shards;
-    opts.threads = shards;
-    opts.min_dp_batch = 8;
-    serve::QueryEngine engine(opts);
-    engine.mount(&quad);
-    engine.mount(&rtree);
+  // S3: k-nearest-heavy mix -- the request kind that was per-request until
+  // the frontier-with-kth-best-bound pipeline landed.
+  const auto knn_batch = make_knn_workload(11);
+  std::vector<serve::Response> knn_seq(knn_batch.size());
+  const double knn_seq_ms = sequential_baseline(knn_batch, knn_seq);
+  const std::uint64_t knn_want = checksum(knn_seq);
+  std::printf("\nS3: knn-mix (80%% k-nearest, k in [1,16]), %zu requests\n",
+              knn_batch.size());
+  std::printf("%-22s %10.2f %12.0f %9s %10s %10s  %s\n", "sequential-loop",
+              knn_seq_ms,
+              1000.0 * static_cast<double>(knn_batch.size()) / knn_seq_ms,
+              "1.00", "-", "-", "baseline");
+  const std::vector<EngineRow> knn_rows = sweep(knn_batch, knn_want);
 
-    std::vector<serve::Response> responses;
-    const double ms = bench::best_of(2, [&] { responses = engine.serve(batch); });
-    if (shards == 1) single_shard_ms = ms;
-    const serve::ServeMetrics m = engine.metrics();
-    char config[64];
-    std::snprintf(config, sizeof config, "engine/%zu-shard", shards);
-    std::printf("%-22s %10.2f %12.0f %9.2f %10.0f %10.0f  %s\n", config, ms,
-                1000.0 * static_cast<double>(batch.size()) / ms,
-                single_shard_ms / ms, m.latency.quantile_upper_us(0.50),
-                m.latency.quantile_upper_us(0.99),
-                checksum(responses) == want ? "identical" : "MISMATCH");
-    EngineRow row;
-    row.shards = shards;
-    row.ms = ms;
-    row.req_per_s = 1000.0 * static_cast<double>(batch.size()) / ms;
-    row.p50_us = m.latency.quantile_upper_us(0.50);
-    row.p99_us = m.latency.quantile_upper_us(0.99);
-    row.identical = checksum(responses) == want;
-    row.arena = engine.arena_stats();
-    rows.push_back(row);
-  }
-  if (json) write_json("BENCH_serve.json", rows, seq_ms);
+  if (json) write_json("BENCH_serve.json", rows, seq_ms, knn_rows, knn_seq_ms);
 
   // S2: overload.  Offered load deliberately exceeds capacity: many client
   // threads hammer a small engine.  Without admission everything is

@@ -1,0 +1,456 @@
+#include "core/batch_nearest.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "dpv/distribute.hpp"
+#include "geom/predicates.hpp"
+#include "prim/duplicate_deletion.hpp"
+
+namespace dps::core {
+
+namespace {
+
+// Control poll cadence during the host-side seed descent; deadline checks
+// read the clock, so per-query polling would dominate.
+constexpr std::size_t kControlStride = 64;
+
+// Floor of the per-query beam: each round expands a query's
+// max(kMinBeam, k) closest frontier nodes and defers the rest.  Deferral
+// (never deletion) keeps the descent exact while the expansion order
+// mimics sequential best-first, so the kth-best bound tightens after a
+// handful of rounds instead of after a whole breadth-first level.
+constexpr std::size_t kMinBeam = 4;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-query candidate pool: at most ks[q] (id, distance^2) entries per
+// query, kept sorted by (query, distance^2, id) between merges.
+struct Pool {
+  dpv::Vec<std::uint32_t> q;
+  dpv::Vec<std::uint32_t> id;
+  dpv::Vec<double> d2;
+
+  std::size_t size() const { return q.size(); }
+};
+
+// Merges freshly scored candidates into the pool and re-establishes the
+// invariant: sorted by (query, distance^2, id), each (query, id) once,
+// each query truncated to its best ks[q], and bound[q] refreshed to the
+// rank-(k-1) distance (the running kth-best the frontier prunes against).
+void merge_candidates(dpv::Context& ctx, Pool& pool,
+                      const dpv::Vec<std::uint32_t>& cq,
+                      const dpv::Vec<std::uint32_t>& cid,
+                      const dpv::Vec<double>& cd2,
+                      const std::vector<std::size_t>& ks,
+                      dpv::Vec<double>& bound) {
+  pool.q.insert(pool.q.end(), cq.begin(), cq.end());
+  pool.id.insert(pool.id.end(), cid.begin(), cid.end());
+  pool.d2.insert(pool.d2.end(), cd2.begin(), cd2.end());
+  const std::size_t n = pool.size();
+  if (n == 0) return;
+
+  // Group by query, ids ascending within a group: one radix sort on the
+  // composite (query << 32 | id) key.
+  dpv::Vec<std::uint64_t> qid = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return (std::uint64_t{pool.q[i]} << 32) | pool.id[i];
+  });
+  const dpv::Index by_id = dpv::sort_keys_indices(ctx, qid, 64);
+  pool.q = dpv::gather(ctx, pool.q, by_id);
+  pool.id = dpv::gather(ctx, pool.id, by_id);
+  pool.d2 = dpv::gather(ctx, pool.d2, by_id);
+
+  // Segmented sort by distance key within each query group.  The sort is
+  // stable, so equal distances keep the id order of the pass above --
+  // i.e. each group ends up in exactly `core::k_nearest`'s
+  // (distance^2, id) report order.
+  dpv::Flags seg = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i > 0 && pool.q[i] != pool.q[i - 1]);
+  });
+  dpv::Vec<std::uint64_t> dkey = dpv::map(
+      ctx, pool.d2, [](double d) { return dpv::key_from_double(d); });
+  const dpv::Index by_dist = dpv::seg_sort_indices64(ctx, dkey, seg);
+  pool.q = dpv::gather(ctx, pool.q, by_dist);
+  pool.id = dpv::gather(ctx, pool.id, by_dist);
+  pool.d2 = dpv::gather(ctx, pool.d2, by_dist);
+
+  // Duplicate suppression (section 4.3): the q-edge clones of a line score
+  // identical (query, id, distance) triples, so they are adjacent after
+  // the sort and the duplicate-deletion primitive keeps the first.
+  dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, n, [&](std::size_t i) {
+    return (std::uint64_t{pool.q[i]} << 32) | pool.id[i];
+  });
+  const prim::DupDeletePlan plan = prim::plan_duplicate_deletion(ctx, pair_key);
+  pool.q = prim::apply_duplicate_deletion(ctx, plan, pool.q);
+  pool.id = prim::apply_duplicate_deletion(ctx, plan, pool.id);
+  pool.d2 = prim::apply_duplicate_deletion(ctx, plan, pool.d2);
+
+  // Rank within each query group (segmented exclusive +-scan of ones);
+  // the rank-(k-1) element is the current kth-best, whose distance
+  // becomes the query's new frontier bound, and ranks >= k can never
+  // reach a final answer (k smaller (d2, id) pairs already exist), so
+  // they are truncated to keep the pool linear in sum(ks).
+  const std::size_t m = pool.size();
+  dpv::Flags heads = dpv::tabulate(ctx, m, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i > 0 && pool.q[i] != pool.q[i - 1]);
+  });
+  dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, m, 1);
+  dpv::Vec<std::size_t> rank = dpv::seg_scan(
+      ctx, dpv::Plus<std::size_t>{}, ones, heads, dpv::Dir::kUp,
+      dpv::Incl::kExclusive);
+  dpv::Flags kth = dpv::tabulate(ctx, m, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(rank[i] + 1 == ks[pool.q[i]]);
+  });
+  dpv::Index dest = dpv::map(
+      ctx, pool.q, [](std::uint32_t q) { return std::size_t{q}; });
+  dpv::scatter(ctx, pool.d2, dest, kth, bound);
+  dpv::Flags keep = dpv::tabulate(ctx, m, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(rank[i] < ks[pool.q[i]]);
+  });
+  pool.q = dpv::pack(ctx, pool.q, keep);
+  pool.id = dpv::pack(ctx, pool.id, keep);
+  pool.d2 = dpv::pack(ctx, pool.d2, keep);
+}
+
+// Shared frontier descent, parameterized over the tree adapter.  `Ops`
+// supplies root/mindist/is_leaf/child fan-out/leaf entries plus a host
+// `seed` descent that visits each query's home leaf so the kth-best
+// bounds tighten before the descent rounds begin (without it every node
+// survives the prune until k candidates surface).
+template <typename Ops>
+BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
+                                         const std::vector<geom::Point>& points,
+                                         const std::vector<std::size_t>& ks,
+                                         const BatchControl& control) {
+  const std::size_t nq = points.size();
+  BatchNearestResult out;
+  out.results.resize(nq);
+  if (nq == 0 || ops.empty()) return out;
+  auto round_scope = ctx.scoped_round();
+
+  // Running kth-best bound per query: +inf until k distinct candidates
+  // are known; k == 0 queries get a negative bound so the frontier prunes
+  // them on the first round (every MINDIST is >= 0).
+  dpv::Vec<double> bound = dpv::tabulate(ctx, nq, [&](std::size_t q) {
+    return ks[q] == 0 ? -1.0 : kInf;
+  });
+
+  Pool pool;
+
+  // Seed: score each query's home leaf (host descent, exactly like the
+  // batch window pipeline's candidate generation) so most bounds are
+  // finite before round one.  Duplicates with the frontier's own visit of
+  // the same leaf are collapsed by the merge's duplicate deletion.
+  {
+    dpv::Vec<std::uint32_t> cq;
+    dpv::Vec<std::uint32_t> cid;
+    dpv::Vec<double> cd2;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (q % kControlStride == 0 && batch_aborting(ctx, control)) {
+        out.aborted = true;
+        return out;
+      }
+      if (ks[q] == 0) continue;
+      ops.seed(points[q], [&](std::int32_t leaf) {
+        const std::size_t cnt = ops.entry_count(leaf);
+        for (std::size_t r = 0; r < cnt; ++r) {
+          const geom::Segment& s = ops.entry(leaf, r);
+          cq.push_back(static_cast<std::uint32_t>(q));
+          cid.push_back(s.id);
+          cd2.push_back(geom::distance2_point_segment(points[q], s.a, s.b));
+        }
+      });
+    }
+    out.candidates += cq.size();
+    merge_candidates(ctx, pool, cq, cid, cd2, ks, bound);
+  }
+
+  // Frontier of (query, node) pairs; after the first beam round pairs
+  // from different tree levels coexist (children mix with deferrals).
+  dpv::Vec<std::uint32_t> fq = dpv::tabulate(ctx, nq, [](std::size_t i) {
+    return static_cast<std::uint32_t>(i);
+  });
+  dpv::Vec<std::int32_t> fnode =
+      dpv::constant<std::int32_t>(ctx, nq, ops.root());
+
+  while (!fq.empty()) {
+    // One control poll per descent round.
+    if (batch_aborting(ctx, control)) {
+      out.aborted = true;
+      return out;
+    }
+    ++out.rounds;
+
+    // MINDIST elementwise; prune pairs that cannot beat the bound.
+    dpv::Vec<double> md = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+      return ops.mindist(fnode[i], points[fq[i]]);
+    });
+    dpv::Flags live = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(md[i] <= bound[fq[i]]);
+    });
+    fq = dpv::pack(ctx, fq, live);
+    fnode = dpv::pack(ctx, fnode, live);
+    if (fq.empty()) break;
+    md = dpv::pack(ctx, md, live);
+
+    // Pairs deferred to the next round by the beam selection below.
+    dpv::Vec<std::uint32_t> dq;
+    dpv::Vec<std::int32_t> dnode;
+
+    // Beam select: group the frontier by query (appending deferred pairs
+    // below breaks q-order), rank each group by MINDIST, and expand only
+    // the max(kMinBeam, k) closest pairs this round.  The rest are
+    // deferred -- re-pruned next round against the tightened bound, never
+    // dropped, so the answer is exact.
+    {
+      dpv::Vec<std::uint64_t> qkey = dpv::map(
+          ctx, fq, [](std::uint32_t q) { return std::uint64_t{q}; });
+      const dpv::Index by_q = dpv::sort_keys_indices(ctx, qkey, 32);
+      fq = dpv::gather(ctx, fq, by_q);
+      fnode = dpv::gather(ctx, fnode, by_q);
+      md = dpv::gather(ctx, md, by_q);
+      dpv::Flags seg = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+        return static_cast<std::uint8_t>(i > 0 && fq[i] != fq[i - 1]);
+      });
+      dpv::Vec<std::uint64_t> mkey = dpv::map(
+          ctx, md, [](double d) { return dpv::key_from_double(d); });
+      const dpv::Index by_md = dpv::seg_sort_indices64(ctx, mkey, seg);
+      fq = dpv::gather(ctx, fq, by_md);
+      fnode = dpv::gather(ctx, fnode, by_md);
+      // The segmented sort permutes within query groups only, so `seg`
+      // still marks the group heads.
+      dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, fq.size(), 1);
+      dpv::Vec<std::size_t> rank = dpv::seg_scan(
+          ctx, dpv::Plus<std::size_t>{}, ones, seg, dpv::Dir::kUp,
+          dpv::Incl::kExclusive);
+      dpv::Flags sel = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+        return static_cast<std::uint8_t>(
+            rank[i] < std::max(kMinBeam, ks[fq[i]]));
+      });
+      dpv::Flags defer = dpv::map(ctx, sel, [](std::uint8_t s) {
+        return static_cast<std::uint8_t>(!s);
+      });
+      dq = dpv::pack(ctx, fq, defer);
+      dnode = dpv::pack(ctx, fnode, defer);
+      fq = dpv::pack(ctx, fq, sel);
+      fnode = dpv::pack(ctx, fnode, sel);
+    }
+
+    // Peel off leaf pairs.
+    dpv::Flags is_leaf = dpv::map(ctx, fnode, [&](std::int32_t nd) {
+      return static_cast<std::uint8_t>(ops.is_leaf(nd));
+    });
+    dpv::Flags is_internal = dpv::map(ctx, is_leaf, [](std::uint8_t l) {
+      return static_cast<std::uint8_t>(!l);
+    });
+    dpv::Vec<std::uint32_t> leaf_q = dpv::pack(ctx, fq, is_leaf);
+    dpv::Vec<std::int32_t> leaf_n = dpv::pack(ctx, fnode, is_leaf);
+    fq = dpv::pack(ctx, fq, is_internal);
+    fnode = dpv::pack(ctx, fnode, is_internal);
+
+    // Leaf pairs expand into (query, segment) candidates, scored
+    // elementwise, pre-filtered against the (pre-merge) bound, and merged
+    // into the pool -- which tightens the bounds for the expansion below.
+    if (!leaf_q.empty()) {
+      dpv::Vec<std::size_t> counts = dpv::map(
+          ctx, leaf_n, [&](std::int32_t nd) { return ops.entry_count(nd); });
+      const dpv::Expansion e = dpv::distribute(ctx, counts);
+      out.candidates += e.total;
+      if (e.total > 0) {
+        dpv::Vec<std::uint32_t> cq = dpv::tabulate(
+            ctx, e.total, [&](std::size_t j) { return leaf_q[e.src[j]]; });
+        dpv::Vec<std::uint32_t> cid = dpv::tabulate(
+            ctx, e.total, [&](std::size_t j) {
+              const std::size_t i = e.src[j];
+              return ops.entry(leaf_n[i], j - e.offsets[i]).id;
+            });
+        dpv::Vec<double> cd2 = dpv::tabulate(
+            ctx, e.total, [&](std::size_t j) {
+              const std::size_t i = e.src[j];
+              const geom::Segment& s = ops.entry(leaf_n[i], j - e.offsets[i]);
+              return geom::distance2_point_segment(points[cq[j]], s.a, s.b);
+            });
+        dpv::Flags close = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
+          return static_cast<std::uint8_t>(cd2[j] <= bound[cq[j]]);
+        });
+        merge_candidates(ctx, pool, dpv::pack(ctx, cq, close),
+                         dpv::pack(ctx, cid, close),
+                         dpv::pack(ctx, cd2, close), ks, bound);
+      }
+    }
+
+    // Expand each selected internal pair into its children; the deferred
+    // pairs rejoin them as the next round's frontier.
+    dpv::Vec<std::uint32_t> nfq;
+    dpv::Vec<std::int32_t> nfnode;
+    if (!fq.empty()) {
+      dpv::Vec<std::size_t> counts = dpv::map(
+          ctx, fnode, [&](std::int32_t nd) { return ops.child_count(nd); });
+      const dpv::Expansion e = dpv::distribute(ctx, counts);
+      nfq = dpv::tabulate(
+          ctx, e.total, [&](std::size_t j) { return fq[e.src[j]]; });
+      nfnode = dpv::tabulate(
+          ctx, e.total, [&](std::size_t j) {
+            const std::size_t i = e.src[j];
+            return ops.child(fnode[i], j - e.offsets[i]);
+          });
+    }
+    nfq.insert(nfq.end(), dq.begin(), dq.end());
+    nfnode.insert(nfnode.end(), dnode.begin(), dnode.end());
+    fq = std::move(nfq);
+    fnode = std::move(nfnode);
+  }
+
+  // Final poll: a fault injected into the merge primitives above must
+  // still mark the whole batch untrusted.
+  if (batch_aborting(ctx, control)) {
+    out.aborted = true;
+    return out;
+  }
+
+  // The pool *is* the answer: sorted by (query, distance^2, id) and
+  // truncated to each query's k, so rows are contiguous runs.
+  const std::size_t n = pool.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t q = pool.q[i];
+    std::size_t j = i;
+    while (j < n && pool.q[j] == q) ++j;
+    std::vector<Neighbor>& row = out.results[q];
+    row.reserve(j - i);
+    for (; i < j; ++i) row.push_back({pool.id[i], pool.d2[i]});
+  }
+  return out;
+}
+
+struct QuadOps {
+  const QuadTree& tree;
+
+  bool empty() const {
+    return tree.num_nodes() == 0 || tree.num_qedges() == 0;
+  }
+  std::int32_t root() const { return 0; }
+  double mindist(std::int32_t n, const geom::Point& p) const {
+    return tree.nodes()[n].block.rect(tree.world()).distance2(p);
+  }
+  bool is_leaf(std::int32_t n) const { return tree.nodes()[n].is_leaf; }
+  std::size_t child_count(std::int32_t n) const {
+    std::size_t c = 0;
+    for (const std::int32_t ch : tree.nodes()[n].child) {
+      c += ch != QuadTree::kNoChild;
+    }
+    return c;
+  }
+  std::int32_t child(std::int32_t n, std::size_t r) const {
+    for (const std::int32_t ch : tree.nodes()[n].child) {
+      if (ch == QuadTree::kNoChild) continue;
+      if (r == 0) return ch;
+      --r;
+    }
+    return QuadTree::kNoChild;  // unreachable: r < child_count(n)
+  }
+  std::size_t entry_count(std::int32_t n) const {
+    return tree.nodes()[n].num_edges;
+  }
+  const geom::Segment& entry(std::int32_t n, std::size_t r) const {
+    return tree.edges()[tree.nodes()[n].first_edge + r];
+  }
+  // Every leaf whose closed cell contains the point (up to four on cell
+  // boundaries); a point outside the world seeds nothing, which only
+  // costs that query a slower (unbounded) first descent.
+  template <typename Visit>
+  void seed(const geom::Point& p, Visit&& visit) const {
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+      const QuadTree::Node& nd = tree.nodes()[stack.back()];
+      const std::int32_t n = stack.back();
+      stack.pop_back();
+      if (!nd.block.rect(tree.world()).contains(p)) continue;
+      if (nd.is_leaf) {
+        visit(n);
+        continue;
+      }
+      for (const std::int32_t c : nd.child) {
+        if (c != QuadTree::kNoChild) stack.push_back(c);
+      }
+    }
+  }
+};
+
+struct RtreeOps {
+  const RTree& tree;
+
+  bool empty() const { return tree.num_nodes() == 0 || tree.empty(); }
+  std::int32_t root() const { return 0; }
+  double mindist(std::int32_t n, const geom::Point& p) const {
+    return tree.nodes()[n].mbr.distance2(p);
+  }
+  bool is_leaf(std::int32_t n) const { return tree.nodes()[n].is_leaf; }
+  std::size_t child_count(std::int32_t n) const {
+    return static_cast<std::size_t>(tree.nodes()[n].num_children);
+  }
+  std::int32_t child(std::int32_t n, std::size_t r) const {
+    return tree.nodes()[n].first_child + static_cast<std::int32_t>(r);
+  }
+  std::size_t entry_count(std::int32_t n) const {
+    return static_cast<std::size_t>(tree.nodes()[n].num_entries);
+  }
+  const geom::Segment& entry(std::int32_t n, std::size_t r) const {
+    return tree.entries()[tree.nodes()[n].first_entry + r];
+  }
+  // Greedy min-MINDIST path to one leaf (MBRs may not contain the query
+  // point, so containment descent would often seed nothing).
+  template <typename Visit>
+  void seed(const geom::Point& p, Visit&& visit) const {
+    std::int32_t n = 0;
+    while (!tree.nodes()[n].is_leaf) {
+      const RTree::Node& nd = tree.nodes()[n];
+      std::int32_t best = nd.first_child;
+      double best_d = tree.nodes()[best].mbr.distance2(p);
+      for (std::int32_t i = 1; i < nd.num_children; ++i) {
+        const std::int32_t c = nd.first_child + i;
+        const double d = tree.nodes()[c].mbr.distance2(p);
+        if (d < best_d) {
+          best = c;
+          best_d = d;
+        }
+      }
+      n = best;
+    }
+    visit(n);
+  }
+};
+
+}  // namespace
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const std::vector<std::size_t>& ks,
+                                   const BatchControl& control) {
+  return batch_nearest_descend(ctx, QuadOps{tree}, points, ks, control);
+}
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const std::vector<std::size_t>& ks,
+                                   const BatchControl& control) {
+  return batch_nearest_descend(ctx, RtreeOps{tree}, points, ks, control);
+}
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   std::size_t k, const BatchControl& control) {
+  return batch_k_nearest(ctx, tree, points,
+                         std::vector<std::size_t>(points.size(), k), control);
+}
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   std::size_t k, const BatchControl& control) {
+  return batch_k_nearest(ctx, tree, points,
+                         std::vector<std::size_t>(points.size(), k), control);
+}
+
+}  // namespace dps::core

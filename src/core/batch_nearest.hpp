@@ -1,0 +1,81 @@
+#pragma once
+// Data-parallel batch k-nearest queries.
+//
+// Replaces the per-query priority queue of `core::k_nearest` with one
+// shared frontier of (query, node) pairs processed in scan-model rounds:
+//
+//   1. MINDIST runs elementwise over the whole frontier and pairs whose
+//      node cannot beat the query's running kth-best bound are pruned
+//      (`pack`).  Equality survives the prune: a node at exactly the bound
+//      may hold a segment that ties the kth distance with a smaller id.
+//   2. A beam selection ranks each query's surviving pairs by MINDIST
+//      (radix sort by query + segmented sort by distance key) and expands
+//      only the max(4, k) closest this round; the rest are deferred to
+//      the next round -- never dropped -- so the expansion order mimics
+//      sequential best-first and the bound tightens early instead of
+//      after a whole breadth-first level.
+//   3. Leaf pairs peel off and expand -- via the shared `dpv::distribute`
+//      machinery -- into (query, segment) candidates whose distances are
+//      scored elementwise.
+//   4. The candidates merge into a per-query pool kept sorted by
+//      (distance^2, id): a radix sort groups by (query, id), a segmented
+//      sort orders each group by distance key, and the duplicate-deletion
+//      primitive collapses the q-edge clones of a line (identical
+//      (query, id, distance) triples are adjacent after the sort).  A
+//      segmented rank scan truncates each group to its best k and the
+//      rank-(k-1) element's distance becomes the query's new bound.
+//   5. Selected internal pairs expand into their children
+//      (`dpv::distribute` again), deferred pairs rejoin them, and the
+//      next round begins.
+//
+// Results are bit-identical to `core::k_nearest`: the same
+// `geom::distance2_point_segment` scores, the same deterministic
+// (distance^2, id) tie order, each line id reported once.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batch_query.hpp"  // BatchControl / batch_aborting
+#include "core/nearest.hpp"
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "dpv/dpv.hpp"
+#include "geom/geom.hpp"
+
+namespace dps::core {
+
+struct BatchNearestResult {
+  /// results[q] = the ks[q] lines nearest to points[q], nearest first
+  /// (ties by id), exactly as `core::k_nearest` orders them.
+  std::vector<std::vector<Neighbor>> results;
+  std::size_t candidates = 0;  // (query, segment) pairs scored
+  std::size_t rounds = 0;      // frontier descent rounds executed
+  /// True when the control fired (or an injected fault latched)
+  /// mid-pipeline; `results` is then incomplete and must not be trusted.
+  bool aborted = false;
+};
+
+/// Batch k-nearest over the quadtree with a per-query answer count;
+/// `ks.size()` must equal `points.size()` (ks[q] == 0 yields an empty row).
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const std::vector<std::size_t>& ks,
+                                   const BatchControl& control = {});
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   const std::vector<std::size_t>& ks,
+                                   const BatchControl& control = {});
+
+/// Uniform-k conveniences.
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   std::size_t k,
+                                   const BatchControl& control = {});
+
+BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
+                                   const std::vector<geom::Point>& points,
+                                   std::size_t k,
+                                   const BatchControl& control = {});
+
+}  // namespace dps::core

@@ -2,6 +2,7 @@
 // Umbrella header for the core library: the paper's section-5 build
 // algorithms, the materialized structures, and the query operations.
 
+#include "core/batch_nearest.hpp"  // IWYU pragma: export
 #include "core/batch_query.hpp"   // IWYU pragma: export
 #include "core/dp_spatial_join.hpp"  // IWYU pragma: export
 #include "core/kdtree_build.hpp"  // IWYU pragma: export

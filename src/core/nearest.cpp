@@ -11,8 +11,11 @@ namespace dps::core {
 namespace {
 
 // Queue entry: a node (segment = false) or a candidate line.  Ordered by
-// distance, ties broken towards segments then smaller ids so results are
-// deterministic.
+// distance; at equal distance nodes pop before segments, so by the time a
+// segment at distance d is reported every node with mindist <= d has been
+// expanded and all equal-distance rivals are in the queue.  That makes the
+// output globally ordered by (distance^2, id) -- the canonical tie order
+// the batch pipeline reproduces.
 struct Entry {
   double d2;
   bool is_segment;
@@ -20,7 +23,7 @@ struct Entry {
   geom::LineId id;     // when is_segment
   bool operator>(const Entry& o) const {
     if (d2 != o.d2) return d2 > o.d2;
-    if (is_segment != o.is_segment) return !is_segment;
+    if (is_segment != o.is_segment) return is_segment;
     return id > o.id;
   }
 };

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "core/batch_nearest.hpp"
 #include "core/nearest.hpp"
 #include "core/query.hpp"
 #include "core/validate.hpp"
@@ -208,49 +209,75 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
       }
     }
 
-    core::BatchQueryResult result;
-    if (kind == RequestKind::kWindow) {
-      std::vector<geom::Rect> windows(live.size());
-      for (std::size_t j = 0; j < live.size(); ++j) {
-        windows[j] = batch[live[j]].window;
-      }
-      switch (index) {
-        case IndexKind::kQuadTree:
-          result = core::batch_window_query(ctx, *quad_, windows, control);
-          break;
-        case IndexKind::kRTree:
-          result = core::batch_window_query(ctx, *rtree_, windows, control);
-          break;
-        case IndexKind::kLinearQuadTree:
-          result = core::batch_window_query(ctx, *linear_, windows, control);
-          break;
-      }
-    } else {
+    bool pipeline_ok = false;
+    if (kind == RequestKind::kNearest) {
+      // The serve boundary rejects (kNearest, kLinearQuadTree) before
+      // grouping, so only the two tree pipelines can reach here.
       std::vector<geom::Point> points(live.size());
+      std::vector<std::size_t> ks(live.size());
       for (std::size_t j = 0; j < live.size(); ++j) {
         points[j] = batch[live[j]].point;
+        ks[j] = batch[live[j]].k;
       }
-      switch (index) {
-        case IndexKind::kQuadTree:
-          result = core::batch_point_query(ctx, *quad_, points, control);
-          break;
-        case IndexKind::kRTree:
-          result = core::batch_point_query(ctx, *rtree_, points, control);
-          break;
-        case IndexKind::kLinearQuadTree:
-          result = core::batch_point_query(ctx, *linear_, points, control);
-          break;
+      core::BatchNearestResult nearest =
+          index == IndexKind::kQuadTree
+              ? core::batch_k_nearest(ctx, *quad_, points, ks, control)
+              : core::batch_k_nearest(ctx, *rtree_, points, ks, control);
+      pipeline_ok = !nearest.aborted;
+      if (pipeline_ok) {
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          responses[live[j]].neighbors = std::move(nearest.results[j]);
+          responses[live[j]].status = Status::kOk;
+        }
+      }
+    } else {
+      core::BatchQueryResult result;
+      if (kind == RequestKind::kWindow) {
+        std::vector<geom::Rect> windows(live.size());
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          windows[j] = batch[live[j]].window;
+        }
+        switch (index) {
+          case IndexKind::kQuadTree:
+            result = core::batch_window_query(ctx, *quad_, windows, control);
+            break;
+          case IndexKind::kRTree:
+            result = core::batch_window_query(ctx, *rtree_, windows, control);
+            break;
+          case IndexKind::kLinearQuadTree:
+            result = core::batch_window_query(ctx, *linear_, windows, control);
+            break;
+        }
+      } else {
+        std::vector<geom::Point> points(live.size());
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          points[j] = batch[live[j]].point;
+        }
+        switch (index) {
+          case IndexKind::kQuadTree:
+            result = core::batch_point_query(ctx, *quad_, points, control);
+            break;
+          case IndexKind::kRTree:
+            result = core::batch_point_query(ctx, *rtree_, points, control);
+            break;
+          case IndexKind::kLinearQuadTree:
+            result = core::batch_point_query(ctx, *linear_, points, control);
+            break;
+        }
+      }
+      pipeline_ok = !result.aborted;
+      if (pipeline_ok) {
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          responses[live[j]].ids = std::move(result.results[j]);
+          responses[live[j]].status = Status::kOk;
+        }
       }
     }
     // Failed attempts did real primitive work; the ledger records it.
     scratch.prims += ctx.counters();
 
-    if (!result.aborted) {
+    if (pipeline_ok) {
       ++scratch.dp_groups;
-      for (std::size_t j = 0; j < live.size(); ++j) {
-        responses[live[j]].ids = std::move(result.results[j]);
-        responses[live[j]].status = Status::kOk;
-      }
       return;
     }
     if (!ctx.fault_pending()) {
@@ -335,11 +362,9 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
     }
 
     if (!live.empty()) {
-      // Every (window/point) x (quadtree/linear-quadtree/R-tree) combo has
-      // a batch pipeline; only k-nearest -- and any group under the
-      // degradation threshold -- walks sequentially.
-      const bool has_pipeline = kind != RequestKind::kNearest;
-      if (has_pipeline && live.size() >= opts_.min_dp_batch) {
+      // Every supported (kind, index) combo has a batch pipeline; only
+      // groups under the degradation threshold walk sequentially.
+      if (live.size() >= opts_.min_dp_batch) {
         run_group(batch, responses, kind, index, live, shard, scratch);
       } else {
         run_seq(live);

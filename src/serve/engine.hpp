@@ -37,12 +37,12 @@
 //     scope = (shard, attempt)) and into the engine pool (lane stalls),
 //     so chaos schedules replay bit-identically: same seed, same
 //     responses, same retry metrics, on serial and thread-pool backends.
-//   * Graceful degradation.  Every (window/point) x (quadtree /
-//     linear-quadtree / R-tree) combination runs its data-parallel batch
-//     pipeline; only k-nearest groups and groups smaller than
-//     `min_dp_batch` fall back to per-request sequential traversal (the
-//     fixed cost of the scan-model pipeline is not worth paying for a
-//     handful of queries).
+//   * Graceful degradation.  Every supported (kind, index) combination --
+//     (window/point) x (quadtree / linear-quadtree / R-tree) and
+//     k-nearest x (quadtree / R-tree) -- runs its data-parallel batch
+//     pipeline; only groups smaller than `min_dp_batch` fall back to
+//     per-request sequential traversal (the fixed cost of the scan-model
+//     pipeline is not worth paying for a handful of queries).
 //   * Scratch arenas.  Each shard owns a persistent `dpv::Arena`; the
 //     batch pipelines open a round scope on it, so a steady-state shard
 //     recycles the previous batch's scratch buffers and allocates nothing

@@ -1,0 +1,314 @@
+// Oracle-differential suite for the data-parallel batch k-nearest
+// pipeline: every row `batch_k_nearest` emits must agree exactly -- ids,
+// squared distances, and tie order -- with the sequential best-first
+// `core::k_nearest`, across map generators, both tree indexes, k from 1
+// to beyond the segment count, and both dpv backends.  Edge cases cover
+// k = 0 (serve boundary + pipeline), points on segments, coincident
+// segments, empty trees, and mid-round BatchControl aborts.
+
+#include "core/batch_nearest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/nearest.hpp"
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
+#include "data/mapgen.hpp"
+#include "serve/engine.hpp"
+#include "test_util.hpp"
+
+namespace dps::core {
+namespace {
+
+constexpr double kWorld = 1024.0;
+
+struct NearestCase {
+  const char* generator;
+  std::size_t n_lines;
+  std::size_t n_queries;
+  std::uint64_t seed;
+};
+
+std::vector<geom::Segment> make_map(const NearestCase& c) {
+  const std::string g = c.generator;
+  if (g == "roads") return data::hierarchical_roads(c.n_lines, kWorld, c.seed);
+  if (g == "clustered") {
+    return data::clustered_segments(c.n_lines, 5, kWorld / 30.0, kWorld, 12.0,
+                                    c.seed);
+  }
+  return data::uniform_segments(c.n_lines, kWorld, 18.0, c.seed);
+}
+
+void expect_rows_equal(const std::vector<Neighbor>& got,
+                       const std::vector<Neighbor>& want, const char* tree,
+                       std::size_t q, std::size_t k) {
+  ASSERT_EQ(got.size(), want.size())
+      << tree << " query " << q << " k " << k;
+  for (std::size_t j = 0; j < want.size(); ++j) {
+    EXPECT_EQ(got[j].id, want[j].id)
+        << tree << " query " << q << " k " << k << " rank " << j;
+    EXPECT_DOUBLE_EQ(got[j].distance2, want[j].distance2)
+        << tree << " query " << q << " k " << k << " rank " << j;
+  }
+}
+
+class BatchNearestDifferential : public ::testing::TestWithParam<NearestCase> {
+ protected:
+  void SetUp() override {
+    const NearestCase& c = GetParam();
+    lines_ = make_map(c);
+    dpv::Context ctx;
+    PmrBuildOptions po;
+    po.world = kWorld;
+    po.max_depth = 12;
+    po.bucket_capacity = 6;
+    quad_ = pmr_build(ctx, lines_, po).tree;
+    RtreeBuildOptions ro;
+    ro.m = 2;
+    ro.M = 8;
+    rtree_ = rtree_build(ctx, lines_, ro).tree;
+
+    std::mt19937_64 rng(c.seed * 2654435761u + 17);
+    std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+    queries_.reserve(c.n_queries);
+    for (std::size_t i = 0; i < c.n_queries; ++i) {
+      if (i % 5 == 1 && !lines_.empty()) {
+        // On a segment: the nearest distance is exactly zero.
+        queries_.push_back(lines_[i % lines_.size()].mid());
+      } else if (i % 11 == 3) {
+        // Outside the world square (no containing quadtree leaf).
+        queries_.push_back({kWorld + 50.0 + pos(rng), -30.0 - 0.1 * pos(rng)});
+      } else {
+        queries_.push_back({pos(rng), pos(rng)});
+      }
+    }
+  }
+
+  template <typename Tree>
+  void check_tree(dpv::Context& ctx, const Tree& tree, const char* label) {
+    const std::size_t n = lines_.size();
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4},
+                                std::size_t{32}, n, n + 5}) {
+      const BatchNearestResult batch = batch_k_nearest(ctx, tree, queries_, k);
+      ASSERT_FALSE(batch.aborted) << label << " k " << k;
+      ASSERT_EQ(batch.results.size(), queries_.size()) << label << " k " << k;
+      for (std::size_t q = 0; q < queries_.size(); ++q) {
+        expect_rows_equal(batch.results[q], k_nearest(tree, queries_[q], k),
+                          label, q, k);
+      }
+    }
+  }
+
+  std::vector<geom::Segment> lines_;
+  QuadTree quad_;
+  RTree rtree_;
+  std::vector<geom::Point> queries_;
+};
+
+// Exact (id, distance^2) agreement with the sequential oracle, including
+// tie order, for k in {1, 4, 32, N, N + 5} on both backends.
+TEST_P(BatchNearestDifferential, MatchesSequentialOracleOnBothTrees) {
+  dpv::Context serial;
+  dpv::Context parallel = test::make_parallel_context();
+  for (dpv::Context* ctx : {&serial, &parallel}) {
+    check_tree(*ctx, quad_, "quadtree");
+    check_tree(*ctx, rtree_, "rtree");
+  }
+}
+
+// Per-query k vectors (including zeros mixed in) agree with per-request
+// sequential answers; k = 0 rows come back empty.
+TEST_P(BatchNearestDifferential, PerQueryCountsMatchOracle) {
+  dpv::Context ctx;
+  std::vector<std::size_t> ks(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    ks[q] = (q % 7 == 2) ? 0 : 1 + (q * 13) % 9;
+  }
+  const BatchNearestResult quad_batch = batch_k_nearest(ctx, quad_, queries_, ks);
+  const BatchNearestResult rt_batch = batch_k_nearest(ctx, rtree_, queries_, ks);
+  ASSERT_FALSE(quad_batch.aborted);
+  ASSERT_FALSE(rt_batch.aborted);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    if (ks[q] == 0) {
+      EXPECT_TRUE(quad_batch.results[q].empty()) << "query " << q;
+      EXPECT_TRUE(rt_batch.results[q].empty()) << "query " << q;
+      continue;
+    }
+    expect_rows_equal(quad_batch.results[q], k_nearest(quad_, queries_[q], ks[q]),
+                      "quadtree", q, ks[q]);
+    expect_rows_equal(rt_batch.results[q], k_nearest(rtree_, queries_[q], ks[q]),
+                      "rtree", q, ks[q]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BatchNearestDifferential,
+    ::testing::Values(NearestCase{"uniform", 240, 48, 11},
+                      NearestCase{"clustered", 300, 40, 12},
+                      NearestCase{"roads", 260, 40, 13}),
+    [](const ::testing::TestParamInfo<NearestCase>& info) {
+      return std::string(info.param.generator) +
+             std::to_string(info.param.n_lines) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// ---- Edge cases ---------------------------------------------------------
+
+class BatchNearestEdge : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_ = data::uniform_segments(30, kWorld, 20.0, 991);
+    dpv::Context ctx;
+    PmrBuildOptions po;
+    po.world = kWorld;
+    quad_ = pmr_build(ctx, lines_, po).tree;
+    rtree_ = rtree_build(ctx, lines_, RtreeBuildOptions{}).tree;
+  }
+
+  std::vector<geom::Segment> lines_;
+  QuadTree quad_;
+  RTree rtree_;
+};
+
+// k = 0 is malformed at the serve boundary: the validation gate answers
+// kInvalidArgument before any pipeline (or admission budget) is touched.
+TEST_F(BatchNearestEdge, ZeroKRejectedAtServeBoundary) {
+  serve::QueryEngine engine;
+  engine.mount(&quad_);
+  engine.mount(&rtree_);
+  const std::vector<serve::Request> batch{
+      serve::Request::nearest_query(serve::IndexKind::kQuadTree, {5, 5}, 0),
+      serve::Request::nearest_query(serve::IndexKind::kRTree, {5, 5}, 0),
+      serve::Request::nearest_query(serve::IndexKind::kRTree, {5, 5}, 2)};
+  const auto responses = engine.serve(batch);
+  EXPECT_EQ(responses[0].status, serve::Status::kInvalidArgument);
+  EXPECT_EQ(responses[1].status, serve::Status::kInvalidArgument);
+  EXPECT_EQ(responses[2].status, serve::Status::kOk);
+  EXPECT_EQ(responses[2].neighbors.size(), 2u);
+}
+
+// k at or beyond the segment count returns every distinct line, still in
+// (distance^2, id) order.
+TEST_F(BatchNearestEdge, KBeyondSegmentCountReturnsAll) {
+  dpv::Context ctx;
+  const std::vector<geom::Point> pts{{3.0, 7.0}, {800.0, 444.0}};
+  for (const std::size_t k : {lines_.size(), lines_.size() + 17}) {
+    for (const auto& [label, rows] :
+         {std::pair{"quadtree", batch_k_nearest(ctx, quad_, pts, k).results},
+          std::pair{"rtree", batch_k_nearest(ctx, rtree_, pts, k).results}}) {
+      for (std::size_t q = 0; q < pts.size(); ++q) {
+        ASSERT_EQ(rows[q].size(), lines_.size()) << label;
+        for (std::size_t j = 1; j < rows[q].size(); ++j) {
+          EXPECT_TRUE(rows[q][j - 1].distance2 < rows[q][j].distance2 ||
+                      (rows[q][j - 1].distance2 == rows[q][j].distance2 &&
+                       rows[q][j - 1].id < rows[q][j].id))
+              << label << " order at rank " << j;
+        }
+      }
+    }
+  }
+}
+
+// A query point lying on a segment reports that segment first with an
+// exactly-zero squared distance.
+TEST_F(BatchNearestEdge, PointOnSegmentScoresExactlyZero) {
+  dpv::Context ctx;
+  std::vector<geom::Point> pts;
+  for (std::size_t i = 0; i < 6; ++i) pts.push_back(lines_[i * 3].mid());
+  const BatchNearestResult quad_batch = batch_k_nearest(ctx, quad_, pts, 1);
+  const BatchNearestResult rt_batch = batch_k_nearest(ctx, rtree_, pts, 1);
+  for (std::size_t q = 0; q < pts.size(); ++q) {
+    ASSERT_EQ(quad_batch.results[q].size(), 1u);
+    ASSERT_EQ(rt_batch.results[q].size(), 1u);
+    EXPECT_DOUBLE_EQ(quad_batch.results[q][0].distance2, 0.0) << "query " << q;
+    EXPECT_DOUBLE_EQ(rt_batch.results[q][0].distance2, 0.0) << "query " << q;
+  }
+}
+
+// Coincident segments (identical geometry, distinct ids) tie on distance
+// and are reported in ascending id order; duplicate q-edge clones of one
+// line are still reported once.
+TEST_F(BatchNearestEdge, CoincidentSegmentsTieBreakById) {
+  std::vector<geom::Segment> lines{
+      {{100, 100}, {200, 100}, 7},
+      {{100, 100}, {200, 100}, 3},  // same geometry, smaller id
+      {{100, 100}, {200, 100}, 5},
+      {{600, 600}, {700, 620}, 1}};
+  dpv::Context ctx;
+  PmrBuildOptions po;
+  po.world = kWorld;
+  po.bucket_capacity = 1;
+  po.max_depth = 8;
+  const QuadTree qt = pmr_build(ctx, lines, po).tree;
+  const RTree rt = rtree_build(ctx, lines, RtreeBuildOptions{}).tree;
+  const std::vector<geom::Point> pts{{150.0, 90.0}};
+  for (const auto& [label, rows] :
+       {std::pair{"quadtree", batch_k_nearest(ctx, qt, pts, 3).results},
+        std::pair{"rtree", batch_k_nearest(ctx, rt, pts, 3).results}}) {
+    ASSERT_EQ(rows[0].size(), 3u) << label;
+    EXPECT_EQ(rows[0][0].id, 3u) << label;
+    EXPECT_EQ(rows[0][1].id, 5u) << label;
+    EXPECT_EQ(rows[0][2].id, 7u) << label;
+    EXPECT_DOUBLE_EQ(rows[0][0].distance2, rows[0][2].distance2) << label;
+  }
+}
+
+// Empty trees and empty query batches exit on the empty frontier without
+// running a descent round.
+TEST_F(BatchNearestEdge, EmptyFrontierExitsEarly) {
+  dpv::Context ctx;
+  const QuadTree empty_quad = pmr_build(ctx, {}, PmrBuildOptions{}).tree;
+  const RTree empty_rtree = rtree_build(ctx, {}, RtreeBuildOptions{}).tree;
+  const std::vector<geom::Point> pts{{1.0, 2.0}, {3.0, 4.0}};
+
+  const BatchNearestResult eq = batch_k_nearest(ctx, empty_quad, pts, 3);
+  const BatchNearestResult er = batch_k_nearest(ctx, empty_rtree, pts, 3);
+  for (const BatchNearestResult* r : {&eq, &er}) {
+    ASSERT_EQ(r->results.size(), 2u);
+    EXPECT_TRUE(r->results[0].empty());
+    EXPECT_TRUE(r->results[1].empty());
+    EXPECT_EQ(r->rounds, 0u);
+    EXPECT_FALSE(r->aborted);
+  }
+
+  const BatchNearestResult nq = batch_k_nearest(ctx, quad_, {}, 3);
+  EXPECT_TRUE(nq.results.empty());
+  EXPECT_EQ(nq.rounds, 0u);
+
+  // All-zero k prunes the whole frontier on the first round.
+  const BatchNearestResult zk = batch_k_nearest(ctx, quad_, pts, 0);
+  ASSERT_EQ(zk.results.size(), 2u);
+  EXPECT_TRUE(zk.results[0].empty());
+  EXPECT_TRUE(zk.results[1].empty());
+  EXPECT_EQ(zk.candidates, 0u);
+}
+
+// A control that fires mid-descent sets `aborted`; the caller must not
+// trust the partial rows.
+TEST_F(BatchNearestEdge, BatchControlAbortSetsAbortedFlag) {
+  dpv::Context ctx;
+  const std::vector<geom::Point> pts{{10.0, 10.0}, {500.0, 500.0}};
+
+  std::atomic<bool> cancel{true};  // fires at the very first poll
+  BatchControl cancelled;
+  cancelled.cancel = &cancel;
+  EXPECT_TRUE(batch_k_nearest(ctx, quad_, pts, 4, cancelled).aborted);
+  EXPECT_TRUE(batch_k_nearest(ctx, rtree_, pts, 4, cancelled).aborted);
+
+  BatchControl expired;  // deadline already in the past
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  EXPECT_TRUE(batch_k_nearest(ctx, quad_, pts, 4, expired).aborted);
+
+  // The same calls with a never-firing control complete normally.
+  EXPECT_FALSE(batch_k_nearest(ctx, quad_, pts, 4).aborted);
+  EXPECT_FALSE(batch_k_nearest(ctx, rtree_, pts, 4).aborted);
+}
+
+}  // namespace
+}  // namespace dps::core

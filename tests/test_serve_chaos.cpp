@@ -60,7 +60,7 @@ class ServeChaosTest : public ::testing::Test {
     for (std::size_t i = 0; i < n; ++i) {
       const double x = static_cast<double>((i * 97) % 900);
       const double y = static_cast<double>((i * 61) % 900);
-      switch (i % 7) {
+      switch (i % 8) {
         case 0:
           batch.push_back(Request::window_query(IndexKind::kQuadTree,
                                                 {x, y, x + 70.0, y + 50.0}));
@@ -86,9 +86,13 @@ class ServeChaosTest : public ::testing::Test {
               IndexKind::kLinearQuadTree,
               lines_[(i * 11) % lines_.size()].mid()));
           break;
-        default:
+        case 6:
           batch.push_back(Request::nearest_query(IndexKind::kRTree,
                                                  {x, y}, 1 + i % 4));
+          break;
+        default:
+          batch.push_back(Request::nearest_query(IndexKind::kQuadTree,
+                                                 {x + 0.25, y}, 1 + (i * 5) % 9));
           break;
       }
     }

@@ -218,10 +218,11 @@ TEST_P(ServeDifferential, BatchPipelinesMatchSequential) {
   }
 }
 
-// With the threshold at 1, every window/point group -- all six
-// (kind, index) combinations -- must take the data-parallel path: the
-// engine may not silently fall back to sequential traversal.
-TEST_P(ServeDifferential, AllSixCombosExecuteDataParallel) {
+// With the threshold at 1, every group -- all eight supported
+// (kind, index) combinations, k-nearest included -- must take the
+// data-parallel path: the engine may not silently fall back to
+// sequential traversal.
+TEST_P(ServeDifferential, AllCombosExecuteDataParallel) {
   const ServeCase& c = GetParam();
   serve::EngineOptions opts;
   opts.shards = c.shards;
@@ -232,30 +233,62 @@ TEST_P(ServeDifferential, AllSixCombosExecuteDataParallel) {
   engine.mount(&rtree_);
   engine.mount(&linear_);
 
-  // One window and one point request per index kind, many times over.
+  // Every supported combo in rotation: windows and points on all three
+  // indexes, k-nearest on the two tree indexes.
   std::mt19937_64 rng(c.seed * 6151 + 3);
   std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+  std::uniform_int_distribution<std::size_t> kdist(1, 8);
   std::vector<serve::Request> batch;
   for (std::size_t i = 0; i < std::min<std::size_t>(c.n_requests, 300); ++i) {
     const auto idx = static_cast<serve::IndexKind>(i % 3);
     const double x = pos(rng), y = pos(rng);
-    if (i % 2 == 0) {
-      batch.push_back(serve::Request::window_query(
-          idx, {x, y, std::min(kWorld, x + 40.0), std::min(kWorld, y + 30.0)}));
-    } else {
-      batch.push_back(serve::Request::point_query(
-          idx, !lines_.empty() ? lines_[i % lines_.size()].mid()
-                               : geom::Point{x, y}));
+    switch (i % 8) {
+      case 0:
+      case 3:
+      case 5:
+        batch.push_back(serve::Request::window_query(
+            idx,
+            {x, y, std::min(kWorld, x + 40.0), std::min(kWorld, y + 30.0)}));
+        break;
+      case 1:
+      case 4:
+      case 7:
+        batch.push_back(serve::Request::point_query(
+            idx, !lines_.empty() ? lines_[i % lines_.size()].mid()
+                                 : geom::Point{x, y}));
+        break;
+      default:
+        batch.push_back(serve::Request::nearest_query(
+            i % 8 == 2 ? serve::IndexKind::kQuadTree : serve::IndexKind::kRTree,
+            {x, y}, kdist(rng)));
+        break;
     }
   }
   const auto responses = engine.serve(batch);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ASSERT_EQ(responses[i].status, serve::Status::kOk) << "request " << i;
-    EXPECT_EQ(responses[i].ids, sequential_ids(batch[i])) << "request " << i;
+    if (batch[i].kind == serve::RequestKind::kNearest) {
+      const auto want =
+          batch[i].index == serve::IndexKind::kQuadTree
+              ? core::k_nearest(quad_, batch[i].point, batch[i].k)
+              : core::k_nearest(rtree_, batch[i].point, batch[i].k);
+      ASSERT_EQ(responses[i].neighbors.size(), want.size()) << "request " << i;
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_EQ(responses[i].neighbors[j].id, want[j].id)
+            << "request " << i << " neighbor " << j;
+        EXPECT_DOUBLE_EQ(responses[i].neighbors[j].distance2,
+                         want[j].distance2);
+      }
+    } else {
+      EXPECT_EQ(responses[i].ids, sequential_ids(batch[i])) << "request " << i;
+    }
   }
   const serve::ServeMetrics m = engine.metrics();
   EXPECT_EQ(m.seq_groups, 0u)
-      << "a window/point group silently degraded to sequential traversal";
+      << "a group (k-nearest included) silently degraded to sequential "
+         "traversal";
+  EXPECT_EQ(m.seq_fallbacks, 0u)
+      << "a fault-free dp pipeline burned its retries and fell back";
   EXPECT_GT(m.dp_groups, 0u);
   // The shard arenas did real work and nothing leaked past a round scope.
   const dpv::ArenaStats arena = engine.arena_stats();
