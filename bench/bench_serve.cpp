@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "core/core.hpp"
 #include "data/mapgen.hpp"
+#include "serve/cluster.hpp"
 #include "serve/engine.hpp"
 
 namespace {
@@ -126,12 +127,34 @@ void write_rows(std::FILE* f, const char* indent,
   }
 }
 
-// BENCH_serve.json: the S1 sweep, the S3 knn-mix sweep, and the per-shard
-// arena counters -- the machine-readable record CI uploads to track the
-// serving trajectory.
+// S4 rows: the sharded-cluster sweep and the hot-window cache A/B.
+struct ClusterRow {
+  std::size_t shards = 0;
+  double ms = 0.0;
+  double req_per_s = 0.0;
+  bool identical = false;
+  std::uint64_t routed = 0;       // shard-local sub-requests dispatched
+  std::uint64_t dup_removed = 0;  // cloned hits merged away
+  std::uint64_t knn_widened = 0;  // phase-2 shards consulted
+};
+
+struct HotWindowResult {
+  std::size_t requests = 0;
+  std::size_t distinct_windows = 0;
+  std::size_t batch = 0;
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  double hit_rate = 0.0;
+  bool identical = false;
+};
+
+// BENCH_serve.json: the S1 sweep, the S3 knn-mix sweep, the S4 cluster
+// shard sweep + hot-window cache A/B, and the per-shard arena counters --
+// the machine-readable record CI uploads to track the serving trajectory.
 void write_json(const char* path, const std::vector<EngineRow>& rows,
                 double seq_ms, const std::vector<EngineRow>& knn_rows,
-                double knn_seq_ms) {
+                double knn_seq_ms, const std::vector<ClusterRow>& cluster_rows,
+                const HotWindowResult& hot) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -148,7 +171,27 @@ void write_json(const char* path, const std::vector<EngineRow>& rows,
                "    \"series\": [\n",
                knn_seq_ms);
   write_rows(f, "      ", knn_rows);
-  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fprintf(f, "    ]\n  },\n  \"cluster\": {\n    \"series\": [\n");
+  for (std::size_t i = 0; i < cluster_rows.size(); ++i) {
+    const ClusterRow& r = cluster_rows[i];
+    std::fprintf(f,
+                 "      {\"shards\": %zu, \"ms\": %.2f, \"req_per_s\": %.0f, "
+                 "\"identical\": %s, \"routed_subrequests\": %llu, "
+                 "\"duplicate_hits_removed\": %llu, "
+                 "\"knn_widened_shards\": %llu}%s\n",
+                 r.shards, r.ms, r.req_per_s, r.identical ? "true" : "false",
+                 static_cast<unsigned long long>(r.routed),
+                 static_cast<unsigned long long>(r.dup_removed),
+                 static_cast<unsigned long long>(r.knn_widened),
+                 i + 1 < cluster_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n    \"hot_window\": {\"requests\": %zu, "
+               "\"distinct_windows\": %zu, \"batch\": %zu, "
+               "\"cache_off_ms\": %.2f, \"cache_on_ms\": %.2f, "
+               "\"hit_rate\": %.4f, \"identical\": %s}\n  }\n}\n",
+               hot.requests, hot.distinct_windows, hot.batch, hot.off_ms,
+               hot.on_ms, hot.hit_rate, hot.identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -271,7 +314,128 @@ int main(int argc, char** argv) {
               "1.00", "-", "-", "baseline");
   const std::vector<EngineRow> knn_rows = sweep(knn_batch, knn_want);
 
-  if (json) write_json("BENCH_serve.json", rows, seq_ms, knn_rows, knn_seq_ms);
+  // S4: spatially-sharded cluster.  The same S1 workload fans out over N
+  // QueryEngine replicas, each mounted with the indexes of one spatial
+  // shard; routed sub-answers merge back to the exact single-engine
+  // result (checksummed against the sequential baseline).
+  serve::ClusterMountOptions cluster_mo;
+  cluster_mo.world = kWorld;
+  cluster_mo.quad = po;
+  cluster_mo.rtree = ro;
+  cluster_mo.build_linear = false;  // the workload never asks for it
+  auto make_cluster = [&](std::size_t shards, bool cache_on) {
+    serve::ClusterOptions co;
+    co.shards = shards;
+    co.cache.enabled = cache_on;
+    co.engine.shards = 2;
+    co.engine.threads = 2;
+    co.engine.min_dp_batch = 8;
+    return co;
+  };
+
+  std::vector<ClusterRow> cluster_rows;
+  std::printf("\nS4: sharded cluster (replicas: 2 lanes each, cache off), "
+              "same %zu-request mix\n",
+              batch.size());
+  std::printf("%-22s %10s %12s %9s %12s %10s  %s\n", "config", "ms", "req/s",
+              "routed", "dup_removed", "widened", "results");
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    serve::Cluster cluster(make_cluster(shards, false));
+    cluster.mount(lines, cluster_mo);
+    std::vector<serve::Response> responses;
+    const double ms =
+        bench::best_of(2, [&] { responses = cluster.serve(batch); });
+    serve::ClusterMetrics m = cluster.metrics();
+    // best_of served twice; report per-single-pass routing counters.
+    ClusterRow row;
+    row.shards = shards;
+    row.ms = ms;
+    row.req_per_s = 1000.0 * static_cast<double>(batch.size()) / ms;
+    row.identical = checksum(responses) == want;
+    row.routed = m.routed_subrequests / m.batches;
+    row.dup_removed = m.duplicate_hits_removed / m.batches;
+    row.knn_widened = m.knn_widened_shards / m.batches;
+    cluster_rows.push_back(row);
+    char config[64];
+    std::snprintf(config, sizeof config, "cluster/%zu-shard", shards);
+    std::printf("%-22s %10.2f %12.0f %9llu %12llu %10llu  %s\n", config, ms,
+                row.req_per_s, static_cast<unsigned long long>(row.routed),
+                static_cast<unsigned long long>(row.dup_removed),
+                static_cast<unsigned long long>(row.knn_widened),
+                row.identical ? "identical" : "MISMATCH");
+  }
+
+  // Hot-window cache A/B: 64 distinct windows cycled over the full request
+  // budget in small batches -- the repetitive traffic shape the ResultCache
+  // targets.  Cache off and cache on must produce identical answers; on
+  // the hot workload the hit rate should be well above 90%.
+  HotWindowResult hot;
+  {
+    constexpr std::size_t kDistinct = 64;
+    constexpr std::size_t kChunk = 100;
+    std::mt19937_64 rng(23);
+    std::uniform_real_distribution<double> pos(0.0, kWorld * 0.75);
+    std::uniform_real_distribution<double> extent(kWorld / 64.0, kWorld / 16.0);
+    std::vector<serve::Request> hot_windows;
+    for (std::size_t w = 0; w < kDistinct; ++w) {
+      const double x = pos(rng), y = pos(rng);
+      hot_windows.push_back(serve::Request::window_query(
+          w % 2 == 0 ? serve::IndexKind::kQuadTree : serve::IndexKind::kRTree,
+          {x, y, std::min(kWorld, x + extent(rng)),
+           std::min(kWorld, y + extent(rng))}));
+    }
+    std::vector<std::vector<serve::Request>> hot_chunks;
+    for (std::size_t lo = 0; lo < kRequests; lo += kChunk) {
+      std::vector<serve::Request> chunk;
+      for (std::size_t i = lo; i < lo + kChunk && i < kRequests; ++i) {
+        chunk.push_back(hot_windows[i % kDistinct]);
+      }
+      hot_chunks.push_back(std::move(chunk));
+    }
+    hot.requests = kRequests;
+    hot.distinct_windows = kDistinct;
+    hot.batch = kChunk;
+
+    std::uint64_t sum_off = 0, sum_on = 0;
+    for (const bool cache_on : {false, true}) {
+      serve::Cluster cluster(make_cluster(4, cache_on));
+      cluster.mount(lines, cluster_mo);
+      std::uint64_t h = 1469598103934665603ull;
+      const double ms = bench::time_ms([&] {
+        for (const auto& chunk : hot_chunks) {
+          const auto responses = cluster.serve(chunk);
+          h ^= checksum(responses);
+        }
+      });
+      const serve::ClusterMetrics m = cluster.metrics();
+      if (cache_on) {
+        hot.on_ms = ms;
+        sum_on = h;
+        const double looked =
+            static_cast<double>(m.cache_hits + m.cache_misses);
+        hot.hit_rate =
+            looked == 0.0 ? 0.0 : static_cast<double>(m.cache_hits) / looked;
+      } else {
+        hot.off_ms = ms;
+        sum_off = h;
+      }
+    }
+    hot.identical = sum_off == sum_on;
+    std::printf("\nS4b: hot-window cache A/B (4 shards, %zu distinct windows "
+                "cycled over %zu requests in %zu-request batches)\n",
+                kDistinct, kRequests, kChunk);
+    std::printf("cache off %8.2f ms   cache on %8.2f ms   speedup %.2fx   "
+                "hit rate %.1f%%   results %s\n",
+                hot.off_ms, hot.on_ms,
+                hot.on_ms == 0.0 ? 0.0 : hot.off_ms / hot.on_ms,
+                100.0 * hot.hit_rate,
+                hot.identical ? "identical" : "MISMATCH");
+  }
+
+  if (json) {
+    write_json("BENCH_serve.json", rows, seq_ms, knn_rows, knn_seq_ms,
+               cluster_rows, hot);
+  }
 
   // S2: overload.  Offered load deliberately exceeds capacity: many client
   // threads hammer a small engine.  Without admission everything is

@@ -19,5 +19,6 @@
 #include "core/rtree.hpp"         // IWYU pragma: export
 #include "core/rtree_build.hpp"   // IWYU pragma: export
 #include "core/rtree_join.hpp"    // IWYU pragma: export
+#include "core/shard_segments.hpp"  // IWYU pragma: export
 #include "core/spatial_join.hpp"  // IWYU pragma: export
 #include "core/validate.hpp"      // IWYU pragma: export

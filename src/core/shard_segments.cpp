@@ -1,0 +1,64 @@
+#include "core/shard_segments.hpp"
+
+namespace dps::core {
+
+namespace {
+
+void bisect(const geom::Rect& r, std::size_t k,
+            std::vector<geom::Rect>& out) {
+  if (k <= 1) {
+    out.push_back(r);
+    return;
+  }
+  const std::size_t k1 = (k + 1) / 2;
+  const std::size_t k2 = k - k1;
+  const double f = static_cast<double>(k1) / static_cast<double>(k);
+  if (r.width() >= r.height()) {
+    const double xm = r.xmin + f * (r.xmax - r.xmin);
+    bisect({r.xmin, r.ymin, xm, r.ymax}, k1, out);
+    bisect({xm, r.ymin, r.xmax, r.ymax}, k2, out);
+  } else {
+    const double ym = r.ymin + f * (r.ymax - r.ymin);
+    bisect({r.xmin, r.ymin, r.xmax, ym}, k1, out);
+    bisect({r.xmin, ym, r.xmax, r.ymax}, k2, out);
+  }
+}
+
+}  // namespace
+
+ShardPlan make_shard_plan(const geom::Rect& extent, std::size_t k) {
+  ShardPlan plan;
+  plan.extent = extent;
+  plan.footprints.reserve(k == 0 ? 1 : k);
+  bisect(extent, k == 0 ? 1 : k, plan.footprints);
+  return plan;
+}
+
+ShardedSegments shard_segments(const std::vector<geom::Segment>& lines,
+                               const geom::Rect& extent, std::size_t k) {
+  ShardedSegments out;
+  out.plan = make_shard_plan(extent, k);
+  const std::size_t n = out.plan.footprints.size();
+  out.shards.resize(n);
+  if (n == 1) {
+    // Degenerate single shard: byte-identical to the unsharded input (no
+    // intersection filtering, no reordering), so a one-shard build is the
+    // single-engine build.
+    out.shards[0] = lines;
+    out.assigned = lines.size();
+    return out;
+  }
+  for (const geom::Segment& seg : lines) {
+    bool anywhere = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (geom::segment_intersects_rect(seg, out.plan.footprints[s])) {
+        out.shards[s].push_back(seg);
+        anywhere = true;
+      }
+    }
+    if (anywhere) ++out.assigned;
+  }
+  return out;
+}
+
+}  // namespace dps::core

@@ -1,0 +1,113 @@
+#include "serve/cache.hpp"
+
+#include <bit>
+
+#include "dpv/fault.hpp"  // dpv::mix64
+
+namespace dps::serve {
+
+namespace {
+
+/// Exact-match bit pattern of a coordinate with -0.0 folded to 0.0, so the
+/// two representations of zero share one key.
+std::uint64_t canon_bits(double d) noexcept {
+  return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
+}
+
+}  // namespace
+
+std::size_t ResultCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = dpv::mix64(
+      (static_cast<std::uint64_t>(k.kind) << 8) | k.index);
+  h = dpv::mix64(h ^ k.k);
+  h = dpv::mix64(h ^ k.g0);
+  h = dpv::mix64(h ^ k.g1);
+  h = dpv::mix64(h ^ k.g2);
+  h = dpv::mix64(h ^ k.g3);
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::Key ResultCache::canonical_key(const Request& rq) noexcept {
+  Key key;
+  key.kind = static_cast<std::uint8_t>(rq.kind);
+  key.index = static_cast<std::uint8_t>(rq.index);
+  switch (rq.kind) {
+    case RequestKind::kWindow:
+      key.g0 = canon_bits(rq.window.xmin);
+      key.g1 = canon_bits(rq.window.ymin);
+      key.g2 = canon_bits(rq.window.xmax);
+      key.g3 = canon_bits(rq.window.ymax);
+      break;
+    case RequestKind::kPoint:
+      key.g0 = canon_bits(rq.point.x);
+      key.g1 = canon_bits(rq.point.y);
+      break;
+    case RequestKind::kNearest:
+      key.g0 = canon_bits(rq.point.x);
+      key.g1 = canon_bits(rq.point.y);
+      key.k = rq.k;
+      break;
+  }
+  return key;
+}
+
+bool ResultCache::lookup(const Key& key, Response& out) {
+  if (!usable()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end() || it->second->epoch != epoch_) {
+    // A stale-epoch entry can only exist transiently (bump_epoch drops
+    // them eagerly); treat it as a miss either way.
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  out.ids = it->second->ids;
+  out.neighbors = it->second->neighbors;
+  out.status = Status::kOk;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::insert(const Key& key, const Response& rsp) {
+  if (!usable() || rsp.status != Status::kOk) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->ids = rsp.ids;
+    it->second->neighbors = rsp.neighbors;
+    it->second->epoch = epoch_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, epoch_, rsp.ids, rsp.neighbors});
+  map_[key] = lru_.begin();
+  while (map_.size() > opts_.capacity) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::bump_epoch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
+  stats_.invalidations += map_.size();
+  map_.clear();
+  lru_.clear();
+}
+
+std::uint64_t ResultCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.epoch = epoch_;
+  out.entries = map_.size();
+  return out;
+}
+
+}  // namespace dps::serve

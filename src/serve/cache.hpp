@@ -1,0 +1,114 @@
+#pragma once
+// Bounded LRU result cache for hot query windows, with epoch-based
+// invalidation.
+//
+// Serving traffic is heavily repetitive -- the same map windows are
+// requested over and over ("hot windows") -- so the cluster caches kOk
+// answers keyed on the *canonicalized* request: (kind, index, geometry,
+// k), with payload fields the kind does not use zeroed out (a window
+// request's point and k never reach the key; -0.0 canonicalizes to 0.0).
+// Two geometrically identical requests therefore share one entry no
+// matter how their unused fields differ.
+//
+// Invalidation is epoch-based: every entry is stamped with the epoch it
+// was inserted at, and `bump_epoch` (called by the cluster on any mount
+// or remount) advances the epoch and drops every older entry, so a cached
+// answer can never outlive the index generation that produced it.  The
+// cache is a pure memo: it stores only terminal kOk payloads, never
+// statuses that depend on time (deadlines) or engine state.
+//
+// Thread-safe; every operation takes the cache mutex (entries are small
+// and the critical sections are copies, not queries).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest.hpp"
+#include "serve/request.hpp"
+
+namespace dps::serve {
+
+struct CacheOptions {
+  /// Master switch; a disabled cache never hits and stores nothing.
+  bool enabled = true;
+  /// Entry budget; inserting beyond it evicts the least recently used
+  /// entry.  0 behaves like `enabled = false`.
+  std::size_t capacity = 4096;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      // LRU capacity evictions
+  std::uint64_t invalidations = 0;  // entries dropped by epoch bumps
+  std::uint64_t epoch = 0;          // current index generation
+  std::size_t entries = 0;          // live entries right now
+};
+
+class ResultCache {
+ public:
+  /// Canonical cache key: the fields of a Request that determine its kOk
+  /// answer, and nothing else.  Geometry doubles are carried as bit
+  /// patterns (exact match semantics; -0.0 folded to 0.0).
+  struct Key {
+    std::uint8_t kind = 0;
+    std::uint8_t index = 0;
+    std::uint64_t k = 0;
+    std::uint64_t g0 = 0, g1 = 0, g2 = 0, g3 = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  static Key canonical_key(const Request& rq) noexcept;
+
+  explicit ResultCache(const CacheOptions& opts) : opts_(opts) {}
+
+  /// True when the cache can ever hold an entry (enabled with a nonzero
+  /// capacity).  A cluster skips lookup/fill -- and the hit/miss
+  /// accounting -- entirely for an unusable cache.
+  bool enabled() const noexcept { return usable(); }
+
+  /// Copies the cached kOk payload for `key` into `out` (ids or
+  /// neighbors, per the request kind) and refreshes its recency.  False =
+  /// miss; `out` is untouched.
+  bool lookup(const Key& key, Response& out);
+
+  /// Memoizes a kOk response's payload under `key` at the current epoch.
+  /// Re-inserting an existing key refreshes its payload and recency.
+  void insert(const Key& key, const Response& rsp);
+
+  /// Advances the epoch and drops every entry of the previous one.  The
+  /// cluster calls this under its exclusive mount lock, so a remount can
+  /// never serve a stale answer.
+  void bump_epoch();
+
+  std::uint64_t epoch() const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    std::uint64_t epoch = 0;
+    std::vector<geom::LineId> ids;
+    std::vector<core::Neighbor> neighbors;
+  };
+
+  bool usable() const noexcept { return opts_.enabled && opts_.capacity > 0; }
+
+  CacheOptions opts_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // most recent first
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::uint64_t epoch_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace dps::serve

@@ -1,0 +1,448 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/validate.hpp"
+
+namespace dps::serve {
+
+namespace {
+
+double us_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t).count();
+}
+
+/// Per-request geometry gate, identical to the engine's.
+Status validate_request(const Request& rq) noexcept {
+  switch (rq.kind) {
+    case RequestKind::kWindow:
+      return core::validate_window(rq.window) ? Status::kInvalidArgument
+                                              : Status::kOk;
+    case RequestKind::kPoint:
+      return core::validate_point(rq.point) ? Status::kInvalidArgument
+                                            : Status::kOk;
+    case RequestKind::kNearest:
+      return core::validate_nearest(rq.point, rq.k) ? Status::kInvalidArgument
+                                                    : Status::kOk;
+  }
+  return Status::kInvalidArgument;
+}
+
+/// Sorted-union duplicate deletion over concatenated per-shard id lists:
+/// a segment cloned into several routed shards reports once, like the
+/// single-engine answer.  Returns the clones removed.
+std::uint64_t merge_ids(std::vector<geom::LineId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  const auto last = std::unique(ids.begin(), ids.end());
+  const auto removed =
+      static_cast<std::uint64_t>(std::distance(last, ids.end()));
+  ids.erase(last, ids.end());
+  return removed;
+}
+
+/// Global k-nearest re-rank: duplicate-delete cloned hits by id (keeping
+/// each id's smallest distance, matching the single tree that holds every
+/// q-edge), then order by (distance^2, id) -- the canonical order
+/// core::k_nearest produces -- and truncate to k.
+std::uint64_t merge_neighbors(std::vector<core::Neighbor>& pool,
+                              std::size_t k) {
+  std::sort(pool.begin(), pool.end(),
+            [](const core::Neighbor& a, const core::Neighbor& b) {
+              return a.id != b.id ? a.id < b.id : a.distance2 < b.distance2;
+            });
+  const auto last = std::unique(pool.begin(), pool.end(),
+                                [](const core::Neighbor& a,
+                                   const core::Neighbor& b) {
+                                  return a.id == b.id;
+                                });
+  const auto removed =
+      static_cast<std::uint64_t>(std::distance(last, pool.end()));
+  pool.erase(last, pool.end());
+  std::sort(pool.begin(), pool.end(),
+            [](const core::Neighbor& a, const core::Neighbor& b) {
+              return a.distance2 != b.distance2 ? a.distance2 < b.distance2
+                                                : a.id < b.id;
+            });
+  if (pool.size() > k) pool.resize(k);
+  return removed;
+}
+
+}  // namespace
+
+ClusterMetrics& ClusterMetrics::operator+=(
+    const ClusterMetrics& other) noexcept {
+  batches += other.batches;
+  requests += other.requests;
+  ok += other.ok;
+  expired += other.expired;
+  cancelled += other.cancelled;
+  rejected += other.rejected;
+  shedded += other.shedded;
+  invalid += other.invalid;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_bypasses += other.cache_bypasses;
+  routed_subrequests += other.routed_subrequests;
+  knn_widened_shards += other.knn_widened_shards;
+  duplicate_hits_removed += other.duplicate_hits_removed;
+  // `cache` is a point-in-time snapshot attached by metrics(), not a
+  // foldable counter set.
+  return *this;
+}
+
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache), admission_(opts_.admission) {
+  shards_ = opts_.shards == 0 ? 1 : opts_.shards;
+  engines_.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    EngineOptions eo = opts_.engine;
+    if (s < opts_.replica_fault_injectors.size()) {
+      eo.fault_injector = opts_.replica_fault_injectors[s];
+    }
+    engines_.push_back(std::make_unique<QueryEngine>(eo));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::mount(const std::vector<geom::Segment>& lines,
+                    const ClusterMountOptions& mopts) {
+  // Build outside the lock: serving stays live on the previous generation
+  // while the new shard indexes assemble, and only the pointer swap (plus
+  // the cache-epoch bump) excludes in-flight batches.
+  const geom::Rect extent{0.0, 0.0, mopts.world, mopts.world};
+  core::ShardedSegments sharded =
+      core::shard_segments(lines, extent, shards_);
+  std::vector<ShardIndexes> built(shards_);
+  dpv::Context build_ctx;  // serial: deterministic shard builds
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (sharded.shards[s].empty()) continue;
+    core::PmrBuildOptions po = mopts.quad;
+    po.world = mopts.world;
+    built[s].quad = core::pmr_build(build_ctx, sharded.shards[s], po).tree;
+    built[s].rtree =
+        core::rtree_build(build_ctx, sharded.shards[s], mopts.rtree).tree;
+    if (mopts.build_linear) {
+      built[s].linear = core::LinearQuadTree::from(built[s].quad);
+    }
+    built[s].empty = false;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  sharded_ = std::move(sharded);
+  indexes_ = std::move(built);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    // Remount every replica -- empty shards unmount so a dangling pointer
+    // into the previous generation can never be traversed.
+    QueryEngine& eng = *engines_[s];
+    if (indexes_[s].empty) {
+      eng.mount(static_cast<const core::QuadTree*>(nullptr));
+      eng.mount(static_cast<const core::RTree*>(nullptr));
+      eng.mount(static_cast<const core::LinearQuadTree*>(nullptr));
+    } else {
+      eng.mount(&indexes_[s].quad);
+      eng.mount(&indexes_[s].rtree);
+      eng.mount(mopts.build_linear ? &indexes_[s].linear : nullptr);
+    }
+  }
+  mounted_ = true;
+  linear_mounted_ = mopts.build_linear;
+  mount_epoch_.fetch_add(1, std::memory_order_release);
+  // Epoch bump under the exclusive lock: every batch admitted after this
+  // point sees only the new generation, so zero stale results.
+  cache_.bump_epoch();
+}
+
+Status Cluster::pre_status(const Request& rq) const noexcept {
+  if (cancel_.load(std::memory_order_relaxed)) return Status::kCancelled;
+  if (rq.has_deadline() && Clock::now() >= *rq.deadline) {
+    return Status::kDeadlineExpired;
+  }
+  return Status::kOk;
+}
+
+bool Cluster::supported(const Request& rq) const noexcept {
+  if (!mounted_) return false;
+  if (rq.index == IndexKind::kLinearQuadTree) {
+    return linear_mounted_ && rq.kind != RequestKind::kNearest;
+  }
+  return true;
+}
+
+void Cluster::route_window(const geom::Rect& window,
+                           std::vector<std::size_t>& out) const {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (!indexes_[s].empty && sharded_.plan.footprints[s].intersects(window)) {
+      out.push_back(s);
+    }
+  }
+}
+
+void Cluster::route_point(const geom::Point& p,
+                          std::vector<std::size_t>& out) const {
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (!indexes_[s].empty && sharded_.plan.footprints[s].contains(p)) {
+      out.push_back(s);
+    }
+  }
+}
+
+std::size_t Cluster::primary_knn_shard(const geom::Point& p) const {
+  std::size_t best = shards_;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (indexes_[s].empty) continue;
+    const double d2 = sharded_.plan.footprints[s].distance2(p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<Response>> Cluster::dispatch(
+    std::vector<std::vector<Request>>& sub) {
+  std::vector<std::vector<Response>> out(shards_);
+  std::vector<std::size_t> busy;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (!sub[s].empty()) busy.push_back(s);
+  }
+  if (busy.size() == 1) {
+    out[busy[0]] = engines_[busy[0]]->serve(sub[busy[0]]);
+    return out;
+  }
+  // Replicas are independent engines with their own pools; one dispatcher
+  // thread per busy replica lets them serve concurrently.
+  std::vector<std::thread> workers;
+  workers.reserve(busy.size());
+  for (const std::size_t s : busy) {
+    workers.emplace_back(
+        [this, &sub, &out, s] { out[s] = engines_[s]->serve(sub[s]); });
+  }
+  for (auto& w : workers) w.join();
+  return out;
+}
+
+struct Cluster::Pending {
+  std::size_t index = 0;             // into the batch
+  ResultCache::Key key;
+  bool fill_cache = false;           // missed; memoize on kOk merge
+  bool knn = false;
+  // (round, shard, position) of every shard-local sub-request.
+  std::vector<std::array<std::size_t, 3>> slots;
+};
+
+std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
+  const auto t0 = Clock::now();
+  const std::size_t n = batch.size();
+  std::vector<Response> responses(n);
+
+  ClusterMetrics delta;
+  delta.batches = 1;
+  delta.requests = n;
+
+  // Geometry gate before admission, like the engine.
+  std::vector<Status> gate(n, Status::kOk);
+  std::size_t valid = 0;
+  Priority priority = Priority::kLow;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (opts_.validate_requests) gate[i] = validate_request(batch[i]);
+    if (gate[i] == Status::kOk) {
+      ++valid;
+      priority = std::max(priority, batch[i].priority);
+    }
+  }
+
+  bool executed = false;
+  if (valid > 0) {
+    if (admission_.admit(valid, priority) ==
+        AdmissionController::Outcome::kShedded) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gate[i] == Status::kOk) gate[i] = Status::kShedded;
+      }
+    } else {
+      executed = true;
+      {
+        std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+
+        // Pass 1: settle dead/unsupported requests, consult the cache,
+        // and route the rest into per-shard sub-batches (k-nearest to its
+        // nearest-footprint shard only; the widening round follows).
+        std::vector<Pending> pending;
+        std::vector<std::vector<Request>> round1(shards_);
+        std::vector<std::size_t> targets;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (gate[i] != Status::kOk) {
+            responses[i].status = gate[i];
+            continue;
+          }
+          const Request& rq = batch[i];
+          const Status s = pre_status(rq);
+          if (s != Status::kOk) {
+            responses[i].status = s;
+            continue;
+          }
+          if (!supported(rq)) {
+            responses[i].status = Status::kRejected;
+            continue;
+          }
+
+          Pending p;
+          p.index = i;
+          if (rq.bypass_cache || !cache_.enabled()) {
+            if (rq.bypass_cache) ++delta.cache_bypasses;
+          } else {
+            p.key = ResultCache::canonical_key(rq);
+            if (cache_.lookup(p.key, responses[i])) {
+              ++delta.cache_hits;
+              continue;
+            }
+            ++delta.cache_misses;
+            p.fill_cache = true;
+          }
+
+          targets.clear();
+          if (rq.kind == RequestKind::kWindow) {
+            route_window(rq.window, targets);
+          } else if (rq.kind == RequestKind::kPoint) {
+            route_point(rq.point, targets);
+          } else {
+            p.knn = true;
+            const std::size_t primary = primary_knn_shard(rq.point);
+            if (primary < shards_) targets.push_back(primary);
+          }
+          for (const std::size_t shard : targets) {
+            p.slots.push_back({0, shard, round1[shard].size()});
+            round1[shard].push_back(rq);
+          }
+          pending.push_back(std::move(p));
+        }
+        for (const auto& sub : round1) {
+          delta.routed_subrequests += sub.size();
+        }
+        const std::vector<std::vector<Response>> r1 = dispatch(round1);
+
+        // Pass 2 (k-nearest only): widen to every shard whose footprint
+        // MINDIST beats -- or ties, so equal-distance answers are never
+        // pruned -- the primary shard's running kth-best bound.
+        std::vector<std::vector<Request>> round2(shards_);
+        for (Pending& p : pending) {
+          if (!p.knn || p.slots.empty()) continue;
+          const Request& rq = batch[p.index];
+          const auto& [r0, primary, pos] = p.slots.front();
+          const Response& first = r1[primary][pos];
+          if (first.status != Status::kOk) continue;  // settled in merge
+          const double bound =
+              first.neighbors.size() >= rq.k
+                  ? first.neighbors.back().distance2
+                  : std::numeric_limits<double>::infinity();
+          for (std::size_t s = 0; s < shards_; ++s) {
+            if (s == primary || indexes_[s].empty) continue;
+            if (sharded_.plan.footprints[s].distance2(rq.point) <= bound) {
+              p.slots.push_back({1, s, round2[s].size()});
+              round2[s].push_back(rq);
+              ++delta.knn_widened_shards;
+            }
+          }
+          (void)r0;
+        }
+        for (const auto& sub : round2) {
+          delta.routed_subrequests += sub.size();
+        }
+        const std::vector<std::vector<Response>> r2 = dispatch(round2);
+
+        // Pass 3: exact merge.  Any non-kOk shard answer settles the
+        // request with that status (the replicas' retry + sequential
+        // settle makes this rare outside deadlines and cancellation).
+        for (const Pending& p : pending) {
+          Response& rsp = responses[p.index];
+          Status merged = Status::kOk;
+          for (const auto& [round, shard, pos] : p.slots) {
+            const Response& sub =
+                round == 0 ? r1[shard][pos] : r2[shard][pos];
+            if (sub.status != Status::kOk) {
+              merged = sub.status;
+              break;
+            }
+          }
+          if (merged != Status::kOk) {
+            rsp.status = merged;
+            rsp.ids.clear();
+            rsp.neighbors.clear();
+            continue;
+          }
+          if (p.knn) {
+            for (const auto& [round, shard, pos] : p.slots) {
+              const Response& sub =
+                  round == 0 ? r1[shard][pos] : r2[shard][pos];
+              rsp.neighbors.insert(rsp.neighbors.end(),
+                                   sub.neighbors.begin(),
+                                   sub.neighbors.end());
+            }
+            delta.duplicate_hits_removed +=
+                merge_neighbors(rsp.neighbors, batch[p.index].k);
+          } else {
+            for (const auto& [round, shard, pos] : p.slots) {
+              const Response& sub =
+                  round == 0 ? r1[shard][pos] : r2[shard][pos];
+              rsp.ids.insert(rsp.ids.end(), sub.ids.begin(), sub.ids.end());
+            }
+            delta.duplicate_hits_removed += merge_ids(rsp.ids);
+          }
+          rsp.status = Status::kOk;
+          if (p.fill_cache) cache_.insert(p.key, rsp);
+        }
+      }
+      admission_.finish(valid);
+    }
+  }
+  if (!executed) {
+    for (std::size_t i = 0; i < n; ++i) responses[i].status = gate[i];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    responses[i].latency_us = us_since(t0);
+    switch (responses[i].status) {
+      case Status::kOk: ++delta.ok; break;
+      case Status::kDeadlineExpired: ++delta.expired; break;
+      case Status::kCancelled: ++delta.cancelled; break;
+      case Status::kRejected: ++delta.rejected; break;
+      case Status::kShedded: ++delta.shedded; break;
+      case Status::kInvalidArgument: ++delta.invalid; break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_ += delta;
+  }
+  return responses;
+}
+
+void Cluster::cancel_all() noexcept {
+  cancel_.store(true, std::memory_order_relaxed);
+  for (const auto& e : engines_) e->cancel_all();
+}
+
+void Cluster::reset_cancel() noexcept {
+  cancel_.store(false, std::memory_order_relaxed);
+  for (const auto& e : engines_) e->reset_cancel();
+}
+
+ClusterMetrics Cluster::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ClusterMetrics out = metrics_;
+  out.cache = cache_.stats();
+  return out;
+}
+
+void Cluster::reset_metrics() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_ = ClusterMetrics{};
+}
+
+}  // namespace dps::serve

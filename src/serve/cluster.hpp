@@ -1,0 +1,230 @@
+#pragma once
+// serve::Cluster: spatially-sharded multi-engine serving with a
+// hot-window result cache.
+//
+//                      request batch
+//                           |
+//            validation + cluster-door admission
+//          (kShedded is a refusal, never a wrong answer)
+//                           |
+//                      ResultCache
+//        bounded LRU on canonicalized (kind, index, geometry, k);
+//          epoch-invalidated on every mount; per-request bypass
+//                           |
+//                     spatial router
+//      window/point -> every shard whose footprint meets the query
+//      k-nearest    -> two-phase: nearest footprint first, then every
+//                      shard whose MINDIST beats the running kth bound
+//               .-----------+-----------.
+//               engine 0  engine 1  ...  engine N-1
+//        one QueryEngine replica per spatial shard, mounted with the
+//        indexes built over that shard's core::shard_segments slice
+//        (boundary-crossing segments cloned into every shard touched)
+//               '-----------+-----------'
+//                      exact merge
+//        sorted-union duplicate deletion of cloned-segment hits;
+//             global (distance^2, id) re-rank for k-nearest
+//
+// Correctness bar: the merged answer is *exactly* the single-engine
+// answer -- same ids, same distances^2, same tie order -- for every
+// request kind, any shard count, cache on or off (the augmented-map
+// partition-and-merge exactness of Sun & Blelloch, with Hoel & Samet's
+// regular decomposition as the partition).  Why it holds:
+//
+//   * Window/point: a result segment intersects the query region, so some
+//     point of that intersection lies in a routed footprint, and the
+//     cloning rule guarantees the segment lives in that footprint's
+//     shard.  Per-shard answers are sorted unique id lists; the merge is
+//     a sorted union that deletes cloned duplicates.
+//   * k-nearest: the closest point of any global top-k segment lies in
+//     some footprint F, so MINDIST(F, q) <= that distance <= the running
+//     kth bound, and the widening phase (<=, so distance ties are never
+//     pruned) consults F.  Per-shard top-k lists re-rank globally by
+//     (distance^2, id) -- the same canonical order core::k_nearest
+//     produces -- then truncate to k after deleting cloned hits.
+//
+// Each replica keeps QueryEngine's full PR-2 semantics: per-shard
+// retry-with-backoff under injected faults, sequential settle, and
+// deterministic chaos replay (poison one replica via
+// ClusterOptions::replica_fault_injectors and the cluster still converges
+// to exact answers).  Admission happens once at the cluster door, not per
+// replica.  Thread-safety matches QueryEngine: serve() from any number of
+// threads; mount() serializes against in-flight batches and advances the
+// cache epoch before any new request can hit.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/linear_quadtree.hpp"
+#include "core/pmr_build.hpp"
+#include "core/quadtree.hpp"
+#include "core/rtree.hpp"
+#include "core/rtree_build.hpp"
+#include "core/shard_segments.hpp"
+#include "serve/admission.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+
+namespace dps::serve {
+
+struct ClusterOptions {
+  /// Spatial shards = QueryEngine replicas (0 is clamped to 1).
+  std::size_t shards = 2;
+  /// Template for every replica (threads, min_dp_batch, retries, ...).
+  /// Replica admission stays whatever the template says -- the cluster
+  /// gates at its own door, so leave it disabled unless you want both.
+  EngineOptions engine;
+  /// Hot-window result cache in front of the router.
+  CacheOptions cache;
+  /// Cluster-door admission (disabled by default, like the engine's).
+  AdmissionOptions admission;
+  /// Reject malformed request geometry before admission.
+  bool validate_requests = true;
+  /// Optional per-replica chaos hooks (index = shard); shorter than
+  /// `shards` means the tail gets none.  Overrides `engine.fault_injector`
+  /// for the replicas it names; entries may be null.  Must outlive the
+  /// cluster.
+  std::vector<dpv::FaultInjector*> replica_fault_injectors;
+};
+
+struct ClusterMountOptions {
+  /// Side of the map square [0, world]^2; also the shard-plan extent.
+  double world = 1.0;
+  /// Per-shard bucket-PMR build (its `world` is overwritten with `world`).
+  core::PmrBuildOptions quad;
+  /// Per-shard R-tree build.
+  core::RtreeBuildOptions rtree;
+  /// Also derive the linear quadtree of every shard (off = linear-quadtree
+  /// requests answer kRejected, as on an engine without one mounted).
+  bool build_linear = true;
+};
+
+struct ClusterMetrics {
+  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;
+
+  // Terminal statuses (same taxonomy as ServeMetrics).
+  std::uint64_t ok = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shedded = 0;
+  std::uint64_t invalid = 0;
+
+  // Cache-path split, counted at the cluster door.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bypasses = 0;  // requests that asked to skip it
+
+  // Routing accounting.
+  std::uint64_t routed_subrequests = 0;   // shard-local requests dispatched
+  std::uint64_t knn_widened_shards = 0;   // phase-2 shards consulted
+  std::uint64_t duplicate_hits_removed = 0;  // cloned hits merged away
+
+  /// Cache-internal snapshot (evictions, invalidations, current epoch);
+  /// taken at metrics() time, not reset by reset_metrics().
+  CacheStats cache;
+
+  ClusterMetrics& operator+=(const ClusterMetrics& other) noexcept;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Shards `lines` over the k-way plan of [0, world]^2, builds every
+  /// non-empty shard's quadtree / R-tree / linear quadtree, and mounts
+  /// them on that shard's replica.  Serializes against in-flight serve()
+  /// calls (exclusive mount lock) and advances the cache epoch, so no
+  /// answer computed against the previous map survives the remount.
+  void mount(const std::vector<geom::Segment>& lines,
+             const ClusterMountOptions& opts);
+
+  /// Serves one batch; responses[i] answers batch[i] exactly as a single
+  /// engine mounted over the whole map would.  Thread-safe.
+  std::vector<Response> serve(const std::vector<Request>& batch);
+
+  std::size_t shards() const noexcept { return shards_; }
+  const core::ShardPlan& plan() const noexcept { return sharded_.plan; }
+  /// Segments assigned to `shard` (clones included); 0 for empty shards.
+  std::size_t shard_segment_count(std::size_t shard) const noexcept {
+    return shard < sharded_.shards.size() ? sharded_.shards[shard].size() : 0;
+  }
+  /// Replica access (per-engine metrics, arena stats, ...).
+  QueryEngine& engine(std::size_t shard) { return *engines_[shard]; }
+  const QueryEngine& engine(std::size_t shard) const {
+    return *engines_[shard];
+  }
+
+  /// Cluster-wide mount generation (mirrors the cache epoch).
+  std::uint64_t mount_epoch() const noexcept {
+    return mount_epoch_.load(std::memory_order_acquire);
+  }
+
+  void cancel_all() noexcept;
+  void reset_cancel() noexcept;
+
+  ClusterMetrics metrics() const;
+  void reset_metrics();
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+
+ private:
+  struct ShardIndexes {
+    core::QuadTree quad;
+    core::RTree rtree;
+    core::LinearQuadTree linear;
+    bool empty = true;
+  };
+
+  /// Per-request routing/merging state for one serve() call.
+  struct Pending;
+
+  Status pre_status(const Request& rq) const noexcept;
+  bool supported(const Request& rq) const noexcept;  // under mount lock
+
+  /// Runs every non-empty per-shard sub-batch on its replica (replicas in
+  /// parallel when more than one has work) and returns per-shard
+  /// responses.
+  std::vector<std::vector<Response>> dispatch(
+      std::vector<std::vector<Request>>& sub);
+
+  /// Shards whose footprint the window/point touches.
+  void route_window(const geom::Rect& window,
+                    std::vector<std::size_t>& out) const;
+  void route_point(const geom::Point& p, std::vector<std::size_t>& out) const;
+  /// Non-empty shard with the smallest footprint MINDIST to `p` (lowest
+  /// index among ties); shards_ when every shard is empty.
+  std::size_t primary_knn_shard(const geom::Point& p) const;
+
+  ClusterOptions opts_;
+  std::size_t shards_ = 1;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+
+  // Mounted state, guarded by mount_mutex_ (serve() shared, mount()
+  // exclusive -- the same discipline QueryEngine uses).
+  core::ShardedSegments sharded_;
+  std::vector<ShardIndexes> indexes_;
+  bool mounted_ = false;
+  bool linear_mounted_ = false;
+  mutable std::shared_mutex mount_mutex_;
+
+  ResultCache cache_;
+  AdmissionController admission_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> mount_epoch_{0};
+
+  mutable std::mutex metrics_mutex_;
+  ClusterMetrics metrics_;
+};
+
+}  // namespace dps::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <chrono>
 #include <thread>
 
@@ -80,17 +81,26 @@ QueryEngine::QueryEngine(EngineOptions opts)
 
 void QueryEngine::mount(const core::QuadTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
+         "mount must be serialized against in-flight serve() batches");
   quad_ = tree;
+  mount_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void QueryEngine::mount(const core::RTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
+         "mount must be serialized against in-flight serve() batches");
   rtree_ = tree;
+  mount_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void QueryEngine::mount(const core::LinearQuadTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
+         "mount must be serialized against in-flight serve() batches");
   linear_ = tree;
+  mount_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 Status QueryEngine::pre_status(const Request& rq) const noexcept {
@@ -417,6 +427,9 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
       executed = true;
       // Shared mount lock: a concurrent mount() waits for this batch.
       std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+#ifndef NDEBUG
+      debug_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+#endif
       const std::size_t k = std::min(shards_, n);
       scratch.resize(k);
       // Lanes are the physical limit; when the engine is configured with
@@ -431,6 +444,9 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
         }
       });
       admission_.finish(admitted_requests);
+#ifndef NDEBUG
+      debug_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+#endif
     }
   }
   if (!executed) {

@@ -57,14 +57,21 @@
 //     after each batch; `metrics()` snapshots it.
 //
 // Thread-safety: `serve` may be called from any number of threads
-// concurrently (launches serialize on the pool).  `mount` takes the mount
-// lock exclusively, so it blocks until in-flight serve() calls drain and
-// is safe to call concurrently with serving; mounted indexes must stay
-// alive and unmodified while mounted.
+// concurrently (launches serialize on the pool).  `mount` -- including a
+// remount that replaces a live index -- is serialized against in-flight
+// batches by `mount_mutex_`: serve() holds the lock shared for the whole
+// batch, mount() takes it exclusively, so a mount blocks until every
+// in-flight serve() drains and no batch ever observes a half-swapped
+// index set (asserted in debug builds via an in-flight counter).  Every
+// successful mount advances the monotonically increasing `mount_epoch()`,
+// which cache layers stacked on top (see serve::Cluster / ResultCache)
+// consume to invalidate results produced by older index generations.
+// Mounted indexes must stay alive and unmodified while mounted.
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -122,12 +129,22 @@ class QueryEngine {
   explicit QueryEngine(EngineOptions opts = {});
 
   // Mounts an index.  Borrowed, immutable, must outlive the engine;
-  // remounting replaces the previous index of that type.  Takes the mount
-  // lock exclusively: blocks until in-flight serve() calls finish, so a
-  // batch never sees a half-swapped index set.
+  // remounting replaces the previous index of that type (nullptr
+  // unmounts).  Takes the mount lock exclusively: blocks until in-flight
+  // serve() calls finish, so a batch never sees a half-swapped index set
+  // (debug builds assert no serve() is in flight once the lock is held).
+  // Each call advances `mount_epoch()`.
   void mount(const core::QuadTree* tree);
   void mount(const core::RTree* tree);
   void mount(const core::LinearQuadTree* tree);
+
+  /// Monotonically increasing mount generation: 0 before the first mount,
+  /// +1 per mount()/remount.  A result computed at epoch e is stale once
+  /// `mount_epoch() != e`; the cluster's ResultCache keys its
+  /// invalidation on exactly this counter.
+  std::uint64_t mount_epoch() const noexcept {
+    return mount_epoch_.load(std::memory_order_acquire);
+  }
 
   std::size_t shards() const noexcept { return shards_; }
   const EngineOptions& options() const noexcept { return opts_; }
@@ -217,6 +234,13 @@ class QueryEngine {
   const core::LinearQuadTree* linear_ = nullptr;
 
   std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> mount_epoch_{0};
+#ifndef NDEBUG
+  // Counts serve() calls holding the shared mount lock; mount() asserts it
+  // is zero once it holds the lock exclusively (the serialization
+  // contract, made checkable).
+  mutable std::atomic<std::int64_t> debug_in_flight_{0};
+#endif
 
   AdmissionController admission_;
   // serve() holds this shared for a batch's execution; mount() holds it

@@ -52,6 +52,10 @@ struct Request {
   /// Absolute deadline; nullopt = none.  Any concrete time point --
   /// including the epoch -- is a real (expired) deadline.
   std::optional<Clock::time_point> deadline;
+  /// Skip the cluster's result cache for this request (both lookup and
+  /// fill), so chaos and measurement runs can exercise the routed path on
+  /// demand.  Ignored by a bare QueryEngine.
+  bool bypass_cache = false;
 
   bool has_deadline() const noexcept { return deadline.has_value(); }
 
@@ -85,6 +89,10 @@ struct Request {
   }
   Request& with_deadline(Clock::time_point d) {
     deadline = d;
+    return *this;
+  }
+  Request& with_bypass_cache(bool bypass = true) {
+    bypass_cache = bypass;
     return *this;
   }
 };

@@ -1,0 +1,149 @@
+// core::shard_segments: the k-way regular decomposition and the clone
+// rule the serving cluster's exactness rests on.  Edge cases the merge
+// cares about: a segment exactly on a shard boundary, a segment spanning
+// every shard, an entirely empty shard, and the k = 1 degenerate that
+// must reproduce the unsharded input byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/shard_segments.hpp"
+#include "data/mapgen.hpp"
+#include "geom/geom.hpp"
+
+namespace dps {
+namespace {
+
+constexpr geom::Rect kExtent{0.0, 0.0, 100.0, 100.0};
+
+// The k footprints tile the extent: they cover its area exactly, stay
+// inside it, and overlap only on borders (zero-area pairwise overlap).
+TEST(ShardSegments, PlanTilesExtentForEveryK) {
+  for (std::size_t k = 1; k <= 9; ++k) {
+    const core::ShardPlan plan = core::make_shard_plan(kExtent, k);
+    ASSERT_EQ(plan.footprints.size(), k) << "k=" << k;
+    double area = 0.0;
+    for (const geom::Rect& f : plan.footprints) {
+      EXPECT_FALSE(f.is_empty()) << "k=" << k;
+      EXPECT_TRUE(kExtent.contains(f)) << "k=" << k;
+      area += f.area();
+    }
+    EXPECT_DOUBLE_EQ(area, kExtent.area()) << "k=" << k;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        EXPECT_EQ(plan.footprints[i].overlap_area(plan.footprints[j]), 0.0)
+            << "k=" << k << " shards " << i << "," << j
+            << " overlap beyond a shared border";
+      }
+    }
+  }
+}
+
+TEST(ShardSegments, ZeroShardsClampsToOne) {
+  const core::ShardPlan plan = core::make_shard_plan(kExtent, 0);
+  ASSERT_EQ(plan.footprints.size(), 1u);
+  EXPECT_EQ(plan.footprints[0], kExtent);
+}
+
+// k = 1 must hand back the input verbatim -- same segments, same order,
+// no intersection filtering -- so a one-shard cluster builds exactly the
+// single-engine index.
+TEST(ShardSegments, SingleShardIsByteIdenticalToInput) {
+  const auto lines = data::uniform_segments(200, 100.0, 6.0, 42);
+  const core::ShardedSegments sharded =
+      core::shard_segments(lines, kExtent, 1);
+  ASSERT_EQ(sharded.shards.size(), 1u);
+  EXPECT_EQ(sharded.shards[0], lines);
+  EXPECT_EQ(sharded.assigned, lines.size());
+  EXPECT_EQ(sharded.clones(), 0u);
+}
+
+// A segment lying exactly on the k = 2 split line (x = 50) touches both
+// closed footprints, so the clone rule must put it in both shards.
+TEST(ShardSegments, BoundarySegmentClonedIntoBothShards) {
+  const std::vector<geom::Segment> lines = {
+      {{50.0, 10.0}, {50.0, 90.0}, 7}};
+  const core::ShardedSegments sharded =
+      core::shard_segments(lines, kExtent, 2);
+  ASSERT_EQ(sharded.shards.size(), 2u);
+  ASSERT_EQ(sharded.shards[0].size(), 1u);
+  ASSERT_EQ(sharded.shards[1].size(), 1u);
+  EXPECT_EQ(sharded.shards[0][0].id, 7u);
+  EXPECT_EQ(sharded.shards[1][0].id, 7u);
+  EXPECT_EQ(sharded.assigned, 1u);
+  EXPECT_EQ(sharded.clones(), 1u);
+}
+
+// The main diagonal of a 2x2 plan passes through every quadrant (the
+// center point belongs to all four closed footprints): one input segment,
+// four copies.
+TEST(ShardSegments, SegmentSpanningEveryShard) {
+  const std::vector<geom::Segment> lines = {
+      {{0.0, 0.0}, {100.0, 100.0}, 3}};
+  const core::ShardedSegments sharded =
+      core::shard_segments(lines, kExtent, 4);
+  ASSERT_EQ(sharded.shards.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(sharded.shards[s].size(), 1u) << "shard " << s;
+    EXPECT_EQ(sharded.shards[s][0].id, 3u);
+  }
+  EXPECT_EQ(sharded.assigned, 1u);
+  EXPECT_EQ(sharded.clones(), 3u);
+}
+
+// Data confined to one corner leaves the other shards empty (the cluster
+// unmounts those replicas); nothing is lost or invented.
+TEST(ShardSegments, CornerDataLeavesOtherShardsEmpty) {
+  std::vector<geom::Segment> lines;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double t = 1.0 + static_cast<double>(i);
+    lines.push_back({{t, t}, {t + 2.0, t + 1.0}, static_cast<geom::LineId>(i)});
+  }
+  const core::ShardedSegments sharded =
+      core::shard_segments(lines, kExtent, 4);
+  std::size_t empty = 0, total = 0;
+  for (const auto& shard : sharded.shards) {
+    if (shard.empty()) ++empty;
+    total += shard.size();
+  }
+  EXPECT_EQ(empty, 3u);  // all input lives in [0, 12]^2, one quadrant
+  EXPECT_EQ(total, lines.size());
+  EXPECT_EQ(sharded.assigned, lines.size());
+  EXPECT_EQ(sharded.clones(), 0u);
+}
+
+// The clone invariant on a realistic map: every input segment lands in at
+// least one shard, every stored copy intersects its shard's footprint,
+// and the union of stored ids is exactly the input id set.
+TEST(ShardSegments, CloneInvariantOnGeneratedMaps) {
+  for (const std::size_t k : {2u, 3u, 5u, 8u}) {
+    const auto lines = data::hierarchical_roads(300, 100.0, 9);
+    const core::ShardedSegments sharded =
+        core::shard_segments(lines, kExtent, k);
+    ASSERT_EQ(sharded.shards.size(), k);
+
+    std::set<geom::LineId> stored;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      for (const geom::Segment& seg : sharded.shards[s]) {
+        EXPECT_TRUE(
+            geom::segment_intersects_rect(seg, sharded.plan.footprints[s]))
+            << "k=" << k << " shard " << s
+            << " stores a segment outside its footprint";
+        stored.insert(seg.id);
+        ++total;
+      }
+    }
+    std::set<geom::LineId> input;
+    for (const geom::Segment& seg : lines) input.insert(seg.id);
+    EXPECT_EQ(stored, input) << "k=" << k;
+    EXPECT_EQ(sharded.assigned, lines.size()) << "k=" << k;
+    EXPECT_EQ(sharded.clones(), total - lines.size()) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,163 @@
+// serve::ResultCache: canonical keying, LRU bounds, and epoch-based
+// invalidation -- the properties that make the cluster's memo safe to put
+// in front of exact serving.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace dps {
+namespace {
+
+using serve::CacheOptions;
+using serve::Request;
+using serve::Response;
+using serve::ResultCache;
+
+Request window_rq(double x0, double y0, double x1, double y1) {
+  return Request::window_query(serve::IndexKind::kQuadTree, {x0, y0, x1, y1});
+}
+
+Response ok_ids(std::initializer_list<geom::LineId> ids) {
+  Response r;
+  r.ids = ids;
+  return r;
+}
+
+TEST(ResultCacheTest, MissThenHitRoundTripsPayload) {
+  ResultCache cache(CacheOptions{});
+  const auto key = ResultCache::canonical_key(window_rq(1, 2, 3, 4));
+  Response out;
+  EXPECT_FALSE(cache.lookup(key, out));
+
+  cache.insert(key, ok_ids({3, 5, 8}));
+  ASSERT_TRUE(cache.lookup(key, out));
+  EXPECT_EQ(out.status, serve::Status::kOk);
+  EXPECT_EQ(out.ids, (std::vector<geom::LineId>{3, 5, 8}));
+
+  const serve::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+// The key carries only the fields the request kind uses: a window
+// request's point / k never reach it, a nearest request's window never
+// reaches it, and distinct geometry separates keys.
+TEST(ResultCacheTest, CanonicalKeyIgnoresUnusedPayload) {
+  Request a = window_rq(1, 2, 3, 4);
+  Request b = window_rq(1, 2, 3, 4);
+  b.point = {9.0, 9.0};
+  b.k = 17;
+  b.priority = serve::Priority::kHigh;
+  EXPECT_EQ(ResultCache::canonical_key(a), ResultCache::canonical_key(b));
+
+  Request n1 = Request::nearest_query(serve::IndexKind::kRTree, {5, 6}, 3);
+  Request n2 = Request::nearest_query(serve::IndexKind::kRTree, {5, 6}, 3);
+  n2.window = {0, 0, 50, 50};
+  EXPECT_EQ(ResultCache::canonical_key(n1), ResultCache::canonical_key(n2));
+
+  // But the fields the kind *does* use separate keys.
+  EXPECT_NE(ResultCache::canonical_key(window_rq(1, 2, 3, 4)),
+            ResultCache::canonical_key(window_rq(1, 2, 3, 5)));
+  EXPECT_NE(ResultCache::canonical_key(
+                Request::nearest_query(serve::IndexKind::kRTree, {5, 6}, 3)),
+            ResultCache::canonical_key(
+                Request::nearest_query(serve::IndexKind::kRTree, {5, 6}, 4)));
+  EXPECT_NE(ResultCache::canonical_key(
+                Request::point_query(serve::IndexKind::kQuadTree, {5, 6})),
+            ResultCache::canonical_key(
+                Request::point_query(serve::IndexKind::kRTree, {5, 6})));
+}
+
+TEST(ResultCacheTest, NegativeZeroSharesTheZeroKey) {
+  EXPECT_EQ(ResultCache::canonical_key(window_rq(-0.0, 0.0, 3, 4)),
+            ResultCache::canonical_key(window_rq(0.0, -0.0, 3, 4)));
+}
+
+// Capacity 2: touching A makes B the least recently used, so inserting C
+// evicts B, not A.
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(CacheOptions{true, 2});
+  const auto ka = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+  const auto kb = ResultCache::canonical_key(window_rq(0, 0, 2, 2));
+  const auto kc = ResultCache::canonical_key(window_rq(0, 0, 3, 3));
+  cache.insert(ka, ok_ids({1}));
+  cache.insert(kb, ok_ids({2}));
+  Response out;
+  ASSERT_TRUE(cache.lookup(ka, out));  // refresh A
+  cache.insert(kc, ok_ids({3}));
+
+  EXPECT_TRUE(cache.lookup(ka, out));
+  EXPECT_FALSE(cache.lookup(kb, out)) << "LRU entry should have been evicted";
+  EXPECT_TRUE(cache.lookup(kc, out));
+  const serve::CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ResultCacheTest, BumpEpochDropsEveryEntry) {
+  ResultCache cache(CacheOptions{});
+  const auto ka = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+  const auto kb = ResultCache::canonical_key(window_rq(0, 0, 2, 2));
+  cache.insert(ka, ok_ids({1}));
+  cache.insert(kb, ok_ids({2}));
+  EXPECT_EQ(cache.epoch(), 0u);
+
+  cache.bump_epoch();
+  EXPECT_EQ(cache.epoch(), 1u);
+  Response out;
+  EXPECT_FALSE(cache.lookup(ka, out));
+  EXPECT_FALSE(cache.lookup(kb, out));
+  const serve::CacheStats s = cache.stats();
+  EXPECT_EQ(s.invalidations, 2u);
+  EXPECT_EQ(s.entries, 0u);
+
+  // The cache works again at the new epoch.
+  cache.insert(ka, ok_ids({1}));
+  EXPECT_TRUE(cache.lookup(ka, out));
+}
+
+TEST(ResultCacheTest, OnlyOkResponsesAreMemoized) {
+  ResultCache cache(CacheOptions{});
+  const auto key = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+  Response shed;
+  shed.status = serve::Status::kShedded;
+  shed.ids = {1, 2, 3};
+  cache.insert(key, shed);
+  Response out;
+  EXPECT_FALSE(cache.lookup(key, out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, DisabledOrZeroCapacityNeverStores) {
+  for (const CacheOptions opts :
+       {CacheOptions{false, 4096}, CacheOptions{true, 0}}) {
+    ResultCache cache(opts);
+    const auto key = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+    cache.insert(key, ok_ids({1}));
+    Response out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    const serve::CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);  // a disabled cache is bypassed, not missed
+    EXPECT_EQ(s.entries, 0u);
+  }
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesPayloadInPlace) {
+  ResultCache cache(CacheOptions{true, 2});
+  const auto key = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+  cache.insert(key, ok_ids({1}));
+  cache.insert(key, ok_ids({1, 2}));
+  Response out;
+  ASSERT_TRUE(cache.lookup(key, out));
+  EXPECT_EQ(out.ids, (std::vector<geom::LineId>{1, 2}));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,111 @@
+// ServeMetrics::operator+= folds a shard's ledger into the session ledger
+// after every batch; a field it forgets silently under-reports forever.
+// This test populates *every* field of two ledgers with distinct non-zero
+// values and checks each one after the fold.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/metrics.hpp"
+
+namespace dps {
+namespace {
+
+serve::ServeMetrics filled(std::uint64_t base) {
+  serve::ServeMetrics m;
+  m.batches = base + 1;
+  m.requests = base + 2;
+  m.ok = base + 3;
+  m.expired = base + 4;
+  m.cancelled = base + 5;
+  m.rejected = base + 6;
+  m.shedded = base + 7;
+  m.invalid = base + 8;
+  m.window_requests = base + 9;
+  m.point_requests = base + 10;
+  m.nearest_requests = base + 11;
+  m.dp_groups = base + 12;
+  m.seq_groups = base + 13;
+  m.retries = base + 14;
+  m.seq_fallbacks = base + 15;
+  for (std::size_t p = 0; p < dpv::kNumPrims; ++p) {
+    m.prims.invocations[p] = base + 20 + p;
+    m.prims.elements[p] = base + 40 + p;
+  }
+  m.stages.shard_ms = static_cast<double>(base) + 0.25;
+  m.stages.window_ms = static_cast<double>(base) + 0.5;
+  m.stages.point_ms = static_cast<double>(base) + 0.75;
+  m.stages.nearest_ms = static_cast<double>(base) + 1.25;
+  m.stages.merge_ms = static_cast<double>(base) + 1.5;
+  // One latency sample per octave bucket: record 2^b microseconds.
+  for (std::size_t b = 0; b < serve::LatencyHistogram::kBuckets; ++b) {
+    for (std::uint64_t r = 0; r <= base % 3; ++r) {
+      m.latency.record(static_cast<double>(std::uint64_t{1} << b));
+    }
+  }
+  return m;
+}
+
+TEST(ServeMetricsTest, FoldCoversEveryField) {
+  const serve::ServeMetrics a = filled(100);
+  const serve::ServeMetrics b = filled(5000);
+  serve::ServeMetrics sum = a;
+  sum += b;
+
+  EXPECT_EQ(sum.batches, a.batches + b.batches);
+  EXPECT_EQ(sum.requests, a.requests + b.requests);
+  EXPECT_EQ(sum.ok, a.ok + b.ok);
+  EXPECT_EQ(sum.expired, a.expired + b.expired);
+  EXPECT_EQ(sum.cancelled, a.cancelled + b.cancelled);
+  EXPECT_EQ(sum.rejected, a.rejected + b.rejected);
+  EXPECT_EQ(sum.shedded, a.shedded + b.shedded);
+  EXPECT_EQ(sum.invalid, a.invalid + b.invalid);
+  EXPECT_EQ(sum.window_requests, a.window_requests + b.window_requests);
+  EXPECT_EQ(sum.point_requests, a.point_requests + b.point_requests);
+  EXPECT_EQ(sum.nearest_requests, a.nearest_requests + b.nearest_requests);
+  EXPECT_EQ(sum.dp_groups, a.dp_groups + b.dp_groups);
+  EXPECT_EQ(sum.seq_groups, a.seq_groups + b.seq_groups);
+  EXPECT_EQ(sum.retries, a.retries + b.retries);
+  EXPECT_EQ(sum.seq_fallbacks, a.seq_fallbacks + b.seq_fallbacks);
+
+  for (std::size_t p = 0; p < dpv::kNumPrims; ++p) {
+    EXPECT_EQ(sum.prims.invocations[p],
+              a.prims.invocations[p] + b.prims.invocations[p])
+        << "prim " << p;
+    EXPECT_EQ(sum.prims.elements[p], a.prims.elements[p] + b.prims.elements[p])
+        << "prim " << p;
+  }
+
+  EXPECT_DOUBLE_EQ(sum.stages.shard_ms, a.stages.shard_ms + b.stages.shard_ms);
+  EXPECT_DOUBLE_EQ(sum.stages.window_ms,
+                   a.stages.window_ms + b.stages.window_ms);
+  EXPECT_DOUBLE_EQ(sum.stages.point_ms, a.stages.point_ms + b.stages.point_ms);
+  EXPECT_DOUBLE_EQ(sum.stages.nearest_ms,
+                   a.stages.nearest_ms + b.stages.nearest_ms);
+  EXPECT_DOUBLE_EQ(sum.stages.merge_ms, a.stages.merge_ms + b.stages.merge_ms);
+
+  EXPECT_EQ(sum.latency.count(), a.latency.count() + b.latency.count());
+  for (std::size_t bkt = 0; bkt < serve::LatencyHistogram::kBuckets; ++bkt) {
+    EXPECT_EQ(sum.latency.buckets()[bkt],
+              a.latency.buckets()[bkt] + b.latency.buckets()[bkt])
+        << "bucket " << bkt;
+  }
+}
+
+// Folding into a default-constructed ledger reproduces the source ledger
+// (zero is the identity).
+TEST(ServeMetricsTest, ZeroIsIdentity) {
+  const serve::ServeMetrics a = filled(7);
+  serve::ServeMetrics sum;
+  sum += a;
+  EXPECT_EQ(sum.batches, a.batches);
+  EXPECT_EQ(sum.requests, a.requests);
+  EXPECT_EQ(sum.retries, a.retries);
+  EXPECT_EQ(sum.seq_fallbacks, a.seq_fallbacks);
+  EXPECT_EQ(sum.latency.count(), a.latency.count());
+  EXPECT_EQ(sum.prims.total_invocations(), a.prims.total_invocations());
+}
+
+}  // namespace
+}  // namespace dps
