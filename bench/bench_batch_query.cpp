@@ -116,6 +116,25 @@ void write_json(const char* path, const std::vector<Series>& series,
     std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", base, off / on);
     first = false;
   }
+  // Sequential-baseline p50 over dp p50 at the same batch size: > 1 means
+  // the dp pipeline wins.  The acceptance target for the SIMD backend is
+  // window >= 1 at engine batch sizes; knn is recorded honestly either way.
+  std::fprintf(f, "},\n  \"seq_over_dp_p50\": {");
+  first = true;
+  const char* pairs[][2] = {{"window_pmr", "seq_window_pmr"},
+                            {"window_rtree", "seq_window_rtree"},
+                            {"knn_pmr", "seq_knn_pmr"},
+                            {"knn_rtree", "seq_knn_rtree"}};
+  for (const auto& pr : pairs) {
+    double dp = 0.0, sq = 0.0;
+    for (const Series& s : series) {
+      if (s.pipeline == pr[0] && !s.arena) dp = s.p50_ns;
+      if (s.pipeline == pr[1]) sq = s.p50_ns;
+    }
+    if (dp <= 0.0 || sq <= 0.0) continue;
+    std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", pr[0], sq / dp);
+    first = false;
+  }
   std::fprintf(f, "}\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -268,6 +287,35 @@ int main(int argc, char** argv) {
       return core::batch_k_nearest(c, rtree, points, knn_k);
     }));
   }
+
+  // Sequential baselines through the same rep/percentile harness, so the
+  // JSON records the dp-vs-sequential p50 comparison at the engine batch
+  // size (512).  `candidates` for these series is the total hit count.
+  struct Hits {
+    std::size_t candidates = 0;
+  };
+  series.push_back(measure("seq_window_pmr", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& w : windows) h.candidates += core::window_query(pmr, w).size();
+    return h;
+  }));
+  series.push_back(measure("seq_window_rtree", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& w : windows) h.candidates += core::window_query(rtree, w).size();
+    return h;
+  }));
+  series.push_back(measure("seq_knn_pmr", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& p : points) h.candidates += core::k_nearest(pmr, p, knn_k).size();
+    return h;
+  }));
+  series.push_back(measure("seq_knn_rtree", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& p : points) {
+      h.candidates += core::k_nearest(rtree, p, knn_k).size();
+    }
+    return h;
+  }));
 
   std::printf("\n== arena A/B, %zu queries per batch ==\n", q);
   std::printf("%-14s %8s %12s %12s %14s\n", "pipeline", "arena", "p50(ns/q)",

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "dpv/distribute.hpp"
+#include "dpv/fused.hpp"
+#include "dpv/simd.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -25,6 +27,11 @@ constexpr std::size_t kControlStride = 64;
 constexpr std::size_t kMinBeam = 4;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Structure-of-arrays tile width for the batched geometry kernels: large
+// enough to amortize the gather into lane-parallel form, small enough to
+// stay in L1 (a 6 x 512 x 8B tile is 24KiB).
+constexpr std::size_t kGeomTile = 512;
 
 // Per-query candidate pool: at most ks[q] (id, distance^2) entries per
 // query, kept sorted by (query, distance^2, id) between merges.
@@ -87,31 +94,24 @@ void merge_candidates(dpv::Context& ctx, Pool& pool,
   pool.id = prim::apply_duplicate_deletion(ctx, plan, pool.id);
   pool.d2 = prim::apply_duplicate_deletion(ctx, plan, pool.d2);
 
-  // Rank within each query group (segmented exclusive +-scan of ones);
+  // Rank within each query group, fused with the rank < k select (one
+  // blocked pass instead of head-flags + segmented scan + select map);
   // the rank-(k-1) element is the current kth-best, whose distance
   // becomes the query's new frontier bound, and ranks >= k can never
   // reach a final answer (k smaller (d2, id) pairs already exist), so
   // they are truncated to keep the pool linear in sum(ks).
   const std::size_t m = pool.size();
-  dpv::Flags heads = dpv::tabulate(ctx, m, [&](std::size_t i) {
-    return static_cast<std::uint8_t>(i > 0 && pool.q[i] != pool.q[i - 1]);
-  });
-  dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, m, 1);
-  dpv::Vec<std::size_t> rank = dpv::seg_scan(
-      ctx, dpv::Plus<std::size_t>{}, ones, heads, dpv::Dir::kUp,
-      dpv::Incl::kExclusive);
+  dpv::Vec<std::size_t> rank;
+  dpv::Flags keep = dpv::fused_group_rank_select(
+      ctx, pool.q, [&](std::uint32_t q) { return ks[q]; }, &rank);
   dpv::Flags kth = dpv::tabulate(ctx, m, [&](std::size_t i) {
     return static_cast<std::uint8_t>(rank[i] + 1 == ks[pool.q[i]]);
   });
   dpv::Index dest = dpv::map(
       ctx, pool.q, [](std::uint32_t q) { return std::size_t{q}; });
   dpv::scatter(ctx, pool.d2, dest, kth, bound);
-  dpv::Flags keep = dpv::tabulate(ctx, m, [&](std::size_t i) {
-    return static_cast<std::uint8_t>(rank[i] < ks[pool.q[i]]);
-  });
-  pool.q = dpv::pack(ctx, pool.q, keep);
-  pool.id = dpv::pack(ctx, pool.id, keep);
-  pool.d2 = dpv::pack(ctx, pool.d2, keep);
+  std::tie(pool.q, pool.id, pool.d2) =
+      dpv::multi_pack(ctx, keep, pool.q, pool.id, pool.d2);
 }
 
 // Shared frontier descent, parameterized over the tree adapter.  `Ops`
@@ -183,17 +183,39 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
     }
     ++out.rounds;
 
-    // MINDIST elementwise; prune pairs that cannot beat the bound.
-    dpv::Vec<double> md = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
-      return ops.mindist(fnode[i], points[fq[i]]);
+    // MINDIST elementwise on SoA tiles through the batched geometry kernel
+    // (bitwise Rect::distance2), fused with the bound prune; the survivors
+    // of all three columns compact in one fused pack.
+    const std::size_t fn = fq.size();
+    dpv::Vec<double> md(fn);
+    dpv::Flags live(fn);
+    ctx.for_blocks(fn, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      const auto& gk = dpv::simd::kernels();
+      double px[kGeomTile], py[kGeomTile];
+      double xmin[kGeomTile], ymin[kGeomTile];
+      double xmax[kGeomTile], ymax[kGeomTile];
+      for (std::size_t t = lo; t < hi; t += kGeomTile) {
+        const std::size_t w = std::min(kGeomTile, hi - t);
+        for (std::size_t j = 0; j < w; ++j) {
+          const geom::Point& p = points[fq[t + j]];
+          px[j] = p.x;
+          py[j] = p.y;
+          const geom::Rect r = ops.node_rect(fnode[t + j]);
+          xmin[j] = r.xmin;
+          ymin[j] = r.ymin;
+          xmax[j] = r.xmax;
+          ymax[j] = r.ymax;
+        }
+        gk.mindist_point_rect(px, py, xmin, ymin, xmax, ymax, md.data() + t, w);
+        for (std::size_t j = 0; j < w; ++j) {
+          live[t + j] = md[t + j] <= bound[fq[t + j]] ? 1 : 0;
+        }
+      }
     });
-    dpv::Flags live = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
-      return static_cast<std::uint8_t>(md[i] <= bound[fq[i]]);
-    });
-    fq = dpv::pack(ctx, fq, live);
-    fnode = dpv::pack(ctx, fnode, live);
+    ctx.count(dpv::Prim::kElementwise, fn);  // MINDIST
+    ctx.count(dpv::Prim::kElementwise, fn);  // bound prune
+    std::tie(fq, fnode, md) = dpv::multi_pack(ctx, live, fq, fnode, md);
     if (fq.empty()) break;
-    md = dpv::pack(ctx, md, live);
 
     // Pairs deferred to the next round by the beam selection below.
     dpv::Vec<std::uint32_t> dq;
@@ -204,38 +226,32 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
     // the max(kMinBeam, k) closest pairs this round.  The rest are
     // deferred -- re-pruned next round against the tightened bound, never
     // dropped, so the answer is exact.
+    //
+    // One radix sort on the composite (query << 32 | top-32-bits-of-
+    // MINDIST-key) replaces the previous by-query sort + exact segmented
+    // 64-bit sort.  Quantizing MINDIST to 32 bits only affects the order
+    // in which near-tied pairs are expanded vs deferred -- deferral is
+    // never deletion, so the final answers are unchanged (the property
+    // the beam relies on anyway).  The rank + threshold select then runs
+    // as one fused pass, and the defer/select compactions share their
+    // position scans.
     {
-      dpv::Vec<std::uint64_t> qkey = dpv::map(
-          ctx, fq, [](std::uint32_t q) { return std::uint64_t{q}; });
-      const dpv::Index by_q = dpv::sort_keys_indices(ctx, qkey, 32);
-      fq = dpv::gather(ctx, fq, by_q);
-      fnode = dpv::gather(ctx, fnode, by_q);
-      md = dpv::gather(ctx, md, by_q);
-      dpv::Flags seg = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
-        return static_cast<std::uint8_t>(i > 0 && fq[i] != fq[i - 1]);
-      });
-      dpv::Vec<std::uint64_t> mkey = dpv::map(
-          ctx, md, [](double d) { return dpv::key_from_double(d); });
-      const dpv::Index by_md = dpv::seg_sort_indices64(ctx, mkey, seg);
-      fq = dpv::gather(ctx, fq, by_md);
-      fnode = dpv::gather(ctx, fnode, by_md);
-      // The segmented sort permutes within query groups only, so `seg`
-      // still marks the group heads.
-      dpv::Vec<std::size_t> ones = dpv::constant<std::size_t>(ctx, fq.size(), 1);
-      dpv::Vec<std::size_t> rank = dpv::seg_scan(
-          ctx, dpv::Plus<std::size_t>{}, ones, seg, dpv::Dir::kUp,
-          dpv::Incl::kExclusive);
-      dpv::Flags sel = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
-        return static_cast<std::uint8_t>(
-            rank[i] < std::max(kMinBeam, ks[fq[i]]));
-      });
+      dpv::Vec<std::uint64_t> bkey =
+          dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+            return (std::uint64_t{fq[i]} << 32) |
+                   (dpv::key_from_double(md[i]) >> 32);
+          });
+      const dpv::Index by_beam = dpv::sort_keys_indices(ctx, bkey, 64);
+      fq = dpv::gather(ctx, fq, by_beam);
+      fnode = dpv::gather(ctx, fnode, by_beam);
+      dpv::Flags sel = dpv::fused_group_rank_select(
+          ctx, fq,
+          [&](std::uint32_t q) { return std::max(kMinBeam, ks[q]); });
       dpv::Flags defer = dpv::map(ctx, sel, [](std::uint8_t s) {
         return static_cast<std::uint8_t>(!s);
       });
-      dq = dpv::pack(ctx, fq, defer);
-      dnode = dpv::pack(ctx, fnode, defer);
-      fq = dpv::pack(ctx, fq, sel);
-      fnode = dpv::pack(ctx, fnode, sel);
+      std::tie(dq, dnode) = dpv::multi_pack(ctx, defer, fq, fnode);
+      std::tie(fq, fnode) = dpv::multi_pack(ctx, sel, fq, fnode);
     }
 
     // Peel off leaf pairs.
@@ -245,10 +261,8 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
     dpv::Flags is_internal = dpv::map(ctx, is_leaf, [](std::uint8_t l) {
       return static_cast<std::uint8_t>(!l);
     });
-    dpv::Vec<std::uint32_t> leaf_q = dpv::pack(ctx, fq, is_leaf);
-    dpv::Vec<std::int32_t> leaf_n = dpv::pack(ctx, fnode, is_leaf);
-    fq = dpv::pack(ctx, fq, is_internal);
-    fnode = dpv::pack(ctx, fnode, is_internal);
+    auto [leaf_q, leaf_n] = dpv::multi_pack(ctx, is_leaf, fq, fnode);
+    std::tie(fq, fnode) = dpv::multi_pack(ctx, is_internal, fq, fnode);
 
     // Leaf pairs expand into (query, segment) candidates, scored
     // elementwise, pre-filtered against the (pre-merge) bound, and merged
@@ -266,18 +280,42 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
               const std::size_t i = e.src[j];
               return ops.entry(leaf_n[i], j - e.offsets[i]).id;
             });
-        dpv::Vec<double> cd2 = dpv::tabulate(
-            ctx, e.total, [&](std::size_t j) {
-              const std::size_t i = e.src[j];
-              const geom::Segment& s = ops.entry(leaf_n[i], j - e.offsets[i]);
-              return geom::distance2_point_segment(points[cq[j]], s.a, s.b);
+        // Point-segment distance on SoA tiles through the batched kernel
+        // (bitwise geom::distance2_point_segment), fused with the bound
+        // pre-filter; the three surviving columns compact in one pass.
+        dpv::Vec<double> cd2(e.total);
+        dpv::Flags close(e.total);
+        ctx.for_blocks(
+            e.total, [&](std::size_t, std::size_t lo, std::size_t hi) {
+              const auto& gk = dpv::simd::kernels();
+              double px[kGeomTile], py[kGeomTile];
+              double sax[kGeomTile], say[kGeomTile];
+              double sbx[kGeomTile], sby[kGeomTile];
+              for (std::size_t t = lo; t < hi; t += kGeomTile) {
+                const std::size_t w = std::min(kGeomTile, hi - t);
+                for (std::size_t j = 0; j < w; ++j) {
+                  const std::size_t i = e.src[t + j];
+                  const geom::Segment& s =
+                      ops.entry(leaf_n[i], t + j - e.offsets[i]);
+                  const geom::Point& p = points[cq[t + j]];
+                  px[j] = p.x;
+                  py[j] = p.y;
+                  sax[j] = s.a.x;
+                  say[j] = s.a.y;
+                  sbx[j] = s.b.x;
+                  sby[j] = s.b.y;
+                }
+                gk.dist2_point_segment(px, py, sax, say, sbx, sby,
+                                       cd2.data() + t, w);
+                for (std::size_t j = 0; j < w; ++j) {
+                  close[t + j] = cd2[t + j] <= bound[cq[t + j]] ? 1 : 0;
+                }
+              }
             });
-        dpv::Flags close = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
-          return static_cast<std::uint8_t>(cd2[j] <= bound[cq[j]]);
-        });
-        merge_candidates(ctx, pool, dpv::pack(ctx, cq, close),
-                         dpv::pack(ctx, cid, close),
-                         dpv::pack(ctx, cd2, close), ks, bound);
+        ctx.count(dpv::Prim::kElementwise, e.total);  // distance
+        ctx.count(dpv::Prim::kElementwise, e.total);  // bound pre-filter
+        auto [mq, mid, md2] = dpv::multi_pack(ctx, close, cq, cid, cd2);
+        merge_candidates(ctx, pool, mq, mid, md2, ks, bound);
       }
     }
 
@@ -332,8 +370,11 @@ struct QuadOps {
     return tree.num_nodes() == 0 || tree.num_qedges() == 0;
   }
   std::int32_t root() const { return 0; }
+  geom::Rect node_rect(std::int32_t n) const {
+    return tree.nodes()[n].block.rect(tree.world());
+  }
   double mindist(std::int32_t n, const geom::Point& p) const {
-    return tree.nodes()[n].block.rect(tree.world()).distance2(p);
+    return node_rect(n).distance2(p);
   }
   bool is_leaf(std::int32_t n) const { return tree.nodes()[n].is_leaf; }
   std::size_t child_count(std::int32_t n) const {
@@ -384,8 +425,9 @@ struct RtreeOps {
 
   bool empty() const { return tree.num_nodes() == 0 || tree.empty(); }
   std::int32_t root() const { return 0; }
+  geom::Rect node_rect(std::int32_t n) const { return tree.nodes()[n].mbr; }
   double mindist(std::int32_t n, const geom::Point& p) const {
-    return tree.nodes()[n].mbr.distance2(p);
+    return node_rect(n).distance2(p);
   }
   bool is_leaf(std::int32_t n) const { return tree.nodes()[n].is_leaf; }
   std::size_t child_count(std::int32_t n) const {

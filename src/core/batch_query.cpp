@@ -1,6 +1,7 @@
 #include "core/batch_query.hpp"
 
 #include "core/batch_emit.hpp"
+#include "core/geom_tiles.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -59,12 +60,16 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const QuadTree& tree,
     return out;
   }
 
-  // Elementwise intersection test over all candidates at once.
-  dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
-    const geom::Segment& s = tree.edges()[cand_edge[i]];
-    return static_cast<std::uint8_t>(
-        geom::segment_intersects_rect(s, windows[cand_window[i]]));
-  });
+  // Elementwise intersection test over all candidates at once, on SoA
+  // tiles through the batched clip kernel.
+  dpv::Flags hit = tile_segment_intersects_rect(
+      ctx, n,
+      [&](std::size_t i) -> const geom::Segment& {
+        return tree.edges()[cand_edge[i]];
+      },
+      [&](std::size_t i) -> const geom::Rect& {
+        return windows[cand_window[i]];
+      });
 
   // Pack survivors, sort by (window, line id), concentrate duplicates.
   if (batch_aborting(ctx, control)) {
@@ -134,11 +139,14 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const QuadTree& tree,
     return out;
   }
 
-  dpv::Flags hit = dpv::tabulate(ctx, n, [&](std::size_t i) {
-    const geom::Segment& s = tree.edges()[cand_edge[i]];
-    const geom::Point& p = points[cand_point[i]];
-    return static_cast<std::uint8_t>(geom::point_on_segment(p, s.a, s.b));
-  });
+  dpv::Flags hit = tile_point_on_segment(
+      ctx, n,
+      [&](std::size_t i) -> const geom::Point& {
+        return points[cand_point[i]];
+      },
+      [&](std::size_t i) -> const geom::Segment& {
+        return tree.edges()[cand_edge[i]];
+      });
   dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(ctx, n, [&](std::size_t i) {
     return (std::uint64_t{cand_point[i]} << 32) | tree.edges()[cand_edge[i]].id;
   });

@@ -1,0 +1,127 @@
+#pragma once
+// Structure-of-arrays tile drivers for the batched geometry kernels.
+//
+// The batch pipelines score (query, candidate) pairs with scalar geometry
+// predicates called one pair at a time through pointer-chasing accessors.
+// These drivers gather a tile of pairs into stack-resident SoA buffers and
+// run the whole tile through the dpv::simd kernel table, so leaf tests and
+// frontier pruning execute lane-parallel under AVX2 while remaining
+// bit-identical to the scalar predicates (the kernels mirror
+// geom/predicates.cpp operation-for-operation).
+//
+// Accessor callables are invoked once per element, in order, from inside
+// Context::for_blocks -- they must be safe to call concurrently for
+// disjoint index ranges (pure reads of the tree/query containers are).
+// Each driver is one elementwise primitive on the Context ledger.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "dpv/context.hpp"
+#include "dpv/simd.hpp"
+#include "dpv/vector.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace dps::core {
+
+// Tile width: 6 double columns x 512 lanes x 8B = 24KiB, comfortably L1
+// resident alongside the output bytes.
+inline constexpr std::size_t kGeomTile = 512;
+
+/// out[i] = segment seg_at(i) intersects rect rect_at(i)
+/// (geom::segment_intersects_rect, bit-identical).
+template <typename SegAt, typename RectAt>
+dpv::Flags tile_segment_intersects_rect(dpv::Context& ctx, std::size_t n,
+                                        SegAt&& seg_at, RectAt&& rect_at) {
+  dpv::Flags out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    const auto& gk = dpv::simd::kernels();
+    double ax[kGeomTile], ay[kGeomTile], bx[kGeomTile], by[kGeomTile];
+    double rxmin[kGeomTile], rymin[kGeomTile];
+    double rxmax[kGeomTile], rymax[kGeomTile];
+    for (std::size_t t = lo; t < hi; t += kGeomTile) {
+      const std::size_t w = std::min(kGeomTile, hi - t);
+      for (std::size_t j = 0; j < w; ++j) {
+        const geom::Segment& s = seg_at(t + j);
+        ax[j] = s.a.x;
+        ay[j] = s.a.y;
+        bx[j] = s.b.x;
+        by[j] = s.b.y;
+        const geom::Rect& r = rect_at(t + j);
+        rxmin[j] = r.xmin;
+        rymin[j] = r.ymin;
+        rxmax[j] = r.xmax;
+        rymax[j] = r.ymax;
+      }
+      gk.segment_intersects_rect(ax, ay, bx, by, rxmin, rymin, rxmax, rymax,
+                                 out.data() + t, w);
+    }
+  });
+  ctx.count(dpv::Prim::kElementwise, n);
+  return out;
+}
+
+/// out[i] = point point_at(i) lies on segment seg_at(i)
+/// (geom::point_on_segment, bit-identical).
+template <typename PointAt, typename SegAt>
+dpv::Flags tile_point_on_segment(dpv::Context& ctx, std::size_t n,
+                                 PointAt&& point_at, SegAt&& seg_at) {
+  dpv::Flags out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    const auto& gk = dpv::simd::kernels();
+    double px[kGeomTile], py[kGeomTile];
+    double ax[kGeomTile], ay[kGeomTile], bx[kGeomTile], by[kGeomTile];
+    for (std::size_t t = lo; t < hi; t += kGeomTile) {
+      const std::size_t w = std::min(kGeomTile, hi - t);
+      for (std::size_t j = 0; j < w; ++j) {
+        const geom::Point& p = point_at(t + j);
+        px[j] = p.x;
+        py[j] = p.y;
+        const geom::Segment& s = seg_at(t + j);
+        ax[j] = s.a.x;
+        ay[j] = s.a.y;
+        bx[j] = s.b.x;
+        by[j] = s.b.y;
+      }
+      gk.point_on_segment(px, py, ax, ay, bx, by, out.data() + t, w);
+    }
+  });
+  ctx.count(dpv::Prim::kElementwise, n);
+  return out;
+}
+
+/// out[i] = MINDIST^2 from point point_at(i) to rect rect_at(i)
+/// (Rect::distance2, bit-identical).
+template <typename PointAt, typename RectAt>
+dpv::Vec<double> tile_mindist_point_rect(dpv::Context& ctx, std::size_t n,
+                                         PointAt&& point_at,
+                                         RectAt&& rect_at) {
+  dpv::Vec<double> out(n);
+  ctx.for_blocks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    const auto& gk = dpv::simd::kernels();
+    double px[kGeomTile], py[kGeomTile];
+    double xmin[kGeomTile], ymin[kGeomTile];
+    double xmax[kGeomTile], ymax[kGeomTile];
+    for (std::size_t t = lo; t < hi; t += kGeomTile) {
+      const std::size_t w = std::min(kGeomTile, hi - t);
+      for (std::size_t j = 0; j < w; ++j) {
+        const geom::Point& p = point_at(t + j);
+        px[j] = p.x;
+        py[j] = p.y;
+        const geom::Rect r = rect_at(t + j);
+        xmin[j] = r.xmin;
+        ymin[j] = r.ymin;
+        xmax[j] = r.xmax;
+        ymax[j] = r.ymax;
+      }
+      gk.mindist_point_rect(px, py, xmin, ymin, xmax, ymax, out.data() + t, w);
+    }
+  });
+  ctx.count(dpv::Prim::kElementwise, n);
+  return out;
+}
+
+}  // namespace dps::core

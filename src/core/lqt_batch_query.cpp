@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <cstdint>
 
+#include <tuple>
+
 #include "core/batch_emit.hpp"
 #include "core/batch_query.hpp"
+#include "core/geom_tiles.hpp"
 #include "core/linear_quadtree.hpp"
 #include "dpv/distribute.hpp"
+#include "dpv/fused.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -69,10 +73,8 @@ BatchQueryResult lqt_batch_window_impl(dpv::Context& ctx,
           flo[i] < fhi[i] &&
           fblock[i].rect(tree.world()).intersects(windows[fwin[i]]));
     });
-    fwin = dpv::pack(ctx, fwin, live);
-    fblock = dpv::pack(ctx, fblock, live);
-    flo = dpv::pack(ctx, flo, live);
-    fhi = dpv::pack(ctx, fhi, live);
+    std::tie(fwin, fblock, flo, fhi) =
+        dpv::multi_pack(ctx, live, fwin, fblock, flo, fhi);
     if (fwin.empty()) break;
 
     // Peel tuples whose interval is exactly their own stored leaf.  (Path
@@ -85,14 +87,11 @@ BatchQueryResult lqt_batch_window_impl(dpv::Context& ctx,
     dpv::Flags internal = dpv::map(ctx, stored, [](std::uint8_t s) {
       return static_cast<std::uint8_t>(!s);
     });
-    dpv::Vec<std::uint32_t> leaf_w = dpv::pack(ctx, fwin, stored);
-    dpv::Vec<std::size_t> leaf_i = dpv::pack(ctx, flo, stored);
+    auto [leaf_w, leaf_i] = dpv::multi_pack(ctx, stored, fwin, flo);
     lwin.insert(lwin.end(), leaf_w.begin(), leaf_w.end());
     lleaf.insert(lleaf.end(), leaf_i.begin(), leaf_i.end());
-    fwin = dpv::pack(ctx, fwin, internal);
-    fblock = dpv::pack(ctx, fblock, internal);
-    flo = dpv::pack(ctx, flo, internal);
-    fhi = dpv::pack(ctx, fhi, internal);
+    std::tie(fwin, fblock, flo, fhi) =
+        dpv::multi_pack(ctx, internal, fwin, fblock, flo, fhi);
     if (fwin.empty()) break;
 
     // Expand into the four children.  ranks[4i + q] = lower bound of child
@@ -133,14 +132,16 @@ BatchQueryResult lqt_batch_window_impl(dpv::Context& ctx,
   const dpv::Expansion e = dpv::distribute(ctx, ecounts);
   out.candidates = e.total;
   if (e.total == 0) return out;
-  dpv::Flags hit = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
-    const std::size_t i = e.src[j];
-    const LinearQuadTree::Leaf& leaf = leaves[lleaf[i]];
-    const geom::Segment& s =
-        tree.edges()[leaf.first_edge + (j - e.offsets[i])];
-    return static_cast<std::uint8_t>(
-        geom::segment_intersects_rect(s, windows[lwin[i]]));
-  });
+  dpv::Flags hit = tile_segment_intersects_rect(
+      ctx, e.total,
+      [&](std::size_t j) -> const geom::Segment& {
+        const std::size_t i = e.src[j];
+        const LinearQuadTree::Leaf& leaf = leaves[lleaf[i]];
+        return tree.edges()[leaf.first_edge + (j - e.offsets[i])];
+      },
+      [&](std::size_t j) -> const geom::Rect& {
+        return windows[lwin[e.src[j]]];
+      });
   dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(
       ctx, e.total, [&](std::size_t j) {
         const std::size_t i = e.src[j];

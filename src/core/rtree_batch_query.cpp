@@ -1,22 +1,28 @@
 #include "core/batch_query.hpp"
 
 #include "core/batch_emit.hpp"
+#include "core/geom_tiles.hpp"
 #include "dpv/distribute.hpp"
+#include "dpv/fused.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
+
+#include <tuple>
 
 namespace dps::core {
 
 namespace {
 
 // Shared frontier descent for the R-tree batch pipelines.  `prune(q, node)`
-// keeps a (query, node) pair alive; `test(q, entry)` is the elementwise leaf
-// test.  Both query kinds descend the same way: one tree level per round,
-// prune / pack / peel leaves / scan-distributed child expansion.
-template <typename Prune, typename Test>
+// keeps a (query, node) pair alive; `test_batch(ctx, n, q_at, seg_at)` runs
+// the leaf test over all n (query, entry) candidates at once (the query
+// kinds plug in an SoA tile driver from core/geom_tiles.hpp).  Both query
+// kinds descend the same way: one tree level per round, prune / pack / peel
+// leaves / scan-distributed child expansion.
+template <typename Prune, typename TestBatch>
 BatchQueryResult rtree_batch_descend(dpv::Context& ctx, const RTree& tree,
                                      std::size_t num_queries, Prune&& prune,
-                                     Test&& test,
+                                     TestBatch&& test_batch,
                                      const BatchControl& control) {
   BatchQueryResult out;
   out.results.resize(num_queries);
@@ -45,8 +51,7 @@ BatchQueryResult rtree_batch_descend(dpv::Context& ctx, const RTree& tree,
     dpv::Flags live = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
       return static_cast<std::uint8_t>(prune(fq[i], tree.nodes()[fnode[i]]));
     });
-    fq = dpv::pack(ctx, fq, live);
-    fnode = dpv::pack(ctx, fnode, live);
+    std::tie(fq, fnode) = dpv::multi_pack(ctx, live, fq, fnode);
     if (fq.empty()) break;
 
     // Peel off leaf pairs.
@@ -56,12 +61,10 @@ BatchQueryResult rtree_batch_descend(dpv::Context& ctx, const RTree& tree,
     dpv::Flags is_internal = dpv::map(ctx, is_leaf, [](std::uint8_t l) {
       return static_cast<std::uint8_t>(!l);
     });
-    dpv::Vec<std::uint32_t> leaf_q = dpv::pack(ctx, fq, is_leaf);
-    dpv::Vec<std::int32_t> leaf_n = dpv::pack(ctx, fnode, is_leaf);
+    auto [leaf_q, leaf_n] = dpv::multi_pack(ctx, is_leaf, fq, fnode);
     lq.insert(lq.end(), leaf_q.begin(), leaf_q.end());
     lnode.insert(lnode.end(), leaf_n.begin(), leaf_n.end());
-    fq = dpv::pack(ctx, fq, is_internal);
-    fnode = dpv::pack(ctx, fnode, is_internal);
+    std::tie(fq, fnode) = dpv::multi_pack(ctx, is_internal, fq, fnode);
     if (fq.empty()) break;
 
     // Expand each surviving internal pair into its children.
@@ -93,13 +96,13 @@ BatchQueryResult rtree_batch_descend(dpv::Context& ctx, const RTree& tree,
   const dpv::Expansion e = dpv::distribute(ctx, ecounts);
   out.candidates = e.total;
   if (e.total == 0) return out;
-  dpv::Flags hit = dpv::tabulate(ctx, e.total, [&](std::size_t j) {
-    const std::size_t i = e.src[j];
-    const RTree::Node& leaf = tree.nodes()[lnode[i]];
-    const geom::Segment& s =
-        tree.entries()[leaf.first_entry + (j - e.offsets[i])];
-    return static_cast<std::uint8_t>(test(lq[i], s));
-  });
+  dpv::Flags hit = test_batch(
+      ctx, e.total, [&](std::size_t j) { return lq[e.src[j]]; },
+      [&](std::size_t j) -> const geom::Segment& {
+        const std::size_t i = e.src[j];
+        const RTree::Node& leaf = tree.nodes()[lnode[i]];
+        return tree.entries()[leaf.first_entry + (j - e.offsets[i])];
+      });
   dpv::Vec<std::uint64_t> pair_key = dpv::tabulate(
       ctx, e.total, [&](std::size_t j) {
         const std::size_t i = e.src[j];
@@ -130,8 +133,11 @@ BatchQueryResult batch_window_query(dpv::Context& ctx, const RTree& tree,
       [&](std::uint32_t w, const RTree::Node& nd) {
         return nd.mbr.intersects(windows[w]);
       },
-      [&](std::uint32_t w, const geom::Segment& s) {
-        return geom::segment_intersects_rect(s, windows[w]);
+      [&](dpv::Context& c, std::size_t n, auto&& q_at, auto&& seg_at) {
+        return tile_segment_intersects_rect(
+            c, n, seg_at, [&](std::size_t j) -> const geom::Rect& {
+              return windows[q_at(j)];
+            });
       },
       control);
 }
@@ -144,8 +150,13 @@ BatchQueryResult batch_point_query(dpv::Context& ctx, const RTree& tree,
       [&](std::uint32_t p, const RTree::Node& nd) {
         return nd.mbr.contains(points[p]);
       },
-      [&](std::uint32_t p, const geom::Segment& s) {
-        return geom::point_on_segment(points[p], s.a, s.b);
+      [&](dpv::Context& c, std::size_t n, auto&& q_at, auto&& seg_at) {
+        return tile_point_on_segment(
+            c, n,
+            [&](std::size_t j) -> const geom::Point& {
+              return points[q_at(j)];
+            },
+            seg_at);
       },
       control);
 }

@@ -14,8 +14,10 @@
 #include "dpv/distribute.hpp"   // IWYU pragma: export
 #include "dpv/elementwise.hpp"  // IWYU pragma: export
 #include "dpv/fault.hpp"        // IWYU pragma: export
+#include "dpv/fused.hpp"        // IWYU pragma: export
 #include "dpv/machine_model.hpp"  // IWYU pragma: export
 #include "dpv/ops.hpp"          // IWYU pragma: export
+#include "dpv/simd.hpp"         // IWYU pragma: export
 #include "dpv/pack.hpp"         // IWYU pragma: export
 #include "dpv/permute.hpp"      // IWYU pragma: export
 #include "dpv/reduce.hpp"       // IWYU pragma: export

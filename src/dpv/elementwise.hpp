@@ -8,9 +8,12 @@
 
 #include <cassert>
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 
 #include "dpv/context.hpp"
+#include "dpv/ops.hpp"
+#include "dpv/simd.hpp"
 #include "dpv/vector.hpp"
 
 namespace dps::dpv {
@@ -30,9 +33,29 @@ auto zip_with(Context& ctx, const Vec<T>& a, const Vec<U>& b, F&& f)
 }
 
 /// result[i] = op(a[i], b[i]) with a same-type result (the paper's ew).
+/// f64 Plus/Min/Max route through the backend kernel table (see simd.hpp);
+/// the kernels are elementwise-exact, so this changes nothing observable.
 template <typename T, typename Op>
 Vec<T> ew(Context& ctx, Op op, const Vec<T>& a, const Vec<T>& b) {
-  return zip_with(ctx, a, b, op);
+  if constexpr (std::is_same_v<T, double> &&
+                (std::is_same_v<Op, Plus<double>> ||
+                 std::is_same_v<Op, Min<double>> ||
+                 std::is_same_v<Op, Max<double>>)) {
+    assert(a.size() == b.size() &&
+           "elementwise operands must have equal length");
+    const auto& ks = simd::kernels();
+    const auto kern = std::is_same_v<Op, Plus<double>>  ? ks.ew_add_f64
+                      : std::is_same_v<Op, Min<double>> ? ks.ew_min_f64
+                                                        : ks.ew_max_f64;
+    Vec<double> out(a.size());
+    ctx.for_blocks(a.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+      kern(a.data() + lo, b.data() + lo, out.data() + lo, hi - lo);
+    });
+    ctx.count(Prim::kElementwise, a.size());
+    return out;
+  } else {
+    return zip_with(ctx, a, b, op);
+  }
 }
 
 /// result[i] = f(a[i]).

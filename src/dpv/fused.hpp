@@ -1,0 +1,146 @@
+#pragma once
+// Fused multi-primitive passes for the hot descent chains.
+//
+// The batch pipelines spend most of their time in short chains of
+// primitives -- mask -> position scan -> K compactions, or head-flags ->
+// segmented rank scan -> threshold select -- where every step materializes
+// a full arena `Vec` only to be consumed by the next step.  A fused pass
+// runs the whole chain in one blocked sweep (the classic three-phase scan
+// skeleton), so the chain touches memory once and the intermediates never
+// exist.
+//
+// Invariants:
+//  * Counter attribution: a fused pass charges the Context one invocation
+//    per constituent primitive category (multi_pack over K vectors is
+//    1 elementwise + 1 scan + K packs; fused_group_rank_select is
+//    2 elementwise + 1 scan), so the cost-model ledger stays comparable
+//    with the unfused composition it replaces.
+//  * Fault injection: each charged invocation polls the armed injector via
+//    Context::count, so a latch can trip mid-fused-pass exactly as it
+//    would mid-chain; pipelines observe it at the same round boundary.
+//  * Results are bitwise identical to the unfused composition (enforced by
+//    tests/test_dpv_fused.cpp against randomized segment layouts).
+//  * Arena discipline is unchanged: outputs are ordinary `Vec`s allocated
+//    under the caller's scope; no live Vec outlasts its arena.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "dpv/context.hpp"
+#include "dpv/vector.hpp"
+
+namespace dps::dpv {
+
+/// Packs the keep[i] != 0 elements of every input vector in one fused pass:
+/// the position scan over `keep` is computed once and shared by all K
+/// compactions (the unfused form runs map+scan+compact per vector).
+/// Returns the packed vectors in input order.
+template <typename... Ts>
+std::tuple<Vec<Ts>...> multi_pack(Context& ctx, const Flags& keep,
+                                  const Vec<Ts>&... data) {
+  static_assert(sizeof...(Ts) > 0, "multi_pack needs at least one vector");
+  const std::size_t n = keep.size();
+  assert(((data.size() == n) && ...) && "multi_pack vectors must match keep");
+  const std::size_t k = std::max<std::size_t>(ctx.block_count(n), 1);
+  // Phase 1+2: per-block kept counts, combined into block base offsets.
+  Vec<std::size_t> base(k + 1, 0);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) c += keep[i] != 0 ? 1 : 0;
+    base[b + 1] = c;
+  });
+  for (std::size_t b = 0; b < k; ++b) base[b + 1] += base[b];
+  ctx.count(Prim::kElementwise, n);  // the keep -> 0/1 map
+  ctx.count(Prim::kScan, n);         // the shared position scan
+  // Phase 3: one sweep compacts every vector; blocks write disjoint ranges.
+  const std::size_t out_n = base[k];
+  std::tuple<Vec<Ts>...> out{Vec<Ts>(out_n)...};
+  auto srcs = std::forward_as_tuple(data...);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t p = base[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (keep[i]) {
+        [&]<std::size_t... I>(std::index_sequence<I...>) {
+          ((std::get<I>(out)[p] = std::get<I>(srcs)[i]), ...);
+        }(std::index_sequence_for<Ts...>{});
+        ++p;
+      }
+    }
+  });
+  for (std::size_t j = 0; j < sizeof...(Ts); ++j) ctx.count(Prim::kPack, n);
+  return out;
+}
+
+/// Fused segmented rank + threshold select over contiguous group ids
+/// (`gid` must be sorted so equal ids are adjacent -- the state of every
+/// post-sort beam/merge step).  For each element: its rank within its
+/// group (0-based) and keep[i] = rank[i] < limit(gid[i]).
+///
+/// Unfused composition this replaces (and is tested against):
+///   heads = tabulate(i == 0 || gid[i] != gid[i-1])        (elementwise)
+///   rank  = seg_scan(+, ones, heads, up, exclusive)       (scan)
+///   keep  = tabulate(rank[i] < limit(gid[i]))             (elementwise)
+/// Optional outputs: `rank_out` (the rank vector) and `heads_out` (the
+/// group-head flags) cost no extra passes when requested.
+template <typename G, typename LimitF>
+Flags fused_group_rank_select(Context& ctx, const Vec<G>& gid, LimitF&& limit,
+                              Vec<std::size_t>* rank_out = nullptr,
+                              Flags* heads_out = nullptr) {
+  const std::size_t n = gid.size();
+  Flags keep(n);
+  if (rank_out != nullptr) rank_out->assign(n, 0);
+  if (heads_out != nullptr) heads_out->assign(n, 0);
+  const std::size_t k = std::max<std::size_t>(ctx.block_count(n), 1);
+  // Phase 1: per-block run summaries -- length of the suffix run of the
+  // block's last gid, and whether the whole block is one run.
+  Vec<std::size_t> tail(k, 0);
+  Flags uniform(k, 1);
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t r = 1;
+    for (std::size_t i = hi - 1; i > lo; --i) {
+      if (!(gid[i - 1] == gid[hi - 1])) break;
+      ++r;
+    }
+    tail[b] = r;
+    uniform[b] = (r == hi - lo) ? 1 : 0;
+  });
+  // Phase 2: serial combine -- rank carried into each block's first element
+  // (0 unless the previous blocks' trailing run continues into it).
+  Vec<std::size_t> carry(k, 0);
+  {
+    std::size_t run = 0;
+    bool have = false;
+    G cur{};
+    for (std::size_t b = 0; b < k; ++b) {
+      const auto [lo, hi] = Context::block_range(n, k, b);
+      if (lo >= hi) continue;
+      const bool cont = have && gid[lo] == cur;
+      carry[b] = cont ? run : 0;
+      run = (uniform[b] && cont) ? run + (hi - lo) : tail[b];
+      cur = gid[hi - 1];
+      have = true;
+    }
+  }
+  // Phase 3: rescan with carries, emitting rank/heads/keep in one sweep.
+  ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+    std::size_t r = carry[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const bool head = i == 0 || !(gid[i] == gid[i - 1]);
+      if (head) r = 0;
+      if (heads_out != nullptr) (*heads_out)[i] = head ? 1 : 0;
+      if (rank_out != nullptr) (*rank_out)[i] = r;
+      keep[i] = r < limit(gid[i]) ? 1 : 0;
+      ++r;
+    }
+  });
+  ctx.count(Prim::kElementwise, n);  // group-head flags
+  ctx.count(Prim::kScan, n);         // segmented rank scan
+  ctx.count(Prim::kElementwise, n);  // threshold select
+  return keep;
+}
+
+}  // namespace dps::dpv

@@ -9,11 +9,14 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
 
 #include "dpv/context.hpp"
 #include "dpv/ops.hpp"
 #include "dpv/pack.hpp"
 #include "dpv/scan.hpp"
+#include "dpv/simd.hpp"
 #include "dpv/vector.hpp"
 
 namespace dps::dpv {
@@ -23,6 +26,26 @@ template <typename T, typename Op>
 T reduce(Context& ctx, Op op, const Vec<T>& data) {
   const std::size_t n = data.size();
   ctx.count(Prim::kReduce, n);
+  // u64 +/| reductions route through the backend kernel table; both
+  // operators are exactly associative so blocked regrouping is exact.
+  if constexpr ((std::is_same_v<T, std::uint64_t> ||
+                 std::is_same_v<T, std::size_t>) &&
+                sizeof(T) == 8 &&
+                (std::is_same_v<Op, Plus<T>> || std::is_same_v<Op, BitOr<T>>)) {
+    const auto kern = std::is_same_v<Op, Plus<T>>
+                          ? simd::kernels().reduce_add_u64
+                          : simd::kernels().reduce_or_u64;
+    const auto* base = reinterpret_cast<const std::uint64_t*>(data.data());
+    const std::size_t kb = ctx.block_count(n);
+    if (kb <= 1) return static_cast<T>(kern(base, n));
+    Vec<std::uint64_t> partial(kb, 0);
+    ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
+      partial[b] = kern(base + lo, hi - lo);
+    });
+    T acc = Op::identity();
+    for (const auto& v : partial) acc = op(acc, static_cast<T>(v));
+    return acc;
+  }
   const std::size_t k = ctx.block_count(n);
   if (k <= 1) {
     T acc = Op::identity();

@@ -17,10 +17,13 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "dpv/context.hpp"
 #include "dpv/ops.hpp"
+#include "dpv/simd.hpp"
 #include "dpv/vector.hpp"
 
 namespace dps::dpv {
@@ -48,6 +51,29 @@ std::pair<Run<T>, bool> scan_block(Op op, const Vec<T>& data,
                                    const Flags* flags, std::size_t lo,
                                    std::size_t hi, Run<T> carry, Incl incl,
                                    Vec<T>* out) {
+  // Unsegmented u64 +-scans go through the backend kernel table: the output
+  // phase is a carry-seeded prefix kernel, the summary phase a reduction.
+  // Integer + is exactly associative, so the blocked regrouping is exact.
+  // (uint64_t and size_t are listed separately for non-LP64 portability.)
+  if constexpr ((std::is_same_v<T, std::uint64_t> ||
+                 std::is_same_v<T, std::size_t>) &&
+                sizeof(T) == 8 && std::is_same_v<Op, Plus<T>>) {
+    if (flags == nullptr && hi > lo) {
+      const bool head = (lo == 0);  // i == 0 is always a segment head
+      std::uint64_t run = (!head && carry.nonempty)
+                              ? static_cast<std::uint64_t>(carry.value)
+                              : 0;
+      const auto* in = reinterpret_cast<const std::uint64_t*>(data.data() + lo);
+      if (out != nullptr) {
+        auto* o = reinterpret_cast<std::uint64_t*>(out->data() + lo);
+        run = simd::kernels().scan_add_u64(in, o, hi - lo, run,
+                                           incl == Incl::kInclusive);
+      } else {
+        run += simd::kernels().reduce_add_u64(in, hi - lo);
+      }
+      return {Run<T>{static_cast<T>(run), true}, head};
+    }
+  }
   bool saw_head = false;
   for (std::size_t i = lo; i < hi; ++i) {
     const bool head = (flags != nullptr && (*flags)[i] != 0) || i == 0;

@@ -1,0 +1,286 @@
+#include "dpv/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dps::dpv::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels.  The geometry kernels mirror geom/predicates.cpp and
+// geom/rect.hpp operation-for-operation: this translation unit is compiled
+// with the same baseline flags, so the results are bitwise identical to the
+// sequential oracle the serving differential tests compare against.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void s_ew_add_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void s_ew_sub_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void s_ew_mul_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void s_ew_min_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = b[i] < a[i] ? b[i] : a[i];
+}
+
+void s_ew_max_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] < b[i] ? b[i] : a[i];
+}
+
+std::uint64_t s_scan_add_u64(const std::uint64_t* in, std::uint64_t* out,
+                             std::size_t n, std::uint64_t carry,
+                             bool inclusive) {
+  if (inclusive) {
+    for (std::size_t i = 0; i < n; ++i) {
+      carry += in[i];
+      out[i] = carry;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = carry;
+      carry += in[i];
+    }
+  }
+  return carry;
+}
+
+std::uint64_t s_reduce_add_u64(const std::uint64_t* in, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += in[i];
+  return acc;
+}
+
+std::uint64_t s_reduce_or_u64(const std::uint64_t* in, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= in[i];
+  return acc;
+}
+
+void s_radix_hist(const std::uint64_t* keys, std::size_t n, unsigned shift,
+                  std::size_t* hist256) {
+  for (std::size_t i = 0; i < n; ++i) {
+    hist256[(keys[i] >> shift) & 0xFFu]++;
+  }
+}
+
+void s_radix_scatter(const std::uint64_t* keys, const std::size_t* order,
+                     std::size_t n, unsigned shift, std::size_t* bucket_pos,
+                     std::uint64_t* out_keys, std::size_t* out_order) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = (keys[i] >> shift) & 0xFFu;
+    const std::size_t p = bucket_pos[d]++;
+    out_keys[p] = keys[i];
+    out_order[p] = order[i];
+  }
+}
+
+void s_mindist_point_rect(const double* px, const double* py,
+                          const double* xmin, const double* ymin,
+                          const double* xmax, const double* ymax, double* out,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] < xmin[i] ? xmin[i] - px[i]
+                                      : (px[i] > xmax[i] ? px[i] - xmax[i]
+                                                         : 0.0);
+    const double dy = py[i] < ymin[i] ? ymin[i] - py[i]
+                                      : (py[i] > ymax[i] ? py[i] - ymax[i]
+                                                         : 0.0);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void s_dist2_point_segment(const double* px, const double* py,
+                           const double* ax, const double* ay,
+                           const double* bx, const double* by, double* out,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = bx[i] - ax[i], dy = by[i] - ay[i];
+    const double len2 = dx * dx + dy * dy;
+    double u = 0.0;
+    if (len2 > 0.0) {
+      u = ((px[i] - ax[i]) * dx + (py[i] - ay[i]) * dy) / len2;
+      u = u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
+    }
+    const double ex = ax[i] + u * dx - px[i];
+    const double ey = ay[i] + u * dy - py[i];
+    out[i] = ex * ex + ey * ey;
+  }
+}
+
+// geom::clip_segment_to_rect, one lane.
+bool s_clip_one(double ax, double ay, double bx, double by, double rxmin,
+                double rymin, double rxmax, double rymax, double& t0,
+                double& t1) {
+  if (rxmin > rxmax || rymin > rymax) return false;  // Rect::is_empty
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  t0 = 0.0;
+  t1 = 1.0;
+  const double denom[4] = {-dx, dx, -dy, dy};
+  const double num[4] = {ax - rxmin, rxmax - ax, ay - rymin, rymax - ay};
+  for (int k = 0; k < 4; ++k) {
+    if (denom[k] == 0.0) {
+      if (num[k] < 0.0) return false;
+      continue;
+    }
+    const double t = num[k] / denom[k];
+    if (denom[k] < 0.0) {
+      if (t > t0) t0 = t;
+    } else {
+      if (t < t1) t1 = t;
+    }
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+void s_segment_intersects_rect(const double* ax, const double* ay,
+                               const double* bx, const double* by,
+                               const double* rxmin, const double* rymin,
+                               const double* rxmax, const double* rymax,
+                               std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double t0, t1;
+    out[i] = s_clip_one(ax[i], ay[i], bx[i], by[i], rxmin[i], rymin[i],
+                        rxmax[i], rymax[i], t0, t1)
+                 ? 1
+                 : 0;
+  }
+}
+
+void s_clip_segment_rect(const double* ax, const double* ay, const double* bx,
+                         const double* by, const double* rxmin,
+                         const double* rymin, const double* rxmax,
+                         const double* rymax, double* t0, double* t1,
+                         std::uint8_t* accept, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    accept[i] = s_clip_one(ax[i], ay[i], bx[i], by[i], rxmin[i], rymin[i],
+                           rxmax[i], rymax[i], t0[i], t1[i])
+                    ? 1
+                    : 0;
+  }
+}
+
+void s_point_on_segment(const double* px, const double* py, const double* ax,
+                        const double* ay, const double* bx, const double* by,
+                        std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // geom::point_on_segment: orient(a, b, p) == 0 and p in bbox(a, b).
+    // orient's sign test maps NaN cross products to 0 (collinear), so the
+    // mirror is !(v > 0) && !(v < 0) rather than v == 0.
+    const double v =
+        (bx[i] - ax[i]) * (py[i] - ay[i]) - (by[i] - ay[i]) * (px[i] - ax[i]);
+    const double xlo = std::min(ax[i], bx[i]), xhi = std::max(ax[i], bx[i]);
+    const double ylo = std::min(ay[i], by[i]), yhi = std::max(ay[i], by[i]);
+    out[i] = (!(v > 0.0) && !(v < 0.0) && xlo <= px[i] && px[i] <= xhi &&
+              ylo <= py[i] && py[i] <= yhi)
+                 ? 1
+                 : 0;
+  }
+}
+
+constexpr Kernels kScalarKernels = {
+    s_ew_add_f64,       s_ew_sub_f64,
+    s_ew_mul_f64,       s_ew_min_f64,
+    s_ew_max_f64,       s_scan_add_u64,
+    s_reduce_add_u64,   s_reduce_or_u64,
+    s_radix_hist,       s_radix_scatter,
+    s_mindist_point_rect, s_dist2_point_segment,
+    s_segment_intersects_rect, s_clip_segment_rect,
+    s_point_on_segment,
+};
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept { return kScalarKernels; }
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+#if defined(DPS_SIMD_AVX2)
+// Defined in dpv/simd_avx2.cpp (compiled with -mavx2).
+const Kernels& avx2_kernels() noexcept;
+#endif
+
+bool avx2_compiled() noexcept {
+#if defined(DPS_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() noexcept {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend dispatched() noexcept {
+  return (avx2_compiled() && avx2_supported()) ? Backend::kAvx2
+                                               : Backend::kScalar;
+}
+
+const char* backend_name(Backend b) noexcept {
+  return b == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+const Kernels& kernels_for(Backend b) noexcept {
+#if defined(DPS_SIMD_AVX2)
+  if (b == Backend::kAvx2 && avx2_supported()) return avx2_kernels();
+#else
+  (void)b;
+#endif
+  return kScalarKernels;
+}
+
+namespace {
+
+std::atomic<int>& active_slot() noexcept {
+  // Initialized from the cpuid dispatch, overridable by environment (for
+  // whole-process scalar runs, e.g. the DPS_SIMD=ON CI leg exercising the
+  // fallback) and by force() (for in-process differential tests).
+  static std::atomic<int> slot = [] {
+    Backend b = dispatched();
+    if (const char* env = std::getenv("DPS_SIMD_BACKEND")) {
+      if (std::strcmp(env, "scalar") == 0) b = Backend::kScalar;
+    }
+    return static_cast<int>(b);
+  }();
+  return slot;
+}
+
+}  // namespace
+
+Backend active() noexcept {
+  return static_cast<Backend>(active_slot().load(std::memory_order_relaxed));
+}
+
+Backend force(Backend b) noexcept {
+  if (b == Backend::kAvx2 && !(avx2_compiled() && avx2_supported())) {
+    b = Backend::kScalar;
+  }
+  active_slot().store(static_cast<int>(b), std::memory_order_relaxed);
+  return b;
+}
+
+const Kernels& kernels() noexcept { return kernels_for(active()); }
+
+}  // namespace dps::dpv::simd

@@ -1,0 +1,146 @@
+#pragma once
+// Vectorized kernel backend for the dpv runtime.
+//
+// The scan-model primitives execute their per-block inner loops through a
+// kernel table: a struct of plain function pointers with a portable scalar
+// implementation and (when the build enables it and the CPU supports it) an
+// AVX2 implementation selected at runtime via cpuid.  The batch pipelines
+// additionally call the batched geometry kernels (MINDIST, window clip,
+// point-on-segment, point-segment distance) on structure-of-arrays tiles so
+// leaf tests and frontier pruning run lane-parallel.
+//
+// Exactness contract: every kernel produces *bitwise identical* results on
+// every backend for every input, including +/-inf, signed zeros and
+// denormals, with one carve-out: a lane whose result is NaN is NaN on every
+// backend, but its sign/payload bits are unspecified (ISO C++ does not pin
+// which NaN survives `NaN_a + NaN_b`, and compilers may commute the
+// operands).  Float kernels are elementwise (no reassociation) and the AVX2
+// variants mirror the scalar operation order per lane with blend-based
+// ternaries (e.g. min(a, b) is `(b < a) ? b : a`, exactly std::min).
+// Reductions and scans are vectorized only for 64-bit unsigned integers,
+// where regrouping is exact; float reductions stay on the scalar fold so
+// serial and SIMD ledgers replay identically.  The scalar-vs-SIMD
+// differential suite (tests/test_dpv_simd_differential.cpp) enforces the
+// contract over lane-boundary sizes, unaligned bases and adversarial
+// floats.
+//
+// Build/dispatch: the AVX2 translation unit (dpv/simd_avx2.cpp) is compiled
+// with -mavx2 only when the `DPS_SIMD` CMake switch is ON; everything else
+// is built for the baseline architecture, so the binary runs on any x86-64
+// (or other) host and upgrades itself when cpuid reports AVX2.  `force()`
+// lets tests pin a backend; forcing kAvx2 on an unsupported host is a
+// no-op fallback to scalar.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dps::dpv::simd {
+
+enum class Backend : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Human-readable backend name ("scalar" / "avx2").
+const char* backend_name(Backend b) noexcept;
+
+/// True when this binary contains the AVX2 kernel table (DPS_SIMD=ON and an
+/// x86-64 toolchain).
+bool avx2_compiled() noexcept;
+
+/// True when the running CPU reports AVX2 support.
+bool avx2_supported() noexcept;
+
+/// The backend cpuid dispatch picks on this host: kAvx2 when compiled in
+/// and supported, else kScalar.
+Backend dispatched() noexcept;
+
+/// The backend currently in effect (dispatched, unless overridden).
+Backend active() noexcept;
+
+/// Overrides the active backend (test hook; also honors the
+/// DPS_SIMD_BACKEND=scalar environment variable at startup).  Forcing
+/// kAvx2 when unavailable falls back to scalar and returns the backend
+/// actually installed.
+Backend force(Backend b) noexcept;
+
+/// Kernel table.  All pointers are non-null on every backend; buffers may
+/// be unaligned; `n` may be 0.  Output buffers must not alias inputs.
+struct Kernels {
+  // -- Elementwise f64 (per-lane exact; no reassociation). ----------------
+  void (*ew_add_f64)(const double* a, const double* b, double* out,
+                     std::size_t n);
+  void (*ew_sub_f64)(const double* a, const double* b, double* out,
+                     std::size_t n);
+  void (*ew_mul_f64)(const double* a, const double* b, double* out,
+                     std::size_t n);
+  // std::min / std::max semantics: min = (b < a) ? b : a.
+  void (*ew_min_f64)(const double* a, const double* b, double* out,
+                     std::size_t n);
+  void (*ew_max_f64)(const double* a, const double* b, double* out,
+                     std::size_t n);
+
+  // -- Integer scans / reductions (exactly associative). ------------------
+  // +-scan of `in` seeded with `carry`; writes inclusive or exclusive
+  // prefixes to `out` and returns the outgoing carry (carry + sum(in)).
+  std::uint64_t (*scan_add_u64)(const std::uint64_t* in, std::uint64_t* out,
+                                std::size_t n, std::uint64_t carry,
+                                bool inclusive);
+  std::uint64_t (*reduce_add_u64)(const std::uint64_t* in, std::size_t n);
+  std::uint64_t (*reduce_or_u64)(const std::uint64_t* in, std::size_t n);
+
+  // -- Radix sort passes (8-bit digits). ----------------------------------
+  // hist256[d] += |{i : digit(keys[i]) == d}| for digit = (k >> shift)&255.
+  void (*radix_hist)(const std::uint64_t* keys, std::size_t n, unsigned shift,
+                     std::size_t* hist256);
+  // Stable scatter of (keys, order) by digit: out[bucket_pos[d]++] = i-th.
+  void (*radix_scatter)(const std::uint64_t* keys, const std::size_t* order,
+                        std::size_t n, unsigned shift, std::size_t* bucket_pos,
+                        std::uint64_t* out_keys, std::size_t* out_order);
+
+  // -- Batched geometry (structure-of-arrays). ----------------------------
+  // out[i] = squared distance from point i to closed rect i (MINDIST).
+  void (*mindist_point_rect)(const double* px, const double* py,
+                             const double* xmin, const double* ymin,
+                             const double* xmax, const double* ymax,
+                             double* out, std::size_t n);
+  // out[i] = squared distance from point i to closed segment i.
+  void (*dist2_point_segment)(const double* px, const double* py,
+                              const double* ax, const double* ay,
+                              const double* bx, const double* by, double* out,
+                              std::size_t n);
+  // out[i] = 1 iff closed segment i intersects closed rect i (Liang-Barsky
+  // accept; matches geom::segment_intersects_rect bit-for-bit).
+  void (*segment_intersects_rect)(const double* ax, const double* ay,
+                                  const double* bx, const double* by,
+                                  const double* rxmin, const double* rymin,
+                                  const double* rxmax, const double* rymax,
+                                  std::uint8_t* out, std::size_t n);
+  // Full parametric clip: accept[i] as above; where accept[i] != 0, the
+  // intersection parameter interval is [t0[i], t1[i]] (t0/t1 are undefined
+  // on rejected lanes, exactly like geom::clip_segment_to_rect's outputs
+  // after an early reject).
+  void (*clip_segment_rect)(const double* ax, const double* ay,
+                            const double* bx, const double* by,
+                            const double* rxmin, const double* rymin,
+                            const double* rxmax, const double* rymax,
+                            double* t0, double* t1, std::uint8_t* accept,
+                            std::size_t n);
+  // out[i] = 1 iff point i lies on closed segment i (collinear + bbox).
+  void (*point_on_segment)(const double* px, const double* py,
+                           const double* ax, const double* ay,
+                           const double* bx, const double* by,
+                           std::uint8_t* out, std::size_t n);
+};
+
+/// The scalar kernel table (always available; the differential oracle).
+const Kernels& scalar_kernels() noexcept;
+
+/// The kernel table of the active backend.
+const Kernels& kernels() noexcept;
+
+/// The kernel table of a specific backend (kAvx2 falls back to scalar when
+/// unavailable).
+const Kernels& kernels_for(Backend b) noexcept;
+
+}  // namespace dps::dpv::simd

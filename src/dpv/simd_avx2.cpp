@@ -1,0 +1,403 @@
+// AVX2 kernel table.  Compiled with -mavx2 (and only this TU), included in
+// the build when DPS_SIMD=ON; selected at runtime via cpuid.
+//
+// Exactness: every lane performs the same IEEE operations in the same order
+// as the scalar kernels in dpv/simd.cpp.  Ternaries become compare+blend
+// with the scalar's exact comparison (so NaN and signed-zero behavior
+// match), and multiplies/adds are separate intrinsics -- never FMA, which
+// the baseline build cannot emit.  Sub-vector tails are delegated to the
+// scalar kernels, which are bit-identical by construction.
+
+#include "dpv/simd.hpp"
+
+#if defined(DPS_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace dps::dpv::simd {
+
+namespace {
+
+inline __m256d sel(__m256d mask, __m256d t, __m256d f) {
+  return _mm256_blendv_pd(f, t, mask);
+}
+
+// std::min: (b < a) ? b : a.
+inline __m256d min_std(__m256d a, __m256d b) {
+  return sel(_mm256_cmp_pd(b, a, _CMP_LT_OQ), b, a);
+}
+
+// std::max: (a < b) ? b : a.
+inline __m256d max_std(__m256d a, __m256d b) {
+  return sel(_mm256_cmp_pd(a, b, _CMP_LT_OQ), b, a);
+}
+
+void a_ew_add_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  scalar_kernels().ew_add_f64(a + i, b + i, out + i, n - i);
+}
+
+void a_ew_sub_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  scalar_kernels().ew_sub_f64(a + i, b + i, out + i, n - i);
+}
+
+void a_ew_mul_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  scalar_kernels().ew_mul_f64(a + i, b + i, out + i, n - i);
+}
+
+void a_ew_min_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, min_std(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  scalar_kernels().ew_min_f64(a + i, b + i, out + i, n - i);
+}
+
+void a_ew_max_f64(const double* a, const double* b, double* out,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, max_std(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  scalar_kernels().ew_max_f64(a + i, b + i, out + i, n - i);
+}
+
+// Inclusive prefix sum of the four u64 lanes.
+inline __m256i prefix4_u64(__m256i x) {
+  // Within each 128-bit half: [a0, a1 | a2, a3] -> [a0, a0+a1 | a2, a2+a3].
+  x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+  // Smear lane 1 (a0+a1) over the upper half.
+  __m256i s = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 1, 1, 1));
+  s = _mm256_blend_epi32(_mm256_setzero_si256(), s, 0xF0);
+  return _mm256_add_epi64(x, s);
+}
+
+std::uint64_t a_scan_add_u64(const std::uint64_t* in, std::uint64_t* out,
+                             std::size_t n, std::uint64_t carry,
+                             bool inclusive) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    const __m256i c = _mm256_set1_epi64x(static_cast<long long>(carry));
+    const __m256i inc = _mm256_add_epi64(prefix4_u64(x), c);
+    if (inclusive) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), inc);
+    } else {
+      // [carry, inc0, inc1, inc2].
+      __m256i sh = _mm256_permute4x64_epi64(inc, _MM_SHUFFLE(2, 1, 0, 0));
+      sh = _mm256_blend_epi32(sh, c, 0x03);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), sh);
+    }
+    carry = static_cast<std::uint64_t>(_mm256_extract_epi64(inc, 3));
+  }
+  return scalar_kernels().scan_add_u64(in + i, out + i, n - i, carry,
+                                       inclusive);
+}
+
+std::uint64_t a_reduce_add_u64(const std::uint64_t* in, std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         scalar_kernels().reduce_add_u64(in + i, n - i);
+}
+
+std::uint64_t a_reduce_or_u64(const std::uint64_t* in, std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] | lanes[1] | lanes[2] | lanes[3] |
+         scalar_kernels().reduce_or_u64(in + i, n - i);
+}
+
+void a_radix_hist(const std::uint64_t* keys, std::size_t n, unsigned shift,
+                  std::size_t* hist256) {
+  // Four interleaved sub-histograms avoid the store-to-load stalls of
+  // repeated increments on hot buckets; digits are extracted four at a
+  // time with vector shifts.
+  alignas(32) std::uint32_t sub[4][256] = {};
+  const __m256i mask = _mm256_set1_epi64x(0xFF);
+  std::size_t i = 0;
+  alignas(32) std::uint64_t d[4];
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i dig = _mm256_and_si256(
+        _mm256_srli_epi64(x, static_cast<int>(shift)), mask);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d), dig);
+    sub[0][d[0]]++;
+    sub[1][d[1]]++;
+    sub[2][d[2]]++;
+    sub[3][d[3]]++;
+  }
+  for (; i < n; ++i) sub[0][(keys[i] >> shift) & 0xFFu]++;
+  for (std::size_t b = 0; b < 256; ++b) {
+    hist256[b] += sub[0][b] + sub[1][b] + sub[2][b] + sub[3][b];
+  }
+}
+
+void a_radix_scatter(const std::uint64_t* keys, const std::size_t* order,
+                     std::size_t n, unsigned shift, std::size_t* bucket_pos,
+                     std::uint64_t* out_keys, std::size_t* out_order) {
+  // Digit extraction is vectorized; the scatter writes stay scalar (the
+  // per-bucket positions form a serial dependency chain by design -- the
+  // pass must be stable).
+  const __m256i mask = _mm256_set1_epi64x(0xFF);
+  std::size_t i = 0;
+  alignas(32) std::uint64_t d[4];
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i dig = _mm256_and_si256(
+        _mm256_srli_epi64(x, static_cast<int>(shift)), mask);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d), dig);
+    for (int l = 0; l < 4; ++l) {
+      const std::size_t p = bucket_pos[d[l]]++;
+      out_keys[p] = keys[i + static_cast<std::size_t>(l)];
+      out_order[p] = order[i + static_cast<std::size_t>(l)];
+    }
+  }
+  scalar_kernels().radix_scatter(keys + i, order + i, n - i, shift, bucket_pos,
+                                 out_keys, out_order);
+}
+
+void a_mindist_point_rect(const double* px, const double* py,
+                          const double* xmin, const double* ymin,
+                          const double* xmax, const double* ymax, double* out,
+                          std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(px + i);
+    const __m256d y = _mm256_loadu_pd(py + i);
+    const __m256d lo_x = _mm256_loadu_pd(xmin + i);
+    const __m256d hi_x = _mm256_loadu_pd(xmax + i);
+    const __m256d lo_y = _mm256_loadu_pd(ymin + i);
+    const __m256d hi_y = _mm256_loadu_pd(ymax + i);
+    // dx = x < lo ? lo - x : (x > hi ? x - hi : 0).
+    const __m256d dx =
+        sel(_mm256_cmp_pd(x, lo_x, _CMP_LT_OQ), _mm256_sub_pd(lo_x, x),
+            sel(_mm256_cmp_pd(x, hi_x, _CMP_GT_OQ), _mm256_sub_pd(x, hi_x),
+                zero));
+    const __m256d dy =
+        sel(_mm256_cmp_pd(y, lo_y, _CMP_LT_OQ), _mm256_sub_pd(lo_y, y),
+            sel(_mm256_cmp_pd(y, hi_y, _CMP_GT_OQ), _mm256_sub_pd(y, hi_y),
+                zero));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_mul_pd(dx, dx),
+                                            _mm256_mul_pd(dy, dy)));
+  }
+  scalar_kernels().mindist_point_rect(px + i, py + i, xmin + i, ymin + i,
+                                      xmax + i, ymax + i, out + i, n - i);
+}
+
+void a_dist2_point_segment(const double* px, const double* py,
+                           const double* ax, const double* ay,
+                           const double* bx, const double* by, double* out,
+                           std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(px + i);
+    const __m256d y = _mm256_loadu_pd(py + i);
+    const __m256d sax = _mm256_loadu_pd(ax + i);
+    const __m256d say = _mm256_loadu_pd(ay + i);
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(bx + i), sax);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(by + i), say);
+    const __m256d len2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const __m256d dot = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_sub_pd(x, sax), dx),
+        _mm256_mul_pd(_mm256_sub_pd(y, say), dy));
+    __m256d u = _mm256_div_pd(dot, len2);
+    // u = u < 0 ? 0 : (u > 1 ? 1 : u); then 0 where len2 <= 0.
+    u = sel(_mm256_cmp_pd(u, zero, _CMP_LT_OQ), zero,
+            sel(_mm256_cmp_pd(u, one, _CMP_GT_OQ), one, u));
+    u = sel(_mm256_cmp_pd(len2, zero, _CMP_GT_OQ), u, zero);
+    const __m256d ex =
+        _mm256_sub_pd(_mm256_add_pd(sax, _mm256_mul_pd(u, dx)), x);
+    const __m256d ey =
+        _mm256_sub_pd(_mm256_add_pd(say, _mm256_mul_pd(u, dy)), y);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_mul_pd(ex, ex),
+                                            _mm256_mul_pd(ey, ey)));
+  }
+  scalar_kernels().dist2_point_segment(px + i, py + i, ax + i, ay + i, bx + i,
+                                       by + i, out + i, n - i);
+}
+
+// Shared Liang-Barsky lane logic: returns the reject mask and leaves the
+// final [t0, t1] interval in the output parameters (meaningful on accepted
+// lanes only).  One constraint: denom * t <= num, i.e. t = num / denom
+// tightens t0 (denom < 0) or t1 (denom > 0); denom == 0 rejects outright
+// when num < 0.  The scalar loop's incremental `t0 > t1` rejects are
+// equivalent to one final check because t0 only grows and t1 only shrinks.
+inline __m256d clip_lanes(__m256d sax, __m256d say, __m256d sbx, __m256d sby,
+                          __m256d rlo_x, __m256d rlo_y, __m256d rhi_x,
+                          __m256d rhi_y, __m256d& t0, __m256d& t1) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d dx = _mm256_sub_pd(sbx, sax);
+  const __m256d dy = _mm256_sub_pd(sby, say);
+  t0 = zero;
+  t1 = _mm256_set1_pd(1.0);
+  __m256d reject = _mm256_or_pd(_mm256_cmp_pd(rlo_x, rhi_x, _CMP_GT_OQ),
+                                _mm256_cmp_pd(rlo_y, rhi_y, _CMP_GT_OQ));
+  const __m256d denoms[4] = {_mm256_sub_pd(zero, dx), dx,
+                             _mm256_sub_pd(zero, dy), dy};
+  const __m256d nums[4] = {
+      _mm256_sub_pd(sax, rlo_x), _mm256_sub_pd(rhi_x, sax),
+      _mm256_sub_pd(say, rlo_y), _mm256_sub_pd(rhi_y, say)};
+  for (int k = 0; k < 4; ++k) {
+    const __m256d denom = denoms[k];
+    const __m256d num = nums[k];
+    const __m256d iszero = _mm256_cmp_pd(denom, zero, _CMP_EQ_OQ);
+    reject = _mm256_or_pd(
+        reject, _mm256_and_pd(iszero, _mm256_cmp_pd(num, zero, _CMP_LT_OQ)));
+    const __m256d t = _mm256_div_pd(num, denom);
+    // denom < 0 already excludes denom == 0 (and NaN), so no extra mask.
+    const __m256d neg = _mm256_cmp_pd(denom, zero, _CMP_LT_OQ);
+    t0 = sel(_mm256_and_pd(neg, _mm256_cmp_pd(t, t0, _CMP_GT_OQ)), t, t0);
+    const __m256d pos = _mm256_cmp_pd(denom, zero, _CMP_GT_OQ);
+    t1 = sel(_mm256_and_pd(pos, _mm256_cmp_pd(t, t1, _CMP_LT_OQ)), t, t1);
+  }
+  return _mm256_or_pd(reject, _mm256_cmp_pd(t0, t1, _CMP_GT_OQ));
+}
+
+void a_segment_intersects_rect(const double* ax, const double* ay,
+                               const double* bx, const double* by,
+                               const double* rxmin, const double* rymin,
+                               const double* rxmax, const double* rymax,
+                               std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d t0, t1;
+    const __m256d reject = clip_lanes(
+        _mm256_loadu_pd(ax + i), _mm256_loadu_pd(ay + i),
+        _mm256_loadu_pd(bx + i), _mm256_loadu_pd(by + i),
+        _mm256_loadu_pd(rxmin + i), _mm256_loadu_pd(rymin + i),
+        _mm256_loadu_pd(rxmax + i), _mm256_loadu_pd(rymax + i), t0, t1);
+    const int bits = _mm256_movemask_pd(reject);
+    out[i + 0] = static_cast<std::uint8_t>(!(bits & 1));
+    out[i + 1] = static_cast<std::uint8_t>(!(bits & 2));
+    out[i + 2] = static_cast<std::uint8_t>(!(bits & 4));
+    out[i + 3] = static_cast<std::uint8_t>(!(bits & 8));
+  }
+  scalar_kernels().segment_intersects_rect(ax + i, ay + i, bx + i, by + i,
+                                           rxmin + i, rymin + i, rxmax + i,
+                                           rymax + i, out + i, n - i);
+}
+
+void a_clip_segment_rect(const double* ax, const double* ay, const double* bx,
+                         const double* by, const double* rxmin,
+                         const double* rymin, const double* rxmax,
+                         const double* rymax, double* t0, double* t1,
+                         std::uint8_t* accept, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v0, v1;
+    const __m256d reject = clip_lanes(
+        _mm256_loadu_pd(ax + i), _mm256_loadu_pd(ay + i),
+        _mm256_loadu_pd(bx + i), _mm256_loadu_pd(by + i),
+        _mm256_loadu_pd(rxmin + i), _mm256_loadu_pd(rymin + i),
+        _mm256_loadu_pd(rxmax + i), _mm256_loadu_pd(rymax + i), v0, v1);
+    _mm256_storeu_pd(t0 + i, v0);
+    _mm256_storeu_pd(t1 + i, v1);
+    const int bits = _mm256_movemask_pd(reject);
+    accept[i + 0] = static_cast<std::uint8_t>(!(bits & 1));
+    accept[i + 1] = static_cast<std::uint8_t>(!(bits & 2));
+    accept[i + 2] = static_cast<std::uint8_t>(!(bits & 4));
+    accept[i + 3] = static_cast<std::uint8_t>(!(bits & 8));
+  }
+  scalar_kernels().clip_segment_rect(ax + i, ay + i, bx + i, by + i, rxmin + i,
+                                     rymin + i, rxmax + i, rymax + i, t0 + i,
+                                     t1 + i, accept + i, n - i);
+}
+
+void a_point_on_segment(const double* px, const double* py, const double* ax,
+                        const double* ay, const double* bx, const double* by,
+                        std::uint8_t* out, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(px + i);
+    const __m256d y = _mm256_loadu_pd(py + i);
+    const __m256d sax = _mm256_loadu_pd(ax + i);
+    const __m256d say = _mm256_loadu_pd(ay + i);
+    const __m256d sbx = _mm256_loadu_pd(bx + i);
+    const __m256d sby = _mm256_loadu_pd(by + i);
+    // cross(a, b, p) = (bx-ax)*(py-ay) - (by-ay)*(px-ax).
+    const __m256d v = _mm256_sub_pd(
+        _mm256_mul_pd(_mm256_sub_pd(sbx, sax), _mm256_sub_pd(y, say)),
+        _mm256_mul_pd(_mm256_sub_pd(sby, say), _mm256_sub_pd(x, sax)));
+    const __m256d xlo = min_std(sax, sbx);
+    const __m256d xhi = max_std(sax, sbx);
+    const __m256d ylo = min_std(say, sby);
+    const __m256d yhi = max_std(say, sby);
+    // !(v > 0) && !(v < 0): NaN cross products count as collinear, exactly
+    // like the scalar orient sign test.
+    __m256d ok = _mm256_andnot_pd(
+        _mm256_or_pd(_mm256_cmp_pd(v, zero, _CMP_GT_OQ),
+                     _mm256_cmp_pd(v, zero, _CMP_LT_OQ)),
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1)));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(xlo, x, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(x, xhi, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(ylo, y, _CMP_LE_OQ));
+    ok = _mm256_and_pd(ok, _mm256_cmp_pd(y, yhi, _CMP_LE_OQ));
+    const int bits = _mm256_movemask_pd(ok);
+    out[i + 0] = static_cast<std::uint8_t>((bits >> 0) & 1);
+    out[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+    out[i + 2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+    out[i + 3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+  }
+  scalar_kernels().point_on_segment(px + i, py + i, ax + i, ay + i, bx + i,
+                                    by + i, out + i, n - i);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    a_ew_add_f64,       a_ew_sub_f64,
+    a_ew_mul_f64,       a_ew_min_f64,
+    a_ew_max_f64,       a_scan_add_u64,
+    a_reduce_add_u64,   a_reduce_or_u64,
+    a_radix_hist,       a_radix_scatter,
+    a_mindist_point_rect, a_dist2_point_segment,
+    a_segment_intersects_rect, a_clip_segment_rect,
+    a_point_on_segment,
+};
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept { return kAvx2Kernels; }
+
+}  // namespace dps::dpv::simd
+
+#endif  // DPS_SIMD_AVX2 && __AVX2__

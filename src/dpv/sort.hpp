@@ -44,19 +44,23 @@ namespace detail {
 inline constexpr std::size_t kRadixBits = 8;
 inline constexpr std::size_t kBuckets = std::size_t{1} << kRadixBits;
 
-// One stable counting pass on digit `shift`; permutes `order` (the current
-// index permutation) so that keys[order[*]] is sorted by the digit.
-inline void radix_pass(Context& ctx, const Vec<std::uint64_t>& keys,
-                       Index& order, std::size_t shift) {
+// One stable counting pass on digit `shift`.  `cur` holds the keys already
+// permuted by `order` (so both the histogram and the scatter stream through
+// memory sequentially instead of gathering keys[order[i]] twice); the pass
+// writes the re-permuted keys to `next_keys` and updates `order` in step.
+// The inner loops are backend kernels (dpv/simd.hpp).
+inline void radix_pass(Context& ctx, const Vec<std::uint64_t>& cur,
+                       Vec<std::uint64_t>& next_keys, Index& order,
+                       std::size_t shift) {
   const std::size_t n = order.size();
+  assert(cur.size() == n && next_keys.size() == n);
   const std::size_t k = ctx.block_count(n) == 0 ? 1 : ctx.block_count(n);
+  const auto& ks = simd::kernels();
   // Per-block histograms.
   Vec<std::size_t> hist(k * kBuckets, 0);
   ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
-    std::size_t* h = &hist[b * kBuckets];
-    for (std::size_t i = lo; i < hi; ++i) {
-      h[(keys[order[i]] >> shift) & (kBuckets - 1)]++;
-    }
+    ks.radix_hist(cur.data() + lo, hi - lo, static_cast<unsigned>(shift),
+                  &hist[b * kBuckets]);
   });
   // Exclusive scan in (digit, block) order: all blocks' digit-d counts
   // precede any block's digit-(d+1) counts.
@@ -69,14 +73,12 @@ inline void radix_pass(Context& ctx, const Vec<std::uint64_t>& keys,
       running += c;
     }
   }
-  // Stable scatter.
+  // Stable scatter; blocks write disjoint bucket slices.
   Index next(n);
   ctx.for_blocks(n, [&](std::size_t b, std::size_t lo, std::size_t hi) {
-    std::size_t* h = &hist[b * kBuckets];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::size_t d = (keys[order[i]] >> shift) & (kBuckets - 1);
-      next[h[d]++] = order[i];
-    }
+    ks.radix_scatter(cur.data() + lo, order.data() + lo, hi - lo,
+                     static_cast<unsigned>(shift), &hist[b * kBuckets],
+                     next_keys.data(), next.data());
   });
   order = std::move(next);
   ctx.count(Prim::kSortPass, n);
@@ -100,10 +102,17 @@ inline Index sort_keys_indices(Context& ctx, const Vec<std::uint64_t>& keys,
   const std::size_t passes =
       (significant_bits + detail::kRadixBits - 1) / detail::kRadixBits;
   const std::uint64_t mask = reduce(ctx, BitOr<std::uint64_t>{}, keys);
+  // The first executed pass reads `keys` directly (order is still the
+  // identity); later passes read the carried permuted-key buffer.
+  Vec<std::uint64_t> cur;
+  bool first = true;
   for (std::size_t p = 0; p < passes; ++p) {
     const std::size_t shift = p * detail::kRadixBits;
     if (((mask >> shift) & (detail::kBuckets - 1)) == 0) continue;
-    detail::radix_pass(ctx, keys, order, shift);
+    Vec<std::uint64_t> next(keys.size());
+    detail::radix_pass(ctx, first ? keys : cur, next, order, shift);
+    cur = std::move(next);
+    first = false;
   }
   return order;
 }

@@ -334,7 +334,10 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
         for (Pending& p : pending) {
           if (!p.knn || p.slots.empty()) continue;
           const Request& rq = batch[p.index];
-          const auto& [r0, primary, pos] = p.slots.front();
+          // Copy, don't bind: the widening push_back below can reallocate
+          // p.slots, which would leave references into front() dangling.
+          const std::size_t primary = p.slots.front()[1];
+          const std::size_t pos = p.slots.front()[2];
           const Response& first = r1[primary][pos];
           if (first.status != Status::kOk) continue;  // settled in merge
           const double bound =
@@ -349,7 +352,6 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
               ++delta.knn_widened_shards;
             }
           }
-          (void)r0;
         }
         for (const auto& sub : round2) {
           delta.routed_subrequests += sub.size();

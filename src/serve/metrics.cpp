@@ -5,15 +5,35 @@
 
 namespace dps::serve {
 
-void LatencyHistogram::record(double us) noexcept {
-  std::size_t b = 0;
-  if (us >= 1.0) {
-    const auto v = static_cast<std::uint64_t>(us);
-    b = static_cast<std::size_t>(std::bit_width(v)) - 1;
-    if (b >= kBuckets) b = kBuckets - 1;
-  }
-  ++buckets_[b];
+std::size_t LatencyHistogram::bucket_of(double us) noexcept {
+  if (!(us >= 1.0)) return 0;  // sub-microsecond (and NaN) -> bucket 0
+  const auto v = static_cast<std::uint64_t>(us);
+  if (v < kUnitBuckets) return static_cast<std::size_t>(v);
+  auto g = static_cast<std::size_t>(std::bit_width(v)) - 1;  // 2^g <= v
+  if (g > kLastOctave) return kBuckets - 1;
+  const std::size_t sub =
+      static_cast<std::size_t>(v >> (g - kSubBits)) & ((1u << kSubBits) - 1);
+  return kUnitBuckets + (g - kFirstOctave) * (std::size_t{1} << kSubBits) + sub;
 }
+
+double LatencyHistogram::bucket_lower_us(std::size_t b) noexcept {
+  if (b < kUnitBuckets) return static_cast<double>(b);
+  const std::size_t k = b - kUnitBuckets;
+  const std::size_t g = kFirstOctave + (k >> kSubBits);
+  const std::size_t sub = k & ((1u << kSubBits) - 1);
+  return std::ldexp(1.0, static_cast<int>(g)) +
+         static_cast<double>(sub) *
+             std::ldexp(1.0, static_cast<int>(g - kSubBits));
+}
+
+double LatencyHistogram::bucket_upper_us(std::size_t b) noexcept {
+  if (b < kUnitBuckets) return static_cast<double>(b) + 1.0;
+  const std::size_t k = b - kUnitBuckets;
+  const std::size_t g = kFirstOctave + (k >> kSubBits);
+  return bucket_lower_us(b) + std::ldexp(1.0, static_cast<int>(g - kSubBits));
+}
+
+void LatencyHistogram::record(double us) noexcept { ++buckets_[bucket_of(us)]; }
 
 std::uint64_t LatencyHistogram::count() const noexcept {
   std::uint64_t total = 0;
@@ -28,11 +48,9 @@ double LatencyHistogram::quantile_upper_us(double q) const noexcept {
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
-    if (seen >= rank && buckets_[b] > 0) {
-      return std::ldexp(1.0, static_cast<int>(b) + 1);
-    }
+    if (seen >= rank && buckets_[b] > 0) return bucket_upper_us(b);
   }
-  return std::ldexp(1.0, static_cast<int>(kBuckets));
+  return bucket_upper_us(kBuckets - 1);
 }
 
 LatencyHistogram& LatencyHistogram::operator+=(

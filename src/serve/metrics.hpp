@@ -1,6 +1,6 @@
 #pragma once
-// Serving-engine metrics: request accounting, per-stage wall clock, a
-// power-of-two latency histogram, and the merged scan-model ledger.
+// Serving-engine metrics: request accounting, per-stage wall clock, an
+// HDR-style latency histogram, and the merged scan-model ledger.
 //
 // Every shard counts into private copies of these structures while it
 // runs; the engine folds them into its session-wide ServeMetrics after the
@@ -17,19 +17,33 @@
 
 namespace dps::serve {
 
-/// Histogram over microsecond latencies with power-of-two buckets:
-/// bucket b counts samples in [2^b, 2^(b+1)) us (bucket 0 also takes
-/// sub-microsecond samples).  Fixed size, mergeable, no allocation.
+/// HDR-style histogram over microsecond latencies: 1us-wide buckets below
+/// 32us, then every power-of-two octave [2^g, 2^(g+1)) subdivided into 32
+/// equal sub-buckets, so the bucket width is always <= 1/32 (~3.2%) of the
+/// latency it brackets -- quantiles stay sharp from microseconds to the
+/// ~68s cap instead of rounding to octave edges.  Fixed size, mergeable,
+/// no allocation.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 32;
+  static constexpr std::size_t kUnitBuckets = 32;   // [v, v+1) for v < 32
+  static constexpr std::size_t kSubBits = 5;        // 32 sub-buckets/octave
+  static constexpr std::size_t kFirstOctave = 5;    // first subdivided: 2^5
+  static constexpr std::size_t kLastOctave = 36;    // top octave: [2^36, 2^37)
+  static constexpr std::size_t kBuckets =
+      kUnitBuckets + (kLastOctave - kFirstOctave + 1) * (1u << kSubBits);
 
   void record(double us) noexcept;
   std::uint64_t count() const noexcept;
 
   /// Upper bound (us) of the bucket holding the q-quantile sample
-  /// (0 < q <= 1); 0 when empty.  Coarse by design -- buckets are octaves.
+  /// (0 < q <= 1); 0 when empty.  Within 1/32 of the true quantile sample.
   double quantile_upper_us(double q) const noexcept;
+
+  /// Bucket index a latency lands in, and the bucket's [lower, upper) us
+  /// bounds -- exposed so tests can assert the resolution contract.
+  static std::size_t bucket_of(double us) noexcept;
+  static double bucket_lower_us(std::size_t b) noexcept;
+  static double bucket_upper_us(std::size_t b) noexcept;
 
   const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
     return buckets_;

@@ -1,0 +1,205 @@
+// Fused-pass property tests (dpv/fused.hpp).
+//
+// Each fused pass promises bitwise-identical results to the unfused
+// primitive composition it replaces, plus exact counter attribution (one
+// invocation per constituent primitive category).  Seeded randomized
+// layouts cover empty inputs, single elements, all-kept / all-dropped
+// masks, single-element groups, long uniform runs, and runs that straddle
+// block boundaries.
+
+#include "dpv/fused.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "dpv/dpv.hpp"
+
+namespace dps::dpv {
+namespace {
+
+// Unfused oracle for multi_pack on one vector: the map+scan+compact chain
+// pack() runs internally.
+template <typename T>
+std::vector<T> pack_oracle(const Flags& keep, const Vec<T>& data) {
+  std::vector<T> out;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) out.push_back(data[i]);
+  }
+  return out;
+}
+
+TEST(MultiPack, MatchesPerVectorPackAcrossRandomMasks) {
+  std::mt19937_64 rng(20260809);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{33},
+        std::size_t{4096}, std::size_t{4097}, std::size_t{20000}}) {
+    for (const double density : {0.0, 0.03, 0.5, 1.0}) {
+      Context ctx;
+      std::bernoulli_distribution keep_p(density);
+      Flags keep = tabulate(ctx, n, [&](std::size_t) {
+        return static_cast<std::uint8_t>(keep_p(rng) ? 1 : 0);
+      });
+      Vec<std::uint32_t> a = tabulate(ctx, n, [&](std::size_t i) {
+        return static_cast<std::uint32_t>(i * 2654435761u);
+      });
+      Vec<double> b = tabulate(ctx, n, [&](std::size_t i) {
+        return static_cast<double>(i) * 0.5 - 17.0;
+      });
+      Vec<std::size_t> c = tabulate(ctx, n, [&](std::size_t i) { return ~i; });
+
+      // Oracle via the unfused primitive (and a plain serial loop).
+      Vec<std::uint32_t> pa = pack(ctx, a, keep);
+      Vec<double> pb = pack(ctx, b, keep);
+      Vec<std::size_t> pc = pack(ctx, c, keep);
+
+      auto [fa, fb, fc] = multi_pack(ctx, keep, a, b, c);
+      ASSERT_EQ(fa.size(), pa.size()) << "n=" << n << " d=" << density;
+      ASSERT_EQ(fb.size(), pb.size());
+      ASSERT_EQ(fc.size(), pc.size());
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i], pa[i]) << i;
+        EXPECT_EQ(fb[i], pb[i]) << i;
+        EXPECT_EQ(fc[i], pc[i]) << i;
+      }
+      const std::vector<std::uint32_t> serial = pack_oracle(keep, a);
+      ASSERT_EQ(fa.size(), serial.size());
+      for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], serial[i]);
+    }
+  }
+}
+
+TEST(MultiPack, CountsOneMapOneScanAndKPacks) {
+  Context ctx;
+  const std::size_t n = 1000;
+  Flags keep = tabulate(ctx, n, [](std::size_t i) {
+    return static_cast<std::uint8_t>(i % 3 == 0);
+  });
+  Vec<std::size_t> a = iota(ctx, n);
+  Vec<std::size_t> b = iota(ctx, n);
+  const PrimCounters before = ctx.snapshot();
+  auto [fa, fb] = multi_pack(ctx, keep, a, b);
+  const PrimCounters d = ctx.snapshot() - before;
+  EXPECT_EQ(d.invocations[static_cast<std::size_t>(Prim::kElementwise)], 1u);
+  EXPECT_EQ(d.invocations[static_cast<std::size_t>(Prim::kScan)], 1u);
+  EXPECT_EQ(d.invocations[static_cast<std::size_t>(Prim::kPack)], 2u);
+  EXPECT_EQ(d.total_invocations(), 4u);
+}
+
+TEST(MultiPack, SelfAssignmentThroughTieIsSafe) {
+  Context ctx;
+  const std::size_t n = 5000;
+  Vec<std::uint32_t> a = tabulate(ctx, n, [](std::size_t i) {
+    return static_cast<std::uint32_t>(i);
+  });
+  Vec<std::uint32_t> expect_a;
+  Flags keep = tabulate(ctx, n, [](std::size_t i) {
+    return static_cast<std::uint8_t>((i * i) % 7 < 3);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) expect_a.push_back(a[i]);
+  }
+  // The pipelines overwrite the inputs in place: tie(a) = multi_pack(.., a).
+  std::tie(a) = multi_pack(ctx, keep, a);
+  ASSERT_EQ(a.size(), expect_a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], expect_a[i]);
+}
+
+// Unfused composition fused_group_rank_select documents and replaces.
+template <typename G, typename LimitF>
+Flags group_rank_select_oracle(Context& ctx, const Vec<G>& gid, LimitF&& limit,
+                               Vec<std::size_t>* rank_out,
+                               Flags* heads_out) {
+  const std::size_t n = gid.size();
+  Flags heads = tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i == 0 || !(gid[i] == gid[i - 1]));
+  });
+  Vec<std::size_t> ones = constant<std::size_t>(ctx, n, 1);
+  Vec<std::size_t> rank = seg_scan(ctx, Plus<std::size_t>{}, ones, heads,
+                                   Dir::kUp, Incl::kExclusive);
+  Flags keep = tabulate(ctx, n, [&](std::size_t i) {
+    return static_cast<std::uint8_t>(rank[i] < limit(gid[i]) ? 1 : 0);
+  });
+  if (rank_out != nullptr) *rank_out = std::move(rank);
+  if (heads_out != nullptr) *heads_out = std::move(heads);
+  return keep;
+}
+
+// Random sorted group layout: group ids increase, run lengths drawn from a
+// mix of 1s, small runs, and occasional very long runs (so some groups span
+// many scheduler blocks).
+Vec<std::uint32_t> random_groups(Context& ctx, std::mt19937_64& rng,
+                                 std::size_t target_n) {
+  std::vector<std::uint32_t> gid;
+  std::uint32_t g = 0;
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::uniform_int_distribution<std::size_t> small(1, 7);
+  std::uniform_int_distribution<std::size_t> big(500, 9000);
+  while (gid.size() < target_n) {
+    const std::size_t len = kind(rng) == 0 ? big(rng) : small(rng);
+    for (std::size_t i = 0; i < len && gid.size() < target_n; ++i) {
+      gid.push_back(g);
+    }
+    g += 1 + static_cast<std::uint32_t>(kind(rng) == 1);  // sometimes skip ids
+  }
+  return tabulate(ctx, gid.size(), [&](std::size_t i) { return gid[i]; });
+}
+
+TEST(FusedGroupRankSelect, MatchesUnfusedCompositionOnRandomLayouts) {
+  std::mt19937_64 rng(0xF05ED);
+  for (int trial = 0; trial < 8; ++trial) {
+    Context ctx;
+    const std::size_t n = trial == 0   ? 0
+                          : trial == 1 ? 1
+                                       : 1000 * static_cast<std::size_t>(trial);
+    Vec<std::uint32_t> gid = random_groups(ctx, rng, n);
+    const auto limit = [&](std::uint32_t g) -> std::size_t {
+      return (g % 5 == 0) ? 0 : (g % 3) + 1;  // some groups keep nothing
+    };
+    Vec<std::size_t> orank;
+    Flags oheads;
+    Flags okeep = group_rank_select_oracle(ctx, gid, limit, &orank, &oheads);
+    Vec<std::size_t> frank;
+    Flags fheads;
+    Flags fkeep = fused_group_rank_select(ctx, gid, limit, &frank, &fheads);
+    ASSERT_EQ(fkeep.size(), okeep.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < fkeep.size(); ++i) {
+      EXPECT_EQ(fkeep[i], okeep[i]) << "keep i=" << i << " trial " << trial;
+      EXPECT_EQ(frank[i], orank[i]) << "rank i=" << i << " trial " << trial;
+      EXPECT_EQ(fheads[i], oheads[i]) << "head i=" << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(FusedGroupRankSelect, SingleGroupSpanningAllBlocks) {
+  Context ctx;
+  const std::size_t n = 50000;  // >> grain, so one run crosses every block
+  Vec<std::uint32_t> gid = constant<std::uint32_t>(ctx, n, 7);
+  Vec<std::size_t> rank;
+  Flags keep = fused_group_rank_select(
+      ctx, gid, [](std::uint32_t) -> std::size_t { return 3; }, &rank);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(rank[i], i) << i;
+    ASSERT_EQ(keep[i] != 0, i < 3) << i;
+  }
+}
+
+TEST(FusedGroupRankSelect, CountsTwoElementwiseOneScan) {
+  Context ctx;
+  Vec<std::uint32_t> gid = tabulate(ctx, 256, [](std::size_t i) {
+    return static_cast<std::uint32_t>(i / 4);
+  });
+  const PrimCounters before = ctx.snapshot();
+  fused_group_rank_select(ctx, gid,
+                          [](std::uint32_t) -> std::size_t { return 2; });
+  const PrimCounters d = ctx.snapshot() - before;
+  EXPECT_EQ(d.invocations[static_cast<std::size_t>(Prim::kElementwise)], 2u);
+  EXPECT_EQ(d.invocations[static_cast<std::size_t>(Prim::kScan)], 1u);
+  EXPECT_EQ(d.total_invocations(), 3u);
+}
+
+}  // namespace
+}  // namespace dps::dpv

@@ -1,0 +1,475 @@
+// Scalar-vs-SIMD differential suite for the dpv kernel backend.
+//
+// The exactness contract (dpv/simd.hpp) promises bitwise-identical results
+// from every kernel on every backend for every input.  This suite runs each
+// kernel through the scalar table and the AVX2 table over lane-boundary
+// sizes {0, 1, 7, 8, 9, 31, 32, 33, large}, unaligned base pointers, and
+// adversarial floats (NaN, +/-inf, signed zeros, denormals, huge
+// magnitudes), comparing outputs bit-for-bit.  The geometry kernels are
+// additionally checked against the geom:: scalar predicates, so the chain
+// geom == scalar kernel == AVX2 kernel is pinned at both links.
+//
+// On hosts without AVX2, kernels_for(kAvx2) falls back to the scalar table
+// and the comparisons are trivially true -- the suite stays green
+// everywhere while testing the real thing wherever the dispatcher would
+// pick AVX2.
+
+#include "dpv/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "geom/predicates.hpp"
+#include "geom/rect.hpp"
+
+namespace dps::dpv::simd {
+namespace {
+
+constexpr std::size_t kSizes[] = {0, 1, 7, 8, 9, 31, 32, 33, 1027};
+constexpr std::size_t kOffsets[] = {0, 1, 3};
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Adversarial double source: uniform reals salted with every special value
+// class the contract names.
+class DoubleSource {
+ public:
+  explicit DoubleSource(std::uint64_t seed) : rng_(seed) {}
+
+  double next() {
+    if (pick_(rng_) == 0) {
+      static const double kSpecials[] = {
+          0.0,
+          -0.0,
+          std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::denorm_min(),
+          -std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::max(),
+          -std::numeric_limits<double>::max(),
+          1.0e300,
+          -1.0e300,
+          1.0e-300,
+      };
+      return kSpecials[idx_(rng_) % (sizeof(kSpecials) / sizeof(double))];
+    }
+    return real_(rng_);
+  }
+
+  std::vector<double> vec(std::size_t n, std::size_t pad) {
+    std::vector<double> v(n + pad);
+    for (double& d : v) d = next();
+    return v;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<int> pick_{0, 3};  // 25% specials
+  std::uniform_int_distribution<std::size_t> idx_{0, 1u << 20};
+  std::uniform_real_distribution<double> real_{-2048.0, 2048.0};
+};
+
+// Bitwise equality, except that NaN matches any NaN: the contract pins
+// every non-NaN bit pattern but leaves NaN sign/payload unspecified (see
+// dpv/simd.hpp).
+void expect_same_double(double a, double b, std::size_t i, const char* what) {
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_TRUE(std::isnan(a) && std::isnan(b))
+        << what << ": one backend NaN, the other " << (std::isnan(a) ? b : a)
+        << " at i=" << i;
+    return;
+  }
+  EXPECT_EQ(bits(a), bits(b))
+      << what << " diverges at i=" << i << " (" << a << " vs " << b << ")";
+}
+
+void expect_same_f64(const std::vector<double>& a, const std::vector<double>& b,
+                     std::size_t off, std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_same_double(a[off + i], b[off + i], i, what);
+  }
+}
+
+TEST(SimdDispatch, DispatchIsConsistent) {
+  if (avx2_compiled() && avx2_supported()) {
+    EXPECT_EQ(dispatched(), Backend::kAvx2);
+  } else {
+    EXPECT_EQ(dispatched(), Backend::kScalar);
+  }
+  // CI pins the native Release leg with DPS_REQUIRE_AVX2=1: the build must
+  // have compiled the AVX2 table and the dispatcher must have picked it.
+  if (std::getenv("DPS_REQUIRE_AVX2") != nullptr) {
+    EXPECT_TRUE(avx2_compiled());
+    EXPECT_TRUE(avx2_supported());
+    EXPECT_EQ(dispatched(), Backend::kAvx2);
+  }
+  EXPECT_STREQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, ForceOverridesAndRestores) {
+  const Backend before = active();
+  EXPECT_EQ(force(Backend::kScalar), Backend::kScalar);
+  EXPECT_EQ(active(), Backend::kScalar);
+  EXPECT_EQ(&kernels(), &scalar_kernels());
+  const Backend got = force(Backend::kAvx2);
+  // Forcing AVX2 on a host without it falls back to scalar.
+  EXPECT_EQ(got, avx2_compiled() && avx2_supported() ? Backend::kAvx2
+                                                     : Backend::kScalar);
+  force(before);
+  EXPECT_EQ(active(), before);
+}
+
+TEST(SimdDifferential, ElementwiseF64) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  using EwFn = void (*)(const double*, const double*, double*, std::size_t);
+  struct Case {
+    const char* name;
+    EwFn scalar;
+    EwFn simd;
+  };
+  const Case cases[] = {
+      {"ew_add_f64", s.ew_add_f64, v.ew_add_f64},
+      {"ew_sub_f64", s.ew_sub_f64, v.ew_sub_f64},
+      {"ew_mul_f64", s.ew_mul_f64, v.ew_mul_f64},
+      {"ew_min_f64", s.ew_min_f64, v.ew_min_f64},
+      {"ew_max_f64", s.ew_max_f64, v.ew_max_f64},
+  };
+  DoubleSource src(0xD1FF001);
+  for (const Case& c : cases) {
+    for (const std::size_t n : kSizes) {
+      for (const std::size_t off : kOffsets) {
+        const std::vector<double> a = src.vec(n, off);
+        const std::vector<double> b = src.vec(n, off);
+        std::vector<double> so(n + off, 0.0), vo(n + off, 0.0);
+        c.scalar(a.data() + off, b.data() + off, so.data() + off, n);
+        c.simd(a.data() + off, b.data() + off, vo.data() + off, n);
+        expect_same_f64(so, vo, off, n, c.name);
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, MinMaxKeepStdSemanticsOnTies) {
+  // min = (b < a) ? b : a, so min(-0.0, +0.0) returns the *first* argument
+  // (+0.0 when a=+0.0) and min(NaN, x) returns NaN only in the `a` slot --
+  // exactly std::min.  Pin these bit patterns on both backends.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double a[] = {0.0, -0.0, nan, 1.0};
+  const double b[] = {-0.0, 0.0, 1.0, nan};
+  for (const Backend be : {Backend::kScalar, Backend::kAvx2}) {
+    const Kernels& k = kernels_for(be);
+    double mn[4], mx[4];
+    k.ew_min_f64(a, b, mn, 4);
+    k.ew_max_f64(a, b, mx, 4);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(bits(mn[i]), bits(std::min(a[i], b[i]))) << "min lane " << i;
+      EXPECT_EQ(bits(mx[i]), bits(std::max(a[i], b[i]))) << "max lane " << i;
+    }
+  }
+}
+
+TEST(SimdDifferential, ScanAddU64) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  std::mt19937_64 rng(0x5CA9);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      for (const bool inclusive : {false, true}) {
+        std::vector<std::uint64_t> in(n + off);
+        // Huge values exercise wrap-around (mod-2^64 addition is exact).
+        for (auto& x : in) x = rng();
+        const std::uint64_t carry = rng();
+        std::vector<std::uint64_t> so(n + off, 0), vo(n + off, 0);
+        const std::uint64_t sc =
+            s.scan_add_u64(in.data() + off, so.data() + off, n, carry,
+                           inclusive);
+        const std::uint64_t vc =
+            v.scan_add_u64(in.data() + off, vo.data() + off, n, carry,
+                           inclusive);
+        EXPECT_EQ(sc, vc) << "carry n=" << n;
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(so[off + i], vo[off + i])
+              << "scan_add_u64 incl=" << inclusive << " i=" << i << " n=" << n;
+        }
+        // Oracle: direct serial prefix.
+        std::uint64_t acc = carry;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (inclusive) {
+            acc += in[off + i];
+            EXPECT_EQ(so[off + i], acc);
+          } else {
+            EXPECT_EQ(so[off + i], acc);
+            acc += in[off + i];
+          }
+        }
+        EXPECT_EQ(sc, acc);
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, ReduceU64) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  std::mt19937_64 rng(0x2ED0CE);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      std::vector<std::uint64_t> in(n + off);
+      for (auto& x : in) x = rng();
+      EXPECT_EQ(s.reduce_add_u64(in.data() + off, n),
+                v.reduce_add_u64(in.data() + off, n))
+          << "reduce_add n=" << n;
+      EXPECT_EQ(s.reduce_or_u64(in.data() + off, n),
+                v.reduce_or_u64(in.data() + off, n))
+          << "reduce_or n=" << n;
+      std::uint64_t add = 0, orr = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        add += in[off + i];
+        orr |= in[off + i];
+      }
+      EXPECT_EQ(s.reduce_add_u64(in.data() + off, n), add);
+      EXPECT_EQ(s.reduce_or_u64(in.data() + off, n), orr);
+    }
+  }
+}
+
+TEST(SimdDifferential, RadixHistAndScatter) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  std::mt19937_64 rng(0xBADD16);
+  for (const std::size_t n : kSizes) {
+    for (const unsigned shift : {0u, 8u, 24u, 56u}) {
+      std::vector<std::uint64_t> keys(n);
+      for (auto& k : keys) k = rng();
+      // Salt with duplicate digits so stability is actually observable.
+      if (n > 4) {
+        keys[1] = keys[0];
+        keys[n / 2] = keys[0] ^ (std::uint64_t{1} << ((shift + 13) % 64));
+      }
+      std::size_t sh[256] = {}, vh[256] = {};
+      s.radix_hist(keys.data(), n, shift, sh);
+      v.radix_hist(keys.data(), n, shift, vh);
+      for (int d = 0; d < 256; ++d) {
+        EXPECT_EQ(sh[d], vh[d]) << "hist digit " << d << " n=" << n;
+      }
+      std::size_t total = 0;
+      for (const std::size_t c : sh) total += c;
+      EXPECT_EQ(total, n);
+
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::size_t spos[256], vpos[256];
+      std::size_t run = 0;
+      for (int d = 0; d < 256; ++d) {
+        spos[d] = vpos[d] = run;
+        run += sh[d];
+      }
+      std::vector<std::uint64_t> sk(n), vk(n);
+      std::vector<std::size_t> so(n), vo(n);
+      s.radix_scatter(keys.data(), order.data(), n, shift, spos, sk.data(),
+                      so.data());
+      v.radix_scatter(keys.data(), order.data(), n, shift, vpos, vk.data(),
+                      vo.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sk[i], vk[i]) << "scatter key i=" << i << " n=" << n;
+        EXPECT_EQ(so[i], vo[i]) << "scatter order i=" << i << " n=" << n;
+      }
+      // Stability oracle: within a digit, source order is preserved.
+      for (std::size_t i = 1; i < n; ++i) {
+        const auto digit = [&](std::uint64_t k) { return (k >> shift) & 255u; };
+        if (digit(sk[i - 1]) == digit(sk[i])) {
+          EXPECT_LT(so[i - 1], so[i]) << "stability broken at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, MindistPointRect) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  DoubleSource src(0x111D157);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto px = src.vec(n, off), py = src.vec(n, off);
+      const auto xmin = src.vec(n, off), ymin = src.vec(n, off);
+      const auto xmax = src.vec(n, off), ymax = src.vec(n, off);
+      std::vector<double> so(n + off, 0.0), vo(n + off, 0.0);
+      s.mindist_point_rect(px.data() + off, py.data() + off, xmin.data() + off,
+                           ymin.data() + off, xmax.data() + off,
+                           ymax.data() + off, so.data() + off, n);
+      v.mindist_point_rect(px.data() + off, py.data() + off, xmin.data() + off,
+                           ymin.data() + off, xmax.data() + off,
+                           ymax.data() + off, vo.data() + off, n);
+      expect_same_f64(so, vo, off, n, "mindist_point_rect");
+      for (std::size_t i = 0; i < n; ++i) {
+        const geom::Rect r{xmin[off + i], ymin[off + i], xmax[off + i],
+                           ymax[off + i]};
+        expect_same_double(so[off + i], r.distance2({px[off + i], py[off + i]}),
+                           i, "scalar kernel vs geom::Rect::distance2");
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, Dist2PointSegment) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  DoubleSource src(0xD1575E6);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto px = src.vec(n, off), py = src.vec(n, off);
+      const auto ax = src.vec(n, off), ay = src.vec(n, off);
+      const auto bx = src.vec(n, off), by = src.vec(n, off);
+      std::vector<double> so(n + off, 0.0), vo(n + off, 0.0);
+      s.dist2_point_segment(px.data() + off, py.data() + off, ax.data() + off,
+                            ay.data() + off, bx.data() + off, by.data() + off,
+                            so.data() + off, n);
+      v.dist2_point_segment(px.data() + off, py.data() + off, ax.data() + off,
+                            ay.data() + off, bx.data() + off, by.data() + off,
+                            vo.data() + off, n);
+      expect_same_f64(so, vo, off, n, "dist2_point_segment");
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_same_double(
+            so[off + i],
+            geom::distance2_point_segment({px[off + i], py[off + i]},
+                                          {ax[off + i], ay[off + i]},
+                                          {bx[off + i], by[off + i]}),
+            i, "scalar kernel vs geom::distance2_point_segment");
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, SegmentIntersectsRectAndClip) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  DoubleSource src(0xC11BB);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto ax = src.vec(n, off), ay = src.vec(n, off);
+      const auto bx = src.vec(n, off), by = src.vec(n, off);
+      const auto rxmin = src.vec(n, off), rymin = src.vec(n, off);
+      const auto rxmax = src.vec(n, off), rymax = src.vec(n, off);
+      std::vector<std::uint8_t> shit(n + off, 0), vhit(n + off, 0);
+      s.segment_intersects_rect(ax.data() + off, ay.data() + off,
+                                bx.data() + off, by.data() + off,
+                                rxmin.data() + off, rymin.data() + off,
+                                rxmax.data() + off, rymax.data() + off,
+                                shit.data() + off, n);
+      v.segment_intersects_rect(ax.data() + off, ay.data() + off,
+                                bx.data() + off, by.data() + off,
+                                rxmin.data() + off, rymin.data() + off,
+                                rxmax.data() + off, rymax.data() + off,
+                                vhit.data() + off, n);
+      std::vector<double> st0(n + off), st1(n + off), vt0(n + off),
+          vt1(n + off);
+      std::vector<std::uint8_t> sacc(n + off, 0), vacc(n + off, 0);
+      s.clip_segment_rect(ax.data() + off, ay.data() + off, bx.data() + off,
+                          by.data() + off, rxmin.data() + off,
+                          rymin.data() + off, rxmax.data() + off,
+                          rymax.data() + off, st0.data() + off,
+                          st1.data() + off, sacc.data() + off, n);
+      v.clip_segment_rect(ax.data() + off, ay.data() + off, bx.data() + off,
+                          by.data() + off, rxmin.data() + off,
+                          rymin.data() + off, rxmax.data() + off,
+                          rymax.data() + off, vt0.data() + off,
+                          vt1.data() + off, vacc.data() + off, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const geom::Point p{ax[off + i], ay[off + i]};
+        const geom::Point q{bx[off + i], by[off + i]};
+        const geom::Rect r{rxmin[off + i], rymin[off + i], rxmax[off + i],
+                           rymax[off + i]};
+        EXPECT_EQ(shit[off + i] != 0, vhit[off + i] != 0)
+            << "segment_intersects_rect i=" << i << " n=" << n;
+        EXPECT_EQ(shit[off + i] != 0, geom::segment_intersects_rect(p, q, r))
+            << "scalar kernel vs geom i=" << i;
+        EXPECT_EQ(sacc[off + i] != 0, vacc[off + i] != 0)
+            << "clip accept i=" << i;
+        double gt0 = 0.0, gt1 = 0.0;
+        const bool gacc = geom::clip_segment_to_rect(p, q, r, gt0, gt1);
+        EXPECT_EQ(sacc[off + i] != 0, gacc) << "clip vs geom i=" << i;
+        if (sacc[off + i] && vacc[off + i] && gacc) {
+          expect_same_double(st0[off + i], vt0[off + i], i, "clip t0");
+          expect_same_double(st1[off + i], vt1[off + i], i, "clip t1");
+          expect_same_double(st0[off + i], gt0, i, "clip t0 vs geom");
+          expect_same_double(st1[off + i], gt1, i, "clip t1 vs geom");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferential, PointOnSegment) {
+  const Kernels& s = scalar_kernels();
+  const Kernels& v = kernels_for(Backend::kAvx2);
+  DoubleSource src(0x90153);
+  std::mt19937_64 rng(0x90154);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      auto px = src.vec(n, off), py = src.vec(n, off);
+      auto ax = src.vec(n, off), ay = src.vec(n, off);
+      auto bx = src.vec(n, off), by = src.vec(n, off);
+      // Random p is almost never collinear; plant exact on-segment hits
+      // (and endpoint/degenerate cases) so the accept path is exercised.
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (rng() % 4) {
+          case 0:  // midpoint of an axis-aligned segment (exact in fp)
+            ax[off + i] = 2.0;
+            ay[off + i] = 8.0;
+            bx[off + i] = 10.0;
+            by[off + i] = 8.0;
+            px[off + i] = 6.0;
+            py[off + i] = 8.0;
+            break;
+          case 1:  // endpoint hit
+            px[off + i] = ax[off + i];
+            py[off + i] = ay[off + i];
+            break;
+          case 2:  // degenerate segment, p on / off it
+            bx[off + i] = ax[off + i];
+            by[off + i] = ay[off + i];
+            break;
+          default:  // leave fully random (adversarial)
+            break;
+        }
+      }
+      std::vector<std::uint8_t> so(n + off, 0), vo(n + off, 0);
+      s.point_on_segment(px.data() + off, py.data() + off, ax.data() + off,
+                         ay.data() + off, bx.data() + off, by.data() + off,
+                         so.data() + off, n);
+      v.point_on_segment(px.data() + off, py.data() + off, ax.data() + off,
+                         ay.data() + off, bx.data() + off, by.data() + off,
+                         vo.data() + off, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const geom::Point p{px[off + i], py[off + i]};
+        const geom::Point a{ax[off + i], ay[off + i]};
+        const geom::Point b{bx[off + i], by[off + i]};
+        EXPECT_EQ(so[off + i] != 0, vo[off + i] != 0)
+            << "point_on_segment i=" << i << " n=" << n;
+        EXPECT_EQ(so[off + i] != 0, geom::point_on_segment(p, a, b))
+            << "scalar kernel vs geom i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dps::dpv::simd

@@ -103,6 +103,63 @@ TEST(FaultInjector, ContextLatchesTheNthPrimitive) {
   EXPECT_FALSE(child.fault_pending());
 }
 
+// A fused pass charges one invocation per constituent primitive, and each
+// charge polls the armed injector -- so a latch scheduled for the chain's
+// 2nd or 3rd primitive trips *inside* the fused pass, exactly as it would
+// mid-chain in the unfused composition, and the pass still produces its
+// complete (correct) output.
+TEST(FaultInjector, LatchTripsMidFusedMultiPack) {
+  for (std::uint64_t nth = 1; nth <= 3; ++nth) {
+    FaultSchedule s;
+    s.fail_nth = nth;  // multi_pack of 2 vectors = map, scan, pack, pack
+    FaultInjector inj(s);
+    Context ctx;
+    ctx.arm_fault_injection(&inj, FaultInjector::scope(0, 0));
+    // Raw buffers (no primitives charged yet): the fused pass makes the
+    // 1st, 2nd and 3rd charges itself.
+    Vec<std::size_t> a(512);
+    Flags keep(512);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = i;
+      keep[i] = i % 2;
+    }
+    EXPECT_FALSE(ctx.fault_pending());
+    auto [pa] = multi_pack(ctx, keep, a);
+    // All of multi_pack's charges (1 ew + 1 scan + 1 pack >= 3) have run,
+    // so any of the first three latches has tripped by now.
+    EXPECT_TRUE(ctx.fault_pending()) << "fail_nth=" << nth;
+    EXPECT_EQ(inj.primitive_fault_count(), 1u);
+    // The faulted pass still produced complete output (fail-stop at round
+    // boundaries, not mid-write).
+    ASSERT_EQ(pa.size(), 256u);
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], 2 * i + 1);
+  }
+}
+
+TEST(FaultInjector, LatchTripsMidFusedGroupRankSelect) {
+  FaultSchedule s;
+  s.fail_nth = 2;  // trips on the fused pass's 2nd charge (the rank scan)
+  FaultInjector inj(s);
+  Context ctx;
+  ctx.arm_fault_injection(&inj, FaultInjector::scope(0, 0));
+  Vec<std::uint32_t> gid(100);
+  for (std::size_t i = 0; i < gid.size(); ++i) {
+    gid[i] = static_cast<std::uint32_t>(i / 10);
+  }
+  Vec<std::size_t> rank;
+  Flags keep = fused_group_rank_select(
+      ctx, gid, [](std::uint32_t) -> std::size_t { return 4; }, &rank);
+  EXPECT_TRUE(ctx.fault_pending());
+  EXPECT_EQ(inj.primitive_fault_count(), 1u);
+  for (std::size_t i = 0; i < gid.size(); ++i) {
+    ASSERT_EQ(rank[i], i % 10);
+    ASSERT_EQ(keep[i] != 0, i % 10 < 4);
+  }
+  // A pipeline polling at the next round boundary aborts; the latch clears
+  // on a disarmed fork exactly as for unfused primitives.
+  EXPECT_FALSE(ctx.fork_serial().fault_pending());
+}
+
 TEST(FaultInjector, ThreadPoolStallsDelayButDoNotChangeResults) {
   FaultSchedule s;
   s.lane_stall_rate = 1.0;

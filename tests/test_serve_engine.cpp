@@ -352,29 +352,61 @@ TEST_F(QueryEngineTest, ConcurrentServeCallersMatchSequential) {
   EXPECT_EQ(m.batches, static_cast<std::uint64_t>(kCallers));
 }
 
-TEST(LatencyHistogram, RecordsIntoOctaveBuckets) {
+TEST(LatencyHistogram, RecordsIntoFineBuckets) {
   LatencyHistogram h;
-  h.record(0.5);   // bucket 0
-  h.record(1.0);   // bucket 0: [1, 2)
-  h.record(3.0);   // bucket 1: [2, 4)
-  h.record(100.0); // bucket 6: [64, 128)
+  h.record(0.5);    // bucket 0: [0, 1)
+  h.record(1.0);    // bucket 1: [1, 2)
+  h.record(3.0);    // bucket 3: [3, 4)
+  h.record(100.0);  // octave [64, 128), 2us sub-buckets: [100, 102)
   EXPECT_EQ(h.count(), 4u);
-  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[0], 1u);
   EXPECT_EQ(h.buckets()[1], 1u);
-  EXPECT_EQ(h.buckets()[6], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  const std::size_t b100 = LatencyHistogram::bucket_of(100.0);
+  EXPECT_EQ(h.buckets()[b100], 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_lower_us(b100), 100.0);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_us(b100), 102.0);
 }
 
 TEST(LatencyHistogram, QuantileUpperBoundsAndMerge) {
   LatencyHistogram h;
   EXPECT_EQ(h.quantile_upper_us(0.5), 0.0);
-  for (int i = 0; i < 90; ++i) h.record(1.5);   // bucket 0, upper 2us
-  for (int i = 0; i < 10; ++i) h.record(500.0); // bucket 8, upper 512us
+  for (int i = 0; i < 90; ++i) h.record(1.5);    // bucket 1, upper 2us
+  for (int i = 0; i < 10; ++i) h.record(500.0);  // [496, 504)
   EXPECT_EQ(h.quantile_upper_us(0.5), 2.0);
-  EXPECT_EQ(h.quantile_upper_us(0.99), 512.0);
+  EXPECT_EQ(h.quantile_upper_us(0.99), 504.0);
   LatencyHistogram other;
   other.record(500.0);
   h += other;
   EXPECT_EQ(h.count(), 101u);
+}
+
+// The point of the HDR layout: every bucket that can hold a latency in the
+// serving range (32us .. 10s) is narrower than 10% of the latencies it
+// brackets, so BENCH_serve p50/p99 are real numbers rather than octave
+// edges.  Below 32us the buckets are exactly 1us wide, which is already
+// sharper in absolute terms.  Sweep the range multiplicatively and check
+// the contract at each sample, plus the bracketing invariant
+// lower <= v < upper.
+TEST(LatencyHistogram, SubTenPercentResolutionInServingRange) {
+  for (double v = 32.0; v < 10.0e6; v *= 1.03) {
+    const std::size_t b = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(b, LatencyHistogram::kBuckets);
+    const double lower = LatencyHistogram::bucket_lower_us(b);
+    const double upper = LatencyHistogram::bucket_upper_us(b);
+    EXPECT_LE(lower, v) << "v=" << v;
+    EXPECT_LT(v, upper) << "v=" << v;
+    EXPECT_LT((upper - lower) / lower, 0.10)
+        << "bucket " << b << " [" << lower << ", " << upper
+        << ") too coarse for v=" << v;
+  }
+  for (double v = 1.0; v < 32.0; v += 1.0) {
+    const std::size_t b = LatencyHistogram::bucket_of(v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_us(b) -
+                  LatencyHistogram::bucket_lower_us(b),
+              1.0)
+        << "v=" << v;
+  }
 }
 
 TEST(ServeStatus, Names) {

@@ -38,10 +38,10 @@ serve::ServeMetrics filled(std::uint64_t base) {
   m.stages.point_ms = static_cast<double>(base) + 0.75;
   m.stages.nearest_ms = static_cast<double>(base) + 1.25;
   m.stages.merge_ms = static_cast<double>(base) + 1.5;
-  // One latency sample per octave bucket: record 2^b microseconds.
+  // One latency sample per bucket: record each bucket's lower edge.
   for (std::size_t b = 0; b < serve::LatencyHistogram::kBuckets; ++b) {
     for (std::uint64_t r = 0; r <= base % 3; ++r) {
-      m.latency.record(static_cast<double>(std::uint64_t{1} << b));
+      m.latency.record(serve::LatencyHistogram::bucket_lower_us(b));
     }
   }
   return m;
