@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "core/core.hpp"
 #include "data/mapgen.hpp"
+#include "dpv/fault.hpp"
 #include "serve/cluster.hpp"
 #include "serve/engine.hpp"
 
@@ -136,6 +137,25 @@ struct ClusterRow {
   std::uint64_t routed = 0;       // shard-local sub-requests dispatched
   std::uint64_t dup_removed = 0;  // cloned hits merged away
   std::uint64_t knn_widened = 0;  // phase-2 shards consulted
+  std::vector<std::uint64_t> shard_load;  // jobs dispatched per replica
+  std::uint64_t hedges = 0;               // hedge jobs fired (healthy: 0)
+  std::uint64_t breaker_skips = 0;        // skipped while open (healthy: 0)
+};
+
+// S5 rows: open-loop trace replay against one degraded replica, hedging
+// off vs on.
+struct TraceRow {
+  bool hedging = false;
+  double wall_ms = 0.0;
+  double ok_p50_us = 0.0;
+  double ok_p99_us = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t partial = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t subrequest_timeouts = 0;
+  std::uint64_t degraded_fallback = 0;
+  bool identical = false;
 };
 
 struct HotWindowResult {
@@ -149,12 +169,16 @@ struct HotWindowResult {
 };
 
 // BENCH_serve.json: the S1 sweep, the S3 knn-mix sweep, the S4 cluster
-// shard sweep + hot-window cache A/B, and the per-shard arena counters --
-// the machine-readable record CI uploads to track the serving trajectory.
+// shard sweep + hot-window cache A/B, the S5 degraded-replica trace
+// replay, and the per-shard arena/load counters -- the machine-readable
+// record CI uploads to track the serving trajectory.
 void write_json(const char* path, const std::vector<EngineRow>& rows,
                 double seq_ms, const std::vector<EngineRow>& knn_rows,
                 double knn_seq_ms, const std::vector<ClusterRow>& cluster_rows,
-                const HotWindowResult& hot) {
+                const HotWindowResult& hot,
+                const std::vector<TraceRow>& trace_rows,
+                std::size_t trace_batches, std::size_t trace_batch_size,
+                std::uint64_t trace_interval_us, std::uint64_t trace_stall_us) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -178,20 +202,56 @@ void write_json(const char* path, const std::vector<EngineRow>& rows,
                  "      {\"shards\": %zu, \"ms\": %.2f, \"req_per_s\": %.0f, "
                  "\"identical\": %s, \"routed_subrequests\": %llu, "
                  "\"duplicate_hits_removed\": %llu, "
-                 "\"knn_widened_shards\": %llu}%s\n",
+                 "\"knn_widened_shards\": %llu, "
+                 "\"hedges_issued\": %llu, \"breaker_skips\": %llu, "
+                 "\"shard_load\": [",
                  r.shards, r.ms, r.req_per_s, r.identical ? "true" : "false",
                  static_cast<unsigned long long>(r.routed),
                  static_cast<unsigned long long>(r.dup_removed),
                  static_cast<unsigned long long>(r.knn_widened),
-                 i + 1 < cluster_rows.size() ? "," : "");
+                 static_cast<unsigned long long>(r.hedges),
+                 static_cast<unsigned long long>(r.breaker_skips));
+    for (std::size_t s = 0; s < r.shard_load.size(); ++s) {
+      std::fprintf(f, "%llu%s",
+                   static_cast<unsigned long long>(r.shard_load[s]),
+                   s + 1 < r.shard_load.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < cluster_rows.size() ? "," : "");
   }
   std::fprintf(f,
                "    ],\n    \"hot_window\": {\"requests\": %zu, "
                "\"distinct_windows\": %zu, \"batch\": %zu, "
                "\"cache_off_ms\": %.2f, \"cache_on_ms\": %.2f, "
-               "\"hit_rate\": %.4f, \"identical\": %s}\n  }\n}\n",
+               "\"hit_rate\": %.4f, \"identical\": %s}\n  },\n",
                hot.requests, hot.distinct_windows, hot.batch, hot.off_ms,
                hot.on_ms, hot.hit_rate, hot.identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"s5\": {\n    \"trace_batches\": %zu, "
+               "\"batch_size\": %zu, \"interval_us\": %llu, "
+               "\"stalled_replica\": 0, \"stall_us\": %llu,\n"
+               "    \"series\": [\n",
+               trace_batches, trace_batch_size,
+               static_cast<unsigned long long>(trace_interval_us),
+               static_cast<unsigned long long>(trace_stall_us));
+  for (std::size_t i = 0; i < trace_rows.size(); ++i) {
+    const TraceRow& r = trace_rows[i];
+    std::fprintf(f,
+                 "      {\"hedging\": %s, \"wall_ms\": %.2f, "
+                 "\"ok_p50_us\": %.0f, \"ok_p99_us\": %.0f, \"ok\": %llu, "
+                 "\"partial\": %llu, \"hedges_issued\": %llu, "
+                 "\"hedges_won\": %llu, \"subrequest_timeouts\": %llu, "
+                 "\"degraded_fallback\": %llu, \"identical\": %s}%s\n",
+                 r.hedging ? "true" : "false", r.wall_ms, r.ok_p50_us,
+                 r.ok_p99_us, static_cast<unsigned long long>(r.ok),
+                 static_cast<unsigned long long>(r.partial),
+                 static_cast<unsigned long long>(r.hedges_issued),
+                 static_cast<unsigned long long>(r.hedges_won),
+                 static_cast<unsigned long long>(r.subrequest_timeouts),
+                 static_cast<unsigned long long>(r.degraded_fallback),
+                 r.identical ? "true" : "false",
+                 i + 1 < trace_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -323,18 +383,24 @@ int main(int argc, char** argv) {
   cluster_mo.quad = po;
   cluster_mo.rtree = ro;
   cluster_mo.build_linear = false;  // the workload never asks for it
+  // S4 hygiene: the earlier flat shard sweep came from oversubscription --
+  // N replicas x 2 worker lanes each on a box with
+  // hardware_concurrency() cores means every added shard just time-sliced
+  // the same cores.  One lane per replica makes the dispatcher fan-out the
+  // only concurrency, so the sweep now measures routing + merge overhead
+  // honestly instead of scheduler noise.
   auto make_cluster = [&](std::size_t shards, bool cache_on) {
     serve::ClusterOptions co;
     co.shards = shards;
     co.cache.enabled = cache_on;
     co.engine.shards = 2;
-    co.engine.threads = 2;
+    co.engine.threads = 1;
     co.engine.min_dp_batch = 8;
     return co;
   };
 
   std::vector<ClusterRow> cluster_rows;
-  std::printf("\nS4: sharded cluster (replicas: 2 lanes each, cache off), "
+  std::printf("\nS4: sharded cluster (replicas: 1 lane each, cache off), "
               "same %zu-request mix\n",
               batch.size());
   std::printf("%-22s %10s %12s %9s %12s %10s  %s\n", "config", "ms", "req/s",
@@ -355,6 +421,11 @@ int main(int argc, char** argv) {
     row.routed = m.routed_subrequests / m.batches;
     row.dup_removed = m.duplicate_hits_removed / m.batches;
     row.knn_widened = m.knn_widened_shards / m.batches;
+    for (const serve::ReplicaHealth& rh : m.replicas) {
+      row.shard_load.push_back(rh.subrequests);
+      row.hedges += rh.hedges;
+      row.breaker_skips += rh.breaker_skips;
+    }
     cluster_rows.push_back(row);
     char config[64];
     std::snprintf(config, sizeof config, "cluster/%zu-shard", shards);
@@ -432,9 +503,143 @@ int main(int argc, char** argv) {
                 hot.identical ? "identical" : "MISMATCH");
   }
 
+  // S5: open-loop trace replay with one degraded replica.  A fixed
+  // arrival schedule of small batches, skewed toward shard 0's footprint,
+  // replays against a 4-shard cluster whose replica 0 stalls 15 ms on
+  // every subrequest.  Client latency is measured from the *scheduled*
+  // arrival, so queueing delay counts (open-loop, not closed-loop).  With
+  // hedging off, the stall rides every affected batch and the backlog
+  // compounds; with hedging on, the whole-map hedge fires at the clamped
+  // delay and bounds ok-p99.  Both arms must stay byte-identical: hedge
+  // answers are exact, never approximate.
+  constexpr std::size_t kTraceBatches = 150;
+  constexpr std::size_t kTraceBatch = 8;
+  constexpr std::uint64_t kTraceIntervalUs = 6'000;
+  constexpr std::uint64_t kTraceStallUs = 15'000;
+  std::vector<TraceRow> trace_rows;
+  {
+    std::printf("\nS5: open-loop trace replay (4 shards, replica 0 stalls "
+                "%llu us, %zu batches of %zu every %llu us)\n",
+                static_cast<unsigned long long>(kTraceStallUs), kTraceBatches,
+                kTraceBatch,
+                static_cast<unsigned long long>(kTraceIntervalUs));
+    std::printf("%-22s %10s %11s %11s %8s %8s %9s\n", "config", "wall_ms",
+                "ok_p50(us)", "ok_p99(us)", "hedged", "won", "results");
+
+    std::uint64_t sum_off = 0, sum_on = 0;
+    for (const bool hedging : {false, true}) {
+      dpv::FaultInjector inject;
+      dpv::FaultSchedule fs;
+      fs.seed = 5;
+      fs.replica_fault_mask = 1u;  // only replica 0 is sick
+      fs.replica_stall_rate = 1.0;
+      fs.replica_stall_us = std::chrono::microseconds(kTraceStallUs);
+      inject.set_schedule(fs);
+
+      serve::ClusterOptions co = make_cluster(4, /*cache_on=*/false);
+      co.replica_fault_injectors = {&inject};
+      co.hedge.enabled = hedging;
+      co.hedge.initial_delay = std::chrono::microseconds(3'000);
+      // The sick replica's own ledger reads ~15 ms; the clamp keeps the
+      // hedge from learning to wait out the stall.
+      co.hedge.max_delay = std::chrono::microseconds(5'000);
+      serve::Cluster cluster(co);
+      cluster.mount(lines, cluster_mo);
+
+      // Skewed trace: ~60% of requests land in shard 0's footprint.
+      const geom::Rect fp0 = cluster.plan().footprints[0];
+      const geom::Point hot_center = fp0.center();
+      std::mt19937_64 rng(99);
+      std::uniform_real_distribution<double> pos(0.0, kWorld - 1.0);
+      std::uniform_real_distribution<double> jitter(-60.0, 60.0);
+      std::uniform_real_distribution<double> extent(8.0, 80.0);
+      std::uniform_int_distribution<int> roll(0, 9);
+      std::vector<std::vector<serve::Request>> trace(kTraceBatches);
+      for (auto& b : trace) {
+        for (std::size_t i = 0; i < kTraceBatch; ++i) {
+          const auto idx = roll(rng) % 2 == 0 ? serve::IndexKind::kQuadTree
+                                              : serve::IndexKind::kRTree;
+          const int r = roll(rng);
+          if (r < 6) {
+            const double x = hot_center.x + jitter(rng);
+            const double y = hot_center.y + jitter(rng);
+            b.push_back(serve::Request::window_query(
+                idx, {x, y, x + extent(rng), y + extent(rng)}));
+          } else if (r < 8) {
+            const double x = pos(rng), y = pos(rng);
+            b.push_back(serve::Request::window_query(
+                idx, {x, y, std::min(kWorld, x + extent(rng)),
+                      std::min(kWorld, y + extent(rng))}));
+          } else {
+            b.push_back(
+                serve::Request::point_query(idx, {pos(rng), pos(rng)}));
+          }
+        }
+      }
+
+      std::uint64_t h = 1469598103934665603ull;
+      std::vector<double> ok_lat;
+      ok_lat.reserve(kTraceBatches * kTraceBatch);
+      const auto start = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(5);
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto scheduled =
+            start + std::chrono::microseconds(i * kTraceIntervalUs);
+        std::this_thread::sleep_until(scheduled);
+        std::vector<serve::Request> b = trace[i];
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+        for (serve::Request& rq : b) rq.with_deadline(deadline);
+        const auto responses = cluster.serve(b);
+        const double late_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() -
+                                   scheduled)
+                                   .count();
+        h ^= checksum(responses);
+        for (const serve::Response& r : responses) {
+          if (r.status == serve::Status::kOk) ok_lat.push_back(late_us);
+        }
+      }
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+
+      std::sort(ok_lat.begin(), ok_lat.end());
+      auto quantile = [&ok_lat](double q) {
+        if (ok_lat.empty()) return 0.0;
+        return ok_lat[static_cast<std::size_t>(
+            q * static_cast<double>(ok_lat.size() - 1))];
+      };
+      const serve::ClusterMetrics m = cluster.metrics();
+      TraceRow row;
+      row.hedging = hedging;
+      row.wall_ms = wall_ms;
+      row.ok_p50_us = quantile(0.50);
+      row.ok_p99_us = quantile(0.99);
+      row.ok = m.ok;
+      row.partial = m.partial;
+      row.hedges_issued = m.hedges_issued;
+      row.hedges_won = m.hedges_won;
+      row.subrequest_timeouts = m.subrequest_timeouts;
+      row.degraded_fallback = m.degraded_fallback;
+      (hedging ? sum_on : sum_off) = h;
+      trace_rows.push_back(row);
+    }
+    trace_rows[0].identical = trace_rows[1].identical = sum_off == sum_on;
+    for (const TraceRow& r : trace_rows) {
+      std::printf("%-22s %10.2f %11.0f %11.0f %8llu %8llu  %s\n",
+                  r.hedging ? "trace/hedging-on" : "trace/hedging-off",
+                  r.wall_ms, r.ok_p50_us, r.ok_p99_us,
+                  static_cast<unsigned long long>(r.hedges_issued),
+                  static_cast<unsigned long long>(r.hedges_won),
+                  r.identical ? "identical" : "MISMATCH");
+    }
+  }
+
   if (json) {
     write_json("BENCH_serve.json", rows, seq_ms, knn_rows, knn_seq_ms,
-               cluster_rows, hot);
+               cluster_rows, hot, trace_rows, kTraceBatches, kTraceBatch,
+               kTraceIntervalUs, kTraceStallUs);
   }
 
   // S2: overload.  Offered load deliberately exceeds capacity: many client

@@ -27,6 +27,11 @@ namespace dps::core {
 struct BatchControl {
   /// External kill switch; null means "cannot be cancelled".
   const std::atomic<bool>* cancel = nullptr;
+  /// Second kill switch (same semantics), so a per-call scope can be
+  /// cancelled independently of its owner's engine-wide switch -- the
+  /// cluster's hedged dispatch aborts the losing subrequest through this
+  /// hook without touching the replica's own cancel flag.
+  const std::atomic<bool>* cancel2 = nullptr;
   /// Absolute deadline; the epoch (default) means "no deadline".
   std::chrono::steady_clock::time_point deadline{};
 
@@ -36,6 +41,9 @@ struct BatchControl {
   /// True once the control has fired (checked at round granularity).
   bool fired() const noexcept {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (cancel2 != nullptr && cancel2->load(std::memory_order_relaxed)) {
       return true;
     }
     return has_deadline() && std::chrono::steady_clock::now() >= deadline;

@@ -39,6 +39,32 @@ bool FaultInjector::shard_poisoned(std::uint64_t scope) const noexcept {
               mix64(schedule_.seed ^ mix64(scope ^ 0x73686400ull)));
 }
 
+ReplicaFault FaultInjector::replica_fault(std::size_t replica,
+                                          std::uint64_t scope) const noexcept {
+  ReplicaFault out;
+  if (replica < 64 &&
+      (schedule_.replica_fault_mask & (std::uint64_t{1} << replica)) == 0) {
+    return out;
+  }
+  const std::uint64_t u = mix64(
+      schedule_.seed ^ mix64(std::uint64_t{replica} ^ 0x72706C00ull) ^ scope);
+  // One uniform draw per decision point, re-salted per kind, evaluated in
+  // severity order so overlapping rates compose predictably.
+  if (roll(schedule_.replica_crash_rate, mix64(u ^ 0x63726100ull))) {
+    out.kind = ReplicaFaultKind::kCrash;
+    return out;
+  }
+  if (roll(schedule_.replica_stuck_rate, mix64(u ^ 0x73746B00ull))) {
+    out.kind = ReplicaFaultKind::kStuck;
+    return out;
+  }
+  if (roll(schedule_.replica_stall_rate, mix64(u ^ 0x73746C00ull))) {
+    out.kind = ReplicaFaultKind::kStall;
+    out.stall = schedule_.replica_stall_us;
+  }
+  return out;
+}
+
 std::chrono::microseconds FaultInjector::lane_stall(
     std::size_t lane, std::uint64_t launch) const noexcept {
   const bool stall =

@@ -16,6 +16,13 @@
 //     (`ThreadPool::run` asks when the pool is armed via
 //     `ThreadPool::set_fault_injector`; a stall only delays a lane, it
 //     never changes results)
+//   * does replica R misbehave for dispatch scope S, and how?
+//     (the cluster's dispatcher asks before handing a subrequest to a
+//     replica engine; the answer is one of stall-for-a-duration,
+//     stuck-forever -- the reply simply never arrives -- or fail-fast
+//     crash.  Failure-domain machinery above the injection point --
+//     hedging, circuit breakers, degradation -- turns these into bounded
+//     latency, never into wrong answers)
 //
 // Every answer is a pure function of (seed, coordinates) through
 // splitmix64, never of wall clock or call interleaving, so a schedule
@@ -51,6 +58,31 @@ struct FaultSchedule {
 
   // Shard poisoning (per shard-attempt scope).
   double shard_poison_rate = 0.0;
+
+  // Replica-level faults (per (replica, dispatch scope)); evaluated by the
+  // cluster dispatcher before a subrequest reaches the replica engine.
+  // Precedence when several rates fire for one decision point:
+  // crash > stuck > stall.  `replica_fault_mask` gates which replicas can
+  // misbehave at all (bit r = replica r; default everyone), so a schedule
+  // can pin the chaos to one failure domain.
+  std::uint64_t replica_fault_mask = ~std::uint64_t{0};
+  double replica_stall_rate = 0.0;
+  std::chrono::microseconds replica_stall_us{2000};
+  double replica_stuck_rate = 0.0;
+  double replica_crash_rate = 0.0;
+};
+
+/// How a replica misbehaves for one dispatch scope.
+enum class ReplicaFaultKind : std::uint8_t {
+  kNone = 0,
+  kStall,  // delay the subrequest by `stall`, then answer normally
+  kStuck,  // the reply never arrives (dropped, not joined on)
+  kCrash,  // fail fast: an immediate replica-level failure, no answer
+};
+
+struct ReplicaFault {
+  ReplicaFaultKind kind = ReplicaFaultKind::kNone;
+  std::chrono::microseconds stall{0};  // meaningful for kStall only
 };
 
 class FaultInjector {
@@ -60,6 +92,13 @@ class FaultInjector {
       : schedule_(schedule) {}
 
   const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Replaces the schedule.  Not synchronized: call while no decision
+  /// point is concurrently asking (chaos tests use it between phases, e.g.
+  /// to heal a crashing replica and watch a circuit breaker close).
+  void set_schedule(const FaultSchedule& schedule) noexcept {
+    schedule_ = schedule;
+  }
 
   /// Combines logical coordinates (shard id, attempt number, ...) into one
   /// scope id.  Pure; the same coordinates always name the same scope.
@@ -77,6 +116,13 @@ class FaultInjector {
   std::chrono::microseconds lane_stall(std::size_t lane,
                                        std::uint64_t launch) const noexcept;
 
+  /// How replica `replica` misbehaves for dispatch scope `scope` (kNone =
+  /// healthy).  Pure decision -- (seed, replica, scope) only, never wall
+  /// clock -- so the *set of faulted subrequests* replays bit-identically
+  /// even though hedge timing varies run to run.
+  ReplicaFault replica_fault(std::size_t replica,
+                             std::uint64_t scope) const noexcept;
+
   // Observability tallies (no decision reads them).
   void note_primitive_fault() noexcept {
     primitive_faults_.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +133,20 @@ class FaultInjector {
   void note_lane_stall() noexcept {
     lane_stalls_.fetch_add(1, std::memory_order_relaxed);
   }
+  void note_replica_fault(ReplicaFaultKind kind) noexcept {
+    switch (kind) {
+      case ReplicaFaultKind::kNone: break;
+      case ReplicaFaultKind::kStall:
+        replica_stalls_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReplicaFaultKind::kStuck:
+        replica_stucks_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ReplicaFaultKind::kCrash:
+        replica_crashes_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
   std::uint64_t primitive_fault_count() const noexcept {
     return primitive_faults_.load(std::memory_order_relaxed);
   }
@@ -96,12 +156,24 @@ class FaultInjector {
   std::uint64_t lane_stall_count() const noexcept {
     return lane_stalls_.load(std::memory_order_relaxed);
   }
+  std::uint64_t replica_stall_count() const noexcept {
+    return replica_stalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replica_stuck_count() const noexcept {
+    return replica_stucks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replica_crash_count() const noexcept {
+    return replica_crashes_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultSchedule schedule_;
   std::atomic<std::uint64_t> primitive_faults_{0};
   std::atomic<std::uint64_t> shards_poisoned_{0};
   std::atomic<std::uint64_t> lane_stalls_{0};
+  std::atomic<std::uint64_t> replica_stalls_{0};
+  std::atomic<std::uint64_t> replica_stucks_{0};
+  std::atomic<std::uint64_t> replica_crashes_{0};
 };
 
 }  // namespace dps::dpv

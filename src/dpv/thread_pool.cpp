@@ -88,4 +88,47 @@ void ThreadPool::worker_loop(std::size_t lane) {
   }
 }
 
+AsyncPool::AsyncPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncPool::~AsyncPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+    queue_.clear();  // not-yet-started jobs are discarded, never run
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void AsyncPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void AsyncPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
 }  // namespace dps::dpv

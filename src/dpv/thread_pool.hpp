@@ -7,9 +7,11 @@
 // every dpv primitive is a flat data-parallel step, so the only operation we
 // need is "run f(worker_index) on all workers and wait".
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -77,6 +79,49 @@ class ThreadPool {
   std::size_t generation_ = 0;    // bumped per launch; wakes sleepers
   std::size_t outstanding_ = 0;   // helper lanes still running the job
   bool stop_ = false;
+};
+
+/// Persistent submit-and-forget worker pool for async fan-out.
+///
+/// Unlike the fork-join ThreadPool above there is no join: `submit`
+/// enqueues a closure and returns immediately, and completion is signalled
+/// through state the closure itself owns (the cluster dispatcher shares
+/// its per-subrequest state via shared_ptr, so a job outliving the call
+/// that submitted it is safe -- that is exactly how a late reply from a
+/// stuck replica gets *dropped* instead of joined on).
+///
+/// Shutdown contract: the destructor discards jobs that have not started
+/// and joins the workers.  A long-running job (an injected replica stall
+/// or stuck-forever fault) must poll `stopping()` so teardown is never
+/// wedged on chaos.
+class AsyncPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit AsyncPool(std::size_t num_threads);
+  ~AsyncPool();
+
+  AsyncPool(const AsyncPool&) = delete;
+  AsyncPool& operator=(const AsyncPool&) = delete;
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues `job` for execution on some worker, FIFO.  Never blocks on
+  /// job execution; jobs submitted after shutdown began are dropped.
+  void submit(std::function<void()> job);
+
+  /// True once destruction began; long-running jobs poll this.
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
 };
 
 }  // namespace dps::dpv

@@ -80,4 +80,38 @@ class AdmissionController {
   AdmissionStats stats_;
 };
 
+/// RAII admit/finish pairing: construction offers the batch, destruction
+/// releases the token and request budget of an admitted one.  A throw
+/// anywhere between admission and settle can no longer leak in-flight
+/// budget (which would permanently shrink the controller's capacity).
+class AdmissionGuard {
+ public:
+  AdmissionGuard(AdmissionController& controller, std::size_t requests,
+                 Priority priority)
+      : controller_(controller),
+        requests_(requests),
+        admitted_(controller.admit(requests, priority) ==
+                  AdmissionController::Outcome::kAdmitted) {}
+
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+
+  ~AdmissionGuard() { release(); }
+
+  bool admitted() const noexcept { return admitted_; }
+
+  /// Early release (idempotent); the destructor is the exception backstop.
+  void release() noexcept {
+    if (admitted_) {
+      admitted_ = false;
+      controller_.finish(requests_);
+    }
+  }
+
+ private:
+  AdmissionController& controller_;
+  std::size_t requests_;
+  bool admitted_;
+};
+
 }  // namespace dps::serve

@@ -1,0 +1,63 @@
+#include "serve/breaker.hpp"
+
+namespace dps::serve {
+
+CircuitBreaker::Gate CircuitBreaker::admit(Clock::time_point now) {
+  if (!opts_.enabled) return Gate::kDispatch;
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return Gate::kDispatch;
+    case State::kOpen:
+      if (now - opened_at_ < opts_.cooldown) return Gate::kSkip;
+      state_ = State::kHalfOpen;
+      probe_inflight_ = false;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_inflight_) return Gate::kSkip;
+      probe_inflight_ = true;
+      return Gate::kProbe;
+  }
+  return Gate::kDispatch;
+}
+
+bool CircuitBreaker::on_success() {
+  if (!opts_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_ = 0;
+  probe_inflight_ = false;
+  if (state_ == State::kClosed) return false;
+  state_ = State::kClosed;
+  return true;
+}
+
+bool CircuitBreaker::on_failure(Clock::time_point now) {
+  if (!opts_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_;
+  probe_inflight_ = false;
+  if (state_ == State::kOpen) {
+    // Late failure from a subrequest dispatched before the trip: stays
+    // open, restart the quarantine clock.
+    opened_at_ = now;
+    return false;
+  }
+  if (state_ == State::kHalfOpen || consecutive_ >= opts_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    return true;
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_;
+}
+
+}  // namespace dps::serve

@@ -1,0 +1,86 @@
+#pragma once
+// Per-replica circuit breaker for the cluster's failure-domain dispatch.
+//
+// Classic three-state machine, tuned for the subrequest granularity the
+// cluster dispatches at:
+//
+//   closed ---- `failure_threshold` consecutive failures ----> open
+//   open ------ `cooldown` elapses, next admit() ------------> half-open
+//   half-open - the single probe succeeds -------------------> closed
+//   half-open - the probe fails -----------------------------> open
+//
+// While open, admit() answers kSkip and the cluster settles the shard's
+// requests without consulting the replica at all (fallback oracle or
+// kPartial) -- a crashed or wedged failure domain stops costing dispatch
+// budget and hedge traffic.  Half-open admits exactly one probe
+// subrequest at a time; regular traffic keeps skipping until the probe
+// closes the breaker, so a still-sick replica is re-checked at cooldown
+// granularity instead of being hammered.
+//
+// A "failure" is a replica-level event: a fail-fast crash fault, a
+// subrequest abandoned at its deadline budget, or losing to a hedge (the
+// replica exceeded its own observed-p99-derived delay).  Engine-level
+// non-kOk *statuses* (a request whose deadline expired before dispatch,
+// say) are not failures -- the replica answered; the request was just
+// dead.
+//
+// Thread-safety: all methods lock the breaker's own mutex; calls are
+// cheap and uncontended (one breaker per replica, touched a handful of
+// times per batch).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace dps::serve {
+
+struct BreakerOptions {
+  /// Master switch; disabled (the default) admits everything and never
+  /// opens, reproducing the pre-breaker cluster.
+  bool enabled = false;
+  /// Consecutive replica-level failures that trip closed -> open.
+  std::size_t failure_threshold = 4;
+  /// Open -> half-open quarantine; the first admit() after it elapses
+  /// becomes the probe.
+  std::chrono::microseconds cooldown{20'000};
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// What the caller should do with a subrequest it is about to dispatch.
+  enum class Gate : std::uint8_t {
+    kDispatch,  // closed (or breaker disabled): dispatch normally
+    kProbe,     // half-open: dispatch as the single recovery probe
+    kSkip,      // open (or a probe is already in flight): degrade
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(const BreakerOptions& opts) : opts_(opts) {}
+
+  Gate admit(Clock::time_point now);
+
+  /// Records a successful subrequest.  Returns true when this success
+  /// closed the breaker (half-open probe came back healthy).
+  bool on_success();
+
+  /// Records a replica-level failure.  Returns true when this failure
+  /// tripped the breaker open (from closed or half-open).
+  bool on_failure(Clock::time_point now);
+
+  State state() const;
+  std::size_t consecutive_failures() const;
+
+ private:
+  BreakerOptions opts_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::size_t consecutive_ = 0;
+  bool probe_inflight_ = false;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace dps::serve

@@ -1,11 +1,13 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
-#include <array>
+#include <condition_variable>
 #include <limits>
 #include <thread>
 #include <utility>
 
+#include "core/nearest.hpp"
+#include "core/query.hpp"
 #include "core/validate.hpp"
 
 namespace dps::serve {
@@ -71,6 +73,31 @@ std::uint64_t merge_neighbors(std::vector<core::Neighbor>& pool,
   return removed;
 }
 
+/// Absolute wait budget for a subrequest job: the earliest request
+/// deadline minus `reserve` (so the sequential fallback settle still fits
+/// inside the deadline; when the deadline is nearer than the reserve the
+/// full window is used), further capped by `cap` when set.  The epoch
+/// means "no budget: wait for the reply".
+Clock::time_point job_budget(const std::vector<Request>& reqs,
+                             Clock::time_point now,
+                             std::chrono::microseconds reserve,
+                             std::chrono::microseconds cap) {
+  Clock::time_point budget{};
+  for (const Request& rq : reqs) {
+    if (!rq.has_deadline()) continue;
+    Clock::time_point t = *rq.deadline - reserve;
+    if (t <= now) t = *rq.deadline;
+    if (budget.time_since_epoch().count() == 0 || t < budget) budget = t;
+  }
+  if (cap.count() > 0) {
+    const Clock::time_point capped = now + cap;
+    if (budget.time_since_epoch().count() == 0 || capped < budget) {
+      budget = capped;
+    }
+  }
+  return budget;
+}
+
 }  // namespace
 
 ClusterMetrics& ClusterMetrics::operator+=(
@@ -83,72 +110,231 @@ ClusterMetrics& ClusterMetrics::operator+=(
   rejected += other.rejected;
   shedded += other.shedded;
   invalid += other.invalid;
+  partial += other.partial;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_bypasses += other.cache_bypasses;
   routed_subrequests += other.routed_subrequests;
   knn_widened_shards += other.knn_widened_shards;
   duplicate_hits_removed += other.duplicate_hits_removed;
-  // `cache` is a point-in-time snapshot attached by metrics(), not a
-  // foldable counter set.
+  hedges_issued += other.hedges_issued;
+  hedges_won += other.hedges_won;
+  subrequest_timeouts += other.subrequest_timeouts;
+  replica_crashes += other.replica_crashes;
+  missing_shard_answers += other.missing_shard_answers;
+  degraded_fallback += other.degraded_fallback;
+  breaker_open_transitions += other.breaker_open_transitions;
+  breaker_close_transitions += other.breaker_close_transitions;
+  breaker_half_open_probes += other.breaker_half_open_probes;
+  breaker_skipped_subrequests += other.breaker_skipped_subrequests;
+  latency += other.latency;
+  // `cache` and `replicas` are point-in-time snapshots attached by
+  // metrics(), not foldable counter sets.
   return *this;
 }
+
+/// Long-lived per-replica failure-domain state.
+struct Cluster::ReplicaState {
+  explicit ReplicaState(const BreakerOptions& bo) : breaker(bo) {}
+
+  CircuitBreaker breaker;
+  dpv::FaultInjector* injector = nullptr;  // replica-level chaos hook
+
+  mutable std::mutex mutex;  // guards the ledger and counters below
+  LatencyHistogram ledger;   // completed subrequest wall time (the hedge
+                             // delay derives from its observed quantile)
+  std::uint64_t subrequests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t breaker_skips = 0;
+};
+
+/// One dispatched subrequest (primary or hedge).  Held via shared_ptr by
+/// both the serving thread and the pool job, so an abandoned job can
+/// outlive the batch that issued it: a late reply is dropped, not joined
+/// on.
+struct Cluster::SubJob {
+  QueryEngine* engine = nullptr;
+  std::size_t replica = 0;   // owning primary's coordinate
+  bool is_primary = true;    // hedges never feed the ledger or faults
+  bool whole_map = false;    // fallback-engine hedge: answer is global
+  dpv::FaultInjector* injector = nullptr;
+  std::uint64_t fault_scope = 0;
+  std::vector<Request> reqs;
+  std::vector<Response> rsps;  // read only via usable()
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> crashed{false};
+  std::atomic<bool> abandoned{false};
+  std::atomic<bool> cancel{false};  // per-call engine BatchControl hook
+  Clock::time_point submitted{};
+  Clock::time_point finished{};  // written before done (release/acquire)
+  Clock::time_point budget{};    // epoch = none
+
+  bool has_budget() const noexcept {
+    return budget.time_since_epoch().count() != 0;
+  }
+
+  // Wait-loop bookkeeping; touched by the serving thread only.
+  bool resolved = false;
+  bool timed_out = false;
+  bool lost_hedge = false;
+
+  /// True when the merge may consume this job's responses.  Excludes
+  /// answers that landed after abandonment: using them would make the
+  /// merge timing-dependent.
+  bool usable() const noexcept {
+    return resolved && !timed_out && !lost_hedge &&
+           done.load(std::memory_order_acquire) &&
+           !crashed.load(std::memory_order_relaxed);
+  }
+};
+
+/// Completion signal shared by a round's jobs and the serving thread.
+struct Cluster::Waiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t events = 0;  // completions published (or dropped early)
+};
+
+struct Cluster::RoundSlot {
+  std::shared_ptr<SubJob> primary;
+  std::shared_ptr<SubJob> hedge;
+  bool skipped = false;        // breaker open: never dispatched
+  bool hedge_decided = false;  // hedge fired, or ruled out for this slot
+};
+
+struct Cluster::Pending {
+  std::size_t index = 0;  // into the batch
+  ResultCache::Key key;
+  bool fill_cache = false;  // missed; memoize on a healthy kOk merge
+  bool knn = false;
+  bool hedged = false;   // a consumed answer came from a hedge
+  bool settled = false;  // answered before the final merge pass
+  struct Slot {
+    std::size_t round, shard, pos;
+  };
+  std::vector<Slot> slots;
+};
 
 Cluster::Cluster(ClusterOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cache), admission_(opts_.admission) {
   shards_ = opts_.shards == 0 ? 1 : opts_.shards;
   engines_.reserve(shards_);
+  replica_state_.reserve(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
     EngineOptions eo = opts_.engine;
     if (s < opts_.replica_fault_injectors.size()) {
       eo.fault_injector = opts_.replica_fault_injectors[s];
     }
     engines_.push_back(std::make_unique<QueryEngine>(eo));
+    auto state = std::make_unique<ReplicaState>(opts_.breaker);
+    state->injector = eo.fault_injector;
+    replica_state_.push_back(std::move(state));
   }
+  if (opts_.backup_replicas) {
+    // Backups run the plain engine template: they are the recovery path,
+    // so per-replica chaos hooks never apply to them.
+    backups_.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      backups_.push_back(std::make_unique<QueryEngine>(opts_.engine));
+    }
+  }
+  if (opts_.fallback_engine) {
+    fallback_engine_ = std::make_unique<QueryEngine>(opts_.engine);
+  }
+  std::size_t workers = opts_.dispatcher_threads;
+  if (workers == 0) {
+    // Every primary plus every possible hedge can run at once.
+    workers = std::min<std::size_t>(2 * shards_ + 2, 32);
+  }
+  dispatch_pool_ = std::make_unique<dpv::AsyncPool>(workers);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Dispatcher first: queued jobs are discarded and running ones joined
+  // (stuck-fault jobs poll stopping()), so nothing can reference the
+  // engines or mounted indexes destroyed after this.
+  dispatch_pool_.reset();
+}
 
 void Cluster::mount(const std::vector<geom::Segment>& lines,
                     const ClusterMountOptions& mopts) {
   // Build outside the lock: serving stays live on the previous generation
-  // while the new shard indexes assemble, and only the pointer swap (plus
-  // the cache-epoch bump) excludes in-flight batches.
+  // while the new shard indexes assemble.  Heap storage keeps element
+  // addresses stable across the swap below.
   const geom::Rect extent{0.0, 0.0, mopts.world, mopts.world};
   core::ShardedSegments sharded =
       core::shard_segments(lines, extent, shards_);
-  std::vector<ShardIndexes> built(shards_);
+  auto built = std::make_unique<std::vector<ShardIndexes>>(shards_);
   dpv::Context build_ctx;  // serial: deterministic shard builds
   for (std::size_t s = 0; s < shards_; ++s) {
     if (sharded.shards[s].empty()) continue;
     core::PmrBuildOptions po = mopts.quad;
     po.world = mopts.world;
-    built[s].quad = core::pmr_build(build_ctx, sharded.shards[s], po).tree;
-    built[s].rtree =
+    ShardIndexes& slot = (*built)[s];
+    slot.quad = core::pmr_build(build_ctx, sharded.shards[s], po).tree;
+    slot.rtree =
         core::rtree_build(build_ctx, sharded.shards[s], mopts.rtree).tree;
     if (mopts.build_linear) {
-      built[s].linear = core::LinearQuadTree::from(built[s].quad);
+      slot.linear = core::LinearQuadTree::from(slot.quad);
     }
-    built[s].empty = false;
+    slot.empty = false;
+  }
+  // Whole-map fallback indexes (a 1-shard plan IS the whole map, so shard
+  // 0's indexes are reused there).
+  std::unique_ptr<ShardIndexes> fb;
+  if (fallback_engine_ != nullptr && shards_ > 1 && !lines.empty()) {
+    fb = std::make_unique<ShardIndexes>();
+    core::PmrBuildOptions po = mopts.quad;
+    po.world = mopts.world;
+    fb->quad = core::pmr_build(build_ctx, lines, po).tree;
+    fb->rtree = core::rtree_build(build_ctx, lines, mopts.rtree).tree;
+    if (mopts.build_linear) fb->linear = core::LinearQuadTree::from(fb->quad);
+    fb->empty = false;
   }
 
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
-  sharded_ = std::move(sharded);
-  indexes_ = std::move(built);
-  for (std::size_t s = 0; s < shards_; ++s) {
-    // Remount every replica -- empty shards unmount so a dangling pointer
-    // into the previous generation can never be traversed.
-    QueryEngine& eng = *engines_[s];
-    if (indexes_[s].empty) {
+  // Remount every replica onto the *new* storage first.  Each engine's
+  // exclusive mount lock waits for that engine's in-flight serves --
+  // including abandoned stragglers still draining -- so by the time the
+  // old generation is destroyed (the moves below), nothing can traverse
+  // it.
+  auto remount = [&](QueryEngine& eng, const ShardIndexes* ix) {
+    if (ix == nullptr || ix->empty) {
       eng.mount(static_cast<const core::QuadTree*>(nullptr));
       eng.mount(static_cast<const core::RTree*>(nullptr));
       eng.mount(static_cast<const core::LinearQuadTree*>(nullptr));
     } else {
-      eng.mount(&indexes_[s].quad);
-      eng.mount(&indexes_[s].rtree);
-      eng.mount(mopts.build_linear ? &indexes_[s].linear : nullptr);
+      eng.mount(&ix->quad);
+      eng.mount(&ix->rtree);
+      eng.mount(mopts.build_linear ? &ix->linear : nullptr);
     }
+  };
+  for (std::size_t s = 0; s < shards_; ++s) {
+    remount(*engines_[s], &(*built)[s]);
+    if (!backups_.empty()) remount(*backups_[s], &(*built)[s]);
   }
+  const ShardIndexes* fbix =
+      fb != nullptr ? fb.get()
+                    : (fallback_engine_ != nullptr && shards_ == 1
+                           ? &(*built)[0]
+                           : nullptr);
+  if (fallback_engine_ != nullptr) remount(*fallback_engine_, fbix);
+  if (fbix != nullptr && !fbix->empty) {
+    fb_quad_ = &fbix->quad;
+    fb_rtree_ = &fbix->rtree;
+    fb_linear_ = mopts.build_linear ? &fbix->linear : nullptr;
+  } else {
+    fb_quad_ = nullptr;
+    fb_rtree_ = nullptr;
+    fb_linear_ = nullptr;
+  }
+  sharded_ = std::move(sharded);
+  indexes_ = std::move(built);  // previous generation destroyed here
+  fallback_ = std::move(fb);
   mounted_ = true;
   linear_mounted_ = mopts.build_linear;
   mount_epoch_.fetch_add(1, std::memory_order_release);
@@ -176,7 +362,8 @@ bool Cluster::supported(const Request& rq) const noexcept {
 void Cluster::route_window(const geom::Rect& window,
                            std::vector<std::size_t>& out) const {
   for (std::size_t s = 0; s < shards_; ++s) {
-    if (!indexes_[s].empty && sharded_.plan.footprints[s].intersects(window)) {
+    if (!(*indexes_)[s].empty &&
+        sharded_.plan.footprints[s].intersects(window)) {
       out.push_back(s);
     }
   }
@@ -185,7 +372,7 @@ void Cluster::route_window(const geom::Rect& window,
 void Cluster::route_point(const geom::Point& p,
                           std::vector<std::size_t>& out) const {
   for (std::size_t s = 0; s < shards_; ++s) {
-    if (!indexes_[s].empty && sharded_.plan.footprints[s].contains(p)) {
+    if (!(*indexes_)[s].empty && sharded_.plan.footprints[s].contains(p)) {
       out.push_back(s);
     }
   }
@@ -195,7 +382,7 @@ std::size_t Cluster::primary_knn_shard(const geom::Point& p) const {
   std::size_t best = shards_;
   double best_d2 = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < shards_; ++s) {
-    if (indexes_[s].empty) continue;
+    if ((*indexes_)[s].empty) continue;
     const double d2 = sharded_.plan.footprints[s].distance2(p);
     if (d2 < best_d2) {
       best_d2 = d2;
@@ -205,37 +392,290 @@ std::size_t Cluster::primary_knn_shard(const geom::Point& p) const {
   return best;
 }
 
-std::vector<std::vector<Response>> Cluster::dispatch(
-    std::vector<std::vector<Request>>& sub) {
-  std::vector<std::vector<Response>> out(shards_);
-  std::vector<std::size_t> busy;
-  for (std::size_t s = 0; s < shards_; ++s) {
-    if (!sub[s].empty()) busy.push_back(s);
-  }
-  if (busy.size() == 1) {
-    out[busy[0]] = engines_[busy[0]]->serve(sub[busy[0]]);
-    return out;
-  }
-  // Replicas are independent engines with their own pools; one dispatcher
-  // thread per busy replica lets them serve concurrently.
-  std::vector<std::thread> workers;
-  workers.reserve(busy.size());
-  for (const std::size_t s : busy) {
-    workers.emplace_back(
-        [this, &sub, &out, s] { out[s] = engines_[s]->serve(sub[s]); });
-  }
-  for (auto& w : workers) w.join();
-  return out;
+std::chrono::microseconds Cluster::hedge_delay(std::size_t replica) const {
+  const HedgeOptions& h = opts_.hedge;
+  const ReplicaState& rs = *replica_state_[replica];
+  std::lock_guard<std::mutex> lk(rs.mutex);
+  if (rs.ledger.count() < h.min_samples) return h.initial_delay;
+  const auto p99 = std::chrono::microseconds(
+      static_cast<std::int64_t>(rs.ledger.quantile_upper_us(h.quantile)));
+  return std::clamp(p99, h.min_delay, h.max_delay);
 }
 
-struct Cluster::Pending {
-  std::size_t index = 0;             // into the batch
-  ResultCache::Key key;
-  bool fill_cache = false;           // missed; memoize on kOk merge
-  bool knn = false;
-  // (round, shard, position) of every shard-local sub-request.
-  std::vector<std::array<std::size_t, 3>> slots;
-};
+Status Cluster::run_fallback(const Request& rq, Response& rsp) const {
+  switch (rq.kind) {
+    case RequestKind::kWindow:
+      switch (rq.index) {
+        case IndexKind::kQuadTree:
+          rsp.ids = core::window_query(*fb_quad_, rq.window);
+          break;
+        case IndexKind::kRTree:
+          rsp.ids = core::window_query(*fb_rtree_, rq.window);
+          break;
+        case IndexKind::kLinearQuadTree:
+          rsp.ids = fb_linear_->window_query(rq.window);
+          break;
+      }
+      return Status::kOk;
+    case RequestKind::kPoint:
+      switch (rq.index) {
+        case IndexKind::kQuadTree:
+          rsp.ids = core::point_query(*fb_quad_, rq.point);
+          break;
+        case IndexKind::kRTree:
+          rsp.ids = core::point_query(*fb_rtree_, rq.point);
+          break;
+        case IndexKind::kLinearQuadTree:
+          rsp.ids = fb_linear_->point_query(rq.point);
+          break;
+      }
+      return Status::kOk;
+    case RequestKind::kNearest:
+      rsp.neighbors = rq.index == IndexKind::kQuadTree
+                          ? core::k_nearest(*fb_quad_, rq.point, rq.k)
+                          : core::k_nearest(*fb_rtree_, rq.point, rq.k);
+      return Status::kOk;
+  }
+  return Status::kRejected;
+}
+
+void Cluster::submit_job(const std::shared_ptr<SubJob>& job,
+                         const std::shared_ptr<Waiter>& waiter) {
+  job->submitted = Clock::now();
+  dpv::AsyncPool* const pool = dispatch_pool_.get();
+  dispatch_pool_->submit([job, waiter, pool] {
+    if (!job->abandoned.load(std::memory_order_acquire)) {
+      bool vanished = false;
+      if (job->injector != nullptr) {
+        const dpv::ReplicaFault rf =
+            job->injector->replica_fault(job->replica, job->fault_scope);
+        if (rf.kind != dpv::ReplicaFaultKind::kNone) {
+          job->injector->note_replica_fault(rf.kind);
+        }
+        if (rf.kind == dpv::ReplicaFaultKind::kCrash) {
+          job->crashed.store(true, std::memory_order_relaxed);
+        } else if (rf.kind == dpv::ReplicaFaultKind::kStuck) {
+          // The reply never arrives.  Park interruptibly: abandonment and
+          // pool shutdown must never be wedged on an injected fault.
+          while (!job->abandoned.load(std::memory_order_acquire) &&
+                 !pool->stopping()) {
+            std::this_thread::sleep_for(std::chrono::microseconds{200});
+          }
+          vanished = true;
+        } else if (rf.kind == dpv::ReplicaFaultKind::kStall) {
+          const auto until = Clock::now() + rf.stall;
+          while (Clock::now() < until &&
+                 !job->abandoned.load(std::memory_order_acquire) &&
+                 !pool->stopping()) {
+            std::this_thread::sleep_for(std::chrono::microseconds{200});
+          }
+        }
+      }
+      if (vanished) return;  // stuck: dropped on the floor, no publication
+      if (!job->crashed.load(std::memory_order_relaxed) &&
+          !job->abandoned.load(std::memory_order_acquire)) {
+        job->rsps = job->engine->serve(job->reqs, &job->cancel);
+      }
+      job->finished = Clock::now();
+      job->done.store(true, std::memory_order_release);
+    }
+    std::lock_guard<std::mutex> lk(waiter->mutex);
+    ++waiter->events;
+    waiter->cv.notify_all();
+  });
+}
+
+void Cluster::run_round(std::vector<std::vector<Request>>& sub,
+                        std::size_t round, std::uint64_t batch_seq,
+                        std::vector<RoundSlot>& slots, ClusterMetrics& delta) {
+  auto waiter = std::make_shared<Waiter>();
+  const auto now0 = Clock::now();
+  bool outstanding = false;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (sub[s].empty()) continue;
+    ReplicaState& rs = *replica_state_[s];
+    const CircuitBreaker::Gate gate = rs.breaker.admit(now0);
+    if (gate == CircuitBreaker::Gate::kSkip) {
+      // Open breaker: skip-and-degrade.  The merge settles this shard's
+      // requests without ever consulting the replica.
+      slots[s].skipped = true;
+      delta.breaker_skipped_subrequests += sub[s].size();
+      std::lock_guard<std::mutex> lk(rs.mutex);
+      rs.breaker_skips += sub[s].size();
+      continue;
+    }
+    if (gate == CircuitBreaker::Gate::kProbe) ++delta.breaker_half_open_probes;
+    auto job = std::make_shared<SubJob>();
+    job->engine = engines_[s].get();
+    job->replica = s;
+    job->injector = rs.injector;
+    job->fault_scope = dpv::FaultInjector::scope(batch_seq, round, s);
+    job->reqs = std::move(sub[s]);
+    job->budget = job_budget(job->reqs, now0, opts_.fallback_reserve,
+                             opts_.subrequest_timeout);
+    {
+      std::lock_guard<std::mutex> lk(rs.mutex);
+      ++rs.subrequests;
+    }
+    slots[s].primary = job;
+    submit_job(job, waiter);
+    outstanding = true;
+  }
+  if (!outstanding) return;
+
+  // Merge-on-arrival wait loop: resolve completions as they land, fire
+  // hedges at each replica's derived delay, abandon at budget.  Scans are
+  // cheap (a handful of slots); the cv bounds the idle wait.
+  std::uint64_t seen = 0;
+  for (;;) {
+    const auto now = Clock::now();
+    bool all_resolved = true;
+    auto next_event = Clock::time_point::max();
+
+    for (std::size_t s = 0; s < shards_; ++s) {
+      RoundSlot& sl = slots[s];
+      if (!sl.primary) continue;
+      SubJob& pj = *sl.primary;
+      ReplicaState& rs = *replica_state_[s];
+
+      if (!pj.resolved) {
+        if (pj.done.load(std::memory_order_acquire)) {
+          pj.resolved = true;
+          if (pj.crashed.load(std::memory_order_relaxed)) {
+            ++delta.replica_crashes;
+            {
+              std::lock_guard<std::mutex> lk(rs.mutex);
+              ++rs.crashes;
+            }
+            if (rs.breaker.on_failure(now)) ++delta.breaker_open_transitions;
+          } else {
+            const double wall =
+                std::chrono::duration<double, std::micro>(pj.finished -
+                                                          pj.submitted)
+                    .count();
+            {
+              std::lock_guard<std::mutex> lk(rs.mutex);
+              rs.ledger.record(wall);
+              ++rs.completed;
+            }
+            if (rs.breaker.on_success()) ++delta.breaker_close_transitions;
+            if (sl.hedge && !sl.hedge->resolved) {
+              // The primary answered: the hedge lost; cancel it.
+              sl.hedge->cancel.store(true, std::memory_order_relaxed);
+              sl.hedge->abandoned.store(true, std::memory_order_release);
+              sl.hedge->resolved = true;
+              sl.hedge->lost_hedge = true;
+            }
+          }
+        } else if (pj.has_budget() && now >= pj.budget) {
+          // Out of budget: abandon, never join.  The merge settles these
+          // via the fallback oracle / kPartial inside the deadline.
+          pj.cancel.store(true, std::memory_order_relaxed);
+          pj.abandoned.store(true, std::memory_order_release);
+          pj.resolved = true;
+          pj.timed_out = true;
+          ++delta.subrequest_timeouts;
+          {
+            std::lock_guard<std::mutex> lk(rs.mutex);
+            ++rs.timeouts;
+          }
+          if (rs.breaker.on_failure(now)) ++delta.breaker_open_transitions;
+          if (sl.hedge && !sl.hedge->resolved) {
+            sl.hedge->cancel.store(true, std::memory_order_relaxed);
+            sl.hedge->abandoned.store(true, std::memory_order_release);
+            sl.hedge->resolved = true;
+            sl.hedge->timed_out = true;
+          }
+        } else {
+          all_resolved = false;
+          if (pj.has_budget() && pj.budget < next_event) {
+            next_event = pj.budget;
+          }
+        }
+      }
+
+      // Hedge firing: once the primary has been slow for its replica's
+      // observed-p99-derived delay -- or crashed outright -- re-issue the
+      // same subrequest to the backup replica (same footprint) or the
+      // whole-map fallback engine.  One hedge per slot; first kOk wins.
+      if (opts_.hedge.enabled && !sl.hedge_decided) {
+        const bool in_budget = !pj.has_budget() || now < pj.budget;
+        const bool primary_failed = pj.resolved && !pj.usable();
+        const auto fire_at = pj.submitted + hedge_delay(s);
+        if (!pj.resolved && now < fire_at) {
+          all_resolved = false;
+          if (fire_at < next_event) next_event = fire_at;
+        } else if ((primary_failed && in_budget) ||
+                   (!pj.resolved && now >= fire_at)) {
+          sl.hedge_decided = true;
+          QueryEngine* const target = !backups_.empty()
+                                          ? backups_[s].get()
+                                          : fallback_engine_.get();
+          if (target != nullptr) {
+            auto hedge = std::make_shared<SubJob>();
+            hedge->engine = target;
+            hedge->replica = s;
+            hedge->is_primary = false;
+            hedge->whole_map = backups_.empty();
+            hedge->reqs = sl.primary->reqs;  // same footprint, same order
+            hedge->budget = pj.budget;
+            sl.hedge = hedge;
+            ++delta.hedges_issued;
+            {
+              std::lock_guard<std::mutex> lk(rs.mutex);
+              ++rs.hedges;
+            }
+            submit_job(hedge, waiter);
+            all_resolved = false;
+          }
+        } else if (pj.resolved) {
+          sl.hedge_decided = true;  // answered in time: no hedge needed
+        }
+      }
+
+      if (sl.hedge && !sl.hedge->resolved) {
+        SubJob& hj = *sl.hedge;
+        if (hj.done.load(std::memory_order_acquire)) {
+          hj.resolved = true;
+          if (!pj.resolved) {
+            // Hedge beat the primary: cancel the loser, and count the
+            // slowness as a replica failure -- it blew through its own
+            // observed-p99 budget and lost the race.
+            pj.cancel.store(true, std::memory_order_relaxed);
+            pj.abandoned.store(true, std::memory_order_release);
+            pj.resolved = true;
+            pj.lost_hedge = true;
+            if (rs.breaker.on_failure(now)) ++delta.breaker_open_transitions;
+          }
+        } else if (hj.has_budget() && now >= hj.budget) {
+          hj.cancel.store(true, std::memory_order_relaxed);
+          hj.abandoned.store(true, std::memory_order_release);
+          hj.resolved = true;
+          hj.timed_out = true;
+        } else {
+          all_resolved = false;
+          if (hj.has_budget() && hj.budget < next_event) {
+            next_event = hj.budget;
+          }
+        }
+      }
+    }
+
+    if (all_resolved) return;
+
+    std::unique_lock<std::mutex> lk(waiter->mutex);
+    if (waiter->events != seen) {
+      seen = waiter->events;
+      continue;  // a completion landed since the scan; rescan immediately
+    }
+    if (next_event == Clock::time_point::max()) {
+      waiter->cv.wait(lk);
+    } else {
+      waiter->cv.wait_until(lk, next_event);
+    }
+    seen = waiter->events;
+  }
+}
 
 std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
   const auto t0 = Clock::now();
@@ -245,6 +685,13 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
   ClusterMetrics delta;
   delta.batches = 1;
   delta.requests = n;
+
+  // Stamp at settle time: a cache hit or gate rejection records its own
+  // (short) latency, not the whole batch's wall time.
+  auto settle = [&](std::size_t i, Status s) {
+    responses[i].status = s;
+    responses[i].latency_us = us_since(t0);
+  };
 
   // Geometry gate before admission, like the engine.
   std::vector<Status> gate(n, Status::kOk);
@@ -260,155 +707,249 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
 
   bool executed = false;
   if (valid > 0) {
-    if (admission_.admit(valid, priority) ==
-        AdmissionController::Outcome::kShedded) {
+    // RAII admission: the token and budget release on every exit path.
+    AdmissionGuard admitted(admission_, valid, priority);
+    if (!admitted.admitted()) {
       for (std::size_t i = 0; i < n; ++i) {
         if (gate[i] == Status::kOk) gate[i] = Status::kShedded;
       }
     } else {
       executed = true;
-      {
-        std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+      const std::uint64_t batch_seq =
+          batch_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
 
-        // Pass 1: settle dead/unsupported requests, consult the cache,
-        // and route the rest into per-shard sub-batches (k-nearest to its
-        // nearest-footprint shard only; the widening round follows).
-        std::vector<Pending> pending;
-        std::vector<std::vector<Request>> round1(shards_);
-        std::vector<std::size_t> targets;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (gate[i] != Status::kOk) {
-            responses[i].status = gate[i];
-            continue;
-          }
-          const Request& rq = batch[i];
-          const Status s = pre_status(rq);
-          if (s != Status::kOk) {
-            responses[i].status = s;
-            continue;
-          }
-          if (!supported(rq)) {
-            responses[i].status = Status::kRejected;
-            continue;
-          }
+      // Pass 1: settle dead/unsupported requests, consult the cache, and
+      // route the rest into per-shard sub-batches (k-nearest to its
+      // nearest-footprint shard only; the widening round follows).
+      std::vector<Pending> pending;
+      std::vector<std::vector<Request>> round1(shards_);
+      std::vector<std::size_t> targets;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gate[i] != Status::kOk) {
+          settle(i, gate[i]);
+          continue;
+        }
+        const Request& rq = batch[i];
+        const Status s = pre_status(rq);
+        if (s != Status::kOk) {
+          settle(i, s);
+          continue;
+        }
+        if (!supported(rq)) {
+          settle(i, Status::kRejected);
+          continue;
+        }
 
-          Pending p;
-          p.index = i;
-          if (rq.bypass_cache || !cache_.enabled()) {
-            if (rq.bypass_cache) ++delta.cache_bypasses;
-          } else {
-            p.key = ResultCache::canonical_key(rq);
-            if (cache_.lookup(p.key, responses[i])) {
-              ++delta.cache_hits;
+        Pending p;
+        p.index = i;
+        if (rq.bypass_cache || !cache_.enabled()) {
+          if (rq.bypass_cache) ++delta.cache_bypasses;
+        } else {
+          p.key = ResultCache::canonical_key(rq);
+          if (cache_.lookup(p.key, responses[i])) {
+            ++delta.cache_hits;
+            settle(i, responses[i].status);
+            continue;
+          }
+          ++delta.cache_misses;
+          p.fill_cache = true;
+        }
+
+        targets.clear();
+        if (rq.kind == RequestKind::kWindow) {
+          route_window(rq.window, targets);
+        } else if (rq.kind == RequestKind::kPoint) {
+          route_point(rq.point, targets);
+        } else {
+          p.knn = true;
+          const std::size_t primary = primary_knn_shard(rq.point);
+          if (primary < shards_) targets.push_back(primary);
+        }
+        for (const std::size_t shard : targets) {
+          p.slots.push_back({0, shard, round1[shard].size()});
+          round1[shard].push_back(rq);
+        }
+        pending.push_back(std::move(p));
+      }
+      for (const auto& sub : round1) {
+        delta.routed_subrequests += sub.size();
+      }
+      std::vector<RoundSlot> r1(shards_);
+      run_round(round1, 0, batch_seq, r1, delta);
+
+      // Pass 2 (k-nearest only): widen to every shard whose footprint
+      // MINDIST beats -- or ties, so equal-distance answers are never
+      // pruned -- the primary shard's running kth-best bound.  A primary
+      // answered by a whole-map hedge settles right here: that answer is
+      // already the exact global top-k.
+      std::vector<std::vector<Request>> round2(shards_);
+      for (Pending& p : pending) {
+        if (!p.knn || p.slots.empty()) continue;
+        const Request& rq = batch[p.index];
+        const Pending::Slot primary_slot = p.slots.front();
+        RoundSlot& sl = r1[primary_slot.shard];
+        const Response* first = nullptr;
+        if (!sl.skipped) {
+          if (sl.primary && sl.primary->usable()) {
+            first = &sl.primary->rsps[primary_slot.pos];
+          } else if (sl.hedge && sl.hedge->usable()) {
+            p.hedged = true;
+            first = &sl.hedge->rsps[primary_slot.pos];
+            if (sl.hedge->whole_map && first->status == Status::kOk) {
+              responses[p.index].neighbors = first->neighbors;
+              ++delta.hedges_won;
+              settle(p.index, Status::kOk);
+              if (p.fill_cache) cache_.insert(p.key, responses[p.index]);
+              p.settled = true;
               continue;
             }
-            ++delta.cache_misses;
-            p.fill_cache = true;
           }
-
-          targets.clear();
-          if (rq.kind == RequestKind::kWindow) {
-            route_window(rq.window, targets);
-          } else if (rq.kind == RequestKind::kPoint) {
-            route_point(rq.point, targets);
-          } else {
-            p.knn = true;
-            const std::size_t primary = primary_knn_shard(rq.point);
-            if (primary < shards_) targets.push_back(primary);
-          }
-          for (const std::size_t shard : targets) {
-            p.slots.push_back({0, shard, round1[shard].size()});
-            round1[shard].push_back(rq);
-          }
-          pending.push_back(std::move(p));
         }
-        for (const auto& sub : round1) {
-          delta.routed_subrequests += sub.size();
+        if (first == nullptr) continue;  // missing: final merge degrades
+        if (first->status != Status::kOk) continue;  // settles in merge
+        const double bound =
+            first->neighbors.size() >= rq.k
+                ? first->neighbors.back().distance2
+                : std::numeric_limits<double>::infinity();
+        for (std::size_t s = 0; s < shards_; ++s) {
+          if (s == primary_slot.shard || (*indexes_)[s].empty) continue;
+          if (sharded_.plan.footprints[s].distance2(rq.point) <= bound) {
+            p.slots.push_back({1, s, round2[s].size()});
+            round2[s].push_back(rq);
+            ++delta.knn_widened_shards;
+          }
         }
-        const std::vector<std::vector<Response>> r1 = dispatch(round1);
+      }
+      for (const auto& sub : round2) {
+        delta.routed_subrequests += sub.size();
+      }
+      std::vector<RoundSlot> r2(shards_);
+      run_round(round2, 1, batch_seq, r2, delta);
 
-        // Pass 2 (k-nearest only): widen to every shard whose footprint
-        // MINDIST beats -- or ties, so equal-distance answers are never
-        // pruned -- the primary shard's running kth-best bound.
-        std::vector<std::vector<Request>> round2(shards_);
-        for (Pending& p : pending) {
-          if (!p.knn || p.slots.empty()) continue;
-          const Request& rq = batch[p.index];
-          // Copy, don't bind: the widening push_back below can reallocate
-          // p.slots, which would leave references into front() dangling.
-          const std::size_t primary = p.slots.front()[1];
-          const std::size_t pos = p.slots.front()[2];
-          const Response& first = r1[primary][pos];
-          if (first.status != Status::kOk) continue;  // settled in merge
-          const double bound =
-              first.neighbors.size() >= rq.k
-                  ? first.neighbors.back().distance2
-                  : std::numeric_limits<double>::infinity();
-          for (std::size_t s = 0; s < shards_; ++s) {
-            if (s == primary || indexes_[s].empty) continue;
-            if (sharded_.plan.footprints[s].distance2(rq.point) <= bound) {
-              p.slots.push_back({1, s, round2[s].size()});
-              round2[s].push_back(rq);
-              ++delta.knn_widened_shards;
+      // Pass 3: merge.  Healthy shard answers merge exactly; a missing
+      // answer degrades the request (whole-map oracle settle, or kPartial
+      // when it opted in) instead of failing it.
+      for (Pending& p : pending) {
+        if (p.settled) continue;
+        const Request& rq = batch[p.index];
+        Response& rsp = responses[p.index];
+        bool hedged = p.hedged;
+        const Response* whole = nullptr;
+        std::size_t missing = 0;
+        Status dead = Status::kOk;
+        std::vector<const Response*> parts;
+        parts.reserve(p.slots.size());
+        for (const Pending::Slot& slot : p.slots) {
+          RoundSlot& sl = (slot.round == 0 ? r1 : r2)[slot.shard];
+          const Response* r = nullptr;
+          if (!sl.skipped) {
+            if (sl.primary && sl.primary->usable()) {
+              r = &sl.primary->rsps[slot.pos];
+            } else if (sl.hedge && sl.hedge->usable()) {
+              hedged = true;
+              r = &sl.hedge->rsps[slot.pos];
+              if (sl.hedge->whole_map && r->status == Status::kOk) whole = r;
             }
           }
-        }
-        for (const auto& sub : round2) {
-          delta.routed_subrequests += sub.size();
-        }
-        const std::vector<std::vector<Response>> r2 = dispatch(round2);
-
-        // Pass 3: exact merge.  Any non-kOk shard answer settles the
-        // request with that status (the replicas' retry + sequential
-        // settle makes this rare outside deadlines and cancellation).
-        for (const Pending& p : pending) {
-          Response& rsp = responses[p.index];
-          Status merged = Status::kOk;
-          for (const auto& [round, shard, pos] : p.slots) {
-            const Response& sub =
-                round == 0 ? r1[shard][pos] : r2[shard][pos];
-            if (sub.status != Status::kOk) {
-              merged = sub.status;
-              break;
-            }
-          }
-          if (merged != Status::kOk) {
-            rsp.status = merged;
-            rsp.ids.clear();
-            rsp.neighbors.clear();
+          if (r == nullptr) {
+            ++missing;
             continue;
           }
+          if (r->status != Status::kOk) {
+            // The replica *answered* with a terminal per-request status
+            // (deadline expired inside the engine, cancellation): the
+            // request's own condition, not a failure domain.
+            if (dead == Status::kOk) dead = r->status;
+            continue;
+          }
+          parts.push_back(r);
+        }
+
+        auto merge_parts = [&]() {
           if (p.knn) {
-            for (const auto& [round, shard, pos] : p.slots) {
-              const Response& sub =
-                  round == 0 ? r1[shard][pos] : r2[shard][pos];
-              rsp.neighbors.insert(rsp.neighbors.end(),
-                                   sub.neighbors.begin(),
-                                   sub.neighbors.end());
+            for (const Response* r : parts) {
+              rsp.neighbors.insert(rsp.neighbors.end(), r->neighbors.begin(),
+                                   r->neighbors.end());
             }
-            delta.duplicate_hits_removed +=
-                merge_neighbors(rsp.neighbors, batch[p.index].k);
+            delta.duplicate_hits_removed += merge_neighbors(rsp.neighbors,
+                                                            rq.k);
           } else {
-            for (const auto& [round, shard, pos] : p.slots) {
-              const Response& sub =
-                  round == 0 ? r1[shard][pos] : r2[shard][pos];
-              rsp.ids.insert(rsp.ids.end(), sub.ids.begin(), sub.ids.end());
+            for (const Response* r : parts) {
+              rsp.ids.insert(rsp.ids.end(), r->ids.begin(), r->ids.end());
             }
             delta.duplicate_hits_removed += merge_ids(rsp.ids);
           }
-          rsp.status = Status::kOk;
-          if (p.fill_cache) cache_.insert(p.key, rsp);
+        };
+
+        if (dead != Status::kOk) {
+          rsp.ids.clear();
+          rsp.neighbors.clear();
+          settle(p.index, dead);
+          continue;
         }
+        if (whole != nullptr) {
+          // A whole-map hedge answer subsumes every shard's.
+          if (p.knn) {
+            rsp.neighbors = whole->neighbors;
+          } else {
+            rsp.ids = whole->ids;
+          }
+          ++delta.hedges_won;
+          settle(p.index, Status::kOk);
+          if (p.fill_cache) cache_.insert(p.key, rsp);
+          continue;
+        }
+        if (missing == 0) {
+          merge_parts();
+          if (hedged) ++delta.hedges_won;
+          settle(p.index, Status::kOk);
+          if (p.fill_cache) cache_.insert(p.key, rsp);
+          continue;
+        }
+        delta.missing_shard_answers += missing;
+        if (rq.allow_partial) {
+          // Opted-in degradation: the surviving shards' exactly-merged
+          // hits.  Never cached (fills happen only on the kOk paths).
+          merge_parts();
+          rsp.missing_shards = static_cast<std::uint32_t>(missing);
+          settle(p.index, Status::kPartial);
+          continue;
+        }
+        // Graceful degradation: the sequential whole-map oracle (exact).
+        const Status pre = pre_status(rq);
+        if (pre != Status::kOk) {
+          rsp.ids.clear();
+          rsp.neighbors.clear();
+          settle(p.index, pre);
+          continue;
+        }
+        const bool fb_ok = rq.index == IndexKind::kLinearQuadTree
+                               ? fb_linear_ != nullptr
+                               : fb_quad_ != nullptr;
+        if (!fb_ok) {
+          // No fallback indexes mounted: nothing exact left to answer
+          // with.
+          rsp.ids.clear();
+          rsp.neighbors.clear();
+          settle(p.index, Status::kRejected);
+          continue;
+        }
+        rsp.ids.clear();
+        rsp.neighbors.clear();
+        ++delta.degraded_fallback;
+        // Degraded answers are exact but never fill the cache: a cache
+        // serving traffic for an open breaker must only hold answers the
+        // healthy merge path produced.
+        settle(p.index, run_fallback(rq, rsp));
       }
-      admission_.finish(valid);
     }
   }
   if (!executed) {
-    for (std::size_t i = 0; i < n; ++i) responses[i].status = gate[i];
+    for (std::size_t i = 0; i < n; ++i) settle(i, gate[i]);
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    responses[i].latency_us = us_since(t0);
     switch (responses[i].status) {
       case Status::kOk: ++delta.ok; break;
       case Status::kDeadlineExpired: ++delta.expired; break;
@@ -416,7 +957,9 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
       case Status::kRejected: ++delta.rejected; break;
       case Status::kShedded: ++delta.shedded; break;
       case Status::kInvalidArgument: ++delta.invalid; break;
+      case Status::kPartial: ++delta.partial; break;
     }
+    delta.latency.record(responses[i].latency_us);
   }
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -428,17 +971,41 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
 void Cluster::cancel_all() noexcept {
   cancel_.store(true, std::memory_order_relaxed);
   for (const auto& e : engines_) e->cancel_all();
+  for (const auto& e : backups_) e->cancel_all();
+  if (fallback_engine_ != nullptr) fallback_engine_->cancel_all();
 }
 
 void Cluster::reset_cancel() noexcept {
   cancel_.store(false, std::memory_order_relaxed);
   for (const auto& e : engines_) e->reset_cancel();
+  for (const auto& e : backups_) e->reset_cancel();
+  if (fallback_engine_ != nullptr) fallback_engine_->reset_cancel();
 }
 
 ClusterMetrics Cluster::metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ClusterMetrics out = metrics_;
   out.cache = cache_.stats();
+  out.replicas.clear();
+  out.replicas.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    const ReplicaState& rs = *replica_state_[s];
+    ReplicaHealth h;
+    h.replica = s;
+    {
+      std::lock_guard<std::mutex> lk(rs.mutex);
+      h.subrequests = rs.subrequests;
+      h.completed = rs.completed;
+      h.timeouts = rs.timeouts;
+      h.crashes = rs.crashes;
+      h.hedges = rs.hedges;
+      h.breaker_skips = rs.breaker_skips;
+      h.p99_us = rs.ledger.quantile_upper_us(0.99);
+    }
+    h.breaker_state = rs.breaker.state();
+    h.consecutive_failures = rs.breaker.consecutive_failures();
+    out.replicas.push_back(h);
+  }
   return out;
 }
 

@@ -1,6 +1,6 @@
 #pragma once
 // serve::Cluster: spatially-sharded multi-engine serving with a
-// hot-window result cache.
+// hot-window result cache and failure-domain-aware dispatch.
 //
 //                      request batch
 //                           |
@@ -15,12 +15,21 @@
 //      window/point -> every shard whose footprint meets the query
 //      k-nearest    -> two-phase: nearest footprint first, then every
 //                      shard whose MINDIST beats the running kth bound
-//               .-----------+-----------.
-//               engine 0  engine 1  ...  engine N-1
-//        one QueryEngine replica per spatial shard, mounted with the
-//        indexes built over that shard's core::shard_segments slice
-//        (boundary-crossing segments cloned into every shard touched)
-//               '-----------+-----------'
+//                           |
+//                async dispatcher (deadline budgets)
+//        persistent pool, merge-on-arrival; a subrequest that outlives
+//        its budget is abandoned (late replies dropped, never joined on)
+//           .-----------.-----+-----.------------.
+//           engine 0    engine 1    ...          engine N-1
+//             |  hedge    |  hedge                 |  hedge
+//             v           v                        v
+//           backup 0    backup 1    ...          backup N-1
+//            (same footprint; p99-delayed re-issue, first kOk wins)
+//               \           |                    /
+//                '----- whole-map fallback engine
+//          (hedge target when no backup; sequential oracle settle
+//           when a shard answer is missing at merge time)
+//                           |
 //                      exact merge
 //        sorted-union duplicate deletion of cloned-segment hits;
 //             global (distance^2, id) re-rank for k-nearest
@@ -43,16 +52,34 @@
 //     (distance^2, id) -- the same canonical order core::k_nearest
 //     produces -- then truncate to k after deleting cloned hits.
 //
+// Failure domains (each shard's replica is one): a replica that stalls,
+// wedges, or crashes costs bounded latency, never a wrong answer.
+// Hedged answers are exact -- a backup replica is mounted over the same
+// shard footprint, and the whole-map fallback engine subsumes every
+// footprint -- so hedging never changes a payload, only when it arrives.
+// When no answer for a shard exists at merge time (breaker open, crash /
+// timeout with no winning hedge), the request settles either via the
+// sequential whole-map oracle (still exact) or, when it opted in through
+// Request::allow_partial, as Status::kPartial carrying the surviving
+// shards' exactly-merged hits plus a missing_shards count.  kPartial and
+// fallback-settled responses are never inserted into the ResultCache.
+//
 // Each replica keeps QueryEngine's full PR-2 semantics: per-shard
 // retry-with-backoff under injected faults, sequential settle, and
-// deterministic chaos replay (poison one replica via
-// ClusterOptions::replica_fault_injectors and the cluster still converges
-// to exact answers).  Admission happens once at the cluster door, not per
-// replica.  Thread-safety matches QueryEngine: serve() from any number of
-// threads; mount() serializes against in-flight batches and advances the
-// cache epoch before any new request can hit.
+// deterministic chaos replay.  Replica-level faults (stall / stuck /
+// crash, ClusterOptions::replica_fault_injectors) are decided purely from
+// (seed, replica, dispatch scope), so the *set* of faulted subrequests
+// replays bit-identically even though hedge firing times vary; answers
+// are timing-independent because every path is exact.  Admission happens
+// once at the cluster door, not per replica.  Thread-safety matches
+// QueryEngine: serve() from any number of threads; mount() serializes
+// against in-flight batches (replicas are remounted *before* the previous
+// index generation is destroyed, so even an abandoned straggler can never
+// traverse freed trees) and advances the cache epoch before any new
+// request can hit.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -67,11 +94,33 @@
 #include "core/rtree_build.hpp"
 #include "core/shard_segments.hpp"
 #include "serve/admission.hpp"
+#include "serve/breaker.hpp"
 #include "serve/cache.hpp"
 #include "serve/engine.hpp"
+#include "serve/metrics.hpp"
 #include "serve/request.hpp"
 
 namespace dps::serve {
+
+/// Hedged subrequests: when a replica has not answered within a delay
+/// derived from its own observed latency, re-issue the subrequest to that
+/// shard's backup replica (or the whole-map fallback engine when no
+/// backup is mounted).  First kOk answer wins; the loser is cancelled
+/// through the engine's per-call BatchControl hook.
+struct HedgeOptions {
+  bool enabled = false;
+  /// Ledger quantile the hedge delay tracks (the sptl-style measured
+  /// control: observed behaviour, not a hand-set constant).
+  double quantile = 0.99;
+  /// Completed subrequests a replica's ledger needs before its quantile
+  /// is trusted; until then `initial_delay` is used.
+  std::uint64_t min_samples = 16;
+  std::chrono::microseconds initial_delay{2'000};
+  /// Clamp on the derived delay (a replica that got very fast must not
+  /// hedge on noise; a very slow one must still hedge eventually).
+  std::chrono::microseconds min_delay{200};
+  std::chrono::microseconds max_delay{100'000};
+};
 
 struct ClusterOptions {
   /// Spatial shards = QueryEngine replicas (0 is clamped to 1).
@@ -88,9 +137,38 @@ struct ClusterOptions {
   bool validate_requests = true;
   /// Optional per-replica chaos hooks (index = shard); shorter than
   /// `shards` means the tail gets none.  Overrides `engine.fault_injector`
-  /// for the replicas it names; entries may be null.  Must outlive the
-  /// cluster.
+  /// for the primary replicas it names; entries may be null.  Must
+  /// outlive the cluster.  Backup replicas and the fallback engine are
+  /// never replica-fault-injected: they are the recovery path.
   std::vector<dpv::FaultInjector*> replica_fault_injectors;
+
+  // --- failure-domain dispatch ---
+
+  /// Hedged subrequests (off by default).
+  HedgeOptions hedge;
+  /// Per-replica circuit breakers (off by default).
+  BreakerOptions breaker;
+  /// Mount a backup QueryEngine per shard over the same footprint: the
+  /// preferred hedge target (doubles replica count, not index memory --
+  /// backups share the shard's built indexes).
+  bool backup_replicas = false;
+  /// Build whole-map indexes and a fallback engine at mount time: the
+  /// hedge target when no backup exists, and the exact sequential settle
+  /// for requests whose shard answer went missing.  A 1-shard cluster
+  /// reuses shard 0's indexes, so the fallback costs nothing there.
+  bool fallback_engine = true;
+  /// Dispatcher threads for the async fan-out (0 = 2 * shards + 2,
+  /// capped at 32: every primary plus every possible hedge can run).
+  std::size_t dispatcher_threads = 0;
+  /// Budget slack reserved ahead of a request's deadline: a subrequest is
+  /// abandoned this early so the sequential whole-map settle still fits
+  /// inside the deadline.  (When the deadline is nearer than the reserve,
+  /// the full window is used instead.)
+  std::chrono::microseconds fallback_reserve{5'000};
+  /// Optional hard per-subrequest wait cap (0 = request deadlines only).
+  /// With no deadline, no hedge, and no cap, a stuck replica is waited on
+  /// indefinitely -- the pre-failure-domain join semantics.
+  std::chrono::microseconds subrequest_timeout{0};
 };
 
 struct ClusterMountOptions {
@@ -105,17 +183,32 @@ struct ClusterMountOptions {
   bool build_linear = true;
 };
 
+/// Point-in-time health of one primary replica (metrics() snapshot).
+struct ReplicaHealth {
+  std::size_t replica = 0;
+  std::uint64_t subrequests = 0;  // jobs dispatched to this replica
+  std::uint64_t completed = 0;    // jobs that answered (crashes excluded)
+  std::uint64_t timeouts = 0;     // jobs abandoned at their budget
+  std::uint64_t crashes = 0;      // fail-fast replica faults observed
+  std::uint64_t hedges = 0;       // hedge jobs fired against this replica
+  std::uint64_t breaker_skips = 0;  // subrequests skipped while open
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  std::size_t consecutive_failures = 0;
+  double p99_us = 0.0;  // observed subrequest wall-clock p99
+};
+
 struct ClusterMetrics {
   std::uint64_t batches = 0;
   std::uint64_t requests = 0;
 
-  // Terminal statuses (same taxonomy as ServeMetrics).
+  // Terminal statuses (same taxonomy as ServeMetrics, plus kPartial).
   std::uint64_t ok = 0;
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;
   std::uint64_t shedded = 0;
   std::uint64_t invalid = 0;
+  std::uint64_t partial = 0;
 
   // Cache-path split, counted at the cluster door.
   std::uint64_t cache_hits = 0;
@@ -127,9 +220,28 @@ struct ClusterMetrics {
   std::uint64_t knn_widened_shards = 0;   // phase-2 shards consulted
   std::uint64_t duplicate_hits_removed = 0;  // cloned hits merged away
 
+  // Failure-domain accounting.
+  std::uint64_t hedges_issued = 0;       // hedge jobs fired
+  std::uint64_t hedges_won = 0;          // requests settled using a hedge answer
+  std::uint64_t subrequest_timeouts = 0;    // jobs abandoned at budget
+  std::uint64_t replica_crashes = 0;        // fail-fast jobs observed
+  std::uint64_t missing_shard_answers = 0;  // shard answers absent at merge
+  std::uint64_t degraded_fallback = 0;   // requests settled by the oracle path
+  std::uint64_t breaker_open_transitions = 0;
+  std::uint64_t breaker_close_transitions = 0;
+  std::uint64_t breaker_half_open_probes = 0;
+  std::uint64_t breaker_skipped_subrequests = 0;  // requests skipped while open
+
+  /// Per-request settle latency (all statuses), stamped when the request
+  /// settles -- cache hits and gate rejections record their own (short)
+  /// latency, not the batch's.
+  LatencyHistogram latency;
+
   /// Cache-internal snapshot (evictions, invalidations, current epoch);
   /// taken at metrics() time, not reset by reset_metrics().
   CacheStats cache;
+  /// Per-replica health snapshot, taken at metrics() time.
+  std::vector<ReplicaHealth> replicas;
 
   ClusterMetrics& operator+=(const ClusterMetrics& other) noexcept;
 };
@@ -144,14 +256,16 @@ class Cluster {
 
   /// Shards `lines` over the k-way plan of [0, world]^2, builds every
   /// non-empty shard's quadtree / R-tree / linear quadtree, and mounts
-  /// them on that shard's replica.  Serializes against in-flight serve()
-  /// calls (exclusive mount lock) and advances the cache epoch, so no
-  /// answer computed against the previous map survives the remount.
+  /// them on that shard's replica (and backup, and the whole-map fallback
+  /// engine when configured).  Serializes against in-flight serve() calls
+  /// (exclusive mount lock) and advances the cache epoch, so no answer
+  /// computed against the previous map survives the remount.
   void mount(const std::vector<geom::Segment>& lines,
              const ClusterMountOptions& opts);
 
   /// Serves one batch; responses[i] answers batch[i] exactly as a single
-  /// engine mounted over the whole map would.  Thread-safe.
+  /// engine mounted over the whole map would (kPartial excepted, and only
+  /// for requests that opted in).  Thread-safe.
   std::vector<Response> serve(const std::vector<Request>& batch);
 
   std::size_t shards() const noexcept { return shards_; }
@@ -164,6 +278,10 @@ class Cluster {
   QueryEngine& engine(std::size_t shard) { return *engines_[shard]; }
   const QueryEngine& engine(std::size_t shard) const {
     return *engines_[shard];
+  }
+  /// Backup replica for `shard`; null unless `backup_replicas` is on.
+  QueryEngine* backup(std::size_t shard) {
+    return shard < backups_.size() ? backups_[shard].get() : nullptr;
   }
 
   /// Cluster-wide mount generation (mirrors the cache epoch).
@@ -188,15 +306,33 @@ class Cluster {
 
   /// Per-request routing/merging state for one serve() call.
   struct Pending;
+  /// One dispatched subrequest (primary or hedge); shared with its pool
+  /// job so an abandoned subrequest can outlive the batch that issued it.
+  struct SubJob;
+  /// Completion signal shared by a round's jobs and the serving thread.
+  struct Waiter;
+  /// Per-shard dispatch state for one round: primary job, optional hedge.
+  struct RoundSlot;
+  /// Long-lived per-replica state: latency ledger, breaker, counters.
+  struct ReplicaState;
 
   Status pre_status(const Request& rq) const noexcept;
   bool supported(const Request& rq) const noexcept;  // under mount lock
 
-  /// Runs every non-empty per-shard sub-batch on its replica (replicas in
-  /// parallel when more than one has work) and returns per-shard
-  /// responses.
-  std::vector<std::vector<Response>> dispatch(
-      std::vector<std::vector<Request>>& sub);
+  /// Dispatches every non-empty per-shard sub-batch asynchronously and
+  /// waits -- merge-on-arrival with deadline budgets, hedging, and
+  /// breaker gating.  On return every slot is resolved (answered,
+  /// abandoned, or skipped).
+  void run_round(std::vector<std::vector<Request>>& sub, std::size_t round,
+                 std::uint64_t batch_seq, std::vector<RoundSlot>& slots,
+                 ClusterMetrics& delta);
+  void submit_job(const std::shared_ptr<SubJob>& job,
+                  const std::shared_ptr<Waiter>& waiter);
+  /// Hedge delay for `replica`: its ledger's p99 (clamped) once warmed,
+  /// `initial_delay` before that.
+  std::chrono::microseconds hedge_delay(std::size_t replica) const;
+  /// Sequential whole-map settle on the fallback indexes (exact oracle).
+  Status run_fallback(const Request& rq, Response& rsp) const;
 
   /// Shards whose footprint the window/point touches.
   void route_window(const geom::Rect& window,
@@ -209,11 +345,25 @@ class Cluster {
   ClusterOptions opts_;
   std::size_t shards_ = 1;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
+  std::vector<std::unique_ptr<QueryEngine>> backups_;  // empty unless on
+  std::unique_ptr<QueryEngine> fallback_engine_;       // whole-map replica
+  std::vector<std::unique_ptr<ReplicaState>> replica_state_;
+
+  // Async dispatcher.  Destroyed first in ~Cluster (explicitly), so no
+  // job can outlive the engines/indexes it references.
+  std::unique_ptr<dpv::AsyncPool> dispatch_pool_;
+  std::atomic<std::uint64_t> batch_seq_{0};  // replica-fault scope coordinate
 
   // Mounted state, guarded by mount_mutex_ (serve() shared, mount()
-  // exclusive -- the same discipline QueryEngine uses).
+  // exclusive -- the same discipline QueryEngine uses).  Heap storage so
+  // element addresses are stable: a remount mounts the replicas onto the
+  // *new* storage before the old generation is destroyed.
   core::ShardedSegments sharded_;
-  std::vector<ShardIndexes> indexes_;
+  std::unique_ptr<std::vector<ShardIndexes>> indexes_;
+  std::unique_ptr<ShardIndexes> fallback_;  // null when reusing shard 0
+  const core::QuadTree* fb_quad_ = nullptr;
+  const core::RTree* fb_rtree_ = nullptr;
+  const core::LinearQuadTree* fb_linear_ = nullptr;
   bool mounted_ = false;
   bool linear_mounted_ = false;
   mutable std::shared_mutex mount_mutex_;

@@ -57,6 +57,7 @@ std::string_view status_name(Status s) noexcept {
     case Status::kRejected: return "rejected";
     case Status::kShedded: return "shedded";
     case Status::kInvalidArgument: return "invalid-argument";
+    case Status::kPartial: return "partial";
   }
   return "unknown";
 }
@@ -103,8 +104,12 @@ void QueryEngine::mount(const core::LinearQuadTree* tree) {
   mount_epoch_.fetch_add(1, std::memory_order_release);
 }
 
-Status QueryEngine::pre_status(const Request& rq) const noexcept {
+Status QueryEngine::pre_status(const Request& rq,
+                               const std::atomic<bool>* xcancel) const noexcept {
   if (cancel_.load(std::memory_order_relaxed)) return Status::kCancelled;
+  if (xcancel != nullptr && xcancel->load(std::memory_order_relaxed)) {
+    return Status::kCancelled;
+  }
   if (rq.has_deadline() && Clock::now() >= *rq.deadline) {
     return Status::kDeadlineExpired;
   }
@@ -166,7 +171,9 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
                             std::vector<Response>& responses, RequestKind kind,
                             IndexKind index,
                             const std::vector<std::size_t>& live_in,
-                            std::size_t shard, ShardScratch& scratch) {
+                            std::size_t shard,
+                            const std::atomic<bool>* xcancel,
+                            ShardScratch& scratch) {
   dpv::FaultInjector* const inj = opts_.fault_injector;
   std::vector<std::size_t> live = live_in;
   const std::size_t g = group_id(kind, index);
@@ -180,7 +187,7 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
       std::vector<std::size_t> still;
       still.reserve(live.size());
       for (const std::size_t i : live) {
-        const Status s = pre_status(batch[i]);
+        const Status s = pre_status(batch[i], xcancel);
         if (s == Status::kOk) {
           still.push_back(i);
         } else {
@@ -212,6 +219,7 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
     // engine kill switch is polled through the same hook.
     core::BatchControl control;
     control.cancel = &cancel_;
+    control.cancel2 = xcancel;
     for (const std::size_t i : live) {
       if (batch[i].has_deadline() &&
           (!control.has_deadline() || *batch[i].deadline < control.deadline)) {
@@ -305,7 +313,7 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
   if (!control_abort) ++scratch.seq_fallbacks;
   ++scratch.seq_groups;
   for (const std::size_t i : live) {
-    const Status s = pre_status(batch[i]);
+    const Status s = pre_status(batch[i], xcancel);
     responses[i].status =
         s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
   }
@@ -316,6 +324,7 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
                                 std::vector<Response>& responses,
                                 Clock::time_point t0, std::size_t shard,
                                 std::size_t lo, std::size_t hi,
+                                const std::atomic<bool>* xcancel,
                                 ShardScratch& scratch) {
   // Regroup this shard's slice by (kind, index): each group is one batch
   // pipeline invocation (or one sequential sweep).  Requests the gate
@@ -335,7 +344,7 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
   auto run_seq = [&](const std::vector<std::size_t>& live) {
     ++scratch.seq_groups;
     for (const std::size_t i : live) {
-      const Status s = pre_status(batch[i]);
+      const Status s = pre_status(batch[i], xcancel);
       responses[i].status =
           s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
     }
@@ -363,7 +372,7 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
         responses[i].status = Status::kRejected;
         continue;
       }
-      const Status s = pre_status(batch[i]);
+      const Status s = pre_status(batch[i], xcancel);
       if (s == Status::kOk) {
         live.push_back(i);
       } else {
@@ -375,7 +384,8 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
       // Every supported (kind, index) combo has a batch pipeline; only
       // groups under the degradation threshold walk sequentially.
       if (live.size() >= opts_.min_dp_batch) {
-        run_group(batch, responses, kind, index, live, shard, scratch);
+        run_group(batch, responses, kind, index, live, shard, xcancel,
+                  scratch);
       } else {
         run_seq(live);
       }
@@ -394,6 +404,11 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
 }
 
 std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
+  return serve(batch, nullptr);
+}
+
+std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch,
+                                         const std::atomic<bool>* xcancel) {
   const auto t0 = Clock::now();
   const std::size_t n = batch.size();
   std::vector<Response> responses(n);
@@ -418,8 +433,10 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
   bool executed = false;
   std::vector<ShardScratch> scratch;
   if (admitted_requests > 0) {
-    const auto outcome = admission_.admit(admitted_requests, priority);
-    if (outcome == AdmissionController::Outcome::kShedded) {
+    // RAII admission: the token and request budget release on every exit
+    // path, including a throw from the pool body.
+    AdmissionGuard admitted(admission_, admitted_requests, priority);
+    if (!admitted.admitted()) {
       for (std::size_t i = 0; i < n; ++i) {
         if (gate[i] == Status::kOk) gate[i] = Status::kShedded;
       }
@@ -439,11 +456,11 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
         for (std::size_t s = lane; s < k; s += lanes) {
           const auto [lo, hi] = dpv::Context::block_range(n, k, s);
           if (lo < hi) {
-            execute_shard(batch, gate, responses, t0, s, lo, hi, scratch[s]);
+            execute_shard(batch, gate, responses, t0, s, lo, hi, xcancel,
+                          scratch[s]);
           }
         }
       });
-      admission_.finish(admitted_requests);
 #ifndef NDEBUG
       debug_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 #endif
@@ -470,6 +487,8 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch) {
       case Status::kRejected: ++delta.rejected; break;
       case Status::kShedded: ++delta.shedded; break;
       case Status::kInvalidArgument: ++delta.invalid; break;
+      case Status::kPartial: break;  // cluster-only status; engines never
+                                     // produce it
     }
     delta.latency.record(responses[i].latency_us);
   }

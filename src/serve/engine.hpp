@@ -152,6 +152,15 @@ class QueryEngine {
   /// Serves one batch; responses[i] answers batch[i].  Thread-safe.
   std::vector<Response> serve(const std::vector<Request>& batch);
 
+  /// As above, with a per-call cancel hook: once `*cancel` turns true the
+  /// batch aborts at its next control poll and still-live requests settle
+  /// kCancelled, independently of the engine-wide kill switch.  The
+  /// cluster's hedged dispatch cancels the losing subrequest through this.
+  /// `cancel` must outlive the call; nullptr behaves like the plain
+  /// overload.
+  std::vector<Response> serve(const std::vector<Request>& batch,
+                              const std::atomic<bool>* cancel);
+
   /// Fires the engine-wide kill switch: in-flight batch pipelines abort at
   /// their next control poll and subsequent requests answer kCancelled,
   /// until `reset_cancel`.
@@ -201,7 +210,7 @@ class QueryEngine {
                      const std::vector<Status>& admitted,
                      std::vector<Response>& responses, Clock::time_point t0,
                      std::size_t shard, std::size_t lo, std::size_t hi,
-                     ShardScratch& scratch);
+                     const std::atomic<bool>* xcancel, ShardScratch& scratch);
 
   /// One (kind, index) group: data-parallel attempts with retry/backoff,
   /// then the sequential settle.  `live` holds batch indexes still
@@ -209,10 +218,12 @@ class QueryEngine {
   void run_group(const std::vector<Request>& batch,
                  std::vector<Response>& responses, RequestKind kind,
                  IndexKind index, const std::vector<std::size_t>& live,
-                 std::size_t shard, ShardScratch& scratch);
+                 std::size_t shard, const std::atomic<bool>* xcancel,
+                 ShardScratch& scratch);
 
   /// kCancelled / kDeadlineExpired / kOk ("runnable") for a request now.
-  Status pre_status(const Request& rq) const noexcept;
+  Status pre_status(const Request& rq,
+                    const std::atomic<bool>* xcancel) const noexcept;
 
   /// Runs one request sequentially (host traversal); returns its status.
   Status run_sequential(const Request& rq, Response& rsp) const;

@@ -38,6 +38,9 @@ enum class Status : std::uint8_t {
   kRejected,          // unsupported (kind, index) combo or index not mounted
   kShedded,           // load-shed by admission control; never executed
   kInvalidArgument,   // malformed geometry (NaN/inf, inverted window, k = 0)
+  kPartial,           // opted-in degraded answer: the surviving shards'
+                      // exactly-merged hits, with `missing_shards` failure
+                      // domains unaccounted for; never cached
 };
 
 std::string_view status_name(Status s) noexcept;
@@ -56,6 +59,12 @@ struct Request {
   /// fill), so chaos and measurement runs can exercise the routed path on
   /// demand.  Ignored by a bare QueryEngine.
   bool bypass_cache = false;
+  /// Opt in to graceful degradation: when a shard answer is unavailable at
+  /// merge time (breaker open, replica crashed / timed out with no backup
+  /// answer), accept Status::kPartial with the surviving shards' hits
+  /// instead of the sequential whole-map settle.  Ignored by a bare
+  /// QueryEngine (a single engine has no failure domains to lose).
+  bool allow_partial = false;
 
   bool has_deadline() const noexcept { return deadline.has_value(); }
 
@@ -95,6 +104,10 @@ struct Request {
     bypass_cache = bypass;
     return *this;
   }
+  Request& with_allow_partial(bool allow = true) {
+    allow_partial = allow;
+    return *this;
+  }
 };
 
 struct Response {
@@ -102,6 +115,9 @@ struct Response {
   std::vector<geom::LineId> ids;          // kWindow / kPoint answer
   std::vector<core::Neighbor> neighbors;  // kNearest answer
   double latency_us = 0.0;  // serve() entry -> this request's answer final
+  /// Failure domains whose answer is missing from a kPartial payload
+  /// (always 0 for every other status).
+  std::uint32_t missing_shards = 0;
 };
 
 }  // namespace dps::serve

@@ -207,5 +207,72 @@ TEST(FaultInjector, BatchPipelineAbortsOnInjectedFault) {
   EXPECT_EQ(ok.results.size(), windows.size());
 }
 
+TEST(FaultInjector, ReplicaFaultDecisionsArePure) {
+  FaultSchedule s;
+  s.seed = 77;
+  s.replica_stall_rate = 0.2;
+  s.replica_stuck_rate = 0.2;
+  s.replica_crash_rate = 0.2;
+  const FaultInjector a(s), b(s);
+  int faulted = 0;
+  for (std::size_t replica = 0; replica < 4; ++replica) {
+    for (std::uint64_t scope = 0; scope < 64; ++scope) {
+      const ReplicaFault fa = a.replica_fault(replica, scope);
+      const ReplicaFault fb = b.replica_fault(replica, scope);
+      EXPECT_EQ(fa.kind, fb.kind) << "replica " << replica;
+      EXPECT_EQ(fa.stall, fb.stall);
+      faulted += fa.kind != ReplicaFaultKind::kNone;
+    }
+  }
+  EXPECT_GT(faulted, 0) << "the rates should actually fire somewhere";
+}
+
+TEST(FaultInjector, ReplicaFaultMaskPinsChaosToNamedReplicas) {
+  FaultSchedule s;
+  s.seed = 78;
+  s.replica_fault_mask = 0b101;  // replicas 0 and 2 only
+  s.replica_stuck_rate = 1.0;
+  const FaultInjector inj(s);
+  for (std::uint64_t scope = 0; scope < 16; ++scope) {
+    EXPECT_EQ(inj.replica_fault(0, scope).kind, ReplicaFaultKind::kStuck);
+    EXPECT_EQ(inj.replica_fault(1, scope).kind, ReplicaFaultKind::kNone);
+    EXPECT_EQ(inj.replica_fault(2, scope).kind, ReplicaFaultKind::kStuck);
+    EXPECT_EQ(inj.replica_fault(3, scope).kind, ReplicaFaultKind::kNone);
+  }
+}
+
+TEST(FaultInjector, ReplicaFaultPrecedenceIsCrashStuckStall) {
+  FaultSchedule s;
+  s.seed = 79;
+  s.replica_crash_rate = 1.0;
+  s.replica_stuck_rate = 1.0;
+  s.replica_stall_rate = 1.0;
+  EXPECT_EQ(FaultInjector(s).replica_fault(0, 5).kind,
+            ReplicaFaultKind::kCrash);
+  s.replica_crash_rate = 0.0;
+  EXPECT_EQ(FaultInjector(s).replica_fault(0, 5).kind,
+            ReplicaFaultKind::kStuck);
+  s.replica_stuck_rate = 0.0;
+  s.replica_stall_us = std::chrono::microseconds(1234);
+  const ReplicaFault f = FaultInjector(s).replica_fault(0, 5);
+  EXPECT_EQ(f.kind, ReplicaFaultKind::kStall);
+  EXPECT_EQ(f.stall, std::chrono::microseconds(1234));
+  s.replica_stall_rate = 0.0;
+  EXPECT_EQ(FaultInjector(s).replica_fault(0, 5).kind,
+            ReplicaFaultKind::kNone);
+}
+
+TEST(FaultInjector, ReplicaFaultTalliesAreObservationalOnly) {
+  FaultInjector inj;
+  inj.note_replica_fault(ReplicaFaultKind::kStall);
+  inj.note_replica_fault(ReplicaFaultKind::kStuck);
+  inj.note_replica_fault(ReplicaFaultKind::kStuck);
+  inj.note_replica_fault(ReplicaFaultKind::kCrash);
+  inj.note_replica_fault(ReplicaFaultKind::kNone);  // no-op
+  EXPECT_EQ(inj.replica_stall_count(), 1u);
+  EXPECT_EQ(inj.replica_stuck_count(), 2u);
+  EXPECT_EQ(inj.replica_crash_count(), 1u);
+}
+
 }  // namespace
 }  // namespace dps::dpv

@@ -381,5 +381,41 @@ TEST_F(EngineAdmissionTest, ConcurrentHammerNeverProducesAWrongAnswer) {
   EXPECT_EQ(m.requests, ok.load() + shed.load());
 }
 
+// The RAII guard pairs admit with finish on every exit path, so a throw
+// (or an early return) between admission and settle can no longer leak
+// in-flight budget.
+TEST(AdmissionGuard, ReleasesOnScopeExitAndOnlyWhenAdmitted) {
+  AdmissionOptions opts;
+  opts.enabled = true;
+  opts.max_concurrent_batches = 1;
+  opts.max_queued_batches = 0;  // overflow sheds immediately (no parking)
+  AdmissionController gate(opts);
+
+  {
+    AdmissionGuard guard(gate, 5, Priority::kNormal);
+    ASSERT_TRUE(guard.admitted());
+    // The token is held: a second offer sheds rather than queues.
+    AdmissionGuard crowded(gate, 5, Priority::kNormal);
+    EXPECT_FALSE(crowded.admitted());
+    // A shed guard must NOT call finish (that would free a token it never
+    // held); `guard` still owns the only one.
+  }
+  // Scope exit released the admitted guard's token: capacity is back.
+  AdmissionGuard again(gate, 5, Priority::kNormal);
+  EXPECT_TRUE(again.admitted());
+  again.release();
+  again.release();  // idempotent
+  EXPECT_TRUE(again.admitted() == false);
+
+  const AdmissionStats st = gate.stats();
+  EXPECT_EQ(st.offered_batches, 3u);
+  EXPECT_EQ(st.admitted_batches, 2u);
+  EXPECT_EQ(st.shed_batches, 1u);
+  // One more admit/finish round-trip proves no budget leaked anywhere.
+  ASSERT_EQ(gate.admit(5, Priority::kNormal),
+            AdmissionController::Outcome::kAdmitted);
+  gate.finish(5);
+}
+
 }  // namespace
 }  // namespace dps::serve

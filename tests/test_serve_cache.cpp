@@ -132,6 +132,20 @@ TEST(ResultCacheTest, OnlyOkResponsesAreMemoized) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+// A partial answer is correct only for the shard set that survived its
+// batch; memoizing it would replay the degradation to healthy requests.
+TEST(ResultCacheTest, PartialResponsesAreNeverMemoized) {
+  ResultCache cache(CacheOptions{});
+  const auto key = ResultCache::canonical_key(window_rq(0, 0, 1, 1));
+  Response partial = ok_ids({1, 2});
+  partial.status = serve::Status::kPartial;
+  partial.missing_shards = 1;
+  cache.insert(key, partial);
+  Response out;
+  EXPECT_FALSE(cache.lookup(key, out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
 TEST(ResultCacheTest, DisabledOrZeroCapacityNeverStores) {
   for (const CacheOptions opts :
        {CacheOptions{false, 4096}, CacheOptions{true, 0}}) {

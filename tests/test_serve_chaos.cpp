@@ -163,50 +163,50 @@ class ServeChaosTest : public ::testing::Test {
     std::vector<dpv::FaultSchedule> out;
     {
       dpv::FaultSchedule s;  // fail the very first primitive everywhere
-      s.seed = 1;
+      s.seed = test::chaos_seed(1);
       s.fail_nth = 1;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // fail a mid-pipeline primitive
-      s.seed = 2;
+      s.seed = test::chaos_seed(2);
       s.fail_nth = 7;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // sparse random primitive failures
-      s.seed = 3;
+      s.seed = test::chaos_seed(3);
       s.primitive_fail_rate = 0.05;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // heavy random primitive failures
-      s.seed = 4;
+      s.seed = test::chaos_seed(4);
       s.primitive_fail_rate = 0.5;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // half the shard attempts poisoned
-      s.seed = 5;
+      s.seed = test::chaos_seed(5);
       s.shard_poison_rate = 0.5;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // every dp attempt poisoned: pure fallback
-      s.seed = 6;
+      s.seed = test::chaos_seed(6);
       s.shard_poison_rate = 1.0;
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // slow lanes only
-      s.seed = 7;
+      s.seed = test::chaos_seed(7);
       s.lane_stall_rate = 0.5;
       s.lane_stall_us = std::chrono::microseconds(100);
       out.push_back(s);
     }
     {
       dpv::FaultSchedule s;  // everything at once
-      s.seed = 8;
+      s.seed = test::chaos_seed(8);
       s.primitive_fail_rate = 0.2;
       s.shard_poison_rate = 0.2;
       s.lane_stall_rate = 0.2;
@@ -242,7 +242,7 @@ TEST_F(ServeChaosTest, EveryScheduleEveryShardCountEveryBackendMatchesOracle) {
 
 TEST_F(ServeChaosTest, FaultsActuallyTriggerRetriesAndFallbacks) {
   dpv::FaultSchedule s;
-  s.seed = 21;
+  s.seed = test::chaos_seed(21);
   s.fail_nth = 1;  // every dp attempt dies immediately
   const ChaosRun run = run_once(s, 4, 4);
   expect_matches_oracle(run, "fail-first");

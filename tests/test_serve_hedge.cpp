@@ -1,0 +1,398 @@
+// Failure-domain dispatch: hedged subrequests, deadline-budgeted
+// abandonment, and graceful degradation (whole-map oracle settle or
+// opted-in kPartial).  The bar everywhere: a replica that stalls, wedges,
+// or crashes costs bounded latency, never a wrong answer -- and seeded
+// chaos replays bit-identically across runs and engine backends.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "data/mapgen.hpp"
+#include "serve/cluster.hpp"
+#include "test_util.hpp"
+
+namespace dps::serve {
+namespace {
+
+constexpr double kWorld = 1024.0;
+
+ClusterMountOptions mount_options() {
+  ClusterMountOptions mo;
+  mo.world = kWorld;
+  mo.quad.max_depth = 10;
+  mo.quad.bucket_capacity = 4;
+  mo.rtree.m = 2;
+  mo.rtree.M = 8;
+  return mo;
+}
+
+/// Whole-map quadtree/rtree oracle over the same build options.
+struct Oracle {
+  core::QuadTree quad;
+  core::RTree rtree;
+
+  explicit Oracle(const std::vector<geom::Segment>& lines) {
+    dpv::Context ctx;
+    const ClusterMountOptions mo = mount_options();
+    core::PmrBuildOptions po = mo.quad;
+    po.world = mo.world;
+    quad = core::pmr_build(ctx, lines, po).tree;
+    rtree = core::rtree_build(ctx, lines, mo.rtree).tree;
+  }
+};
+
+/// Deterministic mixed batch (windows, points, k-nearest on both trees).
+std::vector<Request> mixed_batch(const std::vector<geom::Segment>& lines,
+                                 std::size_t n) {
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>((i * 131) % 900);
+    const double y = static_cast<double>((i * 71) % 900);
+    switch (i % 4) {
+      case 0:
+        batch.push_back(Request::window_query(IndexKind::kQuadTree,
+                                              {x, y, x + 90.0, y + 60.0}));
+        break;
+      case 1:
+        batch.push_back(Request::window_query(IndexKind::kRTree,
+                                              {x, y, x + 50.0, y + 80.0}));
+        break;
+      case 2:
+        batch.push_back(Request::point_query(
+            IndexKind::kQuadTree, lines[(i * 13) % lines.size()].mid()));
+        break;
+      default:
+        batch.push_back(
+            Request::nearest_query(IndexKind::kRTree, {x, y}, 1 + i % 5));
+        break;
+    }
+  }
+  return batch;
+}
+
+void expect_exact(const Request& rq, const Response& got, const Oracle& o,
+                  std::size_t i, const char* label) {
+  ASSERT_EQ(got.status, Status::kOk) << label << " request " << i;
+  EXPECT_EQ(got.missing_shards, 0u) << label << " request " << i;
+  if (rq.kind == RequestKind::kNearest) {
+    const auto want = rq.index == IndexKind::kQuadTree
+                          ? core::k_nearest(o.quad, rq.point, rq.k)
+                          : core::k_nearest(o.rtree, rq.point, rq.k);
+    ASSERT_EQ(got.neighbors.size(), want.size()) << label << " request " << i;
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(got.neighbors[j].id, want[j].id) << label << " request " << i;
+      EXPECT_DOUBLE_EQ(got.neighbors[j].distance2, want[j].distance2)
+          << label << " request " << i;
+    }
+  } else {
+    const auto want = rq.kind == RequestKind::kWindow
+                          ? (rq.index == IndexKind::kQuadTree
+                                 ? core::window_query(o.quad, rq.window)
+                                 : core::window_query(o.rtree, rq.window))
+                          : (rq.index == IndexKind::kQuadTree
+                                 ? core::point_query(o.quad, rq.point)
+                                 : core::point_query(o.rtree, rq.point));
+    EXPECT_EQ(got.ids, want) << label << " request " << i;
+  }
+}
+
+/// Schedule pinning a chaos kind to replica 0 only.
+dpv::FaultSchedule replica0_schedule(std::uint64_t seed) {
+  dpv::FaultSchedule s;
+  s.seed = seed;
+  s.replica_fault_mask = 1u;  // replica 0 only
+  return s;
+}
+
+ClusterOptions base_options(std::size_t shards) {
+  ClusterOptions co;
+  co.shards = shards;
+  co.cache.enabled = false;
+  co.engine.shards = 2;
+  co.engine.threads = 1;  // keep the 1-core CI box honest
+  return co;
+}
+
+// A replica wedged forever (the reply never arrives) is rescued by a
+// hedge to the whole-map fallback engine: every answer exact, no request
+// waits on the stuck job.
+TEST(ClusterHedge, WholeMapHedgeRescuesStuckReplica) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 901);
+  const Oracle oracle(lines);
+
+  dpv::FaultSchedule s = replica0_schedule(test::chaos_seed(71));
+  s.replica_stuck_rate = 1.0;
+  dpv::FaultInjector inject(s);
+
+  ClusterOptions co = base_options(4);
+  co.replica_fault_injectors = {&inject};
+  co.hedge.enabled = true;
+  co.hedge.initial_delay = std::chrono::microseconds(500);
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+
+  const auto batch = mixed_batch(lines, 48);
+  const auto responses = cluster.serve(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_exact(batch[i], responses[i], oracle, i, "stuck+hedge");
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.ok, batch.size());
+  EXPECT_GT(m.hedges_issued, 0u);
+  EXPECT_GT(m.hedges_won, 0u);
+  EXPECT_GT(inject.replica_stuck_count(), 0u)
+      << "the schedule must actually have wedged subrequests";
+  EXPECT_GT(m.replicas.at(0).hedges, 0u);
+  EXPECT_EQ(m.replicas.at(1).hedges, 0u) << "chaos was pinned to replica 0";
+}
+
+// With backup replicas mounted, the hedge goes to the same-footprint
+// backup instead of the whole-map engine -- and the merged answer is
+// still exactly the single-engine answer.
+TEST(ClusterHedge, BackupReplicaHedgeStaysExact) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 902);
+  const Oracle oracle(lines);
+
+  dpv::FaultSchedule s = replica0_schedule(test::chaos_seed(72));
+  s.replica_stuck_rate = 1.0;
+  dpv::FaultInjector inject(s);
+
+  ClusterOptions co = base_options(4);
+  co.replica_fault_injectors = {&inject};
+  co.hedge.enabled = true;
+  co.hedge.initial_delay = std::chrono::microseconds(500);
+  co.backup_replicas = true;
+  co.fallback_engine = false;  // force the backup path
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+  ASSERT_NE(cluster.backup(0), nullptr);
+
+  const auto batch = mixed_batch(lines, 48);
+  const auto responses = cluster.serve(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_exact(batch[i], responses[i], oracle, i, "backup-hedge");
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.ok, batch.size());
+  EXPECT_GT(m.hedges_issued, 0u);
+  EXPECT_GT(m.hedges_won, 0u);
+}
+
+// A crashing replica (fail-fast, no hedging configured) degrades to the
+// sequential whole-map oracle: still exact, counted as degraded, and
+// never memoized -- replaying the same batch degrades again instead of
+// hitting the cache.
+TEST(ClusterDegrade, CrashDegradesToFallbackOracleAndSkipsCache) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 903);
+  const Oracle oracle(lines);
+
+  dpv::FaultSchedule s = replica0_schedule(test::chaos_seed(73));
+  s.replica_crash_rate = 1.0;
+  dpv::FaultInjector inject(s);
+
+  ClusterOptions co = base_options(4);
+  co.replica_fault_injectors = {&inject};
+  co.cache.enabled = true;
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+
+  // Every request strictly inside replica 0's footprint: all of them lose
+  // their only shard answer to the crash.
+  const geom::Rect f0 = cluster.plan().footprints[0];
+  const geom::Point c = f0.center();
+  std::vector<Request> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(Request::window_query(
+        IndexKind::kQuadTree,
+        {c.x - 10.0 - i, c.y - 10.0, c.x + 10.0, c.y + 10.0 + i}));
+  }
+
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto responses = cluster.serve(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_exact(batch[i], responses[i], oracle, i, "crash-degrade");
+    }
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.ok, 2 * batch.size());
+  EXPECT_EQ(m.degraded_fallback, 2 * batch.size())
+      << "degraded answers must not have been served from the cache";
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache.entries, 0u) << "degraded answers are never memoized";
+  EXPECT_GT(m.replica_crashes, 0u);
+  EXPECT_GT(m.missing_shard_answers, 0u);
+  EXPECT_EQ(m.replicas.at(0).crashes, m.replica_crashes)
+      << "all crashes belong to replica 0";
+}
+
+// allow_partial: when the shard answer is gone and the request opted in,
+// it settles as kPartial -- surviving shards' exactly-merged hits, the
+// missing domains counted -- inside the deadline budget, and the entry
+// never reaches the cache.
+TEST(ClusterDegrade, AllowPartialSettlesInBudgetAndIsNeverCached) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 904);
+  const Oracle oracle(lines);
+
+  dpv::FaultSchedule s = replica0_schedule(test::chaos_seed(74));
+  s.replica_stuck_rate = 1.0;
+  dpv::FaultInjector inject(s);
+
+  ClusterOptions co = base_options(4);
+  co.replica_fault_injectors = {&inject};
+  co.cache.enabled = true;
+  co.fallback_engine = false;  // no oracle: degradation must use kPartial
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+
+  // One whole-map window (touches every footprint, so replica 0's wedge
+  // always bites) with a real deadline; opted in to partial answers.
+  auto rq = Request::window_query(IndexKind::kQuadTree,
+                                  {1.0, 1.0, kWorld - 1.0, kWorld - 1.0})
+                .with_allow_partial();
+  const auto whole = core::window_query(oracle.quad, rq.window);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    rq.with_deadline(Clock::now() + std::chrono::milliseconds(60));
+    const auto responses = cluster.serve({rq});
+    ASSERT_EQ(responses.size(), 1u);
+    const Response& rsp = responses[0];
+    ASSERT_EQ(rsp.status, Status::kPartial) << "pass " << pass;
+    EXPECT_EQ(rsp.missing_shards, 1u) << "only replica 0 was wedged";
+    // The surviving hits are an exactly-merged subset of the whole-map
+    // answer (sorted unique ids, each present in the oracle's).
+    EXPECT_TRUE(std::is_sorted(rsp.ids.begin(), rsp.ids.end()));
+    for (const geom::LineId id : rsp.ids) {
+      EXPECT_TRUE(std::binary_search(whole.begin(), whole.end(), id));
+    }
+    EXPECT_LT(rsp.ids.size(), whole.size())
+        << "replica 0's hits should be missing from the partial answer";
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.partial, 2u);
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache.entries, 0u) << "kPartial is never admitted to the cache";
+  EXPECT_GT(m.subrequest_timeouts, 0u)
+      << "the wedged subrequest was abandoned at its budget";
+
+  // Same configuration, no opt-in, no fallback indexes: nothing exact
+  // left to answer with, so the request is refused rather than guessed.
+  auto strict = Request::window_query(IndexKind::kQuadTree,
+                                      {1.0, 1.0, kWorld - 1.0, kWorld - 1.0})
+                    .with_deadline(Clock::now() + std::chrono::milliseconds(60));
+  EXPECT_EQ(cluster.serve({strict})[0].status, Status::kRejected);
+}
+
+// The acceptance bar from the issue: a seeded stuck-forever replica under
+// deadlines -- every affected request settles within its budget as kOk
+// (hedge / fallback), bit-identically across replays and across the
+// serial and thread-pool engine backends, and the chaos decision set
+// itself replays exactly.
+TEST(ClusterChaosAcceptance, StuckReplicaReplaysBitIdentically) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 905);
+  const Oracle oracle(lines);
+  const auto batch = mixed_batch(lines, 40);
+
+  struct Run {
+    std::vector<Response> responses;
+    std::uint64_t stucks = 0;
+  };
+  auto run_once = [&](std::size_t threads) {
+    dpv::FaultSchedule s = replica0_schedule(test::chaos_seed(75));
+    s.replica_stuck_rate = 1.0;
+    dpv::FaultInjector inject(s);
+    ClusterOptions co = base_options(4);
+    co.engine.threads = threads;
+    co.replica_fault_injectors = {&inject};
+    co.hedge.enabled = true;
+    co.hedge.initial_delay = std::chrono::microseconds(500);
+    serve::Cluster cluster(co);
+    cluster.mount(lines, mount_options());
+
+    auto timed = batch;
+    for (auto& rq : timed) {
+      rq.with_deadline(Clock::now() + std::chrono::milliseconds(250));
+    }
+    Run run;
+    run.responses = cluster.serve(timed);
+    run.stucks = inject.replica_stuck_count();
+    return run;
+  };
+
+  const Run first = run_once(1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_exact(batch[i], first.responses[i], oracle, i, "acceptance");
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    const Run replay = run_once(threads);
+    ASSERT_EQ(replay.responses.size(), first.responses.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Response& a = first.responses[i];
+      const Response& b = replay.responses[i];
+      EXPECT_EQ(a.status, b.status) << "threads " << threads;
+      EXPECT_EQ(a.ids, b.ids) << "threads " << threads << " request " << i;
+      ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+      for (std::size_t j = 0; j < a.neighbors.size(); ++j) {
+        EXPECT_EQ(a.neighbors[j].id, b.neighbors[j].id);
+        EXPECT_EQ(a.neighbors[j].distance2, b.neighbors[j].distance2);
+      }
+    }
+    EXPECT_EQ(replay.stucks, first.stucks)
+        << "the set of faulted subrequests must replay exactly";
+  }
+}
+
+// Hedging can be on for a healthy cluster without changing anything: no
+// hedges fire ahead of the (warmup) delay on a fast replica, and every
+// answer stays exact.
+TEST(ClusterHedge, HealthyClusterHedgesRarelyAndStaysExact) {
+  const auto lines = data::uniform_segments(300, kWorld, 22.0, 906);
+  const Oracle oracle(lines);
+
+  ClusterOptions co = base_options(2);
+  co.hedge.enabled = true;
+  co.hedge.initial_delay = std::chrono::milliseconds(250);  // generous
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+
+  const auto batch = mixed_batch(lines, 48);
+  const auto responses = cluster.serve(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_exact(batch[i], responses[i], oracle, i, "healthy");
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.ok, batch.size());
+  EXPECT_EQ(m.subrequest_timeouts, 0u);
+  EXPECT_EQ(m.degraded_fallback, 0u);
+  EXPECT_EQ(m.partial, 0u);
+}
+
+// Every settled response carries its own latency stamp, and the cluster
+// histogram records one sample per request -- cache hits and invalid
+// requests included.
+TEST(ClusterLatency, EveryResponseStampedAtSettleTime) {
+  const auto lines = data::uniform_segments(250, kWorld, 22.0, 907);
+  ClusterOptions co = base_options(2);
+  co.cache.enabled = true;
+  serve::Cluster cluster(co);
+  cluster.mount(lines, mount_options());
+
+  std::vector<Request> batch = mixed_batch(lines, 16);
+  batch.push_back(Request::nearest_query(IndexKind::kQuadTree, {1, 1}, 0));
+  cluster.serve(batch);                          // cold pass fills the cache
+  const auto responses = cluster.serve(batch);   // warm pass hits it
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_GT(responses[i].latency_us, 0.0) << "request " << i;
+  }
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GT(m.cache_hits, 0u);
+  EXPECT_EQ(m.latency.count(), m.requests)
+      << "one latency sample per request, stamped when it settles";
+}
+
+}  // namespace
+}  // namespace dps::serve

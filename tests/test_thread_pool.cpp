@@ -149,6 +149,60 @@ TEST(ThreadPool, DestructionWhileWorkersParked) {
   }
 }
 
+TEST(AsyncPool, RunsEverySubmittedJob) {
+  AsyncPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() < 32 && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(AsyncPool, ZeroThreadsClampsToOne) {
+  AsyncPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran.store(true); });
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!ran.load() && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+// The destructor discards jobs still waiting in the queue and only joins
+// the running ones -- a wedged-looking job that polls stopping() cannot
+// wedge shutdown, and nothing queued behind it ever starts.
+TEST(AsyncPool, DestructorDiscardsQueueAndInterruptsViaStopping) {
+  std::atomic<bool> queued_ran{false};
+  std::atomic<bool> long_job_started{false};
+  {
+    AsyncPool pool(1);
+    pool.submit([&] {
+      long_job_started.store(true);
+      while (!pool.stopping()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+    while (!long_job_started.load()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&] { queued_ran.store(true); });
+    }
+    // ~AsyncPool: clears the queue, flips stopping(), joins the worker.
+  }
+  EXPECT_FALSE(queued_ran.load())
+      << "jobs still queued at shutdown must be dropped, not run";
+}
+
 TEST(ThreadPool, UnevenLaneDurationsStillJoin) {
   ThreadPool pool(4);
   std::atomic<int> done{0};

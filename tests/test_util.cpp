@@ -1,6 +1,9 @@
 #include "test_util.hpp"
 
+#include <cstdlib>
 #include <random>
+
+#include "dpv/fault.hpp"
 
 namespace dps::test {
 
@@ -26,6 +29,15 @@ dpv::Flags random_flags(std::size_t n, std::size_t avg_group,
   if (n > 0) out[0] = 1;
   for (std::size_t i = 1; i < n; ++i) out[i] = d(rng) == 0 ? 1 : 0;
   return out;
+}
+
+std::uint64_t chaos_seed(std::uint64_t base) {
+  const char* env = std::getenv("DPS_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return base;
+  const std::uint64_t salt =
+      std::strtoull(env, nullptr, 10);
+  if (salt == 0) return base;
+  return dpv::mix64(base ^ dpv::mix64(salt));
 }
 
 }  // namespace dps::test

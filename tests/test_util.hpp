@@ -60,4 +60,10 @@ dpv::Vec<int> random_ints(std::size_t n, int range, std::uint64_t seed);
 dpv::Flags random_flags(std::size_t n, std::size_t avg_group,
                                        std::uint64_t seed);
 
+/// Chaos-suite seed derivation: `base` as written in the test, remixed
+/// with the DPS_CHAOS_SEED environment variable when it is set.  CI runs
+/// the chaos suites under a small seed matrix through this hook; every
+/// derived seed is still fully deterministic for its (base, env) pair.
+std::uint64_t chaos_seed(std::uint64_t base);
+
 }  // namespace dps::test
