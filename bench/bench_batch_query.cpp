@@ -121,8 +121,13 @@ void write_json(const char* path, const std::vector<Series>& series,
   // window >= 1 at engine batch sizes; knn is recorded honestly either way.
   std::fprintf(f, "},\n  \"seq_over_dp_p50\": {");
   first = true;
+  double window_rtree_ratio = 0.0;
   const char* pairs[][2] = {{"window_pmr", "seq_window_pmr"},
                             {"window_rtree", "seq_window_rtree"},
+                            {"window_lqt", "seq_window_lqt"},
+                            {"point_pmr", "seq_point_pmr"},
+                            {"point_rtree", "seq_point_rtree"},
+                            {"point_lqt", "seq_point_lqt"},
                             {"knn_pmr", "seq_knn_pmr"},
                             {"knn_rtree", "seq_knn_rtree"}};
   for (const auto& pr : pairs) {
@@ -132,10 +137,15 @@ void write_json(const char* path, const std::vector<Series>& series,
       if (s.pipeline == pr[1]) sq = s.p50_ns;
     }
     if (dp <= 0.0 || sq <= 0.0) continue;
+    if (std::strcmp(pr[0], "window_rtree") == 0) window_rtree_ratio = sq / dp;
     std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", pr[0], sq / dp);
     first = false;
   }
-  std::fprintf(f, "}\n}\n");
+  // Parity assert for the one combo that regressed below 1.0 in PR 7: with
+  // model-driven dispatch the dp pipeline must not lose to sequential at
+  // the 512-query engine batch size (5% measurement tolerance).
+  std::fprintf(f, "},\n  \"window_rtree_parity_ok\": %s\n}\n",
+               window_rtree_ratio >= 0.95 ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -302,6 +312,28 @@ int main(int argc, char** argv) {
   series.push_back(measure("seq_window_rtree", false, q, [&](dpv::Context&) {
     Hits h;
     for (const auto& w : windows) h.candidates += core::window_query(rtree, w).size();
+    return h;
+  }));
+  series.push_back(measure("seq_window_lqt", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& w : windows) h.candidates += lqt.window_query(w).size();
+    return h;
+  }));
+  series.push_back(measure("seq_point_pmr", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& p : points) h.candidates += core::point_query(pmr, p).size();
+    return h;
+  }));
+  series.push_back(measure("seq_point_rtree", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& p : points) {
+      h.candidates += core::point_query(rtree, p).size();
+    }
+    return h;
+  }));
+  series.push_back(measure("seq_point_lqt", false, q, [&](dpv::Context&) {
+    Hits h;
+    for (const auto& p : points) h.candidates += lqt.point_query(p).size();
     return h;
   }));
   series.push_back(measure("seq_knn_pmr", false, q, [&](dpv::Context&) {

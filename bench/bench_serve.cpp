@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <thread>
@@ -158,6 +159,21 @@ struct TraceRow {
   bool identical = false;
 };
 
+// S6 rows: dispatch-policy A/B on one workload mix.  `model_ok` in the
+// JSON asserts the acceptance bar: warmed model-driven dispatch must not
+// lose to the better of static-threshold dp and forced-sequential.
+struct DispatchRow {
+  const char* mode = "";
+  double ms = 0.0;
+  double req_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t dp_groups = 0;
+  std::uint64_t seq_groups = 0;
+  std::uint64_t hybrid_groups = 0;
+  bool identical = false;
+};
+
 struct HotWindowResult {
   std::size_t requests = 0;
   std::size_t distinct_windows = 0;
@@ -178,7 +194,9 @@ void write_json(const char* path, const std::vector<EngineRow>& rows,
                 const HotWindowResult& hot,
                 const std::vector<TraceRow>& trace_rows,
                 std::size_t trace_batches, std::size_t trace_batch_size,
-                std::uint64_t trace_interval_us, std::uint64_t trace_stall_us) {
+                std::uint64_t trace_interval_us, std::uint64_t trace_stall_us,
+                const std::vector<DispatchRow>& dispatch_mixed,
+                const std::vector<DispatchRow>& dispatch_knn) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -251,7 +269,45 @@ void write_json(const char* path, const std::vector<EngineRow>& rows,
                  r.identical ? "true" : "false",
                  i + 1 < trace_rows.size() ? "," : "");
   }
-  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fprintf(f, "    ]\n  },\n");
+  auto write_dispatch = [f](const char* mix,
+                            const std::vector<DispatchRow>& rows,
+                            const char* tail) {
+    double model_ms = 0.0, best_other = 0.0;
+    for (const DispatchRow& r : rows) {
+      if (std::strcmp(r.mode, "model") == 0) {
+        model_ms = r.ms;
+      } else if (best_other == 0.0 || r.ms < best_other) {
+        best_other = r.ms;
+      }
+    }
+    std::fprintf(f, "    \"%s\": {\n      \"series\": [\n", mix);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const DispatchRow& r = rows[i];
+      std::fprintf(f,
+                   "        {\"mode\": \"%s\", \"ms\": %.2f, "
+                   "\"req_per_s\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                   "\"dp_groups\": %llu, \"seq_groups\": %llu, "
+                   "\"hybrid_groups\": %llu, \"identical\": %s}%s\n",
+                   r.mode, r.ms, r.req_per_s, r.p50_us, r.p99_us,
+                   static_cast<unsigned long long>(r.dp_groups),
+                   static_cast<unsigned long long>(r.seq_groups),
+                   static_cast<unsigned long long>(r.hybrid_groups),
+                   r.identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    // 10% tolerance: the arms share cores with the rest of the run.
+    std::fprintf(f, "      ],\n      \"model_ok\": %s\n    }%s\n",
+                 model_ms > 0.0 && best_other > 0.0 &&
+                         model_ms <= best_other * 1.10
+                     ? "true"
+                     : "false",
+                 tail);
+  };
+  std::fprintf(f, "  \"s6\": {\n");
+  write_dispatch("mixed", dispatch_mixed, ",");
+  write_dispatch("knn", dispatch_knn, "");
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -636,10 +692,94 @@ int main(int argc, char** argv) {
     }
   }
 
+  // S6: dispatch-policy A/B.  The same workload serves through three
+  // engines differing only in EngineOptions::dispatch -- warmed cost-model,
+  // the legacy static min_dp_batch threshold, and forced-sequential.  Every
+  // arm gets the same warm-up passes (the model arm explores and
+  // learns from its own wall-clocks; the others just warm caches), then
+  // the timed best-of-2.  Exploration is quickened from the production
+  // cadence so both paths are measured within the warm-up budget.  The
+  // acceptance bar: model p50 wall-clock must not lose to the better of
+  // the two static policies on either mix.
+  auto dispatch_ab = [&](const std::vector<serve::Request>& b,
+                         std::uint64_t want_sum) {
+    std::vector<DispatchRow> out;
+    const struct {
+      const char* name;
+      serve::DispatchMode mode;
+    } arms[] = {{"model", serve::DispatchMode::kModel},
+                {"static", serve::DispatchMode::kStatic},
+                {"force_seq", serve::DispatchMode::kForceSeq}};
+    for (const auto& arm : arms) {
+      serve::EngineOptions eo;
+      eo.shards = 4;
+      eo.threads = 4;
+      eo.min_dp_batch = 8;
+      eo.dispatch = arm.mode;
+      eo.cost_model.explore_period = 2;
+      serve::QueryEngine engine(eo);
+      engine.mount(&quad);
+      engine.mount(&rtree);
+      for (int w = 0; w < 24; ++w) engine.serve(b);
+      engine.reset_metrics();  // rows report the converged timed region only
+      std::vector<serve::Response> responses;
+      const double ms =
+          bench::best_of(2, [&] { responses = engine.serve(b); });
+      if (std::getenv("DPS_DUMP_MODEL") != nullptr &&
+          arm.mode == serve::DispatchMode::kModel) {
+        std::printf("MODEL-DUMP batch=%zu\n", b.size());
+        for (const auto& e : engine.cost_model_snapshot().entries) {
+          std::printf("cell kind=%llu idx=%llu dens=%llu k=%llu size=%llu "
+                      "path=%s upq=%.2f mean_n=%.1f samples=%llu\n",
+                      (unsigned long long)(e.key & 0xF),
+                      (unsigned long long)((e.key >> 4) & 0xF),
+                      (unsigned long long)((e.key >> 8) & 0x3F),
+                      (unsigned long long)((e.key >> 14) & 0x3F),
+                      (unsigned long long)((e.key >> 20) & 0x3F),
+                      ((e.key >> 26) & 1) ? "dp" : "seq", e.us_per_query,
+                      e.mean_n, (unsigned long long)e.samples);
+        }
+      }
+      const serve::ServeMetrics m = engine.metrics();
+      DispatchRow row;
+      row.mode = arm.name;
+      row.ms = ms;
+      row.req_per_s = 1000.0 * static_cast<double>(b.size()) / ms;
+      row.p50_us = m.latency.quantile_upper_us(0.50);
+      row.p99_us = m.latency.quantile_upper_us(0.99);
+      row.dp_groups = m.dp_groups;
+      row.seq_groups = m.seq_groups;
+      row.hybrid_groups = m.hybrid_groups;
+      row.identical = checksum(responses) == want_sum;
+      out.push_back(row);
+    }
+    return out;
+  };
+  std::printf("\nS6: dispatch-policy A/B (4 shards, warmed model vs static "
+              "threshold vs forced-sequential)\n");
+  std::printf("%-22s %10s %12s %10s %8s %8s %8s  %s\n", "config", "ms",
+              "req/s", "p50(us)", "dp", "seq", "hybrid", "results");
+  const std::vector<DispatchRow> dispatch_mixed = dispatch_ab(batch, want);
+  const std::vector<DispatchRow> dispatch_knn =
+      dispatch_ab(knn_batch, knn_want);
+  for (const auto* rows_p : {&dispatch_mixed, &dispatch_knn}) {
+    const char* mix = rows_p == &dispatch_mixed ? "mixed" : "knn";
+    for (const DispatchRow& r : *rows_p) {
+      char config[64];
+      std::snprintf(config, sizeof config, "%s/%s", mix, r.mode);
+      std::printf("%-22s %10.2f %12.0f %10.0f %8llu %8llu %8llu  %s\n",
+                  config, r.ms, r.req_per_s, r.p50_us,
+                  static_cast<unsigned long long>(r.dp_groups),
+                  static_cast<unsigned long long>(r.seq_groups),
+                  static_cast<unsigned long long>(r.hybrid_groups),
+                  r.identical ? "identical" : "MISMATCH");
+    }
+  }
+
   if (json) {
     write_json("BENCH_serve.json", rows, seq_ms, knn_rows, knn_seq_ms,
                cluster_rows, hot, trace_rows, kTraceBatches, kTraceBatch,
-               kTraceIntervalUs, kTraceStallUs);
+               kTraceIntervalUs, kTraceStallUs, dispatch_mixed, dispatch_knn);
   }
 
   // S2: overload.  Offered load deliberately exceeds capacity: many client

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gate dispatch-relevant benchmark ratios against the checked-in record.
+
+Compares a freshly produced BENCH_batch.json against the repository's
+checked-in one on the `seq_over_dp_p50` table (sequential p50 / data-parallel
+p50 per kind x index combo -- higher means the dp pipeline is winning by
+more).  CI machines are noisy, so only a >25% relative drop on a combo
+fails; that is far outside run-to-run jitter and has only ever meant a real
+pipeline regression.  Also asserts the fresh run's `window_rtree_parity_ok`
+flag, which pins the batch R-tree window pipeline at >= 0.95x sequential.
+
+Usage: check_bench_regression.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+# A combo fails when fresh_ratio < baseline_ratio * (1 - TOLERANCE).
+TOLERANCE = 0.25
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    fresh_ratios = fresh.get("seq_over_dp_p50", {})
+    base_ratios = baseline.get("seq_over_dp_p50", {})
+    if not fresh_ratios:
+        print("FAIL: fresh record has no seq_over_dp_p50 table")
+        return 1
+
+    failures = []
+    for combo, base in sorted(base_ratios.items()):
+        got = fresh_ratios.get(combo)
+        if got is None:
+            # The baseline may predate a combo rename; a missing combo is
+            # reported but the floor only applies to ones both records have.
+            print(f"  skip {combo}: not in fresh record")
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSED"
+        print(f"  {combo}: fresh {got:.3f} vs baseline {base:.3f} "
+              f"(floor {floor:.3f}) {verdict}")
+        if got < floor:
+            failures.append(combo)
+
+    parity = fresh.get("window_rtree_parity_ok")
+    if parity is not True:
+        print(f"  window_rtree_parity_ok: {parity!r} (want true)")
+        failures.append("window_rtree_parity_ok")
+    else:
+        print("  window_rtree_parity_ok: true")
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)}")
+        return 1
+    print("OK: no combo regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "core/batch_nearest.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "dpv/distribute.hpp"
 #include "dpv/fused.hpp"
 #include "dpv/simd.hpp"
+#include "geom/hilbert.hpp"
 #include "geom/predicates.hpp"
 #include "prim/duplicate_deletion.hpp"
 
@@ -27,6 +29,16 @@ constexpr std::size_t kControlStride = 64;
 constexpr std::size_t kMinBeam = 4;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Hilbert grid resolution for the bound-propagation sweep order.
+constexpr int kPropagationOrder = 16;
+
+// A propagated bound is inflated by this relative slack so the sqrt /
+// add / multiply rounding of the carried radius (error <= a few ulp per
+// sweep step, so <= ~1e-10 relative even for million-query batches) can
+// never push a bound below the query's true kth distance -- the exactness
+// invariant the MINDIST prune relies on.
+constexpr double kPropagationSlack = 1e-9;
 
 // Structure-of-arrays tile width for the batched geometry kernels: large
 // enough to amortize the gather into lane-parallel form, small enough to
@@ -123,7 +135,8 @@ template <typename Ops>
 BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
                                          const std::vector<geom::Point>& points,
                                          const std::vector<std::size_t>& ks,
-                                         const BatchControl& control) {
+                                         const BatchControl& control,
+                                         const BatchNearestTuning& tuning) {
   const std::size_t nq = points.size();
   BatchNearestResult out;
   out.results.resize(nq);
@@ -138,6 +151,84 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
   });
 
   Pool pool;
+
+  // Bound propagation between queries (triangle inequality): a query q
+  // with a finite bound certifies >= ks[q] segments within radius
+  // sqrt(bound[q]) of its point, so any query p with ks[p] <= ks[q] is
+  // bounded by (sqrt(bound[q]) + |pq|)^2.  Two sweeps along the Hilbert
+  // order of the query points carry the best such claim (radius + distance
+  // traveled, valid for answer counts up to the claimant's k); locality of
+  // the curve keeps the travel short, so clustered queries inherit tight
+  // bounds from whichever neighbor settled first.  Runs after every merge
+  // -- a merge may overwrite a propagated bound with a (looser) pool kth
+  // distance, and the next sweep simply re-tightens it.
+  std::vector<std::uint32_t> horder;
+  if (tuning.bound_propagation) {
+    const geom::Rect world = ops.node_rect(ops.root());
+    const double side = static_cast<double>(
+        (std::uint32_t{1} << kPropagationOrder) - 1);
+    const double sx =
+        world.xmax > world.xmin ? side / (world.xmax - world.xmin) : 0.0;
+    const double sy =
+        world.ymax > world.ymin ? side / (world.ymax - world.ymin) : 0.0;
+    std::vector<std::uint64_t> hkey(nq);
+    horder.reserve(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (ks[q] == 0) continue;  // never a claimant nor a beneficiary
+      const double cx =
+          std::clamp((points[q].x - world.xmin) * sx, 0.0, side);
+      const double cy =
+          std::clamp((points[q].y - world.ymin) * sy, 0.0, side);
+      hkey[q] = geom::hilbert_d(static_cast<std::uint32_t>(cx),
+                                static_cast<std::uint32_t>(cy),
+                                kPropagationOrder);
+      horder.push_back(static_cast<std::uint32_t>(q));
+    }
+    std::sort(horder.begin(), horder.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return hkey[a] != hkey[b] ? hkey[a] < hkey[b] : a < b;
+              });
+  }
+  const auto propagate = [&] {
+    if (horder.size() < 2) return;
+    const auto sweep = [&](std::ptrdiff_t begin, std::ptrdiff_t end,
+                           std::ptrdiff_t step) {
+      double radius = kInf;    // carried claim, centered on `prev`
+      std::size_t claim_k = 0;  // valid for queries wanting <= this many
+      bool have = false;
+      geom::Point prev{};
+      for (std::ptrdiff_t i = begin; i != end; i += step) {
+        const std::uint32_t q = horder[static_cast<std::size_t>(i)];
+        const geom::Point p = points[q];
+        if (have) {
+          const double dx = p.x - prev.x;
+          const double dy = p.y - prev.y;
+          radius += std::sqrt(dx * dx + dy * dy);
+          if (ks[q] <= claim_k) {
+            const double b2 = radius * radius * (1.0 + kPropagationSlack);
+            if (b2 < bound[q]) {
+              bound[q] = b2;
+              ++out.propagations;
+            }
+          }
+        }
+        if (bound[q] >= 0.0 && bound[q] < kInf) {
+          const double rq = std::sqrt(bound[q]);
+          if (!have || rq < radius ||
+              (rq == radius && ks[q] > claim_k)) {
+            radius = rq;
+            claim_k = ks[q];
+            have = true;
+          }
+        }
+        prev = p;
+      }
+    };
+    const auto n = static_cast<std::ptrdiff_t>(horder.size());
+    sweep(0, n, 1);
+    sweep(n - 1, -1, -1);
+    ctx.count(dpv::Prim::kElementwise, 2 * horder.size());
+  };
 
   // Seed: score each query's home leaf (host descent, exactly like the
   // batch window pipeline's candidate generation) so most bounds are
@@ -165,6 +256,10 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
     }
     out.candidates += cq.size();
     merge_candidates(ctx, pool, cq, cid, cd2, ks, bound);
+    // The seed propagation is the big one: it hands every clustered query
+    // a finite bound even when its own home leaf was sparse (the R-tree
+    // seed visits a single leaf), so round one prunes instead of flooding.
+    if (tuning.bound_propagation) propagate();
   }
 
   // Frontier of (query, node) pairs; after the first beam round pairs
@@ -217,9 +312,12 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
     std::tie(fq, fnode, md) = dpv::multi_pack(ctx, live, fq, fnode, md);
     if (fq.empty()) break;
 
-    // Pairs deferred to the next round by the beam selection below.
+    // Pairs deferred to the next round by the beam selection below (dmd
+    // carries their MINDIST when compaction wants to re-prune them against
+    // the post-merge bounds).
     dpv::Vec<std::uint32_t> dq;
     dpv::Vec<std::int32_t> dnode;
+    dpv::Vec<double> dmd;
 
     // Beam select: group the frontier by query (appending deferred pairs
     // below breaks q-order), rank each group by MINDIST, and expand only
@@ -250,8 +348,14 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
       dpv::Flags defer = dpv::map(ctx, sel, [](std::uint8_t s) {
         return static_cast<std::uint8_t>(!s);
       });
-      std::tie(dq, dnode) = dpv::multi_pack(ctx, defer, fq, fnode);
-      std::tie(fq, fnode) = dpv::multi_pack(ctx, sel, fq, fnode);
+      if (tuning.frontier_compaction) {
+        md = dpv::gather(ctx, md, by_beam);
+        std::tie(dq, dnode, dmd) = dpv::multi_pack(ctx, defer, fq, fnode, md);
+        std::tie(fq, fnode, md) = dpv::multi_pack(ctx, sel, fq, fnode, md);
+      } else {
+        std::tie(dq, dnode) = dpv::multi_pack(ctx, defer, fq, fnode);
+        std::tie(fq, fnode) = dpv::multi_pack(ctx, sel, fq, fnode);
+      }
     }
 
     // Peel off leaf pairs.
@@ -262,7 +366,12 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
       return static_cast<std::uint8_t>(!l);
     });
     auto [leaf_q, leaf_n] = dpv::multi_pack(ctx, is_leaf, fq, fnode);
-    std::tie(fq, fnode) = dpv::multi_pack(ctx, is_internal, fq, fnode);
+    if (tuning.frontier_compaction) {
+      std::tie(fq, fnode, md) = dpv::multi_pack(ctx, is_internal, fq, fnode,
+                                                md);
+    } else {
+      std::tie(fq, fnode) = dpv::multi_pack(ctx, is_internal, fq, fnode);
+    }
 
     // Leaf pairs expand into (query, segment) candidates, scored
     // elementwise, pre-filtered against the (pre-merge) bound, and merged
@@ -316,7 +425,30 @@ BatchNearestResult batch_nearest_descend(dpv::Context& ctx, const Ops& ops,
         ctx.count(dpv::Prim::kElementwise, e.total);  // bound pre-filter
         auto [mq, mid, md2] = dpv::multi_pack(ctx, close, cq, cid, cd2);
         merge_candidates(ctx, pool, mq, mid, md2, ks, bound);
+        if (tuning.bound_propagation) propagate();
       }
+    }
+
+    // Frontier compaction: the merge (and propagation) above tightened the
+    // bounds *after* this round's pairs were selected against the old
+    // ones; re-pruning the selected internal pairs before they expand --
+    // and the deferred pairs before they rejoin -- drops a satisfied
+    // query's pairs a round earlier than the next MINDIST pass would.
+    if (tuning.frontier_compaction && !fq.empty()) {
+      dpv::Flags still = dpv::tabulate(ctx, fq.size(), [&](std::size_t i) {
+        return static_cast<std::uint8_t>(md[i] <= bound[fq[i]]);
+      });
+      const std::size_t before = fq.size();
+      std::tie(fq, fnode) = dpv::multi_pack(ctx, still, fq, fnode);
+      out.compacted += before - fq.size();
+    }
+    if (tuning.frontier_compaction && !dq.empty()) {
+      dpv::Flags still = dpv::tabulate(ctx, dq.size(), [&](std::size_t i) {
+        return static_cast<std::uint8_t>(dmd[i] <= bound[dq[i]]);
+      });
+      const std::size_t before = dq.size();
+      std::tie(dq, dnode) = dpv::multi_pack(ctx, still, dq, dnode);
+      out.compacted += before - dq.size();
     }
 
     // Expand each selected internal pair into its children; the deferred
@@ -470,29 +602,37 @@ struct RtreeOps {
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
                                    const std::vector<geom::Point>& points,
                                    const std::vector<std::size_t>& ks,
-                                   const BatchControl& control) {
-  return batch_nearest_descend(ctx, QuadOps{tree}, points, ks, control);
+                                   const BatchControl& control,
+                                   const BatchNearestTuning& tuning) {
+  return batch_nearest_descend(ctx, QuadOps{tree}, points, ks, control,
+                               tuning);
 }
 
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
                                    const std::vector<geom::Point>& points,
                                    const std::vector<std::size_t>& ks,
-                                   const BatchControl& control) {
-  return batch_nearest_descend(ctx, RtreeOps{tree}, points, ks, control);
+                                   const BatchControl& control,
+                                   const BatchNearestTuning& tuning) {
+  return batch_nearest_descend(ctx, RtreeOps{tree}, points, ks, control,
+                               tuning);
 }
 
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
                                    const std::vector<geom::Point>& points,
-                                   std::size_t k, const BatchControl& control) {
+                                   std::size_t k, const BatchControl& control,
+                                   const BatchNearestTuning& tuning) {
   return batch_k_nearest(ctx, tree, points,
-                         std::vector<std::size_t>(points.size(), k), control);
+                         std::vector<std::size_t>(points.size(), k), control,
+                         tuning);
 }
 
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
                                    const std::vector<geom::Point>& points,
-                                   std::size_t k, const BatchControl& control) {
+                                   std::size_t k, const BatchControl& control,
+                                   const BatchNearestTuning& tuning) {
   return batch_k_nearest(ctx, tree, points,
-                         std::vector<std::size_t>(points.size(), k), control);
+                         std::vector<std::size_t>(points.size(), k), control,
+                         tuning);
 }
 
 }  // namespace dps::core

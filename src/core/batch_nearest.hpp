@@ -44,12 +44,35 @@
 
 namespace dps::core {
 
+/// A/B switches for the two bound-tightening passes (both on in
+/// production; off reproduces the PR 6 descent exactly).  Either setting
+/// returns byte-identical results -- the passes only tighten the pruning
+/// bounds, never below a query's true kth distance.
+struct BatchNearestTuning {
+  /// Triangle-inequality bound propagation between queries: a query with a
+  /// settled kth-best radius r implies a (r + |pq|) radius for any
+  /// neighbor p wanting at most as many answers.  Two Hilbert-ordered
+  /// sweeps (forward + backward) carry the best such claim along the
+  /// curve, so sparse-seeded queries inherit finite bounds before the
+  /// descent rounds instead of surviving unpruned until k candidates
+  /// surface.
+  bool bound_propagation = true;
+  /// Post-merge frontier compaction: after each round's candidate merge
+  /// (and propagation) tightens the bounds, selected internal pairs and
+  /// deferred pairs are re-pruned against the *new* bounds before the
+  /// child expansion / next round, dropping satisfied queries' pairs a
+  /// round earlier than the next MINDIST pass would.
+  bool frontier_compaction = true;
+};
+
 struct BatchNearestResult {
   /// results[q] = the ks[q] lines nearest to points[q], nearest first
   /// (ties by id), exactly as `core::k_nearest` orders them.
   std::vector<std::vector<Neighbor>> results;
   std::size_t candidates = 0;  // (query, segment) pairs scored
   std::size_t rounds = 0;      // frontier descent rounds executed
+  std::size_t propagations = 0;  // bounds tightened by neighbor claims
+  std::size_t compacted = 0;  // frontier pairs dropped post-merge
   /// True when the control fired (or an injected fault latched)
   /// mid-pipeline; `results` is then incomplete and must not be trusted.
   bool aborted = false;
@@ -60,22 +83,26 @@ struct BatchNearestResult {
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
                                    const std::vector<geom::Point>& points,
                                    const std::vector<std::size_t>& ks,
-                                   const BatchControl& control = {});
+                                   const BatchControl& control = {},
+                                   const BatchNearestTuning& tuning = {});
 
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
                                    const std::vector<geom::Point>& points,
                                    const std::vector<std::size_t>& ks,
-                                   const BatchControl& control = {});
+                                   const BatchControl& control = {},
+                                   const BatchNearestTuning& tuning = {});
 
 /// Uniform-k conveniences.
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const QuadTree& tree,
                                    const std::vector<geom::Point>& points,
                                    std::size_t k,
-                                   const BatchControl& control = {});
+                                   const BatchControl& control = {},
+                                   const BatchNearestTuning& tuning = {});
 
 BatchNearestResult batch_k_nearest(dpv::Context& ctx, const RTree& tree,
                                    const std::vector<geom::Point>& points,
                                    std::size_t k,
-                                   const BatchControl& control = {});
+                                   const BatchControl& control = {},
+                                   const BatchNearestTuning& tuning = {});
 
 }  // namespace dps::core

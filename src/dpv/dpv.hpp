@@ -11,6 +11,7 @@
 
 #include "dpv/arena.hpp"        // IWYU pragma: export
 #include "dpv/context.hpp"      // IWYU pragma: export
+#include "dpv/cost_model.hpp"   // IWYU pragma: export
 #include "dpv/distribute.hpp"   // IWYU pragma: export
 #include "dpv/elementwise.hpp"  // IWYU pragma: export
 #include "dpv/fault.hpp"        // IWYU pragma: export

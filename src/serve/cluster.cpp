@@ -529,7 +529,6 @@ void Cluster::run_round(std::vector<std::vector<Request>>& sub,
   std::uint64_t seen = 0;
   for (;;) {
     const auto now = Clock::now();
-    bool all_resolved = true;
     auto next_event = Clock::time_point::max();
 
     for (std::size_t s = 0; s < shards_; ++s) {
@@ -586,11 +585,8 @@ void Cluster::run_round(std::vector<std::vector<Request>>& sub,
             sl.hedge->resolved = true;
             sl.hedge->timed_out = true;
           }
-        } else {
-          all_resolved = false;
-          if (pj.has_budget() && pj.budget < next_event) {
-            next_event = pj.budget;
-          }
+        } else if (pj.has_budget() && pj.budget < next_event) {
+          next_event = pj.budget;
         }
       }
 
@@ -603,7 +599,6 @@ void Cluster::run_round(std::vector<std::vector<Request>>& sub,
         const bool primary_failed = pj.resolved && !pj.usable();
         const auto fire_at = pj.submitted + hedge_delay(s);
         if (!pj.resolved && now < fire_at) {
-          all_resolved = false;
           if (fire_at < next_event) next_event = fire_at;
         } else if ((primary_failed && in_budget) ||
                    (!pj.resolved && now >= fire_at)) {
@@ -626,7 +621,6 @@ void Cluster::run_round(std::vector<std::vector<Request>>& sub,
               ++rs.hedges;
             }
             submit_job(hedge, waiter);
-            all_resolved = false;
           }
         } else if (pj.resolved) {
           sl.hedge_decided = true;  // answered in time: no hedge needed
@@ -652,15 +646,28 @@ void Cluster::run_round(std::vector<std::vector<Request>>& sub,
           hj.abandoned.store(true, std::memory_order_release);
           hj.resolved = true;
           hj.timed_out = true;
-        } else {
-          all_resolved = false;
-          if (hj.has_budget() && hj.budget < next_event) {
-            next_event = hj.budget;
-          }
+        } else if (hj.has_budget() && hj.budget < next_event) {
+          next_event = hj.budget;
         }
       }
     }
 
+    // Completion is derived from the post-scan state, never accumulated
+    // mid-scan: the hedge-win block above resolves a primary that the
+    // primary block of the *same pass* already scanned as pending, and a
+    // flag frozen at scan order would read `false` here.  With the stuck
+    // primary abandoned -- it exits without ever publishing an event --
+    // the unbounded wait below would then never be signalled again and
+    // the batch would wedge forever.
+    bool all_resolved = true;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const RoundSlot& sl = slots[s];
+      if (!sl.primary) continue;
+      if (!sl.primary->resolved || (sl.hedge && !sl.hedge->resolved)) {
+        all_resolved = false;
+        break;
+      }
+    }
     if (all_resolved) return;
 
     std::unique_lock<std::mutex> lk(waiter->mutex);
@@ -1012,6 +1019,20 @@ ClusterMetrics Cluster::metrics() const {
 void Cluster::reset_metrics() {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_ = ClusterMetrics{};
+}
+
+dpv::CostModelSnapshot Cluster::share_cost_models() {
+  dpv::CostModelSnapshot merged;
+  const auto fold = [&merged](QueryEngine& eng) {
+    dpv::merge_snapshot(merged, eng.cost_model_snapshot());
+  };
+  for (const auto& e : engines_) fold(*e);
+  for (const auto& e : backups_) fold(*e);
+  if (fallback_engine_ != nullptr) fold(*fallback_engine_);
+  for (const auto& e : engines_) e->warm_cost_model(merged);
+  for (const auto& e : backups_) e->warm_cost_model(merged);
+  if (fallback_engine_ != nullptr) fallback_engine_->warm_cost_model(merged);
+  return merged;
 }
 
 }  // namespace dps::serve

@@ -296,6 +296,15 @@ class Cluster {
   void reset_metrics();
   AdmissionStats admission_stats() const { return admission_.stats(); }
 
+  /// Merges every replica's learned dispatch-cost ledger (primaries,
+  /// backups, and the fallback engine) into one snapshot and warms all of
+  /// them with the union, so a replica that has not yet served a shape
+  /// dispatches on a sibling's measurements instead of the bootstrap
+  /// prior.  Per-cell more-samples-wins, so repeated calls are idempotent
+  /// and never erase a better-warmed cell.  Returns the merged snapshot
+  /// (e.g. to warm a freshly provisioned cluster).  Thread-safe.
+  dpv::CostModelSnapshot share_cost_models();
+
  private:
   struct ShardIndexes {
     core::QuadTree quad;

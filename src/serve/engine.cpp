@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <ctime>
 #include <thread>
 
 #include "core/batch_nearest.hpp"
@@ -21,6 +22,26 @@ double ms_since(Clock::time_point t) {
 
 double us_since(Clock::time_point t) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t).count();
+}
+
+/// Observation clock for the dispatch cost model.  On an oversubscribed
+/// host a lane's wall-clock mostly measures preemption by its peer lanes,
+/// not the work, and the polluted coefficients lock the model into
+/// whatever policy it happened to warm up under.  Thread CPU time is
+/// scheduler-invariant: it prices the work itself, which is what dispatch
+/// minimizes (and on a saturated machine total work *is* wall-clock).
+/// Falls back to the wall clock where the POSIX thread clock is absent.
+double observe_clock_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return std::chrono::duration<double, std::micro>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 constexpr std::size_t kNumKinds = 3;
@@ -65,7 +86,13 @@ std::string_view status_name(Status s) noexcept {
 QueryEngine::QueryEngine(EngineOptions opts)
     : opts_(opts),
       pool_(std::make_shared<dpv::ThreadPool>(opts.threads)),
-      admission_(opts.admission) {
+      admission_(opts.admission),
+      cost_model_([&opts] {
+        // One knob: `min_dp_batch` is the model's bootstrap prior.
+        dpv::CostModelOptions co = opts.cost_model;
+        co.bootstrap_min_dp_batch = opts.min_dp_batch;
+        return co;
+      }()) {
   shards_ = opts_.shards == 0 ? pool_->size() : opts_.shards;
   if (shards_ == 0) shards_ = 1;
   shard_template_.set_grain(opts_.grain);
@@ -167,13 +194,37 @@ void QueryEngine::backoff(std::size_t shard, std::size_t attempt) const {
   std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
 }
 
+std::size_t QueryEngine::index_elements(IndexKind index) const noexcept {
+  switch (index) {
+    case IndexKind::kQuadTree:
+      return quad_ != nullptr ? quad_->num_qedges() : 0;
+    case IndexKind::kRTree:
+      return rtree_ != nullptr ? rtree_->entries().size() : 0;
+    case IndexKind::kLinearQuadTree:
+      return linear_ != nullptr ? linear_->edges().size() : 0;
+  }
+  return 0;
+}
+
+dpv::GroupShape QueryEngine::group_shape(RequestKind kind, IndexKind index,
+                                         std::size_t n,
+                                         std::size_t mean_k) const noexcept {
+  dpv::GroupShape g;
+  g.kind = static_cast<int>(kind);
+  g.index = static_cast<int>(index);
+  g.group_size = n;
+  g.map_elements = index_elements(index);
+  g.mean_k = mean_k;
+  return g;
+}
+
 void QueryEngine::run_group(const std::vector<Request>& batch,
                             std::vector<Response>& responses, RequestKind kind,
                             IndexKind index,
                             const std::vector<std::size_t>& live_in,
                             std::size_t shard,
                             const std::atomic<bool>* xcancel,
-                            ShardScratch& scratch) {
+                            ShardScratch& scratch, double* dp_us) {
   dpv::FaultInjector* const inj = opts_.fault_injector;
   std::vector<std::size_t> live = live_in;
   const std::size_t g = group_id(kind, index);
@@ -206,6 +257,10 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
       continue;
     }
 
+    // Attempt cost (marshaling included) feeds the dispatch cost model
+    // when the attempt lands, priced in thread CPU time so peer-lane
+    // preemption cannot skew the coefficients.
+    const double tattempt = observe_clock_us();
     dpv::Context ctx = shard_template_.fork_serial();
     if (inj != nullptr) ctx.arm_fault_injection(inj, scope);
     // Persistent per-shard scratch arena: the pipeline's round scope
@@ -295,6 +350,7 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
     scratch.prims += ctx.counters();
 
     if (pipeline_ok) {
+      if (dp_us != nullptr) *dp_us = observe_clock_us() - tattempt;
       ++scratch.dp_groups;
       return;
     }
@@ -319,6 +375,130 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
   }
 }
 
+void QueryEngine::dispatch_group(const std::vector<Request>& batch,
+                                 std::vector<Response>& responses,
+                                 RequestKind kind, IndexKind index,
+                                 const std::vector<std::size_t>& live,
+                                 std::size_t shard,
+                                 const std::atomic<bool>* xcancel,
+                                 ShardScratch& scratch) {
+  // Chaos runs stall lanes and abort attempts; their wall-clocks would
+  // poison the estimator, so the model only learns from clean engines.
+  const bool observe = opts_.fault_injector == nullptr;
+
+  const auto mean_k = [&batch](const std::vector<std::size_t>& sub) {
+    std::size_t sum = 0;
+    for (const std::size_t i : sub) sum += batch[i].k;
+    return sub.empty() ? std::size_t{0} : sum / sub.size();
+  };
+
+  // Sequential sweep; a clean one (every request ran) is a measurement.
+  const auto run_seq = [&](const std::vector<std::size_t>& sub,
+                           std::size_t mk) {
+    ++scratch.seq_groups;
+    const double t = observe_clock_us();
+    std::size_t executed = 0;
+    for (const std::size_t i : sub) {
+      const Status s = pre_status(batch[i], xcancel);
+      if (s == Status::kOk) {
+        responses[i].status = run_sequential(batch[i], responses[i]);
+        ++executed;
+      } else {
+        responses[i].status = s;
+      }
+    }
+    if (observe && executed == sub.size()) {
+      cost_model_.observe(group_shape(kind, index, sub.size(), mk),
+                          dpv::CostPath::kSeq, observe_clock_us() - t);
+    }
+  };
+
+  const auto run_dp = [&](const std::vector<std::size_t>& sub,
+                          std::size_t mk) {
+    double dp_attempt_us = -1.0;
+    run_group(batch, responses, kind, index, sub, shard, xcancel, scratch,
+              &dp_attempt_us);
+    if (observe && dp_attempt_us >= 0.0) {
+      cost_model_.observe(group_shape(kind, index, sub.size(), mk),
+                          dpv::CostPath::kDp, dp_attempt_us);
+    }
+  };
+
+  const std::size_t group_k =
+      kind == RequestKind::kNearest ? mean_k(live) : 0;
+  switch (opts_.dispatch) {
+    case DispatchMode::kForceDp:
+      run_dp(live, group_k);
+      return;
+    case DispatchMode::kForceSeq:
+      run_seq(live, group_k);
+      return;
+    case DispatchMode::kStatic:
+      if (live.size() >= opts_.min_dp_batch) {
+        run_dp(live, group_k);
+      } else {
+        run_seq(live, group_k);
+      }
+      return;
+    case DispatchMode::kModel:
+      break;
+  }
+
+  if (kind != RequestKind::kNearest) {
+    const dpv::CostDecision d =
+        cost_model_.decide(group_shape(kind, index, live.size(), 0));
+    if (d.use_dp) {
+      run_dp(live, 0);
+    } else {
+      run_seq(live, 0);
+    }
+    return;
+  }
+
+  // k-nearest groups decide per k bucket, which is where the hybrid split
+  // comes from: a small-k (or just small) bucket whose measured sequential
+  // cost beats the dp estimate by `hybrid_margin` peels out of the
+  // pipeline, the rest run as one dp group.
+  std::array<std::vector<std::size_t>, 64> buckets;
+  for (const std::size_t i : live) {
+    buckets[static_cast<std::size_t>(
+                dpv::CostModel::log2_bucket(batch[i].k))]
+        .push_back(i);
+  }
+  std::vector<std::size_t> dp_side;
+  std::vector<std::pair<std::vector<std::size_t>, std::size_t>> seq_side;
+  std::vector<std::pair<std::vector<std::size_t>, std::size_t>> dp_probes;
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const std::size_t mk = mean_k(bucket);
+    const dpv::CostDecision d =
+        cost_model_.decide(group_shape(kind, index, bucket.size(), mk));
+    bool seq = !d.use_dp;
+    if (seq && d.measured && !d.explored) {
+      // Peeling shrinks the dp group everyone else amortizes against, so a
+      // measured bucket leaves only when sequential wins by a margin.
+      seq = d.seq_us * cost_model_.options().hybrid_margin <= d.dp_us;
+    }
+    if (seq) {
+      seq_side.emplace_back(std::move(bucket), mk);
+    } else if (d.explored || !d.measured) {
+      // Probes and not-yet-measured buckets run alone: merged into the
+      // bulk group, their wall-clock would be observed under the *merged*
+      // group's (k, size) family, this bucket's own cells would never
+      // train, and a bootstrap-dp bucket would stay on the prior forever
+      // (a k = 1 sliver never shifts the bulk group's mean-k family).
+      dp_probes.emplace_back(std::move(bucket), mk);
+    } else {
+      dp_side.insert(dp_side.end(), bucket.begin(), bucket.end());
+    }
+  }
+  const bool any_dp = !dp_side.empty() || !dp_probes.empty();
+  if (any_dp && !seq_side.empty()) ++scratch.hybrid_groups;
+  if (!dp_side.empty()) run_dp(dp_side, mean_k(dp_side));
+  for (const auto& [sub, mk] : dp_probes) run_dp(sub, mk);
+  for (const auto& [sub, mk] : seq_side) run_seq(sub, mk);
+}
+
 void QueryEngine::execute_shard(const std::vector<Request>& batch,
                                 const std::vector<Status>& admitted,
                                 std::vector<Response>& responses,
@@ -340,15 +520,6 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
     groups[group_id(batch[i].kind, batch[i].index)].push_back(i);
   }
   scratch.stages.shard_ms += ms_since(tshard);
-
-  auto run_seq = [&](const std::vector<std::size_t>& live) {
-    ++scratch.seq_groups;
-    for (const std::size_t i : live) {
-      const Status s = pre_status(batch[i], xcancel);
-      responses[i].status =
-          s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
-    }
-  };
 
   for (std::size_t g = 0; g < groups.size(); ++g) {
     if (groups[g].empty()) continue;
@@ -381,14 +552,11 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
     }
 
     if (!live.empty()) {
-      // Every supported (kind, index) combo has a batch pipeline; only
-      // groups under the degradation threshold walk sequentially.
-      if (live.size() >= opts_.min_dp_batch) {
-        run_group(batch, responses, kind, index, live, shard, xcancel,
-                  scratch);
-      } else {
-        run_seq(live);
-      }
+      // Every supported (kind, index) combo has a batch pipeline; the
+      // dispatch policy (cost model by default) picks dp / sequential /
+      // hybrid per group.
+      dispatch_group(batch, responses, kind, index, live, shard, xcancel,
+                     scratch);
     }
 
     const double group_ms = ms_since(tgroup);
@@ -496,6 +664,7 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch,
     delta.stages += sc.stages;
     delta.dp_groups += sc.dp_groups;
     delta.seq_groups += sc.seq_groups;
+    delta.hybrid_groups += sc.hybrid_groups;
     delta.retries += sc.retries;
     delta.seq_fallbacks += sc.seq_fallbacks;
   }
@@ -511,9 +680,13 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch,
 }
 
 ServeMetrics QueryEngine::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  ServeMetrics out = metrics_;
-  out.prims = session_.snapshot();
+  ServeMetrics out;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    out = metrics_;
+    out.prims = session_.snapshot();
+  }
+  out.cost_model = cost_model_.snapshot();
   return out;
 }
 

@@ -37,12 +37,16 @@
 //     scope = (shard, attempt)) and into the engine pool (lane stalls),
 //     so chaos schedules replay bit-identically: same seed, same
 //     responses, same retry metrics, on serial and thread-pool backends.
-//   * Graceful degradation.  Every supported (kind, index) combination --
+//   * Oracular dispatch.  Every supported (kind, index) combination --
 //     (window/point) x (quadtree / linear-quadtree / R-tree) and
-//     k-nearest x (quadtree / R-tree) -- runs its data-parallel batch
-//     pipeline; only groups smaller than `min_dp_batch` fall back to
-//     per-request sequential traversal (the fixed cost of the scan-model
-//     pipeline is not worth paying for a handful of queries).
+//     k-nearest x (quadtree / R-tree) -- has a data-parallel batch
+//     pipeline, but whether a group takes it is decided by an online
+//     `dpv::CostModel`: measured wall-clock per (kind x index x
+//     map-density x batch-size bucket) picks dp vs sequential per group,
+//     k-nearest groups may *split* (small-k tail sequential, bulk dp),
+//     and `min_dp_batch` survives only as the model's bootstrap prior.
+//     `EngineOptions::dispatch` offers escape hatches: the legacy static
+//     threshold (fully deterministic) and force-dp / force-seq.
 //   * Scratch arenas.  Each shard owns a persistent `dpv::Arena`; the
 //     batch pipelines open a round scope on it, so a steady-state shard
 //     recycles the previous batch's scratch buffers and allocates nothing
@@ -88,14 +92,36 @@
 
 namespace dps::serve {
 
+/// How a request group picks the data-parallel pipeline vs the sequential
+/// path.
+enum class DispatchMode {
+  /// Online `dpv::CostModel`: measured per-family coefficients decide, with
+  /// `min_dp_batch` as the unmeasured bootstrap prior; k-nearest groups may
+  /// split hybrid (small-k tail sequential, bulk dp).
+  kModel,
+  /// Legacy static threshold: dp iff the group has >= `min_dp_batch` live
+  /// requests.  Fully deterministic (chaos replay tests pin this).
+  kStatic,
+  /// Every group takes the dp pipeline regardless of size.
+  kForceDp,
+  /// Every group walks the sequential path.
+  kForceSeq,
+};
+
 struct EngineOptions {
   /// Worker sessions a batch is split across (0 = one per pool lane).
   std::size_t shards = 0;
   /// OS-thread lanes of the engine's pool (0 = hardware concurrency).
   std::size_t threads = 0;
-  /// Smallest group that still runs the data-parallel batch pipeline;
-  /// smaller groups degrade to per-request sequential traversal.
+  /// Bootstrap prior of the dispatch cost model (and the exact threshold
+  /// under DispatchMode::kStatic): until a family has measurements, groups
+  /// at least this large take the data-parallel pipeline.
   std::size_t min_dp_batch = 8;
+  /// Dispatch policy; kModel unless a test or A/B needs an escape hatch.
+  DispatchMode dispatch = DispatchMode::kModel;
+  /// Cost-model tuning.  `bootstrap_min_dp_batch` is overwritten with
+  /// `min_dp_batch` at engine construction (one knob, not two).
+  dpv::CostModelOptions cost_model;
   /// dpv grain for the per-shard contexts.
   std::size_t grain = 4096;
 
@@ -177,6 +203,21 @@ class QueryEngine {
   /// Admission-gate counters (offered / admitted / shed batches).
   AdmissionStats admission_stats() const { return admission_.stats(); }
 
+  /// Learned dispatch coefficients.  The model persists across mount
+  /// epochs: cells are keyed by map-density bucket, so a remount of a
+  /// different-sized map reads and trains its own cells while the old
+  /// epoch's stay warm for a mount back.
+  dpv::CostModelSnapshot cost_model_snapshot() const {
+    return cost_model_.snapshot();
+  }
+
+  /// Installs coefficients (better-trained entry per cell wins) -- how
+  /// Cluster replicas warm from each other's ledgers, and how tests force
+  /// exact coefficients.
+  void warm_cost_model(const dpv::CostModelSnapshot& snap) {
+    cost_model_.warm(snap);
+  }
+
   /// Sum of the per-shard scratch-arena statistics (all zero when
   /// `scratch_arena` is off).  Call between batches: the arenas belong to
   /// in-flight shards while a serve() executes.
@@ -202,6 +243,7 @@ class QueryEngine {
     StageTimes stages;
     std::uint64_t dp_groups = 0;
     std::uint64_t seq_groups = 0;
+    std::uint64_t hybrid_groups = 0;
     std::uint64_t retries = 0;
     std::uint64_t seq_fallbacks = 0;
   };
@@ -212,14 +254,35 @@ class QueryEngine {
                      std::size_t shard, std::size_t lo, std::size_t hi,
                      const std::atomic<bool>* xcancel, ShardScratch& scratch);
 
+  /// Routes one live (kind, index) group per `opts_.dispatch`: dp, seq, or
+  /// (k-nearest under the model) a hybrid per-k-bucket split.  Feeds the
+  /// cost model with measured wall-clock when no fault injector is armed.
+  void dispatch_group(const std::vector<Request>& batch,
+                      std::vector<Response>& responses, RequestKind kind,
+                      IndexKind index, const std::vector<std::size_t>& live,
+                      std::size_t shard, const std::atomic<bool>* xcancel,
+                      ShardScratch& scratch);
+
   /// One (kind, index) group: data-parallel attempts with retry/backoff,
   /// then the sequential settle.  `live` holds batch indexes still
-  /// runnable.  Returns counters via `scratch`.
+  /// runnable.  Returns counters via `scratch`; when `dp_us` is non-null
+  /// and a dp attempt succeeds, writes that attempt's wall-clock
+  /// microseconds (marshaling included) for the cost model.
   void run_group(const std::vector<Request>& batch,
                  std::vector<Response>& responses, RequestKind kind,
                  IndexKind index, const std::vector<std::size_t>& live,
                  std::size_t shard, const std::atomic<bool>* xcancel,
-                 ShardScratch& scratch);
+                 ShardScratch& scratch, double* dp_us = nullptr);
+
+  /// Element count of the mounted index behind `index` (0 when unmounted);
+  /// the cost model's map-density input.
+  std::size_t index_elements(IndexKind index) const noexcept;
+
+  /// The cost model's view of a group of `n` requests (mean_k = 0 for
+  /// non-k-nearest kinds).
+  dpv::GroupShape group_shape(RequestKind kind, IndexKind index,
+                              std::size_t n,
+                              std::size_t mean_k) const noexcept;
 
   /// kCancelled / kDeadlineExpired / kOk ("runnable") for a request now.
   Status pre_status(const Request& rq,
@@ -246,14 +309,18 @@ class QueryEngine {
 
   std::atomic<bool> cancel_{false};
   std::atomic<std::uint64_t> mount_epoch_{0};
-#ifndef NDEBUG
   // Counts serve() calls holding the shared mount lock; mount() asserts it
   // is zero once it holds the lock exclusively (the serialization
-  // contract, made checkable).
+  // contract, made checkable).  Declared unconditionally -- only the
+  // updates are NDEBUG-gated -- so the class layout does not depend on the
+  // build type: a consumer compiled without NDEBUG against a Release
+  // library (or vice versa) must see the same member offsets.
   mutable std::atomic<std::int64_t> debug_in_flight_{0};
-#endif
 
   AdmissionController admission_;
+  // Online dispatch estimator (internally synchronized; shards decide and
+  // observe concurrently).  Outlives every mount epoch.
+  dpv::CostModel cost_model_;
   // serve() holds this shared for a batch's execution; mount() holds it
   // exclusive, so index swaps serialize against in-flight batches.
   mutable std::shared_mutex mount_mutex_;

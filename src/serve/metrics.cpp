@@ -68,7 +68,7 @@ StageTimes& StageTimes::operator+=(const StageTimes& other) noexcept {
   return *this;
 }
 
-ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) noexcept {
+ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) {
   batches += other.batches;
   requests += other.requests;
   ok += other.ok;
@@ -82,11 +82,13 @@ ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) noexcept {
   nearest_requests += other.nearest_requests;
   dp_groups += other.dp_groups;
   seq_groups += other.seq_groups;
+  hybrid_groups += other.hybrid_groups;
   retries += other.retries;
   seq_fallbacks += other.seq_fallbacks;
   prims += other.prims;
   stages += other.stages;
   latency += other.latency;
+  dpv::merge_snapshot(cost_model, other.cost_model);
   return *this;
 }
 

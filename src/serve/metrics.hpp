@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "dpv/context.hpp"
+#include "dpv/cost_model.hpp"
 
 namespace dps::serve {
 
@@ -84,10 +85,14 @@ struct ServeMetrics {
   std::uint64_t nearest_requests = 0;
 
   // Execution-path split: groups that ran the data-parallel pipeline vs
-  // groups degraded to per-request sequential traversal (tiny batches,
-  // indexes without a batch pipeline, or deadline fallback).
+  // groups degraded to per-request sequential traversal (model/prior
+  // decision, indexes without a batch pipeline, or deadline fallback).
+  // `hybrid_groups` counts k-nearest groups the cost model split -- the
+  // small-k tail walked sequentially while the bulk ran the dp pipeline
+  // (such a group increments dp_groups, seq_groups, and hybrid_groups).
   std::uint64_t dp_groups = 0;
   std::uint64_t seq_groups = 0;
+  std::uint64_t hybrid_groups = 0;
 
   // Fault-tolerance accounting.  `retries` counts data-parallel attempts
   // that aborted (injected fault or poisoned shard attempt) and were
@@ -101,7 +106,12 @@ struct ServeMetrics {
   StageTimes stages;
   LatencyHistogram latency;
 
-  ServeMetrics& operator+=(const ServeMetrics& other) noexcept;
+  // Learned dispatch coefficients at snapshot time.  Folding two metrics
+  // merges the snapshots (better-trained entry per cell wins), which is how
+  // Cluster replicas publish their ledgers to each other.
+  dpv::CostModelSnapshot cost_model;
+
+  ServeMetrics& operator+=(const ServeMetrics& other);
 };
 
 }  // namespace dps::serve

@@ -146,6 +146,67 @@ TEST_P(BatchNearestDifferential, PerQueryCountsMatchOracle) {
   }
 }
 
+// The two bound-tightening passes (neighbor bound propagation, post-merge
+// frontier compaction) are pure optimizations: switching them off must
+// reproduce byte-identical rows, and switching them on must never score
+// *more* candidates.  On these workloads they must also do real work --
+// the counters stay zero only if a pass silently stopped firing.
+TEST_P(BatchNearestDifferential, TuningPassesAreExactAndOnlyPrune) {
+  dpv::Context ctx;
+  BatchNearestTuning off;
+  off.bound_propagation = false;
+  off.frontier_compaction = false;
+  std::uint64_t quad_tightened = 0;
+  std::uint64_t rt_tightened = 0;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{8}}) {
+    const BatchNearestResult quad_on = batch_k_nearest(ctx, quad_, queries_, k);
+    const BatchNearestResult quad_off =
+        batch_k_nearest(ctx, quad_, queries_, k, {}, off);
+    const BatchNearestResult rt_on = batch_k_nearest(ctx, rtree_, queries_, k);
+    const BatchNearestResult rt_off =
+        batch_k_nearest(ctx, rtree_, queries_, k, {}, off);
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      expect_rows_equal(quad_on.results[q], quad_off.results[q], "quadtree",
+                        q, k);
+      expect_rows_equal(rt_on.results[q], rt_off.results[q], "rtree", q, k);
+    }
+    EXPECT_LE(quad_on.candidates, quad_off.candidates) << "k " << k;
+    EXPECT_LE(rt_on.candidates, rt_off.candidates) << "k " << k;
+    EXPECT_EQ(quad_off.propagations, 0u);
+    EXPECT_EQ(quad_off.compacted, 0u);
+    EXPECT_EQ(rt_off.propagations, 0u);
+    EXPECT_EQ(rt_off.compacted, 0u);
+    quad_tightened += quad_on.propagations + quad_on.compacted;
+    rt_tightened += rt_on.propagations + rt_on.compacted;
+  }
+  // A shallow descent (e.g. R-tree at k = 1) can settle every bound before
+  // either pass has anything to tighten, so the liveness check is per tree
+  // across the k sweep, not per (tree, k).
+  EXPECT_GT(quad_tightened, 0u);
+  EXPECT_GT(rt_tightened, 0u);
+}
+
+// Each pass alone is also exact (they compose but do not depend on each
+// other).
+TEST_P(BatchNearestDifferential, EachTuningPassAloneIsExact) {
+  dpv::Context ctx;
+  for (const bool propagation : {false, true}) {
+    BatchNearestTuning t;
+    t.bound_propagation = propagation;
+    t.frontier_compaction = !propagation;
+    const BatchNearestResult quad_batch =
+        batch_k_nearest(ctx, quad_, queries_, 8, {}, t);
+    const BatchNearestResult rt_batch =
+        batch_k_nearest(ctx, rtree_, queries_, 8, {}, t);
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      expect_rows_equal(quad_batch.results[q],
+                        k_nearest(quad_, queries_[q], 8), "quadtree", q, 8);
+      expect_rows_equal(rt_batch.results[q], k_nearest(rtree_, queries_[q], 8),
+                        "rtree", q, 8);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Workloads, BatchNearestDifferential,
     ::testing::Values(NearestCase{"uniform", 240, 48, 11},

@@ -128,6 +128,10 @@ TEST_P(ServeDifferential, EngineMatchesSequential) {
   serve::EngineOptions opts;
   opts.shards = c.shards;
   opts.threads = c.threads;
+  // The sweep's min_dp_batch cases ("always sequential", "always dp") are
+  // about the *threshold*; pin the static policy so the cost model cannot
+  // re-route them.  Model-driven dispatch has its own suite.
+  opts.dispatch = serve::DispatchMode::kStatic;
   opts.min_dp_batch = c.min_dp_batch;
   serve::QueryEngine engine(opts);
   engine.mount(&quad_);
@@ -227,6 +231,9 @@ TEST_P(ServeDifferential, AllCombosExecuteDataParallel) {
   serve::EngineOptions opts;
   opts.shards = c.shards;
   opts.threads = c.threads;
+  // This test's contract is "every group takes the dp pipeline"; say so
+  // directly instead of relying on the threshold-1 prior.
+  opts.dispatch = serve::DispatchMode::kForceDp;
   opts.min_dp_batch = 1;
   serve::QueryEngine engine(opts);
   engine.mount(&quad_);

@@ -298,6 +298,7 @@ TEST_F(QueryEngineTest, CancelAllThenReset) {
 TEST_F(QueryEngineTest, TinyBatchDegradesToSequential) {
   EngineOptions opts;
   opts.shards = 1;
+  opts.dispatch = DispatchMode::kStatic;
   opts.min_dp_batch = 1000;  // force sequential traversal
   auto engine = make_engine(opts);
   const auto batch = mixed_requests(40);
@@ -312,6 +313,7 @@ TEST_F(QueryEngineTest, TinyBatchDegradesToSequential) {
 TEST_F(QueryEngineTest, DataParallelPathChargesTheSessionLedger) {
   EngineOptions opts;
   opts.shards = 2;
+  opts.dispatch = DispatchMode::kStatic;
   opts.min_dp_batch = 1;
   auto engine = make_engine(opts);
   engine->serve(mixed_requests(120));

@@ -29,6 +29,11 @@ serve::ServeMetrics filled(std::uint64_t base) {
   m.seq_groups = base + 13;
   m.retries = base + 14;
   m.seq_fallbacks = base + 15;
+  m.hybrid_groups = base + 16;
+  // Two cost-model cells: one shared key (more samples must win the fold),
+  // one unique to this ledger (must survive the fold).
+  m.cost_model.entries.push_back({1, base + 17, 2.0, 8.0});
+  m.cost_model.entries.push_back({base + 100, 3, 1.5, 4.0});
   for (std::size_t p = 0; p < dpv::kNumPrims; ++p) {
     m.prims.invocations[p] = base + 20 + p;
     m.prims.elements[p] = base + 40 + p;
@@ -68,6 +73,15 @@ TEST(ServeMetricsTest, FoldCoversEveryField) {
   EXPECT_EQ(sum.seq_groups, a.seq_groups + b.seq_groups);
   EXPECT_EQ(sum.retries, a.retries + b.retries);
   EXPECT_EQ(sum.seq_fallbacks, a.seq_fallbacks + b.seq_fallbacks);
+  EXPECT_EQ(sum.hybrid_groups, a.hybrid_groups + b.hybrid_groups);
+
+  // Cost-model cells merge by key, better-trained entry winning: the
+  // shared key 1 keeps b's 5017-sample cell, and both unique keys survive.
+  ASSERT_EQ(sum.cost_model.entries.size(), 3u);
+  EXPECT_EQ(sum.cost_model.entries[0].key, 1u);
+  EXPECT_EQ(sum.cost_model.entries[0].samples, 5017u);
+  EXPECT_EQ(sum.cost_model.entries[1].key, 200u);
+  EXPECT_EQ(sum.cost_model.entries[2].key, 5100u);
 
   for (std::size_t p = 0; p < dpv::kNumPrims; ++p) {
     EXPECT_EQ(sum.prims.invocations[p],
