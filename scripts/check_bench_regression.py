@@ -1,33 +1,69 @@
 #!/usr/bin/env python3
-"""Gate dispatch-relevant benchmark ratios against the checked-in record.
+"""Gate benchmark records produced by the bench binaries.
 
-Compares a freshly produced BENCH_batch.json against the repository's
-checked-in one on the `seq_over_dp_p50` table (sequential p50 / data-parallel
-p50 per kind x index combo -- higher means the dp pipeline is winning by
-more).  CI machines are noisy, so only a >25% relative drop on a combo
-fails; that is far outside run-to-run jitter and has only ever meant a real
-pipeline regression.  Also asserts the fresh run's `window_rtree_parity_ok`
-flag, which pins the batch R-tree window pipeline at >= 0.95x sequential.
+Batch mode (two args): compares a freshly produced BENCH_batch.json against
+the repository's checked-in one on the `seq_over_dp_p50` table (sequential
+p50 / data-parallel p50 per kind x index combo -- higher means the dp
+pipeline is winning by more).  CI machines are noisy, so only a >25%
+relative drop on a combo fails; that is far outside run-to-run jitter and
+has only ever meant a real pipeline regression.  Also asserts the fresh
+run's `window_rtree_parity_ok` flag, which pins the batch R-tree window
+pipeline at >= 0.95x sequential.
 
-Usage: check_bench_regression.py <fresh.json> <baseline.json>
+Serve mode (one arg, record's "bench" key == "serve"): asserts the S7
+mixed read/update acceptance flags computed by bench_serve itself --
+`s7.p99_ok` (read p99 under a sustained update stream within 2x of the
+read-only baseline, with a small absolute-slack allowance for
+scheduler-noise on shared hosts) and `s7.cache_ab.hit_rate_kept_ok`
+(delta-scoped invalidation keeps >= 50% of unaffected warm-cache hits;
+the full-flush baseline keeps none).  No baseline record is needed: the
+bars are absolute properties of the update path, not machine-relative
+throughput ratios.
+
+Usage: check_bench_regression.py <fresh.json> [<baseline.json>]
 """
 
 import json
 import sys
 
-# A combo fails when fresh_ratio < baseline_ratio * (1 - TOLERANCE).
+# A batch-mode combo fails when fresh_ratio < baseline_ratio * (1 - TOLERANCE).
 TOLERANCE = 0.25
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    with open(argv[1]) as f:
-        fresh = json.load(f)
-    with open(argv[2]) as f:
-        baseline = json.load(f)
+def check_serve(fresh):
+    s7 = fresh.get("s7", {})
+    ab = s7.get("cache_ab", {})
+    failures = []
 
+    print(f"  s7 read-only p99: {s7.get('read_only_p99_us')} us")
+    print(f"  s7 with-updates p99: {s7.get('with_updates_p99_us')} us "
+          f"(ratio {s7.get('p99_ratio')})")
+    if s7.get("p99_ok") is not True:
+        print("  s7.p99_ok: false (want true)")
+        failures.append("s7.p99_ok")
+    else:
+        print("  s7.p99_ok: true")
+
+    if not s7.get("updates_published", 0):
+        print("  s7.updates_published: 0 (update stream never ran)")
+        failures.append("s7.updates_published")
+
+    print(f"  s7 cache A/B: delta-scoped {ab.get('delta_hit_rate')} vs "
+          f"full-flush {ab.get('full_flush_hit_rate')}")
+    if ab.get("hit_rate_kept_ok") is not True:
+        print("  s7.cache_ab.hit_rate_kept_ok: false (want true)")
+        failures.append("s7.cache_ab.hit_rate_kept_ok")
+    else:
+        print("  s7.cache_ab.hit_rate_kept_ok: true")
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)}")
+        return 1
+    print("OK: serve update-path bars hold")
+    return 0
+
+
+def check_batch(fresh, baseline):
     fresh_ratios = fresh.get("seq_over_dp_p50", {})
     base_ratios = baseline.get("seq_over_dp_p50", {})
     if not fresh_ratios:
@@ -61,6 +97,27 @@ def main(argv):
         return 1
     print("OK: no combo regressed beyond tolerance")
     return 0
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+
+    if fresh.get("bench") == "serve":
+        if len(argv) == 3:
+            print("FAIL: serve mode takes no baseline record")
+            return 2
+        return check_serve(fresh)
+
+    if len(argv) != 3:
+        print("FAIL: batch mode needs <fresh.json> <baseline.json>")
+        return 2
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+    return check_batch(fresh, baseline)
 
 
 if __name__ == "__main__":

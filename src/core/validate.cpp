@@ -19,6 +19,7 @@ std::string_view geometry_error_name(GeometryErrorCode code) noexcept {
     case GeometryErrorCode::kZeroAreaWindow: return "zero-area-window";
     case GeometryErrorCode::kOutOfWorldPoint: return "out-of-world-point";
     case GeometryErrorCode::kZeroNearestCount: return "zero-nearest-count";
+    case GeometryErrorCode::kDuplicateLineId: return "duplicate-line-id";
   }
   return "unknown";
 }
@@ -85,6 +86,20 @@ void validate_segments_or_throw(const std::vector<geom::Segment>& lines,
   if (auto issue = validate_segments(lines, world)) {
     throw GeometryError(*issue);
   }
+}
+
+std::optional<GeometryIssue> validate_insert_ids(
+    const std::vector<geom::Segment>& new_lines,
+    const std::unordered_set<geom::LineId>& live) noexcept {
+  std::unordered_set<geom::LineId> seen;
+  seen.reserve(new_lines.size());
+  for (std::size_t i = 0; i < new_lines.size(); ++i) {
+    const geom::LineId id = new_lines[i].id;
+    if (live.count(id) != 0 || !seen.insert(id).second) {
+      return GeometryIssue{GeometryErrorCode::kDuplicateLineId, i};
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace dps::core

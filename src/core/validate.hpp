@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "geom/geom.hpp"
@@ -37,6 +38,7 @@ enum class GeometryErrorCode : std::uint8_t {
   kZeroAreaWindow,       // degenerate window (use a point query instead)
   kOutOfWorldPoint,      // endpoint outside [0, world]^2
   kZeroNearestCount,     // k-nearest with k == 0
+  kDuplicateLineId,      // insert id collides with a live (or batch) line
 };
 
 std::string_view geometry_error_name(GeometryErrorCode code) noexcept;
@@ -76,5 +78,14 @@ std::optional<GeometryIssue> validate_segments(
 /// Throwing form of `validate_segments` for the build entry points.
 void validate_segments_or_throw(const std::vector<geom::Segment>& lines,
                                 double world = 0.0);
+
+/// Update-boundary id check: `pmr_insert` requires that inserted ids not
+/// collide with existing ones (its contract is otherwise only a comment).
+/// Rejects an insert whose id is already in `live` or repeats earlier in
+/// the batch.  Returns the first violation (with its index in
+/// `new_lines`), or nullopt.
+std::optional<GeometryIssue> validate_insert_ids(
+    const std::vector<geom::Segment>& new_lines,
+    const std::unordered_set<geom::LineId>& live) noexcept;
 
 }  // namespace dps::core

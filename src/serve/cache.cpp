@@ -1,6 +1,7 @@
 #include "serve/cache.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "dpv/fault.hpp"  // dpv::mix64
 
@@ -13,6 +14,15 @@ namespace {
 std::uint64_t canon_bits(double d) noexcept {
   return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
 }
+
+double bits_to_double(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+/// Past this many dirty rects a sweep would test every entry against a
+/// long list for little gain; collapse to the MBR union instead (coarser
+/// but still conservative).
+constexpr std::size_t kMaxDirtyRects = 64;
 
 }  // namespace
 
@@ -89,12 +99,102 @@ void ResultCache::insert(const Key& key, const Response& rsp) {
   }
 }
 
+void ResultCache::insert(const Key& key, const Response& rsp,
+                         std::uint64_t if_version) {
+  if (!usable() || rsp.status != Status::kOk) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version_ != if_version) return;  // an invalidation intervened
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->ids = rsp.ids;
+    it->second->neighbors = rsp.neighbors;
+    it->second->epoch = epoch_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, epoch_, rsp.ids, rsp.neighbors});
+  map_[key] = lru_.begin();
+  while (map_.size() > opts_.capacity) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
 void ResultCache::bump_epoch() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++epoch_;
+  ++version_;
   stats_.invalidations += map_.size();
+  stats_.epoch_flush += map_.size();
   map_.clear();
   lru_.clear();
+}
+
+geom::Rect ResultCache::entry_footprint(const Entry& e,
+                                        bool* unbounded) noexcept {
+  *unbounded = false;
+  switch (static_cast<RequestKind>(e.key.kind)) {
+    case RequestKind::kWindow:
+      return geom::Rect{bits_to_double(e.key.g0), bits_to_double(e.key.g1),
+                        bits_to_double(e.key.g2), bits_to_double(e.key.g3)};
+    case RequestKind::kPoint:
+      return geom::Rect::of_point(
+          {bits_to_double(e.key.g0), bits_to_double(e.key.g1)});
+    case RequestKind::kNearest: {
+      if (e.neighbors.size() < e.key.k) {
+        // Fewer than k lines existed: any insert anywhere can join the
+        // answer, so the entry has no bounded footprint.
+        *unbounded = true;
+        return geom::Rect::empty();
+      }
+      // Neighbors are stored in canonical ascending (distance^2, id)
+      // order, so the kth (last) one carries the answer's radius.  Any
+      // segment affecting the top-k comes within that radius of the query
+      // point, and therefore its MBR meets this disk-bounding rect.
+      const double x = bits_to_double(e.key.g0);
+      const double y = bits_to_double(e.key.g1);
+      const double r = std::sqrt(e.neighbors.back().distance2);
+      return geom::Rect{x - r, y - r, x + r, y + r};
+    }
+  }
+  *unbounded = true;
+  return geom::Rect::empty();
+}
+
+std::size_t ResultCache::invalidate_delta(
+    const std::vector<geom::Rect>& dirty) {
+  if (dirty.empty()) return 0;
+  std::vector<geom::Rect> region;
+  if (dirty.size() > kMaxDirtyRects) {
+    geom::Rect u = geom::Rect::empty();
+    for (const geom::Rect& r : dirty) u = u.united(r);
+    region.push_back(u);
+  } else {
+    region = dirty;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++version_;  // even a sweep that drops nothing fences stale fills
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    bool unbounded = false;
+    const geom::Rect fp = entry_footprint(*it, &unbounded);
+    bool hit = unbounded;
+    for (std::size_t i = 0; !hit && i < region.size(); ++i) {
+      hit = fp.intersects(region[i]);
+    }
+    if (hit) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  stats_.delta_scoped += dropped;
+  return dropped;
 }
 
 std::uint64_t ResultCache::epoch() const {
@@ -102,11 +202,17 @@ std::uint64_t ResultCache::epoch() const {
   return epoch_;
 }
 
+std::uint64_t ResultCache::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CacheStats out = stats_;
   out.epoch = epoch_;
   out.entries = map_.size();
+  out.version = version_;
   return out;
 }
 

@@ -1,6 +1,6 @@
 #pragma once
-// Bounded LRU result cache for hot query windows, with epoch-based
-// invalidation.
+// Bounded LRU result cache for hot query windows, with epoch-based and
+// delta-scoped invalidation.
 //
 // Serving traffic is heavily repetitive -- the same map windows are
 // requested over and over ("hot windows") -- so the cluster caches kOk
@@ -10,11 +10,28 @@
 // Two geometrically identical requests therefore share one entry no
 // matter how their unused fields differ.
 //
-// Invalidation is epoch-based: every entry is stamped with the epoch it
-// was inserted at, and `bump_epoch` (called by the cluster on any mount
-// or remount) advances the epoch and drops every older entry, so a cached
-// answer can never outlive the index generation that produced it.  The
-// cache is a pure memo: it stores only terminal kOk payloads, never
+// Invalidation comes in two granularities:
+//
+//   * `bump_epoch` (every mount / remount) advances the epoch and drops
+//     every entry, so a cached answer can never outlive the index
+//     generation that produced it.
+//   * `invalidate_delta` (every live update) drops only the entries whose
+//     *footprint* intersects the dirty region -- the union of the update's
+//     delta MBRs.  An entry's footprint over-approximates the geometry its
+//     answer depends on: the window rect itself, the degenerate rect of a
+//     point query, and for k-nearest the bounding rect of the disk around
+//     the query point whose radius is the cached kth distance (unbounded
+//     -- always dropped -- when the map held fewer than k lines).  A
+//     changed segment outside the footprint can intersect neither the
+//     query region nor the top-k disk, so surviving entries stay exact.
+//
+// Both paths advance the cache *version*, which closes the stale-fill
+// race: a serve() that read the pre-update indexes passes the version it
+// started from to `insert`, and the fill is rejected once an update
+// intervened (a fill that raced ahead of the sweep would otherwise
+// resurrect a pre-update answer inside the dirty region).
+//
+// The cache is a pure memo: it stores only terminal kOk payloads, never
 // statuses that depend on time (deadlines) or engine state.
 //
 // Thread-safe; every operation takes the cache mutex (entries are small
@@ -44,9 +61,15 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;      // LRU capacity evictions
-  std::uint64_t invalidations = 0;  // entries dropped by epoch bumps
+  std::uint64_t invalidations = 0;  // total entries dropped (epoch + delta)
   std::uint64_t epoch = 0;          // current index generation
   std::size_t entries = 0;          // live entries right now
+  // The invalidation split the delta-scoped path exists for: entries a
+  // full flush dropped vs entries dropped because their footprint met a
+  // dirty region.  epoch_flush + delta_scoped == invalidations.
+  std::uint64_t epoch_flush = 0;
+  std::uint64_t delta_scoped = 0;
+  std::uint64_t version = 0;  // bumped by every invalidation event
 };
 
 class ResultCache {
@@ -85,12 +108,30 @@ class ResultCache {
   /// Re-inserting an existing key refreshes its payload and recency.
   void insert(const Key& key, const Response& rsp);
 
+  /// Version-guarded fill: as `insert`, but a no-op when the cache version
+  /// has moved past `if_version` -- the answer was computed against index
+  /// generations an update or remount has since replaced, and memoizing it
+  /// could resurrect a stale payload the sweep already dropped.
+  void insert(const Key& key, const Response& rsp, std::uint64_t if_version);
+
   /// Advances the epoch and drops every entry of the previous one.  The
   /// cluster calls this under its exclusive mount lock, so a remount can
   /// never serve a stale answer.
   void bump_epoch();
 
+  /// Delta-scoped invalidation: drops exactly the entries whose footprint
+  /// intersects any rect of `dirty` (closed-rect semantics, like the rest
+  /// of the geometry layer), plus every unbounded k-nearest entry.  Called
+  /// by the cluster *after* the updated generations publish, so a
+  /// concurrent reader either sees the new indexes or its stale fill is
+  /// version-rejected.  Returns the number of entries dropped.  Oversized
+  /// dirty lists collapse to their MBR union (still conservative).
+  std::size_t invalidate_delta(const std::vector<geom::Rect>& dirty);
+
   std::uint64_t epoch() const;
+  /// Monotonic invalidation-event counter (see the version-guarded
+  /// `insert`); advanced by `bump_epoch` and `invalidate_delta`.
+  std::uint64_t version() const;
   CacheStats stats() const;
 
  private:
@@ -103,11 +144,16 @@ class ResultCache {
 
   bool usable() const noexcept { return opts_.enabled && opts_.capacity > 0; }
 
+  /// Answer footprint of a cached entry (see the header comment); sets
+  /// `*unbounded` for a k-nearest entry holding fewer than k neighbors.
+  static geom::Rect entry_footprint(const Entry& e, bool* unbounded) noexcept;
+
   CacheOptions opts_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // most recent first
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t version_ = 0;
   CacheStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <limits>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "core/nearest.hpp"
@@ -127,6 +128,11 @@ ClusterMetrics& ClusterMetrics::operator+=(
   breaker_close_transitions += other.breaker_close_transitions;
   breaker_half_open_probes += other.breaker_half_open_probes;
   breaker_skipped_subrequests += other.breaker_skipped_subrequests;
+  updates += other.updates;
+  update_inserts += other.update_inserts;
+  update_deletes += other.update_deletes;
+  update_failures += other.update_failures;
+  compactions += other.compactions;
   latency += other.latency;
   // `cache` and `replicas` are point-in-time snapshots attached by
   // metrics(), not foldable counter sets.
@@ -222,6 +228,8 @@ struct Cluster::Pending {
 Cluster::Cluster(ClusterOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cache), admission_(opts_.admission) {
   shards_ = opts_.shards == 0 ? 1 : opts_.shards;
+  shard_lines_.assign(shards_, 0);
+  shard_live_ = std::vector<std::atomic<bool>>(shards_);
   engines_.reserve(shards_);
   replica_state_.reserve(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
@@ -323,14 +331,14 @@ void Cluster::mount(const std::vector<geom::Segment>& lines,
                            ? &(*built)[0]
                            : nullptr);
   if (fallback_engine_ != nullptr) remount(*fallback_engine_, fbix);
-  if (fbix != nullptr && !fbix->empty) {
-    fb_quad_ = &fbix->quad;
-    fb_rtree_ = &fbix->rtree;
-    fb_linear_ = mopts.build_linear ? &fbix->linear : nullptr;
-  } else {
-    fb_quad_ = nullptr;
-    fb_rtree_ = nullptr;
-    fb_linear_ = nullptr;
+  // Live-update bookkeeping restarts from the freshly mounted map.
+  mount_opts_ = mopts;
+  live_map_.clear();
+  live_map_.reserve(lines.size());
+  for (const geom::Segment& seg : lines) live_map_.emplace(seg.id, seg);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    shard_lines_[s] = sharded.shards[s].size();
+    shard_live_[s].store(shard_lines_[s] > 0, std::memory_order_release);
   }
   sharded_ = std::move(sharded);
   indexes_ = std::move(built);  // previous generation destroyed here
@@ -362,8 +370,7 @@ bool Cluster::supported(const Request& rq) const noexcept {
 void Cluster::route_window(const geom::Rect& window,
                            std::vector<std::size_t>& out) const {
   for (std::size_t s = 0; s < shards_; ++s) {
-    if (!(*indexes_)[s].empty &&
-        sharded_.plan.footprints[s].intersects(window)) {
+    if (shard_live(s) && sharded_.plan.footprints[s].intersects(window)) {
       out.push_back(s);
     }
   }
@@ -372,7 +379,7 @@ void Cluster::route_window(const geom::Rect& window,
 void Cluster::route_point(const geom::Point& p,
                           std::vector<std::size_t>& out) const {
   for (std::size_t s = 0; s < shards_; ++s) {
-    if (!(*indexes_)[s].empty && sharded_.plan.footprints[s].contains(p)) {
+    if (shard_live(s) && sharded_.plan.footprints[s].contains(p)) {
       out.push_back(s);
     }
   }
@@ -382,7 +389,7 @@ std::size_t Cluster::primary_knn_shard(const geom::Point& p) const {
   std::size_t best = shards_;
   double best_d2 = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < shards_; ++s) {
-    if ((*indexes_)[s].empty) continue;
+    if (!shard_live(s)) continue;
     const double d2 = sharded_.plan.footprints[s].distance2(p);
     if (d2 < best_d2) {
       best_d2 = d2;
@@ -403,40 +410,198 @@ std::chrono::microseconds Cluster::hedge_delay(std::size_t replica) const {
 }
 
 Status Cluster::run_fallback(const Request& rq, Response& rsp) const {
-  switch (rq.kind) {
-    case RequestKind::kWindow:
-      switch (rq.index) {
-        case IndexKind::kQuadTree:
-          rsp.ids = core::window_query(*fb_quad_, rq.window);
-          break;
-        case IndexKind::kRTree:
-          rsp.ids = core::window_query(*fb_rtree_, rq.window);
-          break;
-        case IndexKind::kLinearQuadTree:
-          rsp.ids = fb_linear_->window_query(rq.window);
-          break;
-      }
-      return Status::kOk;
-    case RequestKind::kPoint:
-      switch (rq.index) {
-        case IndexKind::kQuadTree:
-          rsp.ids = core::point_query(*fb_quad_, rq.point);
-          break;
-        case IndexKind::kRTree:
-          rsp.ids = core::point_query(*fb_rtree_, rq.point);
-          break;
-        case IndexKind::kLinearQuadTree:
-          rsp.ids = fb_linear_->point_query(rq.point);
-          break;
-      }
-      return Status::kOk;
-    case RequestKind::kNearest:
-      rsp.neighbors = rq.index == IndexKind::kQuadTree
-                          ? core::k_nearest(*fb_quad_, rq.point, rq.k)
-                          : core::k_nearest(*fb_rtree_, rq.point, rq.k);
-      return Status::kOk;
+  // The fallback engine's sequential oracle over its pinned generation:
+  // exact, and update-aware (an updated generation lazily rebuilds its
+  // sibling indexes on first use, so this path stays exact mid-update).
+  if (fallback_engine_ == nullptr) return Status::kRejected;
+  return fallback_engine_->run_oracle(rq, rsp);
+}
+
+UpdateOptions Cluster::update_options() const {
+  UpdateOptions uo;
+  uo.build = mount_opts_.quad;
+  uo.build.world = mount_opts_.world;
+  uo.rtree = mount_opts_.rtree;
+  uo.keep_rtree = true;
+  uo.keep_linear = mount_opts_.build_linear;
+  uo.compact_after = opts_.update_compact_after;
+  return uo;
+}
+
+UpdateResult Cluster::apply_update(const UpdateBatch& batch) {
+  UpdateResult res;
+  const auto fail = [this, &res](Status s) {
+    res.status = s;
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.update_failures;
+    return res;
+  };
+
+  // Serialize against sibling updates; the *shared* mount lock lets
+  // serve() proceed throughout while excluding a concurrent remount.
+  std::lock_guard<std::mutex> up(update_mutex_);
+  std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+  if (!mounted_) return fail(Status::kRejected);
+
+  // Whole-map validation at the cluster door: geometry, then id
+  // collisions against the live map net of this batch's deletes.
+  if (core::validate_segments(batch.inserts, mount_opts_.world).has_value()) {
+    return fail(Status::kInvalidArgument);
   }
-  return Status::kRejected;
+  const std::unordered_set<geom::LineId> doomed(batch.deletes.begin(),
+                                                batch.deletes.end());
+  std::unordered_set<geom::LineId> collide;
+  collide.reserve(live_map_.size());
+  for (const auto& [id, seg] : live_map_) {
+    if (doomed.count(id) == 0) collide.insert(id);
+  }
+  if (core::validate_insert_ids(batch.inserts, collide).has_value()) {
+    return fail(Status::kInvalidArgument);
+  }
+
+  // Route deltas to owning shards by the exact cloning rule `mount`
+  // shards with, so an updated shard holds precisely the segments a
+  // from-scratch reshard of the new map would give it.  (The one-shard
+  // plan clones nothing: everything lives in shard 0.)
+  const auto& footprints = sharded_.plan.footprints;
+  std::vector<std::vector<geom::Segment>> shard_inserts(shards_);
+  std::vector<std::vector<geom::LineId>> shard_deletes(shards_);
+  std::vector<geom::Rect> dirty;
+  for (const geom::LineId id : batch.deletes) {
+    const auto it = live_map_.find(id);
+    if (it == live_map_.end()) {
+      ++res.unknown_deletes;  // tolerated, like pmr_delete's contract
+      continue;
+    }
+    ++res.deleted;
+    dirty.push_back(it->second.bbox());
+    for (std::size_t s = 0; s < shards_; ++s) {
+      if (shards_ == 1 ||
+          geom::segment_intersects_rect(it->second, footprints[s])) {
+        shard_deletes[s].push_back(id);
+      }
+    }
+  }
+  for (const geom::Segment& seg : batch.inserts) {
+    dirty.push_back(seg.bbox());
+    for (std::size_t s = 0; s < shards_; ++s) {
+      if (shards_ == 1 ||
+          geom::segment_intersects_rect(seg, footprints[s])) {
+        shard_inserts[s].push_back(seg);
+      }
+    }
+  }
+  res.inserted = batch.inserts.size();
+  if (res.inserted == 0 && res.deleted == 0) {
+    res.epoch = mount_epoch();
+    return res;  // kOk no-op: nothing published, nothing invalidated
+  }
+
+  // Phase 1 -- prepare: build every affected replica's shadow generation
+  // (and the whole-map fallback's own, when it keeps separate indexes).
+  // Any failure abandons every shadow before anything publishes, so a
+  // fault mid-update can never leave the shards disagreeing about the
+  // map ("mid-swap crash" semantics).
+  const UpdateOptions uo = update_options();
+  struct ShardPrep {
+    std::size_t shard;
+    PreparedUpdate prep;
+  };
+  // Shadow builds fan out data-parallel across the affected shards: each
+  // engine prepares (and warms) its own generation on a worker thread, so
+  // the cross-shard prepare cost is the slowest shard's, not the sum.
+  // Engines are independent objects with engine-local locks, so the only
+  // join point is the all-or-nothing status check below.
+  std::vector<ShardPrep> preps;
+  preps.reserve(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (shard_inserts[s].empty() && shard_deletes[s].empty()) continue;
+    preps.push_back({s, {}});
+  }
+  {
+    const auto prep_one = [this, &shard_inserts, &shard_deletes,
+                           &uo](ShardPrep& sp) {
+      UpdateBatch sub;
+      sub.inserts = std::move(shard_inserts[sp.shard]);
+      sub.deletes = std::move(shard_deletes[sp.shard]);
+      sp.prep = engines_[sp.shard]->prepare_update(sub, uo);
+    };
+    // Worker threads run at default scheduling policy, so a caller that
+    // demoted itself (e.g. a background maintenance thread on a shared
+    // host) must not fan out -- the workers would outrank the read path.
+    // Inline on a single hardware thread; fan out otherwise.
+    if (preps.size() <= 1 || std::thread::hardware_concurrency() <= 1) {
+      for (ShardPrep& sp : preps) prep_one(sp);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(preps.size());
+      for (ShardPrep& sp : preps) {
+        workers.emplace_back([&prep_one, &sp] { prep_one(sp); });
+      }
+      for (std::thread& w : workers) w.join();
+    }
+  }
+  for (const ShardPrep& sp : preps) {
+    if (!sp.prep.ok()) return fail(sp.prep.status);
+  }
+  PreparedUpdate fb_prep;
+  const bool fb_separate = fallback_engine_ != nullptr && shards_ > 1;
+  if (fb_separate) {
+    // The fallback only answers degraded requests, so its whole-map
+    // sibling rebuilds stay lazy instead of taxing every update.
+    UpdateOptions fb_uo = uo;
+    fb_uo.warm_siblings = false;
+    fb_prep = fallback_engine_->prepare_update(batch, fb_uo);
+    if (!fb_prep.ok()) return fail(fb_prep.status);
+  }
+
+  // Phase 2 -- publish: back-to-back RCU pointer swaps.  Readers pin a
+  // generation per engine batch, so each answer is internally consistent;
+  // the cross-shard publication window is only these swaps.
+  for (ShardPrep& sp : preps) {
+    res.compacted = res.compacted || sp.prep.compacted;
+    if (sp.prep.compacted) {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.compactions;
+    }
+    const std::size_t s = sp.shard;
+    const std::size_t ins = sp.prep.inserted;
+    const std::size_t del = sp.prep.deleted;
+    engines_[s]->publish_update(std::move(sp.prep));
+    if (!backups_.empty()) backups_[s]->adopt_generation(*engines_[s]);
+    shard_lines_[s] += ins;
+    shard_lines_[s] -= del;
+    shard_live_[s].store(shard_lines_[s] > 0, std::memory_order_release);
+  }
+  if (fb_separate) {
+    fallback_engine_->publish_update(std::move(fb_prep));
+  } else if (fallback_engine_ != nullptr) {
+    fallback_engine_->adopt_generation(*engines_[0]);
+  }
+
+  // Whole-map bookkeeping follows the publications.
+  for (const geom::LineId id : doomed) live_map_.erase(id);
+  for (const geom::Segment& seg : batch.inserts) {
+    live_map_.emplace(seg.id, seg);
+  }
+
+  // Cache invalidation last: generations are already published, so a
+  // racing fill is either version-rejected here or provably computed
+  // against the new map.
+  if (opts_.delta_cache_invalidation) {
+    cache_.invalidate_delta(dirty);
+  } else {
+    cache_.bump_epoch();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.updates;
+    metrics_.update_inserts += res.inserted;
+    metrics_.update_deletes += res.deleted;
+  }
+  res.epoch = mount_epoch_.fetch_add(1, std::memory_order_release) + 1;
+  return res;
 }
 
 void Cluster::submit_job(const std::shared_ptr<SubJob>& job,
@@ -725,6 +890,12 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
       const std::uint64_t batch_seq =
           batch_seq_.fetch_add(1, std::memory_order_relaxed);
       std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+      // Version fence for cache fills: a concurrent apply_update bumps the
+      // cache version after publishing its generations, so any fill
+      // guarded by a version captured *before* that bump -- i.e. any fill
+      // that might carry a pre-update answer -- is rejected instead of
+      // resurrecting stale results the invalidation sweep already judged.
+      const std::uint64_t cache_version = cache_.version();
 
       // Pass 1: settle dead/unsupported requests, consult the cache, and
       // route the rest into per-shard sub-batches (k-nearest to its
@@ -807,7 +978,9 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
               responses[p.index].neighbors = first->neighbors;
               ++delta.hedges_won;
               settle(p.index, Status::kOk);
-              if (p.fill_cache) cache_.insert(p.key, responses[p.index]);
+              if (p.fill_cache) {
+                cache_.insert(p.key, responses[p.index], cache_version);
+              }
               p.settled = true;
               continue;
             }
@@ -820,7 +993,7 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
                 ? first->neighbors.back().distance2
                 : std::numeric_limits<double>::infinity();
         for (std::size_t s = 0; s < shards_; ++s) {
-          if (s == primary_slot.shard || (*indexes_)[s].empty) continue;
+          if (s == primary_slot.shard || !shard_live(s)) continue;
           if (sharded_.plan.footprints[s].distance2(rq.point) <= bound) {
             p.slots.push_back({1, s, round2[s].size()});
             round2[s].push_back(rq);
@@ -904,14 +1077,14 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
           }
           ++delta.hedges_won;
           settle(p.index, Status::kOk);
-          if (p.fill_cache) cache_.insert(p.key, rsp);
+          if (p.fill_cache) cache_.insert(p.key, rsp, cache_version);
           continue;
         }
         if (missing == 0) {
           merge_parts();
           if (hedged) ++delta.hedges_won;
           settle(p.index, Status::kOk);
-          if (p.fill_cache) cache_.insert(p.key, rsp);
+          if (p.fill_cache) cache_.insert(p.key, rsp, cache_version);
           continue;
         }
         delta.missing_shard_answers += missing;
@@ -931,9 +1104,8 @@ std::vector<Response> Cluster::serve(const std::vector<Request>& batch) {
           settle(p.index, pre);
           continue;
         }
-        const bool fb_ok = rq.index == IndexKind::kLinearQuadTree
-                               ? fb_linear_ != nullptr
-                               : fb_quad_ != nullptr;
+        const bool fb_ok = fallback_engine_ != nullptr &&
+                           fallback_engine_->mounted_index(rq.index);
         if (!fb_ok) {
           // No fallback indexes mounted: nothing exact left to answer
           // with.

@@ -85,6 +85,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/linear_quadtree.hpp"
@@ -135,6 +136,17 @@ struct ClusterOptions {
   AdmissionOptions admission;
   /// Reject malformed request geometry before admission.
   bool validate_requests = true;
+  /// Delta-scoped cache invalidation: apply_update drops only the cached
+  /// entries whose canonical footprint intersects the update's dirty
+  /// region (union of delta MBRs), so warm entries over untouched areas
+  /// keep hitting.  Off = every update flushes the whole cache
+  /// (bump_epoch), the conservative A/B baseline.
+  bool delta_cache_invalidation = true;
+  /// Per-replica compaction trigger forwarded to UpdateOptions: once a
+  /// shard's accumulated deltas exceed this, its next update runs a full
+  /// data-parallel rebuild of the surviving lines instead of the
+  /// incremental pass.
+  std::size_t update_compact_after = 64;
   /// Optional per-replica chaos hooks (index = shard); shorter than
   /// `shards` means the tail gets none.  Overrides `engine.fault_injector`
   /// for the primary replicas it names; entries may be null.  Must
@@ -232,6 +244,13 @@ struct ClusterMetrics {
   std::uint64_t breaker_half_open_probes = 0;
   std::uint64_t breaker_skipped_subrequests = 0;  // requests skipped while open
 
+  // Live-update accounting (see ServeMetrics for the per-engine view).
+  std::uint64_t updates = 0;           // apply_update calls that published
+  std::uint64_t update_inserts = 0;
+  std::uint64_t update_deletes = 0;    // known ids removed
+  std::uint64_t update_failures = 0;   // calls that published nothing
+  std::uint64_t compactions = 0;       // shard shadows built by full rebuild
+
   /// Per-request settle latency (all statuses), stamped when the request
   /// settles -- cache hits and gate rejections record their own (short)
   /// latency, not the batch's.
@@ -262,6 +281,26 @@ class Cluster {
   /// computed against the previous map survives the remount.
   void mount(const std::vector<geom::Segment>& lines,
              const ClusterMountOptions& opts);
+
+  /// Applies one whole-map insert/delete delta batch to the mounted
+  /// cluster.  Deltas route to owning shards by the same closed-rect
+  /// cloning rule `mount` shards with (a boundary-crossing insert is
+  /// cloned into every footprint it touches), then every affected
+  /// replica's shadow generation builds data-parallel (pmr_delete +
+  /// pmr_insert, or a compacting full rebuild) and the results publish
+  /// back-to-back as RCU pointer swaps: reads never block, and every
+  /// engine answer comes from exactly one generation.  Backups adopt
+  /// their primary's generation; the whole-map fallback engine takes the
+  /// whole batch.  The cache then drops only entries whose footprint
+  /// meets the dirty region (`ClusterOptions::delta_cache_invalidation`),
+  /// or flushes wholesale when that is off.  Insert ids must not collide
+  /// with live lines (net of this batch's deletes) or each other --
+  /// kInvalidArgument, nothing published.  A fault-aborted shard shadow
+  /// aborts the whole update the same way (kRejected, nothing published
+  /// anywhere -- no torn cross-shard state).  Requires a mounted cluster
+  /// (kRejected otherwise).  Serializes against concurrent apply_update
+  /// and mount calls; concurrent serve() calls proceed untouched.
+  UpdateResult apply_update(const UpdateBatch& batch);
 
   /// Serves one batch; responses[i] answers batch[i] exactly as a single
   /// engine mounted over the whole map would (kPartial excepted, and only
@@ -328,6 +367,15 @@ class Cluster {
   Status pre_status(const Request& rq) const noexcept;
   bool supported(const Request& rq) const noexcept;  // under mount lock
 
+  /// UpdateOptions derived from the mounted build configuration.
+  UpdateOptions update_options() const;
+  /// True when shard `s` currently holds at least one live line (clones
+  /// included).  Atomic because apply_update flips it while routing reads
+  /// it under the shared mount lock.
+  bool shard_live(std::size_t s) const noexcept {
+    return shard_live_[s].load(std::memory_order_acquire);
+  }
+
   /// Dispatches every non-empty per-shard sub-batch asynchronously and
   /// waits -- merge-on-arrival with deadline budgets, hedging, and
   /// breaker gating.  On return every slot is resolved (answered,
@@ -370,12 +418,21 @@ class Cluster {
   core::ShardedSegments sharded_;
   std::unique_ptr<std::vector<ShardIndexes>> indexes_;
   std::unique_ptr<ShardIndexes> fallback_;  // null when reusing shard 0
-  const core::QuadTree* fb_quad_ = nullptr;
-  const core::RTree* fb_rtree_ = nullptr;
-  const core::LinearQuadTree* fb_linear_ = nullptr;
   bool mounted_ = false;
   bool linear_mounted_ = false;
   mutable std::shared_mutex mount_mutex_;
+
+  // Live-update state, written only under update_mutex_ (mount() holds
+  // the mount lock exclusively, which also excludes updates).
+  std::mutex update_mutex_;
+  ClusterMountOptions mount_opts_;
+  /// Whole-map live lines by id: delete routing needs the doomed
+  /// geometry (which shards hold its clones; which cache region dirties).
+  std::unordered_map<geom::LineId, geom::Segment> live_map_;
+  /// Per-shard live line counts (clones included), maintained by delta.
+  std::vector<std::size_t> shard_lines_;
+  /// Routing-visible per-shard occupancy (see shard_live()).
+  std::vector<std::atomic<bool>> shard_live_;
 
   ResultCache cache_;
   AdmissionController admission_;

@@ -6,13 +6,100 @@
 #include <chrono>
 #include <ctime>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
 #include "core/batch_nearest.hpp"
 #include "core/nearest.hpp"
+#include "core/pmr_update.hpp"
 #include "core/query.hpp"
 #include "core/validate.hpp"
 
 namespace dps::serve {
+
+/// One immutable index generation.  `quad` / `rtree` / `linear` are the
+/// active pointers (null = the generation cannot answer that index kind
+/// eagerly); for a mount()ed generation they borrow the caller's
+/// structures, for an update-produced one they alias the owned_* storage.
+/// An updated generation owns a rebuilt quadtree but marks the siblings
+/// *stale*: the R-tree / linear quadtree have no update path, so they are
+/// rebuilt lazily on first use within the generation, from `lines` (the
+/// generation's surviving segments) under the recorded build options.
+struct IndexGen {
+  const core::QuadTree* quad = nullptr;
+  const core::RTree* rtree = nullptr;
+  const core::LinearQuadTree* linear = nullptr;
+
+  std::shared_ptr<const core::QuadTree> owned_quad;
+  std::shared_ptr<const core::RTree> owned_rtree;
+  std::shared_ptr<const core::LinearQuadTree> owned_linear;
+
+  bool rtree_stale = false;   // capability present, lazily materialized
+  bool linear_stale = false;
+
+  /// Surviving lines of an update-produced generation (what the lazy
+  /// sibling rebuilds and the next update's live set read); null for a
+  /// plain mount (recovered from the quadtree's q-edges on demand).
+  std::shared_ptr<const std::vector<geom::Segment>> lines;
+  core::PmrBuildOptions quad_opts;
+  core::RtreeBuildOptions rtree_opts;
+  /// Inserts + deletes accumulated since the last full build; compared
+  /// against UpdateOptions::compact_after by the next update.
+  std::uint64_t deltas = 0;
+
+  // Lazy-rebuild slots: double-checked (atomic fast path, mutex slow
+  // path), shared by every engine serving this generation (a cluster
+  // backup adopting its primary's generation reuses the same rebuild).
+  mutable std::mutex lazy_mutex;
+  mutable std::shared_ptr<const core::RTree> lazy_rtree;
+  mutable std::shared_ptr<const core::LinearQuadTree> lazy_linear;
+  mutable std::atomic<const core::RTree*> lazy_rtree_ready{nullptr};
+  mutable std::atomic<const core::LinearQuadTree*> lazy_linear_ready{nullptr};
+
+  bool has(IndexKind index) const noexcept {
+    switch (index) {
+      case IndexKind::kQuadTree: return quad != nullptr;
+      case IndexKind::kRTree: return rtree != nullptr || rtree_stale;
+      case IndexKind::kLinearQuadTree:
+        return linear != nullptr || linear_stale;
+    }
+    return false;
+  }
+
+  /// Logical copy for a partial remount: active pointers, ownership, and
+  /// staleness carry over, with an already-materialized lazy sibling
+  /// settled into the eager slot (the copy must not share the original's
+  /// synchronization members).
+  static std::shared_ptr<IndexGen> clone(const IndexGen& g) {
+    auto out = std::make_shared<IndexGen>();
+    out->quad = g.quad;
+    out->owned_quad = g.owned_quad;
+    out->lines = g.lines;
+    out->quad_opts = g.quad_opts;
+    out->rtree_opts = g.rtree_opts;
+    out->deltas = g.deltas;
+    std::lock_guard<std::mutex> lk(g.lazy_mutex);
+    if (g.rtree != nullptr) {
+      out->rtree = g.rtree;
+      out->owned_rtree = g.owned_rtree;
+    } else if (g.lazy_rtree != nullptr) {
+      out->owned_rtree = g.lazy_rtree;
+      out->rtree = out->owned_rtree.get();
+    } else {
+      out->rtree_stale = g.rtree_stale;
+    }
+    if (g.linear != nullptr) {
+      out->linear = g.linear;
+      out->owned_linear = g.owned_linear;
+    } else if (g.lazy_linear != nullptr) {
+      out->owned_linear = g.lazy_linear;
+      out->linear = out->owned_linear.get();
+    } else {
+      out->linear_stale = g.linear_stale;
+    }
+    return out;
+  }
+};
 
 namespace {
 
@@ -105,30 +192,303 @@ QueryEngine::QueryEngine(EngineOptions opts)
   if (opts_.fault_injector != nullptr) {
     pool_->set_fault_injector(opts_.fault_injector);
   }
+  gen_ = std::make_shared<IndexGen>();
+}
+
+QueryEngine::~QueryEngine() = default;
+
+std::shared_ptr<const IndexGen> QueryEngine::snapshot_gen() const {
+  std::lock_guard<std::mutex> lock(gen_mutex_);
+  return gen_;
+}
+
+std::uint64_t QueryEngine::publish_gen(std::shared_ptr<const IndexGen> next,
+                                       bool park) {
+  std::shared_ptr<const IndexGen> old;
+  {
+    std::lock_guard<std::mutex> lock(gen_mutex_);
+    old = std::move(gen_);
+    gen_ = std::move(next);
+  }
+  {
+    // Writer-side reclamation: parking keeps the replaced generation's
+    // refcount above any reader's pin, so unpinning is always a cheap
+    // decrement and index destruction happens here, on the publish path.
+    // A shared (adopted) generation is parked only by the engine that
+    // built it -- a second park would hold it forever.
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    if (park && old != nullptr) retired_.push_back(std::move(old));
+    std::erase_if(retired_, [](const std::shared_ptr<const IndexGen>& g) {
+      return g.use_count() == 1;
+    });
+  }
+  return mount_epoch_.fetch_add(1, std::memory_order_release) + 1;
 }
 
 void QueryEngine::mount(const core::QuadTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
   assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
          "mount must be serialized against in-flight serve() batches");
-  quad_ = tree;
-  mount_epoch_.fetch_add(1, std::memory_order_release);
+  auto next = IndexGen::clone(*snapshot_gen());
+  next->quad = tree;
+  // A fresh borrowed quadtree supersedes everything the update path
+  // derived from the old one: owned storage, the surviving-lines cache,
+  // and the accumulated delta debt.
+  next->owned_quad.reset();
+  next->lines.reset();
+  next->deltas = 0;
+  publish_gen(std::move(next));
 }
 
 void QueryEngine::mount(const core::RTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
   assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
          "mount must be serialized against in-flight serve() batches");
-  rtree_ = tree;
-  mount_epoch_.fetch_add(1, std::memory_order_release);
+  auto next = IndexGen::clone(*snapshot_gen());
+  next->rtree = tree;
+  next->owned_rtree.reset();
+  next->rtree_stale = false;  // the explicit mount replaces any lazy rebuild
+  publish_gen(std::move(next));
 }
 
 void QueryEngine::mount(const core::LinearQuadTree* tree) {
   std::unique_lock<std::shared_mutex> lock(mount_mutex_);
   assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
          "mount must be serialized against in-flight serve() batches");
-  linear_ = tree;
-  mount_epoch_.fetch_add(1, std::memory_order_release);
+  auto next = IndexGen::clone(*snapshot_gen());
+  next->linear = tree;
+  next->owned_linear.reset();
+  next->linear_stale = false;
+  publish_gen(std::move(next));
+}
+
+void QueryEngine::adopt_generation(const QueryEngine& from) {
+  std::unique_lock<std::shared_mutex> lock(mount_mutex_);
+  assert(debug_in_flight_.load(std::memory_order_acquire) == 0 &&
+         "adopt_generation must be serialized against in-flight batches");
+  publish_gen(from.snapshot_gen(), /*park=*/false);
+}
+
+bool QueryEngine::mounted_index(IndexKind index) const {
+  return snapshot_gen()->has(index);
+}
+
+const core::RTree* QueryEngine::resolve_rtree(const IndexGen& gen) const {
+  if (gen.rtree != nullptr) return gen.rtree;
+  if (!gen.rtree_stale) return nullptr;
+  if (const auto* ready = gen.lazy_rtree_ready.load(std::memory_order_acquire);
+      ready != nullptr) {
+    return ready;
+  }
+  std::lock_guard<std::mutex> lock(gen.lazy_mutex);
+  if (gen.lazy_rtree == nullptr) {
+    assert(gen.lines != nullptr && "stale R-tree requires the line store");
+    dpv::Context ctx;  // serial; no faults -- the rebuild must not abort
+    ctx.set_grain(opts_.grain);
+    auto built = std::make_shared<core::RTree>(
+        core::rtree_build(ctx, *gen.lines, gen.rtree_opts).tree);
+    gen.lazy_rtree = std::move(built);
+    gen.lazy_rtree_ready.store(gen.lazy_rtree.get(),
+                               std::memory_order_release);
+    lazy_rtree_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return gen.lazy_rtree.get();
+}
+
+const core::LinearQuadTree* QueryEngine::resolve_linear(
+    const IndexGen& gen) const {
+  if (gen.linear != nullptr) return gen.linear;
+  if (!gen.linear_stale) return nullptr;
+  if (const auto* ready =
+          gen.lazy_linear_ready.load(std::memory_order_acquire);
+      ready != nullptr) {
+    return ready;
+  }
+  std::lock_guard<std::mutex> lock(gen.lazy_mutex);
+  if (gen.lazy_linear == nullptr) {
+    assert(gen.quad != nullptr && "stale linear quadtree requires the quad");
+    gen.lazy_linear = std::make_shared<core::LinearQuadTree>(
+        core::LinearQuadTree::from(*gen.quad));
+    gen.lazy_linear_ready.store(gen.lazy_linear.get(),
+                                std::memory_order_release);
+    lazy_linear_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return gen.lazy_linear.get();
+}
+
+PreparedUpdate QueryEngine::do_prepare(const UpdateBatch& batch,
+                                       const UpdateOptions& opts) {
+  PreparedUpdate out;
+  const auto base = snapshot_gen();
+
+  if (core::validate_segments(batch.inserts, opts.build.world).has_value()) {
+    out.status = Status::kInvalidArgument;
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.update_failures;
+    return out;
+  }
+
+  // The generation's surviving lines: the update-path store when present,
+  // otherwise recovered from the mounted quadtree's q-edges (clone
+  // replicates whole segments, so dedup-by-id restores the original map).
+  std::vector<geom::Segment> live;
+  if (base->lines != nullptr) {
+    live = *base->lines;
+  } else if (base->quad != nullptr) {
+    std::unordered_set<geom::LineId> seen;
+    seen.reserve(base->quad->num_qedges());
+    for (const geom::Segment& e : base->quad->edges()) {
+      if (seen.insert(e.id).second) live.push_back(e);
+    }
+  }
+
+  std::unordered_set<geom::LineId> live_ids;
+  live_ids.reserve(live.size());
+  for (const geom::Segment& s : live) live_ids.insert(s.id);
+  const std::unordered_set<geom::LineId> doomed(batch.deletes.begin(),
+                                                batch.deletes.end());
+
+  // Inserts may not collide with lines that survive this batch's deletes
+  // (delete + reinsert of an id in one batch is legal) or with each other.
+  std::unordered_set<geom::LineId> collide = live_ids;
+  for (const geom::LineId id : doomed) collide.erase(id);
+  if (core::validate_insert_ids(batch.inserts, collide).has_value()) {
+    out.status = Status::kInvalidArgument;
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.update_failures;
+    return out;
+  }
+
+  for (const geom::LineId id : doomed) out.deleted += live_ids.count(id);
+  out.unknown_deletes = doomed.size() - out.deleted;
+  out.inserted = batch.inserts.size();
+
+  // Dirty region: MBRs of the removed geometry plus the inserted segments
+  // (what delta-scoped cache invalidation sweeps against).
+  for (const geom::Segment& s : live) {
+    if (doomed.count(s.id) != 0) out.dirty.push_back(s.bbox());
+  }
+  for (const geom::Segment& s : batch.inserts) out.dirty.push_back(s.bbox());
+
+  if (out.inserted == 0 && out.deleted == 0) {
+    out.dirty.clear();  // nothing changed; nothing to invalidate
+    return out;         // kOk, gen = null: a no-op publishes nothing
+  }
+
+  const bool fresh = base->quad == nullptr || base->quad->num_nodes() == 0;
+  const bool compact =
+      !fresh && base->deltas + batch.size() > opts.compact_after;
+
+  auto next_lines = std::make_shared<std::vector<geom::Segment>>();
+  next_lines->reserve(live.size() - out.deleted + batch.inserts.size());
+  for (const geom::Segment& s : live) {
+    if (doomed.count(s.id) == 0) next_lines->push_back(s);
+  }
+  next_lines->insert(next_lines->end(), batch.inserts.begin(),
+                     batch.inserts.end());
+
+  // Shadow build, chaos-visible like any shard attempt: scope coordinate =
+  // (update sequence, attempt 0, the update tag).  The build pipelines do
+  // not poll faults mid-flight, so a latched fault is checked after the
+  // build and the whole shadow is abandoned -- the "crash" happens before
+  // publication and readers never see a torn generation.
+  dpv::Context ctx = shard_template_.fork_serial();
+  const std::uint64_t seq =
+      update_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.fault_injector != nullptr) {
+    ctx.arm_fault_injection(
+        opts_.fault_injector,
+        dpv::FaultInjector::scope(seq, 0, 0xD17Aull /* delta */));
+  }
+
+  core::QuadBuildResult built;
+  if (fresh || compact) {
+    built = core::pmr_build(ctx, *next_lines, opts.build);
+    out.compacted = !fresh;
+  } else if (batch.deletes.empty()) {
+    built = core::pmr_insert(ctx, *base->quad, batch.inserts, opts.build);
+  } else {
+    built = core::pmr_delete(ctx, *base->quad, batch.deletes, opts.build);
+    if (!batch.inserts.empty()) {
+      built = core::pmr_insert(ctx, built.tree, batch.inserts, opts.build);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    session_.merge_counters(ctx.counters());  // failed attempts worked too
+  }
+
+  if (ctx.fault_pending()) {
+    out.status = Status::kRejected;
+    out.dirty.clear();
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.update_failures;
+    return out;
+  }
+
+  auto next = std::make_shared<IndexGen>();
+  next->owned_quad =
+      std::make_shared<const core::QuadTree>(std::move(built.tree));
+  next->quad = next->owned_quad.get();
+  next->lines = std::move(next_lines);
+  next->quad_opts = opts.build;
+  next->rtree_opts = opts.rtree;
+  // Sibling indexes have no update path: an updated generation keeps the
+  // base's capabilities as *stale* (lazily rebuilt on first use).  A
+  // generation grown from empty gets whatever UpdateOptions grants.
+  next->rtree_stale =
+      fresh ? opts.keep_rtree : base->has(IndexKind::kRTree);
+  next->linear_stale =
+      fresh ? opts.keep_linear : base->has(IndexKind::kLinearQuadTree);
+  next->deltas = fresh || compact ? 0 : base->deltas + batch.size();
+  // Warm the stale siblings while the generation is still a private
+  // shadow: the update thread absorbs the rebuild so the first reader
+  // after the swap never blocks on the lazy mutex.
+  if (opts.warm_siblings) {
+    if (next->rtree_stale) resolve_rtree(*next);
+    if (next->linear_stale) resolve_linear(*next);
+  }
+  out.gen = std::move(next);
+  return out;
+}
+
+PreparedUpdate QueryEngine::prepare_update(const UpdateBatch& batch,
+                                           const UpdateOptions& opts) {
+  std::lock_guard<std::mutex> up(update_mutex_);
+  std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+  return do_prepare(batch, opts);
+}
+
+std::uint64_t QueryEngine::publish_update(PreparedUpdate&& prepared) {
+  if (!prepared.ok() || prepared.gen == nullptr) return mount_epoch();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.updates;
+    metrics_.update_inserts += prepared.inserted;
+    metrics_.update_deletes += prepared.deleted;
+    if (prepared.compacted) ++metrics_.compactions;
+  }
+  return publish_gen(std::move(prepared.gen));
+}
+
+UpdateResult QueryEngine::apply_update(const UpdateBatch& batch,
+                                       const UpdateOptions& opts) {
+  UpdateResult res;
+  // Serialize against sibling updates; hold the mount lock *shared* so
+  // reads never block on an update while a concurrent mount() still waits
+  // for the whole operation.
+  std::lock_guard<std::mutex> up(update_mutex_);
+  std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+  PreparedUpdate p = do_prepare(batch, opts);
+  res.status = p.status;
+  res.compacted = p.compacted;
+  res.inserted = p.inserted;
+  res.deleted = p.deleted;
+  res.unknown_deletes = p.unknown_deletes;
+  res.epoch =
+      p.ok() && p.gen != nullptr ? publish_update(std::move(p)) : mount_epoch();
+  return res;
 }
 
 Status QueryEngine::pre_status(const Request& rq,
@@ -143,41 +503,60 @@ Status QueryEngine::pre_status(const Request& rq,
   return Status::kOk;
 }
 
-Status QueryEngine::run_sequential(const Request& rq, Response& rsp) const {
+Status QueryEngine::run_sequential(const IndexGen& gen, const Request& rq,
+                                   Response& rsp) const {
   switch (rq.kind) {
     case RequestKind::kWindow:
       switch (rq.index) {
         case IndexKind::kQuadTree:
-          rsp.ids = core::window_query(*quad_, rq.window);
+          rsp.ids = core::window_query(*gen.quad, rq.window);
           break;
         case IndexKind::kRTree:
-          rsp.ids = core::window_query(*rtree_, rq.window);
+          rsp.ids = core::window_query(*resolve_rtree(gen), rq.window);
           break;
         case IndexKind::kLinearQuadTree:
-          rsp.ids = linear_->window_query(rq.window);
+          rsp.ids = resolve_linear(gen)->window_query(rq.window);
           break;
       }
       return Status::kOk;
     case RequestKind::kPoint:
       switch (rq.index) {
         case IndexKind::kQuadTree:
-          rsp.ids = core::point_query(*quad_, rq.point);
+          rsp.ids = core::point_query(*gen.quad, rq.point);
           break;
         case IndexKind::kRTree:
-          rsp.ids = core::point_query(*rtree_, rq.point);
+          rsp.ids = core::point_query(*resolve_rtree(gen), rq.point);
           break;
         case IndexKind::kLinearQuadTree:
-          rsp.ids = linear_->point_query(rq.point);
+          rsp.ids = resolve_linear(gen)->point_query(rq.point);
           break;
       }
       return Status::kOk;
     case RequestKind::kNearest:
       rsp.neighbors = rq.index == IndexKind::kQuadTree
-                          ? core::k_nearest(*quad_, rq.point, rq.k)
-                          : core::k_nearest(*rtree_, rq.point, rq.k);
+                          ? core::k_nearest(*gen.quad, rq.point, rq.k)
+                          : core::k_nearest(*resolve_rtree(gen), rq.point,
+                                            rq.k);
       return Status::kOk;
   }
   return Status::kRejected;
+}
+
+Status QueryEngine::run_oracle(const Request& rq, Response& rsp) const {
+  const auto gen = snapshot_gen();
+  if (!gen->has(rq.index) ||
+      (rq.kind == RequestKind::kNearest &&
+       rq.index == IndexKind::kLinearQuadTree)) {
+    rsp.status = Status::kRejected;
+    return rsp.status;
+  }
+  rsp.status = run_sequential(*gen, rq, rsp);
+  return rsp.status;
+}
+
+std::string QueryEngine::quad_fingerprint() const {
+  const auto gen = snapshot_gen();
+  return gen->quad != nullptr ? gen->quad->fingerprint() : std::string();
 }
 
 void QueryEngine::backoff(std::size_t shard, std::size_t attempt) const {
@@ -194,31 +573,48 @@ void QueryEngine::backoff(std::size_t shard, std::size_t attempt) const {
   std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
 }
 
-std::size_t QueryEngine::index_elements(IndexKind index) const noexcept {
+std::size_t QueryEngine::index_elements(const IndexGen& gen,
+                                        IndexKind index) const noexcept {
   switch (index) {
     case IndexKind::kQuadTree:
-      return quad_ != nullptr ? quad_->num_qedges() : 0;
+      return gen.quad != nullptr ? gen.quad->num_qedges() : 0;
     case IndexKind::kRTree:
-      return rtree_ != nullptr ? rtree_->entries().size() : 0;
+      if (gen.rtree != nullptr) return gen.rtree->entries().size();
+      if (const auto* ready =
+              gen.lazy_rtree_ready.load(std::memory_order_acquire);
+          ready != nullptr) {
+        return ready->entries().size();
+      }
+      // Stale and not yet materialized: estimate density from the line
+      // store rather than forcing the rebuild on the cost-model path.
+      return gen.rtree_stale && gen.lines != nullptr ? gen.lines->size() : 0;
     case IndexKind::kLinearQuadTree:
-      return linear_ != nullptr ? linear_->edges().size() : 0;
+      if (gen.linear != nullptr) return gen.linear->edges().size();
+      if (const auto* ready =
+              gen.lazy_linear_ready.load(std::memory_order_acquire);
+          ready != nullptr) {
+        return ready->edges().size();
+      }
+      return gen.linear_stale && gen.quad != nullptr ? gen.quad->num_qedges()
+                                                     : 0;
   }
   return 0;
 }
 
-dpv::GroupShape QueryEngine::group_shape(RequestKind kind, IndexKind index,
-                                         std::size_t n,
+dpv::GroupShape QueryEngine::group_shape(const IndexGen& gen, RequestKind kind,
+                                         IndexKind index, std::size_t n,
                                          std::size_t mean_k) const noexcept {
   dpv::GroupShape g;
   g.kind = static_cast<int>(kind);
   g.index = static_cast<int>(index);
   g.group_size = n;
-  g.map_elements = index_elements(index);
+  g.map_elements = index_elements(gen, index);
   g.mean_k = mean_k;
   return g;
 }
 
-void QueryEngine::run_group(const std::vector<Request>& batch,
+void QueryEngine::run_group(const IndexGen& gen,
+                            const std::vector<Request>& batch,
                             std::vector<Response>& responses, RequestKind kind,
                             IndexKind index,
                             const std::vector<std::size_t>& live_in,
@@ -294,8 +690,9 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
       }
       core::BatchNearestResult nearest =
           index == IndexKind::kQuadTree
-              ? core::batch_k_nearest(ctx, *quad_, points, ks, control)
-              : core::batch_k_nearest(ctx, *rtree_, points, ks, control);
+              ? core::batch_k_nearest(ctx, *gen.quad, points, ks, control)
+              : core::batch_k_nearest(ctx, *resolve_rtree(gen), points, ks,
+                                      control);
       pipeline_ok = !nearest.aborted;
       if (pipeline_ok) {
         for (std::size_t j = 0; j < live.size(); ++j) {
@@ -312,13 +709,15 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
         }
         switch (index) {
           case IndexKind::kQuadTree:
-            result = core::batch_window_query(ctx, *quad_, windows, control);
+            result = core::batch_window_query(ctx, *gen.quad, windows, control);
             break;
           case IndexKind::kRTree:
-            result = core::batch_window_query(ctx, *rtree_, windows, control);
+            result = core::batch_window_query(ctx, *resolve_rtree(gen),
+                                              windows, control);
             break;
           case IndexKind::kLinearQuadTree:
-            result = core::batch_window_query(ctx, *linear_, windows, control);
+            result = core::batch_window_query(ctx, *resolve_linear(gen),
+                                              windows, control);
             break;
         }
       } else {
@@ -328,13 +727,15 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
         }
         switch (index) {
           case IndexKind::kQuadTree:
-            result = core::batch_point_query(ctx, *quad_, points, control);
+            result = core::batch_point_query(ctx, *gen.quad, points, control);
             break;
           case IndexKind::kRTree:
-            result = core::batch_point_query(ctx, *rtree_, points, control);
+            result = core::batch_point_query(ctx, *resolve_rtree(gen), points,
+                                             control);
             break;
           case IndexKind::kLinearQuadTree:
-            result = core::batch_point_query(ctx, *linear_, points, control);
+            result = core::batch_point_query(ctx, *resolve_linear(gen),
+                                             points, control);
             break;
         }
       }
@@ -371,11 +772,12 @@ void QueryEngine::run_group(const std::vector<Request>& batch,
   for (const std::size_t i : live) {
     const Status s = pre_status(batch[i], xcancel);
     responses[i].status =
-        s == Status::kOk ? run_sequential(batch[i], responses[i]) : s;
+        s == Status::kOk ? run_sequential(gen, batch[i], responses[i]) : s;
   }
 }
 
-void QueryEngine::dispatch_group(const std::vector<Request>& batch,
+void QueryEngine::dispatch_group(const IndexGen& gen,
+                                 const std::vector<Request>& batch,
                                  std::vector<Response>& responses,
                                  RequestKind kind, IndexKind index,
                                  const std::vector<std::size_t>& live,
@@ -401,14 +803,14 @@ void QueryEngine::dispatch_group(const std::vector<Request>& batch,
     for (const std::size_t i : sub) {
       const Status s = pre_status(batch[i], xcancel);
       if (s == Status::kOk) {
-        responses[i].status = run_sequential(batch[i], responses[i]);
+        responses[i].status = run_sequential(gen, batch[i], responses[i]);
         ++executed;
       } else {
         responses[i].status = s;
       }
     }
     if (observe && executed == sub.size()) {
-      cost_model_.observe(group_shape(kind, index, sub.size(), mk),
+      cost_model_.observe(group_shape(gen, kind, index, sub.size(), mk),
                           dpv::CostPath::kSeq, observe_clock_us() - t);
     }
   };
@@ -416,10 +818,10 @@ void QueryEngine::dispatch_group(const std::vector<Request>& batch,
   const auto run_dp = [&](const std::vector<std::size_t>& sub,
                           std::size_t mk) {
     double dp_attempt_us = -1.0;
-    run_group(batch, responses, kind, index, sub, shard, xcancel, scratch,
+    run_group(gen, batch, responses, kind, index, sub, shard, xcancel, scratch,
               &dp_attempt_us);
     if (observe && dp_attempt_us >= 0.0) {
-      cost_model_.observe(group_shape(kind, index, sub.size(), mk),
+      cost_model_.observe(group_shape(gen, kind, index, sub.size(), mk),
                           dpv::CostPath::kDp, dp_attempt_us);
     }
   };
@@ -446,7 +848,7 @@ void QueryEngine::dispatch_group(const std::vector<Request>& batch,
 
   if (kind != RequestKind::kNearest) {
     const dpv::CostDecision d =
-        cost_model_.decide(group_shape(kind, index, live.size(), 0));
+        cost_model_.decide(group_shape(gen, kind, index, live.size(), 0));
     if (d.use_dp) {
       run_dp(live, 0);
     } else {
@@ -472,7 +874,7 @@ void QueryEngine::dispatch_group(const std::vector<Request>& batch,
     if (bucket.empty()) continue;
     const std::size_t mk = mean_k(bucket);
     const dpv::CostDecision d =
-        cost_model_.decide(group_shape(kind, index, bucket.size(), mk));
+        cost_model_.decide(group_shape(gen, kind, index, bucket.size(), mk));
     bool seq = !d.use_dp;
     if (seq && d.measured && !d.explored) {
       // Peeling shrinks the dp group everyone else amortizes against, so a
@@ -499,7 +901,8 @@ void QueryEngine::dispatch_group(const std::vector<Request>& batch,
   for (const auto& [sub, mk] : seq_side) run_seq(sub, mk);
 }
 
-void QueryEngine::execute_shard(const std::vector<Request>& batch,
+void QueryEngine::execute_shard(const IndexGen& gen,
+                                const std::vector<Request>& batch,
                                 const std::vector<Status>& admitted,
                                 std::vector<Response>& responses,
                                 Clock::time_point t0, std::size_t shard,
@@ -527,13 +930,9 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
     const auto index = static_cast<IndexKind>(g % kNumIndexes);
     const auto tgroup = Clock::now();
 
-    const bool mounted = (index == IndexKind::kQuadTree && quad_ != nullptr) ||
-                         (index == IndexKind::kRTree && rtree_ != nullptr) ||
-                         (index == IndexKind::kLinearQuadTree &&
-                          linear_ != nullptr);
     const bool supported =
-        mounted && !(kind == RequestKind::kNearest &&
-                     index == IndexKind::kLinearQuadTree);
+        gen.has(index) && !(kind == RequestKind::kNearest &&
+                            index == IndexKind::kLinearQuadTree);
 
     // Settle structurally rejected and already-dead requests up front.
     std::vector<std::size_t> live;
@@ -555,7 +954,7 @@ void QueryEngine::execute_shard(const std::vector<Request>& batch,
       // Every supported (kind, index) combo has a batch pipeline; the
       // dispatch policy (cost model by default) picks dp / sequential /
       // hybrid per group.
-      dispatch_group(batch, responses, kind, index, live, shard, xcancel,
+      dispatch_group(gen, batch, responses, kind, index, live, shard, xcancel,
                      scratch);
     }
 
@@ -612,6 +1011,11 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch,
       executed = true;
       // Shared mount lock: a concurrent mount() waits for this batch.
       std::shared_lock<std::shared_mutex> mounts(mount_mutex_);
+      // Pin the current index generation for the whole batch: every shard
+      // reads this snapshot, so a concurrent apply_update (which swaps the
+      // generation without taking the mount lock exclusively) can never
+      // tear the view mid-batch.
+      const std::shared_ptr<const IndexGen> gen = snapshot_gen();
 #ifndef NDEBUG
       debug_in_flight_.fetch_add(1, std::memory_order_acq_rel);
 #endif
@@ -624,8 +1028,8 @@ std::vector<Response> QueryEngine::serve(const std::vector<Request>& batch,
         for (std::size_t s = lane; s < k; s += lanes) {
           const auto [lo, hi] = dpv::Context::block_range(n, k, s);
           if (lo < hi) {
-            execute_shard(batch, gate, responses, t0, s, lo, hi, xcancel,
-                          scratch[s]);
+            execute_shard(*gen, batch, gate, responses, t0, s, lo, hi,
+                          xcancel, scratch[s]);
           }
         }
       });
@@ -686,6 +1090,9 @@ ServeMetrics QueryEngine::metrics() const {
     out = metrics_;
     out.prims = session_.snapshot();
   }
+  out.lazy_rtree_rebuilds = lazy_rtree_builds_.load(std::memory_order_relaxed);
+  out.lazy_linear_rebuilds =
+      lazy_linear_builds_.load(std::memory_order_relaxed);
   out.cost_model = cost_model_.snapshot();
   return out;
 }
@@ -694,6 +1101,8 @@ void QueryEngine::reset_metrics() {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_ = ServeMetrics{};
   session_.reset_counters();
+  lazy_rtree_builds_.store(0, std::memory_order_relaxed);
+  lazy_linear_builds_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dps::serve

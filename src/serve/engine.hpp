@@ -60,17 +60,38 @@
 //     per-request latency histogram all merge into one session ledger
 //     after each batch; `metrics()` snapshots it.
 //
-// Thread-safety: `serve` may be called from any number of threads
-// concurrently (launches serialize on the pool).  `mount` -- including a
-// remount that replaces a live index -- is serialized against in-flight
-// batches by `mount_mutex_`: serve() holds the lock shared for the whole
-// batch, mount() takes it exclusively, so a mount blocks until every
-// in-flight serve() drains and no batch ever observes a half-swapped
-// index set (asserted in debug builds via an in-flight counter).  Every
-// successful mount advances the monotonically increasing `mount_epoch()`,
-// which cache layers stacked on top (see serve::Cluster / ResultCache)
-// consume to invalidate results produced by older index generations.
-// Mounted indexes must stay alive and unmodified while mounted.
+// Thread-safety and index generations: the engine serves from an
+// immutable *index generation* (IndexGen) -- the active quadtree /
+// R-tree / linear-quadtree set -- published through an RCU-style pointer
+// swap.  Every serve() pins the current generation (one shared_ptr copy)
+// before touching an index and reads only that snapshot for the whole
+// batch, so a reader never blocks on a writer and never observes a torn
+// index set.  Two kinds of writers publish generations:
+//
+//   * `mount` -- borrowed, externally built indexes.  Still takes the
+//     mount lock exclusively (serve() holds it shared), because a caller
+//     that mounts may destroy the *previous* borrowed index immediately
+//     after, and every pinned snapshot referencing it must have drained
+//     first (asserted in debug builds via an in-flight counter).
+//   * `apply_update` -- batched insert/delete deltas applied data-parallel
+//     (`pmr_insert` / `pmr_delete`) to a shadow copy of the pinned
+//     generation, then published as a pointer swap.  Updated generations
+//     own their indexes (shared_ptr), so publication never waits for
+//     readers: the old generation is freed when its last pinner drops it.
+//     The R-tree and linear quadtree have no update path; an updated
+//     generation marks them stale and rebuilds them lazily on first use
+//     within that generation (recorded in metrics), keeping the serving
+//     matrix complete.  Accumulated deltas past
+//     `UpdateOptions::compact_after` trigger a full data-parallel rebuild
+//     of the surviving lines -- byte-identical to the incremental result
+//     by the bucket PMR's history-independence -- which resets the delta
+//     debt.  A fault-aborted shadow build publishes nothing.
+//
+// Every published generation advances the monotonically increasing
+// `mount_epoch()`, which cache layers stacked on top (see serve::Cluster /
+// ResultCache) consume to invalidate results produced by older index
+// generations.  Mounted (borrowed) indexes must stay alive and unmodified
+// while any generation referencing them can be pinned.
 
 #include <atomic>
 #include <chrono>
@@ -79,6 +100,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "core/batch_query.hpp"
@@ -91,6 +113,31 @@
 #include "serve/request.hpp"
 
 namespace dps::serve {
+
+/// One immutable index generation (defined in engine.cpp): the active
+/// index pointers plus ownership, staleness, and lazy-rebuild state.
+struct IndexGen;
+
+/// A built-but-unpublished index generation: the outcome of
+/// `QueryEngine::prepare_update`.  `publish_update` swaps it in; dropping
+/// it abandons the shadow build with no observable effect.  The split
+/// exists so a multi-shard caller (serve::Cluster) can build every shard's
+/// shadow first and only then publish them back-to-back.
+struct PreparedUpdate {
+  Status status = Status::kOk;
+  bool compacted = false;
+  std::size_t inserted = 0;
+  std::size_t deleted = 0;          // known ids removed
+  std::size_t unknown_deletes = 0;  // delete ids with no live line
+  /// MBRs of the applied deltas (inserted segments + removed geometry):
+  /// the dirty region delta-scoped cache invalidation sweeps against.
+  std::vector<geom::Rect> dirty;
+  /// The shadow generation; null when nothing needs publishing (a failed
+  /// or no-op update).
+  std::shared_ptr<IndexGen> gen;
+
+  bool ok() const noexcept { return status == Status::kOk; }
+};
 
 /// How a request group picks the data-parallel pipeline vs the sequential
 /// path.
@@ -153,16 +200,63 @@ struct EngineOptions {
 class QueryEngine {
  public:
   explicit QueryEngine(EngineOptions opts = {});
+  ~QueryEngine();
 
-  // Mounts an index.  Borrowed, immutable, must outlive the engine;
-  // remounting replaces the previous index of that type (nullptr
-  // unmounts).  Takes the mount lock exclusively: blocks until in-flight
-  // serve() calls finish, so a batch never sees a half-swapped index set
-  // (debug builds assert no serve() is in flight once the lock is held).
-  // Each call advances `mount_epoch()`.
+  // Mounts an index.  Borrowed, immutable, must outlive every generation
+  // that references it; remounting replaces the previous index of that
+  // type (nullptr unmounts).  Takes the mount lock exclusively: blocks
+  // until in-flight serve() calls finish, so the caller may destroy the
+  // replaced index as soon as mount() returns (debug builds assert no
+  // serve() is in flight once the lock is held).  Mounting a quadtree
+  // resets the accumulated update-delta debt; the other two kinds clear
+  // their staleness (an explicit mount replaces the lazy rebuild).  Each
+  // call advances `mount_epoch()`.
   void mount(const core::QuadTree* tree);
   void mount(const core::RTree* tree);
   void mount(const core::LinearQuadTree* tree);
+
+  /// Applies one insert/delete delta batch to the current generation and
+  /// publishes the result as a new generation (see the header comment).
+  /// Reads never block: concurrent serve() calls keep answering from
+  /// whichever generation they pinned.  Insert ids must not collide with
+  /// live lines (net of this batch's deletes) or each other --
+  /// `kInvalidArgument` otherwise, like malformed insert geometry.  A
+  /// fault-aborted shadow build answers kRejected and publishes nothing.
+  /// Concurrent apply_update calls serialize; do not call mount()
+  /// concurrently (the cluster serializes the two through its own mount
+  /// lock).
+  UpdateResult apply_update(const UpdateBatch& batch,
+                            const UpdateOptions& opts);
+
+  /// Two-phase form: builds the shadow generation without publishing it.
+  /// Between prepare and publish the caller must keep other updates and
+  /// mounts off this engine (serve::Cluster's update mutex does).
+  PreparedUpdate prepare_update(const UpdateBatch& batch,
+                                const UpdateOptions& opts);
+  /// Publishes a prepared generation (pointer swap + epoch bump; no-op for
+  /// a failed or empty preparation).  Returns the resulting mount epoch.
+  std::uint64_t publish_update(PreparedUpdate&& prepared);
+
+  /// Adopts `from`'s current generation as this engine's (shared immutable
+  /// storage, including the lazy-rebuild slots) -- how a cluster backup
+  /// replica tracks its primary across updates without duplicating the
+  /// data-parallel work.  Advances this engine's mount epoch.
+  void adopt_generation(const QueryEngine& from);
+
+  /// True when the current generation can answer `index` requests --
+  /// mounted, or stale-but-lazily-rebuildable after an update.
+  bool mounted_index(IndexKind index) const;
+
+  /// Runs one request sequentially against the current generation (the
+  /// exact host-traversal oracle; no admission, validation, or metrics).
+  /// The cluster's degraded settle path.  kRejected when the generation
+  /// cannot answer the (kind, index) combination.
+  Status run_oracle(const Request& rq, Response& rsp) const;
+
+  /// Leaf-decomposition fingerprint of the current generation's quadtree
+  /// ("" when none is mounted) -- how the differential suite asserts
+  /// update-vs-rebuild history-independence at serve scope.
+  std::string quad_fingerprint() const;
 
   /// Monotonically increasing mount generation: 0 before the first mount,
   /// +1 per mount()/remount.  A result computed at epoch e is stale once
@@ -248,7 +342,7 @@ class QueryEngine {
     std::uint64_t seq_fallbacks = 0;
   };
 
-  void execute_shard(const std::vector<Request>& batch,
+  void execute_shard(const IndexGen& gen, const std::vector<Request>& batch,
                      const std::vector<Status>& admitted,
                      std::vector<Response>& responses, Clock::time_point t0,
                      std::size_t shard, std::size_t lo, std::size_t hi,
@@ -257,7 +351,7 @@ class QueryEngine {
   /// Routes one live (kind, index) group per `opts_.dispatch`: dp, seq, or
   /// (k-nearest under the model) a hybrid per-k-bucket split.  Feeds the
   /// cost model with measured wall-clock when no fault injector is armed.
-  void dispatch_group(const std::vector<Request>& batch,
+  void dispatch_group(const IndexGen& gen, const std::vector<Request>& batch,
                       std::vector<Response>& responses, RequestKind kind,
                       IndexKind index, const std::vector<std::size_t>& live,
                       std::size_t shard, const std::atomic<bool>* xcancel,
@@ -268,20 +362,22 @@ class QueryEngine {
   /// runnable.  Returns counters via `scratch`; when `dp_us` is non-null
   /// and a dp attempt succeeds, writes that attempt's wall-clock
   /// microseconds (marshaling included) for the cost model.
-  void run_group(const std::vector<Request>& batch,
+  void run_group(const IndexGen& gen, const std::vector<Request>& batch,
                  std::vector<Response>& responses, RequestKind kind,
                  IndexKind index, const std::vector<std::size_t>& live,
                  std::size_t shard, const std::atomic<bool>* xcancel,
                  ShardScratch& scratch, double* dp_us = nullptr);
 
-  /// Element count of the mounted index behind `index` (0 when unmounted);
-  /// the cost model's map-density input.
-  std::size_t index_elements(IndexKind index) const noexcept;
+  /// Element count (or the best stale-generation estimate) of the index
+  /// behind `index` in `gen`; the cost model's map-density input.  Never
+  /// forces a lazy rebuild.
+  std::size_t index_elements(const IndexGen& gen,
+                             IndexKind index) const noexcept;
 
   /// The cost model's view of a group of `n` requests (mean_k = 0 for
   /// non-k-nearest kinds).
-  dpv::GroupShape group_shape(RequestKind kind, IndexKind index,
-                              std::size_t n,
+  dpv::GroupShape group_shape(const IndexGen& gen, RequestKind kind,
+                              IndexKind index, std::size_t n,
                               std::size_t mean_k) const noexcept;
 
   /// kCancelled / kDeadlineExpired / kOk ("runnable") for a request now.
@@ -289,10 +385,32 @@ class QueryEngine {
                     const std::atomic<bool>* xcancel) const noexcept;
 
   /// Runs one request sequentially (host traversal); returns its status.
-  Status run_sequential(const Request& rq, Response& rsp) const;
+  Status run_sequential(const IndexGen& gen, const Request& rq,
+                        Response& rsp) const;
 
   /// Deterministic backoff sleep before dp attempt `attempt` of `shard`.
   void backoff(std::size_t shard, std::size_t attempt) const;
+
+  /// Pins the current generation (one shared_ptr copy under gen_mutex_).
+  std::shared_ptr<const IndexGen> snapshot_gen() const;
+  /// Swaps in `next` and advances the mount epoch; returns the new epoch.
+  /// When `park` is set the replaced generation is retired on the writer
+  /// side (RCU-style reclamation: the reader that unpins a generation
+  /// last must never pay its index destruction); adopt-path publishes
+  /// pass false because the owning engine already parked it.
+  std::uint64_t publish_gen(std::shared_ptr<const IndexGen> next,
+                            bool park = true);
+
+  /// The generation's R-tree / linear quadtree, lazily rebuilt on first
+  /// use when the generation marks them stale (counted in metrics);
+  /// nullptr when the generation has no such capability.
+  const core::RTree* resolve_rtree(const IndexGen& gen) const;
+  const core::LinearQuadTree* resolve_linear(const IndexGen& gen) const;
+
+  /// Shadow-build phase of apply_update; caller holds `update_mutex_` and
+  /// the shared mount lock.
+  PreparedUpdate do_prepare(const UpdateBatch& batch,
+                            const UpdateOptions& opts);
 
   EngineOptions opts_;
   std::size_t shards_ = 1;
@@ -303,9 +421,26 @@ class QueryEngine {
   // never move.
   std::vector<std::unique_ptr<dpv::Arena>> arenas_;
 
-  const core::QuadTree* quad_ = nullptr;
-  const core::RTree* rtree_ = nullptr;
-  const core::LinearQuadTree* linear_ = nullptr;
+  // The published index generation, swapped RCU-style: writers build a
+  // new IndexGen and swap the pointer; readers pin it with one shared_ptr
+  // copy.  gen_mutex_ guards only the pointer (a handful of instructions),
+  // so publication never blocks behind an executing batch.
+  std::shared_ptr<const IndexGen> gen_;
+  mutable std::mutex gen_mutex_;
+  // Retired generations parked until every pinned reader drains (swept on
+  // each publish; at most the last one lingers until the next publish or
+  // engine destruction).
+  std::vector<std::shared_ptr<const IndexGen>> retired_;
+  std::mutex retired_mutex_;
+  // Serializes apply_update callers (two concurrent shadows would race
+  // each other's publication and lose one delta).
+  std::mutex update_mutex_;
+  // Deterministic fault-scope coordinate for update shadow builds.
+  std::atomic<std::uint64_t> update_seq_{0};
+  // Lazy sibling rebuilds happen on the (const) read path; counted here
+  // and surfaced through metrics().
+  mutable std::atomic<std::uint64_t> lazy_rtree_builds_{0};
+  mutable std::atomic<std::uint64_t> lazy_linear_builds_{0};
 
   std::atomic<bool> cancel_{false};
   std::atomic<std::uint64_t> mount_epoch_{0};

@@ -85,6 +85,13 @@ ServeMetrics& ServeMetrics::operator+=(const ServeMetrics& other) {
   hybrid_groups += other.hybrid_groups;
   retries += other.retries;
   seq_fallbacks += other.seq_fallbacks;
+  updates += other.updates;
+  update_inserts += other.update_inserts;
+  update_deletes += other.update_deletes;
+  update_failures += other.update_failures;
+  compactions += other.compactions;
+  lazy_rtree_rebuilds += other.lazy_rtree_rebuilds;
+  lazy_linear_rebuilds += other.lazy_linear_rebuilds;
   prims += other.prims;
   stages += other.stages;
   latency += other.latency;

@@ -102,6 +102,21 @@ struct ServeMetrics {
   std::uint64_t retries = 0;
   std::uint64_t seq_fallbacks = 0;
 
+  // Live-update accounting.  `updates` counts apply_update calls that
+  // published a generation; `update_failures` counts calls that published
+  // nothing (validation, or a fault-aborted shadow build); `compactions`
+  // counts updates that ran the full dp rebuild instead of the
+  // incremental insert/delete pass.  The lazy counters record sibling
+  // indexes (R-tree / linear quadtree, which have no update path) rebuilt
+  // on first use within an updated generation.
+  std::uint64_t updates = 0;
+  std::uint64_t update_inserts = 0;
+  std::uint64_t update_deletes = 0;
+  std::uint64_t update_failures = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t lazy_rtree_rebuilds = 0;
+  std::uint64_t lazy_linear_rebuilds = 0;
+
   dpv::PrimCounters prims;  // merged per-shard scan-model ledger
   StageTimes stages;
   LatencyHistogram latency;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/nearest.hpp"
+#include "core/pmr_build.hpp"
+#include "core/rtree_build.hpp"
 #include "geom/geom.hpp"
 
 namespace dps::serve {
@@ -108,6 +110,65 @@ struct Request {
     allow_partial = allow;
     return *this;
   }
+};
+
+/// One batched live-update delta.  Deletes apply before inserts, so a
+/// batch may replace a line (delete id, insert its successor) atomically.
+struct UpdateBatch {
+  std::vector<geom::Segment> inserts;
+  /// Line ids to remove; ids absent from the live map are tolerated (and
+  /// reported via UpdateResult::unknown_deletes), matching pmr_delete's
+  /// unknown-id-is-identity contract.
+  std::vector<geom::LineId> deletes;
+
+  bool empty() const noexcept { return inserts.empty() && deletes.empty(); }
+  std::size_t size() const noexcept { return inserts.size() + deletes.size(); }
+};
+
+/// Per-update knobs for the live-update path.
+struct UpdateOptions {
+  /// Bucket-PMR build options of the *mounted* tree.  They must match what
+  /// built the current generation: the bucket PMR shape is
+  /// history-independent only under a fixed (world, capacity, depth-cap)
+  /// rule, which is what makes update-vs-rebuild equivalence hold.
+  core::PmrBuildOptions build;
+  /// R-tree build options for the lazy sibling rebuild.
+  core::RtreeBuildOptions rtree;
+  /// Serving-matrix capability for a generation grown from an empty
+  /// engine: keep answering R-tree / linear-quadtree requests (via the
+  /// lazy per-epoch rebuild).  Generations evolved from a mounted engine
+  /// always inherit the capabilities it already served.
+  bool keep_rtree = true;
+  bool keep_linear = true;
+  /// Materialize the stale siblings into the shadow generation *before*
+  /// publication (still through the shared lazy slots, so adopters reuse
+  /// the builds and the lazy-rebuild counters account for them).  The
+  /// update thread pays the sibling rebuilds; readers of a published
+  /// generation never do.  Disable for rarely-read replicas (e.g. a
+  /// degraded-path fallback) to defer the cost to first use.
+  bool warm_siblings = true;
+  /// Compaction trigger: once the deltas accumulated since the last full
+  /// build exceed this, the update runs a from-scratch data-parallel
+  /// rebuild of the surviving lines instead of an incremental
+  /// insert/delete pass.  History-independence makes the two results
+  /// byte-identical; compaction just resets the delta debt.  0 compacts on
+  /// every update.
+  std::size_t compact_after = 64;
+};
+
+/// Outcome of QueryEngine::apply_update / Cluster::apply_update.  Failed
+/// updates (kInvalidArgument, or a fault-aborted shadow build answering
+/// kRejected) publish nothing: readers keep the previous generation.
+struct UpdateResult {
+  Status status = Status::kOk;
+  /// Mount epoch serving the update's generation (kOk only).
+  std::uint64_t epoch = 0;
+  bool compacted = false;
+  std::size_t inserted = 0;
+  std::size_t deleted = 0;          // known ids removed
+  std::size_t unknown_deletes = 0;  // delete ids with no live line
+
+  bool ok() const noexcept { return status == Status::kOk; }
 };
 
 struct Response {
